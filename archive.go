@@ -1,0 +1,92 @@
+package dpz
+
+import (
+	"fmt"
+	"io"
+
+	"dpz/internal/archive"
+	"dpz/internal/stats"
+)
+
+// ArchiveWriter packs many named DPZ-compressed fields into one container
+// stream (a simulation campaign's worth of diagnostics in a single file).
+// Fields are compressed as they are added; Close finalizes the index.
+type ArchiveWriter struct {
+	w *archive.Writer
+}
+
+// NewArchiveWriter starts a DPZ archive on w.
+func NewArchiveWriter(w io.Writer) (*ArchiveWriter, error) {
+	aw, err := archive.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	return &ArchiveWriter{w: aw}, nil
+}
+
+// Compress compresses data under the given field name and appends it.
+// It returns the compression statistics.
+func (a *ArchiveWriter) Compress(name string, data []float32, dims []int, o Options) (*Stats, error) {
+	return a.CompressFloat64(name, stats.Float32To64(data), dims, o)
+}
+
+// CompressFloat64 is Compress for double-precision input.
+func (a *ArchiveWriter) CompressFloat64(name string, data []float64, dims []int, o Options) (*Stats, error) {
+	res, err := CompressFloat64(data, dims, o)
+	if err != nil {
+		return nil, fmt.Errorf("dpz: archive field %q: %w", name, err)
+	}
+	if err := a.w.Append(name, res.Data); err != nil {
+		return nil, err
+	}
+	return &res.Stats, nil
+}
+
+// Append stores an already-compressed DPZ stream under name.
+func (a *ArchiveWriter) Append(name string, stream []byte) error {
+	return a.w.Append(name, stream)
+}
+
+// Close writes the archive index. The writer is unusable afterwards.
+func (a *ArchiveWriter) Close() error { return a.w.Close() }
+
+// ArchiveReader reads fields back from a finished archive.
+type ArchiveReader struct {
+	r *archive.Reader
+}
+
+// OpenArchive parses the index of an archive of the given total size.
+func OpenArchive(r io.ReaderAt, size int64) (*ArchiveReader, error) {
+	ar, err := archive.OpenReader(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return &ArchiveReader{r: ar}, nil
+}
+
+// Fields lists the stored field names in append order.
+func (a *ArchiveReader) Fields() []string { return a.r.Names() }
+
+// Len returns the number of stored fields.
+func (a *ArchiveReader) Len() int { return a.r.Len() }
+
+// Decompress reads and decompresses the named field.
+func (a *ArchiveReader) Decompress(name string) ([]float32, []int, error) {
+	d, dims, err := a.DecompressFloat64(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats.Float64To32(d), dims, nil
+}
+
+// DecompressFloat64 is Decompress with double-precision output.
+func (a *ArchiveReader) DecompressFloat64(name string) ([]float64, []int, error) {
+	payload, err := a.r.Payload(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecompressFloat64(payload)
+}
+
+// Stream returns the raw compressed bytes of the named field.
+func (a *ArchiveReader) Stream(name string) ([]byte, error) { return a.r.Payload(name) }

@@ -1,0 +1,103 @@
+package dpz_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	aw, err := dpz.NewArchiveWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dpz.StrictOptions()
+	opts.TVE = dpz.Nines(4)
+
+	fields := map[string]*dataset.Field{
+		"fldsc":  dataset.CESM("FLDSC", 60, 120, 81),
+		"phis":   dataset.CESM("PHIS", 60, 120, 82),
+		"haccvx": dataset.HACCVX(2048, 83),
+	}
+	order := []string{"fldsc", "phis", "haccvx"}
+	for _, name := range order {
+		st, err := aw.CompressFloat64(name, fields[name].Data, fields[name].Dims, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.CRTotal <= 0 {
+			t.Fatalf("%s: bad stats %+v", name, st)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := dpz.OpenArchive(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Len() != 3 {
+		t.Fatalf("archive has %d fields", ar.Len())
+	}
+	got := ar.Fields()
+	for i, name := range order {
+		if got[i] != name {
+			t.Fatalf("field order %v", got)
+		}
+	}
+	for _, name := range order {
+		data, dims, err := ar.DecompressFloat64(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f := fields[name]
+		if len(data) != f.Len() || dims[0] != f.Dims[0] {
+			t.Fatalf("%s: shape mismatch", name)
+		}
+		if psnr := dpz.PSNR(f.Data, data); psnr < 20 {
+			t.Fatalf("%s: PSNR %.1f", name, psnr)
+		}
+	}
+	if _, _, err := ar.Decompress("nope"); err == nil {
+		t.Fatal("expected error for unknown field")
+	}
+	// Raw stream access decodes too.
+	raw, err := ar.Stream("phis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dpz.DecompressFloat64(raw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveAppendPrecompressed(t *testing.T) {
+	f := dataset.CESM("FREQSH", 40, 80, 84)
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, dpz.LooseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	aw, _ := dpz.NewArchiveWriter(&buf)
+	if err := aw.Append("pre", res.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := dpz.OpenArchive(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ar.Decompress("pre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != f.Len() {
+		t.Fatalf("decoded %d values", len(out))
+	}
+}

@@ -1,0 +1,83 @@
+// Command datagen writes the synthetic evaluation datasets as raw
+// little-endian float32 files (the SDRBench layout), so the dpz CLI and
+// external tools can consume them.
+//
+// Usage:
+//
+//	datagen -list
+//	datagen -name FLDSC -scale 0.1 -out fldsc.f32
+//	datagen -all -scale 0.05 -dir data/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpz/internal/dataset"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "", "dataset to generate (see -list)")
+		all   = flag.Bool("all", false, "generate every dataset")
+		scale = flag.Float64("scale", 0.08, "scale relative to the paper's native sizes (0,1]")
+		out   = flag.String("out", "", "output file (with -name)")
+		dir   = flag.String("dir", ".", "output directory (with -all)")
+		list  = flag.Bool("list", false, "list dataset names and exit")
+		pgm   = flag.Bool("pgm", false, "also write a PGM preview for 2-D datasets")
+	)
+	flag.Parse()
+
+	fail := func(format string, a ...interface{}) {
+		fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", a...)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, n := range dataset.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	write := func(n, path string) {
+		f, err := dataset.Generate(n, *scale)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := dataset.WriteRawFloat32(f, path); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("%-10s dims %v -> %s (%d values)\n", n, f.Dims, path, f.Len())
+		if *pgm && len(f.Dims) == 2 {
+			img := strings.TrimSuffix(path, filepath.Ext(path)) + ".pgm"
+			if err := dataset.WritePGM(f, img); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("%-10s preview -> %s\n", n, img)
+		}
+	}
+
+	switch {
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		for _, n := range dataset.Names {
+			fname := strings.ToLower(strings.ReplaceAll(n, "-", "_")) + ".f32"
+			write(n, filepath.Join(*dir, fname))
+		}
+	case *name != "":
+		path := *out
+		if path == "" {
+			path = strings.ToLower(strings.ReplaceAll(*name, "-", "_")) + ".f32"
+		}
+		write(*name, path)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

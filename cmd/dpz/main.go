@@ -1,0 +1,185 @@
+// Command dpz compresses and decompresses raw little-endian float32 files
+// (the SDRBench layout) with the DPZ algorithm.
+//
+// Usage:
+//
+//	dpz -z -dims 1800x3600 -scheme strict -tve 5 in.f32 out.dpz
+//	dpz -d out.dpz recon.f32
+//	dpz -estimate -dims 128x128x128 in.f32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dpz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against args, writing human output to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dpz", flag.ContinueOnError)
+	var (
+		compress   = fs.Bool("z", false, "compress (requires -dims)")
+		decompress = fs.Bool("d", false, "decompress")
+		estimate   = fs.Bool("estimate", false, "run the sampling estimate only (requires -dims)")
+		dimsStr    = fs.String("dims", "", "input dimensions, e.g. 1800x3600 (slowest first)")
+		scheme     = fs.String("scheme", "strict", "quantization scheme: loose (P=1e-3, 1-byte) or strict (P=1e-4, 2-byte)")
+		selection  = fs.String("select", "tve", "k selection: tve or knee")
+		nines      = fs.Int("tve", 5, "TVE threshold as a count of nines (3..8)")
+		fit        = fs.String("fit", "1d", "knee curve fit: 1d or polyn")
+		sampling   = fs.Bool("sampling", false, "enable the Algorithm 2 sampling strategy")
+		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		verify     = fs.Bool("verify", false, "after -z, decompress and report PSNR/θ")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+
+	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *sampling, *workers)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case *estimate:
+		if len(rest) != 1 || *dimsStr == "" {
+			return fmt.Errorf("usage: dpz -estimate -dims AxB file.f32")
+		}
+		dims, err := parseDims(*dimsStr)
+		if err != nil {
+			return err
+		}
+		field, err := dataset.ReadRawFloat32(rest[0], dims)
+		if err != nil {
+			return err
+		}
+		est, err := dpz.EstimateCompressionFloat64(field.Data, dims, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "estimated k:        %d\n", est.Ke)
+		fmt.Fprintf(out, "mean VIF:           %.2f (low linearity: %v)\n", est.MeanVIF, est.LowLinearity)
+		fmt.Fprintf(out, "predicted CR range: %.1fx .. %.1fx\n", est.CRLow, est.CRHigh)
+
+	case *compress:
+		if len(rest) != 2 || *dimsStr == "" {
+			return fmt.Errorf("usage: dpz -z -dims AxB in.f32 out.dpz")
+		}
+		dims, err := parseDims(*dimsStr)
+		if err != nil {
+			return err
+		}
+		field, err := dataset.ReadRawFloat32(rest[0], dims)
+		if err != nil {
+			return err
+		}
+		res, err := dpz.CompressFloat64(field.Data, dims, opts)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rest[1], res.Data, 0o644); err != nil {
+			return err
+		}
+		s := res.Stats
+		fmt.Fprintf(out, "compressed %d values: %d -> %d bytes (CR %.2fx, bit-rate %.3f)\n",
+			len(field.Data), s.OrigBytes, s.CompressedBytes, s.CRTotal, dpz.BitRate(s.CRTotal, 32))
+		fmt.Fprintf(out, "blocks %dx%d, k=%d, TVE=%.8f, stage CRs: %.2f / %.2f / %.2f\n",
+			s.Blocks, s.BlockLen, s.K, s.TVEAchieved, s.CRStage12, s.CRStage3, s.CRZlib)
+		if *verify {
+			recon, _, err := dpz.DecompressFloat64(res.Data)
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			fmt.Fprintf(out, "verify: PSNR %.2f dB, mean θ %.3g, max abs err %.3g\n",
+				dpz.PSNR(field.Data, recon),
+				dpz.MeanRelativeError(field.Data, recon),
+				dpz.MaxAbsError(field.Data, recon))
+		}
+
+	case *decompress:
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: dpz -d in.dpz out.f32")
+		}
+		buf, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		data, dims, err := dpz.DecompressFloat64(buf)
+		if err != nil {
+			return err
+		}
+		field := &dataset.Field{Name: rest[1], Dims: dims, Data: data}
+		if err := dataset.WriteRawFloat32(field, rest[1]); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "decompressed %d values, dims %v -> %s\n", len(data), dims, rest[1])
+
+	default:
+		return fmt.Errorf("one of -z, -d, -estimate is required")
+	}
+	return nil
+}
+
+func buildOptions(scheme, selection string, nines int, fit string, sampling bool, workers int) (dpz.Options, error) {
+	var o dpz.Options
+	switch strings.ToLower(scheme) {
+	case "loose":
+		o = dpz.LooseOptions()
+	case "strict":
+		o = dpz.StrictOptions()
+	default:
+		return o, fmt.Errorf("unknown scheme %q (loose|strict)", scheme)
+	}
+	switch strings.ToLower(selection) {
+	case "tve":
+		o.Selection = dpz.TVEThreshold
+	case "knee":
+		o.Selection = dpz.KneePoint
+	default:
+		return o, fmt.Errorf("unknown selection %q (tve|knee)", selection)
+	}
+	if nines < 1 || nines > 12 {
+		return o, fmt.Errorf("tve nines %d out of range", nines)
+	}
+	o.TVE = dpz.Nines(nines)
+	switch strings.ToLower(fit) {
+	case "1d":
+		o.Fit = dpz.FitLinear
+	case "polyn":
+		o.Fit = dpz.FitPoly
+	default:
+		return o, fmt.Errorf("unknown fit %q (1d|polyn)", fit)
+	}
+	o.UseSampling = sampling
+	o.Workers = workers
+	return o, nil
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) < 1 || len(parts) > 4 {
+		return nil, fmt.Errorf("dims %q must have 1-4 components", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func TestParseDims(t *testing.T) {
+	dims, err := parseDims("1800x3600")
+	if err != nil || len(dims) != 2 || dims[0] != 1800 || dims[1] != 3600 {
+		t.Fatalf("parseDims = %v, %v", dims, err)
+	}
+	dims, err = parseDims("128X128X128")
+	if err != nil || len(dims) != 3 || dims[2] != 128 {
+		t.Fatalf("case-insensitive parse = %v, %v", dims, err)
+	}
+	if _, err := parseDims(""); err == nil {
+		t.Fatal("expected error for empty dims")
+	}
+	if _, err := parseDims("10x-5"); err == nil {
+		t.Fatal("expected error for negative dim")
+	}
+	if _, err := parseDims("10xfoo"); err == nil {
+		t.Fatal("expected error for non-numeric dim")
+	}
+	if _, err := parseDims("1x2x3x4x5"); err == nil {
+		t.Fatal("expected error for too many dims")
+	}
+}
+
+func TestBuildOptions(t *testing.T) {
+	o, err := buildOptions("loose", "knee", 4, "polyn", true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.P != 1e-3 || o.IndexBytes != dpz.Index1Byte {
+		t.Fatalf("loose scheme = %+v", o)
+	}
+	if o.Selection != dpz.KneePoint || o.Fit != dpz.FitPoly {
+		t.Fatalf("selection/fit = %+v", o)
+	}
+	if !o.UseSampling || o.Workers != 3 {
+		t.Fatalf("sampling/workers = %+v", o)
+	}
+	if o.TVE != dpz.Nines(4) {
+		t.Fatalf("TVE = %v", o.TVE)
+	}
+
+	if _, err := buildOptions("medium", "tve", 5, "1d", false, 0); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+	if _, err := buildOptions("strict", "best", 5, "1d", false, 0); err == nil {
+		t.Fatal("expected error for unknown selection")
+	}
+	if _, err := buildOptions("strict", "tve", 0, "1d", false, 0); err == nil {
+		t.Fatal("expected error for zero nines")
+	}
+	if _, err := buildOptions("strict", "tve", 5, "cubic", false, 0); err == nil {
+		t.Fatal("expected error for unknown fit")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	f := dataset.CESM("FLDSC", 48, 96, 131)
+	orig := filepath.Join(dir, "f.f32")
+	if err := dataset.WriteRawFloat32(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "f.dpz")
+	recon := filepath.Join(dir, "r.f32")
+
+	if err := run([]string{"-z", "-dims", "48x96", "-scheme", "strict", "-tve", "4", "-verify", orig, comp}, io.Discard); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := run([]string{"-d", comp, recon}, io.Discard); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	got, err := dataset.ReadRawFloat32(recon, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != f.Len() {
+		t.Fatalf("recon has %d values", len(got.Data))
+	}
+	if err := run([]string{"-estimate", "-dims", "48x96", orig}, io.Discard); err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	// Error paths.
+	if err := run([]string{orig}, io.Discard); err == nil {
+		t.Fatal("expected mode error")
+	}
+	if err := run([]string{"-z", orig, comp}, io.Discard); err == nil {
+		t.Fatal("expected missing -dims error")
+	}
+	if err := run([]string{"-d", orig, recon}, io.Discard); err == nil {
+		t.Fatal("expected decode error for raw file")
+	}
+}

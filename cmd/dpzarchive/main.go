@@ -1,0 +1,196 @@
+// Command dpzarchive packs raw float32 fields into a DPZ archive, lists
+// an archive's contents, and extracts fields back to raw float32 files.
+//
+// Usage:
+//
+//	dpzarchive pack -scheme strict -tve 5 out.dpza fldsc:180x360:fldsc.f32 phis:180x360:phis.f32
+//	dpzarchive list campaign.dpza
+//	dpzarchive extract campaign.dpza fldsc recon.f32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "dpzarchive: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dpzarchive pack|list|extract ...")
+	}
+	switch args[0] {
+	case "pack":
+		return runPack(args[1:])
+	case "list":
+		return runList(args[1:])
+	case "extract":
+		return runExtract(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (pack|list|extract)", args[0])
+	}
+}
+
+// fieldSpec is one name:dims:path argument of pack.
+type fieldSpec struct {
+	name string
+	dims []int
+	path string
+}
+
+// parseFieldSpec parses "name:AxB:file.f32".
+func parseFieldSpec(s string) (fieldSpec, error) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[2] == "" {
+		return fieldSpec{}, fmt.Errorf("field spec %q must be name:dims:file", s)
+	}
+	dims, err := parseDims(parts[1])
+	if err != nil {
+		return fieldSpec{}, err
+	}
+	return fieldSpec{name: parts[0], dims: dims, path: parts[2]}, nil
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) < 1 || len(parts) > 4 {
+		return nil, fmt.Errorf("dims %q must have 1-4 components", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}
+
+func runPack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ContinueOnError)
+	scheme := fs.String("scheme", "strict", "quantization scheme: loose or strict")
+	nines := fs.Int("tve", 5, "TVE threshold as a count of nines (3..8)")
+	sampling := fs.Bool("sampling", false, "enable the sampling strategy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: dpzarchive pack [flags] out.dpza name:dims:file ...")
+	}
+	var opts dpz.Options
+	switch strings.ToLower(*scheme) {
+	case "loose":
+		opts = dpz.LooseOptions()
+	case "strict":
+		opts = dpz.StrictOptions()
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	if *nines < 1 || *nines > 12 {
+		return fmt.Errorf("tve nines %d out of range", *nines)
+	}
+	opts.TVE = dpz.Nines(*nines)
+	opts.UseSampling = *sampling
+
+	out, err := os.Create(rest[0])
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	aw, err := dpz.NewArchiveWriter(out)
+	if err != nil {
+		return err
+	}
+	for _, arg := range rest[1:] {
+		spec, err := parseFieldSpec(arg)
+		if err != nil {
+			return err
+		}
+		field, err := dataset.ReadRawFloat32(spec.path, spec.dims)
+		if err != nil {
+			return err
+		}
+		st, err := aw.CompressFloat64(spec.name, field.Data, spec.dims, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %v  %d -> %d bytes (CR %.2fx)\n",
+			spec.name, spec.dims, st.OrigBytes, st.CompressedBytes, st.CRTotal)
+	}
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+func openArchive(path string) (*dpz.ArchiveReader, *os.File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := in.Stat()
+	if err != nil {
+		in.Close()
+		return nil, nil, err
+	}
+	ar, err := dpz.OpenArchive(in, info.Size())
+	if err != nil {
+		in.Close()
+		return nil, nil, err
+	}
+	return ar, in, nil
+}
+
+func runList(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dpzarchive list archive.dpza")
+	}
+	ar, in, err := openArchive(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	for _, name := range ar.Fields() {
+		raw, err := ar.Stream(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %d bytes\n", name, len(raw))
+	}
+	fmt.Printf("%d fields\n", ar.Len())
+	return nil
+}
+
+func runExtract(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: dpzarchive extract archive.dpza field out.f32")
+	}
+	ar, in, err := openArchive(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	data, dims, err := ar.DecompressFloat64(args[1])
+	if err != nil {
+		return err
+	}
+	field := &dataset.Field{Name: args[1], Dims: dims, Data: data}
+	if err := dataset.WriteRawFloat32(field, args[2]); err != nil {
+		return err
+	}
+	fmt.Printf("extracted %s %v -> %s\n", args[1], dims, args[2])
+	return nil
+}

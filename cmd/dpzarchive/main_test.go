@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpz/internal/dataset"
+)
+
+func TestParseFieldSpec(t *testing.T) {
+	spec, err := parseFieldSpec("fldsc:180x360:data/f.f32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.name != "fldsc" || spec.path != "data/f.f32" || len(spec.dims) != 2 || spec.dims[1] != 360 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	for _, bad := range []string{"", "a:b", "a::f", ":10:f", "a:10:", "a:0x5:f", "a:axb:f"} {
+		if _, err := parseFieldSpec(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestPackListExtractEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Generate two raw fields.
+	f1 := dataset.CESM("FLDSC", 48, 96, 95)
+	f2 := dataset.CESM("PHIS", 48, 96, 96)
+	p1 := filepath.Join(dir, "fldsc.f32")
+	p2 := filepath.Join(dir, "phis.f32")
+	if err := dataset.WriteRawFloat32(f1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteRawFloat32(f2, p2); err != nil {
+		t.Fatal(err)
+	}
+	arc := filepath.Join(dir, "c.dpza")
+
+	if err := run([]string{"pack", "-scheme", "strict", "-tve", "4", arc,
+		"fldsc:48x96:" + p1, "phis:48x96:" + p2}); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	if err := run([]string{"list", arc}); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	out := filepath.Join(dir, "recon.f32")
+	if err := run([]string{"extract", arc, "phis", out}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	got, err := dataset.ReadRawFloat32(out, []int{48, 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != f2.Len() {
+		t.Fatalf("extracted %d values", len(got.Data))
+	}
+	// Error paths.
+	if err := run([]string{"extract", arc, "missing", out}); err == nil {
+		t.Fatal("expected error for missing field")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("expected error for unknown subcommand")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("expected usage error")
+	}
+	if err := run([]string{"pack", arc}); err == nil {
+		t.Fatal("expected pack usage error")
+	}
+	if err := run([]string{"pack", "-scheme", "weird", arc, "a:4x4:" + p1}); err == nil {
+		t.Fatal("expected scheme error")
+	}
+	_ = os.Remove(out)
+}

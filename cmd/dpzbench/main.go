@@ -1,0 +1,71 @@
+// Command dpzbench regenerates the paper's tables and figures. Each
+// experiment prints the rows/series the paper reports; Figure 7 also emits
+// PGM visualizations when -artifacts is set.
+//
+// Usage:
+//
+//	dpzbench -list
+//	dpzbench -exp fig6 -scale 0.1
+//	dpzbench -exp all -scale 0.08 -artifacts out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dpz/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment to run (see -list) or 'all'")
+		scale     = flag.Float64("scale", 0.08, "dataset scale relative to the paper's native sizes (0,1]")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		artifacts = flag.String("artifacts", "", "directory for image artifacts (fig7)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-10s %s\n", r.Name, r.Title)
+		}
+		return
+	}
+	if *artifacts != "" {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Workers:     *workers,
+		Out:         os.Stdout,
+		ArtifactDir: *artifacts,
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.Runners()
+	} else {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dpzbench: unknown experiment %q; known: %v\n", *exp, experiments.Names())
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("\n===== %s: %s (scale %g) =====\n", r.Name, r.Title, *scale)
+		t0 := time.Now()
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dpzbench: %s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("----- %s done in %v -----\n", r.Name, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,94 @@
+// Command dpzstat reports the reconstruction quality of a DPZ stream
+// against the original raw float32 field: PSNR, SSIM (2-D), mean relative
+// error θ, max error, compression ratio and bit rate.
+//
+// Usage:
+//
+//	dpzstat -dims 180x360 original.f32 compressed.dpz
+//	dpzstat -dims 180x360 -rank 4 original.f32 compressed.dpz   # preview quality
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dpzstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("dpzstat", flag.ContinueOnError)
+	dimsStr := fs.String("dims", "", "original dimensions, e.g. 180x360")
+	rank := fs.Int("rank", 0, "decompress with only the leading components (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 || *dimsStr == "" {
+		return fmt.Errorf("usage: dpzstat -dims AxB [-rank K] original.f32 compressed.dpz")
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	orig, err := dataset.ReadRawFloat32(rest[0], dims)
+	if err != nil {
+		return err
+	}
+	stream, err := os.ReadFile(rest[1])
+	if err != nil {
+		return err
+	}
+	recon, gotDims, err := dpz.DecompressRankFloat64(stream, *rank)
+	if err != nil {
+		return err
+	}
+	if len(gotDims) != len(dims) {
+		return fmt.Errorf("stream dims %v do not match -dims %v", gotDims, dims)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			return fmt.Errorf("stream dims %v do not match -dims %v", gotDims, dims)
+		}
+	}
+	cr := dpz.CompressionRatio(4*orig.Len(), len(stream))
+	fmt.Fprintf(out, "values:       %d %v\n", orig.Len(), dims)
+	fmt.Fprintf(out, "compressed:   %d bytes (CR %.2fx, %.3f bits/value)\n",
+		len(stream), cr, dpz.BitRate(cr, 32))
+	fmt.Fprintf(out, "PSNR:         %.2f dB\n", dpz.PSNR(orig.Data, recon))
+	fmt.Fprintf(out, "mean θ:       %.4g\n", dpz.MeanRelativeError(orig.Data, recon))
+	fmt.Fprintf(out, "max |err|:    %.4g\n", dpz.MaxAbsError(orig.Data, recon))
+	if len(dims) == 2 {
+		fmt.Fprintf(out, "SSIM:         %.4f\n", dpz.SSIM(orig.Data, recon, dims[0], dims[1]))
+	}
+	if *rank > 0 {
+		fmt.Fprintf(out, "(progressive: %d leading components)\n", *rank)
+	}
+	return nil
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) < 1 || len(parts) > 4 {
+		return nil, fmt.Errorf("dims %q must have 1-4 components", s)
+	}
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
+		}
+		dims[i] = v
+	}
+	return dims, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	f := dataset.CESM("FLDSC", 48, 96, 121)
+	orig := filepath.Join(dir, "f.f32")
+	if err := dataset.WriteRawFloat32(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, dpz.StrictOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "f.dpz")
+	if err := os.WriteFile(comp, res.Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	if err := run([]string{"-dims", "48x96", orig, comp}, devnull); err != nil {
+		t.Fatalf("full-rank stat: %v", err)
+	}
+	if err := run([]string{"-dims", "48x96", "-rank", "2", orig, comp}, devnull); err != nil {
+		t.Fatalf("rank-2 stat: %v", err)
+	}
+	// Error paths.
+	if err := run([]string{orig, comp}, devnull); err == nil {
+		t.Fatal("expected usage error without -dims")
+	}
+	if err := run([]string{"-dims", "49x96", orig, comp}, devnull); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	if err := run([]string{"-dims", "48xbad", orig, comp}, devnull); err == nil {
+		t.Fatal("expected dims parse error")
+	}
+	if err := run([]string{"-dims", "48x96", orig, orig}, devnull); err == nil {
+		t.Fatal("expected decode error for raw file as stream")
+	}
+}

@@ -1,0 +1,230 @@
+package dpz_test
+
+import (
+	"math"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+func testField() ([]float32, []int) {
+	f := dataset.CESM("FLDSC", 90, 180, 77)
+	out := make([]float32, len(f.Data))
+	for i, v := range f.Data {
+		out[i] = float32(v)
+	}
+	return out, f.Dims
+}
+
+func TestPublicRoundTrip(t *testing.T) {
+	data, dims := testField()
+	res, err := dpz.Compress(data, dims, dpz.StrictOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, gotDims, err := dpz.Decompress(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != len(data) || gotDims[0] != dims[0] || gotDims[1] != dims[1] {
+		t.Fatalf("shape mismatch: %v / %d values", gotDims, len(recon))
+	}
+	if psnr := dpz.PSNR32(data, recon); psnr < 40 {
+		t.Fatalf("PSNR = %.1f dB", psnr)
+	}
+	if res.Stats.CRTotal < 2 {
+		t.Fatalf("CR = %.2f", res.Stats.CRTotal)
+	}
+}
+
+func TestPublicOptionPresets(t *testing.T) {
+	l, s := dpz.LooseOptions(), dpz.StrictOptions()
+	if l.P != 1e-3 || l.IndexBytes != dpz.Index1Byte {
+		t.Fatalf("loose = %+v", l)
+	}
+	if s.P != 1e-4 || s.IndexBytes != dpz.Index2Byte {
+		t.Fatalf("strict = %+v", s)
+	}
+}
+
+func TestPublicKneePoint(t *testing.T) {
+	data, dims := testField()
+	o := dpz.LooseOptions()
+	o.Selection = dpz.KneePoint
+	o.Fit = dpz.FitPoly
+	res, err := dpz.Compress(data, dims, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.K < 1 || res.Stats.K > res.Stats.Blocks {
+		t.Fatalf("k = %d", res.Stats.K)
+	}
+}
+
+func TestPublicSampling(t *testing.T) {
+	data, dims := testField()
+	o := dpz.StrictOptions()
+	o.UseSampling = true
+	res, err := dpz.Compress(data, dims, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Sampling == nil {
+		t.Fatal("sampling report missing")
+	}
+	if res.Stats.Sampling.Ke != res.Stats.K {
+		t.Fatalf("Ke %d != K %d", res.Stats.Sampling.Ke, res.Stats.K)
+	}
+}
+
+func TestPublicEstimate(t *testing.T) {
+	data, dims := testField()
+	est, err := dpz.EstimateCompression(data, dims, dpz.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Ke < 1 {
+		t.Fatalf("Ke = %d", est.Ke)
+	}
+	if est.CRLow <= 0 || est.CRHigh < est.CRLow {
+		t.Fatalf("CR band [%v, %v]", est.CRLow, est.CRHigh)
+	}
+	if est.MeanVIF < 1 {
+		t.Fatalf("MeanVIF = %v", est.MeanVIF)
+	}
+	// A smooth CESM-like field is exactly DPZ's good case.
+	if est.LowLinearity {
+		t.Fatal("smooth field flagged low linearity")
+	}
+}
+
+func TestPublicEstimateValidation(t *testing.T) {
+	data, _ := testField()
+	if _, err := dpz.EstimateCompression(data, []int{3, 3}, dpz.DefaultOptions()); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	if _, err := dpz.EstimateCompression(data, []int{0, 5}, dpz.DefaultOptions()); err == nil {
+		t.Fatal("expected bad dims error")
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	a := []float64{0, 10}
+	b := []float64{1, 11}
+	if got := dpz.PSNR(a, b); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("PSNR = %v", got)
+	}
+	if got := dpz.MSE(a, b); got != 1 {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := dpz.MaxAbsError(a, b); got != 1 {
+		t.Fatalf("MaxAbsError = %v", got)
+	}
+	if got := dpz.MeanRelativeError(a, b); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MeanRelativeError = %v", got)
+	}
+	if got := dpz.BitRate(16, 32); got != 2 {
+		t.Fatalf("BitRate = %v", got)
+	}
+	if got := dpz.CompressionRatio(100, 25); got != 4 {
+		t.Fatalf("CompressionRatio = %v", got)
+	}
+	if got := dpz.Nines(4); math.Abs(got-0.9999) > 1e-12 {
+		t.Fatalf("Nines(4) = %v", got)
+	}
+}
+
+func TestPublicDiagnostics(t *testing.T) {
+	data, dims := testField()
+	o := dpz.LooseOptions()
+	o.CollectDiagnostics = true
+	res, err := dpz.Compress(data, dims, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stage12PSNR == 0 || res.Stats.FinalPSNR == 0 {
+		t.Fatal("diagnostics missing")
+	}
+}
+
+func TestPublicNewOptions(t *testing.T) {
+	data, dims := testField()
+	o := dpz.StrictOptions()
+	o.Use2DDCT = true
+	o.CoeffTruncate = 0.25
+	res, err := dpz.Compress(data, dims, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := dpz.Decompress(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr := dpz.PSNR32(data, recon); psnr < 30 {
+		t.Fatalf("2-D DCT + truncation PSNR %.1f", psnr)
+	}
+}
+
+func TestPublicDoublePrecision(t *testing.T) {
+	f := dataset.CESM("FLDSC", 60, 120, 88)
+	o := dpz.StrictOptions()
+	o.DoublePrecision = true
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.OrigBytes != 8*f.Len() {
+		t.Fatalf("double-precision accounting: OrigBytes %d, want %d", res.Stats.OrigBytes, 8*f.Len())
+	}
+	recon, _, err := dpz.DecompressFloat64(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr := dpz.PSNR(f.Data, recon); psnr < 30 {
+		t.Fatalf("double-precision PSNR %.1f", psnr)
+	}
+}
+
+func TestPublicDecompressRank(t *testing.T) {
+	data, dims := testField()
+	res, err := dpz.Compress(data, dims, dpz.StrictOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preview, _, err := dpz.DecompressRank(res.Data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := dpz.DecompressRank(res.Data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPrev := dpz.PSNR32(data, preview)
+	pFull := dpz.PSNR32(data, full)
+	if pFull < pPrev {
+		t.Fatalf("full rank PSNR %.2f below 1-component preview %.2f", pFull, pPrev)
+	}
+}
+
+func TestPublicTuneForPSNR(t *testing.T) {
+	data, dims := testField()
+	opts, achieved, err := dpz.TuneForPSNR(data, dims, 42, dpz.StrictOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if achieved < 42 {
+		t.Fatalf("achieved %.1f dB", achieved)
+	}
+	res, err := dpz.Compress(data, dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := dpz.Decompress(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr := dpz.PSNR32(data, recon); psnr < 42 {
+		t.Fatalf("tuned options deliver %.1f dB", psnr)
+	}
+}

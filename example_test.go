@@ -1,0 +1,84 @@
+package dpz_test
+
+import (
+	"fmt"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+// ExampleCompress demonstrates the basic compress → decompress loop.
+func ExampleCompress() {
+	// A synthetic 120×240 climate field (any []float32 with row-major
+	// dims works identically).
+	field := dataset.CESM("FLDSC", 120, 240, 7)
+	values := make([]float32, len(field.Data))
+	for i, v := range field.Data {
+		values[i] = float32(v)
+	}
+
+	opts := dpz.StrictOptions() // DPZ-s: P = 1e-4, 2-byte indices
+	opts.TVE = dpz.Nines(5)     // keep 99.999% of the variance
+
+	res, err := dpz.Compress(values, field.Dims, opts)
+	if err != nil {
+		panic(err)
+	}
+	recon, dims, err := dpz.Decompress(res.Data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dims %v, %d values\n", dims, len(recon))
+	fmt.Printf("compressed: CR > 5: %v\n", res.Stats.CRTotal > 5)
+	fmt.Printf("fidelity:   PSNR > 40 dB: %v\n", dpz.PSNR32(values, recon) > 40)
+	// Output:
+	// dims [120 240], 28800 values
+	// compressed: CR > 5: true
+	// fidelity:   PSNR > 40 dB: true
+}
+
+// ExampleEstimateCompression shows the pre-compression probe.
+func ExampleEstimateCompression() {
+	field := dataset.CESM("PHIS", 120, 240, 8)
+	values := make([]float32, len(field.Data))
+	for i, v := range field.Data {
+		values[i] = float32(v)
+	}
+	est, err := dpz.EstimateCompression(values, field.Dims, dpz.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("low linearity: %v\n", est.LowLinearity)
+	fmt.Printf("k estimated:   %v\n", est.Ke >= 1)
+	fmt.Printf("CR band valid: %v\n", est.CRLow > 1 && est.CRHigh >= est.CRLow)
+	// Output:
+	// low linearity: false
+	// k estimated:   true
+	// CR band valid: true
+}
+
+// ExampleDecompressRank shows progressive decompression: a coarse preview
+// from one principal component, then the full reconstruction.
+func ExampleDecompressRank() {
+	field := dataset.CESM("FLDSC", 120, 240, 9)
+	values := make([]float32, len(field.Data))
+	for i, v := range field.Data {
+		values[i] = float32(v)
+	}
+	res, err := dpz.Compress(values, field.Dims, dpz.StrictOptions())
+	if err != nil {
+		panic(err)
+	}
+	preview, _, err := dpz.DecompressRank(res.Data, 1) // 1 component
+	if err != nil {
+		panic(err)
+	}
+	full, _, err := dpz.DecompressRank(res.Data, 0) // all components
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("preview below full fidelity: %v\n",
+		dpz.PSNR32(values, preview) < dpz.PSNR32(values, full))
+	// Output:
+	// preview below full fidelity: true
+}

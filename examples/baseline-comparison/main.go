@@ -1,0 +1,47 @@
+// Baseline comparison: run every compressor family in the repository —
+// DPZ (both schemes), SZ (prediction), ZFP (transform + bit planes), DCTZ
+// (DPZ's predecessor), MGARD (multigrid) and TTHRESH (tensor) — on the
+// same field at comparable settings and print the rate-distortion panel.
+// A one-command miniature of the paper's Figure 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"dpz/internal/compare"
+	"dpz/internal/dataset"
+)
+
+func main() {
+	name := "FLDSC"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	f, err := dataset.Generate(name, 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s %v (%d values)\n\n", f.Name, f.Dims, f.Len())
+
+	pts, err := compare.Sweep(compare.DefaultPanel(), f.Data, f.Dims)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Best compression first.
+	sort.Slice(pts, func(i, j int) bool { return pts[i].CR > pts[j].CR })
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "compressor\tsetting\tCR\tbits/value\tPSNR(dB)\tmax |err|\tcompress\tdecompress")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.3f\t%.2f\t%.3g\t%v\t%v\n",
+			p.Codec, p.Setting, p.CR, p.BitRate, p.PSNR, p.MaxAbsError,
+			p.CompressTime.Round(100_000), p.DecompressTime.Round(100_000))
+	}
+	tw.Flush()
+	fmt.Println("\nnote: settings are representative, not matched operating")
+	fmt.Println("points; run cmd/dpzbench -exp fig6 for the full sweep.")
+}

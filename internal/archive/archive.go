@@ -1,0 +1,210 @@
+// Package archive implements a simple multi-field container for DPZ
+// streams: a climate or simulation campaign writes many named fields into
+// one file and reads any of them back without scanning the rest. The
+// layout is append-friendly (entries stream out as they are added; the
+// index lands at the tail):
+//
+//	magic "DPZA" | version u8
+//	per entry: payload bytes
+//	index: count u32, then per entry (nameLen u16, name, offset u64, length u64)
+//	footer: indexLen u64 | magic "DPZA"
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+var magic = []byte("DPZA")
+
+const version = 1
+
+// entry locates one field inside the container.
+type entry struct {
+	name   string
+	offset int64
+	length int64
+}
+
+// Writer appends named payloads to an io.Writer and finishes with the
+// index. Close must be called exactly once; the Writer is not safe for
+// concurrent use.
+type Writer struct {
+	w       io.Writer
+	off     int64
+	entries []entry
+	names   map[string]bool
+	closed  bool
+}
+
+// NewWriter starts a container on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	aw := &Writer{w: w, names: make(map[string]bool)}
+	n, err := w.Write(append(append([]byte{}, magic...), version))
+	aw.off = int64(n)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	return aw, nil
+}
+
+// Append stores payload under name. Names must be unique, non-empty and
+// at most 65535 bytes.
+func (a *Writer) Append(name string, payload []byte) error {
+	if a.closed {
+		return errors.New("archive: writer closed")
+	}
+	if name == "" || len(name) > math.MaxUint16 {
+		return fmt.Errorf("archive: invalid field name length %d", len(name))
+	}
+	if a.names[name] {
+		return fmt.Errorf("archive: duplicate field %q", name)
+	}
+	n, err := a.w.Write(payload)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	a.entries = append(a.entries, entry{name: name, offset: a.off, length: int64(n)})
+	a.names[name] = true
+	a.off += int64(n)
+	return nil
+}
+
+// Close writes the index and footer.
+func (a *Writer) Close() error {
+	if a.closed {
+		return errors.New("archive: writer closed")
+	}
+	a.closed = true
+	var idx []byte
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(a.entries)))
+	idx = append(idx, b8[:4]...)
+	for _, e := range a.entries {
+		var b2 [2]byte
+		binary.LittleEndian.PutUint16(b2[:], uint16(len(e.name)))
+		idx = append(idx, b2[:]...)
+		idx = append(idx, e.name...)
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.offset))
+		idx = append(idx, b8[:]...)
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.length))
+		idx = append(idx, b8[:]...)
+	}
+	if _, err := a.w.Write(idx); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(idx)))
+	if _, err := a.w.Write(b8[:]); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if _, err := a.w.Write(magic); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	return nil
+}
+
+// Reader provides random access to a finished container.
+type Reader struct {
+	r       io.ReaderAt
+	entries []entry
+	byName  map[string]int
+}
+
+// OpenReader parses the index of a container of the given total size.
+func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(len(magic)+1+8+len(magic)) {
+		return nil, errors.New("archive: too short")
+	}
+	head := make([]byte, len(magic)+1)
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if string(head[:4]) != string(magic) {
+		return nil, errors.New("archive: bad magic")
+	}
+	if head[4] != version {
+		return nil, fmt.Errorf("archive: unsupported version %d", head[4])
+	}
+	foot := make([]byte, 8+len(magic))
+	if _, err := r.ReadAt(foot, size-int64(len(foot))); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if string(foot[8:]) != string(magic) {
+		return nil, errors.New("archive: bad footer magic")
+	}
+	idxLen := int64(binary.LittleEndian.Uint64(foot[:8]))
+	idxStart := size - int64(len(foot)) - idxLen
+	if idxLen < 4 || idxStart < int64(len(head)) {
+		return nil, errors.New("archive: corrupt index size")
+	}
+	idx := make([]byte, idxLen)
+	if _, err := r.ReadAt(idx, idxStart); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	count := int(binary.LittleEndian.Uint32(idx[:4]))
+	// Each entry needs at least 18 index bytes (nameLen + empty-name
+	// bound + offset + length); a larger declared count is corruption and
+	// must not pre-size the lookup map (found by FuzzOpenReader).
+	if count > (len(idx)-4)/18 {
+		return nil, fmt.Errorf("archive: index declares %d entries in %d bytes", count, len(idx))
+	}
+	pos := 4
+	rd := &Reader{r: r, byName: make(map[string]int, count)}
+	for i := 0; i < count; i++ {
+		if pos+2 > len(idx) {
+			return nil, errors.New("archive: truncated index")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(idx[pos:]))
+		pos += 2
+		if pos+nameLen+16 > len(idx) {
+			return nil, errors.New("archive: truncated index entry")
+		}
+		name := string(idx[pos : pos+nameLen])
+		pos += nameLen
+		off := int64(binary.LittleEndian.Uint64(idx[pos:]))
+		pos += 8
+		length := int64(binary.LittleEndian.Uint64(idx[pos:]))
+		pos += 8
+		if off < int64(len(head)) || length < 0 || off+length > idxStart {
+			return nil, fmt.Errorf("archive: entry %q out of bounds", name)
+		}
+		if _, dup := rd.byName[name]; dup {
+			return nil, fmt.Errorf("archive: duplicate entry %q", name)
+		}
+		rd.byName[name] = len(rd.entries)
+		rd.entries = append(rd.entries, entry{name: name, offset: off, length: length})
+	}
+	if pos != len(idx) {
+		return nil, errors.New("archive: trailing index bytes")
+	}
+	return rd, nil
+}
+
+// Names lists the stored fields in append order.
+func (r *Reader) Names() []string {
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Len returns the number of stored fields.
+func (r *Reader) Len() int { return len(r.entries) }
+
+// Payload reads the raw bytes of the named field.
+func (r *Reader) Payload(name string) ([]byte, error) {
+	i, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("archive: no field %q", name)
+	}
+	e := r.entries[i]
+	buf := make([]byte, e.length)
+	if _, err := r.r.ReadAt(buf, e.offset); err != nil {
+		return nil, fmt.Errorf("archive: reading %q: %w", name, err)
+	}
+	return buf, nil
+}

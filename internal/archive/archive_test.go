@@ -1,0 +1,133 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildArchive(t *testing.T, fields map[string][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic order.
+	for i := 0; i < len(fields); i++ {
+		name := fmt.Sprintf("field%02d", i)
+		if err := w.Append(name, fields[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	fields := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		b := make([]byte, rng.Intn(5000))
+		rng.Read(b)
+		fields[fmt.Sprintf("field%02d", i)] = b
+	}
+	raw := buildArchive(t, fields)
+	r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	names := r.Names()
+	for i, n := range names {
+		if n != fmt.Sprintf("field%02d", i) {
+			t.Fatalf("names out of order: %v", names)
+		}
+		got, err := r.Payload(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, fields[n]) {
+			t.Fatalf("payload %s differs", n)
+		}
+	}
+}
+
+func TestEmptyArchive(t *testing.T) {
+	raw := buildArchive(t, nil)
+	r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if _, err := r.Payload("missing"); err == nil {
+		t.Fatal("expected error for missing field")
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("", []byte("x")); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if err := w.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("a", []byte("y")); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("b", nil); err == nil {
+		t.Fatal("expected closed error")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("expected double-close error")
+	}
+}
+
+func TestOpenRejectsCorrupt(t *testing.T) {
+	raw := buildArchive(t, map[string][]byte{"field00": []byte("hello")})
+	if _, err := OpenReader(bytes.NewReader(raw[:3]), 3); err == nil {
+		t.Fatal("expected too-short error")
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] = 'X'
+	if _, err := OpenReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	tail := append([]byte{}, raw...)
+	tail[len(tail)-1] = 'X'
+	if _, err := OpenReader(bytes.NewReader(tail), int64(len(tail))); err == nil {
+		t.Fatal("expected footer error")
+	}
+	// Corrupt index length.
+	lenPos := len(raw) - len(magic) - 8
+	big := append([]byte{}, raw...)
+	big[lenPos] = 0xFF
+	big[lenPos+1] = 0xFF
+	if _, err := OpenReader(bytes.NewReader(big), int64(len(big))); err == nil {
+		t.Fatal("expected index-size error")
+	}
+}
+
+func TestLargeNames(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	long := make([]byte, 70000)
+	if err := w.Append(string(long), []byte("x")); err == nil {
+		t.Fatal("expected error for oversized name")
+	}
+}

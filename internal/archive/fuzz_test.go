@@ -1,0 +1,31 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpenReader drives the container index parser with arbitrary bytes:
+// never panic; accepted archives must serve every listed payload.
+func FuzzOpenReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Append("a", []byte("hello"))
+	w.Append("b", make([]byte, 100))
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("DPZA\x01"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+		if err != nil {
+			return
+		}
+		for _, name := range r.Names() {
+			if _, err := r.Payload(name); err != nil {
+				t.Fatalf("accepted archive cannot read %q: %v", name, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Package bits implements an MSB-first bit stream writer/reader. It is the
+// encoding substrate for the ZFP-like baseline's embedded bit-plane coder
+// and the canonical Huffman coder used by the SZ-like baseline.
+package bits
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfBits is returned when a read runs past the end of the stream.
+var ErrOutOfBits = errors.New("bits: read past end of stream")
+
+// Writer accumulates bits MSB-first into a byte buffer.
+type Writer struct {
+	buf  []byte
+	cur  uint8
+	nfil uint // bits filled in cur (0..7)
+}
+
+// NewWriter creates an empty bit writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (any nonzero b writes 1).
+func (w *Writer) WriteBit(b uint) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.nfil++
+	if w.nfil == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		w.nfil = 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: WriteBits count %d > 64", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v>>uint(i)) & 1)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nfil) }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer. The
+// writer remains usable; subsequent writes continue after the flushed
+// content only if the bit count was a multiple of 8, so callers should
+// treat Bytes as terminal.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nfil > 0 {
+		out = append(out, w.cur<<(8-w.nfil))
+	}
+	return out
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewReader wraps buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, ErrOutOfBits
+	}
+	shift := 7 - uint(r.pos&7)
+	b := uint(r.buf[byteIdx]>>shift) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits reads n bits MSB-first into the low bits of the result.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bits: ReadBits count %d > 64", n))
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// Pos returns the current bit position.
+func (r *Reader) Pos() int { return r.pos }

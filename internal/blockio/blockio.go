@@ -1,0 +1,142 @@
+// Package blockio implements DPZ's Stage 1 data decomposition: flattening
+// an arbitrary-dimensional array into a block-based 2-D matrix of M blocks
+// × N datapoints while preserving the original data order (Section IV-A).
+// Preserving order keeps spatial locality inside and across blocks, which
+// is what makes neighboring blocks collinear features for the PCA stage.
+package blockio
+
+import (
+	"fmt"
+
+	"dpz/internal/mat"
+)
+
+// DefaultMaxBlocks caps the number of blocks M. PCA's eigendecomposition
+// is O(M³), so M is bounded to keep Stage 2 tractable on large inputs; the
+// cap can be overridden per compression via Shape's maxM argument.
+const DefaultMaxBlocks = 2048
+
+// Shape describes a chosen block decomposition.
+type Shape struct {
+	M      int // number of blocks (features)
+	N      int // datapoints per block (samples)
+	Padded int // padded total M*N (>= original length)
+}
+
+// ChooseShape selects the block decomposition for a flattened array of
+// `total` values, following the paper's rule: under the constraint M < N,
+// prefer the largest M (equivalently the smallest ratio N/M > 1), because
+// larger M yields higher compression ratios. maxM caps M (0 means
+// DefaultMaxBlocks). When no divisor pair of the original total gives a
+// ratio within reason, the array is edge-padded to the next power of two,
+// which always factors as M×2M.
+func ChooseShape(total, maxM int) (Shape, error) {
+	if total < 4 {
+		return Shape{}, fmt.Errorf("blockio: input too small to decompose (%d values)", total)
+	}
+	if maxM <= 0 {
+		maxM = DefaultMaxBlocks
+	}
+	if best, ok := bestDivisorPair(total, maxM); ok {
+		return best, nil
+	}
+	// No acceptable factorization (prime or near-prime total): pad to the
+	// next power of two, which splits as M = 2^(floor(log2 t / 2)).
+	p := 1
+	for p < total {
+		p <<= 1
+	}
+	s, ok := bestDivisorPair(p, maxM)
+	if !ok {
+		return Shape{}, fmt.Errorf("blockio: cannot decompose %d values", total)
+	}
+	return s, nil
+}
+
+// bestDivisorPair finds M*N = total with 2 <= M <= maxM, M < N, minimizing
+// N/M. Returns ok=false when the total has no reasonable factorization: a
+// ratio above maxRatio signals a near-prime total better served by
+// padding — unless the caller's maxM cap is itself what forces the ratio,
+// in which case the capped pair is accepted as requested.
+func bestDivisorPair(total, maxM int) (Shape, bool) {
+	const maxRatio = 64.0
+	best := Shape{}
+	found, capped := false, false
+	for m := 2; m*m < total; m++ {
+		if total%m != 0 {
+			continue
+		}
+		if m > maxM {
+			capped = true
+			break
+		}
+		best = Shape{M: m, N: total / m, Padded: total}
+		found = true
+	}
+	if !found {
+		return Shape{}, false
+	}
+	if !capped && float64(best.N)/float64(best.M) > maxRatio {
+		return Shape{}, false
+	}
+	return best, true
+}
+
+// ShapeFor picks the decomposition for a multidimensional array described
+// by dims. Natively 2-D data whose smaller dimension is the row count
+// keeps its own shape when that shape satisfies the constraints (the CESM
+// case: 1800 blocks × 3600 points); everything else is flattened and
+// factored by ChooseShape.
+func ShapeFor(dims []int, maxM int) (Shape, error) {
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return Shape{}, fmt.Errorf("blockio: non-positive dimension %v", dims)
+		}
+		total *= d
+	}
+	if maxM <= 0 {
+		maxM = DefaultMaxBlocks
+	}
+	if len(dims) == 2 {
+		m, n := dims[0], dims[1]
+		if m > n {
+			m, n = n, m
+		}
+		if m >= 2 && m < n && m <= maxM {
+			return Shape{M: m, N: n, Padded: total}, nil
+		}
+	}
+	return ChooseShape(total, maxM)
+}
+
+// Decompose lays out data (length <= shape.Padded) as an M×N block matrix
+// (row i = block i), edge-padding with the final value when the shape was
+// padded. Data order is preserved: block i holds data[i*N : (i+1)*N].
+func Decompose(data []float64, s Shape) (*mat.Dense, error) {
+	if len(data) > s.Padded || len(data) == 0 {
+		return nil, fmt.Errorf("blockio: data length %d incompatible with padded size %d", len(data), s.Padded)
+	}
+	if s.M*s.N != s.Padded {
+		return nil, fmt.Errorf("blockio: inconsistent shape %d×%d != %d", s.M, s.N, s.Padded)
+	}
+	buf := make([]float64, s.Padded)
+	copy(buf, data)
+	last := data[len(data)-1]
+	for i := len(data); i < s.Padded; i++ {
+		buf[i] = last
+	}
+	return mat.NewDenseData(s.M, s.N, buf), nil
+}
+
+// Recompose flattens the M×N block matrix back into the original order and
+// truncates to origLen (dropping any padding).
+func Recompose(blocks *mat.Dense, origLen int) ([]float64, error) {
+	d := blocks.Data()
+	if origLen > len(d) || origLen < 0 {
+		return nil, fmt.Errorf("blockio: original length %d exceeds block data %d", origLen, len(d))
+	}
+	out := make([]float64, origLen)
+	copy(out, d[:origLen])
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package blockio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChooseShapePowerOfTwo(t *testing.T) {
+	// The paper's example: 128³ = 2²¹ decomposes as 1024×2048.
+	s, err := ChooseShape(128*128*128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M != 1024 || s.N != 2048 {
+		t.Fatalf("shape = %dx%d, want 1024x2048", s.M, s.N)
+	}
+	if s.Padded != 128*128*128 {
+		t.Fatalf("padded = %d", s.Padded)
+	}
+}
+
+func TestChooseShapeRespectsMaxM(t *testing.T) {
+	s, err := ChooseShape(1<<21, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M > 512 {
+		t.Fatalf("M = %d exceeds cap 512", s.M)
+	}
+	if s.M*s.N != s.Padded {
+		t.Fatal("inconsistent shape")
+	}
+}
+
+func TestChooseShapePrimePads(t *testing.T) {
+	// 104729 is prime: must pad to the next power of two (131072 = 2¹⁷
+	// -> 256×512).
+	s, err := ChooseShape(104729, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Padded < 104729 {
+		t.Fatalf("padded %d smaller than input", s.Padded)
+	}
+	if s.M*s.N != s.Padded || s.M >= s.N {
+		t.Fatalf("bad padded shape %dx%d=%d", s.M, s.N, s.Padded)
+	}
+}
+
+func TestChooseShapeTooSmall(t *testing.T) {
+	if _, err := ChooseShape(3, 0); err == nil {
+		t.Fatal("expected error for tiny input")
+	}
+}
+
+func TestShapeForNative2D(t *testing.T) {
+	// The CESM case: 1800×3600 keeps its native block structure.
+	s, err := ShapeFor([]int{1800, 3600}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M != 1800 || s.N != 3600 {
+		t.Fatalf("shape = %dx%d, want 1800x3600", s.M, s.N)
+	}
+	// Transposed dims must give the same (M < N) orientation.
+	s2, err := ShapeFor([]int{3600, 1800}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.M != 1800 || s2.N != 3600 {
+		t.Fatalf("transposed shape = %dx%d", s2.M, s2.N)
+	}
+}
+
+func TestShapeFor3D(t *testing.T) {
+	s, err := ShapeFor([]int{64, 64, 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.M*s.N != 64*64*64 || s.M >= s.N {
+		t.Fatalf("3-D shape %dx%d", s.M, s.N)
+	}
+	// 2¹⁸ has no divisor pair with M<N closer than 256×1024.
+	if s.M != 256 || s.N != 1024 {
+		t.Fatalf("3-D shape = %dx%d, want 256x1024", s.M, s.N)
+	}
+}
+
+func TestShapeForRejectsBadDims(t *testing.T) {
+	if _, err := ShapeFor([]int{10, 0}, 0); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+}
+
+func TestDecomposeRecomposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 1000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	s, err := ChooseShape(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := Decompose(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Recompose(blocks, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}
+
+func TestDecomposePreservesOrder(t *testing.T) {
+	data := make([]float64, 24)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	s := Shape{M: 4, N: 6, Padded: 24}
+	blocks, err := Decompose(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block i must hold data[i*N : (i+1)*N].
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			if blocks.At(i, j) != float64(i*6+j) {
+				t.Fatalf("block (%d,%d) = %v", i, j, blocks.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDecomposeEdgePadding(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	s := Shape{M: 2, N: 4, Padded: 8}
+	blocks, err := Decompose(data, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := blocks.Data()
+	for i := 5; i < 8; i++ {
+		if flat[i] != 5 {
+			t.Fatalf("padding value at %d = %v, want 5 (edge value)", i, flat[i])
+		}
+	}
+	back, err := Recompose(blocks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 || back[4] != 5 {
+		t.Fatalf("recompose with padding = %v", back)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, err := Decompose(nil, Shape{M: 2, N: 2, Padded: 4}); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+	if _, err := Decompose(make([]float64, 10), Shape{M: 2, N: 2, Padded: 4}); err == nil {
+		t.Fatal("expected error for oversized data")
+	}
+	if _, err := Decompose(make([]float64, 4), Shape{M: 2, N: 3, Padded: 4}); err == nil {
+		t.Fatal("expected error for inconsistent shape")
+	}
+}
+
+func TestShapeInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := 4 + rng.Intn(1<<18)
+		s, err := ChooseShape(total, 0)
+		if err != nil {
+			return false
+		}
+		return s.M >= 2 && s.M < s.N && s.M*s.N == s.Padded && s.Padded >= total && s.M <= DefaultMaxBlocks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package compare
+
+import (
+	"strings"
+	"testing"
+
+	"dpz/internal/dataset"
+)
+
+func TestDefaultPanelOn2D(t *testing.T) {
+	f := dataset.CESM("FLDSC", 48, 96, 91)
+	pts, err := Sweep(DefaultPanel(), f.Data, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(DefaultPanel()) {
+		t.Fatalf("%d points for %d codecs", len(pts), len(DefaultPanel()))
+	}
+	seen := map[string]bool{}
+	for _, p := range pts {
+		if p.CR <= 0 || p.BitRate <= 0 {
+			t.Fatalf("%s: non-positive rate (%+v)", p.Codec, p)
+		}
+		if p.PSNR < 10 {
+			t.Fatalf("%s: implausible PSNR %.1f", p.Codec, p.PSNR)
+		}
+		if p.CompressTime <= 0 || p.DecompressTime <= 0 {
+			t.Fatalf("%s: missing timings", p.Codec)
+		}
+		seen[p.Codec] = true
+	}
+	for _, want := range []string{"DPZ-l", "DPZ-s", "SZ", "ZFP", "DCTZ", "MGARD", "TTHRESH"} {
+		if !seen[want] {
+			t.Fatalf("panel missing %s", want)
+		}
+	}
+}
+
+func TestSweepSkipsUnsupportedDims(t *testing.T) {
+	f := dataset.HACCX(2048, 92)
+	pts, err := Sweep(DefaultPanel(), f.Data, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Codec == "TTHRESH" {
+			t.Fatal("TTHRESH must skip 1-D data")
+		}
+	}
+	if len(pts) != len(DefaultPanel())-1 {
+		t.Fatalf("%d points", len(pts))
+	}
+}
+
+func TestCodecLabels(t *testing.T) {
+	for _, c := range DefaultPanel() {
+		if c.Name() == "" || c.Setting() == "" {
+			t.Fatalf("codec with empty labels: %T", c)
+		}
+	}
+	d := NewDPZ("l", 4)
+	if d.Name() != "DPZ-l" || !strings.Contains(d.Setting(), "0.9999") {
+		t.Fatalf("DPZ labels: %s %s", d.Name(), d.Setting())
+	}
+	k := NewDPZ("s", 5)
+	if k.Name() != "DPZ-s" {
+		t.Fatalf("scheme label %s", k.Name())
+	}
+}
+
+func TestMeasurePropagatesErrors(t *testing.T) {
+	f := dataset.HACCX(2048, 93)
+	// TTHRESH on 1-D must error if forced through Measure.
+	if _, err := Measure(TTHRESHCodec{RMSE: 1e-3}, f.Data, f.Dims); err == nil {
+		t.Fatal("expected error for unsupported dims")
+	}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dpz/internal/blockio"
+	"dpz/internal/knee"
+	"dpz/internal/mat"
+	"dpz/internal/pca"
+	"dpz/internal/quant"
+	"dpz/internal/sampling"
+	"dpz/internal/stats"
+	"dpz/internal/transform"
+)
+
+// Stats records everything the evaluation section reports about one
+// compression: sizes, per-stage compression ratios (Table III), optional
+// per-stage accuracy (Table IV), stage timings (Figure 9), and the
+// sampling report when Algorithm 2 ran.
+type Stats struct {
+	OrigBytes       int // original size at 4 bytes/value (float32 basis)
+	CompressedBytes int
+
+	M, N, K      int
+	TVEAchieved  float64
+	Standardized bool
+	OutOfRange   int // Stage 3 escape literals
+
+	CRTotal   float64 // OrigBytes / CompressedBytes
+	CRStage12 float64 // decomposition + DCT + k-PCA reduction factor
+	CRStage3  float64 // quantization reduction factor
+	CRZlib    float64 // lossless add-on reduction factor
+
+	// Stage12PSNR / FinalPSNR are filled only when CollectDiagnostics is
+	// set: the PSNR of the k-PCA-only reconstruction (exact scores) and of
+	// the full pipeline (quantized scores + float32 side data).
+	Stage12PSNR float64
+	FinalPSNR   float64
+
+	TimeDecompose time.Duration
+	TimeDCT       time.Duration
+	TimePCA       time.Duration
+	TimeQuant     time.Duration
+	TimeZlib      time.Duration
+	TimeTotal     time.Duration
+
+	Sampling *sampling.Report
+}
+
+// Compressed is the result of Compress.
+type Compressed struct {
+	Bytes []byte
+	Stats Stats
+}
+
+// Compress runs the full DPZ pipeline on data with the given logical
+// dimensions (row-major, slowest first; the product must equal len(data)).
+func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("core: non-positive dimension in %v", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return nil, fmt.Errorf("core: dims %v describe %d values, data has %d", dims, total, len(data))
+	}
+	for i, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: non-finite value at index %d (NaN/Inf input unsupported)", i)
+		}
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	elemBytes := p.ElemBytes
+	if elemBytes == 0 {
+		elemBytes = 4
+	}
+	var st Stats
+	st.OrigBytes = elemBytes * len(data)
+	tStart := time.Now()
+
+	// Stage 1a: block decomposition.
+	t0 := time.Now()
+	shape, err := blockio.ShapeFor(dims, p.MaxBlocks)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := blockio.Decompose(data, shape)
+	if err != nil {
+		return nil, err
+	}
+	st.M, st.N = shape.M, shape.N
+	st.TimeDecompose = time.Since(t0)
+
+	// Stage 1b: per-block DCT (skippable for the single-stage ablation),
+	// with optional trailing-coefficient truncation.
+	t0 = time.Now()
+	if !p.SkipDCT {
+		switch {
+		case p.DCT2D:
+			transform.DCT2D(blocks.Data(), shape.M, shape.N, p.Workers)
+		case p.UseWavelet:
+			transform.HaarForwardRows(blocks.Data(), shape.M, shape.N, p.Workers)
+		default:
+			transform.ForwardRows(blocks.Data(), shape.M, shape.N, p.Workers)
+		}
+		if p.CoeffTruncate > 0 {
+			keep := int(float64(shape.N) * (1 - p.CoeffTruncate))
+			if keep < 1 {
+				keep = 1
+			}
+			bd := blocks.Data()
+			for r := 0; r < shape.M; r++ {
+				row := bd[r*shape.N : (r+1)*shape.N]
+				for i := keep; i < shape.N; i++ {
+					row[i] = 0
+				}
+			}
+		}
+	}
+	st.TimeDCT = time.Since(t0)
+
+	// Stage 2: k-PCA in the DCT domain. Samples are coefficient positions
+	// (N rows), features are blocks (M columns).
+	t0 = time.Now()
+	x := blocks.T()
+
+	var model *pca.Model
+	var k int
+	switch {
+	case p.UseSampling:
+		sp := p.Sampling
+		if sp.Seed == 0 {
+			sp.Seed = seed
+		}
+		if sp.TVE == 0 && p.Selection == TVEThreshold {
+			sp.TVE = p.TVE
+		}
+		if p.Selection == KneePoint {
+			fit := p.Fit
+			sp.SelectK = func(curve []float64) int { return knee.Detect(curve, fit) }
+		}
+		rep, err := sampling.Run(x, sp)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling strategy: %w", err)
+		}
+		st.Sampling = rep
+		k = rep.Ke
+		standardize := decideStandardize(p.Standardize, rep.LowLinear)
+		st.Standardized = standardize
+		// Fit the truncated basis on the sampled rows only (Algorithm 2's
+		// Stage 2 saving), then project the full data below.
+		sub := sampleRows(x, sp)
+		model, err = pca.FitK(sub, k, pca.Options{Standardize: standardize}, seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampled k-PCA: %w", err)
+		}
+	default:
+		standardize := p.Standardize == StandardizeOn
+		if p.Standardize == StandardizeAuto {
+			if vif, err := sampling.VIF(x, 0.01, 0, seed); err == nil {
+				var mean float64
+				for _, v := range vif {
+					mean += v
+				}
+				standardize = mean/float64(len(vif)) < sampling.VIFCutoff
+			}
+		}
+		st.Standardized = standardize
+		if p.ParallelPCA {
+			model, err = pca.FitJacobi(x, pca.Options{Standardize: standardize}, p.Workers)
+		} else {
+			model, err = pca.Fit(x, pca.Options{Standardize: standardize})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: k-PCA: %w", err)
+		}
+		curve := model.TVECurve()
+		switch p.Selection {
+		case KneePoint:
+			k = knee.Detect(curve, p.Fit)
+		default:
+			k = model.KForTVE(p.TVE)
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > shape.M {
+		k = shape.M
+	}
+	st.K = k
+	scores := model.Transform(x, k)
+	var kept float64
+	for i := 0; i < k && i < len(model.Eigenvalues); i++ {
+		kept += model.Eigenvalues[i]
+	}
+	if model.TotalVar > 0 {
+		st.TVEAchieved = kept / model.TotalVar
+	} else {
+		st.TVEAchieved = 1
+	}
+	st.TimePCA = time.Since(t0)
+
+	// Stage 3: symmetric uniform quantization of the score stream. The
+	// configured P is relative to the original data's value range (the SZ
+	// convention: "1E-3, 1E-4" mean fractions of the range), so the bin
+	// width 2·P·range sets a quantization noise floor proportional to the
+	// data scale; large leading-component scores escape to the literal
+	// stream and are saved as float32, as in the paper's Section IV-C.
+	t0 = time.Now()
+	r := stats.Range(data)
+	pa := p.P * r
+	if pa == 0 || math.IsNaN(pa) || math.IsInf(pa, 0) {
+		pa = p.P
+	}
+	qz, err := quant.New(pa, p.Width)
+	if err != nil {
+		return nil, fmt.Errorf("core: quantizer: %w", err)
+	}
+	qz.Lit32 = elemBytes == 4
+	enc := qz.Encode(scores.Data(), p.Workers)
+	st.OutOfRange = enc.OutOfRange()
+	st.TimeQuant = time.Since(t0)
+
+	// Assemble + zlib. The projection matrix is quantized per column with
+	// an error budget tied to the Stage 3 bound (see projcodec.go).
+	t0 = time.Now()
+	proj := model.ProjectionMatrix(k)
+	colScale := make([]float64, k)
+	for i := 0; i < shape.N; i++ {
+		row := scores.Row(i)
+		for j := 0; j < k; j++ {
+			if a := math.Abs(row[j]); a > colScale[j] {
+				colScale[j] = a
+			}
+		}
+	}
+	var projSec []byte
+	if p.RawProjection {
+		projSec = float32Bytes(proj.Data())
+	} else {
+		projSec = encodeProjection(proj, colScale, pa)
+	}
+	h := header{
+		width:   uint8(p.Width),
+		dims:    dims,
+		origLen: len(data),
+		m:       shape.M,
+		n:       shape.N,
+		k:       k,
+	}
+	var quantSec []byte
+	if p.HuffmanIndices {
+		quantSec = enc.MarshalHuffman()
+	} else {
+		quantSec = enc.Marshal()
+	}
+	sections := [][]byte{
+		quantSec,
+		projSec,
+		float32Bytes(model.Means),
+	}
+	if st.Standardized {
+		h.flags |= flagStandardized
+		sections = append(sections, float32Bytes(model.Scales))
+	}
+	if p.SkipDCT {
+		h.flags |= flagNoDCT
+	}
+	if p.RawProjection {
+		h.flags |= flagRawProj
+	}
+	if p.DCT2D {
+		h.flags |= flag2DDCT
+	}
+	if p.UseWavelet {
+		h.flags |= flagWavelet
+	}
+	out, rawTotal := encodeContainer(h, sections)
+	st.TimeZlib = time.Since(t0)
+
+	// CR accounting on the float32 basis. Stage 1&2 output: N·k scores +
+	// M·k projection + M means (+ M scales), all as float32. Stage 3
+	// replaces the score floats with the quantized stream and the
+	// projection floats with the budgeted bit-packed form.
+	meanBytes := 4 * shape.M
+	if st.Standardized {
+		meanBytes += 4 * shape.M
+	}
+	stage12Bytes := elemBytes*shape.N*k + 4*shape.M*k + meanBytes
+	stage3Bytes := enc.RawSize() + len(projSec) + meanBytes
+	st.CompressedBytes = len(out)
+	st.CRTotal = stats.CompressionRatio(st.OrigBytes, len(out))
+	st.CRStage12 = stats.CompressionRatio(st.OrigBytes, stage12Bytes)
+	st.CRStage3 = float64(stage12Bytes) / float64(stage3Bytes)
+	st.CRZlib = float64(rawTotal) / float64(len(out))
+
+	// Optional per-stage accuracy diagnostics (Tables III/IV).
+	if p.CollectDiagnostics {
+		meansF32, _ := float32FromBytes(float32Bytes(model.Means))
+		var scalesF32 []float64
+		if st.Standardized {
+			scalesF32, _ = float32FromBytes(float32Bytes(model.Scales))
+		}
+		var projR *mat.Dense
+		if p.RawProjection {
+			projF32, _ := float32FromBytes(projSec)
+			projR = mat.NewDenseData(shape.M, k, projF32)
+		} else {
+			projR, err = decodeProjection(projSec, shape.M, k)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		stage12, err := reconstruct(scores, projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet))
+		if err != nil {
+			return nil, err
+		}
+		st.Stage12PSNR = stats.PSNR(data, stage12)
+
+		deq, err := enc.Decode()
+		if err != nil {
+			return nil, err
+		}
+		final, err := reconstruct(mat.NewDenseData(shape.N, k, deq), projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet))
+		if err != nil {
+			return nil, err
+		}
+		st.FinalPSNR = stats.PSNR(data, final)
+	}
+
+	st.TimeTotal = time.Since(tStart)
+	return &Compressed{Bytes: out, Stats: st}, nil
+}
+
+// decideStandardize resolves the standardization mode against the VIF
+// verdict.
+func decideStandardize(mode StandardizeMode, lowLinear bool) bool {
+	switch mode {
+	case StandardizeOn:
+		return true
+	case StandardizeOff:
+		return false
+	default:
+		return lowLinear
+	}
+}
+
+// sampleRows extracts the rows of the T analyzed subsets (first, middle,
+// last by default) as one matrix, mirroring sampling.Run's subset choice.
+func sampleRows(x *mat.Dense, sp sampling.Params) *mat.Dense {
+	n, m := x.Dims()
+	s := sp.S
+	if s <= 0 {
+		s = 10
+	}
+	rows := n / s
+	// First, middle and last subsets: the strategy's default T=3 choice.
+	idx := []int{0, s / 2, s - 1}
+	var count int
+	for _, si := range idx {
+		hi := (si + 1) * rows
+		if si == s-1 {
+			hi = n
+		}
+		count += hi - si*rows
+	}
+	sub := mat.NewDense(count, m)
+	at := 0
+	for _, si := range idx {
+		lo := si * rows
+		hi := lo + rows
+		if si == s-1 {
+			hi = n
+		}
+		for r := lo; r < hi; r++ {
+			copy(sub.Row(at), x.Row(r))
+			at++
+		}
+	}
+	return sub
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestDecompressNeverPanicsOnCorruption flips bytes at many positions of a
+// valid stream and at random positions of random garbage: Decompress must
+// always return an error or (for benign flips in zlib-recoverable areas)
+// data — never panic. A panic in a decoder is a denial-of-service bug.
+func TestDecompressNeverPanicsOnCorruption(t *testing.T) {
+	f := smoothField()
+	c, err := Compress(f.Data, f.Dims, DPZL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	try := func(buf []byte, label string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decompress panicked on %s: %v", label, r)
+			}
+		}()
+		out, dims, err := Decompress(buf, 1)
+		if err == nil {
+			// Accepted streams must at least be shape-consistent.
+			total := 1
+			for _, d := range dims {
+				total *= d
+			}
+			if total != len(out) {
+				t.Fatalf("%s: accepted stream with inconsistent shape", label)
+			}
+		}
+	}
+
+	// Single-byte flips across the whole stream (sampled stride keeps the
+	// test fast while covering header, section table and payloads).
+	stride := len(c.Bytes)/512 + 1
+	for pos := 0; pos < len(c.Bytes); pos += stride {
+		for _, x := range []byte{0xFF, 0x01, 0x80} {
+			buf := make([]byte, len(c.Bytes))
+			copy(buf, c.Bytes)
+			buf[pos] ^= x
+			try(buf, fmt.Sprintf("flip at %d", pos))
+		}
+	}
+
+	// Truncations at every sampled length.
+	for l := 0; l < len(c.Bytes); l += stride {
+		try(c.Bytes[:l], fmt.Sprintf("truncate to %d", l))
+	}
+
+	// Random garbage with a valid magic prefix.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(4096)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n >= 5 {
+			copy(buf, magic[:])
+			buf[4] = formatVersion
+		}
+		try(buf, fmt.Sprintf("garbage trial %d", trial))
+	}
+}

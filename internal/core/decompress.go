@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"dpz/internal/blockio"
+	"dpz/internal/mat"
+	"dpz/internal/quant"
+	"dpz/internal/transform"
+)
+
+// Decompress reverses Compress: it parses the container, dequantizes the
+// scores, inverts the PCA projection, applies the inverse DCT per block
+// and restores the original order and length. It returns the reconstructed
+// values and the logical dimensions recorded at compression time.
+func Decompress(buf []byte, workers int) ([]float64, []int, error) {
+	return DecompressRank(buf, workers, 0)
+}
+
+// DecompressRank reconstructs from only the `rank` leading principal
+// components of the stored k (0 means all). An information-oriented stream
+// is consistent at any reconstruction level (the paper's Section IV-C
+// note), so this acts as progressive decompression: a cheap preview from a
+// few components, full fidelity from all of them.
+func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
+	h, sections, err := decodeContainer(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	wantSections := 3
+	if h.flags&flagStandardized != 0 {
+		wantSections = 4
+	}
+	if len(sections) != wantSections {
+		return nil, nil, fmt.Errorf("core: %d sections, want %d", len(sections), wantSections)
+	}
+
+	enc, err := quant.Unmarshal(sections[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	if enc.Count != h.n*h.k {
+		return nil, nil, fmt.Errorf("core: score count %d != N·K = %d", enc.Count, h.n*h.k)
+	}
+	scores, err := enc.Decode()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var proj *mat.Dense
+	if h.flags&flagRawProj != 0 {
+		projF32, err := float32FromBytes(sections[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(projF32) != h.m*h.k {
+			return nil, nil, fmt.Errorf("core: projection size %d != M·K = %d", len(projF32), h.m*h.k)
+		}
+		proj = mat.NewDenseData(h.m, h.k, projF32)
+	} else {
+		var err error
+		proj, err = decodeProjection(sections[1], h.m, h.k)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	means, err := float32FromBytes(sections[2])
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(means) != h.m {
+		return nil, nil, fmt.Errorf("core: means size %d != M = %d", len(means), h.m)
+	}
+	var scales []float64
+	if wantSections == 4 {
+		scales, err = float32FromBytes(sections[3])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(scales) != h.m {
+			return nil, nil, fmt.Errorf("core: scales size %d != M = %d", len(scales), h.m)
+		}
+	}
+
+	if rank < 0 || rank > h.k {
+		return nil, nil, fmt.Errorf("core: rank %d out of [0,%d]", rank, h.k)
+	}
+	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
+	y := mat.NewDenseData(h.n, h.k, scores)
+	if rank != 0 && rank < h.k {
+		// Keep only the leading components of scores and projection.
+		yr := mat.NewDense(h.n, rank)
+		for i := 0; i < h.n; i++ {
+			copy(yr.Row(i), y.Row(i)[:rank])
+		}
+		pr := mat.NewDense(h.m, rank)
+		for i := 0; i < h.m; i++ {
+			copy(pr.Row(i), proj.Row(i)[:rank])
+		}
+		y, proj = yr, pr
+	}
+	data, err := reconstruct(y, proj, means, scales, shape, h.origLen, workers,
+		transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0))
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, h.dims, nil
+}
+
+// xformMode names the Stage 1 transform applied at compression time.
+type xformMode int
+
+const (
+	xform1D xformMode = iota // per-block 1-D DCT (default)
+	xformNone
+	xform2D
+	xformHaar
+)
+
+func transformMode(skip, twoD, wavelet bool) xformMode {
+	switch {
+	case skip:
+		return xformNone
+	case twoD:
+		return xform2D
+	case wavelet:
+		return xformHaar
+	default:
+		return xform1D
+	}
+}
+
+// reconstruct inverts Stages 2 and 1 given scores (N×k), the projection
+// matrix (M×k), feature means/scales, the block shape and the original
+// length. mode selects the inverse Stage 1 transform. It is shared by
+// Decompress and the in-compression diagnostics.
+func reconstruct(y, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int, mode xformMode) ([]float64, error) {
+	n, k := y.Dims()
+	pm, pk := proj.Dims()
+	if n != shape.N || pm != shape.M || k != pk {
+		return nil, fmt.Errorf("core: reconstruct shape mismatch (%dx%d scores, %dx%d proj, %dx%d blocks)",
+			n, k, pm, pk, shape.M, shape.N)
+	}
+	// X̂ = Y·Dᵀ (·scale) + μ, feature-major back into block rows.
+	xhat := mat.Mul(y, proj.T()) // N×M
+	blocks := mat.NewDense(shape.M, shape.N)
+	for i := 0; i < shape.N; i++ {
+		row := xhat.Row(i)
+		for j := 0; j < shape.M; j++ {
+			v := row[j]
+			if scales != nil {
+				v *= scales[j]
+			}
+			blocks.Set(j, i, v+means[j])
+		}
+	}
+	switch mode {
+	case xform1D:
+		transform.InverseRows(blocks.Data(), shape.M, shape.N, workers)
+	case xform2D:
+		transform.IDCT2D(blocks.Data(), shape.M, shape.N, workers)
+	case xformHaar:
+		transform.HaarInverseRows(blocks.Data(), shape.M, shape.N, workers)
+	}
+	return blockio.Recompose(blocks, origLen)
+}

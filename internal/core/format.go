@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Container format ("DPZ1"):
+//
+//	magic   [4]byte  "DPZ1"
+//	version u8       = 1
+//	flags   u8       bit0: standardized
+//	ndims   u8
+//	width   u8       quantization index width (1 or 2)
+//	dims    [ndims]u64
+//	origLen u64      values before padding
+//	m, n, k u64      block count, block length, kept components
+//	nsec    u8       section count
+//	per section: rawLen u64, compLen u64, zlib payload
+//
+// Sections in order: quantized scores (quant.Marshal), projection matrix
+// (M×K float32, row-major), feature means (M float32), and, when
+// standardized, feature scales (M float32).
+
+var magic = [4]byte{'D', 'P', 'Z', '1'}
+
+const formatVersion = 1
+
+const (
+	flagStandardized = 1 << 0
+	flagNoDCT        = 1 << 1
+	flagRawProj      = 1 << 2
+	flag2DDCT        = 1 << 3
+	flagWavelet      = 1 << 4
+)
+
+// blockPadSlack bounds how much larger than the data the padded block
+// matrix may legitimately be (power-of-two padding plus rounding).
+const blockPadSlack = 64
+
+// header is the parsed fixed part of the container.
+type header struct {
+	flags   uint8
+	width   uint8
+	dims    []int
+	origLen int
+	m, n, k int
+}
+
+// deflate zlib-compresses buf at the default level.
+func deflate(buf []byte) []byte {
+	var out bytes.Buffer
+	w := zlib.NewWriter(&out)
+	if _, err := w.Write(buf); err != nil {
+		// bytes.Buffer writes cannot fail; keep the invariant visible.
+		panic(fmt.Sprintf("core: zlib write: %v", err))
+	}
+	if err := w.Close(); err != nil {
+		panic(fmt.Sprintf("core: zlib close: %v", err))
+	}
+	return out.Bytes()
+}
+
+// inflate decompresses a zlib stream, verifying the expected raw length.
+func inflate(buf []byte, rawLen int) ([]byte, error) {
+	r, err := zlib.NewReader(bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("core: zlib open: %w", err)
+	}
+	defer r.Close()
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("core: zlib read: %w", err)
+	}
+	var probe [1]byte
+	if n, _ := r.Read(probe[:]); n != 0 {
+		return nil, fmt.Errorf("core: zlib stream longer than declared %d bytes", rawLen)
+	}
+	return out, nil
+}
+
+// float32Bytes encodes a float64 slice as little-endian float32.
+func float32Bytes(x []float64) []byte {
+	out := make([]byte, 4*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+	}
+	return out
+}
+
+// float32FromBytes decodes little-endian float32 into float64.
+func float32FromBytes(buf []byte) ([]float64, error) {
+	if len(buf)%4 != 0 {
+		return nil, fmt.Errorf("core: float32 payload length %d not a multiple of 4", len(buf))
+	}
+	out := make([]float64, len(buf)/4)
+	for i := range out {
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return out, nil
+}
+
+// encodeContainer assembles the final byte stream from the fixed header
+// and the raw (pre-zlib) sections. It returns the stream and the total
+// pre-zlib payload size (for the zlib-stage CR accounting).
+func encodeContainer(h header, sections [][]byte) ([]byte, int) {
+	var out bytes.Buffer
+	out.Write(magic[:])
+	out.WriteByte(formatVersion)
+	out.WriteByte(h.flags)
+	out.WriteByte(uint8(len(h.dims)))
+	out.WriteByte(h.width)
+	var b8 [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(b8[:], uint64(v))
+		out.Write(b8[:])
+	}
+	for _, d := range h.dims {
+		put(d)
+	}
+	put(h.origLen)
+	put(h.m)
+	put(h.n)
+	put(h.k)
+	out.WriteByte(uint8(len(sections)))
+	rawTotal := 0
+	for _, sec := range sections {
+		rawTotal += len(sec)
+		comp := deflate(sec)
+		put(len(sec))
+		put(len(comp))
+		out.Write(comp)
+	}
+	return out.Bytes(), rawTotal
+}
+
+// decodeContainer parses the stream, returning the header and inflated
+// sections.
+func decodeContainer(buf []byte) (header, [][]byte, error) {
+	var h header
+	if len(buf) < 8 {
+		return h, nil, fmt.Errorf("core: stream too short (%d bytes)", len(buf))
+	}
+	if !bytes.Equal(buf[:4], magic[:]) {
+		return h, nil, fmt.Errorf("core: bad magic %q", buf[:4])
+	}
+	if buf[4] != formatVersion {
+		return h, nil, fmt.Errorf("core: unsupported version %d", buf[4])
+	}
+	h.flags = buf[5]
+	ndims := int(buf[6])
+	h.width = buf[7]
+	pos := 8
+	rd := func() (int, error) {
+		if pos+8 > len(buf) {
+			return 0, fmt.Errorf("core: truncated header at offset %d", pos)
+		}
+		v := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		if v > math.MaxInt32*64 {
+			return 0, fmt.Errorf("core: implausible header value %d", v)
+		}
+		return int(v), nil
+	}
+	h.dims = make([]int, ndims)
+	total := 1
+	for i := range h.dims {
+		d, err := rd()
+		if err != nil {
+			return h, nil, err
+		}
+		if d <= 0 {
+			return h, nil, fmt.Errorf("core: non-positive dimension %d", d)
+		}
+		h.dims[i] = d
+		total *= d
+	}
+	var err error
+	if h.origLen, err = rd(); err != nil {
+		return h, nil, err
+	}
+	if total != h.origLen {
+		return h, nil, fmt.Errorf("core: dims %v describe %d values, header says %d", h.dims, total, h.origLen)
+	}
+	if h.m, err = rd(); err != nil {
+		return h, nil, err
+	}
+	if h.n, err = rd(); err != nil {
+		return h, nil, err
+	}
+	if h.k, err = rd(); err != nil {
+		return h, nil, err
+	}
+	if h.m < 1 || h.n < 1 || h.k < 1 || h.k > h.m || h.m >= h.n {
+		return h, nil, fmt.Errorf("core: inconsistent shape M=%d N=%d K=%d", h.m, h.n, h.k)
+	}
+	// The padded block matrix covers the data and is at most one
+	// power-of-two padding step larger.
+	if h.m*h.n < h.origLen || h.m*h.n > 2*h.origLen+blockPadSlack {
+		return h, nil, fmt.Errorf("core: block shape %dx%d inconsistent with %d values", h.m, h.n, h.origLen)
+	}
+	if pos >= len(buf) {
+		return h, nil, fmt.Errorf("core: missing section table")
+	}
+	nsec := int(buf[pos])
+	pos++
+	sections := make([][]byte, 0, nsec)
+	for s := 0; s < nsec; s++ {
+		rawLen, err := rd()
+		if err != nil {
+			return h, nil, err
+		}
+		compLen, err := rd()
+		if err != nil {
+			return h, nil, err
+		}
+		if pos+compLen > len(buf) {
+			return h, nil, fmt.Errorf("core: section %d truncated", s)
+		}
+		// zlib expands at most ~1032x; a declared raw length far beyond
+		// that is corruption, and honoring it would be an allocation bomb.
+		if rawLen > 1<<20+compLen*2048 {
+			return h, nil, fmt.Errorf("core: section %d declares implausible %d raw bytes from %d compressed", s, rawLen, compLen)
+		}
+		raw, err := inflate(buf[pos:pos+compLen], rawLen)
+		if err != nil {
+			return h, nil, fmt.Errorf("core: section %d: %w", s, err)
+		}
+		pos += compLen
+		sections = append(sections, raw)
+	}
+	if pos != len(buf) {
+		return h, nil, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
+	}
+	return h, sections, nil
+}

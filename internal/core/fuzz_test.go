@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzDecompress drives the container decoder with arbitrary bytes. Run
+// with `go test -fuzz=FuzzDecompress ./internal/core` for a real campaign;
+// plain `go test` replays the seed corpus. The invariant: never panic, and
+// any accepted stream must be shape-consistent.
+func FuzzDecompress(f *testing.F) {
+	field := smoothField()
+	c, err := Compress(field.Data, field.Dims, DPZL())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(c.Bytes)
+	f.Add([]byte{})
+	f.Add([]byte("DPZ1"))
+	f.Add(append([]byte("DPZ1\x01\x00\x02\x01"), make([]byte, 64)...))
+	half := make([]byte, len(c.Bytes)/2)
+	copy(half, c.Bytes)
+	f.Add(half)
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, dims, err := Decompress(buf, 1)
+		if err != nil {
+			return
+		}
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		if total != len(out) {
+			t.Fatalf("accepted stream with inconsistent shape: dims %v, %d values", dims, len(out))
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dpz/internal/bits"
+	"dpz/internal/mat"
+)
+
+// Projection-matrix codec. Stored as float32 the M×k eigenvector matrix
+// often rivals the quantized score stream in size (for CESM-shaped data
+// M = N/2), capping the achievable compression ratio. Column j of D only
+// ever multiplies score column j, so its entries tolerate an absolute
+// error of about
+//
+//	e_j = Pa / (2·√k·max|y_j|)
+//
+// before the reconstruction error it induces reaches the Stage 3
+// quantization bound Pa. Each column is therefore uniformly quantized
+// with its own bit width derived from that budget — typically 10-16 bits
+// instead of 32 — and packed with a bit writer.
+
+// projQuantMinBits / MaxBits bound the per-column index width.
+const (
+	projQuantMinBits = 1
+	projQuantMaxBits = 24
+)
+
+// encodeProjection serializes proj (M×k). colScale[j] is max|score| of
+// column j; pa is the Stage 3 absolute error bound that sets the budget.
+func encodeProjection(proj *mat.Dense, colScale []float64, pa float64) []byte {
+	m, k := proj.Dims()
+	if len(colScale) != k {
+		panic("core: projection column-scale length mismatch")
+	}
+	// Header: m, k as u32; per column: cmax float32, bits u8.
+	hdr := make([]byte, 8+5*k)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(k))
+
+	w := bits.NewWriter()
+	col := make([]float64, m)
+	sqrtK := math.Sqrt(float64(k))
+	for j := 0; j < k; j++ {
+		proj.Col(j, col)
+		var cmax float64
+		for _, v := range col {
+			if a := math.Abs(v); a > cmax {
+				cmax = a
+			}
+		}
+		// The header stores cmax as float32; quantize against exactly the
+		// value the decoder will read, rounded up so no entry falls
+		// outside the representable range.
+		c32 := float32(cmax)
+		if float64(c32) < cmax {
+			c32 = math.Nextafter32(c32, float32(math.Inf(1)))
+		}
+		cmax = float64(c32)
+		budget := math.Inf(1)
+		if colScale[j] > 0 && pa > 0 {
+			budget = pa / (2 * sqrtK * colScale[j])
+		}
+		bitsJ := projQuantMinBits
+		if cmax > 0 && budget < cmax {
+			// Need step/2 <= budget with step = 2·cmax/(2^bits − 1).
+			bitsJ = int(math.Ceil(math.Log2(cmax/budget + 1)))
+			if bitsJ < projQuantMinBits {
+				bitsJ = projQuantMinBits
+			}
+			// log2 round-off can undercut by one bit; verify the bound
+			// exactly and widen if needed.
+			for bitsJ < projQuantMaxBits && cmax/float64((uint64(1)<<uint(bitsJ))-1) > budget {
+				bitsJ++
+			}
+			if bitsJ > projQuantMaxBits {
+				bitsJ = projQuantMaxBits
+			}
+		}
+		binary.LittleEndian.PutUint32(hdr[8+5*j:], math.Float32bits(c32))
+		hdr[8+5*j+4] = uint8(bitsJ)
+		if cmax == 0 {
+			continue // all-zero column: no payload bits
+		}
+		levels := uint64(1)<<uint(bitsJ) - 1
+		step := 2 * cmax / float64(levels)
+		for _, v := range col {
+			idx := math.Round((v + cmax) / step)
+			if idx < 0 {
+				idx = 0
+			}
+			if idx > float64(levels) {
+				idx = float64(levels)
+			}
+			w.WriteBits(uint64(idx), uint(bitsJ))
+		}
+	}
+	return append(hdr, w.Bytes()...)
+}
+
+// decodeProjection reverses encodeProjection, checking the expected shape.
+func decodeProjection(buf []byte, wantM, wantK int) (*mat.Dense, error) {
+	if len(buf) < 8 {
+		return nil, errors.New("core: truncated projection header")
+	}
+	m := int(binary.LittleEndian.Uint32(buf[0:]))
+	k := int(binary.LittleEndian.Uint32(buf[4:]))
+	if m != wantM || k != wantK {
+		return nil, fmt.Errorf("core: projection shape %dx%d, want %dx%d", m, k, wantM, wantK)
+	}
+	if len(buf) < 8+5*k {
+		return nil, errors.New("core: truncated projection column table")
+	}
+	r := bits.NewReader(buf[8+5*k:])
+	proj := mat.NewDense(m, k)
+	col := make([]float64, m)
+	for j := 0; j < k; j++ {
+		cmax := float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[8+5*j:])))
+		bitsJ := int(buf[8+5*j+4])
+		if bitsJ < projQuantMinBits || bitsJ > projQuantMaxBits {
+			return nil, fmt.Errorf("core: projection column %d has invalid bit width %d", j, bitsJ)
+		}
+		if cmax == 0 {
+			for i := range col {
+				col[i] = 0
+			}
+			proj.SetCol(j, col)
+			continue
+		}
+		levels := uint64(1)<<uint(bitsJ) - 1
+		step := 2 * cmax / float64(levels)
+		for i := 0; i < m; i++ {
+			idx, err := r.ReadBits(uint(bitsJ))
+			if err != nil {
+				return nil, fmt.Errorf("core: projection payload: %w", err)
+			}
+			col[i] = float64(idx)*step - cmax
+		}
+		proj.SetCol(j, col)
+	}
+	return proj, nil
+}

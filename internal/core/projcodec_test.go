@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/mat"
+)
+
+func randomProjection(m, k int, rng *rand.Rand) *mat.Dense {
+	p := mat.NewDense(m, k)
+	for j := 0; j < k; j++ {
+		var norm float64
+		col := make([]float64, m)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+			norm += col[i] * col[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range col {
+			col[i] /= norm
+		}
+		p.SetCol(j, col)
+	}
+	return p
+}
+
+func TestProjectionCodecRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	m, k := 120, 9
+	proj := randomProjection(m, k, rng)
+	colScale := make([]float64, k)
+	for j := range colScale {
+		colScale[j] = math.Pow(10, float64(3-j)) // decaying score scales
+	}
+	pa := 1e-3 * 100 // P=1e-3, range 100
+	buf := encodeProjection(proj, colScale, pa)
+	got, err := decodeProjection(buf, m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each column's entry error must respect its budget.
+	sqrtK := math.Sqrt(float64(k))
+	for j := 0; j < k; j++ {
+		budget := pa / (2 * sqrtK * colScale[j])
+		for i := 0; i < m; i++ {
+			if d := math.Abs(got.At(i, j) - proj.At(i, j)); d > budget*1.0001+1e-12 {
+				t.Fatalf("col %d entry %d: error %g exceeds budget %g", j, i, d, budget)
+			}
+		}
+	}
+	// Compression: the packed form must be well under 4 bytes/entry.
+	if len(buf) > 3*m*k {
+		t.Fatalf("packed projection %d bytes for %d entries", len(buf), m*k)
+	}
+}
+
+func TestProjectionCodecZeroColumn(t *testing.T) {
+	proj := mat.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		proj.Set(i, 0, 0.1*float64(i))
+	}
+	// Column 1 all zeros.
+	buf := encodeProjection(proj, []float64{1, 1}, 1e-3)
+	got, err := decodeProjection(buf, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got.At(i, 1) != 0 {
+			t.Fatalf("zero column decoded as %v", got.At(i, 1))
+		}
+	}
+}
+
+func TestProjectionCodecHugeBudgetMinBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	proj := randomProjection(50, 3, rng)
+	// Tiny score scales => huge budgets => minimum bit width.
+	buf := encodeProjection(proj, []float64{1e-12, 1e-12, 1e-12}, 1.0)
+	if len(buf) > 8+5*3+(50*3)/8+3 {
+		t.Fatalf("min-bits encoding too large: %d bytes", len(buf))
+	}
+	if _, err := decodeProjection(buf, 50, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionCodecRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	proj := randomProjection(20, 4, rng)
+	buf := encodeProjection(proj, []float64{1, 1, 1, 1}, 1e-4)
+	if _, err := decodeProjection(nil, 20, 4); err == nil {
+		t.Fatal("expected error for nil buffer")
+	}
+	if _, err := decodeProjection(buf, 21, 4); err == nil {
+		t.Fatal("expected error for wrong shape")
+	}
+	if _, err := decodeProjection(buf[:10], 20, 4); err == nil {
+		t.Fatal("expected error for truncated table")
+	}
+	if _, err := decodeProjection(buf[:len(buf)-2], 20, 4); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+	bad := make([]byte, len(buf))
+	copy(bad, buf)
+	bad[8+4] = 99 // invalid bit width for column 0
+	if _, err := decodeProjection(bad, 20, 4); err == nil {
+		t.Fatal("expected error for invalid bit width")
+	}
+}
+
+func TestProjectionCodecProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(60)
+		k := 1 + rng.Intn(8)
+		proj := randomProjection(m, k, rng)
+		colScale := make([]float64, k)
+		for j := range colScale {
+			colScale[j] = math.Pow(10, 4*rng.Float64()-1)
+		}
+		pa := math.Pow(10, -2-2*rng.Float64())
+		buf := encodeProjection(proj, colScale, pa)
+		got, err := decodeProjection(buf, m, k)
+		if err != nil {
+			return false
+		}
+		sqrtK := math.Sqrt(float64(k))
+		for j := 0; j < k; j++ {
+			budget := pa / (2 * sqrtK * colScale[j])
+			// With the bit-width cap the effective budget floors at
+			// cmax/(2^24−1); allow that slack.
+			var cmax float64
+			for i := 0; i < m; i++ {
+				if a := math.Abs(proj.At(i, j)); a > cmax {
+					cmax = a
+				}
+			}
+			floor := cmax / float64((uint64(1)<<projQuantMaxBits)-1)
+			lim := budget
+			if floor > lim {
+				lim = floor
+			}
+			for i := 0; i < m; i++ {
+				if math.Abs(got.At(i, j)-proj.At(i, j)) > lim*1.0001+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

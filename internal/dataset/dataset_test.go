@@ -1,0 +1,261 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dpz/internal/stats"
+)
+
+func TestGenerateAllNames(t *testing.T) {
+	for _, name := range Names {
+		f, err := Generate(name, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.Len() == 0 {
+			t.Fatalf("%s: empty field", name)
+		}
+		total := 1
+		for _, d := range f.Dims {
+			total *= d
+		}
+		if total != f.Len() {
+			t.Fatalf("%s: dims %v inconsistent with %d values", name, f.Dims, f.Len())
+		}
+		for i, v := range f.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite value at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("NOPE", 0.1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+	if _, err := Generate("FLDSC", 0); err == nil {
+		t.Fatal("expected error for scale 0")
+	}
+	if _, err := Generate("FLDSC", 1.5); err == nil {
+		t.Fatal("expected error for scale > 1")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("CLDHGH", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("CLDHGH", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestCESMCharacteristics(t *testing.T) {
+	cld := CESM("CLDHGH", 60, 120, 1)
+	for i, v := range cld.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("cloud fraction %v at %d outside [0,1]", v, i)
+		}
+	}
+	// PHIS must be much smoother than CLDHGH: compare mean |∇| relative
+	// to range.
+	phis := CESM("PHIS", 60, 120, 2)
+	if rough(cld) < 2*rough(phis) {
+		t.Fatalf("CLDHGH roughness %g not well above PHIS %g", rough(cld), rough(phis))
+	}
+}
+
+// rough measures mean absolute horizontal gradient normalized by range.
+func rough(f *Field) float64 {
+	rows, cols := f.Dims[0], f.Dims[1]
+	var s float64
+	var n int
+	for r := 0; r < rows; r++ {
+		for c := 1; c < cols; c++ {
+			s += math.Abs(f.Data[r*cols+c] - f.Data[r*cols+c-1])
+			n++
+		}
+	}
+	return s / float64(n) / stats.Range(f.Data)
+}
+
+func TestHACCXNearSorted(t *testing.T) {
+	f := HACCX(10000, 3)
+	// Positions in particle-id order are near-monotone: the fraction of
+	// strictly decreasing adjacent pairs is small.
+	dec := 0
+	for i := 1; i < f.Len(); i++ {
+		if f.Data[i] < f.Data[i-1] {
+			dec++
+		}
+	}
+	if float64(dec)/float64(f.Len()) > 0.45 {
+		t.Fatalf("HACC-x not near-sorted: %d/%d inversions", dec, f.Len())
+	}
+}
+
+func TestHACCVXHeavyTails(t *testing.T) {
+	f := HACCVX(20000, 4)
+	var mean, m2 float64
+	for _, v := range f.Data {
+		mean += v
+	}
+	mean /= float64(f.Len())
+	for _, v := range f.Data {
+		m2 += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(m2 / float64(f.Len()))
+	// Mixture with 10% wide component must show outliers beyond 4σ.
+	out := 0
+	for _, v := range f.Data {
+		if math.Abs(v-mean) > 4*std {
+			out++
+		}
+	}
+	if out == 0 {
+		t.Fatal("HACC-vx has no heavy tails")
+	}
+}
+
+func TestChannelHasMeanProfile(t *testing.T) {
+	f := Channel(20, 5)
+	n := 20
+	// Mid-channel plane mean must exceed wall plane mean (parabolic
+	// profile).
+	mean := func(z int) float64 {
+		var s float64
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				s += f.Data[(z*n+y)*n+x]
+			}
+		}
+		return s / float64(n*n)
+	}
+	if mean(n/2) <= mean(0)+0.5 {
+		t.Fatalf("channel profile flat: wall %g, center %g", mean(0), mean(n/2))
+	}
+}
+
+func TestRawFloat32RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	f := CESM("FREQSH", 20, 40, 6)
+	if err := WriteRawFloat32(f, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRawFloat32(path, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if math.Abs(got.Data[i]-f.Data[i]) > 1e-6*math.Abs(f.Data[i])+1e-12 {
+			t.Fatalf("float32 round trip differs at %d: %v vs %v", i, got.Data[i], f.Data[i])
+		}
+	}
+	// Wrong dims must be rejected.
+	if _, err := ReadRawFloat32(path, []int{20, 41}); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := ReadRawFloat32(path, []int{10, 40}); err == nil {
+		t.Fatal("expected trailing-bytes error")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img.pgm")
+	f := CESM("CLDLOW", 16, 32, 7)
+	if err := WritePGM(f, path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < int64(16*32) {
+		t.Fatalf("PGM too small: %d bytes", info.Size())
+	}
+	// 1-D fields are rejected.
+	if err := WritePGM(HACCX(100, 8), filepath.Join(dir, "bad.pgm")); err == nil {
+		t.Fatal("expected error for 1-D field")
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := HACCVX(100, 9)
+	c := f.Clone()
+	c.Data[0] = 1e9
+	c.Dims[0] = 1
+	if f.Data[0] == 1e9 || f.Dims[0] == 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestScaleDim(t *testing.T) {
+	if d := scaleDim(1800, 0.001); d != 16 {
+		t.Fatalf("floor clamp = %d, want 16", d)
+	}
+	if d := scaleDim(128, 1); d != 128 {
+		t.Fatalf("native = %d", d)
+	}
+	if d := scaleDim(101, 0.5); d%2 != 0 {
+		t.Fatalf("odd dim %d not rounded to even", d)
+	}
+}
+
+func TestNonLinearStructuredButNotCollinear(t *testing.T) {
+	f := NonLinear(60, 120, 5)
+	if f.Len() != 60*120 {
+		t.Fatalf("size %d", f.Len())
+	}
+	for i, v := range f.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite at %d", i)
+		}
+	}
+	// Rows share a latent signal, so each row is smooth (low noise), but
+	// the relation across rows is non-linear: the average |Pearson r|
+	// between random row pairs should be well below that of a linear
+	// dataset like FLDSC rows.
+	corr := func(a, b []float64) float64 {
+		var ma, mb float64
+		for i := range a {
+			ma += a[i]
+			mb += b[i]
+		}
+		ma /= float64(len(a))
+		mb /= float64(len(b))
+		var sab, saa, sbb float64
+		for i := range a {
+			sab += (a[i] - ma) * (b[i] - mb)
+			saa += (a[i] - ma) * (a[i] - ma)
+			sbb += (b[i] - mb) * (b[i] - mb)
+		}
+		return sab / math.Sqrt(saa*sbb+1e-300)
+	}
+	row := func(fd *Field, r int) []float64 { return fd.Data[r*fd.Dims[1] : (r+1)*fd.Dims[1]] }
+	lin := CESM("FLDSC", 60, 120, 6)
+	var rNL, rLin float64
+	pairs := 0
+	for r := 0; r+7 < 60; r += 7 {
+		rNL += math.Abs(corr(row(f, r), row(f, r+3)))
+		rLin += math.Abs(corr(row(lin, r), row(lin, r+3)))
+		pairs++
+	}
+	rNL /= float64(pairs)
+	rLin /= float64(pairs)
+	if rNL > rLin {
+		t.Fatalf("non-linear rows more collinear (%v) than linear rows (%v)", rNL, rLin)
+	}
+}

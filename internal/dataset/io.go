@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WriteRawFloat32 writes the field's values as little-endian float32, the
+// layout SDRBench distributes the real datasets in.
+func WriteRawFloat32(f *Field, path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	var b [4]byte
+	for _, v := range f.Data {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v)))
+		if _, err := w.Write(b[:]); err != nil {
+			out.Close()
+			return fmt.Errorf("dataset: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return out.Close()
+}
+
+// ReadRawFloat32 reads a little-endian float32 file produced by
+// WriteRawFloat32 (or downloaded from SDRBench) into a Field with the given
+// dims. The file length must match the product of dims.
+func ReadRawFloat32(path string, dims []int) (*Field, error) {
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("dataset: non-positive dim in %v", dims)
+		}
+		total *= d
+	}
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer in.Close()
+	raw := make([]byte, 4*total)
+	if _, err := io.ReadFull(in, raw); err != nil {
+		return nil, fmt.Errorf("dataset: reading %s: %w", path, err)
+	}
+	// Reject trailing garbage: the file must be exactly total values.
+	var probe [1]byte
+	if n, _ := in.Read(probe[:]); n != 0 {
+		return nil, fmt.Errorf("dataset: %s longer than %d values", path, total)
+	}
+	data := make([]float64, total)
+	for i := range data {
+		data[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+	}
+	dimsCopy := make([]int, len(dims))
+	copy(dimsCopy, dims)
+	return &Field{Name: path, Dims: dimsCopy, Data: data}, nil
+}
+
+// WritePGM renders a 2-D field as an 8-bit PGM image (values linearly
+// mapped to 0..255), used by the Figure 7 visualization experiment.
+func WritePGM(f *Field, path string) error {
+	if len(f.Dims) != 2 {
+		return fmt.Errorf("dataset: WritePGM needs a 2-D field, got %v", f.Dims)
+	}
+	rows, cols := f.Dims[0], f.Dims[1]
+	lo, hi := f.Data[0], f.Data[0]
+	for _, v := range f.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	fmt.Fprintf(w, "P5\n%d %d\n255\n", cols, rows)
+	for _, v := range f.Data {
+		w.WriteByte(byte(255 * (v - lo) / span))
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return out.Close()
+}

@@ -1,0 +1,237 @@
+// Package dctz implements a DCTZ-like compressor — the transform-based,
+// error-bounded predecessor of DPZ (Zhang et al., MSST'19, cited by the
+// paper as its origin). Data is split into fixed 1-D blocks, each block is
+// DCT-II transformed, and every coefficient is uniformly quantized with a
+// bin width chosen so the per-point reconstruction error stays within the
+// absolute bound (orthonormal transform ⇒ pointwise error ≤ ‖coefficient
+// errors‖₂, so per-coefficient error ≤ eb/√blockSize suffices). Bin
+// indices are Huffman-coded and zlib-compressed; out-of-range coefficients
+// escape to literals.
+package dctz
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dpz/internal/huffman"
+	"dpz/internal/transform"
+)
+
+// BlockSize is the 1-D transform length. 64 matches the original DCTZ.
+const BlockSize = 64
+
+// radius is the quantization code radius (codes stored shifted by radius;
+// 0 is the escape).
+const radius = 1 << 15
+
+// Params configures compression.
+type Params struct {
+	// ErrorBound is the absolute per-value bound (> 0).
+	ErrorBound float64
+	// Relative interprets ErrorBound as a fraction of the value range.
+	Relative bool
+}
+
+// Compressed carries the stream and accounting.
+type Compressed struct {
+	Bytes     []byte
+	OrigBytes int
+	AbsBound  float64
+	Literals  int
+	Ratio     float64
+}
+
+// Compress encodes data (any dimensionality; DCTZ operates on the
+// flattened stream, as the original does for its 1-D kernel).
+func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("dctz: non-positive dimension in %v", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return nil, fmt.Errorf("dctz: dims %v describe %d values, data has %d", dims, total, len(data))
+	}
+	if len(data) == 0 {
+		return nil, errors.New("dctz: empty input")
+	}
+	if p.ErrorBound <= 0 || math.IsNaN(p.ErrorBound) || math.IsInf(p.ErrorBound, 0) {
+		return nil, fmt.Errorf("dctz: error bound must be positive and finite, got %v", p.ErrorBound)
+	}
+	eb := p.ErrorBound
+	if p.Relative {
+		if r := valueRange(data); r > 0 {
+			eb *= r
+		}
+	}
+	// Per-coefficient budget: eb/√BlockSize keeps the l2 norm of the
+	// coefficient error, and hence every reconstructed point, within eb.
+	coefEB := eb / math.Sqrt(BlockSize)
+	twoEB := 2 * coefEB
+
+	nblocks := (len(data) + BlockSize - 1) / BlockSize
+	plan := transform.NewPlan(BlockSize)
+	block := make([]float64, BlockSize)
+	codes := make([]uint16, nblocks*BlockSize)
+	var literals []float64
+	for b := 0; b < nblocks; b++ {
+		lo := b * BlockSize
+		for i := 0; i < BlockSize; i++ {
+			if lo+i < len(data) {
+				block[i] = data[lo+i]
+			} else {
+				block[i] = data[len(data)-1] // edge padding
+			}
+		}
+		plan.Forward(block)
+		for i, v := range block {
+			q := math.Round(v / twoEB)
+			if math.Abs(q) < radius-1 && !math.IsNaN(v) {
+				codes[b*BlockSize+i] = uint16(int(q) + radius)
+			} else {
+				codes[b*BlockSize+i] = 0
+				literals = append(literals, v)
+			}
+		}
+	}
+
+	huff := huffman.Encode(codes)
+	var raw bytes.Buffer
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(coefEB))
+	raw.Write(b8[:])
+	raw.WriteByte(uint8(len(dims)))
+	for _, d := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		raw.Write(b8[:])
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(literals)))
+	raw.Write(b8[:])
+	for _, v := range literals {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		raw.Write(b8[:])
+	}
+	raw.Write(huff)
+
+	var out bytes.Buffer
+	out.WriteString("DCZ1")
+	zw := zlib.NewWriter(&out)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		return nil, fmt.Errorf("dctz: zlib: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("dctz: zlib: %w", err)
+	}
+	c := &Compressed{
+		Bytes:     out.Bytes(),
+		OrigBytes: 4 * len(data),
+		AbsBound:  eb,
+		Literals:  len(literals),
+	}
+	c.Ratio = float64(c.OrigBytes) / float64(len(c.Bytes))
+	return c, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(buf []byte) ([]float64, []int, error) {
+	if len(buf) < 4 || string(buf[:4]) != "DCZ1" {
+		return nil, nil, errors.New("dctz: bad magic")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(buf[4:]))
+	if err != nil {
+		return nil, nil, fmt.Errorf("dctz: zlib: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	zr.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dctz: zlib: %w", err)
+	}
+	if len(raw) < 9 {
+		return nil, nil, errors.New("dctz: truncated payload")
+	}
+	coefEB := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	ndims := int(raw[8])
+	pos := 9
+	if ndims < 1 || ndims > 4 || len(raw) < pos+8*ndims+8 {
+		return nil, nil, errors.New("dctz: corrupt header")
+	}
+	dims := make([]int, ndims)
+	total := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		if dims[i] <= 0 || dims[i] > 1<<28 {
+			return nil, nil, errors.New("dctz: corrupt dims")
+		}
+		total *= dims[i]
+		if total > 1<<31 {
+			return nil, nil, errors.New("dctz: corrupt dims")
+		}
+	}
+	nlit := int(binary.LittleEndian.Uint64(raw[pos:]))
+	pos += 8
+	if nlit < 0 || len(raw) < pos+8*nlit {
+		return nil, nil, errors.New("dctz: corrupt literal count")
+	}
+	literals := make([]float64, nlit)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+	}
+	codes, err := huffman.Decode(raw[pos:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("dctz: %w", err)
+	}
+	nblocks := (total + BlockSize - 1) / BlockSize
+	if len(codes) != nblocks*BlockSize {
+		return nil, nil, fmt.Errorf("dctz: %d codes for %d blocks", len(codes), nblocks)
+	}
+	twoEB := 2 * coefEB
+	plan := transform.NewPlan(BlockSize)
+	out := make([]float64, total)
+	block := make([]float64, BlockSize)
+	li := 0
+	for b := 0; b < nblocks; b++ {
+		for i := 0; i < BlockSize; i++ {
+			c := codes[b*BlockSize+i]
+			if c == 0 {
+				if li >= len(literals) {
+					return nil, nil, errors.New("dctz: literal stream exhausted")
+				}
+				block[i] = literals[li]
+				li++
+				continue
+			}
+			block[i] = float64(int(c)-radius) * twoEB
+		}
+		plan.Inverse(block)
+		lo := b * BlockSize
+		for i := 0; i < BlockSize && lo+i < total; i++ {
+			out[lo+i] = block[i]
+		}
+	}
+	if li != len(literals) {
+		return nil, nil, errors.New("dctz: unused literals")
+	}
+	return out, dims, nil
+}
+
+func valueRange(x []float64) float64 {
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

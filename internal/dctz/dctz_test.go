@@ -1,0 +1,113 @@
+package dctz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/dataset"
+	"dpz/internal/stats"
+)
+
+func checkBound(t *testing.T, data []float64, dims []int, p Params) *Compressed {
+	t.Helper()
+	c, err := Compress(data, dims, p)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, gotDims, err := Decompress(c.Bytes)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+	}
+	if maxErr := stats.MaxAbsError(data, out); maxErr > c.AbsBound+1e-12 {
+		t.Fatalf("max error %g exceeds bound %g", maxErr, c.AbsBound)
+	}
+	return c
+}
+
+func TestErrorBound(t *testing.T) {
+	fields := []*dataset.Field{
+		dataset.CESM("FLDSC", 40, 80, 51),
+		dataset.Isotropic(16, 52),
+		dataset.HACCX(3000, 53),
+	}
+	for _, f := range fields {
+		for _, eb := range []float64{1e-2, 1e-3} {
+			checkBound(t, f.Data, f.Dims, Params{ErrorBound: eb, Relative: true})
+		}
+	}
+}
+
+func TestSmoothDataCompresses(t *testing.T) {
+	f := dataset.CESM("PHIS", 60, 120, 54)
+	c := checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-2, Relative: true})
+	if c.Ratio < 4 {
+		t.Fatalf("smooth field CR = %.2f", c.Ratio)
+	}
+}
+
+func TestNonMultipleOfBlockSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	data := make([]float64, BlockSize*3+17)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/9) + 0.05*rng.NormFloat64()
+	}
+	checkBound(t, data, []int{len(data)}, Params{ErrorBound: 1e-3})
+}
+
+func TestValidation(t *testing.T) {
+	data := make([]float64, 10)
+	if _, err := Compress(data, []int{5}, Params{ErrorBound: 1e-3}); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	if _, err := Compress(data, []int{10}, Params{ErrorBound: 0}); err == nil {
+		t.Fatal("expected bound error")
+	}
+	if _, err := Compress(nil, nil, Params{ErrorBound: 1e-3}); err == nil {
+		t.Fatal("expected empty input error")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, _, err := Decompress([]byte("XXXXxxxx")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	f := dataset.HACCVX(500, 56)
+	c, err := Compress(f.Data, f.Dims, Params{ErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(c.Bytes[:len(c.Bytes)/3]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(1500)
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = 10*math.Sin(float64(i)/5) + rng.NormFloat64()
+		}
+		eb := math.Pow(10, -1-2*rng.Float64())
+		c, err := Compress(data, []int{n}, Params{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		out, _, err := Decompress(c.Bytes)
+		if err != nil {
+			return false
+		}
+		return stats.MaxAbsError(data, out) <= eb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package eigen
+
+import (
+	"math/rand"
+	"testing"
+
+	"dpz/internal/mat"
+)
+
+func benchMatrix(n int) *mat.Dense {
+	rng := rand.New(rand.NewSource(1))
+	return randomSymmetric(n, rng)
+}
+
+func BenchmarkSymEig128(b *testing.B) {
+	a := benchMatrix(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEig512(b *testing.B) {
+	a := benchMatrix(512)
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEigValues512(b *testing.B) {
+	a := benchMatrix(512)
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigValues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK512x16(b *testing.B) {
+	// SPD matrix with decaying spectrum so subspace iteration converges.
+	rng := rand.New(rand.NewSource(2))
+	g := mat.NewDense(512, 512)
+	for i := range g.Data() {
+		g.Data()[i] = rng.NormFloat64()
+	}
+	a := mat.Mul(g.T(), g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopK(a, 16, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOneSidedJacobi256x128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		x := mat.NewDense(256, 128)
+		for j := range x.Data() {
+			x.Data()[j] = rng.NormFloat64()
+		}
+		b.StartTimer()
+		if _, err := OneSidedJacobi(x, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

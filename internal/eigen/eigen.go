@@ -1,0 +1,224 @@
+// Package eigen implements a dense symmetric eigensolver: Householder
+// reduction to tridiagonal form followed by the implicit-shift QL
+// iteration. This is the numerical core behind DPZ's PCA stage and the
+// VIF compressibility indicator.
+//
+// The algorithm follows the classic tred2/tqli formulation (Golub & Van
+// Loan; Numerical Recipes). For the covariance matrices DPZ produces
+// (symmetric positive semi-definite, typically a few hundred to a few
+// thousand features) it converges in a handful of sweeps per eigenvalue.
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dpz/internal/mat"
+)
+
+// ErrNoConvergence is returned when the QL iteration fails to converge
+// within the iteration budget (50 sweeps per eigenvalue, far beyond what a
+// well-formed covariance matrix requires).
+var ErrNoConvergence = errors.New("eigen: QL iteration did not converge")
+
+// System holds the eigendecomposition of a symmetric matrix: Values[i] is
+// the i-th eigenvalue and the i-th column of Vectors is its (unit-norm)
+// eigenvector. Pairs are sorted by descending eigenvalue, which is the
+// order PCA consumes them in.
+type System struct {
+	Values  []float64
+	Vectors *mat.Dense
+}
+
+// SymEig computes the full eigendecomposition of the symmetric matrix a.
+// Only the lower triangle is read; a is not modified.
+func SymEig(a *mat.Dense) (*System, error) {
+	r, c := a.Dims()
+	if r != c {
+		return nil, fmt.Errorf("eigen: non-square input %dx%d", r, c)
+	}
+	if r == 0 {
+		return &System{Values: nil, Vectors: mat.NewDense(0, 0)}, nil
+	}
+	n := r
+	// z starts as a copy of a and is overwritten with the accumulated
+	// orthogonal transform; after tqli its columns are the eigenvectors.
+	z := a.Clone()
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(z, d, e)
+	if err := tqli(d, e, z); err != nil {
+		return nil, err
+	}
+	sys := &System{Values: d, Vectors: z}
+	sys.sortDescending()
+	return sys, nil
+}
+
+// sortDescending reorders eigenpairs so Values is non-increasing.
+func (s *System) sortDescending() {
+	n := len(s.Values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.Values[idx[a]] > s.Values[idx[b]] })
+	vals := make([]float64, n)
+	vecs := mat.NewDense(n, n)
+	for newJ, oldJ := range idx {
+		vals[newJ] = s.Values[oldJ]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, newJ, s.Vectors.At(i, oldJ))
+		}
+	}
+	s.Values = vals
+	s.Vectors = vecs
+}
+
+// tred2 reduces the symmetric matrix stored in z to tridiagonal form using
+// Householder reflections, accumulating the transform in z. On return d
+// holds the diagonal and e the sub-diagonal (e[0] is unused/zero).
+func tred2(z *mat.Dense, d, e []float64) {
+	n := len(d)
+	a := z.Data()
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a[i*n+k])
+			}
+			if scale == 0 {
+				e[i] = a[i*n+l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a[i*n+k] /= scale
+					h += a[i*n+k] * a[i*n+k]
+				}
+				f := a[i*n+l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a[i*n+l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					a[j*n+i] = a[i*n+j] / h
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a[j*n+k] * a[i*n+k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k*n+j] * a[i*n+k]
+					}
+					e[j] = g / h
+					f += e[j] * a[i*n+j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a[i*n+j]
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a[j*n+k] -= f*e[k] + g*a[i*n+k]
+					}
+				}
+			}
+		} else {
+			e[i] = a[i*n+l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				var g float64
+				for k := 0; k <= l; k++ {
+					g += a[i*n+k] * a[k*n+j]
+				}
+				for k := 0; k <= l; k++ {
+					a[k*n+j] -= g * a[k*n+i]
+				}
+			}
+		}
+		d[i] = a[i*n+i]
+		a[i*n+i] = 1
+		for j := 0; j <= l; j++ {
+			a[j*n+i] = 0
+			a[i*n+j] = 0
+		}
+	}
+}
+
+// tqli diagonalizes a symmetric tridiagonal matrix (diagonal d,
+// sub-diagonal e) with implicit-shift QL, accumulating rotations into z's
+// columns. On return d holds the eigenvalues.
+func tqli(d, e []float64, z *mat.Dense) error {
+	n := len(d)
+	a := z.Data()
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64 || math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return ErrNoConvergence
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f = a[k*n+i+1]
+					a[k*n+i+1] = s*a[k*n+i] + c*f
+					a[k*n+i] = c*a[k*n+i] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

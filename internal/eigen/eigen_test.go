@@ -1,0 +1,196 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/mat"
+)
+
+func randomSymmetric(n int, rng *rand.Rand) *mat.Dense {
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := mat.NewDense(3, 3)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 5)
+	a.Set(2, 2, 3)
+	sys, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if math.Abs(sys.Values[i]-w) > 1e-12 {
+			t.Fatalf("eigenvalue %d = %v, want %v", i, sys.Values[i], w)
+		}
+	}
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors (1,1)/√2,
+	// (1,-1)/√2.
+	a := mat.NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	sys, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sys.Values[0]-3) > 1e-12 || math.Abs(sys.Values[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", sys.Values)
+	}
+	v0 := []float64{sys.Vectors.At(0, 0), sys.Vectors.At(1, 0)}
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-12 || math.Abs(v0[0]-v0[1]) > 1e-12 {
+		t.Fatalf("first eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 60} {
+		a := randomSymmetric(n, rng)
+		sys, err := SymEig(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Reconstruct A = V Λ Vᵀ.
+		lam := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, sys.Values[i])
+		}
+		recon := mat.Mul(mat.Mul(sys.Vectors, lam), sys.Vectors.T())
+		if !mat.Equal(a, recon, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: VΛVᵀ != A", n)
+		}
+	}
+}
+
+func TestSymEigOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 30
+	a := randomSymmetric(n, rng)
+	sys, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtv := mat.Mul(sys.Vectors.T(), sys.Vectors)
+	id := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	if !mat.Equal(vtv, id, 1e-9) {
+		t.Fatal("VᵀV != I")
+	}
+}
+
+func TestSymEigSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomSymmetric(20, rng)
+	sys, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sys.Values); i++ {
+		if sys.Values[i] > sys.Values[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v > %v at %d", sys.Values[i], sys.Values[i-1], i)
+		}
+	}
+}
+
+func TestSymEigCovariancePSD(t *testing.T) {
+	// Eigenvalues of a covariance matrix must be non-negative (up to
+	// round-off), and their sum must equal the trace.
+	rng := rand.New(rand.NewSource(14))
+	x := mat.NewDense(200, 15)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	cov, _ := mat.Covariance(x)
+	sys, err := SymEig(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, sum float64
+	for i := 0; i < 15; i++ {
+		trace += cov.At(i, i)
+	}
+	for _, v := range sys.Values {
+		if v < -1e-10 {
+			t.Fatalf("negative eigenvalue %v for PSD matrix", v)
+		}
+		sum += v
+	}
+	if math.Abs(trace-sum) > 1e-9 {
+		t.Fatalf("eigenvalue sum %v != trace %v", sum, trace)
+	}
+}
+
+func TestSymEigRejectsNonSquare(t *testing.T) {
+	if _, err := SymEig(mat.NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSymEigEmpty(t *testing.T) {
+	sys, err := SymEig(mat.NewDense(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Values) != 0 {
+		t.Fatal("expected empty system")
+	}
+}
+
+func TestSymEigPropertyEigenEquation(t *testing.T) {
+	// For every eigenpair, ‖A·v − λ·v‖ must be tiny.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := randomSymmetric(n, rng)
+		sys, err := SymEig(a)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			v := sys.Vectors.Col(j, nil)
+			av := mat.MulVec(a, v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-sys.Values[j]*v[i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigRepeatedEigenvalues(t *testing.T) {
+	// Identity: all eigenvalues 1, any orthonormal basis acceptable.
+	n := 6
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	sys, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sys.Values {
+		if math.Abs(v-1) > 1e-12 {
+			t.Fatalf("eigenvalue %v, want 1", v)
+		}
+	}
+}

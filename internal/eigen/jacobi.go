@@ -1,0 +1,155 @@
+package eigen
+
+import (
+	"math"
+	"sort"
+
+	"dpz/internal/mat"
+	"dpz/internal/parallel"
+)
+
+// OneSidedJacobi computes the right singular system of b (rows × cols,
+// rows ≥ cols): it orthogonalizes b's columns with Jacobi plane rotations
+// and returns the squared singular values divided by (rows−1) — i.e. the
+// eigenvalues of the sample covariance of b's columns when b is centered —
+// together with the accumulated rotation matrix V (cols × cols), sorted
+// descending.
+//
+// Unlike the two-sided eigensolve, rotations touch only the two columns of
+// their pair, so the pairs of a tournament round are independent and run
+// in parallel — the Stage 2 parallelism the paper leaves as future work.
+// b is overwritten.
+func OneSidedJacobi(b *mat.Dense, workers int) (*System, error) {
+	rows, cols := b.Dims()
+	if cols == 0 {
+		return &System{Values: nil, Vectors: mat.NewDense(0, 0)}, nil
+	}
+	if rows < 2 {
+		// A single sample has no variance structure; report zeros with an
+		// identity basis.
+		sys := &System{Values: make([]float64, cols), Vectors: identity(cols)}
+		return sys, nil
+	}
+
+	v := identity(cols)
+	const maxSweeps = 30
+	// Convergence when every column pair is numerically orthogonal
+	// relative to the column norms.
+	const tol = 1e-10
+
+	// Column-major copies make the rotation kernel cache friendly.
+	colData := make([][]float64, cols)
+	for j := 0; j < cols; j++ {
+		colData[j] = b.Col(j, nil)
+	}
+	vcol := make([][]float64, cols)
+	for j := 0; j < cols; j++ {
+		vcol[j] = v.Col(j, nil)
+	}
+
+	n := cols
+	if n%2 == 1 {
+		n++ // tournament scheduling needs an even player count (one bye)
+	}
+	players := make([]int, n)
+	for i := range players {
+		players[i] = i
+	}
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		converged := true
+		// Round-robin tournament: n−1 rounds of n/2 disjoint pairs cover
+		// every unordered pair exactly once.
+		for round := 0; round < n-1; round++ {
+			pairs := make([][2]int, 0, n/2)
+			for i := 0; i < n/2; i++ {
+				p, q := players[i], players[n-1-i]
+				if p >= cols || q >= cols {
+					continue // the bye
+				}
+				if p > q {
+					p, q = q, p
+				}
+				pairs = append(pairs, [2]int{p, q})
+			}
+			rotated := make([]bool, len(pairs))
+			parallel.For(len(pairs), workers, func(i int) {
+				rotated[i] = rotatePair(colData, vcol, pairs[i][0], pairs[i][1], tol)
+			})
+			for _, r := range rotated {
+				if r {
+					converged = false
+				}
+			}
+			// Rotate the tournament (player 0 fixed).
+			last := players[n-1]
+			copy(players[2:], players[1:n-1])
+			players[1] = last
+		}
+		if converged {
+			break
+		}
+	}
+
+	// Eigenvalues = squared column norms / (rows−1), sorted descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	vals := make([]pair, cols)
+	den := float64(rows - 1)
+	for j := 0; j < cols; j++ {
+		var s float64
+		for _, x := range colData[j] {
+			s += x * x
+		}
+		vals[j] = pair{val: s / den, idx: j}
+	}
+	sort.SliceStable(vals, func(a, b int) bool { return vals[a].val > vals[b].val })
+
+	sys := &System{Values: make([]float64, cols), Vectors: mat.NewDense(cols, cols)}
+	for newJ, p := range vals {
+		sys.Values[newJ] = p.val
+		sys.Vectors.SetCol(newJ, vcol[p.idx])
+	}
+	return sys, nil
+}
+
+// rotatePair orthogonalizes columns p and q in place; returns whether a
+// rotation was applied.
+func rotatePair(colData, vcol [][]float64, p, q int, tol float64) bool {
+	cp, cq := colData[p], colData[q]
+	var app, aqq, apq float64
+	for i := range cp {
+		app += cp[i] * cp[i]
+		aqq += cq[i] * cq[i]
+		apq += cp[i] * cq[i]
+	}
+	if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+		return false
+	}
+	theta := (aqq - app) / (2 * apq)
+	t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	for i := range cp {
+		x, y := cp[i], cq[i]
+		cp[i] = c*x - s*y
+		cq[i] = s*x + c*y
+	}
+	vp, vq := vcol[p], vcol[q]
+	for i := range vp {
+		x, y := vp[i], vq[i]
+		vp[i] = c*x - s*y
+		vq[i] = s*x + c*y
+	}
+	return true
+}
+
+func identity(n int) *mat.Dense {
+	id := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		id.Set(i, i, 1)
+	}
+	return id
+}

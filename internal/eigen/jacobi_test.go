@@ -1,0 +1,120 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpz/internal/mat"
+)
+
+func TestOneSidedJacobiMatchesCovarianceEig(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	rows, cols := 200, 24
+	x := mat.NewDense(rows, cols)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	// Center columns (Jacobi assumes the caller centered).
+	means := mat.ColMeans(x)
+	for i := 0; i < rows; i++ {
+		row := x.Row(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	cov, _ := mat.Covariance(x)
+	ref, err := SymEig(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := OneSidedJacobi(x.Clone(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < cols; j++ {
+		if math.Abs(sys.Values[j]-ref.Values[j]) > 1e-8*(1+ref.Values[j]) {
+			t.Fatalf("eigenvalue %d: %v vs %v", j, sys.Values[j], ref.Values[j])
+		}
+	}
+	// Eigenvectors agree up to sign.
+	for j := 0; j < cols; j++ {
+		var dot float64
+		for i := 0; i < cols; i++ {
+			dot += sys.Vectors.At(i, j) * ref.Vectors.At(i, j)
+		}
+		if math.Abs(math.Abs(dot)-1) > 1e-6 {
+			t.Fatalf("eigenvector %d misaligned: |dot| = %v", j, math.Abs(dot))
+		}
+	}
+}
+
+func TestOneSidedJacobiParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	rows, cols := 150, 33 // odd column count exercises the tournament bye
+	mk := func() *mat.Dense {
+		r := rand.New(rand.NewSource(99))
+		x := mat.NewDense(rows, cols)
+		for i := range x.Data() {
+			x.Data()[i] = r.NormFloat64()
+		}
+		return x
+	}
+	_ = rng
+	a, err := OneSidedJacobi(mk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OneSidedJacobi(mk(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Values {
+		if math.Abs(a.Values[j]-b.Values[j]) > 1e-9*(1+a.Values[j]) {
+			t.Fatalf("value %d differs across worker counts: %v vs %v", j, a.Values[j], b.Values[j])
+		}
+	}
+}
+
+func TestOneSidedJacobiVectorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(803))
+	x := mat.NewDense(80, 15)
+	for i := range x.Data() {
+		x.Data()[i] = rng.NormFloat64()
+	}
+	sys, err := OneSidedJacobi(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mat.Mul(sys.Vectors.T(), sys.Vectors)
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-9 {
+				t.Fatalf("VᵀV[%d,%d] = %v", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestOneSidedJacobiDegenerate(t *testing.T) {
+	// Empty and single-row inputs.
+	sys, err := OneSidedJacobi(mat.NewDense(5, 0), 1)
+	if err != nil || len(sys.Values) != 0 {
+		t.Fatalf("empty: %v %v", sys, err)
+	}
+	one := mat.NewDense(1, 3)
+	one.Set(0, 1, 2)
+	sys, err = OneSidedJacobi(one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sys.Values {
+		if v != 0 {
+			t.Fatalf("single-sample eigenvalue %v", v)
+		}
+	}
+}

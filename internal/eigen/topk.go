@@ -1,0 +1,165 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dpz/internal/mat"
+)
+
+// TopK computes the k leading eigenpairs of the symmetric PSD matrix a via
+// orthogonal (subspace) iteration. This is the O(M²·k)-per-sweep path DPZ
+// takes when the sampling strategy has already fixed k, avoiding the full
+// O(M³) decomposition (Section IV-D: "when k ≪ min(M,N) the complexity of
+// k-PCA can be reduced").
+//
+// seed makes the random starting subspace reproducible.
+func TopK(a *mat.Dense, k int, seed int64) (*System, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("eigen: non-square input %dx%d", n, c)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("eigen: k=%d out of range [1,%d]", k, n)
+	}
+	// The dense solver's O(n³) beats subspace iteration's O(n²·k·iters)
+	// unless n is large and k a small fraction of it; route accordingly.
+	if n <= 256 || k > n/8 {
+		sys, err := SymEig(a)
+		if err != nil {
+			return nil, err
+		}
+		return truncate(sys, k), nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Iterate on a slightly larger subspace for faster convergence of the
+	// trailing wanted eigenpair.
+	p := k + 8
+	if p > n {
+		p = n
+	}
+	q := mat.NewDense(n, p)
+	for i := range q.Data() {
+		q.Data()[i] = rng.NormFloat64()
+	}
+	orthonormalize(q)
+
+	// Each sweep applies A twice (squaring the convergence ratio per
+	// sweep) and stops when the variance captured by the subspace —
+	// trace(QᵀAQ), the only quantity PCA consumes — is stable. Exact
+	// eigenpair separation is then restored by the Rayleigh–Ritz step.
+	prevCaptured := -1.0
+	const maxSweeps = 40
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		z := mat.Mul(a, q)
+		// Captured variance: Σ_j (Qᵀ A Q)_jj = Σ_j Q_j·Z_j.
+		var captured float64
+		for j := 0; j < p; j++ {
+			for i := 0; i < n; i++ {
+				captured += q.At(i, j) * z.At(i, j)
+			}
+		}
+		z = mat.Mul(a, z)
+		orthonormalize(z)
+		q = z
+		if prevCaptured >= 0 && math.Abs(captured-prevCaptured) <= 1e-7*(1+math.Abs(captured)) {
+			break
+		}
+		prevCaptured = captured
+	}
+	// Rayleigh–Ritz on the converged subspace: solve the small p×p
+	// projected problem to resolve clustered eigenvalues cleanly.
+	aq := mat.Mul(a, q)
+	small := mat.Mul(q.T(), aq)
+	// Symmetrize round-off.
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			v := 0.5 * (small.At(i, j) + small.At(j, i))
+			small.Set(i, j, v)
+			small.Set(j, i, v)
+		}
+	}
+	ssys, err := SymEig(small)
+	if err != nil {
+		return nil, err
+	}
+	ritz := mat.Mul(q, ssys.Vectors)
+	return truncate(&System{Values: ssys.Values, Vectors: ritz}, k), nil
+}
+
+// truncate keeps the first k eigenpairs of sys.
+func truncate(sys *System, k int) *System {
+	n, _ := sys.Vectors.Dims()
+	vals := make([]float64, k)
+	copy(vals, sys.Values[:k])
+	vecs := mat.NewDense(n, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, sys.Vectors.At(i, j))
+		}
+	}
+	return &System{Values: vals, Vectors: vecs}
+}
+
+// orthonormalize applies modified Gram–Schmidt with re-orthogonalization
+// ("twice is enough") to the columns of q in place. Under subspace
+// iteration the input columns can be violently ill-conditioned — repeated
+// applications of A collapse them toward the dominant eigenspace — and a
+// single MGS pass then loses orthogonality entirely; the second pass
+// restores it to machine precision. Columns that collapse relative to
+// their original norm are reseeded with canonical basis vectors.
+func orthonormalize(q *mat.Dense) {
+	n, p := q.Dims()
+	col := make([]float64, n)
+	project := func(j int) float64 {
+		for i := 0; i < j; i++ {
+			var dot float64
+			for r := 0; r < n; r++ {
+				dot += q.At(r, i) * col[r]
+			}
+			for r := 0; r < n; r++ {
+				col[r] -= dot * q.At(r, i)
+			}
+		}
+		var norm float64
+		for _, v := range col {
+			norm += v * v
+		}
+		return math.Sqrt(norm)
+	}
+	for j := 0; j < p; j++ {
+		q.Col(j, col)
+		var norm0 float64
+		for _, v := range col {
+			norm0 += v * v
+		}
+		norm0 = math.Sqrt(norm0)
+		project(j)
+		norm := project(j) // second pass restores orthogonality
+		if norm <= 1e-10*norm0 || norm == 0 {
+			// The column lay (numerically) inside the span of its
+			// predecessors: reseed with canonical basis vectors until one
+			// survives the projection.
+			for attempt := 0; ; attempt++ {
+				for r := range col {
+					col[r] = 0
+				}
+				col[(j+attempt*31)%n] = 1
+				project(j)
+				norm = project(j)
+				if norm > 1e-8 || attempt > n {
+					break
+				}
+			}
+			if norm == 0 {
+				norm = 1
+			}
+		}
+		inv := 1 / norm
+		for r := range col {
+			col[r] *= inv
+		}
+		q.SetCol(j, col)
+	}
+}

@@ -1,0 +1,151 @@
+package eigen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpz/internal/mat"
+)
+
+// SymEigValues computes only the eigenvalues of the symmetric matrix a,
+// sorted descending. Skipping the eigenvector accumulation makes this
+// several times cheaper than SymEig — it is what DPZ's sampling strategy
+// uses to read a subset's TVE curve without paying for a basis it will
+// never project onto.
+func SymEigValues(a *mat.Dense) ([]float64, error) {
+	r, c := a.Dims()
+	if r != c {
+		return nil, fmt.Errorf("eigen: non-square input %dx%d", r, c)
+	}
+	if r == 0 {
+		return nil, nil
+	}
+	n := r
+	work := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2Values(work, d, e)
+	if err := tqliValues(d, e); err != nil {
+		return nil, err
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(d)))
+	return d, nil
+}
+
+// tred2Values is tred2 with every eigenvector-accumulation statement
+// removed (the Numerical Recipes "eigenvalues only" variant).
+func tred2Values(z *mat.Dense, d, e []float64) {
+	n := len(d)
+	a := z.Data()
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		var h, scale float64
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(a[i*n+k])
+			}
+			if scale == 0 {
+				e[i] = a[i*n+l]
+			} else {
+				for k := 0; k <= l; k++ {
+					a[i*n+k] /= scale
+					h += a[i*n+k] * a[i*n+k]
+				}
+				f := a[i*n+l]
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				a[i*n+l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += a[j*n+k] * a[i*n+k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k*n+j] * a[i*n+k]
+					}
+					e[j] = g / h
+					f += e[j] * a[i*n+j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = a[i*n+j]
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						a[j*n+k] -= f*e[k] + g*a[i*n+k]
+					}
+				}
+			}
+		} else {
+			e[i] = a[i*n+l]
+		}
+	}
+	e[0] = 0
+	for i := 0; i < n; i++ {
+		d[i] = a[i*n+i]
+	}
+}
+
+// tqliValues is tqli without the eigenvector rotation updates.
+func tqliValues(d, e []float64) error {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64 || math.Abs(e[m])+dd == dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				return ErrNoConvergence
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpz/internal/mat"
+)
+
+func TestSymEigValuesMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, n := range []int{1, 2, 5, 20, 80} {
+		a := randomSymmetric(n, rng)
+		vals, err := SymEigValues(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sys, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != n {
+			t.Fatalf("n=%d: got %d values", n, len(vals))
+		}
+		for i := range vals {
+			if math.Abs(vals[i]-sys.Values[i]) > 1e-8*(1+math.Abs(vals[i])) {
+				t.Fatalf("n=%d value %d: %v vs %v", n, i, vals[i], sys.Values[i])
+			}
+		}
+	}
+}
+
+func TestSymEigValuesValidation(t *testing.T) {
+	if _, err := SymEigValues(mat.NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+	vals, err := SymEigValues(mat.NewDense(0, 0))
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("empty input: %v, %v", vals, err)
+	}
+}
+
+func TestSymEigValuesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	a := randomSymmetric(40, rng)
+	vals, err := SymEigValues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatal("values not sorted descending")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section V) plus the motivation figures (Section II-III). Each
+// experiment prints the same rows/series the paper reports; absolute
+// numbers differ (synthetic stand-in datasets, different hardware) but the
+// qualitative shape — who wins where, per-stage contributions, crossovers —
+// is the reproduction target. See EXPERIMENTS.md for paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"dpz/internal/dataset"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Scale shrinks the paper's native dataset sizes (1.0 = native
+	// 128³/1800×3600/2²¹; the default 0.08 runs the full suite in minutes
+	// on a laptop).
+	Scale float64
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Out receives the experiment's text output.
+	Out io.Writer
+	// ArtifactDir, when non-empty, receives image artifacts (Figure 7's
+	// PGM visualizations).
+	ArtifactDir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 0.08
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	Name  string // registry key, e.g. "fig6"
+	Title string // human title, e.g. "Rate-distortion comparison"
+	Run   func(Config) error
+}
+
+var registry = []Runner{
+	{"table1", "Dataset inventory (Table I)", Table1},
+	{"fig1", "FLDSC distribution: original vs DCT coefficients (Figure 1)", Fig1},
+	{"fig2", "PCA component distributions (Figure 2)", Fig2},
+	{"fig3", "Information preservation and PSNR vs selected features (Figure 3)", Fig3},
+	{"fig4", "Transform-combination errors at 5x (Figure 4)", Fig4},
+	{"fig6", "Rate-distortion comparison (Figure 6)", Fig6},
+	{"table2", "Knee-point compression (Table II)", Table2},
+	{"table3", "Per-stage CR breakdown (Table III)", Table3},
+	{"table4", "Accuracy loss between stages (Table IV)", Table4},
+	{"fig7", "CLDHGH visualization (Figure 7)", Fig7},
+	{"fig8", "Compression throughput (Figure 8)", Fig8},
+	{"fig9", "Compression time breakdown (Figure 9)", Fig9},
+	{"fig10", "VIF of sampling datasets (Figure 10)", Fig10},
+	{"sampling", "Sampling strategy evaluation (Section V-C6)", SamplingEval},
+	{"ablation", "Design-choice ablations (DESIGN.md)", Ablation},
+	{"scaling", "Worker-count scaling (future work: parallelism)", Scaling},
+}
+
+// Runners returns every registered experiment in paper order.
+func Runners() []Runner {
+	out := make([]Runner, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Runner, bool) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Names lists the registry keys.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, r := range registry {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// load generates a dataset at the configured scale.
+func load(name string, cfg Config) (*dataset.Field, error) {
+	return dataset.Generate(name, cfg.Scale)
+}
+
+// newTable starts an aligned text table on cfg.Out.
+func newTable(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// evalDatasets is the six-dataset subset Tables II-IV report.
+var evalDatasets = []string{"Isotropic", "Channel", "CLDHGH", "PHIS", "HACC-x", "HACC-vx"}
+
+// allDatasets is the full Figure 6 set (CLDLOW omitted as in the paper,
+// which notes it mirrors CLDHGH).
+var allDatasets = []string{"Isotropic", "Channel", "CLDHGH", "PHIS", "FREQSH", "FLDSC", "HACC-x", "HACC-vx"}
+
+// fmtHist renders a histogram as a fixed-width ASCII sparkline table.
+func fmtHist(w io.Writer, label string, counts []int, lo, hi float64) {
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Fprintf(w, "%s  [%.4g, %.4g]\n", label, lo, hi)
+	const width = 50
+	for i, c := range counts {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(w, "  bin%02d %8d |%s\n", i, c, stars(bar))
+	}
+}
+
+func stars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '*'
+	}
+	return string(b)
+}

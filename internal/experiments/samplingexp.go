@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpz/internal/core"
+	"dpz/internal/sampling"
+	"dpz/internal/stats"
+)
+
+// Fig10 reproduces the VIF box plots: the variance inflation factor of the
+// sampled block features at SR = 2.5% and 1% on HACC-vx, Isotropic and
+// PHIS. The paper's point: HACC-vx sits below the VIF cutoff of 5 (poorly
+// compressible by DPZ) while Isotropic and PHIS sit far above it, and 1%
+// sampling is already enough to separate them.
+func Fig10(cfg Config) error {
+	cfg = cfg.withDefaults()
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "dataset\tSR\tmin\tQ1\tmedian\tQ3\tmax\tmean\tbelow cutoff?")
+	for _, name := range []string{"HACC-vx", "Isotropic", "PHIS"} {
+		f, err := load(name, cfg)
+		if err != nil {
+			return err
+		}
+		blocks, _, err := dctBlocks(f.Data, f.Dims, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		x := blocks.T()
+		for _, sr := range []float64{0.025, 0.01} {
+			vif, err := sampling.VIF(x, sr, 0, 1)
+			if err != nil {
+				return err
+			}
+			bp := stats.Summarize(vif)
+			fmt.Fprintf(tw, "%s\t%.1f%%\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%v\n",
+				name, 100*sr, bp.Min, bp.Q1, bp.Median, bp.Q3, bp.Max, bp.Mean,
+				bp.Mean < sampling.VIFCutoff)
+		}
+	}
+	return tw.Flush()
+}
+
+// SamplingEval tests the parameter-selection algorithm (Section V-C6): for
+// S = 5 and S = 10, estimate k_e and the preliminary compression-ratio
+// band CR_p on every dataset across several TVE targets, then check how
+// often the achieved CR falls inside the band (the paper reports 76.6% for
+// S=10 vs 63.3% for S=5).
+func SamplingEval(cfg Config) error {
+	cfg = cfg.withDefaults()
+	tw := newTable(cfg.Out)
+	fmt.Fprintln(tw, "S\tdataset\tTVE\tk_e\tk(full)\tCR_p low\tCR_p high\tCR achieved\tin band?")
+	for _, s := range []int{5, 10} {
+		hits, trials := 0, 0
+		for _, name := range evalDatasets {
+			f, err := load(name, cfg)
+			if err != nil {
+				return err
+			}
+			for _, nines := range []int{5, 6, 7} {
+				p := core.DPZS()
+				p.Workers = cfg.Workers
+				p.TVE = core.NinesTVE(nines)
+				p.UseSampling = true
+				p.Sampling = sampling.Params{S: s, TVE: core.NinesTVE(nines)}
+				c, err := core.Compress(f.Data, f.Dims, p)
+				if err != nil {
+					return err
+				}
+				// Reference: the non-sampled selection.
+				pf := p
+				pf.UseSampling = false
+				cf, err := core.Compress(f.Data, f.Dims, pf)
+				if err != nil {
+					return err
+				}
+				rep := c.Stats.Sampling
+				in := c.Stats.CRTotal >= rep.CRpLow && c.Stats.CRTotal <= rep.CRpHigh
+				if in {
+					hits++
+				}
+				trials++
+				fmt.Fprintf(tw, "%d\t%s\t%d-nine\t%d\t%d\t%.1f\t%.1f\t%.1f\t%v\n",
+					s, name, nines, rep.Ke, cf.Stats.K, rep.CRpLow, rep.CRpHigh,
+					c.Stats.CRTotal, in)
+			}
+		}
+		fmt.Fprintf(tw, "S=%d summary\t\t\t\t\t\t\t%d/%d in band (%.1f%%)\t\n",
+			s, hits, trials, 100*float64(hits)/float64(trials))
+	}
+	return tw.Flush()
+}

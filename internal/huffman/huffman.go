@@ -1,0 +1,275 @@
+// Package huffman implements a canonical Huffman coder over 16-bit symbol
+// alphabets. The SZ-like baseline uses it to entropy-code quantization bin
+// indices, mirroring the Huffman stage of the real SZ.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dpz/internal/bits"
+)
+
+// maxCodeLen caps code lengths so the decoder tables stay small. 32 bits
+// is far beyond what the quantization-code distributions need.
+const maxCodeLen = 32
+
+var (
+	// ErrCorrupt is returned for malformed encoded streams.
+	ErrCorrupt = errors.New("huffman: corrupt stream")
+)
+
+// node is a Huffman tree node for code-length derivation.
+type node struct {
+	weight      uint64
+	symbol      int // -1 for internal
+	left, right *node
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].weight < h[j].weight }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// codeLengths derives Huffman code lengths from symbol frequencies.
+func codeLengths(freq map[uint16]uint64) map[uint16]uint8 {
+	if len(freq) == 0 {
+		return map[uint16]uint8{}
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			return map[uint16]uint8{s: 1}
+		}
+	}
+	h := make(nodeHeap, 0, len(freq))
+	for s, w := range freq {
+		h = append(h, &node{weight: w, symbol: int(s)})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*node)
+		b := heap.Pop(&h).(*node)
+		heap.Push(&h, &node{weight: a.weight + b.weight, symbol: -1, left: a, right: b})
+	}
+	root := h[0]
+	lengths := make(map[uint16]uint8, len(freq))
+	var walk func(n *node, depth uint8)
+	walk = func(n *node, depth uint8) {
+		if n.symbol >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[uint16(n.symbol)] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	// Length-limit by clamping and re-normalizing via the Kraft sum if
+	// needed (rare with 16-bit alphabets; handled for robustness).
+	limitLengths(lengths)
+	return lengths
+}
+
+// limitLengths enforces maxCodeLen while keeping the Kraft inequality
+// satisfiable (simple heuristic: repeatedly shorten an over-long code and
+// lengthen the shortest code).
+func limitLengths(lengths map[uint16]uint8) {
+	for {
+		over := false
+		for _, l := range lengths {
+			if l > maxCodeLen {
+				over = true
+				break
+			}
+		}
+		if !over {
+			return
+		}
+		// Clamp all to maxCodeLen then fix Kraft by extending shortest.
+		type sl struct {
+			s uint16
+			l uint8
+		}
+		all := make([]sl, 0, len(lengths))
+		for s, l := range lengths {
+			if l > maxCodeLen {
+				l = maxCodeLen
+			}
+			all = append(all, sl{s, l})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].l < all[j].l })
+		// Kraft sum in units of 2^-maxCodeLen.
+		var kraft uint64
+		for _, e := range all {
+			kraft += 1 << (maxCodeLen - e.l)
+		}
+		limit := uint64(1) << maxCodeLen
+		for i := 0; kraft > limit && i < len(all); {
+			if all[i].l < maxCodeLen {
+				kraft -= 1 << (maxCodeLen - all[i].l - 1)
+				all[i].l++
+			} else {
+				i++
+			}
+		}
+		for _, e := range all {
+			lengths[e.s] = e.l
+		}
+		return
+	}
+}
+
+// canonical assigns canonical codes (shorter codes first, then by symbol).
+type codeEntry struct {
+	sym  uint16
+	len  uint8
+	code uint32
+}
+
+func canonicalCodes(lengths map[uint16]uint8) []codeEntry {
+	entries := make([]codeEntry, 0, len(lengths))
+	for s, l := range lengths {
+		entries = append(entries, codeEntry{sym: s, len: l})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].len != entries[j].len {
+			return entries[i].len < entries[j].len
+		}
+		return entries[i].sym < entries[j].sym
+	})
+	var code uint32
+	var prevLen uint8
+	for i := range entries {
+		code <<= entries[i].len - prevLen
+		entries[i].code = code
+		prevLen = entries[i].len
+		code++
+	}
+	return entries
+}
+
+// Encode Huffman-codes syms. The output is self-contained: a canonical
+// code table header (symbol + length pairs) followed by the bit stream.
+func Encode(syms []uint16) []byte {
+	freq := make(map[uint16]uint64)
+	for _, s := range syms {
+		freq[s]++
+	}
+	lengths := codeLengths(freq)
+	entries := canonicalCodes(lengths)
+	codeOf := make(map[uint16]codeEntry, len(entries))
+	for _, e := range entries {
+		codeOf[e.sym] = e
+	}
+
+	// Header: nsyms(u32), count(u64), then (symbol u16, length u8) per
+	// distinct symbol in canonical order.
+	hdr := make([]byte, 12+3*len(entries))
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(entries)))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(syms)))
+	for i, e := range entries {
+		binary.LittleEndian.PutUint16(hdr[12+3*i:], e.sym)
+		hdr[12+3*i+2] = e.len
+	}
+
+	w := bits.NewWriter()
+	for _, s := range syms {
+		e := codeOf[s]
+		w.WriteBits(uint64(e.code), uint(e.len))
+	}
+	return append(hdr, w.Bytes()...)
+}
+
+// Decode reverses Encode.
+func Decode(buf []byte) ([]uint16, error) {
+	if len(buf) < 12 {
+		return nil, ErrCorrupt
+	}
+	nsym := int(binary.LittleEndian.Uint32(buf[0:]))
+	count := int(binary.LittleEndian.Uint64(buf[4:]))
+	if nsym < 0 || nsym > 1<<16 || count < 0 || len(buf) < 12+3*nsym {
+		return nil, ErrCorrupt
+	}
+	if count == 0 {
+		return []uint16{}, nil
+	}
+	if nsym == 0 {
+		return nil, ErrCorrupt
+	}
+	// Every decoded symbol consumes at least one bit, so a count beyond
+	// 8× the bitstream length is corruption — and would otherwise be an
+	// allocation bomb (found by FuzzDecode).
+	if count > 8*(len(buf)-12-3*nsym) {
+		return nil, ErrCorrupt
+	}
+	lengths := make(map[uint16]uint8, nsym)
+	for i := 0; i < nsym; i++ {
+		s := binary.LittleEndian.Uint16(buf[12+3*i:])
+		l := buf[12+3*i+2]
+		if l == 0 || l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		if _, dup := lengths[s]; dup {
+			return nil, ErrCorrupt
+		}
+		lengths[s] = l
+	}
+	entries := canonicalCodes(lengths)
+
+	// Build a (length -> firstCode, firstIndex) table for canonical
+	// decoding.
+	type lenGroup struct {
+		firstCode uint32
+		firstIdx  int
+		count     int
+	}
+	groups := make(map[uint8]*lenGroup)
+	for i, e := range entries {
+		g, ok := groups[e.len]
+		if !ok {
+			groups[e.len] = &lenGroup{firstCode: e.code, firstIdx: i, count: 1}
+		} else {
+			g.count++
+		}
+	}
+
+	r := bits.NewReader(buf[12+3*nsym:])
+	out := make([]uint16, 0, count)
+	for len(out) < count {
+		var code uint32
+		var l uint8
+		matched := false
+		for l = 1; l <= maxCodeLen; l++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			code = code<<1 | uint32(b)
+			if g, ok := groups[l]; ok {
+				if code >= g.firstCode && int(code-g.firstCode) < g.count {
+					out = append(out, entries[g.firstIdx+int(code-g.firstCode)].sym)
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return nil, ErrCorrupt
+		}
+	}
+	return out, nil
+}

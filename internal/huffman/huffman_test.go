@@ -1,0 +1,128 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, syms []uint16) {
+	t.Helper()
+	buf := Encode(syms)
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(syms) {
+		t.Fatalf("decoded %d symbols, want %d", len(got), len(syms))
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d = %d, want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) { roundTrip(t, nil) }
+
+func TestRoundTripSingleSymbol(t *testing.T) {
+	roundTrip(t, []uint16{42})
+	roundTrip(t, []uint16{7, 7, 7, 7, 7})
+}
+
+func TestRoundTripTwoSymbols(t *testing.T) {
+	roundTrip(t, []uint16{0, 1, 0, 0, 1, 1, 0})
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	// Heavily skewed distribution, the common case for SZ quantization
+	// codes clustered around the zero-delta bin.
+	rng := rand.New(rand.NewSource(81))
+	syms := make([]uint16, 20000)
+	for i := range syms {
+		r := rng.Float64()
+		switch {
+		case r < 0.85:
+			syms[i] = 512
+		case r < 0.95:
+			syms[i] = uint16(510 + rng.Intn(5))
+		default:
+			syms[i] = uint16(rng.Intn(1024))
+		}
+	}
+	buf := Encode(syms)
+	// Skewed input must compress well below 2 bytes/symbol.
+	if len(buf) > len(syms) {
+		t.Fatalf("encoded %d bytes for %d skewed symbols", len(buf), len(syms))
+	}
+	roundTrip(t, syms)
+}
+
+func TestCompressionBeatsRawForSkewed(t *testing.T) {
+	syms := make([]uint16, 10000)
+	for i := range syms {
+		syms[i] = uint16(i % 3) // entropy ~1.58 bits
+	}
+	buf := Encode(syms)
+	if len(buf) > 10000*2/4 {
+		t.Fatalf("low-entropy stream encoded to %d bytes", len(buf))
+	}
+	roundTrip(t, syms)
+}
+
+func TestRoundTripUniformProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3000)
+		alpha := 1 + rng.Intn(300)
+		syms := make([]uint16, n)
+		for i := range syms {
+			syms[i] = uint16(rng.Intn(alpha))
+		}
+		buf := Encode(syms)
+		got, err := Decode(buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("expected error for nil input")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected error for short input")
+	}
+	buf := Encode([]uint16{1, 2, 3, 1, 2, 3, 3, 3})
+	// Truncate the bitstream.
+	if _, err := Decode(buf[:len(buf)-1]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+	// Corrupt a table length to zero.
+	bad := make([]byte, len(buf))
+	copy(bad, buf)
+	bad[14] = 0
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("expected error for zero code length")
+	}
+}
+
+func TestFullAlphabet(t *testing.T) {
+	// All 256 symbols once: codes near 8 bits each; exercises canonical
+	// assignment across many lengths.
+	syms := make([]uint16, 256)
+	for i := range syms {
+		syms[i] = uint16(i)
+	}
+	roundTrip(t, syms)
+}

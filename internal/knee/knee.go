@@ -1,0 +1,251 @@
+// Package knee implements DPZ's knee-point detection (Algorithm 1,
+// Method 1): the optimal information-retrieval point on the cumulative
+// total-variance-explained curve, found as the first local maximum of the
+// curvature of the fitted, unit-square-normalized curve
+//
+//	K(x) = |s''(x)| / (1 + s'(x)²)^1.5
+//
+// The TVE curve is concave and increasing, so its signed curvature is
+// negative; following Satopää et al.'s "Kneedle" convention we detect the
+// maximum curvature *magnitude*. Two fitting modes mirror the paper:
+// Linear (1-D interpolation, preserves the raw shape) and Poly (polynomial
+// least squares, a smoother curve that trades compression ratio for
+// accuracy — Table II's "polyn" columns).
+package knee
+
+import (
+	"fmt"
+	"math"
+
+	"dpz/internal/mat"
+)
+
+// Fitting selects the spline-fitting method used before curvature
+// detection.
+type Fitting int
+
+const (
+	// Linear resamples the curve with 1-D linear interpolation.
+	Linear Fitting = iota
+	// Poly fits a least-squares polynomial (degree ≤ 7), producing a
+	// smoother curve and typically a later (more conservative) knee.
+	Poly
+)
+
+func (f Fitting) String() string {
+	switch f {
+	case Linear:
+		return "1D"
+	case Poly:
+		return "polyn"
+	default:
+		return fmt.Sprintf("Fitting(%d)", int(f))
+	}
+}
+
+// polyDegree is the degree used by the Poly fitting mode. Degree 7 is high
+// enough to track a TVE curve's single bend and low enough to stay smooth.
+const polyDegree = 7
+
+// gridSize is the uniform resampling resolution for curvature evaluation.
+const gridSize = 512
+
+// Detect returns the knee point of curve as a 1-based component count k.
+// curve[i] is the cumulative TVE after keeping i+1 components; it is
+// assumed non-decreasing. Degenerate curves (len < 3, or flat) return 1.
+func Detect(curve []float64, fit Fitting) int {
+	m := len(curve)
+	if m < 3 {
+		return clampK(1, m)
+	}
+	lo, hi := curve[0], curve[m-1]
+	if hi-lo <= 0 {
+		// Flat curve: the first component already explains everything.
+		return 1
+	}
+	// Normalize to the unit square. x_i = i/(m-1); y normalized by range.
+	ys := make([]float64, m)
+	for i, v := range curve {
+		ys[i] = (v - lo) / (hi - lo)
+	}
+
+	// Fit the curve. The Poly mode evaluates a smooth polynomial on a fine
+	// uniform grid; the Linear ("1D") mode keeps the curve at its native
+	// resolution — upsampling a piecewise-linear interpolant would put all
+	// the second-derivative mass at the knots — and applies a light
+	// binomial smoothing so discrete curvature is stable.
+	var s []float64
+	switch fit {
+	case Poly:
+		g := gridSize
+		if g < m {
+			g = m
+		}
+		s = polyResample(ys, g)
+	default:
+		s = smooth(ys, 1+m/100)
+	}
+
+	// Discrete curvature on the (uniform) grid.
+	h := 1.0 / float64(len(s)-1)
+	bestX := curvatureArgmax(s, h)
+
+	// Map the grid location back to a component count.
+	k := int(math.Round(bestX*float64(m-1))) + 1
+	return clampK(k, m)
+}
+
+func clampK(k, m int) int {
+	if m < 1 {
+		return 1
+	}
+	if k < 1 {
+		return 1
+	}
+	if k > m {
+		return m
+	}
+	return k
+}
+
+// smooth applies `passes` rounds of [1 2 1]/4 binomial smoothing with
+// clamped endpoints, returning a new slice.
+func smooth(ys []float64, passes int) []float64 {
+	cur := make([]float64, len(ys))
+	copy(cur, ys)
+	if len(ys) < 3 {
+		return cur
+	}
+	next := make([]float64, len(ys))
+	for p := 0; p < passes; p++ {
+		next[0] = cur[0]
+		next[len(cur)-1] = cur[len(cur)-1]
+		for i := 1; i < len(cur)-1; i++ {
+			next[i] = 0.25*cur[i-1] + 0.5*cur[i] + 0.25*cur[i+1]
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// linearResample maps ys (uniform on [0,1]) onto a g-point uniform grid by
+// linear interpolation.
+func linearResample(ys []float64, g int) []float64 {
+	m := len(ys)
+	out := make([]float64, g)
+	for i := 0; i < g; i++ {
+		x := float64(i) / float64(g-1) * float64(m-1)
+		lo := int(math.Floor(x))
+		if lo >= m-1 {
+			out[i] = ys[m-1]
+			continue
+		}
+		frac := x - float64(lo)
+		out[i] = ys[lo]*(1-frac) + ys[lo+1]*frac
+	}
+	return out
+}
+
+// polyResample fits a least-squares polynomial to ys (uniform x in [0,1])
+// and evaluates it on a g-point grid. If the normal equations are too
+// ill-conditioned to factor, it falls back to linear resampling.
+func polyResample(ys []float64, g int) []float64 {
+	m := len(ys)
+	deg := polyDegree
+	if deg > m-1 {
+		deg = m - 1
+	}
+	coef, err := polyFit(ys, deg)
+	if err != nil {
+		return linearResample(ys, g)
+	}
+	out := make([]float64, g)
+	for i := 0; i < g; i++ {
+		x := float64(i) / float64(g-1)
+		// Horner evaluation.
+		v := coef[deg]
+		for p := deg - 1; p >= 0; p-- {
+			v = v*x + coef[p]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// polyFit solves the degree-deg least-squares polynomial fit of ys sampled
+// uniformly on [0,1], via the normal equations and a ridge-stabilized
+// Cholesky factorization.
+func polyFit(ys []float64, deg int) ([]float64, error) {
+	m := len(ys)
+	n := deg + 1
+	// Normal equations: (VᵀV) c = Vᵀ y with V_{ij} = x_i^j.
+	ata := mat.NewDense(n, n)
+	atb := make([]float64, n)
+	pow := make([]float64, n)
+	for i := 0; i < m; i++ {
+		x := float64(i) / float64(m-1)
+		pow[0] = 1
+		for j := 1; j < n; j++ {
+			pow[j] = pow[j-1] * x
+		}
+		for r := 0; r < n; r++ {
+			atb[r] += pow[r] * ys[i]
+			for c := r; c < n; c++ {
+				ata.Set(r, c, ata.At(r, c)+pow[r]*pow[c])
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < r; c++ {
+			ata.Set(r, c, ata.At(c, r))
+		}
+		// Tiny ridge keeps the Vandermonde Gram matrix factorable.
+		ata.Set(r, r, ata.At(r, r)+1e-12*float64(m))
+	}
+	l, err := mat.Cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return mat.CholeskySolve(l, atb), nil
+}
+
+// curvatureArgmax returns the grid x-position (in [0,1]) of the first
+// local maximum of |s”|/(1+s'²)^1.5, computed with central differences on
+// a uniform grid of spacing h. If no interior local maximum exists it
+// returns the position of the global maximum.
+func curvatureArgmax(s []float64, h float64) float64 {
+	g := len(s)
+	kap := make([]float64, g)
+	for i := 1; i < g-1; i++ {
+		d1 := (s[i+1] - s[i-1]) / (2 * h)
+		d2 := (s[i+1] - 2*s[i] + s[i-1]) / (h * h)
+		kap[i] = math.Abs(d2) / math.Pow(1+d1*d1, 1.5)
+	}
+	// First interior local maximum with a meaningful magnitude.
+	var maxKap float64
+	for i := 1; i < g-1; i++ {
+		if kap[i] > maxKap {
+			maxKap = kap[i]
+		}
+	}
+	if maxKap == 0 {
+		return 0
+	}
+	// "First detected local maxima" (Algorithm 1, line 6), made robust to
+	// sampling noise by requiring a candidate to carry a meaningful
+	// fraction of the peak curvature.
+	thresh := 0.5 * maxKap
+	for i := 2; i < g-2; i++ {
+		if kap[i] >= kap[i-1] && kap[i] > kap[i+1] && kap[i] >= thresh {
+			return float64(i) / float64(g-1)
+		}
+	}
+	// Fallback: global maximum.
+	best := 1
+	for i := 2; i < g-1; i++ {
+		if kap[i] > kap[best] {
+			best = i
+		}
+	}
+	return float64(best) / float64(g-1)
+}

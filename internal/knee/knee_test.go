@@ -1,0 +1,166 @@
+package knee
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// saturatingCurve builds a TVE-like curve y_i = 1 - exp(-(i+1)/tau): steep
+// rise then plateau, knee near i ≈ tau.
+func saturatingCurve(m int, tau float64) []float64 {
+	c := make([]float64, m)
+	for i := range c {
+		c[i] = 1 - math.Exp(-float64(i+1)/tau)
+	}
+	return c
+}
+
+func TestDetectDegenerate(t *testing.T) {
+	if k := Detect(nil, Linear); k != 1 {
+		t.Fatalf("empty curve k = %d, want 1", k)
+	}
+	if k := Detect([]float64{0.5}, Linear); k != 1 {
+		t.Fatalf("single-point curve k = %d", k)
+	}
+	if k := Detect([]float64{0.3, 0.8}, Linear); k != 1 {
+		t.Fatalf("two-point curve k = %d", k)
+	}
+	// Flat curve: everything explained by the first component.
+	flat := []float64{1, 1, 1, 1, 1}
+	if k := Detect(flat, Linear); k != 1 {
+		t.Fatalf("flat curve k = %d, want 1", k)
+	}
+}
+
+func TestDetectSharpKnee(t *testing.T) {
+	// Curve that jumps to ~1 at the 5th component and stays flat: the
+	// knee must be near 5.
+	m := 100
+	c := make([]float64, m)
+	for i := range c {
+		if i < 5 {
+			c[i] = float64(i+1) / 5 * 0.99
+		} else {
+			c[i] = 0.99 + 0.01*float64(i-4)/float64(m-5)
+		}
+	}
+	k := Detect(c, Linear)
+	if k < 3 || k > 9 {
+		t.Fatalf("sharp knee detected at %d, want ≈5", k)
+	}
+}
+
+func TestDetectSaturatingCurveLinear(t *testing.T) {
+	m := 200
+	for _, tau := range []float64{5, 15, 40} {
+		c := saturatingCurve(m, tau)
+		k := Detect(c, Linear)
+		// The maximum-curvature point of the unit-square-normalized curve
+		// y = 1 − e^{−x/τ'} (τ' = τ/(m−1)) sits at x* = τ'·ln(√2/τ'),
+		// i.e. k* ≈ τ·ln(√2·(m−1)/τ). Allow a factor-of-two band.
+		kstar := tau * math.Log(math.Sqrt2*float64(m-1)/tau)
+		if float64(k) < kstar/2 || float64(k) > kstar*2 {
+			t.Fatalf("tau=%v: knee at %d, want ≈%.0f", tau, k, kstar)
+		}
+	}
+}
+
+func TestDetectPolySmoother(t *testing.T) {
+	c := saturatingCurve(150, 10)
+	kLin := Detect(c, Linear)
+	kPoly := Detect(c, Poly)
+	if kLin < 1 || kLin > 150 || kPoly < 1 || kPoly > 150 {
+		t.Fatalf("knees out of range: lin=%d poly=%d", kLin, kPoly)
+	}
+	// Table II's observation: polynomial fitting reduces CR, i.e. selects
+	// at least as many components as the aggressive 1-D fit on smooth
+	// saturating curves.
+	if kPoly < kLin/2 {
+		t.Fatalf("poly knee %d much earlier than linear knee %d", kPoly, kLin)
+	}
+}
+
+func TestDetectBoundsProperty(t *testing.T) {
+	// For any monotone curve the detected k must be a valid component
+	// count.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(300)
+		c := make([]float64, m)
+		run := 0.0
+		for i := range c {
+			run += rng.Float64()
+			c[i] = run
+		}
+		for i := range c {
+			c[i] /= run
+		}
+		for _, fit := range []Fitting{Linear, Poly} {
+			k := Detect(c, fit)
+			if k < 1 || k > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectInsensitiveToScale(t *testing.T) {
+	// Normalization means multiplying the curve by a constant must not
+	// move the knee.
+	c := saturatingCurve(120, 12)
+	k1 := Detect(c, Linear)
+	scaled := make([]float64, len(c))
+	for i, v := range c {
+		scaled[i] = 1000 * v
+	}
+	k2 := Detect(scaled, Linear)
+	if k1 != k2 {
+		t.Fatalf("knee moved under scaling: %d vs %d", k1, k2)
+	}
+}
+
+func TestFittingString(t *testing.T) {
+	if Linear.String() != "1D" || Poly.String() != "polyn" {
+		t.Fatalf("String() = %q, %q", Linear.String(), Poly.String())
+	}
+	if Fitting(9).String() == "" {
+		t.Fatal("unknown fitting must still produce a label")
+	}
+}
+
+func TestPolyFitRecoversPolynomial(t *testing.T) {
+	// Fitting points sampled from a cubic must reproduce them closely.
+	m := 50
+	ys := make([]float64, m)
+	for i := range ys {
+		x := float64(i) / float64(m-1)
+		ys[i] = 1 + 2*x - 3*x*x + 0.5*x*x*x
+	}
+	coef, err := polyFit(ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, -3, 0.5}
+	for i, w := range want {
+		if math.Abs(coef[i]-w) > 1e-6 {
+			t.Fatalf("coef[%d] = %v, want %v", i, coef[i], w)
+		}
+	}
+}
+
+func TestLinearResampleEndpoints(t *testing.T) {
+	ys := []float64{0, 0.5, 1}
+	out := linearResample(ys, 7)
+	if out[0] != 0 || math.Abs(out[6]-1) > 1e-15 {
+		t.Fatalf("resample endpoints = %v, %v", out[0], out[6])
+	}
+	if math.Abs(out[3]-0.5) > 1e-12 {
+		t.Fatalf("midpoint = %v, want 0.5", out[3])
+	}
+}

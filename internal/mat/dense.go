@@ -1,0 +1,367 @@
+// Package mat implements the dense linear algebra substrate DPZ is built
+// on: row-major float64 matrices with the operations the compressor needs
+// (multiply, transpose, covariance/correlation, Cholesky). It is written
+// against the standard library only; there is no external BLAS.
+package mat
+
+import (
+	"fmt"
+	"math"
+
+	"dpz/internal/parallel"
+)
+
+// Dense is a row-major matrix of float64 values. The zero value is an empty
+// matrix; use NewDense to allocate one with a shape.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c matrix of zeros. It panics if r or c is
+// negative, or if both are zero while the other is not.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps an existing slice as an r×c matrix without copying.
+// It panics if len(data) != r*c.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the row and column counts.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns the i-th row as a subslice of the backing store (no copy).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the backing slice (row-major, no copy).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// Col copies column j into dst (allocated if nil) and returns it.
+func (m *Dense) Col(j int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+	return dst
+}
+
+// SetCol writes src into column j.
+func (m *Dense) SetCol(j int, src []float64) {
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = src[i]
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	// Blocked transpose for cache friendliness on large matrices.
+	const bs = 64
+	for i0 := 0; i0 < m.rows; i0 += bs {
+		i1 := min(i0+bs, m.rows)
+		for j0 := 0; j0 < m.cols; j0 += bs {
+			j1 := min(j0+bs, m.cols)
+			for i := i0; i < i1; i++ {
+				row := m.data[i*m.cols:]
+				for j := j0; j < j1; j++ {
+					t.data[j*t.cols+i] = row[j]
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Mul computes a*b into a new matrix, parallelizing across row stripes.
+// It panics on inner-dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: mul shape mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	out := NewDense(a.rows, b.cols)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto computes out = a*b, reusing out's storage. out must be a.rows ×
+// b.cols and must not alias a or b.
+func MulInto(out, a, b *Dense) {
+	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
+		panic("mat: MulInto shape mismatch")
+	}
+	n := a.rows
+	workers := parallel.DefaultWorkers()
+	if n*a.cols*b.cols < 1<<16 {
+		workers = 1
+	}
+	parallel.ForChunks(n, workers, func(lo, hi int) {
+		// i-k-j loop order: stream through b rows, accumulate into out row.
+		for i := lo; i < hi; i++ {
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for x := range orow {
+				orow[x] = 0
+			}
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols : (k+1)*b.cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulVec computes a·x for a vector x of length a.cols.
+func MulVec(a *Dense, x []float64) []float64 {
+	if len(x) != a.cols {
+		panic("mat: MulVec shape mismatch")
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols:]
+		var s float64
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ColMeans returns the per-column mean of m.
+func ColMeans(m *Dense) []float64 {
+	means := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols:]
+		for j := 0; j < m.cols; j++ {
+			means[j] += row[j]
+		}
+	}
+	inv := 1.0 / float64(m.rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// ColStds returns the per-column sample standard deviation given the
+// per-column means. Columns with zero variance report a std of 1 so that
+// standardization leaves them untouched instead of producing NaNs.
+func ColStds(m *Dense, means []float64) []float64 {
+	stds := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols:]
+		for j := 0; j < m.cols; j++ {
+			d := row[j] - means[j]
+			stds[j] += d * d
+		}
+	}
+	den := float64(m.rows - 1)
+	if den <= 0 {
+		den = 1
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / den)
+		if stds[j] == 0 || math.IsNaN(stds[j]) {
+			stds[j] = 1
+		}
+	}
+	return stds
+}
+
+// Covariance computes the sample covariance matrix (cols × cols) of the
+// observations in m (rows are samples, columns are features). The returned
+// means are the per-column means that were subtracted.
+func Covariance(m *Dense) (cov *Dense, means []float64) {
+	means = ColMeans(m)
+	return covarianceCentered(m, means, nil), means
+}
+
+// Correlation computes the sample Pearson correlation matrix of m's columns.
+func Correlation(m *Dense) *Dense {
+	means := ColMeans(m)
+	stds := ColStds(m, means)
+	return covarianceCentered(m, means, stds)
+}
+
+// covarianceCentered computes (X-μ)ᵀ(X-μ)/(n-1), optionally scaling each
+// feature by 1/std (yielding the correlation matrix).
+func covarianceCentered(m *Dense, means, stds []float64) *Dense {
+	r, c := m.rows, m.cols
+	cov := NewDense(c, c)
+	den := float64(r - 1)
+	if den <= 0 {
+		den = 1
+	}
+	workers := parallel.DefaultWorkers()
+	if r*c*c < 1<<16 {
+		workers = 1
+	}
+	// Accumulate the upper triangle in parallel over column stripes, then
+	// mirror. Center one row at a time to avoid materializing X-μ.
+	centered := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		src := m.data[i*c:]
+		dst := centered.data[i*c:]
+		for j := 0; j < c; j++ {
+			v := src[j] - means[j]
+			if stds != nil {
+				v /= stds[j]
+			}
+			dst[j] = v
+		}
+	}
+	parallel.ForChunks(c, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for k := j; k < c; k++ {
+				var s float64
+				for i := 0; i < r; i++ {
+					row := centered.data[i*c:]
+					s += row[j] * row[k]
+				}
+				cov.data[j*c+k] = s / den
+			}
+		}
+	})
+	for j := 0; j < c; j++ {
+		for k := 0; k < j; k++ {
+			cov.data[j*c+k] = cov.data[k*c+j]
+		}
+	}
+	return cov
+}
+
+// Cholesky factors a symmetric positive-definite matrix a as LLᵀ and
+// returns the lower-triangular factor. It returns an error if a is not
+// positive definite (within a small jitter tolerance).
+func Cholesky(a *Dense) (*Dense, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: cholesky of non-square %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			d += l.data[j*n+k] * l.data[j*n+k]
+		}
+		d = a.data[j*n+j] - d
+		if d <= 0 {
+			return nil, fmt.Errorf("mat: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.data[j*n+j] = ljj
+		inv := 1 / ljj
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.data[i*n+k] * l.data[j*n+k]
+			}
+			l.data[i*n+j] = (a.data[i*n+j] - s) * inv
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves a x = b for symmetric positive definite a given its
+// Cholesky factor l (as returned by Cholesky).
+func CholeskySolve(l *Dense, b []float64) []float64 {
+	n := l.rows
+	if len(b) != n {
+		panic("mat: CholeskySolve dimension mismatch")
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.data[i*n+k] * y[k]
+		}
+		y[i] = s / l.data[i*n+i]
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.data[k*n+i] * x[k]
+		}
+		x[i] = s / l.data[i*n+i]
+	}
+	return x
+}
+
+// SPDInverse inverts a symmetric positive-definite matrix via Cholesky.
+func SPDInverse(a *Dense) (*Dense, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col := CholeskySolve(l, e)
+		inv.SetCol(j, col)
+	}
+	return inv, nil
+}
+
+// Equal reports whether a and b have the same shape and all elements within
+// tol of each other.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

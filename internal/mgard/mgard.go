@@ -1,0 +1,377 @@
+// Package mgard implements a multigrid-style error-bounded compressor in
+// the spirit of MGARD (Ainsworth et al.), the paper's third related-work
+// family. Data is decomposed into a hierarchy of grids: each level keeps
+// every second point per dimension as the coarse grid and stores the fine
+// points as residuals against multilinear interpolation of the
+// *reconstructed* coarse values. Residuals are quantized with the user's
+// absolute bound (so the pointwise error is honored exactly, as in our SZ
+// baseline), Huffman-coded and zlib-compressed.
+//
+// This is a simplification of real MGARD — no L²-orthogonal projection or
+// norm-targeted error control — but it exercises the same multilevel
+// decompose/quantize/encode pipeline and rate-distortion family.
+package mgard
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dpz/internal/huffman"
+)
+
+// radius is the quantization code radius; code 0 escapes to a literal.
+const radius = 1 << 15
+
+// Params configures compression.
+type Params struct {
+	// ErrorBound is the absolute per-value bound (> 0).
+	ErrorBound float64
+	// Relative interprets ErrorBound as a fraction of the value range.
+	Relative bool
+}
+
+// Compressed carries the stream and accounting.
+type Compressed struct {
+	Bytes     []byte
+	OrigBytes int
+	AbsBound  float64
+	Levels    int
+	Literals  int
+	Ratio     float64
+}
+
+// Compress encodes data with 1-3 dimensions.
+func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+	if p.ErrorBound <= 0 || math.IsNaN(p.ErrorBound) || math.IsInf(p.ErrorBound, 0) {
+		return nil, fmt.Errorf("mgard: error bound must be positive and finite, got %v", p.ErrorBound)
+	}
+	eb := p.ErrorBound
+	if p.Relative {
+		if r := valueRange(data); r > 0 {
+			eb *= r
+		}
+	}
+	twoEB := 2 * eb
+
+	// The traversal enumerates values coarse-to-fine; prediction of each
+	// value uses already-reconstructed values only, so quantizing the
+	// residual at bound eb bounds every reconstructed point by eb.
+	order, preds, levels := buildHierarchy(dims)
+	recon := make([]float64, len(data))
+	seen := make([]bool, len(data))
+	codes := make([]uint16, len(data))
+	var literals []float64
+	for oi, idx := range order {
+		pred := preds[oi].predict(recon, seen)
+		diff := data[idx] - pred
+		q := math.Round(diff / twoEB)
+		if math.Abs(q) < radius-1 && !math.IsNaN(diff) {
+			dec := pred + q*twoEB
+			if math.Abs(dec-data[idx]) <= eb {
+				codes[oi] = uint16(int(q) + radius)
+				recon[idx] = dec
+				seen[idx] = true
+				continue
+			}
+		}
+		codes[oi] = 0
+		literals = append(literals, data[idx])
+		recon[idx] = data[idx]
+		seen[idx] = true
+	}
+
+	huff := huffman.Encode(codes)
+	var raw bytes.Buffer
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(eb))
+	raw.Write(b8[:])
+	raw.WriteByte(uint8(len(dims)))
+	for _, d := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		raw.Write(b8[:])
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(literals)))
+	raw.Write(b8[:])
+	for _, v := range literals {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		raw.Write(b8[:])
+	}
+	raw.Write(huff)
+
+	var out bytes.Buffer
+	out.WriteString("MGG1")
+	zw := zlib.NewWriter(&out)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		return nil, fmt.Errorf("mgard: zlib: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("mgard: zlib: %w", err)
+	}
+	c := &Compressed{
+		Bytes:     out.Bytes(),
+		OrigBytes: 4 * len(data),
+		AbsBound:  eb,
+		Levels:    levels,
+		Literals:  len(literals),
+	}
+	c.Ratio = float64(c.OrigBytes) / float64(len(c.Bytes))
+	return c, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(buf []byte) ([]float64, []int, error) {
+	if len(buf) < 4 || string(buf[:4]) != "MGG1" {
+		return nil, nil, errors.New("mgard: bad magic")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(buf[4:]))
+	if err != nil {
+		return nil, nil, fmt.Errorf("mgard: zlib: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	zr.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("mgard: zlib: %w", err)
+	}
+	if len(raw) < 9 {
+		return nil, nil, errors.New("mgard: truncated payload")
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	ndims := int(raw[8])
+	pos := 9
+	if ndims < 1 || ndims > 3 || len(raw) < pos+8*ndims+8 {
+		return nil, nil, errors.New("mgard: corrupt header")
+	}
+	dims := make([]int, ndims)
+	total := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		if dims[i] <= 0 || dims[i] > 1<<28 {
+			return nil, nil, errors.New("mgard: corrupt dims")
+		}
+		total *= dims[i]
+		if total > 1<<31 {
+			return nil, nil, errors.New("mgard: corrupt dims")
+		}
+	}
+	nlit := int(binary.LittleEndian.Uint64(raw[pos:]))
+	pos += 8
+	if nlit < 0 || len(raw) < pos+8*nlit {
+		return nil, nil, errors.New("mgard: corrupt literal count")
+	}
+	literals := make([]float64, nlit)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+	}
+	codes, err := huffman.Decode(raw[pos:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("mgard: %w", err)
+	}
+	// Validate the count before building the hierarchy: its order/preds
+	// arrays are O(total) and a corrupt header must not size them.
+	if len(codes) != total {
+		return nil, nil, fmt.Errorf("mgard: %d codes for %d values", len(codes), total)
+	}
+	order, preds, _ := buildHierarchy(dims)
+	out := make([]float64, total)
+	seen := make([]bool, total)
+	twoEB := 2 * eb
+	li := 0
+	for oi, idx := range order {
+		if codes[oi] == 0 {
+			if li >= len(literals) {
+				return nil, nil, errors.New("mgard: literal stream exhausted")
+			}
+			out[idx] = literals[li]
+			li++
+			seen[idx] = true
+			continue
+		}
+		pred := preds[oi].predict(out, seen)
+		q := float64(int(codes[oi]) - radius)
+		out[idx] = pred + q*twoEB
+		seen[idx] = true
+	}
+	if li != len(literals) {
+		return nil, nil, errors.New("mgard: unused literals")
+	}
+	return out, dims, nil
+}
+
+// predictor averages the available (already-reconstructed) neighbor
+// indices; with none available it predicts zero (the coarsest points).
+type predictor struct {
+	neighbors []int
+}
+
+func (p predictor) predict(recon []float64, seen []bool) float64 {
+	var s float64
+	var n int
+	for _, idx := range p.neighbors {
+		if seen[idx] {
+			s += recon[idx]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// buildHierarchy enumerates every grid index exactly once, coarse level
+// first, and pairs each with its interpolation predictor. Level L uses
+// stride 2^L per dimension; a point belongs to the finest level at which
+// it first appears. The predictor of a level-l point interpolates its
+// coarser-grid neighbors at stride 2^l along each dimension where its
+// coordinate is odd in units of 2^l.
+func buildHierarchy(dims []int) (order []int, preds []predictor, levels int) {
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	maxDim := 0
+	for _, d := range dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	levels = 1
+	for (1 << levels) < maxDim {
+		levels++
+	}
+	order = make([]int, 0, total)
+	preds = make([]predictor, 0, total)
+	assigned := make([]bool, total)
+
+	// From the coarsest stride down to 1. Within a level, points are
+	// processed by ascending count of odd (in stride units) coordinates:
+	// a point with j odd coordinates interpolates face neighbors with j−1
+	// odd coordinates, which the earlier pass has already reconstructed —
+	// this is what makes the enumeration causal.
+	for l := levels; l >= 0; l-- {
+		stride := 1 << l
+		for odd := 0; odd <= len(dims); odd++ {
+			forEachIndex(dims, stride, func(coord []int, flat int) {
+				if assigned[flat] || oddCount(coord, stride) != odd {
+					return
+				}
+				assigned[flat] = true
+				order = append(order, flat)
+				preds = append(preds, makePredictor(dims, coord, stride))
+			})
+		}
+	}
+	return order, preds, levels
+}
+
+// oddCount returns how many coordinates are odd multiples of stride.
+func oddCount(coord []int, stride int) int {
+	n := 0
+	for _, c := range coord {
+		if (c/stride)%2 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// makePredictor collects the coarse neighbors of coord at the given
+// stride: for each dimension where coord is an odd multiple of stride, the
+// two stride-2 aligned neighbors (clamped at edges). A point aligned to
+// 2·stride in every dimension has no finer-level prediction (it belongs to
+// a coarser level and predicts from that level's own neighbors, or zero at
+// the top).
+func makePredictor(dims []int, coord []int, stride int) predictor {
+	var nbs []int
+	for d, c := range coord {
+		if (c/stride)%2 == 1 { // odd in stride units: interior fine point
+			lo := c - stride
+			hi := c + stride
+			if lo >= 0 {
+				nbs = append(nbs, flatIndex(dims, coord, d, lo))
+			}
+			if hi < dims[d] {
+				nbs = append(nbs, flatIndex(dims, coord, d, hi))
+			}
+		}
+	}
+	return predictor{neighbors: nbs}
+}
+
+// flatIndex computes the linear index of coord with dimension d replaced
+// by v.
+func flatIndex(dims []int, coord []int, d, v int) int {
+	idx := 0
+	for i, c := range coord {
+		if i == d {
+			c = v
+		}
+		idx = idx*dims[i] + c
+	}
+	return idx
+}
+
+// forEachIndex visits every coordinate whose components are multiples of
+// stride, in row-major order.
+func forEachIndex(dims []int, stride int, fn func(coord []int, flat int)) {
+	coord := make([]int, len(dims))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(dims) {
+			idx := 0
+			for i, c := range coord {
+				idx = idx*dims[i] + c
+			}
+			fn(coord, idx)
+			return
+		}
+		for c := 0; c < dims[d]; c += stride {
+			coord[d] = c
+			walk(d + 1)
+		}
+	}
+	walk(0)
+}
+
+func checkDims(data []float64, dims []int) error {
+	if len(dims) < 1 || len(dims) > 3 {
+		return fmt.Errorf("mgard: %d dimensions unsupported (1-3)", len(dims))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("mgard: non-positive dimension in %v", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return fmt.Errorf("mgard: dims %v describe %d values, data has %d", dims, total, len(data))
+	}
+	if total == 0 {
+		return errors.New("mgard: empty input")
+	}
+	return nil
+}
+
+func valueRange(x []float64) float64 {
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

@@ -1,0 +1,158 @@
+package mgard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/dataset"
+	"dpz/internal/stats"
+)
+
+func checkBound(t *testing.T, data []float64, dims []int, p Params) *Compressed {
+	t.Helper()
+	c, err := Compress(data, dims, p)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, gotDims, err := Decompress(c.Bytes)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+	}
+	if maxErr := stats.MaxAbsError(data, out); maxErr > c.AbsBound+1e-12 {
+		t.Fatalf("max error %g exceeds bound %g", maxErr, c.AbsBound)
+	}
+	return c
+}
+
+func TestHierarchyCoversEveryIndexOnce(t *testing.T) {
+	for _, dims := range [][]int{{1}, {7}, {16}, {5, 9}, {8, 8}, {3, 4, 5}, {16, 8, 4}} {
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		order, preds, levels := buildHierarchy(dims)
+		if len(order) != total || len(preds) != total {
+			t.Fatalf("dims %v: %d order entries for %d values", dims, len(order), total)
+		}
+		if levels < 1 {
+			t.Fatalf("dims %v: levels %d", dims, levels)
+		}
+		seen := make([]bool, total)
+		for _, idx := range order {
+			if idx < 0 || idx >= total || seen[idx] {
+				t.Fatalf("dims %v: bad/duplicate index %d", dims, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestPredictorsOnlyUseEarlierPoints(t *testing.T) {
+	dims := []int{12, 10}
+	order, preds, _ := buildHierarchy(dims)
+	pos := make(map[int]int, len(order))
+	for oi, idx := range order {
+		pos[idx] = oi
+	}
+	for oi := range order {
+		for _, nb := range preds[oi].neighbors {
+			if pos[nb] >= oi {
+				t.Fatalf("point %d (order %d) predicts from %d (order %d)", order[oi], oi, nb, pos[nb])
+			}
+		}
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	fields := []*dataset.Field{
+		dataset.CESM("FLDSC", 40, 80, 71),
+		dataset.Isotropic(16, 72),
+		dataset.HACCX(3000, 73),
+	}
+	for _, f := range fields {
+		for _, eb := range []float64{1e-2, 1e-3} {
+			checkBound(t, f.Data, f.Dims, Params{ErrorBound: eb, Relative: true})
+		}
+	}
+}
+
+func TestSmoothCompressesWell(t *testing.T) {
+	f := dataset.CESM("PHIS", 64, 128, 74)
+	c := checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-2, Relative: true})
+	if c.Ratio < 4 {
+		t.Fatalf("smooth field CR = %.2f", c.Ratio)
+	}
+}
+
+func TestOddDims(t *testing.T) {
+	f := dataset.CESM("FREQSH", 31, 57, 75)
+	checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-3, Relative: true})
+}
+
+func TestSingleValue(t *testing.T) {
+	checkBound(t, []float64{42}, []int{1}, Params{ErrorBound: 1e-3})
+}
+
+func TestValidation(t *testing.T) {
+	data := make([]float64, 10)
+	if _, err := Compress(data, []int{5}, Params{ErrorBound: 1e-3}); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	if _, err := Compress(data, []int{10}, Params{ErrorBound: -1}); err == nil {
+		t.Fatal("expected bound error")
+	}
+	if _, err := Compress(data, []int{1, 1, 1, 10}, Params{ErrorBound: 1}); err == nil {
+		t.Fatal("expected dimensionality error")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, _, err := Decompress([]byte("XXXXxxxx")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	f := dataset.HACCVX(500, 76)
+	c, err := Compress(f.Data, f.Dims, Params{ErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(c.Bytes[:len(c.Bytes)/2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestBoundPropertyRandomShapes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		total := 1
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(14)
+			total *= dims[i]
+		}
+		data := make([]float64, total)
+		for i := range data {
+			data[i] = math.Cos(float64(i)/4) + 0.2*rng.NormFloat64()
+		}
+		eb := math.Pow(10, -1-2*rng.Float64())
+		c, err := Compress(data, dims, Params{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		out, _, err := Decompress(c.Bytes)
+		if err != nil {
+			return false
+		}
+		return stats.MaxAbsError(data, out) <= eb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

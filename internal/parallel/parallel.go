@@ -1,0 +1,98 @@
+// Package parallel provides small helpers for data-parallel loops over
+// index ranges. DPZ's block-based stages (DCT, quantization) are
+// embarrassingly parallel across blocks; these helpers bound the number of
+// concurrently running goroutines so large inputs do not oversubscribe the
+// machine.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes a
+// non-positive worker count: the number of usable CPUs.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) using at most workers goroutines.
+// If workers <= 0, DefaultWorkers() is used. If workers == 1 or n is small,
+// the loop runs inline on the calling goroutine. fn must be safe to call
+// concurrently for distinct i.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunked striding: each worker walks a contiguous range, which keeps
+	// cache locality for block-major data layouts.
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForChunks splits [0, n) into at most `workers` contiguous chunks and runs
+// fn(lo, hi) on each chunk concurrently. Useful when per-iteration work is
+// tiny and the callee wants to amortize setup across a range.
+func ForChunks(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

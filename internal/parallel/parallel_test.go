@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 137
+		hits := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 101
+		var total int64
+		seen := make([]int32, n)
+		ForChunks(n, workers, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			atomic.AddInt64(&total, int64(hi-lo))
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		if total != int64(n) {
+			t.Fatalf("workers=%d: chunks cover %d of %d", workers, total, n)
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, s)
+			}
+		}
+	}
+}
+
+func TestForChunksEmpty(t *testing.T) {
+	called := false
+	ForChunks(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestForSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%1000 + 1)
+		if n < 1 {
+			n = 1
+		}
+		var sum int64
+		For(n, 0, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+		return sum == int64(n)*int64(n-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

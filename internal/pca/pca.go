@@ -1,0 +1,354 @@
+// Package pca implements principal component analysis as DPZ's statistical
+// retrieval stage (Stage 2). Rows of the input matrix are samples (the N
+// datapoints of each block position), columns are features (the M blocks);
+// the projection keeps the k leading eigenvectors of the feature covariance
+// matrix and records the cumulative total variance explained (TVE, Eq. 2)
+// used by both k-selection methods.
+package pca
+
+import (
+	"errors"
+	"fmt"
+
+	"dpz/internal/eigen"
+	"dpz/internal/mat"
+)
+
+// Model is a fitted PCA basis. It stores everything needed to project new
+// data and to invert a projection: the per-feature means (and optional
+// standardization scales), the full eigenvalue spectrum, and the
+// eigenvector matrix (features × features, columns sorted by descending
+// eigenvalue).
+type Model struct {
+	Means       []float64  // per-feature means subtracted before projection
+	Scales      []float64  // per-feature std devs if standardized, else nil
+	Eigenvalues []float64  // descending; full spectrum for Fit, k leading for FitK
+	Components  *mat.Dense // features × s (s = len(Eigenvalues)); column j is eigenvector j
+	// TotalVar is the trace of the analyzed covariance matrix — the TVE
+	// denominator. For a full Fit it equals the eigenvalue sum; for FitK
+	// it is computed directly so TVE stays meaningful with a truncated
+	// spectrum.
+	TotalVar float64
+}
+
+// Options configures Fit.
+type Options struct {
+	// Standardize divides each centered feature by its sample standard
+	// deviation before the eigenanalysis. The paper applies this only to
+	// low-linearity data (VIF below the cutoff); DCT block data normally
+	// shares a unit norm and is left unscaled.
+	Standardize bool
+}
+
+// Fit computes the PCA basis of x (rows = samples, cols = features).
+func Fit(x *mat.Dense, opts Options) (*Model, error) {
+	r, c := x.Dims()
+	if r < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", r)
+	}
+	if c < 1 {
+		return nil, errors.New("pca: need at least 1 feature")
+	}
+	m := &Model{}
+	m.Means = mat.ColMeans(x)
+	var cov *mat.Dense
+	if opts.Standardize {
+		m.Scales = mat.ColStds(x, m.Means)
+		cov = mat.Correlation(x)
+	} else {
+		cov, _ = mat.Covariance(x)
+	}
+	sys, err := eigen.SymEig(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
+	}
+	// Clamp tiny negative eigenvalues caused by round-off: covariance
+	// matrices are PSD by construction.
+	for i, v := range sys.Values {
+		if v < 0 {
+			sys.Values[i] = 0
+		}
+	}
+	m.Eigenvalues = sys.Values
+	m.Components = sys.Vectors
+	for _, v := range sys.Values {
+		m.TotalVar += v
+	}
+	return m, nil
+}
+
+// FitK computes only the k leading principal components via subspace
+// iteration — the reduced-cost path DPZ's sampling strategy enables once
+// k_e is known (O(M²k) instead of the full O(M³) eigendecomposition).
+func FitK(x *mat.Dense, k int, opts Options, seed int64) (*Model, error) {
+	r, c := x.Dims()
+	if r < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", r)
+	}
+	if k < 1 || k > c {
+		return nil, fmt.Errorf("pca: k=%d out of range [1,%d]", k, c)
+	}
+	m := &Model{}
+	m.Means = mat.ColMeans(x)
+	var cov *mat.Dense
+	if opts.Standardize {
+		m.Scales = mat.ColStds(x, m.Means)
+		cov = mat.Correlation(x)
+	} else {
+		cov, _ = mat.Covariance(x)
+	}
+	for i := 0; i < c; i++ {
+		m.TotalVar += cov.At(i, i)
+	}
+	sys, err := eigen.TopK(cov, k, seed)
+	if err != nil {
+		return nil, fmt.Errorf("pca: truncated eigendecomposition failed: %w", err)
+	}
+	for i, v := range sys.Values {
+		if v < 0 {
+			sys.Values[i] = 0
+		}
+	}
+	m.Eigenvalues = sys.Values
+	m.Components = sys.Vectors
+	return m, nil
+}
+
+// FitTVE fits only as many leading components as needed to reach the
+// given cumulative-TVE target, growing the computed subspace geometrically
+// (16, 32, 64, …) via eigen.TopK. For high-linearity data where k ≪ M this
+// costs O(M²·k) instead of the full O(M³) decomposition — the saving DPZ's
+// sampling strategy banks on. Small feature counts fall through to the
+// dense path, which is faster there.
+func FitTVE(x *mat.Dense, target float64, opts Options, seed int64) (*Model, error) {
+	_, c := x.Dims()
+	if c <= 256 {
+		return Fit(x, opts)
+	}
+	if target <= 0 || target > 1 {
+		return nil, fmt.Errorf("pca: TVE target %v out of (0,1]", target)
+	}
+	m := &Model{}
+	m.Means = mat.ColMeans(x)
+	var cov *mat.Dense
+	if opts.Standardize {
+		m.Scales = mat.ColStds(x, m.Means)
+		cov = mat.Correlation(x)
+	} else {
+		cov, _ = mat.Covariance(x)
+	}
+	for i := 0; i < c; i++ {
+		m.TotalVar += cov.At(i, i)
+	}
+	for k := 16; ; k *= 2 {
+		if k >= c {
+			sys, err := eigen.SymEig(cov)
+			if err != nil {
+				return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
+			}
+			clampNonNegative(sys.Values)
+			m.Eigenvalues = sys.Values
+			m.Components = sys.Vectors
+			return m, nil
+		}
+		sys, err := eigen.TopK(cov, k, seed)
+		if err != nil {
+			return nil, fmt.Errorf("pca: truncated eigendecomposition failed: %w", err)
+		}
+		clampNonNegative(sys.Values)
+		var cum float64
+		for _, v := range sys.Values {
+			cum += v
+		}
+		if m.TotalVar == 0 || cum/m.TotalVar >= target {
+			m.Eigenvalues = sys.Values
+			m.Components = sys.Vectors
+			return m, nil
+		}
+	}
+}
+
+// FitJacobi fits the full PCA basis with the worker-parallel one-sided
+// Jacobi SVD instead of the serial covariance eigensolve. Column-pair
+// rotations within a tournament round are independent, so Stage 2 scales
+// with cores — but Jacobi performs several times the eigensolve's flops at
+// DPZ's typical N≈2M shapes, so the parallel path only wins on very wide
+// machines (see the scaling experiment, which measures both). Results
+// match Fit up to sign and round-off.
+func FitJacobi(x *mat.Dense, opts Options, workers int) (*Model, error) {
+	r, c := x.Dims()
+	if r < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", r)
+	}
+	if c < 1 {
+		return nil, errors.New("pca: need at least 1 feature")
+	}
+	m := &Model{}
+	m.Means = mat.ColMeans(x)
+	if opts.Standardize {
+		m.Scales = mat.ColStds(x, m.Means)
+	}
+	// Jacobi consumes the centered (and optionally scaled) data directly.
+	centered := center(x, m.Means, m.Scales)
+	sys, err := eigen.OneSidedJacobi(centered, workers)
+	if err != nil {
+		return nil, fmt.Errorf("pca: jacobi: %w", err)
+	}
+	clampNonNegative(sys.Values)
+	m.Eigenvalues = sys.Values
+	m.Components = sys.Vectors
+	for _, v := range sys.Values {
+		m.TotalVar += v
+	}
+	return m, nil
+}
+
+// Spectrum computes only the eigenvalue spectrum (descending, clamped
+// non-negative) and the total variance of x's features — everything k
+// selection needs, at a fraction of a full fit's cost because no
+// eigenvectors are accumulated.
+func Spectrum(x *mat.Dense, opts Options) (vals []float64, totalVar float64, err error) {
+	r, c := x.Dims()
+	if r < 2 || c < 1 {
+		return nil, 0, fmt.Errorf("pca: matrix %dx%d too small for a spectrum", r, c)
+	}
+	var cov *mat.Dense
+	if opts.Standardize {
+		cov = mat.Correlation(x)
+	} else {
+		cov, _ = mat.Covariance(x)
+	}
+	for i := 0; i < c; i++ {
+		totalVar += cov.At(i, i)
+	}
+	vals, err = eigen.SymEigValues(cov)
+	if err != nil {
+		return nil, 0, fmt.Errorf("pca: spectrum: %w", err)
+	}
+	clampNonNegative(vals)
+	return vals, totalVar, nil
+}
+
+// TVECurveOf converts a spectrum into a cumulative TVE curve.
+func TVECurveOf(vals []float64, totalVar float64) []float64 {
+	curve := make([]float64, len(vals))
+	var run float64
+	for i, v := range vals {
+		run += v
+		if totalVar > 0 {
+			curve[i] = run / totalVar
+		} else {
+			curve[i] = 1
+		}
+	}
+	return curve
+}
+
+func clampNonNegative(vals []float64) {
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+}
+
+// NumFeatures returns the feature dimensionality of the fitted model.
+func (m *Model) NumFeatures() int { return len(m.Means) }
+
+// TVECurve returns the cumulative total variance explained for k =
+// 1..len(Eigenvalues): curve[k-1] = Σ_{i<k} λ_i / TotalVar (Eq. 2). If
+// the total variance is zero (constant data) every entry is 1.
+func (m *Model) TVECurve() []float64 {
+	curve := make([]float64, len(m.Eigenvalues))
+	var run float64
+	for i, v := range m.Eigenvalues {
+		run += v
+		if m.TotalVar > 0 {
+			curve[i] = run / m.TotalVar
+		} else {
+			curve[i] = 1
+		}
+	}
+	return curve
+}
+
+// KForTVE returns the smallest k whose cumulative TVE reaches the given
+// threshold (Method 2 in Algorithm 1). The result is always in [1, M].
+func (m *Model) KForTVE(tve float64) int {
+	curve := m.TVECurve()
+	for i, v := range curve {
+		if v >= tve {
+			return i + 1
+		}
+	}
+	return len(curve)
+}
+
+// ProjectionMatrix returns the M×k matrix of the k leading eigenvectors.
+// k must not exceed the number of components the model holds.
+func (m *Model) ProjectionMatrix(k int) *mat.Dense {
+	mfeat := m.NumFeatures()
+	_, avail := m.Components.Dims()
+	if k < 1 || k > avail {
+		panic(fmt.Sprintf("pca: k=%d out of range [1,%d]", k, avail))
+	}
+	d := mat.NewDense(mfeat, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < mfeat; i++ {
+			d.Set(i, j, m.Components.At(i, j))
+		}
+	}
+	return d
+}
+
+// Transform projects x (rows = samples, cols = M features) onto the k
+// leading components, returning the rows × k score matrix Y = (X−μ)·D_k.
+func (m *Model) Transform(x *mat.Dense, k int) *mat.Dense {
+	_, c := x.Dims()
+	if c != m.NumFeatures() {
+		panic("pca: Transform feature-count mismatch")
+	}
+	centered := center(x, m.Means, m.Scales)
+	return mat.Mul(centered, m.ProjectionMatrix(k))
+}
+
+// InverseTransform reconstructs X̂ = Y·D_kᵀ·diag(scale) + μ from scores.
+func (m *Model) InverseTransform(y *mat.Dense) *mat.Dense {
+	_, k := y.Dims()
+	d := m.ProjectionMatrix(k)
+	recon := mat.Mul(y, d.T())
+	r, c := recon.Dims()
+	for i := 0; i < r; i++ {
+		row := recon.Row(i)
+		for j := 0; j < c; j++ {
+			if m.Scales != nil {
+				row[j] *= m.Scales[j]
+			}
+			row[j] += m.Means[j]
+		}
+	}
+	return recon
+}
+
+// Reconstruct is Transform followed by InverseTransform at rank k: the
+// best rank-k approximation of x in the fitted basis.
+func (m *Model) Reconstruct(x *mat.Dense, k int) *mat.Dense {
+	return m.InverseTransform(m.Transform(x, k))
+}
+
+func center(x *mat.Dense, means, scales []float64) *mat.Dense {
+	r, c := x.Dims()
+	out := mat.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		src := x.Row(i)
+		dst := out.Row(i)
+		for j := 0; j < c; j++ {
+			v := src[j] - means[j]
+			if scales != nil {
+				v /= scales[j]
+			}
+			dst[j] = v
+		}
+	}
+	return out
+}

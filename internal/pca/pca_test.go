@@ -1,0 +1,257 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/mat"
+)
+
+// lowRankData builds an n×m matrix with intrinsic rank r plus noise.
+func lowRankData(n, m, r int, noise float64, rng *rand.Rand) *mat.Dense {
+	basis := mat.NewDense(r, m)
+	for i := range basis.Data() {
+		basis.Data()[i] = rng.NormFloat64()
+	}
+	coef := mat.NewDense(n, r)
+	for i := range coef.Data() {
+		coef.Data()[i] = rng.NormFloat64() * 10
+	}
+	x := mat.Mul(coef, basis)
+	for i := range x.Data() {
+		x.Data()[i] += noise*rng.NormFloat64() + 3 // offset to exercise centering
+	}
+	return x
+}
+
+func TestFitRejectsTinyInput(t *testing.T) {
+	if _, err := Fit(mat.NewDense(1, 3), Options{}); err == nil {
+		t.Fatal("expected error for single sample")
+	}
+	if _, err := Fit(mat.NewDense(5, 0), Options{}); err == nil {
+		t.Fatal("expected error for zero features")
+	}
+}
+
+func TestTVECurveProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := lowRankData(100, 12, 3, 0.01, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := m.TVECurve()
+	if len(curve) != 12 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-12 {
+			t.Fatal("TVE curve not monotone")
+		}
+	}
+	if math.Abs(curve[len(curve)-1]-1) > 1e-9 {
+		t.Fatalf("TVE does not reach 1: %v", curve[len(curve)-1])
+	}
+	// Rank-3 data: 3 components must explain nearly everything.
+	if curve[2] < 0.999 {
+		t.Fatalf("rank-3 data: TVE(3) = %v, want ~1", curve[2])
+	}
+}
+
+func TestKForTVE(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := lowRankData(200, 10, 2, 1e-6, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := m.KForTVE(0.999); k != 2 {
+		t.Fatalf("KForTVE(0.999) = %d, want 2", k)
+	}
+	if k := m.KForTVE(1.1); k != 10 {
+		t.Fatalf("impossible threshold must return M, got %d", k)
+	}
+	if k := m.KForTVE(0); k != 1 {
+		t.Fatalf("KForTVE(0) = %d, want 1", k)
+	}
+}
+
+func TestReconstructionExactAtFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	x := lowRankData(50, 8, 8, 0.5, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := m.Reconstruct(x, 8)
+	if !mat.Equal(x, recon, 1e-8) {
+		t.Fatal("full-rank PCA reconstruction is not exact")
+	}
+}
+
+func TestReconstructionExactForLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x := lowRankData(80, 12, 4, 0, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := m.Reconstruct(x, 4)
+	if !mat.Equal(x, recon, 1e-7) {
+		t.Fatal("rank-4 data not recovered from 4 components")
+	}
+}
+
+func TestReconstructionErrorDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	x := lowRankData(120, 15, 15, 1, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for k := 1; k <= 15; k += 2 {
+		recon := m.Reconstruct(x, k)
+		var mse float64
+		for i, v := range x.Data() {
+			d := v - recon.Data()[i]
+			mse += d * d
+		}
+		if mse > prev+1e-9 {
+			t.Fatalf("MSE increased from %v to %v at k=%d", prev, mse, k)
+		}
+		prev = mse
+	}
+}
+
+func TestStandardizedFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	// Features with wildly different scales.
+	x := mat.NewDense(100, 3)
+	for i := 0; i < 100; i++ {
+		a := rng.NormFloat64()
+		x.Set(i, 0, a*1000)
+		x.Set(i, 1, a+0.01*rng.NormFloat64())
+		x.Set(i, 2, rng.NormFloat64()*0.001)
+	}
+	m, err := Fit(x, Options{Standardize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scales == nil {
+		t.Fatal("standardized fit must record scales")
+	}
+	recon := m.Reconstruct(x, 3)
+	if !mat.Equal(x, recon, 1e-6) {
+		t.Fatal("standardized full-rank reconstruction not exact")
+	}
+	// Correlated pair: first component explains ~2/3 of correlation-space
+	// variance.
+	if tve := m.TVECurve()[0]; tve < 0.6 {
+		t.Fatalf("first standardized component TVE = %v", tve)
+	}
+}
+
+func TestTransformShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	x := lowRankData(30, 6, 6, 0.1, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := m.Transform(x, 2)
+	r, c := y.Dims()
+	if r != 30 || c != 2 {
+		t.Fatalf("score shape %dx%d, want 30x2", r, c)
+	}
+	// Scores must be centered (mean ~0 per component).
+	for j := 0; j < 2; j++ {
+		var s float64
+		for i := 0; i < 30; i++ {
+			s += y.At(i, j)
+		}
+		if math.Abs(s/30) > 1e-9 {
+			t.Fatalf("component %d not centered: mean %v", j, s/30)
+		}
+	}
+}
+
+func TestProjectionMatrixOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	x := lowRankData(60, 9, 9, 1, rng)
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ProjectionMatrix(5)
+	g := mat.Mul(d.T(), d)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-9 {
+				t.Fatalf("DᵀD[%d,%d] = %v", i, j, g.At(i, j))
+			}
+		}
+	}
+}
+
+func TestProjectionMatrixPanicsOnBadK(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	x := lowRankData(20, 4, 4, 1, rng)
+	m, _ := Fit(x, Options{})
+	for _, k := range []int{0, 5, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for k=%d", k)
+				}
+			}()
+			m.ProjectionMatrix(k)
+		}()
+	}
+}
+
+func TestPCADominantDirection(t *testing.T) {
+	// Data stretched along (1,1): first eigenvector must align with it.
+	rng := rand.New(rand.NewSource(50))
+	x := mat.NewDense(500, 2)
+	for i := 0; i < 500; i++ {
+		big := rng.NormFloat64() * 10
+		small := rng.NormFloat64() * 0.1
+		x.Set(i, 0, big+small)
+		x.Set(i, 1, big-small)
+	}
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := []float64{m.Components.At(0, 0), m.Components.At(1, 0)}
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 0.01 || math.Abs(v0[0]-v0[1]) > 0.02 {
+		t.Fatalf("dominant direction = %v, want ±(1,1)/√2", v0)
+	}
+}
+
+func TestReconstructPropertyFullRankIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		c := 2 + rng.Intn(6)
+		x := mat.NewDense(n, c)
+		for i := range x.Data() {
+			x.Data()[i] = rng.NormFloat64() * 5
+		}
+		m, err := Fit(x, Options{})
+		if err != nil {
+			return false
+		}
+		return mat.Equal(x, m.Reconstruct(x, c), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

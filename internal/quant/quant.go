@@ -1,0 +1,307 @@
+// Package quant implements DPZ's Stage 3: a symmetric uniform quantizer
+// for the selected k-PCA scores (Section IV-C). The bounding range is
+// symmetric about zero with each half equal to P·B and a bin width of 2P,
+// where B is the number of representable bins and P the stage error bound;
+// in-range values are stored as their bin index (1-byte or 2-byte) and
+// decoded to the bin center, so the quantization error is bounded by P.
+// Out-of-range values escape to a literal stream and are saved as is.
+package quant
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dpz/internal/huffman"
+	"dpz/internal/parallel"
+)
+
+// IndexWidth selects the bin-index encoding width.
+type IndexWidth int
+
+const (
+	// Width1 uses 1-byte indices (255 bins + escape), the DPZ-l scheme.
+	Width1 IndexWidth = 1
+	// Width2 uses 2-byte indices (65535 bins + escape), the DPZ-s scheme.
+	Width2 IndexWidth = 2
+)
+
+// Bins returns the number of usable quantization bins for the width (one
+// code point is reserved as the out-of-range escape).
+func (w IndexWidth) Bins() int {
+	switch w {
+	case Width1:
+		return 255
+	case Width2:
+		return 65535
+	default:
+		panic(fmt.Sprintf("quant: invalid index width %d", int(w)))
+	}
+}
+
+// escape code = Bins() (the last representable code).
+func (w IndexWidth) escape() uint16 { return uint16(w.Bins()) }
+
+// Quantizer quantizes values with error bound P using the given index
+// width. The zero value is not usable; use New.
+type Quantizer struct {
+	P     float64
+	Width IndexWidth
+	// Lit32 stores escape literals as float32 (the paper's "saved as is"
+	// for single-precision inputs; halves the literal cost). The error
+	// bound for literals is then the float32 rounding of the value rather
+	// than P.
+	Lit32 bool
+	half  float64 // half-range = P * bins
+	bins  int
+}
+
+// New creates a quantizer. P must be positive.
+func New(p float64, w IndexWidth) (*Quantizer, error) {
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		return nil, fmt.Errorf("quant: error bound P must be positive and finite, got %v", p)
+	}
+	b := w.Bins() // validates width
+	return &Quantizer{P: p, Width: w, half: p * float64(b), bins: b}, nil
+}
+
+// Encoded is the quantized representation of a value stream.
+type Encoded struct {
+	P        float64
+	Width    IndexWidth
+	Lit32    bool      // literals serialized as float32
+	Count    int       // number of encoded values
+	Codes    []uint16  // one code per value; escape code marks a literal
+	Literals []float64 // out-of-range values in stream order
+}
+
+// Encode quantizes x. Encoding is parallel across chunks (workers <= 0
+// means GOMAXPROCS); the literal stream is assembled in order afterwards.
+func (q *Quantizer) Encode(x []float64, workers int) *Encoded {
+	enc := &Encoded{P: q.P, Width: q.Width, Lit32: q.Lit32, Count: len(x), Codes: make([]uint16, len(x))}
+	esc := q.Width.escape()
+	twoP := 2 * q.P
+	parallel.ForChunks(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x[i]
+			idx := math.Floor((v + q.half) / twoP)
+			if idx >= 0 && idx < float64(q.bins) && !math.IsNaN(v) {
+				enc.Codes[i] = uint16(idx)
+			} else {
+				enc.Codes[i] = esc
+			}
+		}
+	})
+	for i, c := range enc.Codes {
+		if c == esc {
+			v := x[i]
+			if q.Lit32 {
+				v = float64(float32(v))
+			}
+			enc.Literals = append(enc.Literals, v)
+		}
+	}
+	return enc
+}
+
+// Decode reconstructs the value stream: in-range codes decode to their bin
+// center (error <= P), escapes pull the next literal.
+func (e *Encoded) Decode() ([]float64, error) {
+	out := make([]float64, e.Count)
+	esc := e.Width.escape()
+	if len(e.Codes) != e.Count {
+		return nil, fmt.Errorf("quant: code stream length %d != count %d", len(e.Codes), e.Count)
+	}
+	half := e.P * float64(e.Width.Bins())
+	twoP := 2 * e.P
+	li := 0
+	for i, c := range e.Codes {
+		if c == esc {
+			if li >= len(e.Literals) {
+				return nil, fmt.Errorf("quant: literal stream exhausted at value %d", i)
+			}
+			out[i] = e.Literals[li]
+			li++
+			continue
+		}
+		out[i] = -half + (float64(c)+0.5)*twoP
+	}
+	if li != len(e.Literals) {
+		return nil, fmt.Errorf("quant: %d unused literals", len(e.Literals)-li)
+	}
+	return out, nil
+}
+
+// OutOfRange returns the number of escaped (literal) values.
+func (e *Encoded) OutOfRange() int { return len(e.Literals) }
+
+// litBytes returns the serialized width of one literal.
+func (e *Encoded) litBytes() int {
+	if e.Lit32 {
+		return 4
+	}
+	return 8
+}
+
+// RawSize returns the serialized payload size in bytes before the zlib
+// add-on: Count indices at the index width plus the literal stream.
+func (e *Encoded) RawSize() int {
+	return e.Count*int(e.Width) + e.litBytes()*len(e.Literals)
+}
+
+// Marshal serializes the encoded stream: header (P, width+flags, count,
+// literal count), packed indices, then the literal stream.
+func (e *Encoded) Marshal() []byte {
+	return e.marshal(false)
+}
+
+// MarshalHuffman serializes like Marshal but entropy-codes the index
+// stream with canonical Huffman first — a win when the bin distribution
+// is skewed (typical for DPZ-l's 255-bin indices), at extra CPU cost. The
+// stream self-describes; Unmarshal handles both layouts.
+func (e *Encoded) MarshalHuffman() []byte {
+	return e.marshal(true)
+}
+
+func (e *Encoded) marshal(huff bool) []byte {
+	buf := make([]byte, 0, 25+e.RawSize())
+	var hdr [25]byte
+	binary.LittleEndian.PutUint64(hdr[0:], math.Float64bits(e.P))
+	hdr[8] = byte(e.Width)
+	if e.Lit32 {
+		hdr[8] |= 0x80
+	}
+	if huff {
+		hdr[8] |= 0x40
+	}
+	binary.LittleEndian.PutUint64(hdr[9:], uint64(e.Count))
+	binary.LittleEndian.PutUint64(hdr[17:], uint64(len(e.Literals)))
+	buf = append(buf, hdr[:]...)
+	if huff {
+		enc := huffman.Encode(e.Codes)
+		var b4 [4]byte
+		binary.LittleEndian.PutUint32(b4[:], uint32(len(enc)))
+		buf = append(buf, b4[:]...)
+		buf = append(buf, enc...)
+	} else {
+		switch e.Width {
+		case Width1:
+			for _, c := range e.Codes {
+				buf = append(buf, byte(c))
+			}
+		case Width2:
+			var b [2]byte
+			for _, c := range e.Codes {
+				binary.LittleEndian.PutUint16(b[:], c)
+				buf = append(buf, b[:]...)
+			}
+		}
+	}
+	if e.Lit32 {
+		var b4 [4]byte
+		for _, v := range e.Literals {
+			binary.LittleEndian.PutUint32(b4[:], math.Float32bits(float32(v)))
+			buf = append(buf, b4[:]...)
+		}
+	} else {
+		var b8 [8]byte
+		for _, v := range e.Literals {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+			buf = append(buf, b8[:]...)
+		}
+	}
+	return buf
+}
+
+// Unmarshal parses a stream produced by Marshal.
+func Unmarshal(buf []byte) (*Encoded, error) {
+	if len(buf) < 25 {
+		return nil, fmt.Errorf("quant: truncated header (%d bytes)", len(buf))
+	}
+	e := &Encoded{}
+	e.P = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:]))
+	e.Lit32 = buf[8]&0x80 != 0
+	huff := buf[8]&0x40 != 0
+	e.Width = IndexWidth(buf[8] &^ 0xC0)
+	if e.Width != Width1 && e.Width != Width2 {
+		return nil, fmt.Errorf("quant: invalid index width %d", int(e.Width))
+	}
+	if e.P <= 0 || math.IsNaN(e.P) || math.IsInf(e.P, 0) {
+		return nil, fmt.Errorf("quant: invalid error bound %v", e.P)
+	}
+	e.Count = int(binary.LittleEndian.Uint64(buf[9:]))
+	nlit := int(binary.LittleEndian.Uint64(buf[17:]))
+	// Bound the counts by what the buffer could possibly hold BEFORE any
+	// multiplication — oversized header values would otherwise overflow
+	// the size arithmetic (found by FuzzUnmarshal). Huffman-coded streams
+	// bound the literal count only; the code count is validated against
+	// the decoded stream below.
+	avail := len(buf) - 25
+	if e.Count < 0 || nlit < 0 || nlit > avail/e.litBytes() {
+		return nil, fmt.Errorf("quant: header counts exceed payload (%d codes, %d literals, %d bytes)",
+			e.Count, nlit, avail)
+	}
+	var p []byte
+	if huff {
+		if avail < 4 {
+			return nil, fmt.Errorf("quant: truncated huffman header")
+		}
+		hlen := int(binary.LittleEndian.Uint32(buf[25:]))
+		if hlen < 0 || hlen > avail-4 {
+			return nil, fmt.Errorf("quant: huffman block length %d exceeds payload", hlen)
+		}
+		codes, err := huffman.Decode(buf[29 : 29+hlen])
+		if err != nil {
+			return nil, fmt.Errorf("quant: %w", err)
+		}
+		if len(codes) != e.Count {
+			return nil, fmt.Errorf("quant: %d huffman codes, header says %d", len(codes), e.Count)
+		}
+		maxCode := uint16(e.Width.Bins())
+		for _, c := range codes {
+			if c > maxCode {
+				return nil, fmt.Errorf("quant: code %d exceeds alphabet for width %d", c, int(e.Width))
+			}
+		}
+		e.Codes = codes
+		p = buf[29+hlen:]
+		if len(p) != e.litBytes()*nlit {
+			return nil, fmt.Errorf("quant: literal payload %d bytes, want %d", len(p), e.litBytes()*nlit)
+		}
+	} else {
+		if e.Count > avail/int(e.Width) {
+			return nil, fmt.Errorf("quant: header counts exceed payload (%d codes, %d bytes)", e.Count, avail)
+		}
+		need := 25 + e.Count*int(e.Width) + e.litBytes()*nlit
+		if len(buf) != need {
+			return nil, fmt.Errorf("quant: payload size %d, want %d", len(buf), need)
+		}
+		p = buf[25:]
+		e.Codes = make([]uint16, e.Count)
+		switch e.Width {
+		case Width1:
+			for i := 0; i < e.Count; i++ {
+				e.Codes[i] = uint16(p[i])
+			}
+			p = p[e.Count:]
+		case Width2:
+			for i := 0; i < e.Count; i++ {
+				e.Codes[i] = binary.LittleEndian.Uint16(p[2*i:])
+			}
+			p = p[2*e.Count:]
+		}
+	}
+	if nlit > 0 {
+		e.Literals = make([]float64, nlit)
+		if e.Lit32 {
+			for i := range e.Literals {
+				e.Literals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:])))
+			}
+		} else {
+			for i := range e.Literals {
+				e.Literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+			}
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,297 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, Width1); err == nil {
+		t.Fatal("expected error for P=0")
+	}
+	if _, err := New(-1, Width2); err == nil {
+		t.Fatal("expected error for negative P")
+	}
+	if _, err := New(math.NaN(), Width1); err == nil {
+		t.Fatal("expected error for NaN P")
+	}
+	if _, err := New(math.Inf(1), Width1); err == nil {
+		t.Fatal("expected error for Inf P")
+	}
+	if _, err := New(1e-3, Width1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthBins(t *testing.T) {
+	if Width1.Bins() != 255 || Width2.Bins() != 65535 {
+		t.Fatalf("bins = %d, %d", Width1.Bins(), Width2.Bins())
+	}
+}
+
+func TestBinsPanicsOnInvalidWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	IndexWidth(3).Bins()
+}
+
+func TestEncodeDecodeErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, w := range []IndexWidth{Width1, Width2} {
+		for _, p := range []float64{1e-2, 1e-3, 1e-4} {
+			q, err := New(p, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, 5000)
+			for i := range x {
+				x[i] = rng.NormFloat64() * 0.1 // mostly in range for 1e-3+
+			}
+			enc := q.Encode(x, 0)
+			dec, err := enc.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if d := math.Abs(dec[i] - x[i]); d > p+1e-15 {
+					t.Fatalf("w=%d P=%g: error %g at %d exceeds bound", w, p, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOutOfRangeLiterals(t *testing.T) {
+	q, err := New(1e-3, Width1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half range = 0.255, so ±10 escapes.
+	x := []float64{0.0, 10, -10, 0.1, math.NaN()}
+	enc := q.Encode(x, 1)
+	if enc.OutOfRange() != 3 {
+		t.Fatalf("OutOfRange = %d, want 3", enc.OutOfRange())
+	}
+	dec, err := enc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[1] != 10 || dec[2] != -10 {
+		t.Fatalf("literals not preserved exactly: %v", dec[1:3])
+	}
+	if !math.IsNaN(dec[4]) {
+		t.Fatalf("NaN not preserved, got %v", dec[4])
+	}
+	if math.Abs(dec[0]-0) > 1e-3 || math.Abs(dec[3]-0.1) > 1e-3 {
+		t.Fatalf("in-range values outside bound: %v", dec)
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	q, _ := New(1e-3, Width2)
+	enc := q.Encode(nil, 0)
+	dec, err := enc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d values from empty input", len(dec))
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, w := range []IndexWidth{Width1, Width2} {
+		q, _ := New(1e-4, w)
+		x := make([]float64, 1234)
+		for i := range x {
+			if rng.Float64() < 0.05 {
+				x[i] = rng.NormFloat64() * 100 // force escapes
+			} else {
+				x[i] = rng.NormFloat64() * 1e-3
+			}
+		}
+		enc := q.Encode(x, 0)
+		buf := enc.Marshal()
+		if len(buf) != 25+enc.RawSize() {
+			t.Fatalf("marshal size %d, want %d", len(buf), 25+enc.RawSize())
+		}
+		back, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.P != enc.P || back.Width != enc.Width || back.Count != enc.Count {
+			t.Fatalf("header mismatch: %+v vs %+v", back, enc)
+		}
+		d1, err := enc.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := back.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("decode mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("expected error for empty buffer")
+	}
+	q, _ := New(1e-3, Width1)
+	buf := q.Encode([]float64{1, 2, 3}, 1).Marshal()
+	if _, err := Unmarshal(buf[:len(buf)-1]); err == nil {
+		t.Fatal("expected error for truncated buffer")
+	}
+	bad := make([]byte, len(buf))
+	copy(bad, buf)
+	bad[8] = 7 // invalid width
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("expected error for invalid width")
+	}
+}
+
+func TestDecodeRejectsInconsistentStream(t *testing.T) {
+	e := &Encoded{P: 1e-3, Width: Width1, Count: 2, Codes: []uint16{Width1.escape(), 0}}
+	if _, err := e.Decode(); err == nil {
+		t.Fatal("expected error for missing literal")
+	}
+	e2 := &Encoded{P: 1e-3, Width: Width1, Count: 1, Codes: []uint16{0}, Literals: []float64{5}}
+	if _, err := e2.Decode(); err == nil {
+		t.Fatal("expected error for unused literals")
+	}
+	e3 := &Encoded{P: 1e-3, Width: Width1, Count: 5, Codes: []uint16{0}}
+	if _, err := e3.Decode(); err == nil {
+		t.Fatal("expected error for short code stream")
+	}
+}
+
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	q, _ := New(1e-3, Width2)
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	a := q.Encode(x, 1)
+	b := q.Encode(x, 8)
+	if len(a.Codes) != len(b.Codes) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Codes {
+		if a.Codes[i] != b.Codes[i] {
+			t.Fatalf("code mismatch at %d", i)
+		}
+	}
+	if len(a.Literals) != len(b.Literals) {
+		t.Fatal("literal count mismatch")
+	}
+}
+
+func TestErrorBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := math.Pow(10, -1-3*rng.Float64()) // 1e-1 .. 1e-4
+		w := Width1
+		if rng.Intn(2) == 1 {
+			w = Width2
+		}
+		q, err := New(p, w)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(2000)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(5)-2))
+		}
+		dec, err := q.Encode(x, 0).Decode()
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(dec[i]-x[i]) > p+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawSizeAccounting(t *testing.T) {
+	q, _ := New(1e-3, Width2)
+	x := []float64{0, 1e9, 0.001}
+	enc := q.Encode(x, 1)
+	want := 3*2 + 8*enc.OutOfRange()
+	if enc.RawSize() != want {
+		t.Fatalf("RawSize = %d, want %d", enc.RawSize(), want)
+	}
+}
+
+func TestMarshalHuffmanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, w := range []IndexWidth{Width1, Width2} {
+		q, _ := New(1e-3, w)
+		q.Lit32 = true
+		x := make([]float64, 3000)
+		for i := range x {
+			if rng.Float64() < 0.03 {
+				x[i] = rng.NormFloat64() * 1e6 // escapes
+			} else {
+				x[i] = rng.NormFloat64() * 1e-3 // skewed central bins
+			}
+		}
+		enc := q.Encode(x, 0)
+		plain := enc.Marshal()
+		huff := enc.MarshalHuffman()
+		// Skewed indices must compress under Huffman.
+		if len(huff) >= len(plain) {
+			t.Logf("width %d: huffman %d >= plain %d (acceptable on near-uniform data)", w, len(huff), len(plain))
+		}
+		for _, buf := range [][]byte{plain, huff} {
+			back, err := Unmarshal(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d1, _ := enc.Decode()
+			d2, err := back.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					t.Fatalf("width %d: decode mismatch at %d", w, i)
+				}
+			}
+		}
+	}
+}
+
+func TestUnmarshalHuffmanRejectsCorrupt(t *testing.T) {
+	q, _ := New(1e-3, Width1)
+	enc := q.Encode([]float64{0, 0.01, -0.02, 1e9}, 1)
+	buf := enc.MarshalHuffman()
+	if _, err := Unmarshal(buf[:27]); err == nil {
+		t.Fatal("expected truncated huffman header error")
+	}
+	bad := make([]byte, len(buf))
+	copy(bad, buf)
+	bad[25] = 0xFF // huffman block length beyond payload
+	bad[26] = 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("expected huffman length error")
+	}
+}

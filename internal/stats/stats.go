@@ -1,0 +1,354 @@
+// Package stats provides the compression-quality metrics used throughout
+// the paper's evaluation: PSNR, MSE, maximum absolute error, the data-range
+// relative error θ, bit-rate, the energy compaction ratio (ECR, Eq. 1),
+// Shannon entropy, histograms and box-plot summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MSE returns the mean squared error between a and b. It panics if the
+// lengths differ and returns 0 for empty input.
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: MSE length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// MaxAbsError returns max_i |a_i - b_i|.
+func MaxAbsError(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbsError length mismatch")
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Range returns max(x) - min(x); 0 for empty input.
+func Range(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between the original
+// data and its reconstruction, using the original's value range as the
+// peak (the paper's definition: 20·log10(range) − 10·log10(MSE)). A
+// perfect reconstruction returns +Inf.
+func PSNR(orig, recon []float64) float64 {
+	mse := MSE(orig, recon)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	r := Range(orig)
+	if r == 0 {
+		return math.Inf(-1)
+	}
+	return 20*math.Log10(r) - 10*math.Log10(mse)
+}
+
+// MeanRelError returns the paper's mean θ: the average absolute error
+// normalized by the original data range. Zero-range data yields 0 for a
+// perfect reconstruction and +Inf otherwise.
+func MeanRelError(orig, recon []float64) float64 {
+	if len(orig) != len(recon) {
+		panic("stats: MeanRelError length mismatch")
+	}
+	if len(orig) == 0 {
+		return 0
+	}
+	r := Range(orig)
+	var s float64
+	for i := range orig {
+		s += math.Abs(orig[i] - recon[i])
+	}
+	s /= float64(len(orig))
+	if r == 0 {
+		if s == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return s / r
+}
+
+// BitRate converts a compression ratio into bits per value for the given
+// uncompressed element width in bits (32 for single precision).
+func BitRate(cr float64, elemBits int) float64 {
+	if cr <= 0 {
+		return math.Inf(1)
+	}
+	return float64(elemBits) / cr
+}
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes <= 0 {
+		return math.Inf(1)
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}
+
+// ECR computes the paper's energy compaction ratio (Eq. 1): the fraction
+// of total energy (sum of squares) captured by the k largest-magnitude
+// coefficients of f. It returns 1 when the total energy is zero.
+func ECR(f []float64, k int) float64 {
+	if k >= len(f) {
+		return 1
+	}
+	if k <= 0 {
+		return 0
+	}
+	mags := make([]float64, len(f))
+	var total float64
+	for i, v := range f {
+		e := v * v
+		mags[i] = e
+		total += e
+	}
+	if total == 0 {
+		return 1
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+	var kept float64
+	for i := 0; i < k; i++ {
+		kept += mags[i]
+	}
+	return kept / total
+}
+
+// ECRCurve returns the cumulative energy fraction captured by the i
+// largest-magnitude coefficients, for i = 1..len(f). curve[i-1] is the ECR
+// at k=i; the curve is non-decreasing and ends at 1 (for nonzero energy).
+func ECRCurve(f []float64) []float64 {
+	mags := make([]float64, len(f))
+	var total float64
+	for i, v := range f {
+		e := v * v
+		mags[i] = e
+		total += e
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
+	curve := make([]float64, len(f))
+	var run float64
+	for i, e := range mags {
+		run += e
+		if total > 0 {
+			curve[i] = run / total
+		} else {
+			curve[i] = 1
+		}
+	}
+	return curve
+}
+
+// Entropy returns the Shannon entropy (bits/symbol) of the histogram of x
+// quantized into nbins equal-width bins across its range.
+func Entropy(x []float64, nbins int) float64 {
+	if len(x) == 0 || nbins <= 0 {
+		return 0
+	}
+	h := Histogram(x, nbins)
+	var e float64
+	n := float64(len(x))
+	for _, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		e -= p * math.Log2(p)
+	}
+	return e
+}
+
+// Hist is an equal-width histogram over [Min, Max].
+type Hist struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// Histogram bins x into nbins equal-width bins spanning its range. A
+// zero-range input puts everything in the first bin.
+func Histogram(x []float64, nbins int) Hist {
+	h := Hist{Counts: make([]int, nbins)}
+	if len(x) == 0 || nbins <= 0 {
+		return h
+	}
+	h.Min, h.Max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	w := (h.Max - h.Min) / float64(nbins)
+	if w == 0 {
+		h.Counts[0] = len(x)
+		return h
+	}
+	for _, v := range x {
+		b := int((v - h.Min) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// BoxPlot summarizes a sample the way the paper's Figure 10 box plots do.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+}
+
+// Summarize computes a five-number summary plus mean. It panics on empty
+// input.
+func Summarize(x []float64) BoxPlot {
+	if len(x) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return BoxPlot{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// quantileSorted returns the linearly interpolated q-quantile of sorted s.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Float32To64 widens a float32 slice.
+func Float32To64(x []float32) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Float64To32 narrows a float64 slice.
+func Float64To32(x []float64) []float32 {
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// SSIM computes the mean structural similarity index between two 2-D
+// fields (rows×cols, row-major) using the standard 8×8 sliding-window
+// formulation with C1=(0.01·L)² and C2=(0.03·L)², L = the original's value
+// range. 1 means identical structure; values fall toward 0 as local
+// luminance/contrast/structure diverge. Used by the Figure 7
+// visualization experiment alongside PSNR.
+func SSIM(orig, recon []float64, rows, cols int) float64 {
+	if len(orig) != rows*cols || len(recon) != rows*cols {
+		panic("stats: SSIM shape mismatch")
+	}
+	const win = 8
+	if rows < win || cols < win {
+		// Degenerate field: fall back to a single global window.
+		return ssimWindow(orig, recon, Range(orig))
+	}
+	l := Range(orig)
+	var sum float64
+	var count int
+	wo := make([]float64, win*win)
+	wr := make([]float64, win*win)
+	for r := 0; r+win <= rows; r += win / 2 {
+		for c := 0; c+win <= cols; c += win / 2 {
+			for i := 0; i < win; i++ {
+				copy(wo[i*win:(i+1)*win], orig[(r+i)*cols+c:(r+i)*cols+c+win])
+				copy(wr[i*win:(i+1)*win], recon[(r+i)*cols+c:(r+i)*cols+c+win])
+			}
+			sum += ssimWindow(wo, wr, l)
+			count++
+		}
+	}
+	if count == 0 {
+		return ssimWindow(orig, recon, l)
+	}
+	return sum / float64(count)
+}
+
+// ssimWindow computes SSIM over one window given the dynamic range l.
+func ssimWindow(a, b []float64, l float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var va, vb, cov float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		va += da * da
+		vb += db * db
+		cov += da * db
+	}
+	va /= n - 1
+	vb /= n - 1
+	cov /= n - 1
+	if l == 0 {
+		l = 1
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+	return ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+}

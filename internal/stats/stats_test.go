@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSEKnown(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 4, 3}
+	if got := MSE(a, b); math.Abs(got-4.0/3.0) > 1e-15 {
+		t.Fatalf("MSE = %v, want 4/3", got)
+	}
+	if got := MSE(a, a); got != 0 {
+		t.Fatalf("MSE(a,a) = %v", got)
+	}
+	if got := MSE(nil, nil); got != 0 {
+		t.Fatalf("MSE(empty) = %v", got)
+	}
+}
+
+func TestMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbsError(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{0.5, -2, 1}
+	if got := MaxAbsError(a, b); got != 2 {
+		t.Fatalf("MaxAbsError = %v, want 2", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	if got := Range([]float64{3, -1, 7, 2}); got != 8 {
+		t.Fatalf("Range = %v, want 8", got)
+	}
+	if got := Range(nil); got != 0 {
+		t.Fatalf("Range(nil) = %v", got)
+	}
+	if got := Range([]float64{5, 5}); got != 0 {
+		t.Fatalf("Range(const) = %v", got)
+	}
+}
+
+func TestPSNRPerfect(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if got := PSNR(a, a); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR of identical data = %v, want +Inf", got)
+	}
+}
+
+func TestPSNRKnown(t *testing.T) {
+	// Range 10, constant error 1 -> MSE 1 -> PSNR = 20*log10(10) = 20 dB.
+	orig := []float64{0, 10}
+	recon := []float64{1, 11}
+	if got := PSNR(orig, recon); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("PSNR = %v, want 20", got)
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		orig := make([]float64, n)
+		for i := range orig {
+			orig[i] = rng.NormFloat64() * 50
+		}
+		small := make([]float64, n)
+		large := make([]float64, n)
+		for i := range orig {
+			e := rng.NormFloat64()
+			small[i] = orig[i] + 0.01*e
+			large[i] = orig[i] + 1.0*e
+		}
+		return PSNR(orig, small) >= PSNR(orig, large)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanRelError(t *testing.T) {
+	orig := []float64{0, 10}
+	recon := []float64{1, 10}
+	// mean abs err = 0.5, range = 10 -> 0.05.
+	if got := MeanRelError(orig, recon); math.Abs(got-0.05) > 1e-15 {
+		t.Fatalf("MeanRelError = %v, want 0.05", got)
+	}
+}
+
+func TestBitRateAndCR(t *testing.T) {
+	if got := BitRate(8, 32); got != 4 {
+		t.Fatalf("BitRate(8,32) = %v, want 4", got)
+	}
+	if got := CompressionRatio(1000, 100); got != 10 {
+		t.Fatalf("CR = %v, want 10", got)
+	}
+	if got := CompressionRatio(10, 0); !math.IsInf(got, 1) {
+		t.Fatalf("CR with 0 bytes = %v", got)
+	}
+}
+
+func TestECR(t *testing.T) {
+	f := []float64{3, 0, 4, 0} // energies 9, 16
+	if got := ECR(f, 1); math.Abs(got-16.0/25.0) > 1e-15 {
+		t.Fatalf("ECR(1) = %v, want 0.64", got)
+	}
+	if got := ECR(f, 2); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("ECR(2) = %v, want 1", got)
+	}
+	if got := ECR(f, 0); got != 0 {
+		t.Fatalf("ECR(0) = %v", got)
+	}
+	if got := ECR(f, 10); got != 1 {
+		t.Fatalf("ECR(k>=n) = %v", got)
+	}
+	if got := ECR([]float64{0, 0}, 1); got != 1 {
+		t.Fatalf("ECR of zero energy = %v, want 1", got)
+	}
+}
+
+func TestECRCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := make([]float64, 100)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	curve := ECRCurve(f)
+	if len(curve) != 100 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-12 {
+			t.Fatalf("ECR curve decreasing at %d", i)
+		}
+	}
+	if math.Abs(curve[99]-1) > 1e-12 {
+		t.Fatalf("ECR curve does not end at 1: %v", curve[99])
+	}
+	if math.Abs(curve[0]-ECR(f, 1)) > 1e-12 {
+		t.Fatal("curve[0] disagrees with ECR(f,1)")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over 4 distinct values -> 2 bits with 4 bins.
+	x := []float64{0, 1, 2, 3, 0, 1, 2, 3}
+	if got := Entropy(x, 4); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Entropy = %v, want 2", got)
+	}
+	// Constant data -> 0 bits.
+	if got := Entropy([]float64{5, 5, 5}, 8); got != 0 {
+		t.Fatalf("Entropy(const) = %v, want 0", got)
+	}
+	if got := Entropy(nil, 8); got != 0 {
+		t.Fatalf("Entropy(nil) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	x := []float64{0, 0.1, 0.9, 1.0}
+	h := Histogram(x, 2)
+	if h.Counts[0] != 2 || h.Counts[1] != 2 {
+		t.Fatalf("Histogram counts = %v", h.Counts)
+	}
+	if h.Min != 0 || h.Max != 1 {
+		t.Fatalf("Histogram range = [%v,%v]", h.Min, h.Max)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(x) {
+		t.Fatalf("histogram total %d != %d", total, len(x))
+	}
+}
+
+func TestHistogramConservesCount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		h := Histogram(x, 1+rng.Intn(64))
+		total := 0
+		for _, c := range h.Counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Summarize([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Mean != 3 {
+		t.Fatalf("Summarize = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	single := Summarize([]float64{7})
+	if single.Min != 7 || single.Median != 7 || single.Max != 7 {
+		t.Fatalf("single-sample summary = %+v", single)
+	}
+}
+
+func TestFloatConversions(t *testing.T) {
+	x32 := []float32{1.5, -2.25, 0}
+	x64 := Float32To64(x32)
+	back := Float64To32(x64)
+	for i := range x32 {
+		if back[i] != x32[i] {
+			t.Fatalf("round trip differs at %d: %v vs %v", i, back[i], x32[i])
+		}
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	rows, cols := 24, 32
+	a := make([]float64, rows*cols)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	if got := SSIM(a, a, rows, cols); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("SSIM(a,a) = %v, want 1", got)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	rows, cols := 32, 48
+	a := make([]float64, rows*cols)
+	for i := range a {
+		a[i] = math.Sin(float64(i) / 11)
+	}
+	small := make([]float64, len(a))
+	large := make([]float64, len(a))
+	for i := range a {
+		e := rng.NormFloat64()
+		small[i] = a[i] + 0.01*e
+		large[i] = a[i] + 0.5*e
+	}
+	sSmall := SSIM(a, small, rows, cols)
+	sLarge := SSIM(a, large, rows, cols)
+	if !(sSmall > sLarge) {
+		t.Fatalf("SSIM not monotone: %v vs %v", sSmall, sLarge)
+	}
+	if sSmall < 0.9 {
+		t.Fatalf("small noise SSIM = %v", sSmall)
+	}
+}
+
+func TestSSIMTinyField(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := SSIM(a, a, 2, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("tiny-field SSIM = %v", got)
+	}
+}
+
+func TestSSIMPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SSIM(make([]float64, 10), make([]float64, 10), 3, 4)
+}

@@ -1,0 +1,36 @@
+package sz
+
+import "testing"
+
+// FuzzDecompress feeds arbitrary bytes to the SZ decoder: never panic;
+// accepted output must match the declared dims.
+func FuzzDecompress(f *testing.F) {
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	c, err := Compress(data, []int{8, 8}, Params{ErrorBound: 1e-3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(c.Bytes)
+	f.Add([]byte{})
+	f.Add([]byte("SZG1"))
+	half := make([]byte, len(c.Bytes)/2)
+	copy(half, c.Bytes)
+	f.Add(half)
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, dims, err := Decompress(buf)
+		if err != nil {
+			return
+		}
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		if total != len(out) {
+			t.Fatalf("accepted stream with inconsistent shape")
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package sz implements a prediction-based error-bounded lossy compressor
+// in the style of SZ (Di & Cappello, IPDPS'16; Tao et al., IPDPS'17), the
+// paper's first comparator: Lorenzo prediction in 1-3 dimensions,
+// linear-scaling quantization of the prediction residual into 2^16 bins,
+// canonical Huffman coding of the bin indices, and a zlib pass over the
+// whole payload. The configured absolute error bound is honored exactly
+// for every value.
+package sz
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dpz/internal/huffman"
+)
+
+// radius is the quantization code radius: codes live in
+// [-radius+1, radius-1], stored shifted by +radius; 0 marks an
+// unpredictable (literal) value.
+const radius = 1 << 15
+
+// Params configures compression.
+type Params struct {
+	// ErrorBound is the absolute per-value error bound (> 0).
+	ErrorBound float64
+	// Relative, when set, interprets ErrorBound as a fraction of the
+	// data's value range (the common SZ usage, e.g. 1e-3 of range).
+	Relative bool
+}
+
+// Compressed carries the encoded stream and accounting.
+type Compressed struct {
+	Bytes      []byte
+	OrigBytes  int // 4 bytes/value basis
+	Literals   int // unpredictable values
+	AbsBound   float64
+	Ratio      float64
+	HuffBytes  int // Huffman stream size before zlib
+	TotalRaw   int // payload before zlib
+	FinalBytes int
+}
+
+// Compress encodes data with the given dims (1, 2 or 3 dimensions).
+func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+	if p.ErrorBound <= 0 || math.IsNaN(p.ErrorBound) || math.IsInf(p.ErrorBound, 0) {
+		return nil, fmt.Errorf("sz: error bound must be positive and finite, got %v", p.ErrorBound)
+	}
+	eb := p.ErrorBound
+	if p.Relative {
+		eb *= valueRange(data)
+		if eb == 0 {
+			eb = p.ErrorBound // constant data: any positive bound works
+		}
+	}
+
+	codes := make([]uint16, len(data))
+	var literals []float64
+	recon := make([]float64, len(data)) // decompressor-visible values
+	predict := newPredictor(dims, recon)
+
+	twoEB := 2 * eb
+	for i := range data {
+		pred := predict(i)
+		diff := data[i] - pred
+		q := math.Round(diff / twoEB)
+		if math.Abs(q) < radius-1 && !math.IsNaN(diff) {
+			dec := pred + q*twoEB
+			// Guard against floating-point round-off pushing the
+			// reconstruction outside the bound.
+			if math.Abs(dec-data[i]) <= eb {
+				codes[i] = uint16(int(q) + radius)
+				recon[i] = dec
+				continue
+			}
+		}
+		codes[i] = 0
+		literals = append(literals, data[i])
+		recon[i] = data[i]
+	}
+
+	huff := huffman.Encode(codes)
+
+	// Payload: eb f64 | ndims u8 | dims u64... | nlit u64 | literals f64...
+	// | huffman stream; the whole payload is zlib'd.
+	var raw bytes.Buffer
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(eb))
+	raw.Write(b8[:])
+	raw.WriteByte(uint8(len(dims)))
+	for _, d := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		raw.Write(b8[:])
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(literals)))
+	raw.Write(b8[:])
+	for _, v := range literals {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(v))
+		raw.Write(b8[:])
+	}
+	raw.Write(huff)
+
+	var out bytes.Buffer
+	out.WriteString("SZG1")
+	zw := zlib.NewWriter(&out)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		return nil, fmt.Errorf("sz: zlib: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("sz: zlib: %w", err)
+	}
+
+	c := &Compressed{
+		Bytes:      out.Bytes(),
+		OrigBytes:  4 * len(data),
+		Literals:   len(literals),
+		AbsBound:   eb,
+		HuffBytes:  len(huff),
+		TotalRaw:   raw.Len(),
+		FinalBytes: out.Len(),
+	}
+	c.Ratio = float64(c.OrigBytes) / float64(c.FinalBytes)
+	return c, nil
+}
+
+// Decompress reverses Compress, returning the values and dims.
+func Decompress(buf []byte) ([]float64, []int, error) {
+	if len(buf) < 4 || string(buf[:4]) != "SZG1" {
+		return nil, nil, errors.New("sz: bad magic")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(buf[4:]))
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: zlib: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	zr.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: zlib: %w", err)
+	}
+	if len(raw) < 9 {
+		return nil, nil, errors.New("sz: truncated payload")
+	}
+	eb := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+	ndims := int(raw[8])
+	pos := 9
+	if ndims < 1 || ndims > 3 || len(raw) < pos+8*ndims+8 {
+		return nil, nil, errors.New("sz: corrupt header")
+	}
+	dims := make([]int, ndims)
+	total := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		if dims[i] <= 0 || dims[i] > 1<<28 {
+			return nil, nil, errors.New("sz: corrupt dims")
+		}
+		total *= dims[i]
+		if total > 1<<31 {
+			return nil, nil, errors.New("sz: corrupt dims")
+		}
+	}
+	nlit := int(binary.LittleEndian.Uint64(raw[pos:]))
+	pos += 8
+	if nlit < 0 || len(raw) < pos+8*nlit {
+		return nil, nil, errors.New("sz: corrupt literal count")
+	}
+	literals := make([]float64, nlit)
+	for i := range literals {
+		literals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+	}
+	codes, err := huffman.Decode(raw[pos:])
+	if err != nil {
+		return nil, nil, fmt.Errorf("sz: %w", err)
+	}
+	if len(codes) != total {
+		return nil, nil, fmt.Errorf("sz: %d codes for %d values", len(codes), total)
+	}
+
+	out := make([]float64, total)
+	predict := newPredictor(dims, out)
+	twoEB := 2 * eb
+	li := 0
+	for i := range out {
+		if codes[i] == 0 {
+			if li >= len(literals) {
+				return nil, nil, errors.New("sz: literal stream exhausted")
+			}
+			out[i] = literals[li]
+			li++
+			continue
+		}
+		q := float64(int(codes[i]) - radius)
+		out[i] = predict(i) + q*twoEB
+	}
+	if li != len(literals) {
+		return nil, nil, errors.New("sz: unused literals")
+	}
+	return out, dims, nil
+}
+
+// newPredictor returns the Lorenzo predictor over the reconstructed-value
+// buffer recon for the given dimensionality. The predictor for linear
+// index i may only read recon entries at indices < i (already decoded).
+func newPredictor(dims []int, recon []float64) func(i int) float64 {
+	switch len(dims) {
+	case 1:
+		return func(i int) float64 {
+			if i == 0 {
+				return 0
+			}
+			return recon[i-1]
+		}
+	case 2:
+		nx := dims[1]
+		return func(i int) float64 {
+			r, c := i/nx, i%nx
+			switch {
+			case r == 0 && c == 0:
+				return 0
+			case r == 0:
+				return recon[i-1]
+			case c == 0:
+				return recon[i-nx]
+			default:
+				// 2-D Lorenzo: west + north − northwest.
+				return recon[i-1] + recon[i-nx] - recon[i-nx-1]
+			}
+		}
+	default:
+		ny, nx := dims[1], dims[2]
+		plane := ny * nx
+		return func(i int) float64 {
+			z := i / plane
+			rem := i % plane
+			y, x := rem/nx, rem%nx
+			var p float64
+			// 3-D Lorenzo: the 7-term inclusion-exclusion over the
+			// already-decoded corner neighbors.
+			if x > 0 {
+				p += recon[i-1]
+			}
+			if y > 0 {
+				p += recon[i-nx]
+			}
+			if z > 0 {
+				p += recon[i-plane]
+			}
+			if x > 0 && y > 0 {
+				p -= recon[i-nx-1]
+			}
+			if x > 0 && z > 0 {
+				p -= recon[i-plane-1]
+			}
+			if y > 0 && z > 0 {
+				p -= recon[i-plane-nx]
+			}
+			if x > 0 && y > 0 && z > 0 {
+				p += recon[i-plane-nx-1]
+			}
+			return p
+		}
+	}
+}
+
+func checkDims(data []float64, dims []int) error {
+	if len(dims) < 1 || len(dims) > 3 {
+		return fmt.Errorf("sz: %d dimensions unsupported (1-3)", len(dims))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("sz: non-positive dimension in %v", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return fmt.Errorf("sz: dims %v describe %d values, data has %d", dims, total, len(data))
+	}
+	return nil
+}
+
+func valueRange(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	lo, hi := x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}

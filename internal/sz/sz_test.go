@@ -1,0 +1,175 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/dataset"
+	"dpz/internal/stats"
+)
+
+func checkBound(t *testing.T, data []float64, dims []int, p Params) *Compressed {
+	t.Helper()
+	c, err := Compress(data, dims, p)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, gotDims, err := Decompress(c.Bytes)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if len(gotDims) != len(dims) {
+		t.Fatalf("dims %v, want %v", gotDims, dims)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+	}
+	for i := range data {
+		if math.Abs(out[i]-data[i]) > c.AbsBound+1e-12 {
+			t.Fatalf("value %d: error %g exceeds bound %g", i, math.Abs(out[i]-data[i]), c.AbsBound)
+		}
+	}
+	return c
+}
+
+func TestErrorBound1D(t *testing.T) {
+	f := dataset.HACCX(1<<12, 21)
+	for _, eb := range []float64{1e-1, 1e-2, 1e-3} {
+		checkBound(t, f.Data, f.Dims, Params{ErrorBound: eb})
+	}
+}
+
+func TestErrorBound2D(t *testing.T) {
+	f := dataset.CESM("CLDHGH", 60, 120, 22)
+	checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-3})
+}
+
+func TestErrorBound3D(t *testing.T) {
+	f := dataset.Isotropic(16, 23)
+	checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-2})
+}
+
+func TestRelativeBound(t *testing.T) {
+	f := dataset.CESM("PHIS", 48, 96, 24)
+	c := checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-3, Relative: true})
+	r := stats.Range(f.Data)
+	if math.Abs(c.AbsBound-1e-3*r) > 1e-9*r {
+		t.Fatalf("absolute bound %g, want %g", c.AbsBound, 1e-3*r)
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	f := dataset.CESM("FLDSC", 90, 180, 25)
+	c := checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-2, Relative: true})
+	if c.Ratio < 8 {
+		t.Fatalf("smooth 2-D field CR = %.2f, want > 8", c.Ratio)
+	}
+	if c.Literals > len(f.Data)/100 {
+		t.Fatalf("%d literals on smooth data", c.Literals)
+	}
+}
+
+func TestLooserBoundHigherRatio(t *testing.T) {
+	f := dataset.Isotropic(20, 26)
+	tight := checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-4, Relative: true})
+	loose := checkBound(t, f.Data, f.Dims, Params{ErrorBound: 1e-2, Relative: true})
+	if loose.Ratio <= tight.Ratio {
+		t.Fatalf("loose CR %.2f not above tight CR %.2f", loose.Ratio, tight.Ratio)
+	}
+}
+
+func TestRandomDataStillBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 1e6
+	}
+	checkBound(t, data, []int{5000}, Params{ErrorBound: 1.0})
+}
+
+func TestConstantData(t *testing.T) {
+	data := make([]float64, 1024)
+	for i := range data {
+		data[i] = 3.5
+	}
+	c := checkBound(t, data, []int{32, 32}, Params{ErrorBound: 1e-3, Relative: true})
+	if c.Ratio < 20 {
+		t.Fatalf("constant data CR = %.2f", c.Ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data := make([]float64, 10)
+	if _, err := Compress(data, []int{3}, Params{ErrorBound: 1e-3}); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	if _, err := Compress(data, []int{10}, Params{ErrorBound: 0}); err == nil {
+		t.Fatal("expected bound error")
+	}
+	if _, err := Compress(data, []int{10}, Params{ErrorBound: math.NaN()}); err == nil {
+		t.Fatal("expected NaN bound error")
+	}
+	if _, err := Compress(data, []int{1, 1, 1, 10}, Params{ErrorBound: 1}); err == nil {
+		t.Fatal("expected >3-D error")
+	}
+	if _, err := Compress(data, []int{-10}, Params{ErrorBound: 1}); err == nil {
+		t.Fatal("expected negative dim error")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, _, err := Decompress(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, _, err := Decompress([]byte("XXXX....")); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	f := dataset.HACCVX(1024, 28)
+	c, err := Compress(f.Data, f.Dims, Params{ErrorBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(c.Bytes[:len(c.Bytes)/2]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestBoundPropertyRandomShapes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		total := 1
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(12)
+			total *= dims[i]
+		}
+		data := make([]float64, total)
+		// Mixture of smooth and rough.
+		for i := range data {
+			data[i] = math.Sin(float64(i)/7) + 0.1*rng.NormFloat64()
+		}
+		eb := math.Pow(10, -1-2*rng.Float64())
+		c, err := Compress(data, dims, Params{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		out, _, err := Decompress(c.Bytes)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Abs(out[i]-data[i]) > eb+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func BenchmarkDCTPow2_1024(b *testing.B) {
+	x := benchSignal(1024)
+	p := NewPlan(1024)
+	b.SetBytes(8 * 1024)
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkDCTBluestein_1000(b *testing.B) {
+	x := benchSignal(1000)
+	p := NewPlan(1000)
+	b.SetBytes(8 * 1000)
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkHaar_1024(b *testing.B) {
+	x := benchSignal(1024)
+	b.SetBytes(8 * 1024)
+	for i := 0; i < b.N; i++ {
+		HaarForward(x)
+	}
+}
+
+func BenchmarkFFT_4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.SetBytes(16 * 4096)
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

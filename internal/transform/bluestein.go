@@ -1,0 +1,99 @@
+package transform
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// bluestein carries the precomputed chirp and kernel spectrum for an
+// arbitrary-length DFT computed via the chirp-z (Bluestein) algorithm on a
+// power-of-two FFT of length m >= 2n-1.
+type bluestein struct {
+	n, m  int
+	chirp []complex128 // e^{-i π k² / n}, k = 0..n-1
+	bfft  []complex128 // FFT of the wrapped conjugate-chirp kernel
+}
+
+var bluesteinCache sync.Map // map[int]*bluestein
+
+func bluesteinFor(n int) *bluestein {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*bluestein)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	bs := &bluestein{n: n, m: m}
+	bs.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Reduce k² mod 2n before the float conversion to keep the phase
+		// accurate for large n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		theta := -math.Pi * float64(kk) / float64(n)
+		bs.chirp[k] = cmplx.Exp(complex(0, theta))
+	}
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(bs.chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(bs.chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	FFT(b)
+	bs.bfft = b
+	actual, _ := bluesteinCache.LoadOrStore(n, bs)
+	return actual.(*bluestein)
+}
+
+// DFT computes the forward DFT of x (any length) into a new slice. Lengths
+// that are powers of two use the radix-2 path; others use Bluestein's
+// algorithm, which runs in O(n log n).
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n <= 1 {
+		return out
+	}
+	if IsPow2(n) {
+		FFT(out)
+		return out
+	}
+	bs := bluesteinFor(n)
+	a := make([]complex128, bs.m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * bs.chirp[k]
+	}
+	FFT(a)
+	for i := range a {
+		a[i] *= bs.bfft[i]
+	}
+	IFFT(a)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * bs.chirp[k]
+	}
+	return out
+}
+
+// IDFT computes the inverse DFT (with 1/n scaling) of x for any length.
+func IDFT(x []complex128) []complex128 {
+	n := len(x)
+	if n <= 1 {
+		out := make([]complex128, n)
+		copy(out, x)
+		return out
+	}
+	// IDFT(x) = conj(DFT(conj(x)))/n.
+	tmp := make([]complex128, n)
+	for i, v := range x {
+		tmp[i] = cmplx.Conj(v)
+	}
+	out := DFT(tmp)
+	scale := 1 / float64(n)
+	for i, v := range out {
+		out[i] = complex(real(v)*scale, -imag(v)*scale)
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package transform
+
+import (
+	"math"
+	"math/cmplx"
+
+	"dpz/internal/parallel"
+)
+
+// Plan precomputes the constants for orthonormal DCT-II (forward) and
+// DCT-III (inverse) transforms of a fixed length n, and owns the scratch
+// buffers so repeated transforms do not allocate. A Plan is NOT safe for
+// concurrent use; create one per worker goroutine.
+//
+// The forward transform computes
+//
+//	X_k = s_k · Σ_{i=0..n-1} x_i · cos(π·(2i+1)·k / (2n))
+//
+// with s_0 = √(1/n) and s_k = √(2/n) for k > 0, so the transform matrix is
+// orthogonal (AᵀA = I) and DCT-III is its exact inverse — the property the
+// paper's PCA-in-DCT-domain proof (Eq. 4–6) relies on.
+type Plan struct {
+	n     int
+	scale []float64    // s_k
+	exp   []complex128 // e^{-iπk/(2n)}
+	buf   []complex128 // n-point scratch for the Makhoul recombination
+	tmp   []float64    // n-point real scratch
+}
+
+// NewPlan creates a transform plan for length n (n >= 1).
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic("transform: plan length must be >= 1")
+	}
+	p := &Plan{n: n}
+	p.scale = make([]float64, n)
+	p.scale[0] = math.Sqrt(1 / float64(n))
+	sk := math.Sqrt(2 / float64(n))
+	for k := 1; k < n; k++ {
+		p.scale[k] = sk
+	}
+	p.exp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		p.exp[k] = cmplx.Exp(complex(0, -math.Pi*float64(k)/float64(2*n)))
+	}
+	p.buf = make([]complex128, n)
+	p.tmp = make([]float64, n)
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward applies the orthonormal DCT-II to x in place. len(x) must equal
+// the plan length.
+func (p *Plan) Forward(x []float64) {
+	n := p.n
+	if len(x) != n {
+		panic("transform: forward length mismatch")
+	}
+	if n == 1 {
+		return
+	}
+	// Makhoul's even/odd reordering: v[i] = x[2i], v[n-1-i] = x[2i+1].
+	v := p.buf
+	half := (n + 1) / 2
+	for i := 0; i < half; i++ {
+		v[i] = complex(x[2*i], 0)
+	}
+	for i := 0; i < n/2; i++ {
+		v[n-1-i] = complex(x[2*i+1], 0)
+	}
+	var V []complex128
+	if IsPow2(n) {
+		FFT(v)
+		V = v
+	} else {
+		V = DFT(v)
+	}
+	for k := 0; k < n; k++ {
+		x[k] = p.scale[k] * real(p.exp[k]*V[k])
+	}
+}
+
+// Inverse applies the orthonormal DCT-III (the inverse of Forward) to x in
+// place.
+func (p *Plan) Inverse(x []float64) {
+	n := p.n
+	if len(x) != n {
+		panic("transform: inverse length mismatch")
+	}
+	if n == 1 {
+		return
+	}
+	// Undo the orthonormal scaling to get the unnormalized coefficients
+	// T_k, rebuild the FFT spectrum V_k = e^{+iπk/(2n)}·(T_k − i·T_{n−k})
+	// (T_n ≡ 0), invert the FFT and undo the even/odd reordering.
+	t := p.tmp
+	for k := 0; k < n; k++ {
+		t[k] = x[k] / p.scale[k]
+	}
+	v := p.buf
+	v[0] = complex(t[0], 0)
+	for k := 1; k < n; k++ {
+		// conj(exp[k]) = e^{+iπk/(2n)}
+		v[k] = cmplx.Conj(p.exp[k]) * complex(t[k], -t[n-k])
+	}
+	var out []complex128
+	if IsPow2(n) {
+		IFFT(v)
+		out = v
+	} else {
+		out = IDFT(v)
+	}
+	half := (n + 1) / 2
+	for i := 0; i < half; i++ {
+		x[2*i] = real(out[i])
+	}
+	for i := 0; i < n/2; i++ {
+		x[2*i+1] = real(out[n-1-i])
+	}
+}
+
+// DCT2 applies the orthonormal DCT-II to x in place using a one-shot plan.
+// Callers transforming many same-length vectors should reuse a Plan.
+func DCT2(x []float64) { NewPlan(len(x)).Forward(x) }
+
+// DCT3 applies the orthonormal DCT-III (inverse DCT-II) to x in place.
+func DCT3(x []float64) { NewPlan(len(x)).Inverse(x) }
+
+// ForwardRows applies the forward DCT to every length-n row of the
+// row-major matrix data (rows × n), in parallel across rows using up to
+// `workers` goroutines (0 means GOMAXPROCS).
+func ForwardRows(data []float64, rows, n, workers int) {
+	applyRows(data, rows, n, workers, func(p *Plan, row []float64) { p.Forward(row) })
+}
+
+// InverseRows applies the inverse DCT to every row, mirroring ForwardRows.
+func InverseRows(data []float64, rows, n, workers int) {
+	applyRows(data, rows, n, workers, func(p *Plan, row []float64) { p.Inverse(row) })
+}
+
+func applyRows(data []float64, rows, n, workers int, fn func(*Plan, []float64)) {
+	if len(data) != rows*n {
+		panic("transform: row-apply shape mismatch")
+	}
+	if rows == 0 || n == 0 {
+		return
+	}
+	parallel.ForChunks(rows, workers, func(lo, hi int) {
+		p := NewPlan(n) // one plan (and scratch) per worker
+		for r := lo; r < hi; r++ {
+			fn(p, data[r*n:(r+1)*n])
+		}
+	})
+}
+
+// DCT2D applies the separable orthonormal 2-D DCT-II to the rows×cols
+// row-major matrix in place: first along rows, then along columns.
+func DCT2D(data []float64, rows, cols, workers int) {
+	dct2d(data, rows, cols, workers, false)
+}
+
+// IDCT2D inverts DCT2D.
+func IDCT2D(data []float64, rows, cols, workers int) {
+	dct2d(data, rows, cols, workers, true)
+}
+
+func dct2d(data []float64, rows, cols, workers int, inverse bool) {
+	if len(data) != rows*cols {
+		panic("transform: 2-D shape mismatch")
+	}
+	rowOp := ForwardRows
+	if inverse {
+		rowOp = InverseRows
+	}
+	rowOp(data, rows, cols, workers)
+	// Column pass: transform each column by gathering into a scratch
+	// vector. Parallel across columns.
+	parallel.ForChunks(cols, workers, func(lo, hi int) {
+		p := NewPlan(rows)
+		col := make([]float64, rows)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < rows; i++ {
+				col[i] = data[i*cols+j]
+			}
+			if inverse {
+				p.Inverse(col)
+			} else {
+				p.Forward(col)
+			}
+			for i := 0; i < rows; i++ {
+				data[i*cols+j] = col[i]
+			}
+		}
+	})
+}

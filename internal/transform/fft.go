@@ -1,0 +1,83 @@
+// Package transform implements the deterministic transforms DPZ uses as its
+// first retrieval stage: a radix-2 complex FFT and the orthonormal DCT-II /
+// DCT-III pair. Power-of-two lengths take the fast FFT-based path
+// (Makhoul's N-point method); other lengths fall back to a direct
+// cosine-table evaluation with cached tables.
+package transform
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// twiddle caches per-size FFT twiddle factor tables. Keys are FFT sizes.
+var twiddle sync.Map // map[int][]complex128
+
+func twiddles(n int) []complex128 {
+	if v, ok := twiddle.Load(n); ok {
+		return v.([]complex128)
+	}
+	w := make([]complex128, n/2)
+	for k := range w {
+		theta := -2 * math.Pi * float64(k) / float64(n)
+		w[k] = cmplx.Exp(complex(0, theta))
+	}
+	actual, _ := twiddle.LoadOrStore(n, w)
+	return actual.([]complex128)
+}
+
+// FFT computes the in-place forward discrete Fourier transform of x. The
+// length of x must be a power of two; FFT panics otherwise.
+func FFT(x []complex128) {
+	fft(x, false)
+}
+
+// IFFT computes the in-place inverse DFT of x (including the 1/n scaling).
+// The length of x must be a power of two.
+func IFFT(x []complex128) {
+	fft(x, true)
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+func fft(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPow2(n) {
+		panic("transform: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	w := twiddles(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				tw := w[k*step]
+				if inverse {
+					tw = cmplx.Conj(tw)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * tw
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33, 100, 128, 1000} {
+		x := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			orig[i] = x[i]
+		}
+		HaarForward(x)
+		HaarInverse(x)
+		if d := maxFDiff(x, orig); d > 1e-10*float64(n+1) {
+			t.Fatalf("n=%d: Haar round trip differs by %g", n, d)
+		}
+	}
+}
+
+func TestHaarOrthonormalEnergy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		x := make([]float64, n)
+		var e0 float64
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+			e0 += x[i] * x[i]
+		}
+		HaarForward(x)
+		var e1 float64
+		for _, v := range x {
+			e1 += v * v
+		}
+		return math.Abs(e0-e1) <= 1e-9*(1+e0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaarConstantSignal(t *testing.T) {
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 2.0
+	}
+	HaarForward(x)
+	// All energy lands in the single approximation coefficient.
+	if math.Abs(x[0]-2*math.Sqrt(float64(n))) > 1e-10 {
+		t.Fatalf("approximation = %v, want %v", x[0], 2*math.Sqrt(float64(n)))
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(x[i]) > 1e-10 {
+			t.Fatalf("detail %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestHaarRowsMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	rows, n := 13, 50
+	data := make([]float64, rows*n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want := make([]float64, rows*n)
+	copy(want, data)
+	for r := 0; r < rows; r++ {
+		HaarForward(want[r*n : (r+1)*n])
+	}
+	HaarForwardRows(data, rows, n, 4)
+	if d := maxFDiff(data, want); d > 1e-12 {
+		t.Fatalf("row Haar differs by %g", d)
+	}
+	HaarInverseRows(data, rows, n, 3)
+	for r := 0; r < rows; r++ {
+		HaarInverse(want[r*n : (r+1)*n])
+	}
+	if d := maxFDiff(data, want); d > 1e-12 {
+		t.Fatalf("row inverse differs by %g", d)
+	}
+}
+
+func TestHaarRowsPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	HaarForwardRows(make([]float64, 10), 3, 4, 1)
+}

@@ -1,0 +1,286 @@
+package transform
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for i := 0; i < n; i++ {
+			theta := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			s += x[i] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// naiveDCT2 is the O(n²) orthonormal DCT-II reference.
+func naiveDCT2(x []float64) []float64 {
+	n := len(x)
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += x[i] * math.Cos(math.Pi*float64(2*i+1)*float64(k)/float64(2*n))
+		}
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		out[k] = scale * s
+	}
+	return out
+}
+
+func maxCDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxFDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randComplex(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randComplex(n, rng)
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFT(got)
+		if d := maxCDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: FFT differs from naive by %g", n, d)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two FFT")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, n := range []int{2, 8, 128, 1024} {
+		x := randComplex(n, rng)
+		y := make([]complex128, n)
+		copy(y, x)
+		FFT(y)
+		IFFT(y)
+		if d := maxCDiff(x, y); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: IFFT∘FFT differs by %g", n, d)
+		}
+	}
+}
+
+func TestDFTBluesteinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{3, 5, 6, 7, 9, 12, 15, 100, 360} {
+		x := randComplex(n, rng)
+		want := naiveDFT(x)
+		got := DFT(x)
+		if d := maxCDiff(got, want); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: Bluestein DFT differs from naive by %g", n, d)
+		}
+	}
+}
+
+func TestIDFTInvertsDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, n := range []int{1, 3, 7, 30, 225, 3600 / 8} {
+		x := randComplex(n, rng)
+		y := IDFT(DFT(x))
+		if d := maxCDiff(x, y); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: IDFT∘DFT differs by %g", n, d)
+		}
+	}
+}
+
+func TestDCT2MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 15, 16, 64, 100, 128} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := naiveDCT2(x)
+		got := make([]float64, n)
+		copy(got, x)
+		DCT2(got)
+		if d := maxFDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: fast DCT-II differs from naive by %g", n, d)
+		}
+	}
+}
+
+func TestDCT3InvertsDCT2(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, n := range []int{1, 2, 3, 7, 16, 50, 128, 1000, 2048} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		y := make([]float64, n)
+		copy(y, x)
+		DCT2(y)
+		DCT3(y)
+		if d := maxFDiff(x, y); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: DCT-III∘DCT-II differs by %g", n, d)
+		}
+	}
+}
+
+func TestDCTOrthonormalEnergy(t *testing.T) {
+	// Parseval: an orthonormal transform preserves the sum of squares.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		var e0 float64
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			e0 += x[i] * x[i]
+		}
+		DCT2(x)
+		var e1 float64
+		for _, v := range x {
+			e1 += v * v
+		}
+		return math.Abs(e0-e1) <= 1e-8*(1+e0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTConstantSignal(t *testing.T) {
+	// DCT of a constant concentrates all energy in coefficient 0.
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3.5
+	}
+	DCT2(x)
+	if math.Abs(x[0]-3.5*math.Sqrt(float64(n))) > 1e-10 {
+		t.Fatalf("DC coefficient = %v, want %v", x[0], 3.5*math.Sqrt(float64(n)))
+	}
+	for k := 1; k < n; k++ {
+		if math.Abs(x[k]) > 1e-10 {
+			t.Fatalf("AC coefficient %d = %v, want 0", k, x[k])
+		}
+	}
+}
+
+func TestPlanReuse(t *testing.T) {
+	p := NewPlan(33)
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 5; trial++ {
+		x := make([]float64, 33)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := naiveDCT2(x)
+		got := make([]float64, 33)
+		copy(got, x)
+		p.Forward(got)
+		if d := maxFDiff(got, want); d > 1e-8 {
+			t.Fatalf("trial %d: plan reuse corrupted transform (diff %g)", trial, d)
+		}
+		p.Inverse(got)
+		if d := maxFDiff(got, x); d > 1e-8 {
+			t.Fatalf("trial %d: inverse after reuse differs by %g", trial, d)
+		}
+	}
+}
+
+func TestForwardRowsMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	rows, n := 37, 48
+	data := make([]float64, rows*n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want := make([]float64, rows*n)
+	copy(want, data)
+	for r := 0; r < rows; r++ {
+		DCT2(want[r*n : (r+1)*n])
+	}
+	ForwardRows(data, rows, n, 4)
+	if d := maxFDiff(data, want); d > 1e-10 {
+		t.Fatalf("parallel row DCT differs by %g", d)
+	}
+	InverseRows(data, rows, n, 3)
+	for r := 0; r < rows; r++ {
+		DCT3(want[r*n : (r+1)*n])
+	}
+	if d := maxFDiff(data, want); d > 1e-10 {
+		t.Fatalf("parallel row inverse differs by %g", d)
+	}
+}
+
+func TestDCT2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	rows, cols := 24, 40
+	data := make([]float64, rows*cols)
+	orig := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+		orig[i] = data[i]
+	}
+	DCT2D(data, rows, cols, 0)
+	// Energy preserved.
+	var e0, e1 float64
+	for i := range orig {
+		e0 += orig[i] * orig[i]
+		e1 += data[i] * data[i]
+	}
+	if math.Abs(e0-e1) > 1e-8*(1+e0) {
+		t.Fatalf("2-D DCT energy changed: %v vs %v", e0, e1)
+	}
+	IDCT2D(data, rows, cols, 0)
+	if d := maxFDiff(data, orig); d > 1e-9 {
+		t.Fatalf("2-D round trip differs by %g", d)
+	}
+}
+
+func TestApplyRowsPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	ForwardRows(make([]float64, 10), 3, 4, 1)
+}

@@ -1,0 +1,158 @@
+package tthresh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpz/internal/dataset"
+	"dpz/internal/stats"
+)
+
+func rmseOf(a, b []float64) float64 {
+	return math.Sqrt(stats.MSE(a, b))
+}
+
+func checkRMSE(t *testing.T, data []float64, dims []int, p Params) *Compressed {
+	t.Helper()
+	c, err := Compress(data, dims, p)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, gotDims, err := Decompress(c.Bytes)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+	}
+	if got := rmseOf(data, out); got > c.AbsRMSE*1.05 {
+		t.Fatalf("RMSE %g exceeds budget %g", got, c.AbsRMSE)
+	}
+	return c
+}
+
+func TestUnfoldFoldRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for _, dims := range [][]int{{3, 4}, {4, 3}, {2, 3, 4}, {5, 2, 3}} {
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		data := make([]float64, total)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		for mode := range dims {
+			unf := unfold(data, dims, mode)
+			back := fold(unf, dims, mode)
+			for i := range data {
+				if back[i] != data[i] {
+					t.Fatalf("dims %v mode %d: fold(unfold) differs at %d", dims, mode, i)
+				}
+			}
+		}
+	}
+}
+
+func TestModeProductIdentity(t *testing.T) {
+	// Projecting with a full orthonormal factor then expanding must be an
+	// identity.
+	rng := rand.New(rand.NewSource(602))
+	dims := []int{6, 8, 4}
+	data := make([]float64, 6*8*4)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	u, r, err := modeFactor(data, dims, 1, 0) // zero budget: full rank
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 8 {
+		t.Fatalf("full-rank factor has rank %d", r)
+	}
+	proj, pd := modeProduct(data, dims, 1, u, true)
+	back, _ := modeProduct(proj, pd, 1, u, false)
+	for i := range data {
+		if math.Abs(back[i]-data[i]) > 1e-9 {
+			t.Fatalf("mode product round trip differs at %d: %v vs %v", i, back[i], data[i])
+		}
+	}
+}
+
+func TestRMSEBound2D(t *testing.T) {
+	f := dataset.CESM("FLDSC", 60, 120, 63)
+	for _, r := range []float64{1e-2, 1e-3} {
+		checkRMSE(t, f.Data, f.Dims, Params{RMSE: r, Relative: true})
+	}
+}
+
+func TestRMSEBound3D(t *testing.T) {
+	f := dataset.Isotropic(16, 64)
+	c := checkRMSE(t, f.Data, f.Dims, Params{RMSE: 1e-2, Relative: true})
+	if len(c.Ranks) != 3 {
+		t.Fatalf("ranks %v", c.Ranks)
+	}
+}
+
+func TestLowRankDataTruncates(t *testing.T) {
+	// A rank-2 2-D field must be cut far below full rank.
+	rng := rand.New(rand.NewSource(65))
+	rows, cols := 40, 60
+	u1 := make([]float64, rows)
+	u2 := make([]float64, rows)
+	v1 := make([]float64, cols)
+	v2 := make([]float64, cols)
+	for i := range u1 {
+		u1[i], u2[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	for i := range v1 {
+		v1[i], v2[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	data := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			data[i*cols+j] = 5*u1[i]*v1[j] + u2[i]*v2[j]
+		}
+	}
+	c := checkRMSE(t, data, []int{rows, cols}, Params{RMSE: 1e-3, Relative: true})
+	if c.Ranks[0] > 6 || c.Ranks[1] > 6 {
+		t.Fatalf("rank-2 data kept ranks %v", c.Ranks)
+	}
+	if c.Ratio < 10 {
+		t.Fatalf("rank-2 data CR %.2f", c.Ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data := make([]float64, 16)
+	if _, err := Compress(data, []int{16}, Params{RMSE: 1e-3}); err == nil {
+		t.Fatal("expected 1-D rejection")
+	}
+	if _, err := Compress(data, []int{4, 4}, Params{RMSE: 0}); err == nil {
+		t.Fatal("expected RMSE error")
+	}
+	if _, err := Compress(data, []int{2, 4}, Params{RMSE: 1e-3}); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	big := make([]float64, 2048*2)
+	if _, err := Compress(big, []int{2048, 2}, Params{RMSE: 1e-3}); err == nil {
+		t.Fatal("expected mode-size limit error")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, _, err := Decompress([]byte("XXXXxxxx")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	f := dataset.CESM("PHIS", 20, 40, 66)
+	c, err := Compress(f.Data, f.Dims, Params{RMSE: 1e-2, Relative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(c.Bytes[:len(c.Bytes)/2]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,37 @@
+package zfp
+
+import (
+	"testing"
+
+	"dpz/internal/dataset"
+)
+
+// FuzzDecompress drives the ZFP block decoder with arbitrary bytes: never
+// panic; accepted output must match the declared dims.
+func FuzzDecompress(f *testing.F) {
+	iso := dataset.Isotropic(16, 1)
+	c, err := Compress(iso.Data, iso.Dims, Params{Mode: FixedPrecision, Precision: 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(c.Bytes)
+	f.Add([]byte{})
+	f.Add([]byte("ZFG1"))
+	half := make([]byte, len(c.Bytes)/2)
+	copy(half, c.Bytes)
+	f.Add(half)
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		out, dims, err := Decompress(buf)
+		if err != nil {
+			return
+		}
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		if total != len(out) {
+			t.Fatalf("accepted stream with inconsistent shape")
+		}
+	})
+}

@@ -1,0 +1,12 @@
+package zfp
+
+import "dpz/internal/bits"
+
+// testWriter pairs a bit writer with a reader over its output.
+type testWriter struct {
+	w *bits.Writer
+}
+
+func newTestWriter() *testWriter { return &testWriter{w: bits.NewWriter()} }
+
+func (t *testWriter) reader() *bits.Reader { return bits.NewReader(t.w.Bytes()) }

@@ -1,0 +1,597 @@
+// Package zfp implements a transform-based lossy compressor in the style
+// of ZFP (Lindstrom, TVCG'14), the paper's second comparator. Data is
+// partitioned into 4^d blocks; each block is aligned to a common exponent
+// (block floating point), decorrelated with ZFP's reversible integer
+// lifting transform, reordered by total sequency, converted to negabinary,
+// and entropy-coded with an embedded group-tested bit-plane coder. Two
+// modes are supported: fixed precision (bit planes per block) and fixed
+// accuracy (absolute error tolerance).
+package zfp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dpz/internal/bits"
+)
+
+// q is the fixed-point fraction width: block values are scaled to
+// integers of magnitude < 2^q before the transform. The lifting transform
+// grows magnitudes by < 2^2 per dimension, so 2^(q+6) < 2^62 keeps 3-D
+// blocks inside int64.
+const q = 44
+
+// intprec is the number of encodable bit planes per block.
+const intprec = 52
+
+// negamask converts between two's complement and negabinary.
+const negamask = 0xaaaaaaaaaaaaaaaa
+
+// Mode selects the rate-control mode.
+type Mode int
+
+const (
+	// FixedAccuracy bounds the absolute reconstruction error per value.
+	FixedAccuracy Mode = iota
+	// FixedPrecision encodes a fixed number of bit planes per block.
+	FixedPrecision
+)
+
+// Params configures compression.
+type Params struct {
+	Mode Mode
+	// Tolerance is the absolute error bound for FixedAccuracy (> 0).
+	Tolerance float64
+	// Precision is the bit-plane count for FixedPrecision (1..intprec).
+	Precision int
+}
+
+// Compressed carries the encoded stream and accounting.
+type Compressed struct {
+	Bytes     []byte
+	OrigBytes int
+	Ratio     float64
+}
+
+// Compress encodes data with 1-3 dimensions.
+func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
+	if err := checkDims(data, dims); err != nil {
+		return nil, err
+	}
+	switch p.Mode {
+	case FixedAccuracy:
+		if p.Tolerance <= 0 || math.IsNaN(p.Tolerance) || math.IsInf(p.Tolerance, 0) {
+			return nil, fmt.Errorf("zfp: tolerance must be positive and finite, got %v", p.Tolerance)
+		}
+	case FixedPrecision:
+		if p.Precision < 1 || p.Precision > intprec {
+			return nil, fmt.Errorf("zfp: precision %d out of [1,%d]", p.Precision, intprec)
+		}
+	default:
+		return nil, fmt.Errorf("zfp: invalid mode %d", int(p.Mode))
+	}
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("zfp: NaN/Inf input unsupported")
+		}
+	}
+
+	d := len(dims)
+	size := 1 << (2 * d) // 4^d
+	perm := sequencyPerm(d)
+	w := bits.NewWriter()
+	block := make([]float64, size)
+	iblock := make([]int64, size)
+	ublock := make([]uint64, size)
+
+	forEachBlock(dims, func(origin []int) {
+		gather(data, dims, origin, block)
+		encodeBlock(w, block, iblock, ublock, perm, d, p)
+	})
+
+	// Header: magic, mode, param, ndims, dims.
+	var out bytes.Buffer
+	out.WriteString("ZFG1")
+	out.WriteByte(uint8(p.Mode))
+	var b8 [8]byte
+	if p.Mode == FixedAccuracy {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(p.Tolerance))
+	} else {
+		binary.LittleEndian.PutUint64(b8[:], uint64(p.Precision))
+	}
+	out.Write(b8[:])
+	out.WriteByte(uint8(d))
+	for _, dim := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(dim))
+		out.Write(b8[:])
+	}
+	payload := w.Bytes()
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(payload)))
+	out.Write(b8[:])
+	out.Write(payload)
+
+	c := &Compressed{Bytes: out.Bytes(), OrigBytes: 4 * len(data)}
+	c.Ratio = float64(c.OrigBytes) / float64(len(c.Bytes))
+	return c, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(buf []byte) ([]float64, []int, error) {
+	if len(buf) < 14 || string(buf[:4]) != "ZFG1" {
+		return nil, nil, errors.New("zfp: bad magic")
+	}
+	p := Params{Mode: Mode(buf[4])}
+	switch p.Mode {
+	case FixedAccuracy:
+		p.Tolerance = math.Float64frombits(binary.LittleEndian.Uint64(buf[5:]))
+	case FixedPrecision:
+		p.Precision = int(binary.LittleEndian.Uint64(buf[5:]))
+	default:
+		return nil, nil, fmt.Errorf("zfp: invalid mode %d", int(p.Mode))
+	}
+	d := int(buf[13])
+	if d < 1 || d > 3 {
+		return nil, nil, fmt.Errorf("zfp: invalid dimensionality %d", d)
+	}
+	pos := 14
+	if len(buf) < pos+8*d+8 {
+		return nil, nil, errors.New("zfp: truncated header")
+	}
+	dims := make([]int, d)
+	total := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+		if dims[i] <= 0 || dims[i] > 1<<28 {
+			return nil, nil, errors.New("zfp: corrupt dims")
+		}
+		total *= dims[i]
+		if total > 1<<31 {
+			return nil, nil, errors.New("zfp: corrupt dims")
+		}
+	}
+	plen := int(binary.LittleEndian.Uint64(buf[pos:]))
+	pos += 8
+	if plen < 0 || pos+plen != len(buf) {
+		return nil, nil, errors.New("zfp: payload length mismatch")
+	}
+	// Every block consumes at least one bit, so dims implying more blocks
+	// than the payload has bits are corruption — and would otherwise size
+	// the output buffer from attacker-controlled values.
+	nblocks := 1
+	for _, dim := range dims {
+		nblocks *= (dim + 3) / 4
+	}
+	if nblocks > 8*plen+8 {
+		return nil, nil, fmt.Errorf("zfp: %d blocks exceed payload of %d bytes", nblocks, plen)
+	}
+	r := bits.NewReader(buf[pos:])
+
+	size := 1 << (2 * d)
+	perm := sequencyPerm(d)
+	out := make([]float64, total)
+	block := make([]float64, size)
+	iblock := make([]int64, size)
+	ublock := make([]uint64, size)
+	var derr error
+	forEachBlock(dims, func(origin []int) {
+		if derr != nil {
+			return
+		}
+		if err := decodeBlock(r, block, iblock, ublock, perm, d, p); err != nil {
+			derr = err
+			return
+		}
+		scatter(out, dims, origin, block)
+	})
+	if derr != nil {
+		return nil, nil, derr
+	}
+	return out, dims, nil
+}
+
+// encodeBlock encodes one 4^d block.
+func encodeBlock(w *bits.Writer, block []float64, iblock []int64, ublock []uint64, perm []int, d int, p Params) {
+	size := len(block)
+	maxAbs := 0.0
+	for _, v := range block {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	_, e := math.Frexp(maxAbs) // maxAbs = f·2^e, f ∈ [0.5,1) ⇒ |v| < 2^e
+	w.WriteBits(uint64(e+16384), 16)
+
+	scale := math.Ldexp(1, q-e)
+	for i, v := range block {
+		iblock[i] = int64(math.Round(v * scale))
+	}
+	fwdTransform(iblock, d)
+	for j := range ublock {
+		ublock[j] = (uint64(iblock[perm[j]]) + negamask) ^ negamask
+	}
+	kmin := planeFloor(p, e, d)
+	encodePlanes(w, ublock, size, kmin)
+}
+
+// decodeBlock decodes one block into block.
+func decodeBlock(r *bits.Reader, block []float64, iblock []int64, ublock []uint64, perm []int, d int, p Params) error {
+	nz, err := r.ReadBit()
+	if err != nil {
+		return fmt.Errorf("zfp: %w", err)
+	}
+	if nz == 0 {
+		for i := range block {
+			block[i] = 0
+		}
+		return nil
+	}
+	eb, err := r.ReadBits(16)
+	if err != nil {
+		return fmt.Errorf("zfp: %w", err)
+	}
+	e := int(eb) - 16384
+	if e < -16384 || e > 16384 {
+		return errors.New("zfp: corrupt block exponent")
+	}
+	kmin := planeFloor(p, e, d)
+	if err := decodePlanes(r, ublock, len(block), kmin); err != nil {
+		return err
+	}
+	for j := range ublock {
+		iblock[perm[j]] = int64((ublock[j] ^ negamask) - negamask)
+	}
+	invTransform(iblock, d)
+	scale := math.Ldexp(1, e-q)
+	for i := range block {
+		block[i] = float64(iblock[i]) * scale
+	}
+	return nil
+}
+
+// planeFloor returns the lowest encoded bit plane for a block with max
+// exponent e: FixedPrecision cuts a fixed count from the top; FixedAccuracy
+// keeps planes whose unit value exceeds tolerance/2^(d+2) (the transform
+// error-growth margin).
+func planeFloor(p Params, e, d int) int {
+	if p.Mode == FixedPrecision {
+		k := intprec - p.Precision
+		if k < 0 {
+			return 0
+		}
+		return k
+	}
+	// One integer unit at plane k corresponds to 2^(e-q)·2^k in value.
+	// Keep k while 2^(e-q+k) > tol/2^(d+2), i.e. cut below
+	// k = log2(tol) - (e-q) - (d+2).
+	k := int(math.Floor(math.Log2(p.Tolerance))) - (e - q) - (d + 2)
+	if k < 0 {
+		return 0
+	}
+	if k > intprec {
+		return intprec
+	}
+	return k
+}
+
+// encodePlanes writes the embedded group-tested bit planes of ublock from
+// intprec-1 down to kmin (ZFP's encode_ints scheme): per plane, the bits of
+// the n already-significant values verbatim, then a unary-coded scan for
+// newly significant values.
+func encodePlanes(w *bits.Writer, u []uint64, size, kmin int) {
+	n := 0
+	for k := intprec - 1; k >= kmin; k-- {
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= ((u[i] >> uint(k)) & 1) << uint(i)
+		}
+		m := n
+		if m > size {
+			m = size
+		}
+		for j := 0; j < m; j++ {
+			w.WriteBit(uint(x & 1))
+			x >>= 1
+		}
+		for n < size {
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 {
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+}
+
+// decodePlanes mirrors encodePlanes, filling ublock.
+func decodePlanes(r *bits.Reader, u []uint64, size, kmin int) error {
+	for i := 0; i < size; i++ {
+		u[i] = 0
+	}
+	n := 0
+	for k := intprec - 1; k >= kmin; k-- {
+		var x uint64
+		m := n
+		if m > size {
+			m = size
+		}
+		for j := 0; j < m; j++ {
+			b, err := r.ReadBit()
+			if err != nil {
+				return fmt.Errorf("zfp: %w", err)
+			}
+			x |= uint64(b) << uint(j)
+		}
+		for n < size {
+			g, err := r.ReadBit()
+			if err != nil {
+				return fmt.Errorf("zfp: %w", err)
+			}
+			if g == 0 {
+				break
+			}
+			for n < size-1 {
+				b, err := r.ReadBit()
+				if err != nil {
+					return fmt.Errorf("zfp: %w", err)
+				}
+				if b != 0 {
+					break
+				}
+				n++
+			}
+			x |= uint64(1) << uint(n)
+			n++
+		}
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			u[i] |= (x & 1) << uint(k)
+		}
+	}
+	return nil
+}
+
+// fwdLift applies ZFP's forward lifting to 4 values at stride s.
+func fwdLift(p []int64, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// invLift inverts fwdLift.
+func invLift(p []int64, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// fwdTransform decorrelates a 4^d block along every dimension.
+func fwdTransform(b []int64, d int) {
+	switch d {
+	case 1:
+		fwdLift(b, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ {
+			fwdLift(b, 4*y, 1) // rows
+		}
+		for x := 0; x < 4; x++ {
+			fwdLift(b, x, 4) // columns
+		}
+	default:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(b, 16*z+4*y, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(b, 16*z+x, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(b, 4*y+x, 16)
+			}
+		}
+	}
+}
+
+// invTransform inverts fwdTransform (reverse dimension order).
+func invTransform(b []int64, d int) {
+	switch d {
+	case 1:
+		invLift(b, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(b, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(b, 4*y, 1)
+		}
+	default:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(b, 4*y+x, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(b, 16*z+x, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(b, 16*z+4*y, 1)
+			}
+		}
+	}
+}
+
+// sequencyPerm returns the coefficient ordering by total sequency (sum of
+// per-dimension frequencies), low frequencies first, ties broken by linear
+// index — the order that makes truncated bit planes drop the least energy.
+func sequencyPerm(d int) []int {
+	size := 1 << (2 * d)
+	perm := make([]int, size)
+	for i := range perm {
+		perm[i] = i
+	}
+	key := func(i int) int {
+		switch d {
+		case 1:
+			return i
+		case 2:
+			return i%4 + i/4
+		default:
+			return i%4 + (i/4)%4 + i/16
+		}
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return key(perm[a]) < key(perm[b]) })
+	return perm
+}
+
+// forEachBlock invokes fn with the origin of every 4^d block covering dims.
+func forEachBlock(dims []int, fn func(origin []int)) {
+	switch len(dims) {
+	case 1:
+		for x := 0; x < dims[0]; x += 4 {
+			fn([]int{x})
+		}
+	case 2:
+		for y := 0; y < dims[0]; y += 4 {
+			for x := 0; x < dims[1]; x += 4 {
+				fn([]int{y, x})
+			}
+		}
+	default:
+		for z := 0; z < dims[0]; z += 4 {
+			for y := 0; y < dims[1]; y += 4 {
+				for x := 0; x < dims[2]; x += 4 {
+					fn([]int{z, y, x})
+				}
+			}
+		}
+	}
+}
+
+// gather copies a 4^d block at origin into block, clamping reads at the
+// array edge (edge replication).
+func gather(data []float64, dims []int, origin []int, block []float64) {
+	clamp := func(v, hi int) int {
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	switch len(dims) {
+	case 1:
+		for i := 0; i < 4; i++ {
+			block[i] = data[clamp(origin[0]+i, dims[0])]
+		}
+	case 2:
+		for y := 0; y < 4; y++ {
+			ry := clamp(origin[0]+y, dims[0])
+			for x := 0; x < 4; x++ {
+				block[4*y+x] = data[ry*dims[1]+clamp(origin[1]+x, dims[1])]
+			}
+		}
+	default:
+		plane := dims[1] * dims[2]
+		for z := 0; z < 4; z++ {
+			rz := clamp(origin[0]+z, dims[0])
+			for y := 0; y < 4; y++ {
+				ry := clamp(origin[1]+y, dims[1])
+				for x := 0; x < 4; x++ {
+					block[16*z+4*y+x] = data[rz*plane+ry*dims[2]+clamp(origin[2]+x, dims[2])]
+				}
+			}
+		}
+	}
+}
+
+// scatter writes a block back, skipping padded positions.
+func scatter(out []float64, dims []int, origin []int, block []float64) {
+	switch len(dims) {
+	case 1:
+		for i := 0; i < 4 && origin[0]+i < dims[0]; i++ {
+			out[origin[0]+i] = block[i]
+		}
+	case 2:
+		for y := 0; y < 4 && origin[0]+y < dims[0]; y++ {
+			for x := 0; x < 4 && origin[1]+x < dims[1]; x++ {
+				out[(origin[0]+y)*dims[1]+origin[1]+x] = block[4*y+x]
+			}
+		}
+	default:
+		plane := dims[1] * dims[2]
+		for z := 0; z < 4 && origin[0]+z < dims[0]; z++ {
+			for y := 0; y < 4 && origin[1]+y < dims[1]; y++ {
+				for x := 0; x < 4 && origin[2]+x < dims[2]; x++ {
+					out[(origin[0]+z)*plane+(origin[1]+y)*dims[2]+origin[2]+x] = block[16*z+4*y+x]
+				}
+			}
+		}
+	}
+}
+
+func checkDims(data []float64, dims []int) error {
+	if len(dims) < 1 || len(dims) > 3 {
+		return fmt.Errorf("zfp: %d dimensions unsupported (1-3)", len(dims))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return fmt.Errorf("zfp: non-positive dimension in %v", dims)
+		}
+		total *= d
+	}
+	if total != len(data) {
+		return fmt.Errorf("zfp: dims %v describe %d values, data has %d", dims, total, len(data))
+	}
+	return nil
+}

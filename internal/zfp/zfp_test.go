@@ -1,0 +1,264 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dpz/internal/dataset"
+	"dpz/internal/stats"
+)
+
+func roundTrip(t *testing.T, data []float64, dims []int, p Params) ([]float64, *Compressed) {
+	t.Helper()
+	c, err := Compress(data, dims, p)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, gotDims, err := Decompress(c.Bytes)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	for i := range dims {
+		if gotDims[i] != dims[i] {
+			t.Fatalf("dims %v, want %v", gotDims, dims)
+		}
+	}
+	return out, c
+}
+
+// ZFP's lifting uses truncating >>1 steps, so the forward/inverse pair is
+// near-lossless at the integer level: a few units of round-off per lift,
+// negligible at the 2^(e−q) value scale against any realistic tolerance.
+
+func TestLiftRoundTripNearLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]int64, 4)
+		orig := make([]int64, 4)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(1<<40)) - 1<<39
+			orig[i] = vals[i]
+		}
+		fwdLift(vals, 0, 1)
+		invLift(vals, 0, 1)
+		for i := range vals {
+			if d := vals[i] - orig[i]; d > 4 || d < -4 {
+				t.Fatalf("trial %d: lift round-off %d units: %v vs %v", trial, d, vals, orig)
+			}
+		}
+	}
+}
+
+func TestTransformRoundTripNearLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for _, d := range []int{1, 2, 3} {
+		size := 1 << (2 * d)
+		b := make([]int64, size)
+		orig := make([]int64, size)
+		for i := range b {
+			b[i] = int64(rng.Intn(1<<40)) - 1<<39
+			orig[i] = b[i]
+		}
+		fwdTransform(b, d)
+		invTransform(b, d)
+		for i := range b {
+			if diff := b[i] - orig[i]; diff > 16 || diff < -16 {
+				t.Fatalf("d=%d: transform round-off %d units at %d", d, diff, i)
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -42, 1 << 40, -(1 << 40), math.MaxInt32, math.MinInt32} {
+		u := (uint64(v) + negamask) ^ negamask
+		back := int64((u ^ negamask) - negamask)
+		if back != v {
+			t.Fatalf("negabinary round trip: %d -> %d", v, back)
+		}
+	}
+}
+
+func TestSequencyPerm(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		perm := sequencyPerm(d)
+		size := 1 << (2 * d)
+		if len(perm) != size {
+			t.Fatalf("d=%d: perm length %d", d, len(perm))
+		}
+		seen := make([]bool, size)
+		for _, p := range perm {
+			if p < 0 || p >= size || seen[p] {
+				t.Fatalf("d=%d: invalid permutation %v", d, perm)
+			}
+			seen[p] = true
+		}
+	}
+	// 2-D: DC coefficient (0,0) must come first, (3,3) last.
+	p2 := sequencyPerm(2)
+	if p2[0] != 0 || p2[15] != 15 {
+		t.Fatalf("2-D sequency order wrong: %v", p2)
+	}
+}
+
+func TestPlaneCodingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := []int{4, 16, 64}[r.Intn(3)]
+		u := make([]uint64, size)
+		for i := range u {
+			u[i] = r.Uint64() & ((1 << intprec) - 1)
+		}
+		kmin := r.Intn(4) * 0 // full-depth round trip must be exact
+		w := newTestWriter()
+		encodePlanes(w.w, u, size, kmin)
+		got := make([]uint64, size)
+		if err := decodePlanes(w.reader(), got, size, kmin); err != nil {
+			return false
+		}
+		for i := range u {
+			if got[i] != u[i] {
+				return false
+			}
+		}
+		return true
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaneCodingTruncation(t *testing.T) {
+	// With kmin > 0, decoded values must match the originals with the low
+	// kmin bits zeroed (negabinary truncation towards the encoded
+	// planes).
+	u := []uint64{0x3ffff, 0x12345, 0, 0xfffff}
+	for _, kmin := range []int{4, 8, 16} {
+		w := newTestWriter()
+		encodePlanes(w.w, u, len(u), kmin)
+		got := make([]uint64, len(u))
+		if err := decodePlanes(w.reader(), got, len(u), kmin); err != nil {
+			t.Fatal(err)
+		}
+		for i := range u {
+			want := u[i] &^ ((1 << uint(kmin)) - 1)
+			if got[i] != want {
+				t.Fatalf("kmin=%d val %d: got %x, want %x", kmin, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestFixedAccuracyBound(t *testing.T) {
+	fields := []*dataset.Field{
+		dataset.Isotropic(20, 34),
+		dataset.CESM("FLDSC", 40, 80, 35),
+		dataset.HACCX(4000, 36),
+	}
+	for _, f := range fields {
+		r := stats.Range(f.Data)
+		for _, tolFrac := range []float64{1e-2, 1e-4} {
+			tol := tolFrac * r
+			out, _ := roundTrip(t, f.Data, f.Dims, Params{Mode: FixedAccuracy, Tolerance: tol})
+			if maxErr := stats.MaxAbsError(f.Data, out); maxErr > tol {
+				t.Fatalf("%s tol=%g: max error %g exceeds tolerance", f.Name, tol, maxErr)
+			}
+		}
+	}
+}
+
+func TestFixedPrecisionMonotone(t *testing.T) {
+	f := dataset.Isotropic(16, 37)
+	var prevPSNR float64 = -1
+	var prevCR = math.Inf(1)
+	for _, prec := range []int{8, 16, 28} {
+		out, c := roundTrip(t, f.Data, f.Dims, Params{Mode: FixedPrecision, Precision: prec})
+		psnr := stats.PSNR(f.Data, out)
+		if psnr < prevPSNR {
+			t.Fatalf("PSNR fell from %.1f to %.1f at precision %d", prevPSNR, psnr, prec)
+		}
+		if c.Ratio > prevCR {
+			t.Fatalf("CR rose from %.2f to %.2f at precision %d", prevCR, c.Ratio, prec)
+		}
+		prevPSNR, prevCR = psnr, c.Ratio
+	}
+}
+
+func TestZeroBlocks(t *testing.T) {
+	data := make([]float64, 64*64)
+	out, c := roundTrip(t, data, []int{64, 64}, Params{Mode: FixedAccuracy, Tolerance: 1e-6})
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("zero data decoded as %v at %d", v, i)
+		}
+	}
+	// All-zero blocks cost ~1 bit each: enormous ratio.
+	if c.Ratio < 100 {
+		t.Fatalf("zero data CR = %.1f", c.Ratio)
+	}
+}
+
+func TestNonMultipleOf4Dims(t *testing.T) {
+	f := dataset.CESM("CLDHGH", 30, 55, 38)
+	out, _ := roundTrip(t, f.Data, f.Dims, Params{Mode: FixedAccuracy, Tolerance: 1e-3})
+	if maxErr := stats.MaxAbsError(f.Data, out); maxErr > 1e-3 {
+		t.Fatalf("padded edges violate tolerance: %g", maxErr)
+	}
+}
+
+func Test1DAnd3D(t *testing.T) {
+	h := dataset.HACCVX(1000, 39)
+	out, _ := roundTrip(t, h.Data, h.Dims, Params{Mode: FixedAccuracy, Tolerance: 1.0})
+	if maxErr := stats.MaxAbsError(h.Data, out); maxErr > 1.0 {
+		t.Fatalf("1-D error %g", maxErr)
+	}
+	iso := dataset.Isotropic(18, 40) // 18 not a multiple of 4
+	out3, _ := roundTrip(t, iso.Data, iso.Dims, Params{Mode: FixedAccuracy, Tolerance: 1e-2})
+	if maxErr := stats.MaxAbsError(iso.Data, out3); maxErr > 1e-2 {
+		t.Fatalf("3-D error %g", maxErr)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data := make([]float64, 16)
+	if _, err := Compress(data, []int{4, 4}, Params{Mode: FixedAccuracy, Tolerance: 0}); err == nil {
+		t.Fatal("expected tolerance error")
+	}
+	if _, err := Compress(data, []int{4, 4}, Params{Mode: FixedPrecision, Precision: 0}); err == nil {
+		t.Fatal("expected precision error")
+	}
+	if _, err := Compress(data, []int{4, 4}, Params{Mode: Mode(9)}); err == nil {
+		t.Fatal("expected mode error")
+	}
+	if _, err := Compress(data, []int{5, 5}, Params{Mode: FixedPrecision, Precision: 8}); err == nil {
+		t.Fatal("expected dims mismatch error")
+	}
+	data[3] = math.NaN()
+	if _, err := Compress(data, []int{4, 4}, Params{Mode: FixedPrecision, Precision: 8}); err == nil {
+		t.Fatal("expected NaN rejection")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	if _, _, err := Decompress(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	f := dataset.CESM("PHIS", 16, 32, 41)
+	c, err := Compress(f.Data, f.Dims, Params{Mode: FixedPrecision, Precision: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(c.Bytes[:len(c.Bytes)-3]); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+	bad := make([]byte, len(c.Bytes))
+	copy(bad, c.Bytes)
+	bad[4] = 7 // invalid mode
+	if _, _, err := Decompress(bad); err == nil {
+		t.Fatal("expected error for invalid mode")
+	}
+}

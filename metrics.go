@@ -1,0 +1,38 @@
+package dpz
+
+import "dpz/internal/stats"
+
+// PSNR returns the peak signal-to-noise ratio in dB between the original
+// and reconstructed data, using the original's value range as the peak:
+// 20·log10(range) − 10·log10(MSE).
+func PSNR(orig, recon []float64) float64 { return stats.PSNR(orig, recon) }
+
+// PSNR32 is PSNR for single-precision slices.
+func PSNR32(orig, recon []float32) float64 {
+	return stats.PSNR(stats.Float32To64(orig), stats.Float32To64(recon))
+}
+
+// MSE returns the mean squared error between the slices.
+func MSE(orig, recon []float64) float64 { return stats.MSE(orig, recon) }
+
+// MaxAbsError returns the maximum absolute pointwise error.
+func MaxAbsError(orig, recon []float64) float64 { return stats.MaxAbsError(orig, recon) }
+
+// MeanRelativeError returns the paper's mean θ: the average absolute error
+// normalized by the original data range.
+func MeanRelativeError(orig, recon []float64) float64 { return stats.MeanRelError(orig, recon) }
+
+// BitRate converts a compression ratio to bits per value for the given
+// uncompressed element width (32 for single precision).
+func BitRate(cr float64, elemBits int) float64 { return stats.BitRate(cr, elemBits) }
+
+// CompressionRatio returns originalBytes / compressedBytes.
+func CompressionRatio(originalBytes, compressedBytes int) float64 {
+	return stats.CompressionRatio(originalBytes, compressedBytes)
+}
+
+// SSIM computes the mean structural similarity index between a 2-D field
+// and its reconstruction (rows×cols, row-major; 8×8 sliding windows).
+func SSIM(orig, recon []float64, rows, cols int) float64 {
+	return stats.SSIM(orig, recon, rows, cols)
+}

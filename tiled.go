@@ -1,0 +1,185 @@
+package dpz
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"dpz/internal/archive"
+)
+
+// Tiled compression: fields too large to hold in memory are compressed in
+// slabs of leading-dimension rows, each slab an independent DPZ stream
+// inside one archive container. Decompression can stream slab by slab or
+// fetch a single slab — the out-of-core workflow the paper's
+// exabyte-scale motivation implies.
+
+// tiledMetaName is the archive entry holding the tiling description.
+const tiledMetaName = "_dpz_tiled_meta"
+
+// tiledMeta describes how a field was split.
+type tiledMeta struct {
+	Dims     []int `json:"dims"`
+	TileRows int   `json:"tile_rows"`
+	Tiles    int   `json:"tiles"`
+}
+
+// tileName formats the archive entry name of slab i.
+func tileName(i int) string { return fmt.Sprintf("tile-%06d", i) }
+
+// CompressTiled reads a raw little-endian float32 field (the SDRBench
+// layout) from r and writes a tiled DPZ archive to w. The field's leading
+// dimension is split into slabs of tileRows rows (the last slab may be
+// shorter); each slab is compressed independently with opts, so peak
+// memory is one slab. Returns per-slab stats.
+func CompressTiled(r io.Reader, dims []int, tileRows int, opts Options, w io.Writer) ([]Stats, error) {
+	if len(dims) < 1 {
+		return nil, fmt.Errorf("dpz: tiled compression needs at least 1 dimension")
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("dpz: non-positive dimension in %v", dims)
+		}
+	}
+	if tileRows <= 0 || tileRows > dims[0] {
+		return nil, fmt.Errorf("dpz: tileRows %d out of [1,%d]", tileRows, dims[0])
+	}
+	rowValues := 1
+	for _, d := range dims[1:] {
+		rowValues *= d
+	}
+	tiles := (dims[0] + tileRows - 1) / tileRows
+
+	aw, err := archive.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := json.Marshal(tiledMeta{Dims: dims, TileRows: tileRows, Tiles: tiles})
+	if err != nil {
+		return nil, fmt.Errorf("dpz: %w", err)
+	}
+	if err := aw.Append(tiledMetaName, meta); err != nil {
+		return nil, err
+	}
+
+	br := bufio.NewReaderSize(r, 1<<20)
+	buf := make([]byte, 4)
+	statsOut := make([]Stats, 0, tiles)
+	for t := 0; t < tiles; t++ {
+		rows := tileRows
+		if t == tiles-1 {
+			rows = dims[0] - t*tileRows
+		}
+		n := rows * rowValues
+		slab := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("dpz: reading tile %d: %w", t, err)
+			}
+			slab[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))
+		}
+		slabDims := append([]int{rows}, dims[1:]...)
+		res, err := CompressFloat64(slab, slabDims, opts)
+		if err != nil {
+			return nil, fmt.Errorf("dpz: tile %d: %w", t, err)
+		}
+		if err := aw.Append(tileName(t), res.Data); err != nil {
+			return nil, err
+		}
+		statsOut = append(statsOut, res.Stats)
+	}
+	if err := aw.Close(); err != nil {
+		return nil, err
+	}
+	return statsOut, nil
+}
+
+// TiledReader provides slab-level access to a tiled archive.
+type TiledReader struct {
+	ar       *ArchiveReader
+	dims     []int
+	tileRows int
+	tiles    int
+}
+
+// OpenTiled parses a tiled archive of the given total size.
+func OpenTiled(r io.ReaderAt, size int64) (*TiledReader, error) {
+	ar, err := OpenArchive(r, size)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := ar.Stream(tiledMetaName)
+	if err != nil {
+		return nil, fmt.Errorf("dpz: not a tiled archive: %w", err)
+	}
+	var meta tiledMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("dpz: corrupt tiled metadata: %w", err)
+	}
+	if len(meta.Dims) < 1 || meta.TileRows < 1 || meta.Tiles < 1 {
+		return nil, fmt.Errorf("dpz: implausible tiled metadata %+v", meta)
+	}
+	want := (meta.Dims[0] + meta.TileRows - 1) / meta.TileRows
+	if want != meta.Tiles {
+		return nil, fmt.Errorf("dpz: tiled metadata inconsistent: %d tiles for %v/%d",
+			meta.Tiles, meta.Dims, meta.TileRows)
+	}
+	return &TiledReader{ar: ar, dims: meta.Dims, tileRows: meta.TileRows, tiles: meta.Tiles}, nil
+}
+
+// Dims returns the full field dimensions.
+func (t *TiledReader) Dims() []int {
+	out := make([]int, len(t.dims))
+	copy(out, t.dims)
+	return out
+}
+
+// Tiles returns the slab count.
+func (t *TiledReader) Tiles() int { return t.tiles }
+
+// TileRows returns the leading-dimension rows per slab (the last slab may
+// hold fewer).
+func (t *TiledReader) TileRows() int { return t.tileRows }
+
+// Tile decompresses slab i, returning its values and slab dims.
+func (t *TiledReader) Tile(i int) ([]float64, []int, error) {
+	if i < 0 || i >= t.tiles {
+		return nil, nil, fmt.Errorf("dpz: tile %d out of [0,%d)", i, t.tiles)
+	}
+	payload, err := t.ar.Stream(tileName(i))
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecompressFloat64(payload)
+}
+
+// ReadAll streams every slab in order into one float64 field.
+func (t *TiledReader) ReadAll() ([]float64, []int, error) {
+	total := 1
+	for _, d := range t.dims {
+		total *= d
+	}
+	out := make([]float64, 0, total)
+	for i := 0; i < t.tiles; i++ {
+		slab, slabDims, err := t.Tile(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Each slab must be shape-consistent with the metadata.
+		wantRows := t.tileRows
+		if i == t.tiles-1 {
+			wantRows = t.dims[0] - i*t.tileRows
+		}
+		if slabDims[0] != wantRows {
+			return nil, nil, fmt.Errorf("dpz: tile %d has %d rows, want %d", i, slabDims[0], wantRows)
+		}
+		out = append(out, slab...)
+	}
+	if len(out) != total {
+		return nil, nil, fmt.Errorf("dpz: tiled field has %d values, want %d", len(out), total)
+	}
+	return out, t.Dims(), nil
+}

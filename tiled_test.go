@@ -1,0 +1,106 @@
+package dpz_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+// rawF32 serializes a field the way SDRBench files are laid out.
+func rawF32(f *dataset.Field) []byte {
+	out := make([]byte, 4*len(f.Data))
+	for i, v := range f.Data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+	}
+	return out
+}
+
+func TestTiledRoundTrip(t *testing.T) {
+	f := dataset.CESM("FLDSC", 100, 180, 111)
+	opts := dpz.StrictOptions()
+	opts.TVE = dpz.Nines(4)
+
+	var arc bytes.Buffer
+	statsOut, err := dpz.CompressTiled(bytes.NewReader(rawF32(f)), f.Dims, 32, opts, &arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 rows in 32-row slabs -> 4 tiles (32+32+32+4).
+	if len(statsOut) != 4 {
+		t.Fatalf("%d tiles, want 4", len(statsOut))
+	}
+
+	tr, err := dpz.OpenTiled(bytes.NewReader(arc.Bytes()), int64(arc.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tiles() != 4 || tr.TileRows() != 32 {
+		t.Fatalf("meta: %d tiles, %d rows", tr.Tiles(), tr.TileRows())
+	}
+	got := tr.Dims()
+	if got[0] != 100 || got[1] != 180 {
+		t.Fatalf("dims %v", got)
+	}
+
+	// Single-slab access.
+	slab, slabDims, err := tr.Tile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slabDims[0] != 4 || slabDims[1] != 180 {
+		t.Fatalf("last slab dims %v", slabDims)
+	}
+	if len(slab) != 4*180 {
+		t.Fatalf("last slab has %d values", len(slab))
+	}
+
+	// Full streamed reconstruction: quality comparable to whole-field
+	// compression at the same setting.
+	all, dims, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0] != 100 || len(all) != f.Len() {
+		t.Fatalf("ReadAll shape %v / %d", dims, len(all))
+	}
+	if psnr := dpz.PSNR(f.Data, all); psnr < 35 {
+		t.Fatalf("tiled PSNR %.1f", psnr)
+	}
+
+	// Bad tile index.
+	if _, _, err := tr.Tile(4); err == nil {
+		t.Fatal("expected out-of-range tile error")
+	}
+	if _, _, err := tr.Tile(-1); err == nil {
+		t.Fatal("expected negative tile error")
+	}
+}
+
+func TestTiledValidation(t *testing.T) {
+	f := dataset.CESM("PHIS", 40, 80, 112)
+	var arc bytes.Buffer
+	if _, err := dpz.CompressTiled(bytes.NewReader(rawF32(f)), f.Dims, 0, dpz.StrictOptions(), &arc); err == nil {
+		t.Fatal("expected tileRows validation error")
+	}
+	if _, err := dpz.CompressTiled(bytes.NewReader(rawF32(f)), []int{0, 80}, 8, dpz.StrictOptions(), &arc); err == nil {
+		t.Fatal("expected dims validation error")
+	}
+	// Truncated input stream.
+	short := rawF32(f)[:100]
+	if _, err := dpz.CompressTiled(bytes.NewReader(short), f.Dims, 8, dpz.StrictOptions(), &arc); err == nil {
+		t.Fatal("expected short-read error")
+	}
+	// A plain (non-tiled) archive must be rejected by OpenTiled.
+	var plain bytes.Buffer
+	aw, _ := dpz.NewArchiveWriter(&plain)
+	res, _ := dpz.CompressFloat64(f.Data, f.Dims, dpz.LooseOptions())
+	aw.Append("x", res.Data)
+	aw.Close()
+	if _, err := dpz.OpenTiled(bytes.NewReader(plain.Bytes()), int64(plain.Len())); err == nil {
+		t.Fatal("expected non-tiled rejection")
+	}
+}
