@@ -47,8 +47,22 @@ func (a *ArchiveWriter) Append(name string, stream []byte) error {
 	return a.w.Append(name, stream)
 }
 
-// Close writes the archive index. The writer is unusable afterwards.
+// Close writes the archive index. A second Close (e.g. from a defer
+// after an explicit Close) returns ErrArchiveClosed.
 func (a *ArchiveWriter) Close() error { return a.w.Close() }
+
+// ErrArchiveClosed is returned by ArchiveWriter.Append/Compress/Close
+// once the writer has been closed; match it with errors.Is.
+var ErrArchiveClosed = archive.ErrClosed
+
+// ArchiveOptions configures OpenArchiveOptions.
+type ArchiveOptions struct {
+	// AllowRecovery falls back to an entry-frame scan when a v2 archive's
+	// tail index is missing, truncated or fails its checksum — the
+	// crash-recovery path for torn writes. Check Recovered() on the
+	// resulting reader to see whether the fallback was taken.
+	AllowRecovery bool
+}
 
 // ArchiveReader reads fields back from a finished archive.
 type ArchiveReader struct {
@@ -57,7 +71,22 @@ type ArchiveReader struct {
 
 // OpenArchive parses the index of an archive of the given total size.
 func OpenArchive(r io.ReaderAt, size int64) (*ArchiveReader, error) {
-	ar, err := archive.OpenReader(r, size)
+	return OpenArchiveOptions(r, size, ArchiveOptions{})
+}
+
+// OpenArchiveOptions is OpenArchive with explicit recovery behaviour.
+func OpenArchiveOptions(r io.ReaderAt, size int64, o ArchiveOptions) (*ArchiveReader, error) {
+	ar, err := archive.Open(r, size, archive.Options{AllowRecovery: o.AllowRecovery})
+	if err != nil {
+		return nil, err
+	}
+	return &ArchiveReader{r: ar}, nil
+}
+
+// RecoverArchive salvages every intact field from a damaged v2 archive
+// by scanning its self-framing entries, ignoring the index entirely.
+func RecoverArchive(r io.ReaderAt, size int64) (*ArchiveReader, error) {
+	ar, err := archive.Recover(r, size)
 	if err != nil {
 		return nil, err
 	}
@@ -88,5 +117,20 @@ func (a *ArchiveReader) DecompressFloat64(name string) ([]float64, []int, error)
 	return DecompressFloat64(payload)
 }
 
-// Stream returns the raw compressed bytes of the named field.
+// Stream returns the raw compressed bytes of the named field. For v2
+// archives the payload checksum is verified on every read.
 func (a *ArchiveReader) Stream(name string) ([]byte, error) { return a.r.Payload(name) }
+
+// Version reports the archive format version (1 or 2).
+func (a *ArchiveReader) Version() int { return a.r.Version() }
+
+// Recovered reports whether this reader came from a frame-scan salvage
+// rather than the tail index.
+func (a *ArchiveReader) Recovered() bool { return a.r.Recovered() }
+
+// FieldStatus reports one field's integrity from ArchiveReader.Verify.
+type FieldStatus = archive.FieldStatus
+
+// Verify reads every field and checks its payload checksum (v2; v1
+// archives carry no checksums, so only readability is checked).
+func (a *ArchiveReader) Verify() []FieldStatus { return a.r.Verify() }

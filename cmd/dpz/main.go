@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		sampling   = fs.Bool("sampling", false, "enable the Algorithm 2 sampling strategy")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		verify     = fs.Bool("verify", false, "after -z, decompress and report PSNR/θ")
+		bestEffort = fs.Bool("best-effort", false, "with -d, salvage a partial reconstruction from a corrupt stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,13 +113,27 @@ func run(args []string, out io.Writer) error {
 
 	case *decompress:
 		if len(rest) != 2 {
-			return fmt.Errorf("usage: dpz -d in.dpz out.f32")
+			return fmt.Errorf("usage: dpz -d [-best-effort] in.dpz out.f32")
 		}
 		buf, err := os.ReadFile(rest[0])
 		if err != nil {
 			return err
 		}
-		data, dims, err := dpz.DecompressFloat64(buf)
+		var (
+			data []float64
+			dims []int
+		)
+		if *bestEffort {
+			data, dims, err = dpz.DecompressBestEffortFloat64(buf)
+			var ce *dpz.CorruptionError
+			if errors.As(err, &ce) && data != nil {
+				fmt.Fprintf(out, "stream corrupt (%v); salvaged %d of %d components\n",
+					ce, ce.RecoveredRank, ce.StoredRank)
+				err = nil
+			}
+		} else {
+			data, dims, err = dpz.DecompressFloat64(buf)
+		}
 		if err != nil {
 			return err
 		}

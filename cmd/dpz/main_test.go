@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -99,5 +100,45 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if err := run([]string{"-d", orig, recon}, io.Discard); err == nil {
 		t.Fatal("expected decode error for raw file")
+	}
+}
+
+func TestRunBestEffortDecode(t *testing.T) {
+	dir := t.TempDir()
+	f := dataset.CESM("FLDSC", 48, 96, 131)
+	orig := filepath.Join(dir, "f.f32")
+	if err := dataset.WriteRawFloat32(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	opts := dpz.StrictOptions()
+	opts.TVE = dpz.Nines(7)
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.K < 2 {
+		t.Fatalf("need K >= 2, got %d", res.Stats.K)
+	}
+	// Damage the final section's payload: strict decode must fail, the
+	// best-effort path must still write a reduced-rank reconstruction.
+	bad := append([]byte(nil), res.Data...)
+	bad[len(bad)-8] ^= 0x20
+	badPath := filepath.Join(dir, "bad.dpz")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recon := filepath.Join(dir, "r.f32")
+	if err := run([]string{"-d", badPath, recon}, io.Discard); err == nil {
+		t.Fatal("strict decode accepted a corrupt stream")
+	}
+	if err := run([]string{"-d", "-best-effort", badPath, recon}, io.Discard); err != nil {
+		t.Fatalf("best-effort decode: %v", err)
+	}
+	got, err := dataset.ReadRawFloat32(recon, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != f.Len() {
+		t.Fatalf("recon has %d values", len(got.Data))
 	}
 }

@@ -1,11 +1,14 @@
 // Command dpzarchive packs raw float32 fields into a DPZ archive, lists
-// an archive's contents, and extracts fields back to raw float32 files.
+// an archive's contents, extracts fields back to raw float32 files,
+// checks archive integrity, and repairs damaged archives.
 //
 // Usage:
 //
 //	dpzarchive pack -scheme strict -tve 5 out.dpza fldsc:180x360:fldsc.f32 phis:180x360:phis.f32
 //	dpzarchive list campaign.dpza
 //	dpzarchive extract campaign.dpza fldsc recon.f32
+//	dpzarchive verify campaign.dpza
+//	dpzarchive repair damaged.dpza repaired.dpza
 package main
 
 import (
@@ -28,7 +31,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: dpzarchive pack|list|extract ...")
+		return fmt.Errorf("usage: dpzarchive pack|list|extract|verify|repair ...")
 	}
 	switch args[0] {
 	case "pack":
@@ -37,8 +40,12 @@ func run(args []string) error {
 		return runList(args[1:])
 	case "extract":
 		return runExtract(args[1:])
+	case "verify":
+		return runVerify(args[1:])
+	case "repair":
+		return runRepair(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (pack|list|extract)", args[0])
+		return fmt.Errorf("unknown subcommand %q (pack|list|extract|verify|repair)", args[0])
 	}
 }
 
@@ -171,6 +178,99 @@ func runList(args []string) error {
 		fmt.Printf("%-20s %d bytes\n", name, len(raw))
 	}
 	fmt.Printf("%d fields\n", ar.Len())
+	return nil
+}
+
+// openArchiveRecover opens an archive with the frame-scan fallback
+// enabled, so damaged indexes still yield whatever fields survive.
+func openArchiveRecover(path string) (*dpz.ArchiveReader, *os.File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := in.Stat()
+	if err != nil {
+		in.Close()
+		return nil, nil, err
+	}
+	ar, err := dpz.OpenArchiveOptions(in, info.Size(), dpz.ArchiveOptions{AllowRecovery: true})
+	if err != nil {
+		in.Close()
+		return nil, nil, err
+	}
+	return ar, in, nil
+}
+
+func runVerify(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dpzarchive verify archive.dpza")
+	}
+	ar, in, err := openArchiveRecover(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	if ar.Recovered() {
+		fmt.Printf("index damaged: fields listed via frame-scan recovery\n")
+	}
+	corrupt := 0
+	for _, st := range ar.Verify() {
+		if st.OK {
+			fmt.Printf("%-20s %10d bytes  OK\n", st.Name, st.Length)
+		} else {
+			corrupt++
+			fmt.Printf("%-20s %10d bytes  CORRUPT (%v)\n", st.Name, st.Length, st.Err)
+		}
+	}
+	if corrupt > 0 || ar.Recovered() {
+		return fmt.Errorf("%d of %d fields corrupt (archive v%d)", corrupt, ar.Len(), ar.Version())
+	}
+	fmt.Printf("%d fields OK (archive v%d)\n", ar.Len(), ar.Version())
+	return nil
+}
+
+func runRepair(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: dpzarchive repair damaged.dpza repaired.dpza")
+	}
+	ar, in, err := openArchiveRecover(args[0])
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	aw, err := dpz.NewArchiveWriter(out)
+	if err != nil {
+		return err
+	}
+	salvaged, lost := 0, 0
+	for _, name := range ar.Fields() {
+		payload, err := ar.Stream(name)
+		if err != nil {
+			lost++
+			fmt.Printf("%-20s LOST (%v)\n", name, err)
+			continue
+		}
+		if err := aw.Append(name, payload); err != nil {
+			return err
+		}
+		salvaged++
+		fmt.Printf("%-20s %10d bytes  salvaged\n", name, len(payload))
+	}
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("salvaged %d fields, lost %d -> %s\n", salvaged, lost, args[1])
+	if salvaged == 0 {
+		return fmt.Errorf("no fields salvaged from %s", args[0])
+	}
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"dpz"
 	"dpz/internal/dataset"
 )
 
@@ -73,4 +75,90 @@ func TestPackListExtractEndToEnd(t *testing.T) {
 		t.Fatal("expected scheme error")
 	}
 	_ = os.Remove(out)
+}
+
+func TestVerifyAndRepairEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	arc := filepath.Join(dir, "c.dpza")
+	out, err := os.Create(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := dpz.NewArchiveWriter(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := map[string][]byte{
+		"fldsc": bytes.Repeat([]byte("abc"), 300),
+		"phis":  bytes.Repeat([]byte{0x11, 0x22}, 400),
+		"t850":  []byte("tiny"),
+	}
+	for _, name := range []string{"fldsc", "phis", "t850"} {
+		if err := aw.Append(name, fields[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean archive verifies cleanly.
+	if err := run([]string{"verify", arc}); err != nil {
+		t.Fatalf("verify clean: %v", err)
+	}
+
+	// Corrupt one byte of one field's payload: verify must fail and name
+	// exactly that field; repair must salvage the other two.
+	raw, err := os.ReadFile(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := "phis"
+	// Locate the payload by searching for its unique bytes; flip mid-way.
+	off := bytes.Index(raw, fields[target])
+	if off < 0 {
+		t.Fatal("payload not found in archive bytes")
+	}
+	raw[off+len(fields[target])/2] ^= 0x40
+	bad := filepath.Join(dir, "bad.dpza")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"verify", bad}); err == nil {
+		t.Fatal("verify accepted a corrupt archive")
+	}
+
+	fixed := filepath.Join(dir, "fixed.dpza")
+	if err := run([]string{"repair", bad, fixed}); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	fr, ff, err := openArchive(fixed)
+	if err != nil {
+		t.Fatalf("repaired archive does not open: %v", err)
+	}
+	defer ff.Close()
+	names := fr.Fields()
+	if len(names) != 2 {
+		t.Fatalf("repaired fields = %v, want the two intact ones", names)
+	}
+	for _, name := range []string{"fldsc", "t850"} {
+		got, err := fr.Stream(name)
+		if err != nil || !bytes.Equal(got, fields[name]) {
+			t.Fatalf("field %q wrong after repair: %v", name, err)
+		}
+	}
+	if err := run([]string{"verify", fixed}); err != nil {
+		t.Fatalf("repaired archive fails verify: %v", err)
+	}
+
+	// Usage errors.
+	if err := run([]string{"verify"}); err == nil {
+		t.Fatal("expected verify usage error")
+	}
+	if err := run([]string{"repair", bad}); err == nil {
+		t.Fatal("expected repair usage error")
+	}
 }

@@ -6,9 +6,11 @@
 //
 //	dpzstat -dims 180x360 original.f32 compressed.dpz
 //	dpzstat -dims 180x360 -rank 4 original.f32 compressed.dpz   # preview quality
+//	dpzstat -dims 180x360 -verify original.f32 compressed.dpz   # checksum + best-effort
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +32,13 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("dpzstat", flag.ContinueOnError)
 	dimsStr := fs.String("dims", "", "original dimensions, e.g. 180x360")
 	rank := fs.Int("rank", 0, "decompress with only the leading components (0 = all)")
+	verify := fs.Bool("verify", false, "check stream checksums; degrade to a best-effort decode on corruption")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 	if len(rest) != 2 || *dimsStr == "" {
-		return fmt.Errorf("usage: dpzstat -dims AxB [-rank K] original.f32 compressed.dpz")
+		return fmt.Errorf("usage: dpzstat -dims AxB [-rank K] [-verify] original.f32 compressed.dpz")
 	}
 	dims, err := parseDims(*dimsStr)
 	if err != nil {
@@ -49,9 +52,33 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	recon, gotDims, err := dpz.DecompressRankFloat64(stream, *rank)
-	if err != nil {
-		return err
+	var recon []float64
+	var gotDims []int
+	if *verify {
+		if verr := dpz.Verify(stream); verr != nil {
+			fmt.Fprintf(out, "integrity:    CORRUPT (%v)\n", verr)
+			recon, gotDims, err = dpz.DecompressBestEffortFloat64(stream)
+			var ce *dpz.CorruptionError
+			if errors.As(err, &ce) && recon != nil {
+				fmt.Fprintf(out, "best-effort:  recovered %d of %d components\n",
+					ce.RecoveredRank, ce.StoredRank)
+				err = nil
+			}
+			if err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintf(out, "integrity:    OK\n")
+			recon, gotDims, err = dpz.DecompressRankFloat64(stream, *rank)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		recon, gotDims, err = dpz.DecompressRankFloat64(stream, *rank)
+		if err != nil {
+			return err
+		}
 	}
 	if len(gotDims) != len(dims) {
 		return fmt.Errorf("stream dims %v do not match -dims %v", gotDims, dims)

@@ -50,3 +50,51 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("expected decode error for raw file as stream")
 	}
 }
+
+func TestRunVerifyFlag(t *testing.T) {
+	dir := t.TempDir()
+	f := dataset.CESM("FLDSC", 48, 96, 121)
+	orig := filepath.Join(dir, "f.f32")
+	if err := dataset.WriteRawFloat32(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	opts := dpz.StrictOptions()
+	opts.TVE = dpz.Nines(7)
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.K < 2 {
+		t.Fatalf("need K >= 2 for a best-effort fallback test, got %d", res.Stats.K)
+	}
+	comp := filepath.Join(dir, "f.dpz")
+	if err := os.WriteFile(comp, res.Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	// Intact stream: -verify reports OK and stats still print.
+	if err := run([]string{"-dims", "48x96", "-verify", orig, comp}, devnull); err != nil {
+		t.Fatalf("verify on intact stream: %v", err)
+	}
+
+	// Damage the tail of the stream (the last rank's section payload):
+	// -verify must flag it, then succeed via the best-effort decode.
+	bad := append([]byte(nil), res.Data...)
+	bad[len(bad)-8] ^= 0x20
+	badPath := filepath.Join(dir, "bad.dpz")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dims", "48x96", "-verify", orig, badPath}, devnull); err != nil {
+		t.Fatalf("best-effort stat on corrupt stream: %v", err)
+	}
+	// Without -verify the same stream must fail outright.
+	if err := run([]string{"-dims", "48x96", orig, badPath}, devnull); err == nil {
+		t.Fatal("corrupt stream decoded without -verify")
+	}
+}

@@ -342,6 +342,38 @@ func DecompressRankFloat64(buf []byte, rank int) ([]float64, []int, error) {
 	return core.DecompressRank(buf, 0, rank)
 }
 
+// CorruptionError reports checksum or structural damage in a DPZ stream;
+// Verify returns it to name the damaged sections, and DecompressBestEffort
+// returns it alongside partial data to describe what was lost and the
+// rank actually recovered. Match it with errors.As.
+type CorruptionError = core.CorruptionError
+
+// Verify checks a stream's structure and checksums without reconstructing
+// any data — a cheap integrity scan for archived streams. Damaged v2
+// streams yield a *CorruptionError naming the affected sections; v1
+// streams (no checksums) get a structural parse only.
+func Verify(buf []byte) error { return core.Verify(buf) }
+
+// DecompressBestEffort decompresses buf, degrading gracefully when parts
+// of a v2 stream are damaged: if a trailing score or projection region
+// fails its checksum, it reconstructs from the highest intact rank (the
+// progressive-decode property of rank-ordered PCA sections) and returns
+// the partial data together with a *CorruptionError describing what was
+// lost. A fully intact stream returns a nil error.
+func DecompressBestEffort(buf []byte) ([]float32, []int, error) {
+	d, dims, err := DecompressBestEffortFloat64(buf)
+	if d == nil {
+		return nil, dims, err
+	}
+	return stats.Float64To32(d), dims, err
+}
+
+// DecompressBestEffortFloat64 is DecompressBestEffort with
+// double-precision output.
+func DecompressBestEffortFloat64(buf []byte) ([]float64, []int, error) {
+	return core.DecompressBestEffort(buf, 0)
+}
+
 // TuneForPSNR searches the TVE dial ("three-nine" … "eight-nine") for the
 // loosest setting whose reconstruction meets the target PSNR, returning
 // tuned options and the achieved PSNR. The search runs up to six trial

@@ -2,36 +2,66 @@
 // streams: a climate or simulation campaign writes many named fields into
 // one file and reads any of them back without scanning the rest. The
 // layout is append-friendly (entries stream out as they are added; the
-// index lands at the tail):
+// index lands at the tail), and — since version 2 — crash-recoverable:
+// every entry is a self-framing, checksummed record, so a truncated or
+// index-corrupted file can be salvaged by scanning for entry frames.
 //
-//	magic "DPZA" | version u8
-//	per entry: payload bytes
-//	index: count u32, then per entry (nameLen u16, name, offset u64, length u64)
+//	magic "DPZA" | version u8 (= 2)
+//	per entry: magic "DPZE" | nameLen u16 | name | length u64 |
+//	           crc u32 (CRC-32C of payload) | payload
+//	index: count u32, then per entry
+//	       (nameLen u16, name, offset u64 of the entry frame,
+//	        length u64 of the payload, crc u32)
+//	index CRC u32 (CRC-32C of the index bytes)
 //	footer: indexLen u64 | magic "DPZA"
+//
+// Version 1 files (no entry framing, no checksums, index without CRC)
+// remain readable; OpenReader dispatches on the version byte.
 package archive
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+
+	"dpz/internal/integrity"
 )
 
-var magic = []byte("DPZA")
+var (
+	magic      = []byte("DPZA")
+	entryMagic = []byte("DPZE")
+)
 
-const version = 1
+const (
+	version1 = 1
+	version2 = 2
+	version  = version2
+)
+
+// entryFixed is the non-name size of a v2 entry frame: entry magic,
+// nameLen, payload length and CRC.
+const entryFixed = 4 + 2 + 8 + 4
+
+// ErrClosed is returned by Append and Close once the Writer has been
+// closed, so `defer w.Close()` after an explicit Close is harmless and
+// callers can errors.Is the condition.
+var ErrClosed = errors.New("archive: writer closed")
 
 // entry locates one field inside the container.
 type entry struct {
-	name   string
-	offset int64
-	length int64
+	name       string
+	offset     int64 // v2: frame start; v1: payload start
+	payloadOff int64
+	length     int64
+	crc        uint32 // payload CRC-32C (v2 only)
 }
 
 // Writer appends named payloads to an io.Writer and finishes with the
-// index. Close must be called exactly once; the Writer is not safe for
-// concurrent use.
+// index. The Writer is not safe for concurrent use. Close is idempotent:
+// the first call finalizes the file, later calls return ErrClosed.
 type Writer struct {
 	w       io.Writer
 	off     int64
@@ -51,11 +81,11 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return aw, nil
 }
 
-// Append stores payload under name. Names must be unique, non-empty and
-// at most 65535 bytes.
+// Append stores payload under name as a self-framing, checksummed entry.
+// Names must be unique, non-empty and at most 65535 bytes.
 func (a *Writer) Append(name string, payload []byte) error {
 	if a.closed {
-		return errors.New("archive: writer closed")
+		return fmt.Errorf("archive: append after close: %w", ErrClosed)
 	}
 	if name == "" || len(name) > math.MaxUint16 {
 		return fmt.Errorf("archive: invalid field name length %d", len(name))
@@ -63,20 +93,35 @@ func (a *Writer) Append(name string, payload []byte) error {
 	if a.names[name] {
 		return fmt.Errorf("archive: duplicate field %q", name)
 	}
-	n, err := a.w.Write(payload)
+	frame := make([]byte, 0, entryFixed+len(name)+len(payload))
+	frame = append(frame, entryMagic...)
+	var b2 [2]byte
+	binary.LittleEndian.PutUint16(b2[:], uint16(len(name)))
+	frame = append(frame, b2[:]...)
+	frame = append(frame, name...)
+	frame = integrity.AppendFrame(frame, payload)
+	n, err := a.w.Write(frame)
 	if err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
-	a.entries = append(a.entries, entry{name: name, offset: a.off, length: int64(n)})
+	headerLen := int64(entryFixed + len(name))
+	a.entries = append(a.entries, entry{
+		name:       name,
+		offset:     a.off,
+		payloadOff: a.off + headerLen,
+		length:     int64(len(payload)),
+		crc:        integrity.Checksum(payload),
+	})
 	a.names[name] = true
 	a.off += int64(n)
 	return nil
 }
 
-// Close writes the index and footer.
+// Close writes the checksummed index and footer. A second Close returns
+// ErrClosed without writing anything.
 func (a *Writer) Close() error {
 	if a.closed {
-		return errors.New("archive: writer closed")
+		return ErrClosed
 	}
 	a.closed = true
 	var idx []byte
@@ -92,8 +137,14 @@ func (a *Writer) Close() error {
 		idx = append(idx, b8[:]...)
 		binary.LittleEndian.PutUint64(b8[:], uint64(e.length))
 		idx = append(idx, b8[:]...)
+		binary.LittleEndian.PutUint32(b8[:4], e.crc)
+		idx = append(idx, b8[:4]...)
 	}
 	if _, err := a.w.Write(idx); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(idx))
+	if _, err := a.w.Write(b8[:4]); err != nil {
 		return fmt.Errorf("archive: %w", err)
 	}
 	binary.LittleEndian.PutUint64(b8[:], uint64(len(idx)))
@@ -106,15 +157,49 @@ func (a *Writer) Close() error {
 	return nil
 }
 
+// Options configures OpenReader's fallback behaviour.
+type Options struct {
+	// AllowRecovery falls back to an entry-frame scan (Recover) when a v2
+	// archive's tail index is missing, truncated or fails its checksum —
+	// the crash-recovery path for torn writes. v1 archives have no entry
+	// frames and cannot be recovered this way.
+	AllowRecovery bool
+}
+
 // Reader provides random access to a finished container.
 type Reader struct {
-	r       io.ReaderAt
-	entries []entry
-	byName  map[string]int
+	r         io.ReaderAt
+	version   int
+	entries   []entry
+	byName    map[string]int
+	recovered bool
 }
 
 // OpenReader parses the index of a container of the given total size.
 func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
+	return Open(r, size, Options{})
+}
+
+// Open parses a container, optionally falling back to frame-scan
+// recovery when the index is unusable (see Options.AllowRecovery).
+func Open(r io.ReaderAt, size int64, o Options) (*Reader, error) {
+	rd, err := openIndexed(r, size)
+	if err == nil || !o.AllowRecovery {
+		return rd, err
+	}
+	head := make([]byte, len(magic)+1)
+	if _, herr := r.ReadAt(head, 0); herr != nil || !bytes.Equal(head[:4], magic) || head[4] != version2 {
+		return nil, err // not a v2 archive; nothing to scan for
+	}
+	rec, rerr := Recover(r, size)
+	if rerr != nil {
+		return nil, fmt.Errorf("%w (recovery scan also failed: %v)", err, rerr)
+	}
+	return rec, nil
+}
+
+// openIndexed is the fast path: parse the tail index.
+func openIndexed(r io.ReaderAt, size int64) (*Reader, error) {
 	if size < int64(len(magic)+1+8+len(magic)) {
 		return nil, errors.New("archive: too short")
 	}
@@ -122,44 +207,62 @@ func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
 	if _, err := r.ReadAt(head, 0); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	if string(head[:4]) != string(magic) {
+	if !bytes.Equal(head[:4], magic) {
 		return nil, errors.New("archive: bad magic")
 	}
-	if head[4] != version {
+	switch head[4] {
+	case version1, version2:
+	default:
 		return nil, fmt.Errorf("archive: unsupported version %d", head[4])
 	}
+	ver := int(head[4])
 	foot := make([]byte, 8+len(magic))
 	if _, err := r.ReadAt(foot, size-int64(len(foot))); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	if string(foot[8:]) != string(magic) {
+	if !bytes.Equal(foot[8:], magic) {
 		return nil, errors.New("archive: bad footer magic")
 	}
 	idxLen := int64(binary.LittleEndian.Uint64(foot[:8]))
-	idxStart := size - int64(len(foot)) - idxLen
+	tail := int64(len(foot))
+	if ver == version2 {
+		tail += 4 // index CRC between index and footer
+	}
+	idxStart := size - tail - idxLen
 	if idxLen < 4 || idxStart < int64(len(head)) {
 		return nil, errors.New("archive: corrupt index size")
 	}
-	idx := make([]byte, idxLen)
-	if _, err := r.ReadAt(idx, idxStart); err != nil {
+	idxBuf := make([]byte, idxLen+tail-int64(len(foot)))
+	if _, err := r.ReadAt(idxBuf, idxStart); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
+	idx := idxBuf[:idxLen]
+	if ver == version2 {
+		want := binary.LittleEndian.Uint32(idxBuf[idxLen:])
+		if got := integrity.Checksum(idx); got != want {
+			return nil, fmt.Errorf("archive: index %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
+		}
+	}
 	count := int(binary.LittleEndian.Uint32(idx[:4]))
-	// Each entry needs at least 18 index bytes (nameLen + empty-name
-	// bound + offset + length); a larger declared count is corruption and
-	// must not pre-size the lookup map (found by FuzzOpenReader).
-	if count > (len(idx)-4)/18 {
+	// Each index entry needs at least 18 (v1) / 22 (v2) bytes; a larger
+	// declared count is corruption and must not pre-size the lookup map
+	// (found by FuzzOpenReader).
+	entryMin := 18
+	if ver == version2 {
+		entryMin = 22
+	}
+	if count > (len(idx)-4)/entryMin {
 		return nil, fmt.Errorf("archive: index declares %d entries in %d bytes", count, len(idx))
 	}
 	pos := 4
-	rd := &Reader{r: r, byName: make(map[string]int, count)}
+	rd := &Reader{r: r, version: ver, byName: make(map[string]int, count)}
 	for i := 0; i < count; i++ {
 		if pos+2 > len(idx) {
 			return nil, errors.New("archive: truncated index")
 		}
 		nameLen := int(binary.LittleEndian.Uint16(idx[pos:]))
 		pos += 2
-		if pos+nameLen+16 > len(idx) {
+		if pos+nameLen+entryMin-2 > len(idx) {
 			return nil, errors.New("archive: truncated index entry")
 		}
 		name := string(idx[pos : pos+nameLen])
@@ -168,19 +271,130 @@ func OpenReader(r io.ReaderAt, size int64) (*Reader, error) {
 		pos += 8
 		length := int64(binary.LittleEndian.Uint64(idx[pos:]))
 		pos += 8
-		if off < int64(len(head)) || length < 0 || off+length > idxStart {
+		e := entry{name: name, offset: off, payloadOff: off, length: length}
+		if ver == version2 {
+			e.crc = binary.LittleEndian.Uint32(idx[pos:])
+			pos += 4
+			e.payloadOff = off + int64(entryFixed+nameLen)
+		}
+		if off < int64(len(head)) || length < 0 || e.payloadOff+length > idxStart {
 			return nil, fmt.Errorf("archive: entry %q out of bounds", name)
 		}
 		if _, dup := rd.byName[name]; dup {
 			return nil, fmt.Errorf("archive: duplicate entry %q", name)
 		}
 		rd.byName[name] = len(rd.entries)
-		rd.entries = append(rd.entries, entry{name: name, offset: off, length: length})
+		rd.entries = append(rd.entries, e)
 	}
 	if pos != len(idx) {
 		return nil, errors.New("archive: trailing index bytes")
 	}
 	return rd, nil
+}
+
+// Recover scans a v2 container for intact entry frames, ignoring the
+// tail index entirely: the salvage path for truncated or index-corrupted
+// archives. Every frame whose structure and payload checksum are intact
+// becomes a readable field; damaged regions are skipped. When the same
+// name appears in several intact frames the first one wins.
+func Recover(r io.ReaderAt, size int64) (*Reader, error) {
+	head := make([]byte, len(magic)+1)
+	if size < int64(len(head)) {
+		return nil, errors.New("archive: too short to recover")
+	}
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if !bytes.Equal(head[:4], magic) {
+		return nil, errors.New("archive: bad magic")
+	}
+	if head[4] != version2 {
+		return nil, fmt.Errorf("archive: version %d archives have no entry frames to recover", head[4])
+	}
+	rd := &Reader{r: r, version: version2, byName: make(map[string]int), recovered: true}
+	pos := int64(len(head))
+	for pos+int64(entryFixed) <= size {
+		off, found, err := findFrameMagic(r, pos, size)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			break
+		}
+		e, frameLen, ok := tryFrame(r, off, size)
+		if !ok {
+			pos = off + 1 // resync: the magic was a payload coincidence or the frame is damaged
+			continue
+		}
+		if _, dup := rd.byName[e.name]; dup {
+			pos = off + frameLen
+			continue
+		}
+		rd.byName[e.name] = len(rd.entries)
+		rd.entries = append(rd.entries, e)
+		pos = off + frameLen
+	}
+	return rd, nil
+}
+
+// findFrameMagic locates the next "DPZE" at or after pos, reading in
+// chunks with a 3-byte overlap so matches spanning chunk edges are found.
+func findFrameMagic(r io.ReaderAt, pos, size int64) (int64, bool, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	for pos < size {
+		n := int64(len(buf))
+		if pos+n > size {
+			n = size - pos
+		}
+		if _, err := r.ReadAt(buf[:n], pos); err != nil && err != io.EOF {
+			return 0, false, fmt.Errorf("archive: recovery scan: %w", err)
+		}
+		if i := bytes.Index(buf[:n], entryMagic); i >= 0 {
+			return pos + int64(i), true, nil
+		}
+		if pos+n >= size {
+			break
+		}
+		pos += n - int64(len(entryMagic)-1)
+	}
+	return 0, false, nil
+}
+
+// tryFrame validates the entry frame at off: structural bounds, then the
+// payload checksum. It returns the entry and the total frame length.
+func tryFrame(r io.ReaderAt, off, size int64) (entry, int64, bool) {
+	hdr := make([]byte, 6)
+	if off+int64(entryFixed) > size {
+		return entry{}, 0, false
+	}
+	if _, err := r.ReadAt(hdr, off); err != nil {
+		return entry{}, 0, false
+	}
+	nameLen := int64(binary.LittleEndian.Uint16(hdr[4:]))
+	if nameLen == 0 || off+int64(entryFixed)+nameLen > size {
+		return entry{}, 0, false
+	}
+	rest := make([]byte, nameLen+12)
+	if _, err := r.ReadAt(rest, off+6); err != nil {
+		return entry{}, 0, false
+	}
+	name := string(rest[:nameLen])
+	length := binary.LittleEndian.Uint64(rest[nameLen:])
+	crc := binary.LittleEndian.Uint32(rest[nameLen+8:])
+	payloadOff := off + int64(entryFixed) + nameLen
+	if length > uint64(size) || payloadOff+int64(length) > size {
+		return entry{}, 0, false
+	}
+	payload := make([]byte, length)
+	if _, err := r.ReadAt(payload, payloadOff); err != nil {
+		return entry{}, 0, false
+	}
+	if integrity.Checksum(payload) != crc {
+		return entry{}, 0, false
+	}
+	e := entry{name: name, offset: off, payloadOff: payloadOff, length: int64(length), crc: crc}
+	return e, int64(entryFixed) + nameLen + int64(length), true
 }
 
 // Names lists the stored fields in append order.
@@ -195,7 +409,16 @@ func (r *Reader) Names() []string {
 // Len returns the number of stored fields.
 func (r *Reader) Len() int { return len(r.entries) }
 
-// Payload reads the raw bytes of the named field.
+// Version reports the container format version (1 or 2).
+func (r *Reader) Version() int { return r.version }
+
+// Recovered reports whether this Reader came from a frame-scan salvage
+// rather than the tail index.
+func (r *Reader) Recovered() bool { return r.recovered }
+
+// Payload reads the raw bytes of the named field. For v2 containers the
+// payload checksum is verified on every read; a mismatch surfaces as an
+// error wrapping integrity.ErrCRC.
 func (r *Reader) Payload(name string) ([]byte, error) {
 	i, ok := r.byName[name]
 	if !ok {
@@ -203,8 +426,33 @@ func (r *Reader) Payload(name string) ([]byte, error) {
 	}
 	e := r.entries[i]
 	buf := make([]byte, e.length)
-	if _, err := r.r.ReadAt(buf, e.offset); err != nil {
+	if _, err := r.r.ReadAt(buf, e.payloadOff); err != nil {
 		return nil, fmt.Errorf("archive: reading %q: %w", name, err)
 	}
+	if r.version >= version2 {
+		if got := integrity.Checksum(buf); got != e.crc {
+			return nil, fmt.Errorf("archive: field %q %w (stored %08x, computed %08x)", name, integrity.ErrCRC, e.crc, got)
+		}
+	}
 	return buf, nil
+}
+
+// FieldStatus reports one field's integrity from Verify.
+type FieldStatus struct {
+	Name   string
+	Length int64
+	OK     bool
+	Err    error // nil when OK
+}
+
+// Verify reads every field and checks its payload checksum (v2; v1
+// archives carry no checksums, so only readability is checked). The
+// archive's structure was already validated when the Reader was opened.
+func (r *Reader) Verify() []FieldStatus {
+	out := make([]FieldStatus, 0, len(r.entries))
+	for _, e := range r.entries {
+		_, err := r.Payload(e.name)
+		out = append(out, FieldStatus{Name: e.name, Length: e.length, OK: err == nil, Err: err})
+	}
+	return out
 }

@@ -2,11 +2,18 @@ package archive
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"testing"
+
+	"dpz/internal/integrity"
 )
 
-// FuzzOpenReader drives the container index parser with arbitrary bytes:
-// never panic; accepted archives must serve every listed payload.
+// FuzzOpenReader drives the container parsers (indexed fast path and
+// frame-scan recovery) with arbitrary bytes: never panic; accepted
+// archives must serve every listed payload, where for v2 a checksum
+// mismatch (integrity.ErrCRC) is a valid outcome of a mutated payload —
+// detection, not acceptance.
 func FuzzOpenReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
@@ -16,15 +23,21 @@ func FuzzOpenReader(f *testing.F) {
 	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("DPZA\x01"))
+	f.Add([]byte("DPZA\x02DPZE"))
+	if golden, err := os.ReadFile("testdata/golden_v1.dpza"); err == nil {
+		f.Add(golden)
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
-		r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
-		if err != nil {
-			return
-		}
-		for _, name := range r.Names() {
-			if _, err := r.Payload(name); err != nil {
-				t.Fatalf("accepted archive cannot read %q: %v", name, err)
+		for _, o := range []Options{{}, {AllowRecovery: true}} {
+			r, err := Open(bytes.NewReader(raw), int64(len(raw)), o)
+			if err != nil {
+				continue
+			}
+			for _, name := range r.Names() {
+				if _, err := r.Payload(name); err != nil && !errors.Is(err, integrity.ErrCRC) {
+					t.Fatalf("accepted archive cannot read %q: %v", name, err)
+				}
 			}
 		}
 	})

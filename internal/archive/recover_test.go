@@ -1,0 +1,328 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"dpz/internal/integrity"
+)
+
+// buildV2 writes a deterministic v2 archive with the given fields in
+// order and returns its bytes.
+func buildV2(t *testing.T, names []string, fields map[string][]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if err := w.Append(name, fields[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testFields() ([]string, map[string][]byte) {
+	names := []string{"fldsc", "phis", "t850", "u200"}
+	return names, map[string][]byte{
+		"fldsc": bytes.Repeat([]byte("abcdefg"), 400),
+		"phis":  bytes.Repeat([]byte{0x00, 0xFF, 0x7C}, 500),
+		"t850":  []byte("short"),
+		"u200":  bytes.Repeat([]byte{9}, 2048),
+	}
+}
+
+func TestGoldenV1ArchiveStillReads(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_v1.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[4] != version1 {
+		t.Fatalf("golden archive version = %d, want 1", raw[4])
+	}
+	r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("v1 archive no longer opens: %v", err)
+	}
+	if r.Version() != version1 {
+		t.Fatalf("Version() = %d", r.Version())
+	}
+	want := map[string][]byte{
+		"fldsc": []byte("payload-one-fldsc"),
+		"phis":  bytes.Repeat([]byte{0xAB, 0x00, 0x7F}, 100),
+		"t850":  {},
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "fldsc" || names[1] != "phis" || names[2] != "t850" {
+		t.Fatalf("names = %v", names)
+	}
+	for name, w := range want {
+		got, err := r.Payload(name)
+		if err != nil {
+			t.Fatalf("payload %q: %v", name, err)
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("payload %q no longer byte-identical", name)
+		}
+	}
+	// v1 archives cannot be frame-recovered, and Open must say so rather
+	// than silently degrade.
+	if _, err := Recover(bytes.NewReader(raw), int64(len(raw))); err == nil {
+		t.Fatal("Recover accepted a v1 archive")
+	}
+	for _, st := range r.Verify() {
+		if !st.OK {
+			t.Fatalf("v1 verify flagged %q: %v", st.Name, st.Err)
+		}
+	}
+}
+
+func TestV2PayloadChecksumOnRead(t *testing.T) {
+	names, fields := testFields()
+	raw := buildV2(t, names, fields)
+	// Flip one byte in the middle of a payload: exactly that field must
+	// fail its read and its verify, all others stay intact.
+	r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := "phis"
+	i := r.byName[target]
+	bad := append([]byte(nil), raw...)
+	bad[r.entries[i].payloadOff+r.entries[i].length/2] ^= 0x01
+
+	br, err := OpenReader(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatalf("index should still open: %v", err)
+	}
+	if _, err := br.Payload(target); !errors.Is(err, integrity.ErrCRC) {
+		t.Fatalf("corrupted payload read = %v, want ErrCRC", err)
+	}
+	var flagged []string
+	for _, st := range br.Verify() {
+		if !st.OK {
+			flagged = append(flagged, st.Name)
+		}
+	}
+	if len(flagged) != 1 || flagged[0] != target {
+		t.Fatalf("verify flagged %v, want exactly [%s]", flagged, target)
+	}
+	for _, name := range names {
+		if name == target {
+			continue
+		}
+		got, err := br.Payload(name)
+		if err != nil || !bytes.Equal(got, fields[name]) {
+			t.Fatalf("undamaged field %q unreadable: %v", name, err)
+		}
+	}
+}
+
+func TestRecoverFromTruncation(t *testing.T) {
+	names, fields := testFields()
+	raw := buildV2(t, names, fields)
+	// Cut the file mid-way through the last entry: the index and the tail
+	// entry are gone; everything before must be salvageable.
+	cut := raw[:len(raw)-int(int64(len(fields["u200"]))/2)-200]
+	if _, err := OpenReader(bytes.NewReader(cut), int64(len(cut))); err == nil {
+		t.Fatal("truncated archive opened via index")
+	}
+	r, err := Open(bytes.NewReader(cut), int64(len(cut)), Options{AllowRecovery: true})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if !r.Recovered() {
+		t.Fatal("reader does not report recovery")
+	}
+	got := r.Names()
+	if len(got) != 3 {
+		t.Fatalf("recovered %v, want the first three fields", got)
+	}
+	for _, name := range names[:3] {
+		p, err := r.Payload(name)
+		if err != nil || !bytes.Equal(p, fields[name]) {
+			t.Fatalf("recovered field %q wrong: %v", name, err)
+		}
+	}
+}
+
+func TestRecoverFromCorruptIndex(t *testing.T) {
+	names, fields := testFields()
+	raw := buildV2(t, names, fields)
+	// Damage one byte inside the index region: the CRC'd index must be
+	// rejected and recovery must restore every field.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-20] ^= 0xFF
+	if _, err := OpenReader(bytes.NewReader(bad), int64(len(bad))); err == nil {
+		t.Fatal("corrupt index accepted")
+	}
+	r, err := Open(bytes.NewReader(bad), int64(len(bad)), Options{AllowRecovery: true})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if got := r.Names(); len(got) != len(names) {
+		t.Fatalf("recovered %v, want all %d fields", got, len(names))
+	}
+	for _, name := range names {
+		p, err := r.Payload(name)
+		if err != nil || !bytes.Equal(p, fields[name]) {
+			t.Fatalf("recovered field %q wrong: %v", name, err)
+		}
+	}
+}
+
+func TestRecoverSkipsDamagedEntry(t *testing.T) {
+	names, fields := testFields()
+	raw := buildV2(t, names, fields)
+	// One bit flipped in one field's payload: Recover must salvage every
+	// other field intact and drop the damaged one.
+	r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := "fldsc"
+	e := r.entries[r.byName[target]]
+	bad := append([]byte(nil), raw...)
+	bad[e.payloadOff+e.length/2] ^= 0x10
+
+	rec, err := Recover(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Payload(target); err == nil {
+		t.Fatalf("damaged field %q recovered as intact", target)
+	}
+	for _, name := range names {
+		if name == target {
+			continue
+		}
+		p, err := rec.Payload(name)
+		if err != nil || !bytes.Equal(p, fields[name]) {
+			t.Fatalf("field %q lost during recovery: %v", name, err)
+		}
+	}
+}
+
+// TestRecoverPayloadContainingFrameMagic plants "DPZE" inside a payload:
+// the scanner must not be fooled into misparsing the archive.
+func TestRecoverPayloadContainingFrameMagic(t *testing.T) {
+	decoy := append([]byte("DPZE"), 0x02, 0x00, 'x', 'x')
+	decoy = append(decoy, bytes.Repeat([]byte{1}, 64)...)
+	names := []string{"real1", "decoy", "real2"}
+	fields := map[string][]byte{
+		"real1": []byte("first payload"),
+		"decoy": decoy,
+		"real2": []byte("last payload"),
+	}
+	raw := buildV2(t, names, fields)
+	rec, err := Recover(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		p, err := rec.Payload(name)
+		if err != nil || !bytes.Equal(p, fields[name]) {
+			t.Fatalf("field %q wrong after scan with embedded magic: %v", name, err)
+		}
+	}
+}
+
+func TestWriterCloseSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close = %v, want ErrClosed", err)
+	}
+	if err := w.Append("b", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+	// The file written before the double close must still be valid.
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestNameBoundaries(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("", []byte("x")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	maxName := strings.Repeat("n", 65535)
+	if err := w.Append(maxName, []byte("max-name payload")); err != nil {
+		t.Fatalf("65535-byte name rejected: %v", err)
+	}
+	if err := w.Append(maxName, []byte("dup")); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := w.Append(maxName+"n", []byte("x")); err == nil {
+		t.Fatal("65536-byte name accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Payload(maxName)
+	if err != nil || string(got) != "max-name payload" {
+		t.Fatalf("max-length name round trip: %v", err)
+	}
+	// The long-named entry must survive frame recovery too.
+	rec, err := Recover(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := rec.Payload(maxName); err != nil || string(got) != "max-name payload" {
+		t.Fatalf("max-length name recovery: %v", err)
+	}
+}
+
+// TestOpenNeverPanicsOnCorruption sweeps the fault harness over both the
+// indexed and recovery open paths.
+func TestOpenNeverPanicsOnCorruption(t *testing.T) {
+	names, fields := testFields()
+	raw := buildV2(t, names, fields)
+	integrity.ForEach(raw, 256, func(f integrity.Fault, corrupted []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("open panicked on %s: %v", f, r)
+			}
+		}()
+		r, err := Open(bytes.NewReader(corrupted), int64(len(corrupted)), Options{AllowRecovery: true})
+		if err != nil {
+			return
+		}
+		for _, name := range r.Names() {
+			p, err := r.Payload(name)
+			if err == nil && len(p) != int(r.entries[r.byName[name]].length) {
+				t.Fatalf("%s: payload %q length mismatch", f, name)
+			}
+		}
+	})
+}

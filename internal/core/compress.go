@@ -217,7 +217,16 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	// width 2·P·range sets a quantization noise floor proportional to the
 	// data scale; large leading-component scores escape to the literal
 	// stream and are saved as float32, as in the paper's Section IV-C.
+	//
+	// Each component's scores are quantized into their own stream: the v2
+	// container checksums and stores rank regions independently, so a
+	// damaged tail still decodes best-effort from the leading components.
+	// Quantization is elementwise, so the per-column split reconstructs
+	// identically to the joint stream.
 	t0 = time.Now()
+	if 2*k+2 > math.MaxUint16 {
+		return nil, fmt.Errorf("core: %d components exceed the container's section table", k)
+	}
 	r := stats.Range(data)
 	pa := p.P * r
 	if pa == 0 || math.IsNaN(pa) || math.IsInf(pa, 0) {
@@ -228,12 +237,20 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		return nil, fmt.Errorf("core: quantizer: %w", err)
 	}
 	qz.Lit32 = elemBytes == 4
-	enc := qz.Encode(scores.Data(), p.Workers)
-	st.OutOfRange = enc.OutOfRange()
+	encs := make([]*quant.Encoded, k)
+	col := make([]float64, shape.N)
+	for j := 0; j < k; j++ {
+		for i := 0; i < shape.N; i++ {
+			col[i] = scores.At(i, j)
+		}
+		encs[j] = qz.Encode(col, p.Workers)
+		st.OutOfRange += encs[j].OutOfRange()
+	}
 	st.TimeQuant = time.Since(t0)
 
 	// Assemble + zlib. The projection matrix is quantized per column with
-	// an error budget tied to the Stage 3 bound (see projcodec.go).
+	// an error budget tied to the Stage 3 bound (see projcodec.go); each
+	// column becomes its own section next to its score stream.
 	t0 = time.Now()
 	proj := model.ProjectionMatrix(k)
 	colScale := make([]float64, k)
@@ -245,11 +262,28 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 			}
 		}
 	}
-	var projSec []byte
-	if p.RawProjection {
-		projSec = float32Bytes(proj.Data())
-	} else {
-		projSec = encodeProjection(proj, colScale, pa)
+	// The per-entry budget is Pa/(2·√K·max|y_j|) with K the total kept
+	// components; encoding one column at a time, the √K factor is folded
+	// into the bound handed to the codec.
+	paCol := pa / math.Sqrt(float64(k))
+	scoreSecs := make([][]byte, k)
+	projSecs := make([][]byte, k)
+	projBytes := 0
+	pcol := make([]float64, shape.M)
+	for j := 0; j < k; j++ {
+		if p.HuffmanIndices {
+			scoreSecs[j] = encs[j].MarshalHuffman()
+		} else {
+			scoreSecs[j] = encs[j].Marshal()
+		}
+		proj.Col(j, pcol)
+		if p.RawProjection {
+			projSecs[j] = float32Bytes(pcol)
+		} else {
+			colMat := mat.NewDenseData(shape.M, 1, append([]float64(nil), pcol...))
+			projSecs[j] = encodeProjection(colMat, colScale[j:j+1], paCol)
+		}
+		projBytes += len(projSecs[j])
 	}
 	h := header{
 		width:   uint8(p.Width),
@@ -259,20 +293,10 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		n:       shape.N,
 		k:       k,
 	}
-	var quantSec []byte
-	if p.HuffmanIndices {
-		quantSec = enc.MarshalHuffman()
-	} else {
-		quantSec = enc.Marshal()
-	}
-	sections := [][]byte{
-		quantSec,
-		projSec,
-		float32Bytes(model.Means),
-	}
+	var scalesSec []byte
 	if st.Standardized {
 		h.flags |= flagStandardized
-		sections = append(sections, float32Bytes(model.Scales))
+		scalesSec = float32Bytes(model.Scales)
 	}
 	if p.SkipDCT {
 		h.flags |= flagNoDCT
@@ -286,7 +310,7 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	if p.UseWavelet {
 		h.flags |= flagWavelet
 	}
-	out, rawTotal := encodeContainer(h, sections)
+	out, rawTotal := encodeContainer(h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec)
 	st.TimeZlib = time.Since(t0)
 
 	// CR accounting on the float32 basis. Stage 1&2 output: N·k scores +
@@ -298,7 +322,10 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		meanBytes += 4 * shape.M
 	}
 	stage12Bytes := elemBytes*shape.N*k + 4*shape.M*k + meanBytes
-	stage3Bytes := enc.RawSize() + len(projSec) + meanBytes
+	stage3Bytes := projBytes + meanBytes
+	for _, enc := range encs {
+		stage3Bytes += enc.RawSize()
+	}
 	st.CompressedBytes = len(out)
 	st.CRTotal = stats.CompressionRatio(st.OrigBytes, len(out))
 	st.CRStage12 = stats.CompressionRatio(st.OrigBytes, stage12Bytes)
@@ -312,14 +339,18 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		if st.Standardized {
 			scalesF32, _ = float32FromBytes(float32Bytes(model.Scales))
 		}
-		var projR *mat.Dense
-		if p.RawProjection {
-			projF32, _ := float32FromBytes(projSec)
-			projR = mat.NewDenseData(shape.M, k, projF32)
-		} else {
-			projR, err = decodeProjection(projSec, shape.M, k)
-			if err != nil {
-				return nil, err
+		projR := mat.NewDense(shape.M, k)
+		for j := 0; j < k; j++ {
+			if p.RawProjection {
+				pcolR, _ := float32FromBytes(projSecs[j])
+				projR.SetCol(j, pcolR)
+			} else {
+				pm, err := decodeProjection(projSecs[j], shape.M, 1)
+				if err != nil {
+					return nil, err
+				}
+				pm.Col(0, pcol)
+				projR.SetCol(j, pcol)
 			}
 		}
 
@@ -329,11 +360,15 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		}
 		st.Stage12PSNR = stats.PSNR(data, stage12)
 
-		deq, err := enc.Decode()
-		if err != nil {
-			return nil, err
+		deqMat := mat.NewDense(shape.N, k)
+		for j := 0; j < k; j++ {
+			deq, err := encs[j].Decode()
+			if err != nil {
+				return nil, err
+			}
+			deqMat.SetCol(j, deq)
 		}
-		final, err := reconstruct(mat.NewDenseData(shape.N, k, deq), projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet))
+		final, err := reconstruct(deqMat, projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet))
 		if err != nil {
 			return nil, err
 		}

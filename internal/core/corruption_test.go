@@ -1,15 +1,30 @@
 package core
 
 import (
-	"fmt"
+	"errors"
 	"math/rand"
 	"testing"
+
+	"dpz/internal/integrity"
 )
 
-// TestDecompressNeverPanicsOnCorruption flips bytes at many positions of a
-// valid stream and at random positions of random garbage: Decompress must
-// always return an error or (for benign flips in zlib-recoverable areas)
-// data — never panic. A panic in a decoder is a denial-of-service bug.
+// checkShape fails the test when an accepted reconstruction does not
+// match its declared dimensions.
+func checkShape(t *testing.T, label string, out []float64, dims []int) {
+	t.Helper()
+	total := 1
+	for _, d := range dims {
+		total *= d
+	}
+	if total != len(out) {
+		t.Fatalf("%s: accepted stream with inconsistent shape (dims %v, %d values)", label, dims, len(out))
+	}
+}
+
+// TestDecompressNeverPanicsOnCorruption sweeps the deterministic fault
+// harness (bit flips, byte zeroes, truncations) over a valid stream and
+// feeds random garbage: Decompress must always return an error or data —
+// never panic. A panic in a decoder is a denial-of-service bug.
 func TestDecompressNeverPanicsOnCorruption(t *testing.T) {
 	f := smoothField()
 	c, err := Compress(f.Data, f.Dims, DPZL())
@@ -24,33 +39,13 @@ func TestDecompressNeverPanicsOnCorruption(t *testing.T) {
 		}()
 		out, dims, err := Decompress(buf, 1)
 		if err == nil {
-			// Accepted streams must at least be shape-consistent.
-			total := 1
-			for _, d := range dims {
-				total *= d
-			}
-			if total != len(out) {
-				t.Fatalf("%s: accepted stream with inconsistent shape", label)
-			}
+			checkShape(t, label, out, dims)
 		}
 	}
 
-	// Single-byte flips across the whole stream (sampled stride keeps the
-	// test fast while covering header, section table and payloads).
-	stride := len(c.Bytes)/512 + 1
-	for pos := 0; pos < len(c.Bytes); pos += stride {
-		for _, x := range []byte{0xFF, 0x01, 0x80} {
-			buf := make([]byte, len(c.Bytes))
-			copy(buf, c.Bytes)
-			buf[pos] ^= x
-			try(buf, fmt.Sprintf("flip at %d", pos))
-		}
-	}
-
-	// Truncations at every sampled length.
-	for l := 0; l < len(c.Bytes); l += stride {
-		try(c.Bytes[:l], fmt.Sprintf("truncate to %d", l))
-	}
+	integrity.ForEach(c.Bytes, 512, func(fault integrity.Fault, corrupted []byte) {
+		try(corrupted, fault.String())
+	})
 
 	// Random garbage with a valid magic prefix.
 	rng := rand.New(rand.NewSource(99))
@@ -62,6 +57,85 @@ func TestDecompressNeverPanicsOnCorruption(t *testing.T) {
 			copy(buf, magic[:])
 			buf[4] = formatVersion
 		}
-		try(buf, fmt.Sprintf("garbage trial %d", trial))
+		try(buf, "garbage trial")
 	}
+}
+
+// TestBestEffortNeverPanicsOnCorruption runs the same sweep through
+// DecompressBestEffort: it must never panic, never return
+// shape-inconsistent data, and any partial result must come with a
+// *CorruptionError that names what was lost.
+func TestBestEffortNeverPanicsOnCorruption(t *testing.T) {
+	f := smoothField()
+	p := DPZS()
+	p.TVE = NinesTVE(7)
+	c, err := Compress(f.Data, f.Dims, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.K < 2 {
+		t.Fatalf("sweep stream has K=%d, need >= 2", c.Stats.K)
+	}
+	try := func(buf []byte, label string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecompressBestEffort panicked on %s: %v", label, r)
+			}
+		}()
+		out, dims, err := DecompressBestEffort(buf, 1)
+		if out != nil {
+			checkShape(t, label, out, dims)
+		}
+		if out != nil && err != nil {
+			// Partial data must be accompanied by a corruption report with
+			// a meaningful recovered rank.
+			var ce *CorruptionError
+			if !errors.As(err, &ce) {
+				t.Fatalf("%s: partial data with non-corruption error %v", label, err)
+			}
+			if ce.RecoveredRank < 1 || ce.RecoveredRank > ce.StoredRank {
+				t.Fatalf("%s: implausible recovered rank %d of %d", label, ce.RecoveredRank, ce.StoredRank)
+			}
+			if len(ce.Sections) == 0 {
+				t.Fatalf("%s: corruption error names no sections", label)
+			}
+		}
+	}
+
+	// Fewer samples than the plain-Decompress sweep: most faults here lead
+	// to a successful (and costly) partial reconstruction, not a cheap
+	// parse error.
+	integrity.ForEach(c.Bytes, 128, func(fault integrity.Fault, corrupted []byte) {
+		try(corrupted, fault.String())
+	})
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(4096)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if n >= 5 {
+			copy(buf, magic[:])
+			buf[4] = formatVersion
+		}
+		try(buf, "garbage trial")
+	}
+}
+
+// TestVerifyNeverPanicsOnCorruption sweeps Verify as well: the integrity
+// checker itself must be safe on arbitrary damage.
+func TestVerifyNeverPanicsOnCorruption(t *testing.T) {
+	f := smoothField()
+	c, err := Compress(f.Data, f.Dims, DPZL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	integrity.ForEach(c.Bytes, 512, func(fault integrity.Fault, corrupted []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Verify panicked on %s: %v", fault, r)
+			}
+		}()
+		_ = Verify(corrupted)
+	})
 }

@@ -21,21 +21,71 @@ func Decompress(buf []byte, workers int) ([]float64, []int, error) {
 // components of the stored k (0 means all). An information-oriented stream
 // is consistent at any reconstruction level (the paper's Section IV-C
 // note), so this acts as progressive decompression: a cheap preview from a
-// few components, full fidelity from all of them.
+// few components, full fidelity from all of them. For v2 streams the
+// trailing rank sections are not even inflated.
 func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
-	h, sections, err := decodeContainer(buf)
+	c, err := decodeContainer(buf)
 	if err != nil {
 		return nil, nil, err
 	}
-	wantSections := 3
-	if h.flags&flagStandardized != 0 {
-		wantSections = 4
+	return decompressParsed(c, workers, rank)
+}
+
+// decompressParsed reconstructs from an already-parsed container. It is
+// shared by DecompressRank and DecompressBestEffort (which hands in a
+// container whose damaged trailing rank sections were dropped).
+func decompressParsed(c container, workers, rank int) ([]float64, []int, error) {
+	h := c.h
+	if rank < 0 || rank > h.k {
+		return nil, nil, fmt.Errorf("core: rank %d out of [0,%d]", rank, h.k)
 	}
-	if len(sections) != wantSections {
-		return nil, nil, fmt.Errorf("core: %d sections, want %d", len(sections), wantSections)
+	useK := h.k
+	if rank != 0 {
+		useK = rank
 	}
 
-	enc, err := quant.Unmarshal(sections[0])
+	means, err := float32FromBytes(c.means)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(means) != h.m {
+		return nil, nil, fmt.Errorf("core: means size %d != M = %d", len(means), h.m)
+	}
+	var scales []float64
+	if h.flags&flagStandardized != 0 {
+		scales, err = float32FromBytes(c.scales)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(scales) != h.m {
+			return nil, nil, fmt.Errorf("core: scales size %d != M = %d", len(scales), h.m)
+		}
+	}
+
+	var y, proj *mat.Dense
+	if c.version == formatV1 {
+		y, proj, err = assembleV1(c, useK)
+	} else {
+		y, proj, err = assembleV2(c, useK)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
+	data, err := reconstruct(y, proj, means, scales, shape, h.origLen, workers,
+		transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0))
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, h.dims, nil
+}
+
+// assembleV1 decodes the joint v1 score stream and projection matrix,
+// truncating both to the leading useK components.
+func assembleV1(c container, useK int) (*mat.Dense, *mat.Dense, error) {
+	h := c.h
+	enc, err := quant.Unmarshal(c.scores[0])
 	if err != nil {
 		return nil, nil, err
 	}
@@ -49,7 +99,7 @@ func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
 
 	var proj *mat.Dense
 	if h.flags&flagRawProj != 0 {
-		projF32, err := float32FromBytes(sections[1])
+		projF32, err := float32FromBytes(c.proj[0])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -58,53 +108,67 @@ func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
 		}
 		proj = mat.NewDenseData(h.m, h.k, projF32)
 	} else {
-		var err error
-		proj, err = decodeProjection(sections[1], h.m, h.k)
+		proj, err = decodeProjection(c.proj[0], h.m, h.k)
 		if err != nil {
 			return nil, nil, err
 		}
 	}
-	means, err := float32FromBytes(sections[2])
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(means) != h.m {
-		return nil, nil, fmt.Errorf("core: means size %d != M = %d", len(means), h.m)
-	}
-	var scales []float64
-	if wantSections == 4 {
-		scales, err = float32FromBytes(sections[3])
-		if err != nil {
-			return nil, nil, err
-		}
-		if len(scales) != h.m {
-			return nil, nil, fmt.Errorf("core: scales size %d != M = %d", len(scales), h.m)
-		}
-	}
-
-	if rank < 0 || rank > h.k {
-		return nil, nil, fmt.Errorf("core: rank %d out of [0,%d]", rank, h.k)
-	}
-	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
 	y := mat.NewDenseData(h.n, h.k, scores)
-	if rank != 0 && rank < h.k {
+	if useK < h.k {
 		// Keep only the leading components of scores and projection.
-		yr := mat.NewDense(h.n, rank)
+		yr := mat.NewDense(h.n, useK)
 		for i := 0; i < h.n; i++ {
-			copy(yr.Row(i), y.Row(i)[:rank])
+			copy(yr.Row(i), y.Row(i)[:useK])
 		}
-		pr := mat.NewDense(h.m, rank)
+		pr := mat.NewDense(h.m, useK)
 		for i := 0; i < h.m; i++ {
-			copy(pr.Row(i), proj.Row(i)[:rank])
+			copy(pr.Row(i), proj.Row(i)[:useK])
 		}
 		y, proj = yr, pr
 	}
-	data, err := reconstruct(y, proj, means, scales, shape, h.origLen, workers,
-		transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0))
-	if err != nil {
-		return nil, nil, err
+	return y, proj, nil
+}
+
+// assembleV2 decodes the leading useK per-component score streams and
+// projection columns of a v2 container.
+func assembleV2(c container, useK int) (*mat.Dense, *mat.Dense, error) {
+	h := c.h
+	y := mat.NewDense(h.n, useK)
+	proj := mat.NewDense(h.m, useK)
+	for j := 0; j < useK; j++ {
+		enc, err := quant.Unmarshal(c.scores[j])
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: rank %d scores: %w", j, err)
+		}
+		if enc.Count != h.n {
+			return nil, nil, fmt.Errorf("core: rank %d score count %d != N = %d", j, enc.Count, h.n)
+		}
+		col, err := enc.Decode()
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: rank %d scores: %w", j, err)
+		}
+		y.SetCol(j, col)
+
+		if h.flags&flagRawProj != 0 {
+			pcol, err := float32FromBytes(c.proj[j])
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rank %d projection: %w", j, err)
+			}
+			if len(pcol) != h.m {
+				return nil, nil, fmt.Errorf("core: rank %d projection size %d != M = %d", j, len(pcol), h.m)
+			}
+			proj.SetCol(j, pcol)
+		} else {
+			pm, err := decodeProjection(c.proj[j], h.m, 1)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: rank %d projection: %w", j, err)
+			}
+			pcol := make([]float64, h.m)
+			pm.Col(0, pcol)
+			proj.SetCol(j, pcol)
+		}
 	}
-	return data, h.dims, nil
+	return y, proj, nil
 }
 
 // xformMode names the Stage 1 transform applied at compression time.

@@ -7,28 +7,45 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"dpz/internal/integrity"
 )
 
-// Container format ("DPZ1"):
+// Container format ("DPZ1" magic, version byte 2):
 //
 //	magic   [4]byte  "DPZ1"
-//	version u8       = 1
+//	version u8       = 2
 //	flags   u8       bit0: standardized
 //	ndims   u8
 //	width   u8       quantization index width (1 or 2)
 //	dims    [ndims]u64
 //	origLen u64      values before padding
 //	m, n, k u64      block count, block length, kept components
-//	nsec    u8       section count
-//	per section: rawLen u64, compLen u64, zlib payload
+//	nsec    u16      section count
+//	hdrCRC  u32      CRC-32C of every byte above
+//	per section: rawLen u64, compLen u64, crc u32 (CRC-32C of the zlib
+//	             payload), zlib payload
 //
-// Sections in order: quantized scores (quant.Marshal), projection matrix
-// (M×K float32, row-major), feature means (M float32), and, when
-// standardized, feature scales (M float32).
+// v2 sections in order: feature means (M float32), feature scales
+// (M float32, only when standardized), then per component j = 0..K-1 a
+// quantized-score stream (quant.Marshal over that component's N scores)
+// followed by its packed projection column. Rank regions are therefore
+// independently checksummed and rank-ordered: a stream whose tail is
+// damaged still yields a best-effort reconstruction from the leading
+// intact components (see DecompressBestEffort).
+//
+// Version 1 (the seed format) remains readable: one quant stream over
+// all N·K scores, the whole packed M×K projection, means, and optional
+// scales — no checksums, nsec as u8. decodeContainer dispatches on the
+// version byte.
 
 var magic = [4]byte{'D', 'P', 'Z', '1'}
 
-const formatVersion = 1
+const (
+	formatV1      = 1
+	formatV2      = 2
+	formatVersion = formatV2
+)
 
 const (
 	flagStandardized = 1 << 0
@@ -49,6 +66,18 @@ type header struct {
 	dims    []int
 	origLen int
 	m, n, k int
+}
+
+// container is a parsed stream in a version-independent layout. For v1,
+// scores and proj hold a single element each (the joint quant stream and
+// the packed M×K matrix); for v2 they hold one element per component.
+type container struct {
+	version int
+	h       header
+	scores  [][]byte
+	proj    [][]byte
+	means   []byte
+	scales  []byte // nil unless standardized
 }
 
 // deflate zlib-compresses buf at the default level.
@@ -104,10 +133,51 @@ func float32FromBytes(buf []byte) ([]float64, error) {
 	return out, nil
 }
 
-// encodeContainer assembles the final byte stream from the fixed header
-// and the raw (pre-zlib) sections. It returns the stream and the total
+// maxHeaderValue bounds any u64 header field (dims, lengths, shape): far
+// above any real stream, far below anything that could overflow int math
+// downstream. Compared in uint64 so the guard itself cannot overflow on
+// 32-bit platforms.
+const maxHeaderValue = uint64(math.MaxInt32) * 64
+
+// sectionLayout returns the v2 section count for a header: means,
+// optional scales, then (scores, projection) per component.
+func sectionLayout(h header) int {
+	n := 1 + 2*h.k
+	if h.flags&flagStandardized != 0 {
+		n++
+	}
+	return n
+}
+
+// v2SectionName labels section index i of a v2 stream for corruption
+// reports ("means", "scales", "rank 3 scores", "rank 3 projection").
+func v2SectionName(h header, i int) string {
+	std := h.flags&flagStandardized != 0
+	switch {
+	case i == 0:
+		return "means"
+	case std && i == 1:
+		return "scales"
+	}
+	base := 1
+	if std {
+		base = 2
+	}
+	j := i - base
+	if j%2 == 0 {
+		return fmt.Sprintf("rank %d scores", j/2)
+	}
+	return fmt.Sprintf("rank %d projection", j/2)
+}
+
+// encodeContainer assembles the v2 byte stream. scores and proj hold one
+// raw (pre-zlib) section per stored component; scales is nil when the
+// stream is not standardized. It returns the stream and the total
 // pre-zlib payload size (for the zlib-stage CR accounting).
-func encodeContainer(h header, sections [][]byte) ([]byte, int) {
+func encodeContainer(h header, scores, proj [][]byte, means, scales []byte) ([]byte, int) {
+	if len(scores) != h.k || len(proj) != h.k {
+		panic(fmt.Sprintf("core: %d score / %d projection sections for K=%d", len(scores), len(proj), h.k))
+	}
 	var out bytes.Buffer
 	out.Write(magic[:])
 	out.WriteByte(formatVersion)
@@ -126,30 +196,45 @@ func encodeContainer(h header, sections [][]byte) ([]byte, int) {
 	put(h.m)
 	put(h.n)
 	put(h.k)
-	out.WriteByte(uint8(len(sections)))
+	binary.LittleEndian.PutUint16(b8[:2], uint16(sectionLayout(h)))
+	out.Write(b8[:2])
+	binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(out.Bytes()))
+	out.Write(b8[:4])
+
 	rawTotal := 0
-	for _, sec := range sections {
+	writeSec := func(sec []byte) {
 		rawTotal += len(sec)
 		comp := deflate(sec)
 		put(len(sec))
 		put(len(comp))
+		binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(comp))
+		out.Write(b8[:4])
 		out.Write(comp)
+	}
+	writeSec(means)
+	if h.flags&flagStandardized != 0 {
+		writeSec(scales)
+	}
+	for j := 0; j < h.k; j++ {
+		writeSec(scores[j])
+		writeSec(proj[j])
 	}
 	return out.Bytes(), rawTotal
 }
 
-// decodeContainer parses the stream, returning the header and inflated
-// sections.
-func decodeContainer(buf []byte) (header, [][]byte, error) {
+// parseFixedHeader reads the shared fixed header (magic through K) and
+// returns the header, the stream version and the offset just past K.
+func parseFixedHeader(buf []byte) (header, int, int, error) {
 	var h header
 	if len(buf) < 8 {
-		return h, nil, fmt.Errorf("core: stream too short (%d bytes)", len(buf))
+		return h, 0, 0, fmt.Errorf("core: stream too short (%d bytes)", len(buf))
 	}
 	if !bytes.Equal(buf[:4], magic[:]) {
-		return h, nil, fmt.Errorf("core: bad magic %q", buf[:4])
+		return h, 0, 0, fmt.Errorf("core: bad magic %q", buf[:4])
 	}
-	if buf[4] != formatVersion {
-		return h, nil, fmt.Errorf("core: unsupported version %d", buf[4])
+	version := int(buf[4])
+	if version != formatV1 && version != formatV2 {
+		return h, 0, 0, fmt.Errorf("core: unsupported version %d", version)
 	}
 	h.flags = buf[5]
 	ndims := int(buf[6])
@@ -161,7 +246,9 @@ func decodeContainer(buf []byte) (header, [][]byte, error) {
 		}
 		v := binary.LittleEndian.Uint64(buf[pos:])
 		pos += 8
-		if v > math.MaxInt32*64 {
+		// Compare in uint64: the guard itself must not overflow, and any
+		// value that does not fit the platform int is rejected outright.
+		if v > maxHeaderValue || v > uint64(math.MaxInt) {
 			return 0, fmt.Errorf("core: implausible header value %d", v)
 		}
 		return int(v), nil
@@ -171,70 +258,161 @@ func decodeContainer(buf []byte) (header, [][]byte, error) {
 	for i := range h.dims {
 		d, err := rd()
 		if err != nil {
-			return h, nil, err
+			return h, version, pos, err
 		}
 		if d <= 0 {
-			return h, nil, fmt.Errorf("core: non-positive dimension %d", d)
+			return h, version, pos, fmt.Errorf("core: non-positive dimension %d", d)
 		}
 		h.dims[i] = d
 		total *= d
 	}
 	var err error
 	if h.origLen, err = rd(); err != nil {
-		return h, nil, err
+		return h, version, pos, err
 	}
 	if total != h.origLen {
-		return h, nil, fmt.Errorf("core: dims %v describe %d values, header says %d", h.dims, total, h.origLen)
+		return h, version, pos, fmt.Errorf("core: dims %v describe %d values, header says %d", h.dims, total, h.origLen)
 	}
 	if h.m, err = rd(); err != nil {
-		return h, nil, err
+		return h, version, pos, err
 	}
 	if h.n, err = rd(); err != nil {
-		return h, nil, err
+		return h, version, pos, err
 	}
 	if h.k, err = rd(); err != nil {
-		return h, nil, err
+		return h, version, pos, err
 	}
 	if h.m < 1 || h.n < 1 || h.k < 1 || h.k > h.m || h.m >= h.n {
-		return h, nil, fmt.Errorf("core: inconsistent shape M=%d N=%d K=%d", h.m, h.n, h.k)
+		return h, version, pos, fmt.Errorf("core: inconsistent shape M=%d N=%d K=%d", h.m, h.n, h.k)
 	}
 	// The padded block matrix covers the data and is at most one
 	// power-of-two padding step larger.
 	if h.m*h.n < h.origLen || h.m*h.n > 2*h.origLen+blockPadSlack {
-		return h, nil, fmt.Errorf("core: block shape %dx%d inconsistent with %d values", h.m, h.n, h.origLen)
+		return h, version, pos, fmt.Errorf("core: block shape %dx%d inconsistent with %d values", h.m, h.n, h.origLen)
 	}
-	if pos >= len(buf) {
-		return h, nil, fmt.Errorf("core: missing section table")
+	return h, version, pos, nil
+}
+
+// readSectionHeader parses one v-independent section header (rawLen,
+// compLen and, for v2, the payload CRC) at pos, applying the
+// plausibility guards shared by both versions.
+func readSectionHeader(buf []byte, pos, version int) (rawLen, compLen int, crc uint32, next int, err error) {
+	fixed := 16
+	if version >= formatV2 {
+		fixed = 20
 	}
-	nsec := int(buf[pos])
-	pos++
+	if pos+fixed > len(buf) {
+		return 0, 0, 0, pos, fmt.Errorf("core: truncated section header at offset %d", pos)
+	}
+	r := binary.LittleEndian.Uint64(buf[pos:])
+	c := binary.LittleEndian.Uint64(buf[pos+8:])
+	if r > maxHeaderValue || r > uint64(math.MaxInt) || c > maxHeaderValue || c > uint64(math.MaxInt) {
+		return 0, 0, 0, pos, fmt.Errorf("core: implausible section size %d/%d", r, c)
+	}
+	rawLen, compLen = int(r), int(c)
+	pos += 16
+	if version >= formatV2 {
+		crc = binary.LittleEndian.Uint32(buf[pos:])
+		pos += 4
+	}
+	if compLen > len(buf)-pos {
+		return 0, 0, 0, pos, fmt.Errorf("core: section payload overruns stream by %d bytes", compLen-(len(buf)-pos))
+	}
+	// zlib expands at most ~1032x; a declared raw length far beyond that
+	// is corruption, and honoring it would be an allocation bomb.
+	if rawLen > 1<<20+compLen*2048 {
+		return 0, 0, 0, pos, fmt.Errorf("core: section declares implausible %d raw bytes from %d compressed", rawLen, compLen)
+	}
+	return rawLen, compLen, crc, pos, nil
+}
+
+// decodeContainer parses a stream of either version, returning the
+// header and inflated sections in the version-independent layout. Every
+// structural or checksum problem is an error; see parseLenient for the
+// damage-tolerant walk used by Verify and DecompressBestEffort.
+func decodeContainer(buf []byte) (container, error) {
+	var c container
+	h, version, pos, err := parseFixedHeader(buf)
+	if err != nil {
+		return c, err
+	}
+	c.h, c.version = h, version
+
+	var nsec int
+	switch version {
+	case formatV1:
+		if pos >= len(buf) {
+			return c, fmt.Errorf("core: missing section table")
+		}
+		nsec = int(buf[pos])
+		pos++
+		want := 3
+		if h.flags&flagStandardized != 0 {
+			want = 4
+		}
+		if nsec != want {
+			return c, fmt.Errorf("core: %d sections, want %d", nsec, want)
+		}
+	default:
+		if pos+6 > len(buf) {
+			return c, fmt.Errorf("core: missing section table")
+		}
+		nsec = int(binary.LittleEndian.Uint16(buf[pos:]))
+		want := binary.LittleEndian.Uint32(buf[pos+2:])
+		if got := integrity.Checksum(buf[:pos+2]); got != want {
+			return c, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
+		}
+		pos += 6
+		if nsec != sectionLayout(h) {
+			return c, fmt.Errorf("core: %d sections, want %d", nsec, sectionLayout(h))
+		}
+	}
+
 	sections := make([][]byte, 0, nsec)
 	for s := 0; s < nsec; s++ {
-		rawLen, err := rd()
+		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, version)
 		if err != nil {
-			return h, nil, err
+			return c, err
 		}
-		compLen, err := rd()
+		comp := buf[at : at+compLen]
+		if version >= formatV2 {
+			if got := integrity.Checksum(comp); got != crc {
+				return c, fmt.Errorf("core: section %d (%s) %w (stored %08x, computed %08x)",
+					s, v2SectionName(h, s), integrity.ErrCRC, crc, got)
+			}
+		}
+		raw, err := inflate(comp, rawLen)
 		if err != nil {
-			return h, nil, err
+			return c, fmt.Errorf("core: section %d: %w", s, err)
 		}
-		if pos+compLen > len(buf) {
-			return h, nil, fmt.Errorf("core: section %d truncated", s)
-		}
-		// zlib expands at most ~1032x; a declared raw length far beyond
-		// that is corruption, and honoring it would be an allocation bomb.
-		if rawLen > 1<<20+compLen*2048 {
-			return h, nil, fmt.Errorf("core: section %d declares implausible %d raw bytes from %d compressed", s, rawLen, compLen)
-		}
-		raw, err := inflate(buf[pos:pos+compLen], rawLen)
-		if err != nil {
-			return h, nil, fmt.Errorf("core: section %d: %w", s, err)
-		}
-		pos += compLen
+		pos = at + compLen
 		sections = append(sections, raw)
 	}
 	if pos != len(buf) {
-		return h, nil, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
+		return c, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
 	}
-	return h, sections, nil
+
+	switch version {
+	case formatV1:
+		c.scores = sections[0:1]
+		c.proj = sections[1:2]
+		c.means = sections[2]
+		if len(sections) == 4 {
+			c.scales = sections[3]
+		}
+	default:
+		c.means = sections[0]
+		at := 1
+		if h.flags&flagStandardized != 0 {
+			c.scales = sections[1]
+			at = 2
+		}
+		c.scores = make([][]byte, h.k)
+		c.proj = make([][]byte, h.k)
+		for j := 0; j < h.k; j++ {
+			c.scores[j] = sections[at+2*j]
+			c.proj[j] = sections[at+2*j+1]
+		}
+	}
+	return c, nil
 }

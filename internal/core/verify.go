@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"dpz/internal/integrity"
+)
+
+// CorruptionError reports checksum or structural damage found in a DPZ
+// stream and — when returned by DecompressBestEffort alongside data —
+// what was still recovered.
+type CorruptionError struct {
+	// Sections names the damaged regions in stream order, e.g. "means",
+	// "rank 3 scores", "rank 3 projection".
+	Sections []string
+	// RecoveredRank is the number of leading components a best-effort
+	// reconstruction used (0 when nothing was recovered, or when the
+	// error comes from Verify, which recovers nothing).
+	RecoveredRank int
+	// StoredRank is the component count K recorded in the header.
+	StoredRank int
+}
+
+func (e *CorruptionError) Error() string {
+	what := strings.Join(e.Sections, ", ")
+	if e.RecoveredRank > 0 {
+		return fmt.Sprintf("core: corrupt stream (%s); recovered rank %d of %d", what, e.RecoveredRank, e.StoredRank)
+	}
+	return fmt.Sprintf("core: corrupt stream (%s)", what)
+}
+
+// sectionState is one section's outcome from a lenient v2 walk.
+type sectionState struct {
+	name string
+	raw  []byte // inflated payload; nil unless walked with doInflate
+	comp []byte // checksummed payload bytes
+	off  int    // payload offset within the stream (0 when unreachable)
+	err  error  // nil when intact
+}
+
+// walkV2 walks a v2 stream's section table tolerantly: a section whose
+// checksum fails, whose declared sizes derail the walk, or (when
+// doInflate is set) whose zlib payload fails to decode is marked damaged
+// instead of aborting. The fixed header and its checksum must be intact
+// — without a trusted shape nothing downstream is decodable. A final
+// pseudo-section flags trailing garbage after the section table.
+func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
+	h, version, pos, err := parseFixedHeader(buf)
+	if err != nil {
+		return h, nil, err
+	}
+	if version != formatV2 {
+		return h, nil, fmt.Errorf("core: version %d stream has no section checksums", version)
+	}
+	if pos+6 > len(buf) {
+		return h, nil, fmt.Errorf("core: missing section table")
+	}
+	nsec := int(binary.LittleEndian.Uint16(buf[pos:]))
+	want := binary.LittleEndian.Uint32(buf[pos+2:])
+	if got := integrity.Checksum(buf[:pos+2]); got != want {
+		return h, nil, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
+	}
+	pos += 6
+	if nsec != sectionLayout(h) {
+		return h, nil, fmt.Errorf("core: %d sections, want %d", nsec, sectionLayout(h))
+	}
+
+	secs := make([]sectionState, nsec)
+	derailed := false
+	var derailErr error
+	for s := 0; s < nsec; s++ {
+		secs[s].name = v2SectionName(h, s)
+		if derailed {
+			secs[s].err = fmt.Errorf("unreachable: %w", derailErr)
+			continue
+		}
+		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, formatV2)
+		if err != nil {
+			// The walk cannot resync past a corrupted size field; this and
+			// every later section are lost.
+			derailed, derailErr = true, err
+			secs[s].err = err
+			continue
+		}
+		comp := buf[at : at+compLen]
+		pos = at + compLen
+		secs[s].comp = comp
+		secs[s].off = at
+		if got := integrity.Checksum(comp); got != crc {
+			secs[s].err = fmt.Errorf("%w (stored %08x, computed %08x)", integrity.ErrCRC, crc, got)
+			continue
+		}
+		if doInflate {
+			raw, err := inflate(comp, rawLen)
+			if err != nil {
+				secs[s].err = err
+				continue
+			}
+			secs[s].raw = raw
+		}
+	}
+	if !derailed && pos != len(buf) {
+		secs = append(secs, sectionState{
+			name: "container framing",
+			err:  fmt.Errorf("%d trailing bytes", len(buf)-pos),
+		})
+	}
+	return h, secs, nil
+}
+
+// Verify checks a stream's structure and checksums without decoding any
+// data. For v2 streams it validates the header CRC and every section
+// CRC (no zlib inflation, no reconstruction) and returns a
+// *CorruptionError naming the damaged sections. v1 streams carry no
+// checksums; they get a full container parse (the zlib layer's own
+// framing is the only integrity signal available).
+func Verify(buf []byte) error {
+	_, version, _, err := parseFixedHeader(buf)
+	if err != nil {
+		return err
+	}
+	if version == formatV1 {
+		_, err := decodeContainer(buf)
+		return err
+	}
+	h, secs, err := walkV2(buf, false)
+	if err != nil {
+		return err
+	}
+	var bad []string
+	for _, s := range secs {
+		if s.err != nil {
+			bad = append(bad, s.name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return &CorruptionError{Sections: bad, StoredRank: h.k}
+}
+
+// DecompressBestEffort decompresses buf, degrading gracefully when parts
+// of a v2 stream are damaged: as long as the header, the means (and
+// scales, when standardized) and a leading run of rank sections pass
+// their checksums, it reconstructs from the highest intact rank — the
+// progressive-decode property of rank-ordered PCA sections — and returns
+// the partial data together with a *CorruptionError describing what was
+// lost. A fully intact stream returns a nil error; an unrecoverable one
+// returns nil data and the error. v1 streams have no per-section
+// checksums, so they either decode fully or fail.
+func DecompressBestEffort(buf []byte, workers int) ([]float64, []int, error) {
+	_, version, _, err := parseFixedHeader(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if version == formatV1 {
+		return Decompress(buf, workers)
+	}
+	h, secs, err := walkV2(buf, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	var bad []string
+	for _, s := range secs {
+		if s.err != nil {
+			bad = append(bad, s.name)
+		}
+	}
+	std := h.flags&flagStandardized != 0
+	base := 1
+	if std {
+		base = 2
+	}
+	c := container{version: formatV2, h: h, means: secs[0].raw}
+	if std {
+		c.scales = secs[1].raw
+	}
+	if len(bad) == 0 {
+		c.scores = make([][]byte, h.k)
+		c.proj = make([][]byte, h.k)
+		for j := 0; j < h.k; j++ {
+			c.scores[j] = secs[base+2*j].raw
+			c.proj[j] = secs[base+2*j+1].raw
+		}
+		return decompressParsed(c, workers, 0)
+	}
+	// The side-data sections are required for any reconstruction.
+	if secs[0].err != nil || (std && secs[1].err != nil) {
+		return nil, nil, &CorruptionError{Sections: bad, StoredRank: h.k}
+	}
+	// Recover the longest intact leading run of rank regions.
+	rank := h.k
+	for j := 0; j < h.k; j++ {
+		if secs[base+2*j].err != nil || secs[base+2*j+1].err != nil {
+			rank = j
+			break
+		}
+	}
+	if rank == 0 {
+		return nil, nil, &CorruptionError{Sections: bad, StoredRank: h.k}
+	}
+	c.scores = make([][]byte, h.k)
+	c.proj = make([][]byte, h.k)
+	for j := 0; j < rank; j++ {
+		c.scores[j] = secs[base+2*j].raw
+		c.proj[j] = secs[base+2*j+1].raw
+	}
+	data, dims, derr := decompressParsed(c, workers, rank)
+	if derr != nil {
+		// A section that passed its checksum but fails to decode points at
+		// a malformed stream, not recoverable storage damage.
+		return nil, nil, derr
+	}
+	return data, dims, &CorruptionError{Sections: bad, RecoveredRank: rank, StoredRank: h.k}
+}

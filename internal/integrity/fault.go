@@ -1,0 +1,103 @@
+package integrity
+
+import "fmt"
+
+// FaultKind names one class of injected corruption.
+type FaultKind int
+
+const (
+	// FaultBitFlip XORs a mask into one byte (bit rot, link errors).
+	FaultBitFlip FaultKind = iota
+	// FaultZeroByte clears one byte (stuck cells, zero-fill on bad reads).
+	FaultZeroByte
+	// FaultTruncate cuts the stream to Offset bytes (torn writes).
+	FaultTruncate
+)
+
+// Fault describes one deterministic corruption of a byte stream. The
+// zero value is a bit flip of bit 0 at offset 0.
+type Fault struct {
+	Kind   FaultKind
+	Offset int  // affected byte, or the kept length for FaultTruncate
+	Mask   byte // XOR mask for FaultBitFlip
+}
+
+// String labels the fault for test failure messages.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultZeroByte:
+		return fmt.Sprintf("zero byte at %d", f.Offset)
+	case FaultTruncate:
+		return fmt.Sprintf("truncate to %d", f.Offset)
+	default:
+		return fmt.Sprintf("flip 0x%02x at %d", f.Mask, f.Offset)
+	}
+}
+
+// Apply returns a corrupted copy of buf; buf itself is never modified.
+// Faults beyond the end of buf return an unmodified copy.
+func (f Fault) Apply(buf []byte) []byte {
+	switch f.Kind {
+	case FaultTruncate:
+		n := f.Offset
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if n < 0 {
+			n = 0
+		}
+		return append([]byte(nil), buf[:n]...)
+	default:
+		out := append([]byte(nil), buf...)
+		if f.Offset < 0 || f.Offset >= len(out) {
+			return out
+		}
+		if f.Kind == FaultZeroByte {
+			out[f.Offset] = 0
+		} else {
+			mask := f.Mask
+			if mask == 0 {
+				mask = 1
+			}
+			out[f.Offset] ^= mask
+		}
+		return out
+	}
+}
+
+// Sweep returns a deterministic fault set covering a stream of n bytes:
+// bit flips (three masks) and byte zeroes at ~samples evenly spaced
+// offsets, plus truncations at ~samples lengths. samples <= 0 defaults
+// to 64. The same (n, samples) always yields the same faults, so test
+// failures reproduce exactly.
+func Sweep(n, samples int) []Fault {
+	if n <= 0 {
+		return nil
+	}
+	if samples <= 0 {
+		samples = 64
+	}
+	stride := n / samples
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Fault
+	for off := 0; off < n; off += stride {
+		for _, m := range []byte{0x01, 0x80, 0xFF} {
+			out = append(out, Fault{Kind: FaultBitFlip, Offset: off, Mask: m})
+		}
+		out = append(out, Fault{Kind: FaultZeroByte, Offset: off})
+		out = append(out, Fault{Kind: FaultTruncate, Offset: off})
+	}
+	out = append(out, Fault{Kind: FaultTruncate, Offset: n - 1})
+	return out
+}
+
+// ForEach applies every fault from Sweep(len(buf), samples) to buf and
+// invokes fn with the fault (for labeling) and the corrupted copy. fn
+// owns the copy and may mutate it.
+func ForEach(buf []byte, samples int, fn func(f Fault, corrupted []byte)) {
+	for _, f := range Sweep(len(buf), samples) {
+		fn(f, f.Apply(buf))
+	}
+}

@@ -1,0 +1,118 @@
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 3720 appendix B.4 test vector: CRC-32C of 32 zero bytes.
+	if got := Checksum(make([]byte, 32)); got != 0x8a9136aa {
+		t.Fatalf("CRC-32C(32 zeros) = %08x, want 8a9136aa", got)
+	}
+	if got := Checksum(nil); got != 0 {
+		t.Fatalf("CRC-32C(nil) = %08x, want 0", got)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{7, 0, 255}, 100)} {
+		framed := AppendFrame([]byte("prefix"), payload)
+		got, n, err := ReadFrame(framed[6:], -1)
+		if err != nil {
+			t.Fatalf("ReadFrame(%d bytes): %v", len(payload), err)
+		}
+		if n != FrameOverhead+len(payload) {
+			t.Fatalf("consumed %d, want %d", n, FrameOverhead+len(payload))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch for %d bytes", len(payload))
+		}
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	framed := AppendFrame(nil, []byte("the quick brown fox"))
+	// Any single-byte corruption of the payload must surface as ErrCRC.
+	for off := FrameOverhead; off < len(framed); off++ {
+		bad := append([]byte(nil), framed...)
+		bad[off] ^= 0x10
+		if _, _, err := ReadFrame(bad, -1); !errors.Is(err, ErrCRC) {
+			t.Fatalf("corruption at %d: got %v, want ErrCRC", off, err)
+		}
+	}
+	// Truncations must error without panicking.
+	for n := 0; n < len(framed); n++ {
+		if _, _, err := ReadFrame(framed[:n], -1); err == nil {
+			t.Fatalf("truncation to %d accepted", n)
+		}
+	}
+	// A length beyond maxLen is rejected before any allocation.
+	if _, _, err := ReadFrame(framed, 3); err == nil {
+		t.Fatal("oversized frame accepted under maxLen")
+	}
+}
+
+func TestFaultApplyDeterministic(t *testing.T) {
+	buf := []byte{1, 2, 3, 4, 5}
+	f := Fault{Kind: FaultBitFlip, Offset: 2, Mask: 0x0F}
+	a, b := f.Apply(buf), f.Apply(buf)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Apply is not deterministic")
+	}
+	if a[2] != 3^0x0F {
+		t.Fatalf("flip applied wrong: %v", a)
+	}
+	if !bytes.Equal(buf, []byte{1, 2, 3, 4, 5}) {
+		t.Fatal("Apply mutated its input")
+	}
+	z := Fault{Kind: FaultZeroByte, Offset: 0}.Apply(buf)
+	if z[0] != 0 {
+		t.Fatal("zero fault not applied")
+	}
+	tr := Fault{Kind: FaultTruncate, Offset: 2}.Apply(buf)
+	if len(tr) != 2 {
+		t.Fatalf("truncate kept %d bytes", len(tr))
+	}
+	// Out-of-range faults are no-ops, not panics.
+	oo := Fault{Kind: FaultBitFlip, Offset: 99}.Apply(buf)
+	if !bytes.Equal(oo, buf) {
+		t.Fatal("out-of-range flip changed data")
+	}
+}
+
+func TestSweepCoverage(t *testing.T) {
+	faults := Sweep(1000, 10)
+	if len(faults) == 0 {
+		t.Fatal("empty sweep")
+	}
+	kinds := map[FaultKind]int{}
+	for _, f := range faults {
+		kinds[f.Kind]++
+	}
+	for _, k := range []FaultKind{FaultBitFlip, FaultZeroByte, FaultTruncate} {
+		if kinds[k] == 0 {
+			t.Fatalf("sweep missing fault kind %d", k)
+		}
+	}
+	// Determinism across calls.
+	again := Sweep(1000, 10)
+	if len(again) != len(faults) {
+		t.Fatal("sweep not deterministic")
+	}
+	for i := range faults {
+		if faults[i] != again[i] {
+			t.Fatalf("fault %d differs across calls", i)
+		}
+	}
+	if Sweep(0, 10) != nil {
+		t.Fatal("Sweep(0) should be empty")
+	}
+	// ForEach visits every fault.
+	n := 0
+	ForEach(make([]byte, 100), 5, func(Fault, []byte) { n++ })
+	if n != len(Sweep(100, 5)) {
+		t.Fatalf("ForEach visited %d faults", n)
+	}
+}
