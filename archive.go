@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dpz/internal/archive"
+	"dpz/internal/parallel"
 	"dpz/internal/stats"
 )
 
@@ -45,6 +46,65 @@ func (a *ArchiveWriter) CompressFloat64(name string, data []float64, dims []int,
 // Append stores an already-compressed DPZ stream under name.
 func (a *ArchiveWriter) Append(name string, stream []byte) error {
 	return a.w.Append(name, stream)
+}
+
+// ArchiveField is one input to CompressBatch: a named field with its
+// row-major data and logical dimensions.
+type ArchiveField struct {
+	Name string
+	Data []float64
+	Dims []int
+}
+
+// CompressBatch compresses many fields concurrently and appends them in
+// the given order — the multi-field analogue of the tiled pipeline. The
+// archive bytes are identical to appending the fields one by one, for
+// every worker count; only the wall-clock changes. Returns per-field
+// stats in input order.
+func (a *ArchiveWriter) CompressBatch(fields []ArchiveField, o Options) ([]Stats, error) {
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	// Divide the worker budget between concurrent fields and the workers
+	// inside each field's compression.
+	wall := o.Workers
+	if wall <= 0 {
+		wall = parallel.DefaultWorkers()
+	}
+	wf := min(wall, len(fields))
+	inner := o
+	inner.Workers = (wall + wf - 1) / wf
+
+	statsOut := make([]Stats, 0, len(fields))
+	err := parallel.Pipeline(wf, 0,
+		func(emit func(int) bool) error {
+			for i := range fields {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (*Result, error) {
+			f := fields[i]
+			res, err := CompressFloat64(f.Data, f.Dims, inner)
+			if err != nil {
+				return nil, fmt.Errorf("dpz: archive field %q: %w", f.Name, err)
+			}
+			return res, nil
+		},
+		func(idx int, res *Result) error {
+			if err := a.w.Append(fields[idx].Name, res.Data); err != nil {
+				return err
+			}
+			statsOut = append(statsOut, res.Stats)
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return statsOut, nil
 }
 
 // Close writes the archive index. A second Close (e.g. from a defer

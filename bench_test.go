@@ -5,7 +5,11 @@
 package dpz_test
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"io"
+	"math"
 	"testing"
 
 	"dpz"
@@ -60,6 +64,79 @@ func BenchmarkScaling(b *testing.B)             { runExperiment(b, experiments.S
 func benchField(b *testing.B) *dataset.Field {
 	b.Helper()
 	return dataset.CESM("FLDSC", 180, 360, 1)
+}
+
+// scalingField is the CLDHGH-scale synthetic used by the worker-scaling
+// benchmarks (half the native 1800×3600 CESM grid per side).
+func scalingField(b *testing.B) *dataset.Field {
+	b.Helper()
+	return dataset.CESM("CLDHGH", 900, 1800, 2001)
+}
+
+// benchWorkers are the worker counts the scaling benches sweep.
+var benchWorkers = []int{1, 2, 4, 8}
+
+// BenchmarkCompress measures end-to-end compression throughput of the
+// pipelined hot path at several worker counts.
+func BenchmarkCompress(b *testing.B) {
+	f := scalingField(b)
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := dpz.LooseOptions()
+			o.Workers = w
+			b.SetBytes(int64(4 * f.Len()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dpz.CompressFloat64(f.Data, f.Dims, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecompress measures parallel section decode + reconstruction.
+func BenchmarkDecompress(b *testing.B) {
+	f := scalingField(b)
+	o := dpz.LooseOptions()
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(4 * f.Len()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Decompress(res.Data, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTiled measures the three-stage tile pipeline end to end
+// (read, compress W tiles concurrently, ordered archive writeback).
+func BenchmarkTiled(b *testing.B) {
+	f := scalingField(b)
+	raw := make([]byte, 4*f.Len())
+	for i, v := range f.Data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(float32(v)))
+	}
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := dpz.LooseOptions()
+			o.Workers = w
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dpz.CompressTiled(bytes.NewReader(raw), f.Dims, f.Dims[0]/8, o, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkCompressDPZLoose(b *testing.B) {

@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		fit        = fs.String("fit", "1d", "knee curve fit: 1d or polyn")
 		sampling   = fs.Bool("sampling", false, "enable the Algorithm 2 sampling strategy")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		zlevel     = fs.Int("zlevel", 0, "zlib add-on level 1-9 (0 = zlib default)")
 		verify     = fs.Bool("verify", false, "after -z, decompress and report PSNR/θ")
 		bestEffort = fs.Bool("best-effort", false, "with -d, salvage a partial reconstruction from a corrupt stream")
 	)
@@ -50,7 +51,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 
-	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *sampling, *workers)
+	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *sampling, *workers, *zlevel)
 	if err != nil {
 		return err
 	}
@@ -149,7 +150,7 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func buildOptions(scheme, selection string, nines int, fit string, sampling bool, workers int) (dpz.Options, error) {
+func buildOptions(scheme, selection string, nines int, fit string, sampling bool, workers, zlevel int) (dpz.Options, error) {
 	var o dpz.Options
 	switch strings.ToLower(scheme) {
 	case "loose":
@@ -181,6 +182,10 @@ func buildOptions(scheme, selection string, nines int, fit string, sampling bool
 	}
 	o.UseSampling = sampling
 	o.Workers = workers
+	if zlevel < 0 || zlevel > 9 {
+		return o, fmt.Errorf("zlevel %d out of [0,9]", zlevel)
+	}
+	o.ZLevel = zlevel
 	return o, nil
 }
 

@@ -7,12 +7,15 @@
 //	dpzbench -list
 //	dpzbench -exp fig6 -scale 0.1
 //	dpzbench -exp all -scale 0.08 -artifacts out/
+//	dpzbench -json -scale 1 -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dpz/internal/experiments"
@@ -20,17 +23,63 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (see -list) or 'all'")
-		scale     = flag.Float64("scale", 0.08, "dataset scale relative to the paper's native sizes (0,1]")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		artifacts = flag.String("artifacts", "", "directory for image artifacts (fig7)")
-		list      = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "all", "experiment to run (see -list) or 'all'")
+		scale      = flag.Float64("scale", 0.08, "dataset scale relative to the paper's native sizes (0,1]")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		artifacts  = flag.String("artifacts", "", "directory for image artifacts (fig7)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonOut    = flag.Bool("json", false, "run the perf suite instead of experiments; write BENCH_<rev>.json")
+		note       = flag.String("note", "", "free-form note recorded in the -json report")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.Runners() {
 			fmt.Printf("%-10s %s\n", r.Name, r.Title)
+		}
+		return
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+			}
+		}()
+	}
+	if *jsonOut {
+		var ws []int
+		if *workers > 0 {
+			ws = []int{*workers}
+		}
+		var notes []string
+		if *note != "" {
+			notes = append(notes, *note)
+		}
+		if err := runPerfSuite(*scale, ws, notes, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"dpz"
+	"dpz/internal/core"
+	"dpz/internal/dataset"
+)
+
+// The -json mode: machine-readable throughput records for the pipelined
+// hot path (compress, decompress, tiled) across worker counts, written
+// to BENCH_<rev>.json so runs are comparable across revisions.
+
+// perfWorkers is the default worker sweep of the -json suite.
+var perfWorkers = []int{1, 2, 4, 8}
+
+// perfRecord is one benchmark configuration's measurement.
+type perfRecord struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// perfReport is the BENCH_<rev>.json document.
+type perfReport struct {
+	Revision   string       `json:"revision"`
+	Dirty      bool         `json:"dirty"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Scale      float64      `json:"scale"`
+	Dims       []int        `json:"dims"`
+	Records    []perfRecord `json:"records"`
+	Notes      []string     `json:"notes,omitempty"`
+}
+
+// buildRevision returns the VCS revision baked into the binary (12 hex
+// chars) and whether the tree was dirty; "dev" when built without VCS
+// stamping (e.g. go run).
+func buildRevision() (string, bool) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev", false
+	}
+	rev, dirty := "dev", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) >= 12 {
+				rev = s.Value[:12]
+			} else if s.Value != "" {
+				rev = s.Value
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
+
+// perfField builds the CLDHGH-scale synthetic the suite measures. Scale 1
+// is the half-resolution 900x1800 grid the repo's scaling benches use.
+func perfField(scale float64) *dataset.Field {
+	rows := max(64, int(900*scale+0.5))
+	cols := max(128, int(1800*scale+0.5))
+	return dataset.CESM("CLDHGH", rows, cols, 2001)
+}
+
+// record converts a testing.BenchmarkResult to a perfRecord.
+func record(name string, workers int, r testing.BenchmarkResult) perfRecord {
+	mbps := 0.0
+	if s := r.T.Seconds(); s > 0 {
+		mbps = float64(r.Bytes) * float64(r.N) / s / 1e6
+	}
+	return perfRecord{
+		Name:        name,
+		Workers:     workers,
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		MBPerSec:    mbps,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// runPerfSuite measures the three pipeline entry points at each worker
+// count and writes BENCH_<rev>.json in the current directory.
+func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) error {
+	if len(workers) == 0 {
+		workers = perfWorkers
+	}
+	f := perfField(scale)
+	rawBytes := int64(4 * f.Len())
+	fmt.Fprintf(out, "perf suite: %s %v (%d values), workers %v\n", f.Name, f.Dims, f.Len(), workers)
+
+	var records []perfRecord
+	add := func(name string, w int, r testing.BenchmarkResult) {
+		rec := record(name, w, r)
+		records = append(records, rec)
+		fmt.Fprintf(out, "%-12s workers=%d  %12d ns/op  %8.2f MB/s  %8d allocs/op\n",
+			name, w, rec.NsPerOp, rec.MBPerSec, rec.AllocsPerOp)
+	}
+
+	for _, w := range workers {
+		o := dpz.LooseOptions()
+		o.Workers = w
+		add("compress", w, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dpz.CompressFloat64(f.Data, f.Dims, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, dpz.LooseOptions())
+	if err != nil {
+		return err
+	}
+	for _, w := range workers {
+		w := w
+		add("decompress", w, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Decompress(res.Data, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	raw := make([]byte, rawBytes)
+	for i, v := range f.Data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(float32(v)))
+	}
+	tileRows := max(1, f.Dims[0]/8)
+	for _, w := range workers {
+		o := dpz.LooseOptions()
+		o.Workers = w
+		add("tiled", w, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dpz.CompressTiled(bytes.NewReader(raw), f.Dims, tileRows, o, io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	rev, dirty := buildRevision()
+	if runtime.NumCPU() == 1 {
+		notes = append(notes, "single-CPU host: worker counts > 1 cannot improve wall clock here")
+	}
+	report := perfReport{
+		Revision:   rev,
+		Dirty:      dirty,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+		Dims:       f.Dims,
+		Records:    records,
+		Notes:      notes,
+	}
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", rev)
+	if err := os.WriteFile(name, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", name)
+	return nil
+}

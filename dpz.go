@@ -121,6 +121,9 @@ type Options struct {
 	// DoublePrecision accounts sizes and stores escape literals at 8
 	// bytes/value (for float64 source data).
 	DoublePrecision bool
+	// ZLevel sets the zlib add-on compression level, 1 (fastest) to 9
+	// (best). 0 keeps zlib's default, matching previous releases.
+	ZLevel int
 }
 
 // LooseOptions returns the paper's DPZ-l scheme (P=1e-3, 1-byte indexing).
@@ -168,6 +171,7 @@ func (o Options) toCore() core.Params {
 		CollectDiagnostics: o.CollectDiagnostics,
 		DCT2D:              o.Use2DDCT,
 		CoeffTruncate:      o.CoeffTruncate,
+		ZLevel:             o.ZLevel,
 		Sampling: sampling.Params{
 			S:  o.SamplingSubsets,
 			T:  o.SamplingPick,

@@ -8,9 +8,11 @@ import (
 	"dpz/internal/blockio"
 	"dpz/internal/knee"
 	"dpz/internal/mat"
+	"dpz/internal/parallel"
 	"dpz/internal/pca"
 	"dpz/internal/quant"
 	"dpz/internal/sampling"
+	"dpz/internal/scratch"
 	"dpz/internal/stats"
 	"dpz/internal/transform"
 )
@@ -160,7 +162,7 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		// Fit the truncated basis on the sampled rows only (Algorithm 2's
 		// Stage 2 saving), then project the full data below.
 		sub := sampleRows(x, sp)
-		model, err = pca.FitK(sub, k, pca.Options{Standardize: standardize}, seed)
+		model, err = pca.FitK(sub, k, pca.Options{Standardize: standardize, Workers: p.Workers}, seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: sampled k-PCA: %w", err)
 		}
@@ -179,7 +181,7 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		if p.ParallelPCA {
 			model, err = pca.FitJacobi(x, pca.Options{Standardize: standardize}, p.Workers)
 		} else {
-			model, err = pca.Fit(x, pca.Options{Standardize: standardize})
+			model, err = pca.Fit(x, pca.Options{Standardize: standardize, Workers: p.Workers})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: k-PCA: %w", err)
@@ -237,13 +239,21 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		return nil, fmt.Errorf("core: quantizer: %w", err)
 	}
 	qz.Lit32 = elemBytes == 4
+	// Components quantize in parallel, each with its own scratch column;
+	// quantization is elementwise, so the split changes nothing in the
+	// output. The worker budget divides between the component loop and the
+	// chunked encode inside each component.
 	encs := make([]*quant.Encoded, k)
-	col := make([]float64, shape.N)
-	for j := 0; j < k; j++ {
+	innerW := workersPer(p.Workers, k)
+	parallel.For(k, p.Workers, func(j int) {
+		col := scratch.Floats(shape.N)
 		for i := 0; i < shape.N; i++ {
 			col[i] = scores.At(i, j)
 		}
-		encs[j] = qz.Encode(col, p.Workers)
+		encs[j] = qz.Encode(col, innerW)
+		scratch.PutFloats(col)
+	})
+	for j := 0; j < k; j++ {
 		st.OutOfRange += encs[j].OutOfRange()
 	}
 	st.TimeQuant = time.Since(t0)
@@ -268,21 +278,25 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	paCol := pa / math.Sqrt(float64(k))
 	scoreSecs := make([][]byte, k)
 	projSecs := make([][]byte, k)
-	projBytes := 0
 	pcol := make([]float64, shape.M)
-	for j := 0; j < k; j++ {
+	parallel.For(k, p.Workers, func(j int) {
 		if p.HuffmanIndices {
 			scoreSecs[j] = encs[j].MarshalHuffman()
 		} else {
 			scoreSecs[j] = encs[j].Marshal()
 		}
-		proj.Col(j, pcol)
+		pc := scratch.Floats(shape.M)
+		proj.Col(j, pc)
 		if p.RawProjection {
-			projSecs[j] = float32Bytes(pcol)
+			projSecs[j] = float32Bytes(pc)
 		} else {
-			colMat := mat.NewDenseData(shape.M, 1, append([]float64(nil), pcol...))
+			colMat := mat.NewDenseData(shape.M, 1, append([]float64(nil), pc...))
 			projSecs[j] = encodeProjection(colMat, colScale[j:j+1], paCol)
 		}
+		scratch.PutFloats(pc)
+	})
+	projBytes := 0
+	for j := 0; j < k; j++ {
 		projBytes += len(projSecs[j])
 	}
 	h := header{
@@ -310,7 +324,7 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	if p.UseWavelet {
 		h.flags |= flagWavelet
 	}
-	out, rawTotal := encodeContainer(h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec)
+	out, rawTotal := encodeContainer(h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec, p.zlibLevel(), p.Workers)
 	st.TimeZlib = time.Since(t0)
 
 	// CR accounting on the float32 basis. Stage 1&2 output: N·k scores +
@@ -377,6 +391,18 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 
 	st.TimeTotal = time.Since(tStart)
 	return &Compressed{Bytes: out, Stats: st}, nil
+}
+
+// workersPer divides a worker budget across k concurrent tasks so nested
+// parallel loops stay within the budget instead of multiplying to w².
+func workersPer(w, k int) int {
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	if k < 1 {
+		k = 1
+	}
+	return (w + k - 1) / k
 }
 
 // decideStandardize resolves the standardization mode against the VIF

@@ -5,7 +5,9 @@ import (
 
 	"dpz/internal/blockio"
 	"dpz/internal/mat"
+	"dpz/internal/parallel"
 	"dpz/internal/quant"
+	"dpz/internal/scratch"
 	"dpz/internal/transform"
 )
 
@@ -24,7 +26,7 @@ func Decompress(buf []byte, workers int) ([]float64, []int, error) {
 // few components, full fidelity from all of them. For v2 streams the
 // trailing rank sections are not even inflated.
 func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
-	c, err := decodeContainer(buf)
+	c, err := decodeContainer(buf, workers)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -66,7 +68,7 @@ func decompressParsed(c container, workers, rank int) ([]float64, []int, error) 
 	if c.version == formatV1 {
 		y, proj, err = assembleV1(c, useK)
 	} else {
-		y, proj, err = assembleV2(c, useK)
+		y, proj, err = assembleV2(c, useK, workers)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -130,42 +132,56 @@ func assembleV1(c container, useK int) (*mat.Dense, *mat.Dense, error) {
 }
 
 // assembleV2 decodes the leading useK per-component score streams and
-// projection columns of a v2 container.
-func assembleV2(c container, useK int) (*mat.Dense, *mat.Dense, error) {
+// projection columns of a v2 container, in parallel across components
+// (each writes a disjoint column of the score and projection matrices).
+func assembleV2(c container, useK, workers int) (*mat.Dense, *mat.Dense, error) {
 	h := c.h
 	y := mat.NewDense(h.n, useK)
 	proj := mat.NewDense(h.m, useK)
-	for j := 0; j < useK; j++ {
+	errs := make([]error, useK)
+	parallel.For(useK, workers, func(j int) {
 		enc, err := quant.Unmarshal(c.scores[j])
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: rank %d scores: %w", j, err)
+			errs[j] = fmt.Errorf("core: rank %d scores: %w", j, err)
+			return
 		}
 		if enc.Count != h.n {
-			return nil, nil, fmt.Errorf("core: rank %d score count %d != N = %d", j, enc.Count, h.n)
+			errs[j] = fmt.Errorf("core: rank %d score count %d != N = %d", j, enc.Count, h.n)
+			return
 		}
 		col, err := enc.Decode()
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: rank %d scores: %w", j, err)
+			errs[j] = fmt.Errorf("core: rank %d scores: %w", j, err)
+			return
 		}
 		y.SetCol(j, col)
 
 		if h.flags&flagRawProj != 0 {
 			pcol, err := float32FromBytes(c.proj[j])
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: rank %d projection: %w", j, err)
+				errs[j] = fmt.Errorf("core: rank %d projection: %w", j, err)
+				return
 			}
 			if len(pcol) != h.m {
-				return nil, nil, fmt.Errorf("core: rank %d projection size %d != M = %d", j, len(pcol), h.m)
+				errs[j] = fmt.Errorf("core: rank %d projection size %d != M = %d", j, len(pcol), h.m)
+				return
 			}
 			proj.SetCol(j, pcol)
 		} else {
 			pm, err := decodeProjection(c.proj[j], h.m, 1)
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: rank %d projection: %w", j, err)
+				errs[j] = fmt.Errorf("core: rank %d projection: %w", j, err)
+				return
 			}
-			pcol := make([]float64, h.m)
+			pcol := scratch.Floats(h.m)
 			pm.Col(0, pcol)
 			proj.SetCol(j, pcol)
+			scratch.PutFloats(pcol)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 	return y, proj, nil

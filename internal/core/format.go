@@ -2,13 +2,12 @@ package core
 
 import (
 	"bytes"
-	"compress/zlib"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 
 	"dpz/internal/integrity"
+	"dpz/internal/parallel"
 )
 
 // Container format ("DPZ1" magic, version byte 2):
@@ -80,38 +79,6 @@ type container struct {
 	scales  []byte // nil unless standardized
 }
 
-// deflate zlib-compresses buf at the default level.
-func deflate(buf []byte) []byte {
-	var out bytes.Buffer
-	w := zlib.NewWriter(&out)
-	if _, err := w.Write(buf); err != nil {
-		// bytes.Buffer writes cannot fail; keep the invariant visible.
-		panic(fmt.Sprintf("core: zlib write: %v", err))
-	}
-	if err := w.Close(); err != nil {
-		panic(fmt.Sprintf("core: zlib close: %v", err))
-	}
-	return out.Bytes()
-}
-
-// inflate decompresses a zlib stream, verifying the expected raw length.
-func inflate(buf []byte, rawLen int) ([]byte, error) {
-	r, err := zlib.NewReader(bytes.NewReader(buf))
-	if err != nil {
-		return nil, fmt.Errorf("core: zlib open: %w", err)
-	}
-	defer r.Close()
-	out := make([]byte, rawLen)
-	if _, err := io.ReadFull(r, out); err != nil {
-		return nil, fmt.Errorf("core: zlib read: %w", err)
-	}
-	var probe [1]byte
-	if n, _ := r.Read(probe[:]); n != 0 {
-		return nil, fmt.Errorf("core: zlib stream longer than declared %d bytes", rawLen)
-	}
-	return out, nil
-}
-
 // float32Bytes encodes a float64 slice as little-endian float32.
 func float32Bytes(x []float64) []byte {
 	out := make([]byte, 4*len(x))
@@ -172,12 +139,58 @@ func v2SectionName(h header, i int) string {
 
 // encodeContainer assembles the v2 byte stream. scores and proj hold one
 // raw (pre-zlib) section per stored component; scales is nil when the
-// stream is not standardized. It returns the stream and the total
-// pre-zlib payload size (for the zlib-stage CR accounting).
-func encodeContainer(h header, scores, proj [][]byte, means, scales []byte) ([]byte, int) {
+// stream is not standardized. Sections deflate in parallel (large ones
+// split further into shards — see deflateSection) but are assembled in
+// their fixed order, so the stream is byte-identical for every worker
+// count. It returns the stream and the total pre-zlib payload size (for
+// the zlib-stage CR accounting).
+func encodeContainer(h header, scores, proj [][]byte, means, scales []byte, level, workers int) ([]byte, int) {
 	if len(scores) != h.k || len(proj) != h.k {
 		panic(fmt.Sprintf("core: %d score / %d projection sections for K=%d", len(scores), len(proj), h.k))
 	}
+	secs := make([][]byte, 0, sectionLayout(h))
+	secs = append(secs, means)
+	if h.flags&flagStandardized != 0 {
+		secs = append(secs, scales)
+	}
+	for j := 0; j < h.k; j++ {
+		secs = append(secs, scores[j], proj[j])
+	}
+
+	// Flatten all (section, shard) deflate units into one job list so a
+	// stream with one huge section and many tiny ones still load-balances.
+	type job struct{ sec, shard int }
+	var jobs []job
+	spans := make([][]shardSpan, len(secs))
+	for s, sec := range secs {
+		spans[s] = shardSpans(len(sec))
+		if spans[s] == nil {
+			jobs = append(jobs, job{s, -1})
+			continue
+		}
+		for i := range spans[s] {
+			jobs = append(jobs, job{s, i})
+		}
+	}
+	comp := make([][][]byte, len(secs))
+	for s := range comp {
+		n := len(spans[s])
+		if n == 0 {
+			n = 1
+		}
+		comp[s] = make([][]byte, n)
+	}
+	parallel.For(len(jobs), workers, func(i int) {
+		j := jobs[i]
+		sec := secs[j.sec]
+		if j.shard < 0 {
+			comp[j.sec][0] = deflate(sec, level)
+			return
+		}
+		sp := spans[j.sec][j.shard]
+		comp[j.sec][j.shard] = deflate(sec[sp.off:sp.end], level)
+	})
+
 	var out bytes.Buffer
 	out.Write(magic[:])
 	out.WriteByte(formatVersion)
@@ -202,22 +215,19 @@ func encodeContainer(h header, scores, proj [][]byte, means, scales []byte) ([]b
 	out.Write(b8[:4])
 
 	rawTotal := 0
-	writeSec := func(sec []byte) {
+	for s, sec := range secs {
 		rawTotal += len(sec)
-		comp := deflate(sec)
+		var payload []byte
+		if spans[s] == nil {
+			payload = comp[s][0]
+		} else {
+			payload = assembleShards(spans[s], comp[s])
+		}
 		put(len(sec))
-		put(len(comp))
-		binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(comp))
+		put(len(payload))
+		binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(payload))
 		out.Write(b8[:4])
-		out.Write(comp)
-	}
-	writeSec(means)
-	if h.flags&flagStandardized != 0 {
-		writeSec(scales)
-	}
-	for j := 0; j < h.k; j++ {
-		writeSec(scores[j])
-		writeSec(proj[j])
+		out.Write(payload)
 	}
 	return out.Bytes(), rawTotal
 }
@@ -327,10 +337,12 @@ func readSectionHeader(buf []byte, pos, version int) (rawLen, compLen int, crc u
 }
 
 // decodeContainer parses a stream of either version, returning the
-// header and inflated sections in the version-independent layout. Every
-// structural or checksum problem is an error; see parseLenient for the
-// damage-tolerant walk used by Verify and DecompressBestEffort.
-func decodeContainer(buf []byte) (container, error) {
+// header and inflated sections in the version-independent layout.
+// Section checksums and inflation run in parallel across sections (and
+// across shards within a sharded section). Every structural or checksum
+// problem is an error; see parseLenient for the damage-tolerant walk
+// used by Verify and DecompressBestEffort.
+func decodeContainer(buf []byte, workers int) (container, error) {
 	var c container
 	h, version, pos, err := parseFixedHeader(buf)
 	if err != nil {
@@ -368,28 +380,55 @@ func decodeContainer(buf []byte) (container, error) {
 		}
 	}
 
-	sections := make([][]byte, 0, nsec)
+	// Walk the section headers serially (each offset depends on the
+	// previous compLen), then checksum and inflate in parallel.
+	type secRef struct {
+		rawLen int
+		crc    uint32
+		comp   []byte
+	}
+	refs := make([]secRef, 0, nsec)
 	for s := 0; s < nsec; s++ {
 		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, version)
 		if err != nil {
 			return c, err
 		}
-		comp := buf[at : at+compLen]
-		if version >= formatV2 {
-			if got := integrity.Checksum(comp); got != crc {
-				return c, fmt.Errorf("core: section %d (%s) %w (stored %08x, computed %08x)",
-					s, v2SectionName(h, s), integrity.ErrCRC, crc, got)
-			}
-		}
-		raw, err := inflate(comp, rawLen)
-		if err != nil {
-			return c, fmt.Errorf("core: section %d: %w", s, err)
-		}
+		refs = append(refs, secRef{rawLen, crc, buf[at : at+compLen]})
 		pos = at + compLen
-		sections = append(sections, raw)
 	}
 	if pos != len(buf) {
 		return c, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
+	}
+	sections := make([][]byte, nsec)
+	errs := make([]error, nsec)
+	w := workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	// Split the worker budget between sections and the shards inside a
+	// large section, so a stream dominated by one big section still scales.
+	inner := (w + nsec - 1) / nsec
+	parallel.For(nsec, workers, func(s int) {
+		ref := refs[s]
+		if version >= formatV2 {
+			if got := integrity.Checksum(ref.comp); got != ref.crc {
+				errs[s] = fmt.Errorf("core: section %d (%s) %w (stored %08x, computed %08x)",
+					s, v2SectionName(h, s), integrity.ErrCRC, ref.crc, got)
+				return
+			}
+		}
+		raw, err := inflateSection(ref.comp, ref.rawLen, inner)
+		if err != nil {
+			errs[s] = fmt.Errorf("core: section %d: %w", s, err)
+			return
+		}
+		sections[s] = raw
+	})
+	// Report the lowest-index failure so errors are deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return c, err
+		}
 	}
 
 	switch version {

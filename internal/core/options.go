@@ -119,6 +119,9 @@ type Params struct {
 	// Huffman before the zlib add-on — an SZ-style entropy stage that pays
 	// off on skewed index distributions (ablation knob).
 	HuffmanIndices bool
+	// ZLevel sets the zlib add-on compression level, 1 (fastest) to 9
+	// (best). 0 keeps zlib's default level, matching previous releases.
+	ZLevel int
 }
 
 // DPZL returns the paper's loose scheme: P = 1e-3 with 1-byte indexing.
@@ -185,7 +188,18 @@ func (p *Params) Validate() error {
 	if p.ElemBytes != 0 && p.ElemBytes != 4 && p.ElemBytes != 8 {
 		return fmt.Errorf("core: ElemBytes must be 4 or 8, got %d", p.ElemBytes)
 	}
+	if p.ZLevel < 0 || p.ZLevel > 9 {
+		return fmt.Errorf("core: ZLevel %d out of [0,9]", p.ZLevel)
+	}
 	return nil
+}
+
+// zlibLevel maps Params.ZLevel to the compress/zlib level constant.
+func (p *Params) zlibLevel() int {
+	if p.ZLevel == 0 {
+		return -1 // zlib.DefaultCompression
+	}
+	return p.ZLevel
 }
 
 // NinesTVE converts a count of nines to a TVE threshold: NinesTVE(3) =

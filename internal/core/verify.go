@@ -93,7 +93,7 @@ func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
 			continue
 		}
 		if doInflate {
-			raw, err := inflate(comp, rawLen)
+			raw, err := inflateSection(comp, rawLen, 1)
 			if err != nil {
 				secs[s].err = err
 				continue
@@ -122,7 +122,7 @@ func Verify(buf []byte) error {
 		return err
 	}
 	if version == formatV1 {
-		_, err := decodeContainer(buf)
+		_, err := decodeContainer(buf, 0)
 		return err
 	}
 	h, secs, err := walkV2(buf, false)

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"dpz/internal/parallel"
+	"dpz/internal/scratch"
 )
 
 // Dense is a row-major matrix of float64 values. The zero value is an empty
@@ -207,36 +208,43 @@ func ColStds(m *Dense, means []float64) []float64 {
 // observations in m (rows are samples, columns are features). The returned
 // means are the per-column means that were subtracted.
 func Covariance(m *Dense) (cov *Dense, means []float64) {
+	return CovarianceW(m, 0)
+}
+
+// CovarianceW is Covariance with an explicit worker bound (0 = GOMAXPROCS).
+func CovarianceW(m *Dense, workers int) (cov *Dense, means []float64) {
 	means = ColMeans(m)
-	return covarianceCentered(m, means, nil), means
+	return covarianceCentered(m, means, nil, workers), means
 }
 
 // Correlation computes the sample Pearson correlation matrix of m's columns.
 func Correlation(m *Dense) *Dense {
+	return CorrelationW(m, 0)
+}
+
+// CorrelationW is Correlation with an explicit worker bound (0 = GOMAXPROCS).
+func CorrelationW(m *Dense, workers int) *Dense {
 	means := ColMeans(m)
 	stds := ColStds(m, means)
-	return covarianceCentered(m, means, stds)
+	return covarianceCentered(m, means, stds, workers)
 }
 
 // covarianceCentered computes (X-μ)ᵀ(X-μ)/(n-1), optionally scaling each
-// feature by 1/std (yielding the correlation matrix).
-func covarianceCentered(m *Dense, means, stds []float64) *Dense {
+// feature by 1/std (yielding the correlation matrix). The Gram product
+// runs through the blocked SyrK kernel; the worker count does not affect
+// the result bits (see SyrKInto).
+func covarianceCentered(m *Dense, means, stds []float64, workers int) *Dense {
 	r, c := m.rows, m.cols
-	cov := NewDense(c, c)
 	den := float64(r - 1)
 	if den <= 0 {
 		den = 1
 	}
-	workers := parallel.DefaultWorkers()
-	if r*c*c < 1<<16 {
-		workers = 1
-	}
-	// Accumulate the upper triangle in parallel over column stripes, then
-	// mirror. Center one row at a time to avoid materializing X-μ.
-	centered := NewDense(r, c)
+	// Center (and optionally scale) into a scratch matrix, then one
+	// symmetric rank-k update instead of a general multiply + transpose.
+	centered := scratch.Floats(r * c)
 	for i := 0; i < r; i++ {
 		src := m.data[i*c:]
-		dst := centered.data[i*c:]
+		dst := centered[i*c:]
 		for j := 0; j < c; j++ {
 			v := src[j] - means[j]
 			if stds != nil {
@@ -245,22 +253,11 @@ func covarianceCentered(m *Dense, means, stds []float64) *Dense {
 			dst[j] = v
 		}
 	}
-	parallel.ForChunks(c, workers, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			for k := j; k < c; k++ {
-				var s float64
-				for i := 0; i < r; i++ {
-					row := centered.data[i*c:]
-					s += row[j] * row[k]
-				}
-				cov.data[j*c+k] = s / den
-			}
-		}
-	})
-	for j := 0; j < c; j++ {
-		for k := 0; k < j; k++ {
-			cov.data[j*c+k] = cov.data[k*c+j]
-		}
+	cov := NewDense(c, c)
+	SyrKInto(cov, NewDenseData(r, c, centered), workers)
+	scratch.PutFloats(centered)
+	for i := range cov.data {
+		cov.data[i] /= den
 	}
 	return cov
 }

@@ -1,0 +1,99 @@
+package mat
+
+import (
+	"fmt"
+
+	"dpz/internal/parallel"
+	"dpz/internal/scratch"
+)
+
+// syrkBlock is the column-tile edge for the blocked Gram kernel: two
+// tiles of 64 columns (2·64·8 = 1 KiB per row panel) stream through L1
+// while the 64×64 accumulator (32 KiB) stays resident.
+const syrkBlock = 64
+
+// SyrK computes the symmetric rank-k update C = AᵀA for the r×c matrix a,
+// returning the full (mirrored) c×c Gram matrix. See SyrKInto.
+func SyrK(a *Dense, workers int) *Dense {
+	out := NewDense(a.cols, a.cols)
+	SyrKInto(out, a, workers)
+	return out
+}
+
+// SyrKInto computes out = AᵀA into the caller's c×c matrix, cache-blocked
+// and worker-parallel. The computation is tiled over column-pair blocks;
+// each output entry is accumulated by exactly one worker, sweeping rows in
+// ascending order, so the result is bit-identical for every worker count.
+// Only the upper triangle is computed directly; the lower is mirrored.
+//
+// This is the Stage 2 covariance kernel: the naive jk-inner-i loop walks
+// the r×c matrix column-wise (stride c) once per output entry, which
+// thrashes the cache as soon as a row no longer fits; the blocked form
+// streams contiguous row segments and reuses each loaded panel for a full
+// tile of outputs.
+func SyrKInto(out, a *Dense, workers int) {
+	c := a.cols
+	if out.rows != c || out.cols != c {
+		panic(fmt.Sprintf("mat: SyrKInto output %dx%d for %d columns", out.rows, out.cols, c))
+	}
+	r := a.rows
+	nb := (c + syrkBlock - 1) / syrkBlock
+	// Upper-triangular tile pairs (jb, kb), kb >= jb, flattened.
+	type pair struct{ jb, kb int }
+	pairs := make([]pair, 0, nb*(nb+1)/2)
+	for jb := 0; jb < nb; jb++ {
+		for kb := jb; kb < nb; kb++ {
+			pairs = append(pairs, pair{jb, kb})
+		}
+	}
+	if r*c*c < 1<<16 {
+		workers = 1
+	}
+	parallel.For(len(pairs), workers, func(pi int) {
+		p := pairs[pi]
+		j0, j1 := p.jb*syrkBlock, min((p.jb+1)*syrkBlock, c)
+		k0, k1 := p.kb*syrkBlock, min((p.kb+1)*syrkBlock, c)
+		jw, kw := j1-j0, k1-k0
+		acc := scratch.ZeroedFloats(jw * kw)
+		diag := p.jb == p.kb
+		for i := 0; i < r; i++ {
+			row := a.data[i*c:]
+			aj := row[j0:j1]
+			ak := row[k0:k1]
+			for jj, v := range aj {
+				if v == 0 {
+					continue
+				}
+				dst := acc[jj*kw:]
+				if diag {
+					// Diagonal tile: only k >= j contributes to the
+					// upper triangle.
+					for kk := jj; kk < kw; kk++ {
+						dst[kk] += v * ak[kk]
+					}
+					continue
+				}
+				for kk, w := range ak {
+					dst[kk] += v * w
+				}
+			}
+		}
+		for jj := 0; jj < jw; jj++ {
+			kkStart := 0
+			if diag {
+				kkStart = jj
+			}
+			orow := out.data[(j0+jj)*c:]
+			for kk := kkStart; kk < kw; kk++ {
+				orow[k0+kk] = acc[jj*kw+kk]
+			}
+		}
+		scratch.PutFloats(acc)
+	})
+	// Mirror the lower triangle.
+	for j := 1; j < c; j++ {
+		for k := 0; k < j; k++ {
+			out.data[j*c+k] = out.data[k*c+j]
+		}
+	}
+}

@@ -1,12 +1,14 @@
 // Package parallel provides small helpers for data-parallel loops over
-// index ranges. DPZ's block-based stages (DCT, quantization) are
-// embarrassingly parallel across blocks; these helpers bound the number of
-// concurrently running goroutines so large inputs do not oversubscribe the
-// machine.
+// index ranges and a bounded, order-preserving pipeline. DPZ's block-based
+// stages (DCT, quantization) are embarrassingly parallel across blocks;
+// these helpers bound the number of concurrently running goroutines so
+// large inputs do not oversubscribe the machine.
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -16,10 +18,63 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// WorkerPanic carries a panic that happened inside a worker goroutine back
+// to the calling goroutine: For, ForChunks and Pipeline recover worker
+// panics and re-panic with a *WorkerPanic on the caller, so a panic inside
+// a block kernel surfaces as one clean stack instead of crashing the
+// process from an anonymous goroutine (and instead of hanging the
+// WaitGroup if a recover were swallowed).
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking worker goroutine's stack trace.
+	Stack string
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes an underlying error panic value to errors.Is/As.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// panicTrap records the first worker panic; rethrow re-raises it on the
+// calling goroutine after the WaitGroup has drained.
+type panicTrap struct {
+	once sync.Once
+	wp   *WorkerPanic
+}
+
+// capture must be deferred inside each worker goroutine.
+func (t *panicTrap) capture() {
+	if r := recover(); r != nil {
+		if wp, ok := r.(*WorkerPanic); ok {
+			// Already wrapped (nested parallel call): keep the inner stack.
+			t.once.Do(func() { t.wp = wp })
+			return
+		}
+		stack := string(debug.Stack())
+		t.once.Do(func() { t.wp = &WorkerPanic{Value: r, Stack: stack} })
+	}
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (t *panicTrap) rethrow() {
+	if t.wp != nil {
+		panic(t.wp)
+	}
+}
+
 // For runs fn(i) for every i in [0, n) using at most workers goroutines.
 // If workers <= 0, DefaultWorkers() is used. If workers == 1 or n is small,
 // the loop runs inline on the calling goroutine. fn must be safe to call
-// concurrently for distinct i.
+// concurrently for distinct i. A panic inside fn is recovered in the
+// worker and re-raised on the calling goroutine as a *WorkerPanic.
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -39,6 +94,7 @@ func For(n, workers int, fn func(i int)) {
 	// Chunked striding: each worker walks a contiguous range, which keeps
 	// cache locality for block-major data layouts.
 	var wg sync.WaitGroup
+	var trap panicTrap
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -52,17 +108,20 @@ func For(n, workers int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer trap.capture()
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // ForChunks splits [0, n) into at most `workers` contiguous chunks and runs
 // fn(lo, hi) on each chunk concurrently. Useful when per-iteration work is
-// tiny and the callee wants to amortize setup across a range.
+// tiny and the callee wants to amortize setup across a range. Worker panics
+// are recovered and re-raised on the caller as a *WorkerPanic.
 func ForChunks(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -78,6 +137,7 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var trap panicTrap
 	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -91,8 +151,10 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer trap.capture()
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 }

@@ -1,0 +1,158 @@
+package parallel
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// pipeJob pairs an input item with its emission index.
+type pipeJob[In any] struct {
+	idx int
+	in  In
+}
+
+// pipeRes pairs a work result with its job's index.
+type pipeRes[Out any] struct {
+	idx int
+	out Out
+	err error
+}
+
+// Pipeline runs a bounded, order-preserving three-stage pipeline:
+//
+//	source --(prefetch)--> work ×W --(reorder)--> sink
+//
+// source runs on its own goroutine and emits items serially via the emit
+// callback; work runs on up to `workers` items concurrently; sink is
+// called serially on the calling goroutine, in emission order, with each
+// item's index and result. Memory is bounded: at most workers+prefetch
+// items are in flight (emitted but not yet consumed by sink), so a slow
+// sink or a slow head-of-line item backpressures the source instead of
+// accumulating results.
+//
+// emit returns false when the pipeline is shutting down (an earlier stage
+// failed); source should then stop and return. The first error — from
+// work or sink the lowest-index one reached in order, else the source's —
+// cancels the pipeline and is returned after all workers have drained.
+// A panic inside work is recovered and re-raised on the caller as a
+// *WorkerPanic.
+//
+// The ordered-completion structure is what keeps concurrent compression
+// deterministic: tile archives and multi-field packs are written in
+// emission order regardless of which worker finishes first.
+func Pipeline[In, Out any](workers, prefetch int, source func(emit func(In) bool) error, work func(In) (Out, error), sink func(idx int, v Out) error) error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if prefetch < 0 {
+		prefetch = 0
+	}
+
+	jobs := make(chan pipeJob[In], prefetch)
+	results := make(chan pipeRes[Out])
+	done := make(chan struct{})
+	// tokens caps the number of in-flight items; acquired at emission,
+	// released when sink consumes.
+	tokens := make(chan struct{}, workers+prefetch)
+	srcErr := make(chan error, 1)
+
+	go func() {
+		defer close(jobs)
+		idx := 0
+		srcErr <- source(func(in In) bool {
+			select {
+			case tokens <- struct{}{}:
+			case <-done:
+				return false
+			}
+			select {
+			case jobs <- pipeJob[In]{idx: idx, in: in}:
+				idx++
+				return true
+			case <-done:
+				return false
+			}
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				select {
+				case <-done:
+					continue // shutting down: drain without working
+				default:
+				}
+				r := pipeRes[Out]{idx: j.idx}
+				r.out, r.err = runWork(work, j.in)
+				select {
+				case results <- r:
+				case <-done:
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Ordered consumer on the calling goroutine.
+	pending := make(map[int]pipeRes[Out])
+	next := 0
+	var firstErr error
+	cancel := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
+	}
+	for r := range results {
+		if firstErr != nil {
+			continue // draining
+		}
+		pending[r.idx] = r
+		for {
+			nr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if nr.err != nil {
+				cancel(nr.err)
+				break
+			}
+			if err := sink(next, nr.out); err != nil {
+				cancel(err)
+				break
+			}
+			next++
+			<-tokens
+		}
+	}
+	if serr := <-srcErr; firstErr == nil && serr != nil {
+		firstErr = serr
+	}
+	if wp, ok := firstErr.(*WorkerPanic); ok {
+		panic(wp)
+	}
+	return firstErr
+}
+
+// runWork invokes work, converting a panic into a *WorkerPanic error so
+// the consumer can cancel cleanly and re-raise it on the caller.
+func runWork[In, Out any](work func(In) (Out, error), in In) (out Out, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if wp, ok := r.(*WorkerPanic); ok {
+				err = wp
+				return
+			}
+			err = &WorkerPanic{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return work(in)
+}

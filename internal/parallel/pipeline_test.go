@@ -1,0 +1,288 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				wp, ok := r.(*WorkerPanic)
+				if workers == 1 {
+					// Inline path: the original panic value is untouched.
+					if r != "boom" {
+						t.Fatalf("workers=1: panic value %v", r)
+					}
+					return
+				}
+				if !ok {
+					t.Fatalf("workers=%d: panic value %T, want *WorkerPanic", workers, r)
+				}
+				if wp.Value != "boom" {
+					t.Fatalf("workers=%d: wrapped value %v", workers, wp.Value)
+				}
+				if !strings.Contains(wp.Stack, "parallel") {
+					t.Fatalf("workers=%d: worker stack missing: %q", workers, wp.Stack)
+				}
+			}()
+			For(64, workers, func(i int) {
+				if i == 17 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForChunksPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("panic value %T (%v), want *WorkerPanic", r, r)
+		}
+		var errBoom = wp.Unwrap()
+		if errBoom == nil || errBoom.Error() != "kernel failure" {
+			t.Fatalf("Unwrap = %v", errBoom)
+		}
+	}()
+	ForChunks(64, 4, func(lo, hi int) {
+		if lo == 0 {
+			panic(errors.New("kernel failure"))
+		}
+	})
+}
+
+// TestForPanicDoesNotHang guards the original bug shape: a panicking
+// worker must not leave the WaitGroup undrained.
+func TestForPanicDoesNotHang(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { _ = recover() }()
+		For(1000, 8, func(i int) {
+			if i%100 == 3 {
+				panic(i)
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("For hung after worker panic")
+	}
+}
+
+func TestPipelineOrdersResults(t *testing.T) {
+	const n = 200
+	rng := rand.New(rand.NewSource(7))
+	delays := make([]time.Duration, n)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	var got []int
+	err := Pipeline(8, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < n; i++ {
+				if !emit(i) {
+					break
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			time.Sleep(delays[i]) // scramble completion order
+			return i * i, nil
+		},
+		func(idx, v int) error {
+			if v != idx*idx {
+				return fmt.Errorf("idx %d got %d", idx, v)
+			}
+			got = append(got, idx)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("sank %d of %d items", len(got), n)
+	}
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("out of order at %d: %d", i, idx)
+		}
+	}
+}
+
+func TestPipelineBoundsInFlight(t *testing.T) {
+	const workers, prefetch = 3, 2
+	var inFlight, maxSeen int64
+	err := Pipeline(workers, prefetch,
+		func(emit func(int) bool) error {
+			for i := 0; i < 100; i++ {
+				atomic.AddInt64(&inFlight, 1)
+				if !emit(i) {
+					break
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) { return i, nil },
+		func(idx, v int) error {
+			cur := atomic.LoadInt64(&inFlight)
+			for {
+				old := atomic.LoadInt64(&maxSeen)
+				if cur <= old || atomic.CompareAndSwapInt64(&maxSeen, old, cur) {
+					break
+				}
+			}
+			atomic.AddInt64(&inFlight, -1)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The token semaphore admits workers+prefetch items; the source may
+	// have incremented once more before blocking on the token.
+	if max := atomic.LoadInt64(&maxSeen); max > workers+prefetch+1 {
+		t.Fatalf("in-flight reached %d, bound is %d", max, workers+prefetch+1)
+	}
+}
+
+func TestPipelineWorkError(t *testing.T) {
+	wantErr := errors.New("tile 5 exploded")
+	var sank []int
+	err := Pipeline(4, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 50; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			if i == 5 {
+				return 0, wantErr
+			}
+			return i, nil
+		},
+		func(idx, v int) error { sank = append(sank, idx); return nil },
+	)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// Everything before the failing index must have been sunk, in order.
+	if len(sank) != 5 {
+		t.Fatalf("sank %v, want [0 1 2 3 4]", sank)
+	}
+	for i, idx := range sank {
+		if idx != i {
+			t.Fatalf("sank %v, want prefix order", sank)
+		}
+	}
+}
+
+func TestPipelineSinkError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	err := Pipeline(4, 2,
+		func(emit func(int) bool) error {
+			i := 0
+			for emit(i) {
+				i++
+				if i > 1000 {
+					return errors.New("source never cancelled")
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) { return i, nil },
+		func(idx, v int) error {
+			if idx == 3 {
+				return wantErr
+			}
+			return nil
+		},
+	)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+func TestPipelineSourceError(t *testing.T) {
+	wantErr := errors.New("read failed")
+	var sank int
+	err := Pipeline(2, 1,
+		func(emit func(int) bool) error {
+			for i := 0; i < 3; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return wantErr
+		},
+		func(i int) (int, error) { return i, nil },
+		func(idx, v int) error { sank++; return nil },
+	)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if sank != 3 {
+		t.Fatalf("sank %d items emitted before the source error, want 3", sank)
+	}
+}
+
+func TestPipelineWorkPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("panic value %T (%v), want *WorkerPanic", r, r)
+		}
+		if wp.Value != "stage blew up" {
+			t.Fatalf("wrapped value %v", wp.Value)
+		}
+	}()
+	_ = Pipeline(4, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 20; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			if i == 7 {
+				panic("stage blew up")
+			}
+			return i, nil
+		},
+		func(idx, v int) error { return nil },
+	)
+	t.Fatal("Pipeline returned instead of panicking")
+}
+
+func TestPipelineEmpty(t *testing.T) {
+	err := Pipeline(4, 2,
+		func(emit func(int) bool) error { return nil },
+		func(i int) (int, error) { return i, nil },
+		func(idx, v int) error { return errors.New("sink must not run") },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,9 @@ type Options struct {
 	// low-linearity data (VIF below the cutoff); DCT block data normally
 	// shares a unit norm and is left unscaled.
 	Standardize bool
+	// Workers bounds the parallelism of the covariance Gram kernel
+	// (0 = GOMAXPROCS). It never changes the result bits.
+	Workers int
 }
 
 // Fit computes the PCA basis of x (rows = samples, cols = features).
@@ -54,9 +57,9 @@ func Fit(x *mat.Dense, opts Options) (*Model, error) {
 	var cov *mat.Dense
 	if opts.Standardize {
 		m.Scales = mat.ColStds(x, m.Means)
-		cov = mat.Correlation(x)
+		cov = mat.CorrelationW(x, opts.Workers)
 	} else {
-		cov, _ = mat.Covariance(x)
+		cov, _ = mat.CovarianceW(x, opts.Workers)
 	}
 	sys, err := eigen.SymEig(cov)
 	if err != nil {
@@ -93,9 +96,9 @@ func FitK(x *mat.Dense, k int, opts Options, seed int64) (*Model, error) {
 	var cov *mat.Dense
 	if opts.Standardize {
 		m.Scales = mat.ColStds(x, m.Means)
-		cov = mat.Correlation(x)
+		cov = mat.CorrelationW(x, opts.Workers)
 	} else {
-		cov, _ = mat.Covariance(x)
+		cov, _ = mat.CovarianceW(x, opts.Workers)
 	}
 	for i := 0; i < c; i++ {
 		m.TotalVar += cov.At(i, i)
@@ -133,9 +136,9 @@ func FitTVE(x *mat.Dense, target float64, opts Options, seed int64) (*Model, err
 	var cov *mat.Dense
 	if opts.Standardize {
 		m.Scales = mat.ColStds(x, m.Means)
-		cov = mat.Correlation(x)
+		cov = mat.CorrelationW(x, opts.Workers)
 	} else {
-		cov, _ = mat.Covariance(x)
+		cov, _ = mat.CovarianceW(x, opts.Workers)
 	}
 	for i := 0; i < c; i++ {
 		m.TotalVar += cov.At(i, i)
@@ -214,9 +217,9 @@ func Spectrum(x *mat.Dense, opts Options) (vals []float64, totalVar float64, err
 	}
 	var cov *mat.Dense
 	if opts.Standardize {
-		cov = mat.Correlation(x)
+		cov = mat.CorrelationW(x, opts.Workers)
 	} else {
-		cov, _ = mat.Covariance(x)
+		cov, _ = mat.CovarianceW(x, opts.Workers)
 	}
 	for i := 0; i < c; i++ {
 		totalVar += cov.At(i, i)

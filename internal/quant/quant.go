@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"dpz/internal/huffman"
 	"dpz/internal/parallel"
@@ -81,7 +82,9 @@ func (q *Quantizer) Encode(x []float64, workers int) *Encoded {
 	enc := &Encoded{P: q.P, Width: q.Width, Lit32: q.Lit32, Count: len(x), Codes: make([]uint16, len(x))}
 	esc := q.Width.escape()
 	twoP := 2 * q.P
+	var nesc atomic.Int64
 	parallel.ForChunks(len(x), workers, func(lo, hi int) {
+		chunkEsc := 0
 		for i := lo; i < hi; i++ {
 			v := x[i]
 			idx := math.Floor((v + q.half) / twoP)
@@ -89,16 +92,25 @@ func (q *Quantizer) Encode(x []float64, workers int) *Encoded {
 				enc.Codes[i] = uint16(idx)
 			} else {
 				enc.Codes[i] = esc
+				chunkEsc++
 			}
 		}
+		nesc.Add(int64(chunkEsc))
 	})
-	for i, c := range enc.Codes {
-		if c == esc {
-			v := x[i]
-			if q.Lit32 {
-				v = float64(float32(v))
+	if n := nesc.Load(); n > 0 {
+		// Exact-capacity allocation: escapes were counted during the
+		// parallel pass, so the literal stream never reallocates while
+		// growing (it used to dominate allocations for out-of-range-heavy
+		// columns).
+		enc.Literals = make([]float64, 0, n)
+		for i, c := range enc.Codes {
+			if c == esc {
+				v := x[i]
+				if q.Lit32 {
+					v = float64(float32(v))
+				}
+				enc.Literals = append(enc.Literals, v)
 			}
-			enc.Literals = append(enc.Literals, v)
 		}
 	}
 	return enc

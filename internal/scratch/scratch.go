@@ -1,0 +1,79 @@
+// Package scratch provides pooled scratch buffers for the hot compression
+// path. The DCT, quantization and reconstruction kernels need short-lived
+// float64 workspaces sized by the block shape; allocating them per block
+// (or per call) dominates the allocation profile under -benchmem. Buffers
+// are recycled through size-classed sync.Pools, so per-worker scratch is
+// effectively arena-allocated across calls.
+//
+// Buffers are NOT zeroed on reuse: callers must fully overwrite them (the
+// kernels here always do) or clear them explicitly.
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// minClass is the smallest pooled size class (1<<minClass elements);
+// requests below it still round up to it, keeping the class count small.
+const minClass = 6 // 64 elements
+
+// maxClass bounds pooling: larger requests are plainly allocated and
+// dropped on Put, so a one-off huge field does not pin memory forever.
+const maxClass = 26 // 64M elements = 512 MiB of float64
+
+var floatPools [maxClass + 1]sync.Pool
+
+// class returns the pool index for a request of n elements.
+func class(n int) int {
+	if n <= 1<<minClass {
+		return minClass
+	}
+	return bits.Len(uint(n - 1)) // ceil(log2 n)
+}
+
+// Floats returns a []float64 of length n from the pool. Contents are
+// arbitrary; the caller must overwrite before reading. Return it with
+// PutFloats when done.
+func Floats(n int) []float64 {
+	if n < 0 {
+		panic("scratch: negative length")
+	}
+	c := class(n)
+	if c > maxClass {
+		return make([]float64, n)
+	}
+	if v := floatPools[c].Get(); v != nil {
+		return v.([]float64)[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// PutFloats returns a slice obtained from Floats to the pool. Passing a
+// slice not obtained from Floats is allowed as long as its capacity is at
+// least the size class it will serve.
+func PutFloats(s []float64) {
+	c := cap(s)
+	if c < 1<<minClass || c > 1<<maxClass {
+		return
+	}
+	// Only pool under the class the capacity fully serves: a slice of
+	// capacity c serves class floor(log2 c).
+	cl := bits.Len(uint(c)) - 1
+	if cl < minClass {
+		return
+	}
+	if cl > maxClass {
+		cl = maxClass
+	}
+	floatPools[cl].Put(s[:0:c])
+}
+
+// ZeroedFloats returns a pooled slice of n zeros.
+func ZeroedFloats(n int) []float64 {
+	s := Floats(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -1,0 +1,37 @@
+package scratch
+
+import "testing"
+
+func TestFloatsSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1 << 20} {
+		s := Floats(n)
+		if len(s) != n {
+			t.Fatalf("Floats(%d) has len %d", n, len(s))
+		}
+		PutFloats(s)
+	}
+}
+
+func TestFloatsReuse(t *testing.T) {
+	s := Floats(128)
+	for i := range s {
+		s[i] = 1
+	}
+	PutFloats(s)
+	// A pooled buffer is not zeroed; ZeroedFloats must be.
+	z := ZeroedFloats(128)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("ZeroedFloats[%d] = %v", i, v)
+		}
+	}
+	PutFloats(z)
+}
+
+func TestPutFloatsIgnoresOddCaps(t *testing.T) {
+	// Tiny and non-pool-managed slices must not panic.
+	PutFloats(nil)
+	PutFloats(make([]float64, 3))
+	s := Floats(70)[:10]
+	PutFloats(s)
+}

@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 
 	"dpz/internal/parallel"
+	"dpz/internal/scratch"
 )
 
 // Plan precomputes the constants for orthonormal DCT-II (forward) and
@@ -148,10 +149,11 @@ func applyRows(data []float64, rows, n, workers int, fn func(*Plan, []float64)) 
 		return
 	}
 	parallel.ForChunks(rows, workers, func(lo, hi int) {
-		p := NewPlan(n) // one plan (and scratch) per worker
+		p := GetPlan(n) // one plan (and scratch) per worker
 		for r := lo; r < hi; r++ {
 			fn(p, data[r*n:(r+1)*n])
 		}
+		PutPlan(p)
 	})
 }
 
@@ -178,8 +180,8 @@ func dct2d(data []float64, rows, cols, workers int, inverse bool) {
 	// Column pass: transform each column by gathering into a scratch
 	// vector. Parallel across columns.
 	parallel.ForChunks(cols, workers, func(lo, hi int) {
-		p := NewPlan(rows)
-		col := make([]float64, rows)
+		p := GetPlan(rows)
+		col := scratch.Floats(rows)
 		for j := lo; j < hi; j++ {
 			for i := 0; i < rows; i++ {
 				col[i] = data[i*cols+j]
@@ -193,5 +195,7 @@ func dct2d(data []float64, rows, cols, workers int, inverse bool) {
 				data[i*cols+j] = col[i]
 			}
 		}
+		scratch.PutFloats(col)
+		PutPlan(p)
 	})
 }

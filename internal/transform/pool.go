@@ -1,0 +1,34 @@
+package transform
+
+import "sync"
+
+// planPools holds one *sync.Pool of *Plan per transform length. Plans own
+// their FFT scratch (≈48·n bytes), so the row kernels would otherwise
+// allocate a fresh plan per worker per call — visible in the allocation
+// profile when tiles are small and calls are frequent.
+var planPools sync.Map // int -> *sync.Pool
+
+// GetPlan returns a pooled Plan for length n, creating one if the pool is
+// empty. Return it with PutPlan when done. A Plan is not concurrent-safe;
+// each goroutine must hold its own.
+func GetPlan(n int) *Plan {
+	p, ok := planPools.Load(n)
+	if !ok {
+		p, _ = planPools.LoadOrStore(n, &sync.Pool{})
+	}
+	pool := p.(*sync.Pool)
+	if v := pool.Get(); v != nil {
+		return v.(*Plan)
+	}
+	return NewPlan(n)
+}
+
+// PutPlan returns a Plan obtained from GetPlan to its length's pool.
+func PutPlan(p *Plan) {
+	if p == nil {
+		return
+	}
+	if v, ok := planPools.Load(p.n); ok {
+		v.(*sync.Pool).Put(p)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"dpz/internal/archive"
+	"dpz/internal/parallel"
 )
 
 // Tiled compression: fields too large to hold in memory are compressed in
@@ -30,11 +31,23 @@ type tiledMeta struct {
 // tileName formats the archive entry name of slab i.
 func tileName(i int) string { return fmt.Sprintf("tile-%06d", i) }
 
+// tilePrefetch is how many tiles the pipeline source reads ahead of the
+// slowest in-flight compression: while tile i is being written and tiles
+// up to i+W are compressing, tiles up to i+W+tilePrefetch are already
+// read off the input stream.
+const tilePrefetch = 2
+
 // CompressTiled reads a raw little-endian float32 field (the SDRBench
 // layout) from r and writes a tiled DPZ archive to w. The field's leading
 // dimension is split into slabs of tileRows rows (the last slab may be
 // shorter); each slab is compressed independently with opts, so peak
-// memory is one slab. Returns per-slab stats.
+// memory is bounded by the in-flight slab count.
+//
+// Tiles flow through a bounded three-stage pipeline: a reader goroutine
+// streams slabs off r, up to opts.Workers tiles compress concurrently,
+// and finished streams are appended to the archive strictly in tile
+// order — so the output archive is byte-identical to the serial path
+// for every worker count. Returns per-slab stats in tile order.
 func CompressTiled(r io.Reader, dims []int, tileRows int, opts Options, w io.Writer) ([]Stats, error) {
 	if len(dims) < 1 {
 		return nil, fmt.Errorf("dpz: tiled compression needs at least 1 dimension")
@@ -65,31 +78,67 @@ func CompressTiled(r io.Reader, dims []int, tileRows int, opts Options, w io.Wri
 		return nil, err
 	}
 
+	// Split the worker budget: wt tiles in flight, each compressing with
+	// inner workers, so total goroutines stay near the budget whether the
+	// field has many small tiles or a few big ones.
+	wall := opts.Workers
+	if wall <= 0 {
+		wall = parallel.DefaultWorkers()
+	}
+	wt := min(wall, tiles)
+	inner := opts
+	inner.Workers = (wall + wt - 1) / wt
+
+	type tileJob struct {
+		t    int
+		rows int
+		raw  []byte
+	}
+	type tileRes struct {
+		stream []byte
+		stats  Stats
+	}
 	br := bufio.NewReaderSize(r, 1<<20)
-	buf := make([]byte, 4)
 	statsOut := make([]Stats, 0, tiles)
-	for t := 0; t < tiles; t++ {
-		rows := tileRows
-		if t == tiles-1 {
-			rows = dims[0] - t*tileRows
-		}
-		n := rows * rowValues
-		slab := make([]float64, n)
-		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return nil, fmt.Errorf("dpz: reading tile %d: %w", t, err)
+	err = parallel.Pipeline(wt, tilePrefetch,
+		func(emit func(tileJob) bool) error {
+			for t := 0; t < tiles; t++ {
+				rows := tileRows
+				if t == tiles-1 {
+					rows = dims[0] - t*tileRows
+				}
+				raw := make([]byte, 4*rows*rowValues)
+				if _, err := io.ReadFull(br, raw); err != nil {
+					return fmt.Errorf("dpz: reading tile %d: %w", t, err)
+				}
+				if !emit(tileJob{t: t, rows: rows, raw: raw}) {
+					return nil
+				}
 			}
-			slab[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf)))
-		}
-		slabDims := append([]int{rows}, dims[1:]...)
-		res, err := CompressFloat64(slab, slabDims, opts)
-		if err != nil {
-			return nil, fmt.Errorf("dpz: tile %d: %w", t, err)
-		}
-		if err := aw.Append(tileName(t), res.Data); err != nil {
-			return nil, err
-		}
-		statsOut = append(statsOut, res.Stats)
+			return nil
+		},
+		func(j tileJob) (tileRes, error) {
+			slab := make([]float64, len(j.raw)/4)
+			for i := range slab {
+				slab[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(j.raw[4*i:])))
+			}
+			slabDims := append([]int{j.rows}, dims[1:]...)
+			res, err := CompressFloat64(slab, slabDims, inner)
+			if err != nil {
+				return tileRes{}, fmt.Errorf("dpz: tile %d: %w", j.t, err)
+			}
+			return tileRes{stream: res.Data, stats: res.Stats}, nil
+		},
+		func(idx int, res tileRes) error {
+			if err := aw.Append(tileName(idx), res.stream); err != nil {
+				return err
+			}
+			statsOut = append(statsOut, res.stats)
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
 	}
 	if err := aw.Close(); err != nil {
 		return nil, err
@@ -156,17 +205,34 @@ func (t *TiledReader) Tile(i int) ([]float64, []int, error) {
 	return DecompressFloat64(payload)
 }
 
-// ReadAll streams every slab in order into one float64 field.
+// ReadAll decompresses every slab into one float64 field, fetching and
+// decoding tiles in parallel with the default worker count.
 func (t *TiledReader) ReadAll() ([]float64, []int, error) {
+	return t.ReadAllParallel(0)
+}
+
+// ReadAllParallel is ReadAll with an explicit worker bound (0 =
+// GOMAXPROCS). Tile offsets in the output are fixed by the metadata, so
+// each worker decompresses into a disjoint range and the result is
+// independent of the worker count. The archive reader serves concurrent
+// random-access reads, so this also parallelizes the payload fetch and
+// checksum verification.
+func (t *TiledReader) ReadAllParallel(workers int) ([]float64, []int, error) {
 	total := 1
 	for _, d := range t.dims {
 		total *= d
 	}
-	out := make([]float64, 0, total)
-	for i := 0; i < t.tiles; i++ {
+	rowValues := 1
+	for _, d := range t.dims[1:] {
+		rowValues *= d
+	}
+	out := make([]float64, total)
+	errs := make([]error, t.tiles)
+	parallel.For(t.tiles, workers, func(i int) {
 		slab, slabDims, err := t.Tile(i)
 		if err != nil {
-			return nil, nil, err
+			errs[i] = err
+			return
 		}
 		// Each slab must be shape-consistent with the metadata.
 		wantRows := t.tileRows
@@ -174,12 +240,20 @@ func (t *TiledReader) ReadAll() ([]float64, []int, error) {
 			wantRows = t.dims[0] - i*t.tileRows
 		}
 		if slabDims[0] != wantRows {
-			return nil, nil, fmt.Errorf("dpz: tile %d has %d rows, want %d", i, slabDims[0], wantRows)
+			errs[i] = fmt.Errorf("dpz: tile %d has %d rows, want %d", i, slabDims[0], wantRows)
+			return
 		}
-		out = append(out, slab...)
-	}
-	if len(out) != total {
-		return nil, nil, fmt.Errorf("dpz: tiled field has %d values, want %d", len(out), total)
+		off := i * t.tileRows * rowValues
+		if len(slab) != wantRows*rowValues || off+len(slab) > total {
+			errs[i] = fmt.Errorf("dpz: tile %d has %d values, want %d", i, len(slab), wantRows*rowValues)
+			return
+		}
+		copy(out[off:], slab)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return out, t.Dims(), nil
 }
