@@ -9,13 +9,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"dpz"
 	"dpz/internal/dataset"
@@ -56,6 +57,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Ctrl-C / SIGTERM cancels the compression pipeline at its next
+	// checkpoint instead of leaving a long run un-interruptible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch {
 	case *estimate:
 		if len(rest) != 1 || *dimsStr == "" {
@@ -89,7 +95,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := dpz.CompressFloat64(field.Data, dims, opts)
+		res, err := dpz.CompressFloat64Context(ctx, field.Data, dims, opts)
 		if err != nil {
 			return err
 		}
@@ -133,7 +139,7 @@ func run(args []string, out io.Writer) error {
 				err = nil
 			}
 		} else {
-			data, dims, err = dpz.DecompressFloat64(buf)
+			data, dims, err = dpz.DecompressFloat64Context(ctx, buf, opts.Workers)
 		}
 		if err != nil {
 			return err
@@ -150,57 +156,24 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// buildOptions resolves the CLI knobs through dpz.OptionSpec — the same
+// translation the dpzd server uses, which is what keeps `dpz -z` output
+// byte-identical to a /v1/compress response for the same settings. The
+// explicit nines check preserves the CLI's rejection of -tve 0 (the spec
+// treats 0 as "default").
 func buildOptions(scheme, selection string, nines int, fit string, sampling bool, workers, zlevel int) (dpz.Options, error) {
-	var o dpz.Options
-	switch strings.ToLower(scheme) {
-	case "loose":
-		o = dpz.LooseOptions()
-	case "strict":
-		o = dpz.StrictOptions()
-	default:
-		return o, fmt.Errorf("unknown scheme %q (loose|strict)", scheme)
+	if nines == 0 {
+		return dpz.Options{}, fmt.Errorf("tve nines 0 out of range")
 	}
-	switch strings.ToLower(selection) {
-	case "tve":
-		o.Selection = dpz.TVEThreshold
-	case "knee":
-		o.Selection = dpz.KneePoint
-	default:
-		return o, fmt.Errorf("unknown selection %q (tve|knee)", selection)
-	}
-	if nines < 1 || nines > 12 {
-		return o, fmt.Errorf("tve nines %d out of range", nines)
-	}
-	o.TVE = dpz.Nines(nines)
-	switch strings.ToLower(fit) {
-	case "1d":
-		o.Fit = dpz.FitLinear
-	case "polyn":
-		o.Fit = dpz.FitPoly
-	default:
-		return o, fmt.Errorf("unknown fit %q (1d|polyn)", fit)
-	}
-	o.UseSampling = sampling
-	o.Workers = workers
-	if zlevel < 0 || zlevel > 9 {
-		return o, fmt.Errorf("zlevel %d out of [0,9]", zlevel)
-	}
-	o.ZLevel = zlevel
-	return o, nil
+	return dpz.OptionSpec{
+		Scheme:   scheme,
+		Select:   selection,
+		TVENines: nines,
+		Fit:      fit,
+		Sampling: sampling,
+		Workers:  workers,
+		ZLevel:   zlevel,
+	}.Options()
 }
 
-func parseDims(s string) ([]int, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) < 1 || len(parts) > 4 {
-		return nil, fmt.Errorf("dims %q must have 1-4 components", s)
-	}
-	dims := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
-		}
-		dims[i] = v
-	}
-	return dims, nil
-}
+func parseDims(s string) ([]int, error) { return dpz.ParseDims(s) }

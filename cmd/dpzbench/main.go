@@ -8,6 +8,7 @@
 //	dpzbench -exp fig6 -scale 0.1
 //	dpzbench -exp all -scale 0.08 -artifacts out/
 //	dpzbench -json -scale 1 -cpuprofile cpu.pprof
+//	dpzbench -server http://localhost:8640 -requests 32 -conc 4
 package main
 
 import (
@@ -32,8 +33,20 @@ func main() {
 		note       = flag.String("note", "", "free-form note recorded in the -json report")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		server     = flag.String("server", "", "smoke-benchmark a running dpzd at this base URL instead of running experiments")
+		requests   = flag.Int("requests", 32, "with -server: total compress requests")
+		conc       = flag.Int("conc", 4, "with -server: concurrent clients")
+		benchDims  = flag.String("bench-dims", "64x64", "with -server: field dims per request")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		if err := runServerSmoke(*server, *requests, *conc, *benchDims, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {

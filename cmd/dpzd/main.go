@@ -1,0 +1,103 @@
+// Command dpzd serves the DPZ compressor over HTTP: streaming
+// /v1/compress and /v1/decompress backed by a bounded job scheduler,
+// /v1/stat metadata inspection, /healthz, Prometheus /metrics and
+// net/http/pprof under /debug/pprof/.
+//
+// Usage:
+//
+//	dpzd -addr :8640 -jobs 4 -workers 8 -queue 32
+//	curl -X POST --data-binary @field.f32 'localhost:8640/v1/compress?dims=1800x3600' -o field.dpz
+//	curl -X POST --data-binary @field.dpz localhost:8640/v1/decompress -o recon.f32
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, drains
+// in-flight and queued requests (shedding new ones with 429), and exits
+// once the drain completes or the grace period runs out.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dpz/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "dpzd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run configures and serves the daemon until the listener fails or a
+// shutdown signal arrives. log receives the startup/shutdown lines.
+func run(args []string, log io.Writer) error {
+	fs := flag.NewFlagSet("dpzd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", ":8640", "listen address")
+		jobs    = fs.Int("jobs", 0, "concurrently executing requests (0 = GOMAXPROCS)")
+		workers = fs.Int("workers", 0, "total worker-goroutine budget shared by executing jobs (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 0, "admitted requests waiting beyond -jobs (0 = default 16, <0 = none)")
+		maxBody = fs.Int64("max-body", 0, "request body cap in bytes (0 = 1 GiB)")
+		timeout = fs.Duration("timeout", 0, "per-request compute deadline (0 = 5m, <0 = none)")
+		grace   = fs.Duration("grace", 30*time.Second, "shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Jobs:           *jobs,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	fmt.Fprintf(log, "dpzd: listening on %s\n", ln.Addr())
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintf(log, "dpzd: shutting down, draining for up to %s\n", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop accepting connections and wait for handlers, then stop the
+	// worker pool. Both share the grace budget.
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.Drain(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(log, "dpzd: drained, bye")
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncLog collects run()'s log lines under a lock so the test can poll
+// for the listen address without racing the serve goroutine.
+type syncLog struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *syncLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *syncLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, io.Discard); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "999.999.999.999:1"}, io.Discard); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+// TestServeAndSigterm boots the daemon on an ephemeral port, checks it
+// answers, then delivers SIGTERM to the process and expects a clean
+// drained exit — the process-level version of the server drain test.
+func TestServeAndSigterm(t *testing.T) {
+	log := &syncLog{}
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0", "-grace", "10s"}, log) }()
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(log.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged its address; log so far: %q", log.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	r, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

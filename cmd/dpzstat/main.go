@@ -1,21 +1,29 @@
-// Command dpzstat reports the reconstruction quality of a DPZ stream
-// against the original raw float32 field: PSNR, SSIM (2-D), mean relative
-// error θ, max error, compression ratio and bit rate.
+// Command dpzstat inspects DPZ streams. With just a stream it prints the
+// container metadata (dims, block shape, k, sections, compression ratio)
+// without decompressing anything; given the original raw float32 field as
+// well it also measures reconstruction quality: PSNR, SSIM (2-D), mean
+// relative error θ, max error.
 //
 // Usage:
 //
-//	dpzstat -dims 180x360 original.f32 compressed.dpz
+//	dpzstat compressed.dpz                                      # metadata only
+//	dpzstat -json compressed.dpz                                # same, as JSON
+//	dpzstat -dims 180x360 original.f32 compressed.dpz           # + quality
 //	dpzstat -dims 180x360 -rank 4 original.f32 compressed.dpz   # preview quality
 //	dpzstat -dims 180x360 -verify original.f32 compressed.dpz   # checksum + best-effort
+//
+// The -json output of the metadata block is the same rendering the dpzd
+// daemon serves from /v1/stat (both are dpz.StreamInfo), so tooling can
+// consume either source interchangeably.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"dpz"
 	"dpz/internal/dataset"
@@ -28,54 +36,128 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+// quality is the reconstruction-quality block of the -json report.
+type quality struct {
+	PSNR       float64  `json:"psnr_db"`
+	SSIM       *float64 `json:"ssim,omitempty"`
+	MeanTheta  float64  `json:"mean_rel_err"`
+	MaxAbsErr  float64  `json:"max_abs_err"`
+	Rank       int      `json:"rank,omitempty"`
+	Integrity  string   `json:"integrity,omitempty"`
+	Recovered  int      `json:"recovered_components,omitempty"`
+	StoredRank int      `json:"stored_components,omitempty"`
+}
+
+// report is the full -json document.
+type report struct {
+	Stream  *dpz.StreamInfo `json:"stream"`
+	Quality *quality        `json:"quality,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dpzstat", flag.ContinueOnError)
-	dimsStr := fs.String("dims", "", "original dimensions, e.g. 180x360")
+	dimsStr := fs.String("dims", "", "original dimensions, e.g. 180x360 (only with an original file)")
 	rank := fs.Int("rank", 0, "decompress with only the leading components (0 = all)")
 	verify := fs.Bool("verify", false, "check stream checksums; degrade to a best-effort decode on corruption")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
-	if len(rest) != 2 || *dimsStr == "" {
-		return fmt.Errorf("usage: dpzstat -dims AxB [-rank K] [-verify] original.f32 compressed.dpz")
+
+	switch len(rest) {
+	case 1:
+		return statOnly(rest[0], *jsonOut, out)
+	case 2:
+		if *dimsStr == "" {
+			return fmt.Errorf("usage: dpzstat -dims AxB [-rank K] [-verify] [-json] original.f32 compressed.dpz")
+		}
+		return statQuality(rest[0], rest[1], *dimsStr, *rank, *verify, *jsonOut, out)
 	}
-	dims, err := parseDims(*dimsStr)
+	return fmt.Errorf("usage: dpzstat [-json] compressed.dpz | dpzstat -dims AxB [-rank K] [-verify] [-json] original.f32 compressed.dpz")
+}
+
+// statOnly prints stream metadata without reconstructing anything — the
+// same dpz.Stat path the dpzd /v1/stat endpoint serves.
+func statOnly(path string, jsonOut bool, out io.Writer) error {
+	stream, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	orig, err := dataset.ReadRawFloat32(rest[0], dims)
+	info, err := dpz.Stat(stream)
 	if err != nil {
 		return err
 	}
-	stream, err := os.ReadFile(rest[1])
+	if jsonOut {
+		return writeJSON(out, report{Stream: info})
+	}
+	fmt.Fprintf(out, "format:       v%d (%s)\n", info.Version, info.Transform)
+	fmt.Fprintf(out, "values:       %d %v\n", info.Values, info.Dims)
+	fmt.Fprintf(out, "blocks:       %dx%d, k=%d, %d-byte indices\n",
+		info.Blocks, info.BlockLen, info.Components, info.IndexWidth)
+	fmt.Fprintf(out, "compressed:   %d bytes (CR %.2fx, %.3f bits/value)\n",
+		info.StreamBytes, info.CompressionRatio, info.BitRate)
+	fmt.Fprintf(out, "standardized: %v\n", info.Standardized)
+	fmt.Fprintf(out, "sections:\n")
+	for _, s := range info.Sections {
+		sh := ""
+		if s.Sharded {
+			sh = " (sharded)"
+		}
+		fmt.Fprintf(out, "  %-12s %8d -> %8d bytes%s\n", s.Name, s.RawBytes, s.CompressedBytes, sh)
+	}
+	return nil
+}
+
+// statQuality is the original two-file mode: decompress and measure
+// reconstruction quality against the original field.
+func statQuality(origPath, streamPath, dimsStr string, rank int, verify, jsonOut bool, out io.Writer) error {
+	dims, err := dpz.ParseDims(dimsStr)
 	if err != nil {
 		return err
 	}
+	orig, err := dataset.ReadRawFloat32(origPath, dims)
+	if err != nil {
+		return err
+	}
+	stream, err := os.ReadFile(streamPath)
+	if err != nil {
+		return err
+	}
+	q := quality{Rank: rank}
 	var recon []float64
 	var gotDims []int
-	if *verify {
+	if verify {
 		if verr := dpz.Verify(stream); verr != nil {
-			fmt.Fprintf(out, "integrity:    CORRUPT (%v)\n", verr)
+			q.Integrity = fmt.Sprintf("CORRUPT (%v)", verr)
+			if !jsonOut {
+				fmt.Fprintf(out, "integrity:    %s\n", q.Integrity)
+			}
 			recon, gotDims, err = dpz.DecompressBestEffortFloat64(stream)
 			var ce *dpz.CorruptionError
 			if errors.As(err, &ce) && recon != nil {
-				fmt.Fprintf(out, "best-effort:  recovered %d of %d components\n",
-					ce.RecoveredRank, ce.StoredRank)
+				q.Recovered, q.StoredRank = ce.RecoveredRank, ce.StoredRank
+				if !jsonOut {
+					fmt.Fprintf(out, "best-effort:  recovered %d of %d components\n",
+						ce.RecoveredRank, ce.StoredRank)
+				}
 				err = nil
 			}
 			if err != nil {
 				return err
 			}
 		} else {
-			fmt.Fprintf(out, "integrity:    OK\n")
-			recon, gotDims, err = dpz.DecompressRankFloat64(stream, *rank)
+			q.Integrity = "OK"
+			if !jsonOut {
+				fmt.Fprintf(out, "integrity:    OK\n")
+			}
+			recon, gotDims, err = dpz.DecompressRankFloat64(stream, rank)
 			if err != nil {
 				return err
 			}
 		}
 	} else {
-		recon, gotDims, err = dpz.DecompressRankFloat64(stream, *rank)
+		recon, gotDims, err = dpz.DecompressRankFloat64(stream, rank)
 		if err != nil {
 			return err
 		}
@@ -88,34 +170,38 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("stream dims %v do not match -dims %v", gotDims, dims)
 		}
 	}
+	q.PSNR = dpz.PSNR(orig.Data, recon)
+	q.MeanTheta = dpz.MeanRelativeError(orig.Data, recon)
+	q.MaxAbsErr = dpz.MaxAbsError(orig.Data, recon)
+	if len(dims) == 2 {
+		s := dpz.SSIM(orig.Data, recon, dims[0], dims[1])
+		q.SSIM = &s
+	}
+	if jsonOut {
+		info, err := dpz.Stat(stream)
+		if err != nil {
+			return err
+		}
+		return writeJSON(out, report{Stream: info, Quality: &q})
+	}
 	cr := dpz.CompressionRatio(4*orig.Len(), len(stream))
 	fmt.Fprintf(out, "values:       %d %v\n", orig.Len(), dims)
 	fmt.Fprintf(out, "compressed:   %d bytes (CR %.2fx, %.3f bits/value)\n",
 		len(stream), cr, dpz.BitRate(cr, 32))
-	fmt.Fprintf(out, "PSNR:         %.2f dB\n", dpz.PSNR(orig.Data, recon))
-	fmt.Fprintf(out, "mean θ:       %.4g\n", dpz.MeanRelativeError(orig.Data, recon))
-	fmt.Fprintf(out, "max |err|:    %.4g\n", dpz.MaxAbsError(orig.Data, recon))
-	if len(dims) == 2 {
-		fmt.Fprintf(out, "SSIM:         %.4f\n", dpz.SSIM(orig.Data, recon, dims[0], dims[1]))
+	fmt.Fprintf(out, "PSNR:         %.2f dB\n", q.PSNR)
+	fmt.Fprintf(out, "mean θ:       %.4g\n", q.MeanTheta)
+	fmt.Fprintf(out, "max |err|:    %.4g\n", q.MaxAbsErr)
+	if q.SSIM != nil {
+		fmt.Fprintf(out, "SSIM:         %.4f\n", *q.SSIM)
 	}
-	if *rank > 0 {
-		fmt.Fprintf(out, "(progressive: %d leading components)\n", *rank)
+	if rank > 0 {
+		fmt.Fprintf(out, "(progressive: %d leading components)\n", rank)
 	}
 	return nil
 }
 
-func parseDims(s string) ([]int, error) {
-	parts := strings.Split(strings.ToLower(s), "x")
-	if len(parts) < 1 || len(parts) > 4 {
-		return nil, fmt.Errorf("dims %q must have 1-4 components", s)
-	}
-	dims := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("bad dimension %q in %q", p, s)
-		}
-		dims[i] = v
-	}
-	return dims, nil
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

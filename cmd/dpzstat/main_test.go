@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dpz"
@@ -96,5 +100,86 @@ func TestRunVerifyFlag(t *testing.T) {
 	// Without -verify the same stream must fail outright.
 	if err := run([]string{"-dims", "48x96", orig, badPath}, devnull); err == nil {
 		t.Fatal("corrupt stream decoded without -verify")
+	}
+}
+
+func TestStatOnlyAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	f := dataset.CESM("FLDSC", 48, 96, 121)
+	orig := filepath.Join(dir, "f.f32")
+	if err := dataset.WriteRawFloat32(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, dpz.StrictOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := filepath.Join(dir, "f.dpz")
+	if err := os.WriteFile(comp, res.Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-arg metadata-only mode, text and JSON.
+	var text bytes.Buffer
+	if err := run([]string{comp}, &text); err != nil {
+		t.Fatalf("stat-only: %v", err)
+	}
+	if !strings.Contains(text.String(), "sections:") {
+		t.Fatalf("stat-only output missing sections:\n%s", text.String())
+	}
+	var js bytes.Buffer
+	if err := run([]string{"-json", comp}, &js); err != nil {
+		t.Fatalf("stat-only -json: %v", err)
+	}
+	var rep struct {
+		Stream  map[string]any `json:"stream"`
+		Quality map[string]any `json:"quality"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, js.String())
+	}
+	if rep.Stream == nil || rep.Quality != nil {
+		t.Fatalf("-json stat-only report malformed: %s", js.String())
+	}
+	// The JSON metadata must match dpz.Stat exactly — the shared rendering
+	// path with the dpzd /v1/stat endpoint.
+	info, err := dpz.Stat(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(info)
+	var want map[string]any
+	if err := json.Unmarshal(wantJSON, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stream) != len(want) {
+		t.Fatalf("stream block has %d keys, dpz.Stat has %d", len(rep.Stream), len(want))
+	}
+
+	// Two-arg mode with -json carries both blocks.
+	js.Reset()
+	if err := run([]string{"-json", "-dims", "48x96", orig, comp}, &js); err != nil {
+		t.Fatalf("quality -json: %v", err)
+	}
+	if err := json.Unmarshal(js.Bytes(), &rep); err != nil {
+		t.Fatalf("quality -json output is not JSON: %v", err)
+	}
+	if rep.Stream == nil || rep.Quality == nil {
+		t.Fatalf("quality -json report malformed: %s", js.String())
+	}
+	if _, ok := rep.Quality["psnr_db"]; !ok {
+		t.Fatalf("quality block missing psnr_db: %s", js.String())
+	}
+
+	// Garbage stream errors out in both modes.
+	junk := filepath.Join(dir, "junk.dpz")
+	if err := os.WriteFile(junk, []byte("not a stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{junk}, io.Discard); err == nil {
+		t.Fatal("stat-only accepted garbage")
+	}
+	if err := run([]string{"-json", junk}, io.Discard); err == nil {
+		t.Fatal("stat-only -json accepted garbage")
 	}
 }

@@ -24,6 +24,7 @@
 package dpz
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -302,11 +303,25 @@ func Compress(data []float32, dims []int, o Options) (*Result, error) {
 	return CompressFloat64(stats.Float32To64(data), dims, o)
 }
 
+// CompressContext is Compress with cooperative cancellation: a cancelled
+// or timed-out ctx stops the pipeline at the next stage boundary or
+// parallel-loop iteration and returns ctx.Err(). Long-lived callers (the
+// dpzd daemon, Ctrl-C-able CLIs) use this to stop burning CPU on
+// abandoned requests.
+func CompressContext(ctx context.Context, data []float32, dims []int, o Options) (*Result, error) {
+	return CompressFloat64Context(ctx, stats.Float32To64(data), dims, o)
+}
+
 // CompressFloat64 is Compress for double-precision input. Note the error
 // bound P and the CR accounting both treat values as 32-bit, matching the
 // paper's single-precision datasets.
 func CompressFloat64(data []float64, dims []int, o Options) (*Result, error) {
-	c, err := core.Compress(data, dims, o.toCore())
+	return CompressFloat64Context(context.Background(), data, dims, o)
+}
+
+// CompressFloat64Context is CompressFloat64 with cooperative cancellation.
+func CompressFloat64Context(ctx context.Context, data []float64, dims []int, o Options) (*Result, error) {
+	c, err := core.CompressContext(ctx, data, dims, o.toCore())
 	if err != nil {
 		return nil, err
 	}
@@ -323,10 +338,26 @@ func Decompress(buf []byte) ([]float32, []int, error) {
 	return stats.Float64To32(d), dims, nil
 }
 
+// DecompressContext is Decompress with cooperative cancellation and an
+// explicit worker bound (0 = GOMAXPROCS) for the parallel section decode.
+func DecompressContext(ctx context.Context, buf []byte, workers int) ([]float32, []int, error) {
+	d, dims, err := DecompressFloat64Context(ctx, buf, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stats.Float64To32(d), dims, nil
+}
+
 // DecompressFloat64 reconstructs double-precision values from a DPZ
 // stream.
 func DecompressFloat64(buf []byte) ([]float64, []int, error) {
 	return core.Decompress(buf, 0)
+}
+
+// DecompressFloat64Context is DecompressFloat64 with cooperative
+// cancellation and an explicit worker bound (0 = GOMAXPROCS).
+func DecompressFloat64Context(ctx context.Context, buf []byte, workers int) ([]float64, []int, error) {
+	return core.DecompressContext(ctx, buf, workers)
 }
 
 // DecompressRank reconstructs from only the `rank` leading principal
@@ -345,6 +376,20 @@ func DecompressRank(buf []byte, rank int) ([]float32, []int, error) {
 func DecompressRankFloat64(buf []byte, rank int) ([]float64, []int, error) {
 	return core.DecompressRank(buf, 0, rank)
 }
+
+// StreamInfo is the cheap header/section-table metadata of a DPZ stream;
+// see Stat. Its JSON form is the shared metadata rendering used by both
+// `dpzstat -json` and the dpzd `/v1/stat` endpoint.
+type StreamInfo = core.StreamInfo
+
+// SectionInfo describes one container section inside a StreamInfo.
+type SectionInfo = core.SectionInfo
+
+// Stat parses a stream's header and section table into a StreamInfo
+// without inflating any payload or reconstructing data — metadata
+// inspection at I/O cost only. Structural damage is an error; use Verify
+// for a checksum scan.
+func Stat(buf []byte) (*StreamInfo, error) { return core.Inspect(buf) }
 
 // CorruptionError reports checksum or structural damage in a DPZ stream;
 // Verify returns it to name the damaged sections, and DecompressBestEffort

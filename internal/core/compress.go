@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -60,6 +61,18 @@ type Compressed struct {
 // Compress runs the full DPZ pipeline on data with the given logical
 // dimensions (row-major, slowest first; the product must equal len(data)).
 func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
+	return CompressContext(context.Background(), data, dims, p)
+}
+
+// CompressContext is Compress with cooperative cancellation: the pipeline
+// checks ctx at every stage boundary and inside the per-component and
+// per-section parallel loops, so a cancelled or timed-out request stops
+// burning CPU mid-pipeline instead of running to completion. The partial
+// work is discarded; the return is (nil, ctx.Err()).
+func CompressContext(ctx context.Context, data []float64, dims []int, p Params) (*Compressed, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,6 +102,9 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	var st Stats
 	st.OrigBytes = elemBytes * len(data)
 	tStart := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Stage 1a: block decomposition.
 	t0 := time.Now()
@@ -105,6 +121,9 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 
 	// Stage 1b: per-block DCT (skippable for the single-stage ablation),
 	// with optional trailing-coefficient truncation.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	if !p.SkipDCT {
 		switch {
@@ -133,6 +152,9 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 
 	// Stage 2: k-PCA in the DCT domain. Samples are coefficient positions
 	// (N rows), features are blocks (M columns).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	t0 = time.Now()
 	x := blocks.T()
 
@@ -201,6 +223,9 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 		k = shape.M
 	}
 	st.K = k
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	scores := model.Transform(x, k)
 	var kept float64
 	for i := 0; i < k && i < len(model.Eigenvalues); i++ {
@@ -245,14 +270,16 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	// chunked encode inside each component.
 	encs := make([]*quant.Encoded, k)
 	innerW := workersPer(p.Workers, k)
-	parallel.For(k, p.Workers, func(j int) {
+	if err := parallel.ForCtx(ctx, k, p.Workers, func(j int) {
 		col := scratch.Floats(shape.N)
 		for i := 0; i < shape.N; i++ {
 			col[i] = scores.At(i, j)
 		}
 		encs[j] = qz.Encode(col, innerW)
 		scratch.PutFloats(col)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for j := 0; j < k; j++ {
 		st.OutOfRange += encs[j].OutOfRange()
 	}
@@ -279,7 +306,7 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	scoreSecs := make([][]byte, k)
 	projSecs := make([][]byte, k)
 	pcol := make([]float64, shape.M)
-	parallel.For(k, p.Workers, func(j int) {
+	if err := parallel.ForCtx(ctx, k, p.Workers, func(j int) {
 		if p.HuffmanIndices {
 			scoreSecs[j] = encs[j].MarshalHuffman()
 		} else {
@@ -294,7 +321,9 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 			projSecs[j] = encodeProjection(colMat, colScale[j:j+1], paCol)
 		}
 		scratch.PutFloats(pc)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	projBytes := 0
 	for j := 0; j < k; j++ {
 		projBytes += len(projSecs[j])
@@ -324,7 +353,10 @@ func Compress(data []float64, dims []int, p Params) (*Compressed, error) {
 	if p.UseWavelet {
 		h.flags |= flagWavelet
 	}
-	out, rawTotal := encodeContainer(h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec, p.zlibLevel(), p.Workers)
+	out, rawTotal, err := encodeContainer(ctx, h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec, p.zlibLevel(), p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	st.TimeZlib = time.Since(t0)
 
 	// CR accounting on the float32 basis. Stage 1&2 output: N·k scores +

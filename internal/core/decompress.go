@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dpz/internal/blockio"
@@ -19,6 +20,13 @@ func Decompress(buf []byte, workers int) ([]float64, []int, error) {
 	return DecompressRank(buf, workers, 0)
 }
 
+// DecompressContext is Decompress with cooperative cancellation: section
+// inflation, per-component decode and the stage-boundary transitions all
+// observe ctx, so an abandoned request stops early with ctx.Err().
+func DecompressContext(ctx context.Context, buf []byte, workers int) ([]float64, []int, error) {
+	return DecompressRankContext(ctx, buf, workers, 0)
+}
+
 // DecompressRank reconstructs from only the `rank` leading principal
 // components of the stored k (0 means all). An information-oriented stream
 // is consistent at any reconstruction level (the paper's Section IV-C
@@ -26,17 +34,25 @@ func Decompress(buf []byte, workers int) ([]float64, []int, error) {
 // few components, full fidelity from all of them. For v2 streams the
 // trailing rank sections are not even inflated.
 func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
-	c, err := decodeContainer(buf, workers)
+	return DecompressRankContext(context.Background(), buf, workers, rank)
+}
+
+// DecompressRankContext is DecompressRank with cooperative cancellation.
+func DecompressRankContext(ctx context.Context, buf []byte, workers, rank int) ([]float64, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c, err := decodeContainer(ctx, buf, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	return decompressParsed(c, workers, rank)
+	return decompressParsed(ctx, c, workers, rank)
 }
 
 // decompressParsed reconstructs from an already-parsed container. It is
 // shared by DecompressRank and DecompressBestEffort (which hands in a
 // container whose damaged trailing rank sections were dropped).
-func decompressParsed(c container, workers, rank int) ([]float64, []int, error) {
+func decompressParsed(ctx context.Context, c container, workers, rank int) ([]float64, []int, error) {
 	h := c.h
 	if rank < 0 || rank > h.k {
 		return nil, nil, fmt.Errorf("core: rank %d out of [0,%d]", rank, h.k)
@@ -68,9 +84,12 @@ func decompressParsed(c container, workers, rank int) ([]float64, []int, error) 
 	if c.version == formatV1 {
 		y, proj, err = assembleV1(c, useK)
 	} else {
-		y, proj, err = assembleV2(c, useK, workers)
+		y, proj, err = assembleV2(ctx, c, useK, workers)
 	}
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 
@@ -134,12 +153,12 @@ func assembleV1(c container, useK int) (*mat.Dense, *mat.Dense, error) {
 // assembleV2 decodes the leading useK per-component score streams and
 // projection columns of a v2 container, in parallel across components
 // (each writes a disjoint column of the score and projection matrices).
-func assembleV2(c container, useK, workers int) (*mat.Dense, *mat.Dense, error) {
+func assembleV2(ctx context.Context, c container, useK, workers int) (*mat.Dense, *mat.Dense, error) {
 	h := c.h
 	y := mat.NewDense(h.n, useK)
 	proj := mat.NewDense(h.m, useK)
 	errs := make([]error, useK)
-	parallel.For(useK, workers, func(j int) {
+	err := parallel.ForCtx(ctx, useK, workers, func(j int) {
 		enc, err := quant.Unmarshal(c.scores[j])
 		if err != nil {
 			errs[j] = fmt.Errorf("core: rank %d scores: %w", j, err)
@@ -179,6 +198,9 @@ func assembleV2(c container, useK, workers int) (*mat.Dense, *mat.Dense, error) 
 			scratch.PutFloats(pcol)
 		}
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err

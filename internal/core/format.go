@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -143,8 +144,9 @@ func v2SectionName(h header, i int) string {
 // split further into shards — see deflateSection) but are assembled in
 // their fixed order, so the stream is byte-identical for every worker
 // count. It returns the stream and the total pre-zlib payload size (for
-// the zlib-stage CR accounting).
-func encodeContainer(h header, scores, proj [][]byte, means, scales []byte, level, workers int) ([]byte, int) {
+// the zlib-stage CR accounting). A cancelled ctx aborts the deflate fan-out
+// and returns ctx.Err().
+func encodeContainer(ctx context.Context, h header, scores, proj [][]byte, means, scales []byte, level, workers int) ([]byte, int, error) {
 	if len(scores) != h.k || len(proj) != h.k {
 		panic(fmt.Sprintf("core: %d score / %d projection sections for K=%d", len(scores), len(proj), h.k))
 	}
@@ -180,7 +182,7 @@ func encodeContainer(h header, scores, proj [][]byte, means, scales []byte, leve
 		}
 		comp[s] = make([][]byte, n)
 	}
-	parallel.For(len(jobs), workers, func(i int) {
+	if err := parallel.ForCtx(ctx, len(jobs), workers, func(i int) {
 		j := jobs[i]
 		sec := secs[j.sec]
 		if j.shard < 0 {
@@ -189,7 +191,9 @@ func encodeContainer(h header, scores, proj [][]byte, means, scales []byte, leve
 		}
 		sp := spans[j.sec][j.shard]
 		comp[j.sec][j.shard] = deflate(sec[sp.off:sp.end], level)
-	})
+	}); err != nil {
+		return nil, 0, err
+	}
 
 	var out bytes.Buffer
 	out.Write(magic[:])
@@ -229,7 +233,7 @@ func encodeContainer(h header, scores, proj [][]byte, means, scales []byte, leve
 		out.Write(b8[:4])
 		out.Write(payload)
 	}
-	return out.Bytes(), rawTotal
+	return out.Bytes(), rawTotal, nil
 }
 
 // parseFixedHeader reads the shared fixed header (magic through K) and
@@ -342,7 +346,8 @@ func readSectionHeader(buf []byte, pos, version int) (rawLen, compLen int, crc u
 // across shards within a sharded section). Every structural or checksum
 // problem is an error; see parseLenient for the damage-tolerant walk
 // used by Verify and DecompressBestEffort.
-func decodeContainer(buf []byte, workers int) (container, error) {
+// A cancelled ctx aborts the checksum/inflate fan-out with ctx.Err().
+func decodeContainer(ctx context.Context, buf []byte, workers int) (container, error) {
 	var c container
 	h, version, pos, err := parseFixedHeader(buf)
 	if err != nil {
@@ -408,7 +413,7 @@ func decodeContainer(buf []byte, workers int) (container, error) {
 	// Split the worker budget between sections and the shards inside a
 	// large section, so a stream dominated by one big section still scales.
 	inner := (w + nsec - 1) / nsec
-	parallel.For(nsec, workers, func(s int) {
+	if err := parallel.ForCtx(ctx, nsec, workers, func(s int) {
 		ref := refs[s]
 		if version >= formatV2 {
 			if got := integrity.Checksum(ref.comp); got != ref.crc {
@@ -423,7 +428,9 @@ func decodeContainer(buf []byte, workers int) (container, error) {
 			return
 		}
 		sections[s] = raw
-	})
+	}); err != nil {
+		return c, err
+	}
 	// Report the lowest-index failure so errors are deterministic.
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dpz/internal/integrity"
+	"dpz/internal/stats"
+)
+
+// SectionInfo describes one container section without decoding it.
+type SectionInfo struct {
+	// Name labels the section ("means", "rank 3 scores", ...).
+	Name string `json:"name"`
+	// RawBytes is the section's declared pre-zlib size.
+	RawBytes int `json:"raw_bytes"`
+	// CompressedBytes is the zlib payload size inside the stream.
+	CompressedBytes int `json:"compressed_bytes"`
+	// Sharded reports whether the payload uses the parallel shard framing.
+	Sharded bool `json:"sharded,omitempty"`
+	// CRC is the stored CRC-32C of the payload (v2 streams only).
+	CRC uint32 `json:"crc32c,omitempty"`
+}
+
+// StreamInfo is the metadata of a DPZ stream, recovered from the header
+// and section table alone — no section is inflated and no data is
+// reconstructed, so inspection is cheap even for huge streams. It is the
+// one metadata-rendering path shared by `dpzstat -json` and the dpzd
+// `/v1/stat` endpoint.
+type StreamInfo struct {
+	// Version is the container format version (1 or 2).
+	Version int `json:"version"`
+	// Dims are the logical dimensions recorded at compression time.
+	Dims []int `json:"dims"`
+	// Values is the original value count (the product of Dims).
+	Values int `json:"values"`
+	// Blocks (M) and BlockLen (N) give the Stage 1 decomposition shape.
+	Blocks   int `json:"blocks"`
+	BlockLen int `json:"block_len"`
+	// Components is k, the number of stored principal components.
+	Components int `json:"components"`
+	// IndexWidth is the Stage 3 bin-index width in bytes (1 or 2).
+	IndexWidth int `json:"index_width"`
+	// Transform names the Stage 1 transform: "dct", "dct2d", "haar", "none".
+	Transform string `json:"transform"`
+	// Standardized reports pre-PCA feature standardization.
+	Standardized bool `json:"standardized"`
+	// RawProjection reports the un-budgeted float32 projection ablation.
+	RawProjection bool `json:"raw_projection,omitempty"`
+	// StreamBytes is the total container size.
+	StreamBytes int `json:"stream_bytes"`
+	// PayloadRawBytes sums the declared pre-zlib section sizes.
+	PayloadRawBytes int `json:"payload_raw_bytes"`
+	// CompressionRatio is 4·Values / StreamBytes (the float32 basis used
+	// throughout the evaluation) and BitRate its bits-per-value form.
+	CompressionRatio float64 `json:"compression_ratio"`
+	BitRate          float64 `json:"bit_rate"`
+	// Sections lists every container section in stream order.
+	Sections []SectionInfo `json:"sections"`
+}
+
+// Inspect parses a stream's header and section table into a StreamInfo.
+// It validates structure (magic, header plausibility, section framing and
+// the v2 header CRC) but does not checksum or inflate section payloads;
+// use Verify for an integrity scan.
+func Inspect(buf []byte) (*StreamInfo, error) {
+	h, version, pos, err := parseFixedHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	info := &StreamInfo{
+		Version:       version,
+		Dims:          append([]int(nil), h.dims...),
+		Values:        h.origLen,
+		Blocks:        h.m,
+		BlockLen:      h.n,
+		Components:    h.k,
+		IndexWidth:    int(h.width),
+		Standardized:  h.flags&flagStandardized != 0,
+		RawProjection: h.flags&flagRawProj != 0,
+		StreamBytes:   len(buf),
+	}
+	switch {
+	case h.flags&flagNoDCT != 0:
+		info.Transform = "none"
+	case h.flags&flag2DDCT != 0:
+		info.Transform = "dct2d"
+	case h.flags&flagWavelet != 0:
+		info.Transform = "haar"
+	default:
+		info.Transform = "dct"
+	}
+
+	var nsec int
+	var names func(i int) string
+	switch version {
+	case formatV1:
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("core: missing section table")
+		}
+		nsec = int(buf[pos])
+		pos++
+		want := 3
+		if info.Standardized {
+			want = 4
+		}
+		if nsec != want {
+			return nil, fmt.Errorf("core: %d sections, want %d", nsec, want)
+		}
+		v1names := []string{"scores", "projection", "means", "scales"}
+		names = func(i int) string { return v1names[i] }
+	default:
+		if pos+6 > len(buf) {
+			return nil, fmt.Errorf("core: missing section table")
+		}
+		nsec = int(binary.LittleEndian.Uint16(buf[pos:]))
+		want := binary.LittleEndian.Uint32(buf[pos+2:])
+		if got := integrity.Checksum(buf[:pos+2]); got != want {
+			return nil, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
+		}
+		pos += 6
+		if nsec != sectionLayout(h) {
+			return nil, fmt.Errorf("core: %d sections, want %d", nsec, sectionLayout(h))
+		}
+		names = func(i int) string { return v2SectionName(h, i) }
+	}
+
+	info.Sections = make([]SectionInfo, 0, nsec)
+	for s := 0; s < nsec; s++ {
+		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, version)
+		if err != nil {
+			return nil, err
+		}
+		payload := buf[at : at+compLen]
+		info.Sections = append(info.Sections, SectionInfo{
+			Name:            names(s),
+			RawBytes:        rawLen,
+			CompressedBytes: compLen,
+			Sharded:         isSharded(payload),
+			CRC:             crc,
+		})
+		info.PayloadRawBytes += rawLen
+		pos = at + compLen
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
+	}
+	info.CompressionRatio = stats.CompressionRatio(4*info.Values, len(buf))
+	info.BitRate = stats.BitRate(info.CompressionRatio, 32)
+	return info, nil
+}

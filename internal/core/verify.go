@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -122,7 +123,7 @@ func Verify(buf []byte) error {
 		return err
 	}
 	if version == formatV1 {
-		_, err := decodeContainer(buf, 0)
+		_, err := decodeContainer(context.Background(), buf, 0)
 		return err
 	}
 	h, secs, err := walkV2(buf, false)
@@ -184,7 +185,7 @@ func DecompressBestEffort(buf []byte, workers int) ([]float64, []int, error) {
 			c.scores[j] = secs[base+2*j].raw
 			c.proj[j] = secs[base+2*j+1].raw
 		}
-		return decompressParsed(c, workers, 0)
+		return decompressParsed(context.Background(), c, workers, 0)
 	}
 	// The side-data sections are required for any reconstruction.
 	if secs[0].err != nil || (std && secs[1].err != nil) {
@@ -207,7 +208,7 @@ func DecompressBestEffort(buf []byte, workers int) ([]float64, []int, error) {
 		c.scores[j] = secs[base+2*j].raw
 		c.proj[j] = secs[base+2*j+1].raw
 	}
-	data, dims, derr := decompressParsed(c, workers, rank)
+	data, dims, derr := decompressParsed(context.Background(), c, workers, rank)
 	if derr != nil {
 		// A section that passed its checksum but fails to decode points at
 		// a malformed stream, not recoverable storage damage.

@@ -1,0 +1,357 @@
+// Package metrics is a small, dependency-free metrics registry: counters,
+// gauges and fixed-bucket histograms with Prometheus text exposition
+// (format 0.0.4). The dpzd server instruments its request lifecycle
+// through it, and CLIs (dpzbench's server smoke) reuse the same types to
+// aggregate latencies client-side.
+//
+// Metric names may carry a constant label set inline, Prometheus-style:
+//
+//	reg.Counter(`dpzd_requests_total{route="compress",code="200"}`, "...")
+//
+// All metrics with the same family name (the part before '{') share one
+// HELP/TYPE block in the exposition. All operations are safe for
+// concurrent use; exposition output is deterministic (families and series
+// are sorted).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative; counters never go down).
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed upper-bound buckets and tracks
+// their sum, matching the Prometheus histogram model (cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`).
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation inside
+// the bucket that crosses the target rank. The top bucket has no upper
+// bound, so estimates there clamp to the largest finite bound. With no
+// observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var seen float64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if seen+c >= rank && c > 0 {
+			frac := (rank - seen) / c
+			return lower + frac*(bound-lower)
+		}
+		seen += c
+		lower = bound
+	}
+	return lower
+}
+
+// LatencyBuckets is a default bucket ladder for request latencies in
+// seconds: 1 ms to ~1 minute, roughly 2.5× per step.
+var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// SizeBuckets is a default bucket ladder for payload sizes in bytes:
+// 256 B to 1 GiB in 4× steps.
+var SizeBuckets = []float64{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}
+
+// metricKind tags a registered series for exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type series struct {
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // full series name (family + labels) → metric
+	help   map[string]string  // family → help text
+	kinds  map[string]metricKind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*series),
+		help:   make(map[string]string),
+		kinds:  make(map[string]metricKind),
+	}
+}
+
+// familyOf strips the inline label set from a series name.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labelsOf returns the inline label body ("a=\"b\",c=\"d\"") or "".
+func labelsOf(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
+}
+
+// register looks up or creates the series for name, enforcing one kind
+// per family.
+func (r *Registry) register(name, help string, kind metricKind, mk func() *series) *series {
+	fam := famValidate(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.series[name]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different kind", name))
+		}
+		return s
+	}
+	if k, ok := r.kinds[fam]; ok && k != kind {
+		panic(fmt.Sprintf("metrics: family %s holds mixed kinds", fam))
+	}
+	r.kinds[fam] = kind
+	if help != "" {
+		r.help[fam] = help
+	}
+	s := mk()
+	r.series[name] = s
+	return s
+}
+
+// famValidate rejects series names that would corrupt the exposition.
+func famValidate(name string) string {
+	fam := familyOf(name)
+	if fam == "" || strings.ContainsAny(fam, " \n\t") {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	if strings.ContainsAny(name, "\n") {
+		panic(fmt.Sprintf("metrics: newline in metric name %q", name))
+	}
+	return fam
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. help is recorded for the family on first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, func() *series {
+		return &series{kind: kindCounter, c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, func() *series {
+		return &series{kind: kindGauge, g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given upper bounds on first use (later calls may pass nil buckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, func() *series {
+		if len(buckets) == 0 {
+			buckets = LatencyBuckets
+		}
+		return &series{kind: kindHistogram, h: newHistogram(buckets)}
+	}).h
+}
+
+// withLabel merges an extra label into a series name's inline label set.
+func withLabel(family, labels, extra string) string {
+	if labels == "" {
+		return family + "{" + extra + "}"
+	}
+	return family + "{" + labels + "," + extra + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by family then series name, so scrapes and
+// golden tests see stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	snapshot := make(map[string]*series, len(r.series))
+	for n, s := range r.series {
+		snapshot[n] = s
+	}
+	help := make(map[string]string, len(r.help))
+	for f, h := range r.help {
+		help[f] = h
+	}
+	r.mu.Unlock()
+
+	sort.Slice(names, func(i, j int) bool {
+		fi, fj := familyOf(names[i]), familyOf(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return names[i] < names[j]
+	})
+
+	var lastFam string
+	for _, name := range names {
+		s := snapshot[name]
+		fam := familyOf(name)
+		if fam != lastFam {
+			if h, ok := help[fam]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam, h); err != nil {
+					return err
+				}
+			}
+			kind := "counter"
+			switch s.kind {
+			case kindGauge:
+				kind = "gauge"
+			case kindHistogram:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam, kind); err != nil {
+				return err
+			}
+			lastFam = fam
+		}
+		switch s.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, s.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, s.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			labels := labelsOf(name)
+			var cum uint64
+			for i, bound := range s.h.bounds {
+				cum += s.h.counts[i].Load()
+				le := withLabel(fam+"_bucket", labels, `le="`+formatFloat(bound)+`"`)
+				if _, err := fmt.Fprintf(w, "%s %d\n", le, cum); err != nil {
+					return err
+				}
+			}
+			inf := withLabel(fam+"_bucket", labels, `le="+Inf"`)
+			if _, err := fmt.Fprintf(w, "%s %d\n", inf, s.h.Count()); err != nil {
+				return err
+			}
+			sumName, countName := fam+"_sum", fam+"_count"
+			if labels != "" {
+				sumName += "{" + labels + "}"
+				countName += "{" + labels + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", sumName, formatFloat(s.h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", countName, s.h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("requests_total", ""); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("in_flight", "in-flight requests")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(10)
+	if g.Value() != 11 {
+		t.Fatalf("gauge = %d, want 11", g.Value())
+	}
+	g.Set(-2)
+	if g.Value() != -2 {
+		t.Fatalf("gauge = %d, want -2", g.Value())
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-21.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 21.5", got)
+	}
+	// Median rank 3.5 lands in the (2,4] bucket (3 observations there
+	// after 3 below): lower 2 + (3.5-3)/3 * 2.
+	if got, want := h.Quantile(0.5), 2+(0.5/3)*2; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0 (first bucket interpolation start)", got)
+	}
+	// Observations beyond the last bound clamp to it.
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("p100 = %v, want 8 (clamped to top finite bound)", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestBucketBoundarySemantics(t *testing.T) {
+	// Prometheus buckets are le (inclusive upper bound).
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on the first bound → first bucket
+	h.Observe(2) // exactly on the second bound → second bucket
+	h.Observe(3) // overflow
+	if h.counts[0].Load() != 1 || h.counts[1].Load() != 1 || h.counts[2].Load() != 1 {
+		t.Fatalf("bucket counts = %d/%d/%d, want 1/1/1",
+			h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load())
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{route="b"}`, "reqs").Add(2)
+	r.Counter(`req_total{route="a"}`, "reqs").Add(1)
+	r.Gauge("depth", "queue depth").Set(3)
+	h := r.Histogram(`lat_seconds{route="a"}`, "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b1, b2 strings.Builder
+	if err := r.WritePrometheus(&b1); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("exposition is not deterministic")
+	}
+	want := `# HELP depth queue depth
+# TYPE depth gauge
+depth 3
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{route="a",le="0.1"} 1
+lat_seconds_bucket{route="a",le="1"} 2
+lat_seconds_bucket{route="a",le="+Inf"} 3
+lat_seconds_sum{route="a"} 5.55
+lat_seconds_count{route="a"} 3
+# HELP req_total reqs
+# TYPE req_total counter
+req_total{route="a"} 1
+req_total{route="b"} 2
+`
+	if b1.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b1.String(), want)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c_total", "c").Inc()
+				r.Gauge("g", "g").Add(1)
+				r.Histogram("h_seconds", "h", nil).Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g", "").Value(); got != 8000 {
+		t.Fatalf("gauge = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}

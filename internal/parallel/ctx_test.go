@@ -1,0 +1,188 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCtxCompletesWithoutCancellation(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForCtx(context.Background(), 1000, 4, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("ForCtx: %v", err)
+	}
+	if got := ran.Load(); got != 1000 {
+		t.Fatalf("ran %d of 1000 iterations", got)
+	}
+}
+
+func TestForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForCtx(ctx, 100, 4, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d iterations ran on a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestForCtxStopsMidLoop cancels while iteration 0 is blocked inside fn and
+// checks the remaining iterations of that worker's range never run.
+func TestForCtxStopsMidLoop(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		started := make(chan struct{})
+		go func() {
+			<-started
+			cancel()
+		}()
+		const n = 1 << 20
+		err := ForCtx(ctx, n, workers, func(i int) {
+			if ran.Add(1) == 1 {
+				close(started)
+				<-ctx.Done()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Workers that never hit the blocking iteration can complete their
+		// whole range before the cancel lands; the worker that blocked must
+		// have abandoned the rest of its range.
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d iterations ran despite cancellation", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestForCtxNilContext(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForCtx(nil, 10, 2, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("ForCtx(nil): %v", err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran %d of 10", ran.Load())
+	}
+}
+
+func TestForChunksCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForChunksCtx(ctx, 100, 4, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d iterations ran on a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestForChunksCtxCompletes(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForChunksCtx(context.Background(), 100, 4, func(lo, hi int) { ran.Add(int64(hi - lo)) }); err != nil {
+		t.Fatalf("ForChunksCtx: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("covered %d of 100", ran.Load())
+	}
+}
+
+// TestPipelineCtxCancelled cancels while the head-of-line item is blocked in
+// work and checks the pipeline unwinds: source stops, workers drain, and
+// the call returns ctx.Err().
+func TestPipelineCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var sank atomic.Int64
+	go func() {
+		<-started
+		cancel()
+	}()
+	var once atomic.Bool
+	err := PipelineCtx(ctx, 2, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 1000; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+				<-ctx.Done()
+			}
+			return i, nil
+		},
+		func(idx, v int) error { sank.Add(1); return nil },
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := sank.Load(); got >= 1000 {
+		t.Fatalf("sink consumed all %d items despite cancellation", got)
+	}
+}
+
+func TestPipelineCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var worked atomic.Int64
+	err := PipelineCtx(ctx, 2, 1,
+		func(emit func(int) bool) error {
+			for i := 0; i < 100; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) { worked.Add(1); return i, nil },
+		func(idx, v int) error { return nil },
+	)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestPipelineCtxUncancelledMatchesPipeline checks the ctx variant is a
+// strict superset: with a background context it behaves like Pipeline.
+func TestPipelineCtxUncancelledMatchesPipeline(t *testing.T) {
+	var got []int
+	err := PipelineCtx(context.Background(), 4, 2,
+		func(emit func(int) bool) error {
+			for i := 0; i < 50; i++ {
+				if !emit(i) {
+					return nil
+				}
+			}
+			return nil
+		},
+		func(i int) (int, error) {
+			time.Sleep(time.Duration(i%3) * time.Microsecond)
+			return i * i, nil
+		},
+		func(idx, v int) error { got = append(got, v); return nil },
+	)
+	if err != nil {
+		t.Fatalf("PipelineCtx: %v", err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("sank %d of 50 items", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("item %d = %d, want %d (order violated)", i, v, i*i)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -76,6 +77,28 @@ func (t *panicTrap) rethrow() {
 // concurrently for distinct i. A panic inside fn is recovered in the
 // worker and re-raised on the calling goroutine as a *WorkerPanic.
 func For(n, workers int, fn func(i int)) {
+	forDone(nil, n, workers, fn)
+}
+
+// ForCtx is For with cooperative cancellation: every worker checks ctx
+// between iterations and stops early once it is cancelled, so a timed-out
+// or abandoned request stops burning CPU mid-loop instead of running to
+// completion. It returns ctx.Err() when the loop was cut short (some
+// iterations never ran) and nil when every iteration completed.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forDone(ctx.Done(), n, workers, fn)
+	return ctx.Err()
+}
+
+// forDone is the shared For body; a nil done channel means no cancellation
+// (the per-iteration check then reduces to one predictable branch).
+func forDone(done <-chan struct{}, n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -87,6 +110,13 @@ func For(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			fn(i)
 		}
 		return
@@ -110,6 +140,13 @@ func For(n, workers int, fn func(i int)) {
 			defer wg.Done()
 			defer trap.capture()
 			for i := lo; i < hi; i++ {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				fn(i)
 			}
 		}(lo, hi)
@@ -123,6 +160,27 @@ func For(n, workers int, fn func(i int)) {
 // tiny and the callee wants to amortize setup across a range. Worker panics
 // are recovered and re-raised on the caller as a *WorkerPanic.
 func ForChunks(n, workers int, fn func(lo, hi int)) {
+	forChunksDone(nil, n, workers, fn)
+}
+
+// ForChunksCtx is ForChunks with cooperative cancellation. Each chunk is
+// checked against ctx before it starts; a chunk already running is not
+// interrupted (fn sees contiguous ranges only), so cancellation granularity
+// is one chunk. Returns ctx.Err() when chunks were skipped, nil otherwise.
+func ForChunksCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	forChunksDone(ctx.Done(), n, workers, fn)
+	return ctx.Err()
+}
+
+// forChunksDone is the shared ForChunks body; nil done disables the
+// cancellation check.
+func forChunksDone(done <-chan struct{}, n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -152,6 +210,13 @@ func ForChunks(n, workers int, fn func(lo, hi int)) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer trap.capture()
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			fn(lo, hi)
 		}(lo, hi)
 	}

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime/debug"
 	"sync"
 )
@@ -41,6 +42,21 @@ type pipeRes[Out any] struct {
 // deterministic: tile archives and multi-field packs are written in
 // emission order regardless of which worker finishes first.
 func Pipeline[In, Out any](workers, prefetch int, source func(emit func(In) bool) error, work func(In) (Out, error), sink func(idx int, v Out) error) error {
+	return PipelineCtx[In, Out](context.Background(), workers, prefetch, source, work, sink)
+}
+
+// PipelineCtx is Pipeline with cooperative cancellation: when ctx is
+// cancelled the source's emit starts returning false, queued items are
+// drained without being worked, in-flight work results are discarded, and
+// the call returns ctx.Err() once the workers have stopped. Items the
+// sink already consumed stay consumed — a cancelled pipeline may have
+// produced a prefix of its output. work functions that are themselves
+// long-running should also observe ctx so cancellation lands mid-item,
+// not just between items.
+func PipelineCtx[In, Out any](ctx context.Context, workers, prefetch int, source func(emit func(In) bool) error, work func(In) (Out, error), sink func(idx int, v Out) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
@@ -51,10 +67,26 @@ func Pipeline[In, Out any](workers, prefetch int, source func(emit func(In) bool
 	jobs := make(chan pipeJob[In], prefetch)
 	results := make(chan pipeRes[Out])
 	done := make(chan struct{})
+	var shutdownOnce sync.Once
+	shutdown := func() { shutdownOnce.Do(func() { close(done) }) }
 	// tokens caps the number of in-flight items; acquired at emission,
 	// released when sink consumes.
 	tokens := make(chan struct{}, workers+prefetch)
 	srcErr := make(chan error, 1)
+
+	// Relay ctx cancellation onto the pipeline's own done channel so every
+	// stage keeps a single shutdown signal to select on.
+	if cd := ctx.Done(); cd != nil {
+		watchStop := make(chan struct{})
+		defer close(watchStop)
+		go func() {
+			select {
+			case <-cd:
+				shutdown()
+			case <-watchStop:
+			}
+		}()
+	}
 
 	go func() {
 		defer close(jobs)
@@ -100,6 +132,15 @@ func Pipeline[In, Out any](workers, prefetch int, source func(emit func(In) bool
 		close(results)
 	}()
 
+	stopped := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
 	// Ordered consumer on the calling goroutine.
 	pending := make(map[int]pipeRes[Out])
 	next := 0
@@ -107,11 +148,11 @@ func Pipeline[In, Out any](workers, prefetch int, source func(emit func(In) bool
 	cancel := func(err error) {
 		if firstErr == nil {
 			firstErr = err
-			close(done)
+			shutdown()
 		}
 	}
 	for r := range results {
-		if firstErr != nil {
+		if firstErr != nil || stopped() {
 			continue // draining
 		}
 		pending[r.idx] = r
@@ -135,6 +176,11 @@ func Pipeline[In, Out any](workers, prefetch int, source func(emit func(In) bool
 	}
 	if serr := <-srcErr; firstErr == nil && serr != nil {
 		firstErr = serr
+	}
+	if firstErr == nil {
+		// A ctx-triggered shutdown reaches here with no stage error of its
+		// own; surface the cancellation to the caller.
+		firstErr = ctx.Err()
 	}
 	if wp, ok := firstErr.(*WorkerPanic); ok {
 		panic(wp)

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by admit when the server is at capacity: every
+// worker is busy and the admission queue is full (or the server is
+// draining). Handlers translate it into 429 Too Many Requests with a
+// Retry-After hint, which is the server's load-shedding contract — reject
+// cheaply at the door instead of queueing without bound and OOMing.
+var ErrSaturated = errors.New("server: saturated")
+
+// job is one unit of admitted work: a function run by a pool worker under
+// the request's context. done is closed when the job has finished (or was
+// skipped because its context was already cancelled while queued).
+type job struct {
+	ctx  context.Context
+	run  func(context.Context)
+	done chan struct{}
+}
+
+// scheduler is a bounded job scheduler: a fixed pool of worker goroutines
+// pulling from a queue whose depth is capped by admission tokens. The
+// request lifecycle is admission → queue → bounded execute → release:
+//
+//   - admit reserves capacity (non-blocking; ErrSaturated when full), so
+//     at most pool+depth requests hold buffers at once;
+//   - dispatch hands the job to the queue — it never blocks, because the
+//     queue is sized to the token count;
+//   - a worker runs the job unless its context was cancelled while it
+//     waited (a client that gave up costs no CPU);
+//   - release frees the admission slot after the handler is done with the
+//     result.
+type scheduler struct {
+	tokens chan struct{} // admission capacity: pool + queue depth
+	queue  chan *job
+	wg     sync.WaitGroup // pool workers
+
+	mu        sync.Mutex
+	closed    bool
+	queueStop sync.Once      // closes queue exactly once across drains
+	pending   sync.WaitGroup // admitted-but-not-released requests
+}
+
+// newScheduler starts a pool of `pool` workers with `depth` queue slots
+// beyond them.
+func newScheduler(pool, depth int) *scheduler {
+	if pool < 1 {
+		pool = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	s := &scheduler{
+		tokens: make(chan struct{}, pool+depth),
+		queue:  make(chan *job, pool+depth),
+	}
+	s.wg.Add(pool)
+	for i := 0; i < pool; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		if j.ctx.Err() == nil {
+			j.run(j.ctx)
+		}
+		close(j.done)
+	}
+}
+
+// admit reserves one capacity slot. It fails immediately — never blocks —
+// when the scheduler is saturated or shutting down.
+func (s *scheduler) admit() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSaturated
+	}
+	select {
+	case s.tokens <- struct{}{}:
+		s.pending.Add(1)
+		s.mu.Unlock()
+		return nil
+	default:
+		s.mu.Unlock()
+		return ErrSaturated
+	}
+}
+
+// release frees a slot reserved by admit. Every successful admit must be
+// paired with exactly one release (after the job's done channel closed,
+// or without a dispatch at all if the handler bailed early).
+func (s *scheduler) release() {
+	<-s.tokens
+	s.pending.Done()
+}
+
+// dispatch enqueues an admitted job. The queue is sized to the admission
+// capacity, so this never blocks for a correctly admitted request.
+func (s *scheduler) dispatch(j *job) {
+	s.queue <- j
+}
+
+// queued returns the number of requests currently holding admission slots.
+func (s *scheduler) queued() int { return len(s.tokens) }
+
+// drain stops admission, waits for every admitted request to release (in
+// normal operation that means its job ran to completion and its handler
+// finished with the result), then stops the pool. It returns ctx.Err()
+// if ctx expires first — the workers are then left running and the
+// process is expected to exit.
+func (s *scheduler) drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// No dispatches can follow: admission is off and pending hit zero. The
+	// Once makes repeated drains (including a retry after a timed-out
+	// first attempt) safe.
+	s.queueStop.Do(func() { close(s.queue) })
+	s.wg.Wait()
+	return nil
+}

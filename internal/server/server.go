@@ -1,0 +1,536 @@
+// Package server implements the dpzd HTTP daemon: streaming compression
+// and decompression endpoints backed by a bounded job scheduler, plus
+// metadata inspection, health, Prometheus metrics and pprof. Everything is
+// stdlib net/http; the heavy lifting is the dpz package itself.
+//
+// Endpoints:
+//
+//	POST /v1/compress    raw little-endian float32 body → .dpz stream
+//	POST /v1/decompress  .dpz stream or tiled archive body → raw float32
+//	GET  /v1/stat        .dpz stream body → stream metadata as JSON
+//	GET  /healthz        liveness
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/pprof/   net/http/pprof
+//
+// Compression options travel as query parameters (dims, scheme, select,
+// tve, fit, sampling, workers, zlevel, tile) or equivalently as
+// X-Dpz-<Name> headers; query wins when both are set. Options resolve
+// through dpz.OptionSpec — the same path the CLI uses — so a dpzd response
+// body is byte-identical to `dpz -z` output for the same knobs.
+//
+// Load shedding: each request must win an admission slot before its body
+// is read. Capacity is Jobs (concurrently executing) + QueueDepth
+// (admitted and waiting); beyond that the server answers 429 with a
+// Retry-After hint instead of buffering without bound. Cancelled or
+// timed-out requests stop compressing at the next pipeline checkpoint.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpz"
+	"dpz/internal/metrics"
+)
+
+// Config sizes the daemon. The zero value is usable: one job per CPU, a
+// 16-deep queue, 1 GiB body cap, 5 minute request deadline.
+type Config struct {
+	// Jobs is the number of requests executing concurrently (the worker
+	// pool size). 0 means GOMAXPROCS.
+	Jobs int
+	// Workers is the total goroutine budget the executing jobs share for
+	// their internal tile/section parallelism. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many admitted requests may wait beyond the
+	// executing Jobs. 0 means the default of 16; negative means no queue
+	// (admission capacity is exactly Jobs).
+	QueueDepth int
+	// MaxBodyBytes caps the request body. 0 means 1 GiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds each request's compute time. 0 means 5
+	// minutes; negative means no deadline.
+	RequestTimeout time.Duration
+}
+
+func (c Config) jobs() int {
+	if c.Jobs > 0 {
+		return c.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	switch {
+	case c.QueueDepth > 0:
+		return c.QueueDepth
+	case c.QueueDepth < 0:
+		return 0
+	}
+	return 16
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 30
+}
+
+func (c Config) timeout() time.Duration {
+	switch {
+	case c.RequestTimeout > 0:
+		return c.RequestTimeout
+	case c.RequestTimeout < 0:
+		return 0
+	}
+	return 5 * time.Minute
+}
+
+// Server is the dpzd request handler plus its scheduler and metrics. Use
+// New, mount Handler() on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	sched *scheduler
+	reg   *metrics.Registry
+	mux   *http.ServeMux
+
+	// innerWorkers is the per-job default goroutine budget when a request
+	// does not pin its own workers knob: the total budget split across the
+	// executing jobs.
+	innerWorkers int
+
+	inFlight   *metrics.Gauge
+	queueDepth *metrics.Gauge
+	shed       *metrics.Counter
+	canceled   *metrics.Counter
+
+	// testJobStart, when set, runs at the start of every scheduled job
+	// (inside the worker, before the compression) with the job's context.
+	// Tests use it to hold workers busy deterministically or to wait for
+	// a cancellation to become visible. Never set in production.
+	testJobStart func(route string, ctx context.Context)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	reg := metrics.NewRegistry()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := cfg.jobs()
+	s := &Server{
+		cfg:          cfg,
+		sched:        newScheduler(jobs, cfg.queueDepth()),
+		reg:          reg,
+		mux:          http.NewServeMux(),
+		innerWorkers: max(1, workers/jobs),
+		inFlight:     reg.Gauge("dpzd_requests_in_flight", "requests currently being handled"),
+		queueDepth:   reg.Gauge("dpzd_admitted", "requests holding admission slots (executing or queued)"),
+		shed:         reg.Counter("dpzd_shed_total", "requests rejected with 429 at admission"),
+		canceled:     reg.Counter("dpzd_canceled_total", "requests cancelled or timed out before completing"),
+	}
+	s.routes()
+	return s
+}
+
+// Metrics exposes the server's registry (CLIs embedding the server, tests).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Drain stops admitting work, waits for every in-flight and queued request
+// to finish, and stops the worker pool. New requests are shed with 429
+// while the drain runs. Returns ctx.Err() if ctx expires first.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.drain(ctx) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
+	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	s.mux.HandleFunc("GET /v1/stat", s.handleStat)
+	s.mux.HandleFunc("POST /v1/stat", s.handleStat)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns the fully instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
+
+// routeLabel buckets request paths into a bounded label set.
+func routeLabel(path string) string {
+	switch {
+	case path == "/v1/compress":
+		return "compress"
+	case path == "/v1/decompress":
+		return "decompress"
+	case path == "/v1/stat":
+		return "stat"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	case strings.HasPrefix(path, "/debug/pprof"):
+		return "pprof"
+	}
+	return "other"
+}
+
+// statusRecorder captures the response code for the requests_total label.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps next with the request-lifecycle metrics: per-route
+// counters by status, in-flight gauge, latency and response-size
+// histograms.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		start := time.Now()
+		s.inFlight.Inc()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		s.inFlight.Dec()
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		s.reg.Counter(
+			fmt.Sprintf(`dpzd_requests_total{route=%q,code="%d"}`, route, rec.code),
+			"requests by route and status code").Inc()
+		s.reg.Histogram(fmt.Sprintf(`dpzd_request_seconds{route=%q}`, route),
+			"request latency in seconds", metrics.LatencyBuckets).
+			Observe(time.Since(start).Seconds())
+		if route == "compress" || route == "decompress" {
+			s.reg.Histogram(fmt.Sprintf(`dpzd_response_bytes{route=%q}`, route),
+				"response body size in bytes", metrics.SizeBuckets).
+				Observe(float64(rec.bytes))
+		}
+	})
+}
+
+// reqParam reads an option knob from the query string, falling back to the
+// X-Dpz-<Name> header.
+func reqParam(r *http.Request, name string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return r.Header.Get("X-Dpz-" + name)
+}
+
+// reqInt parses an integer knob; empty means def.
+func reqInt(r *http.Request, name string, def int) (int, error) {
+	v := reqParam(r, name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// reqOptions builds the compression Options for a request via the shared
+// dpz.OptionSpec path, defaulting workers to this server's per-job budget.
+func (s *Server) reqOptions(r *http.Request) (dpz.Options, error) {
+	tve, err := reqInt(r, "tve", 0)
+	if err != nil {
+		return dpz.Options{}, err
+	}
+	workers, err := reqInt(r, "workers", s.innerWorkers)
+	if err != nil {
+		return dpz.Options{}, err
+	}
+	zlevel, err := reqInt(r, "zlevel", 0)
+	if err != nil {
+		return dpz.Options{}, err
+	}
+	sampling := false
+	if v := reqParam(r, "sampling"); v != "" {
+		sampling, err = strconv.ParseBool(v)
+		if err != nil {
+			return dpz.Options{}, fmt.Errorf("bad sampling %q", v)
+		}
+	}
+	spec := dpz.OptionSpec{
+		Scheme:   reqParam(r, "scheme"),
+		Select:   reqParam(r, "select"),
+		TVENines: tve,
+		Fit:      reqParam(r, "fit"),
+		Sampling: sampling,
+		Workers:  workers,
+		ZLevel:   zlevel,
+	}
+	return spec.Options()
+}
+
+// jobOutput is what a scheduled job hands back to its handler.
+type jobOutput struct {
+	body   []byte
+	header map[string]string
+	err    error
+}
+
+// runJob admits the request, reads its body, executes fn on the worker
+// pool under the request deadline, and writes the result. It is the
+// single request-lifecycle path shared by the compress and decompress
+// handlers.
+func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
+	fn func(ctx context.Context, body []byte) jobOutput) {
+	if err := s.sched.admit(); err != nil {
+		s.shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
+		return
+	}
+	s.queueDepth.Set(int64(s.sched.queued()))
+	defer func() {
+		s.sched.release()
+		s.queueDepth.Set(int64(s.sched.queued()))
+	}()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.reg.Histogram(fmt.Sprintf(`dpzd_request_bytes{route=%q}`, route),
+		"request body size in bytes", metrics.SizeBuckets).
+		Observe(float64(len(body)))
+
+	ctx := r.Context()
+	if d := s.cfg.timeout(); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	var out jobOutput
+	j := &job{
+		ctx:  ctx,
+		done: make(chan struct{}),
+		run: func(ctx context.Context) {
+			if s.testJobStart != nil {
+				s.testJobStart(route, ctx)
+			}
+			out = fn(ctx, body)
+		},
+	}
+	s.sched.dispatch(j)
+	// Wait for the worker even if ctx dies first: the pool will observe
+	// the cancelled context and skip or abandon the job promptly, and
+	// waiting keeps the admit/dispatch/release accounting exact.
+	<-j.done
+
+	if ctx.Err() != nil {
+		s.canceled.Inc()
+		http.Error(w, "request cancelled or timed out: "+ctx.Err().Error(),
+			http.StatusServiceUnavailable)
+		return
+	}
+	if out.err != nil {
+		http.Error(w, out.err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	for k, v := range out.header {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(out.body)))
+	_, _ = w.Write(out.body)
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	dimsStr := reqParam(r, "dims")
+	if dimsStr == "" {
+		http.Error(w, "missing dims (query ?dims=AxB or header X-Dpz-Dims)",
+			http.StatusBadRequest)
+		return
+	}
+	dims, err := dpz.ParseDims(dimsStr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	opts, err := s.reqOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tileRows, err := reqInt(r, "tile", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.runJob(w, r, "compress", func(ctx context.Context, body []byte) jobOutput {
+		values := 1
+		for _, d := range dims {
+			values *= d
+		}
+		if len(body) != 4*values {
+			return jobOutput{err: fmt.Errorf("dims %v need %d body bytes, got %d",
+				dims, 4*values, len(body))}
+		}
+		if tileRows > 0 {
+			var buf bytes.Buffer
+			tstats, err := dpz.CompressTiledContext(ctx, bytes.NewReader(body), dims, tileRows, opts, &buf)
+			if err != nil {
+				return jobOutput{err: err}
+			}
+			var orig, comp int
+			for _, st := range tstats {
+				orig += st.OrigBytes
+				comp += st.CompressedBytes
+			}
+			return jobOutput{body: buf.Bytes(), header: map[string]string{
+				"X-Dpz-Dims":  dimsStr,
+				"X-Dpz-Tiles": strconv.Itoa(len(tstats)),
+				"X-Dpz-Cr":    fmt.Sprintf("%.4f", float64(orig)/float64(max(comp, 1))),
+			}}
+		}
+		field := make([]float32, values)
+		for i := range field {
+			field[i] = bytesToFloat32(body[4*i:])
+		}
+		res, err := dpz.CompressContext(ctx, field, dims, opts)
+		if err != nil {
+			return jobOutput{err: err}
+		}
+		st := res.Stats
+		return jobOutput{body: res.Data, header: map[string]string{
+			"X-Dpz-Dims":   dimsStr,
+			"X-Dpz-K":      strconv.Itoa(st.K),
+			"X-Dpz-Blocks": fmt.Sprintf("%dx%d", st.Blocks, st.BlockLen),
+			"X-Dpz-Cr":     fmt.Sprintf("%.4f", st.CRTotal),
+			"X-Dpz-Tve":    fmt.Sprintf("%.8f", st.TVEAchieved),
+		}}
+	})
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	workers, err := reqInt(r, "workers", s.innerWorkers)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.runJob(w, r, "decompress", func(ctx context.Context, body []byte) jobOutput {
+		var (
+			data []float32
+			dims []int
+		)
+		if bytes.HasPrefix(body, []byte("DPZA")) {
+			// Tiled archive: decode every slab.
+			tr, err := dpz.OpenTiled(bytes.NewReader(body), int64(len(body)))
+			if err != nil {
+				return jobOutput{err: err}
+			}
+			d64, tdims, err := tr.ReadAllParallel(workers)
+			if err != nil {
+				return jobOutput{err: err}
+			}
+			data, dims = float64To32(d64), tdims
+		} else {
+			data, dims, err = dpz.DecompressContext(ctx, body, workers)
+			if err != nil {
+				return jobOutput{err: err}
+			}
+		}
+		out := make([]byte, 4*len(data))
+		for i, v := range data {
+			float32ToBytes(out[4*i:], v)
+		}
+		return jobOutput{body: out, header: map[string]string{
+			"X-Dpz-Dims": dimsString(dims),
+		}}
+	})
+}
+
+// handleStat inspects a stream's metadata. It is cheap (header and section
+// table only, nothing is inflated) so it bypasses the job scheduler.
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	info, err := dpz.Stat(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(info)
+}
+
+func dimsString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+func bytesToFloat32(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}
+
+func float32ToBytes(b []byte, v float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+}
+
+func float64To32(in []float64) []float32 {
+	out := make([]float32, len(in))
+	for i, v := range in {
+		out[i] = float32(v)
+	}
+	return out
+}

@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpz"
+)
+
+// testField synthesizes a smooth 2-D field and returns both its raw
+// little-endian float32 bytes (the request wire form) and the float32
+// values (the library-side reference form).
+func testField(n0, n1 int) ([]byte, []float32) {
+	vals := make([]float32, n0*n1)
+	raw := make([]byte, 4*len(vals))
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n1; j++ {
+			v := float32(math.Sin(float64(i)/7) * math.Cos(float64(j)/11))
+			vals[i*n1+j] = v
+			binary.LittleEndian.PutUint32(raw[4*(i*n1+j):], math.Float32bits(v))
+		}
+	}
+	return raw, vals
+}
+
+type resp struct {
+	code   int
+	body   []byte
+	header http.Header
+}
+
+// postE does a POST and collects the response; safe to call from helper
+// goroutines (it never touches testing.T).
+func postE(url string, body []byte) (resp, error) {
+	r, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return resp{}, err
+	}
+	defer r.Body.Close()
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		return resp{}, err
+	}
+	return resp{code: r.StatusCode, body: b, header: r.Header}, nil
+}
+
+func post(t *testing.T, url string, body []byte) resp {
+	t.Helper()
+	r, err := postE(url, body)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return r
+}
+
+// TestRoundTripByteIdentical is the core acceptance check: the server's
+// compressed stream must be byte-for-byte what the library (and therefore
+// the dpz CLI, which shares the OptionSpec path) produces for the same
+// knobs, and the server's decompression of it must match the library's
+// reconstruction exactly.
+func TestRoundTripByteIdentical(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, vals := testField(48, 64)
+	dims := []int{48, 64}
+
+	got := post(t, ts.URL+"/v1/compress?dims=48x64&scheme=loose&tve=4", raw)
+	if got.code != http.StatusOK {
+		t.Fatalf("compress status %d: %s", got.code, got.body)
+	}
+	opts, err := dpz.OptionSpec{Scheme: "loose", TVENines: 4}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dpz.Compress(vals, dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.body, want.Data) {
+		t.Fatalf("server stream differs from library stream: %d vs %d bytes",
+			len(got.body), len(want.Data))
+	}
+	if cr := got.header.Get("X-Dpz-Cr"); cr == "" {
+		t.Fatal("compress response missing X-Dpz-Cr")
+	}
+
+	dec := post(t, ts.URL+"/v1/decompress", got.body)
+	if dec.code != http.StatusOK {
+		t.Fatalf("decompress status %d: %s", dec.code, dec.body)
+	}
+	if d := dec.header.Get("X-Dpz-Dims"); d != "48x64" {
+		t.Fatalf("X-Dpz-Dims = %q, want 48x64", d)
+	}
+	libVals, _, err := dpz.Decompress(want.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw := make([]byte, 4*len(libVals))
+	for i, v := range libVals {
+		binary.LittleEndian.PutUint32(wantRaw[4*i:], math.Float32bits(v))
+	}
+	if !bytes.Equal(dec.body, wantRaw) {
+		t.Fatal("server reconstruction differs from library reconstruction")
+	}
+}
+
+// TestTiledRoundTrip exercises the tile knob: the server must emit the
+// same archive the library's tiled path does and auto-detect it on
+// decompression.
+func TestTiledRoundTrip(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(32, 64)
+	got := post(t, ts.URL+"/v1/compress?dims=32x64&scheme=loose&tve=4&tile=8", raw)
+	if got.code != http.StatusOK {
+		t.Fatalf("tiled compress status %d: %s", got.code, got.body)
+	}
+	if tiles := got.header.Get("X-Dpz-Tiles"); tiles != "4" {
+		t.Fatalf("X-Dpz-Tiles = %q, want 4", tiles)
+	}
+
+	opts, err := dpz.OptionSpec{Scheme: "loose", TVENines: 4}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := dpz.CompressTiled(bytes.NewReader(raw), []int{32, 64}, 8, opts, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.body, want.Bytes()) {
+		t.Fatalf("server archive differs from library archive: %d vs %d bytes",
+			len(got.body), want.Len())
+	}
+
+	dec := post(t, ts.URL+"/v1/decompress", got.body)
+	if dec.code != http.StatusOK {
+		t.Fatalf("tiled decompress status %d: %s", dec.code, dec.body)
+	}
+	if d := dec.header.Get("X-Dpz-Dims"); d != "32x64" {
+		t.Fatalf("X-Dpz-Dims = %q, want 32x64", d)
+	}
+	if len(dec.body) != 4*32*64 {
+		t.Fatalf("reconstruction is %d bytes, want %d", len(dec.body), 4*32*64)
+	}
+}
+
+// TestConcurrentRoundTrips hammers the server from several clients at
+// once; run with -race this is the data-race check on the scheduler,
+// metrics and handler paths.
+func TestConcurrentRoundTrips(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2, QueueDepth: 16})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(32, 48)
+	var wg sync.WaitGroup
+	errs := make([]string, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := postE(ts.URL+"/v1/compress?dims=32x48&scheme=loose&tve=4", raw)
+			if err != nil || c.code != http.StatusOK {
+				errs[g] = fmt.Sprintf("compress: %v %s", err, c.body)
+				return
+			}
+			d, err := postE(ts.URL+"/v1/decompress", c.body)
+			if err != nil || d.code != http.StatusOK {
+				errs[g] = fmt.Sprintf("decompress: %v %s", err, d.body)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Fatalf("client %d: %s", g, e)
+		}
+	}
+}
+
+// TestStatMatchesLibrary checks /v1/stat serves exactly the dpz.Stat JSON
+// — the shared metadata-rendering path with dpzstat -json.
+func TestStatMatchesLibrary(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, vals := testField(48, 64)
+	_ = raw
+	opts, _ := dpz.OptionSpec{}.Options()
+	res, err := dpz.Compress(vals, []int{48, 64}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := post(t, ts.URL+"/v1/stat", res.Data)
+	if got.code != http.StatusOK {
+		t.Fatalf("stat status %d: %s", got.code, got.body)
+	}
+	var fromServer, fromLib map[string]any
+	if err := json.Unmarshal(got.body, &fromServer); err != nil {
+		t.Fatalf("stat response is not JSON: %v", err)
+	}
+	info, err := dpz.Stat(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libJSON, _ := json.Marshal(info)
+	if err := json.Unmarshal(libJSON, &fromLib); err != nil {
+		t.Fatal(err)
+	}
+	if len(fromServer) != len(fromLib) {
+		t.Fatalf("stat JSON has %d keys, library has %d", len(fromServer), len(fromLib))
+	}
+	for k, v := range fromLib {
+		if sv, ok := fromServer[k]; !ok {
+			t.Fatalf("stat JSON missing key %q", k)
+		} else if jm, _ := json.Marshal(v); string(jm) != string(mustJSON(sv)) {
+			t.Fatalf("stat key %q: server %s, library %s", k, mustJSON(sv), jm)
+		}
+	}
+
+	bad := post(t, ts.URL+"/v1/stat", []byte("not a dpz stream"))
+	if bad.code != http.StatusBadRequest {
+		t.Fatalf("garbage stat status %d, want 400", bad.code)
+	}
+}
+
+func mustJSON(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// TestSaturationSheds verifies the bounded-admission contract: with one
+// worker and no queue, a second request is rejected 429 with Retry-After
+// while the first is executing, and succeeds once capacity frees up.
+func TestSaturationSheds(t *testing.T) {
+	srv := New(Config{Jobs: 1, QueueDepth: -1})
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	srv.testJobStart = func(string, context.Context) {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(16, 16)
+	first := make(chan resp, 1)
+	go func() {
+		r, err := postE(ts.URL+"/v1/compress?dims=16x16", raw)
+		if err != nil {
+			r = resp{code: -1, body: []byte(err.Error())}
+		}
+		first <- r
+	}()
+	<-started // the only worker is now busy and holding the only slot
+
+	shedded := post(t, ts.URL+"/v1/compress?dims=16x16", raw)
+	if shedded.code != http.StatusTooManyRequests {
+		t.Fatalf("saturated status %d, want 429 (body: %s)", shedded.code, shedded.body)
+	}
+	if ra := shedded.header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	if got := srv.Metrics().Counter("dpzd_shed_total", "").Value(); got != 1 {
+		t.Fatalf("dpzd_shed_total = %d, want 1", got)
+	}
+
+	close(release)
+	if r := <-first; r.code != http.StatusOK {
+		t.Fatalf("first request status %d: %s", r.code, r.body)
+	}
+	// Capacity is free again: the same request now succeeds.
+	if r := post(t, ts.URL+"/v1/compress?dims=16x16", raw); r.code != http.StatusOK {
+		t.Fatalf("post-drain request status %d: %s", r.code, r.body)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestMidRequestCancellation cancels a request while its job is executing
+// and checks the server notices: 503 to the handler path, the canceled
+// counter ticks, and the worker pool survives to serve the next request.
+func TestMidRequestCancellation(t *testing.T) {
+	srv := New(Config{Jobs: 1})
+	started := make(chan struct{}, 1)
+	// The hook holds the job until the server-side context actually
+	// observes the client's departure — deterministic, no sleeps: the
+	// compression then provably starts after cancellation and must fail.
+	srv.testJobStart = func(_ string, ctx context.Context) {
+		started <- struct{}{}
+		<-ctx.Done()
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(16, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/compress?dims=16x16", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		r, err := http.DefaultClient.Do(req)
+		if err == nil {
+			r.Body.Close()
+		}
+		done <- err
+	}()
+	<-started
+	cancel() // client walks away mid-compression
+	if err := <-done; err == nil {
+		t.Fatal("cancelled request returned a response, want client-side error")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Counter("dpzd_canceled_total", "").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dpzd_canceled_total never incremented")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	srv.testJobStart = nil
+	if r := post(t, ts.URL+"/v1/compress?dims=16x16", raw); r.code != http.StatusOK {
+		t.Fatalf("request after cancellation: status %d: %s", r.code, r.body)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDrainWaitsForInFlight verifies graceful shutdown: Drain blocks until
+// the executing request completes, sheds new arrivals meanwhile, and the
+// in-flight response still lands intact.
+func TestDrainWaitsForInFlight(t *testing.T) {
+	srv := New(Config{Jobs: 1})
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv.testJobStart = func(string, context.Context) {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(16, 16)
+	first := make(chan resp, 1)
+	go func() {
+		r, err := postE(ts.URL+"/v1/compress?dims=16x16", raw)
+		if err != nil {
+			r = resp{code: -1, body: []byte(err.Error())}
+		}
+		first <- r
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+
+	// Drain must not finish while the job is still executing.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v with a request in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// New work is shed during the drain.
+	if r := post(t, ts.URL+"/v1/compress?dims=16x16", raw); r.code != http.StatusTooManyRequests {
+		t.Fatalf("request during drain: status %d, want 429", r.code)
+	}
+
+	close(release)
+	if r := <-first; r.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d: %s", r.code, r.body)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestMetricsExposition checks /metrics serves the Prometheus text format
+// with the request-lifecycle families after traffic has flowed.
+func TestMetricsExposition(t *testing.T) {
+	srv := New(Config{Jobs: 1})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(16, 16)
+	if r := post(t, ts.URL+"/v1/compress?dims=16x16", raw); r.code != http.StatusOK {
+		t.Fatalf("compress: %d %s", r.code, r.body)
+	}
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	body, _ := io.ReadAll(r.Body)
+	text := string(body)
+	for _, want := range []string{
+		`dpzd_requests_total{route="compress",code="200"} 1`,
+		"dpzd_requests_in_flight",
+		`dpzd_request_seconds_count{route="compress"} 1`,
+		`dpzd_request_bytes_bucket{route="compress",le="1024"} 1`,
+		"dpzd_shed_total 0",
+		"# TYPE dpzd_requests_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBadRequests covers the handler-level validation errors.
+func TestBadRequests(t *testing.T) {
+	// The cap is just below the 16x16 field's 1024 bytes so the oversized
+	// case actually exceeds it.
+	srv := New(Config{MaxBodyBytes: 1000})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(16, 16)
+	for _, tc := range []struct {
+		name, url string
+		body      []byte
+		want      int
+	}{
+		{"missing dims", "/v1/compress", raw[:64], http.StatusBadRequest},
+		{"bad dims", "/v1/compress?dims=0x9", raw[:64], http.StatusBadRequest},
+		{"bad scheme", "/v1/compress?dims=4x4&scheme=wat", raw[:64], http.StatusBadRequest},
+		{"size mismatch", "/v1/compress?dims=4x4", raw[:60], http.StatusBadRequest},
+		{"oversized body", "/v1/compress?dims=16x16", raw, http.StatusRequestEntityTooLarge},
+		{"garbage decompress", "/v1/decompress", []byte("junk"), http.StatusBadRequest},
+		{"wrong method", "/v1/compress", nil, http.StatusMethodNotAllowed},
+	} {
+		var r resp
+		if tc.name == "wrong method" {
+			hr, err := http.Get(ts.URL + tc.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hr.Body.Close()
+			r = resp{code: hr.StatusCode}
+		} else {
+			r = post(t, ts.URL+tc.url, tc.body)
+		}
+		if r.code != tc.want {
+			t.Errorf("%s: status %d, want %d (body: %s)", tc.name, r.code, tc.want, r.body)
+		}
+	}
+}
+
+// TestHealthz checks the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	r, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", r.StatusCode)
+	}
+}
+
+// TestSchedulerAdmitRelease unit-tests the admission bookkeeping.
+func TestSchedulerAdmitRelease(t *testing.T) {
+	s := newScheduler(1, 1)
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.admit(); err != ErrSaturated {
+		t.Fatalf("third admit = %v, want ErrSaturated", err)
+	}
+	s.release()
+	if err := s.admit(); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	s.release()
+	s.release()
+	if err := s.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.admit(); err != ErrSaturated {
+		t.Fatalf("admit after drain = %v, want ErrSaturated", err)
+	}
+}
+
+// TestSchedulerDrainTimeout verifies drain honours its context when a
+// request never releases.
+func TestSchedulerDrainTimeout(t *testing.T) {
+	s := newScheduler(1, 0)
+	if err := s.admit(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain = %v, want DeadlineExceeded", err)
+	}
+	s.release() // let the leaked slot go so a second drain can finish
+	if err := s.drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package dpz
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -49,6 +50,15 @@ const tilePrefetch = 2
 // order — so the output archive is byte-identical to the serial path
 // for every worker count. Returns per-slab stats in tile order.
 func CompressTiled(r io.Reader, dims []int, tileRows int, opts Options, w io.Writer) ([]Stats, error) {
+	return CompressTiledContext(context.Background(), r, dims, tileRows, opts, w)
+}
+
+// CompressTiledContext is CompressTiled with cooperative cancellation: a
+// cancelled ctx stops the tile reader, abandons in-flight tile
+// compressions mid-pipeline, and returns ctx.Err(). Tiles already
+// appended stay in w — the output is an incomplete archive the caller
+// should discard.
+func CompressTiledContext(ctx context.Context, r io.Reader, dims []int, tileRows int, opts Options, w io.Writer) ([]Stats, error) {
 	if len(dims) < 1 {
 		return nil, fmt.Errorf("dpz: tiled compression needs at least 1 dimension")
 	}
@@ -100,7 +110,7 @@ func CompressTiled(r io.Reader, dims []int, tileRows int, opts Options, w io.Wri
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	statsOut := make([]Stats, 0, tiles)
-	err = parallel.Pipeline(wt, tilePrefetch,
+	err = parallel.PipelineCtx(ctx, wt, tilePrefetch,
 		func(emit func(tileJob) bool) error {
 			for t := 0; t < tiles; t++ {
 				rows := tileRows
@@ -123,7 +133,7 @@ func CompressTiled(r io.Reader, dims []int, tileRows int, opts Options, w io.Wri
 				slab[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(j.raw[4*i:])))
 			}
 			slabDims := append([]int{j.rows}, dims[1:]...)
-			res, err := CompressFloat64(slab, slabDims, inner)
+			res, err := CompressFloat64Context(ctx, slab, slabDims, inner)
 			if err != nil {
 				return tileRes{}, fmt.Errorf("dpz: tile %d: %w", j.t, err)
 			}
