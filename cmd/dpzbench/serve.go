@@ -97,8 +97,11 @@ func runServerSmoke(baseURL string, requests, conc int, dimsStr string, out io.W
 	// One round-trip through /v1/decompress proves the daemon's streams
 	// decode back to the right shape.
 	stream, code, err := doCompress(url, raw)
-	if err != nil || code != http.StatusOK {
-		return fmt.Errorf("round-trip compress: code %d err %v", code, err)
+	if err != nil {
+		return fmt.Errorf("round-trip compress: %w", err)
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("round-trip compress: code %d", code)
 	}
 	resp, err := http.Post(baseURL+"/v1/decompress", "application/octet-stream", bytes.NewReader(stream))
 	if err != nil {

@@ -1,0 +1,131 @@
+// Command dpzlint runs dpz's project-specific static analyzers over the
+// module: determinism (detloop, walltime), pooling (scratchpair),
+// cancellation (ctxflow), float-equality (floateq), lock-across-I/O
+// (mutexio) and error-wrapping (wrapcheck) invariants that go vet
+// cannot know about. See docs/LINT.md.
+//
+// Usage:
+//
+//	go run ./cmd/dpzlint [-json] [-werror] [-list] [patterns...]
+//
+// Patterns are package directories relative to the working directory;
+// a trailing /... loads the whole subtree. The default is ./... (the
+// entire module). Non-test files only.
+//
+// Exit status: 0 when clean (or findings exist but -werror is not set),
+// 1 when -werror is set and findings exist, 2 on load/type errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpz/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dpzlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable, deterministic)")
+	werror := fs.Bool("werror", false, "exit non-zero when any finding survives (CI mode)")
+	list := fs.Bool("list", false, "list registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "dpzlint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "dpzlint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "dpzlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	for _, p := range patterns {
+		dir := strings.TrimSuffix(p, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" {
+			dir = "."
+		}
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		dirs = append(dirs, dir)
+	}
+
+	pkgs, err := loader.LoadDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "dpzlint:", err)
+		return 2
+	}
+	status := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "dpzlint: %s: %v\n", pkg.ImportPath, terr)
+			status = 2
+		}
+	}
+	if status != 0 {
+		return status
+	}
+
+	findings := analysis.Run(root, pkgs, analysis.All())
+	if *jsonOut {
+		b, err := analysis.MarshalJSON(findings)
+		if err != nil {
+			fmt.Fprintln(stderr, "dpzlint:", err)
+			return 2
+		}
+		stdout.Write(b)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 && *werror {
+		fmt.Fprintf(stderr, "dpzlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

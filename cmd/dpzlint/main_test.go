@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tempModule writes a minimal module and chdirs into it for the
+// duration of the test.
+func tempModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module dpz\n\ngo 1.22\n"
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Chdir(dir)
+}
+
+const dirtyFile = `package p
+
+func close(a, b float64) bool {
+	return a == b
+}
+`
+
+func TestRunFindings(t *testing.T) {
+	tempModule(t, map[string]string{"p/p.go": dirtyFile})
+
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("without -werror: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "floateq") {
+		t.Fatalf("finding not printed:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-werror"}, &out, &errOut); code != 1 {
+		t.Fatalf("with -werror: exit %d, want 1", code)
+	}
+
+	out.Reset()
+	if code := run([]string{"-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("-json: exit %d", code)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
+	}
+	if len(findings) != 1 || findings[0]["analyzer"] != "floateq" {
+		t.Fatalf("unexpected JSON findings: %v", findings)
+	}
+	if findings[0]["file"] != "p/p.go" {
+		t.Fatalf("finding path %v not module-relative", findings[0]["file"])
+	}
+}
+
+func TestRunClean(t *testing.T) {
+	tempModule(t, map[string]string{"p/p.go": "package p\n\nfunc ID(x int) int { return x }\n"})
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-werror", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean module: exit %d, stderr %q", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestRunTypeError(t *testing.T) {
+	tempModule(t, map[string]string{"p/p.go": "package p\n\nfunc f() { undefined() }\n"})
+
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("type error: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "undefined") {
+		t.Fatalf("type error not reported: %q", errOut.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list: exit %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("-list shows %d analyzers, want >= 6:\n%s", len(lines), out.String())
+	}
+	for _, name := range []string{"detloop", "scratchpair", "ctxflow", "floateq", "mutexio", "wrapcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s", name)
+		}
+	}
+}

@@ -23,6 +23,10 @@
 // harness).
 package dpz
 
+// The repo's determinism, pooling and cancellation invariants are
+// machine-enforced; `go generate` (or CI's lint job) runs the checks.
+//go:generate go run ./cmd/dpzlint -werror ./...
+
 import (
 	"context"
 	"fmt"

@@ -1,0 +1,104 @@
+// Package analysis is dpz's project-specific static-analysis framework:
+// a stdlib-only (go/parser, go/ast, go/types + the source importer — no
+// x/tools dependency) package loader plus a registry of analyzers that
+// enforce invariants the generic Go tooling cannot know about:
+//
+//   - compressed streams must be byte-identical for every worker count
+//     (detloop, walltime),
+//   - pooled scratch buffers must flow back to the pool on every exit
+//     path (scratchpair),
+//   - context cancellation must not silently drop through a non-Ctx
+//     call variant (ctxflow),
+//   - the quantizer's error-bound math must not hide float equality
+//     traps (floateq),
+//   - the serving layer must not hold locks across I/O (mutexio), and
+//   - error chains must stay inspectable via errors.Is/As (wrapcheck).
+//
+// Findings are reported with stable file:line:col positions (paths
+// relative to the module root, slash-separated) so output is
+// byte-identical across runs and machines. `//dpzlint:ignore <analyzer>
+// <reason>` comments grant audited, per-line exemptions; see ignore.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check. Run is invoked once per loaded package
+// with a fully typed Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name is the identifier used in reports and ignore comments.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run executes the check over one package.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's parsed and typechecked state into an
+// analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Finding)
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files (non-test files only).
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type information.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's *types.Package.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.report(Finding{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Finding is one reported violation. File is relative to the module
+// root and slash-separated so reports are machine-independent.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// less orders findings for deterministic output.
+func (f Finding) less(g Finding) bool {
+	if f.File != g.File {
+		return f.File < g.File
+	}
+	if f.Line != g.Line {
+		return f.Line < g.Line
+	}
+	if f.Col != g.Col {
+		return f.Col < g.Col
+	}
+	if f.Analyzer != g.Analyzer {
+		return f.Analyzer < g.Analyzer
+	}
+	return f.Message < g.Message
+}

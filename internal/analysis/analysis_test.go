@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts golden expectations of the form
+//
+//	someCode() // want `message regexp`
+//
+// from testdata sources; the finding must land on the same line.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+type wantComment struct {
+	file string // slash path relative to the tree root
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func collectWants(t *testing.T, root string) []*wantComment {
+	t.Helper()
+	var wants []*wantComment
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				return fmt.Errorf("%s:%d: bad want regexp %q: %v", rel, i+1, m[1], err)
+			}
+			wants = append(wants, &wantComment{filepath.ToSlash(rel), i + 1, re, false})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// runTree loads a testdata module and runs the given analyzers over it,
+// failing the test on load or type errors (the golden sources must be
+// valid Go).
+func runTree(t *testing.T, root string, analyzers []*Analyzer) []Finding {
+	t.Helper()
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader(%s): %v", root, err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("LoadAll(%s): %v", root, err)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Errorf("type error in %s: %v", p.ImportPath, te)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	return Run(loader.Root, pkgs, analyzers)
+}
+
+// TestGolden runs each registered analyzer over its testdata tree and
+// checks findings against the tree's want comments, both ways: every
+// finding must be expected, and every expectation must fire.
+func TestGolden(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", a.Name)
+			if _, err := os.Stat(root); err != nil {
+				t.Fatalf("analyzer %s has no golden tree: %v", a.Name, err)
+			}
+			wants := collectWants(t, root)
+			if len(wants) == 0 {
+				t.Fatalf("golden tree %s has no want comments", root)
+			}
+			findings := runTree(t, root, []*Analyzer{a})
+			if len(findings) == 0 {
+				t.Fatalf("analyzer %s produced no findings on its golden tree", a.Name)
+			}
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants {
+					if w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: want `%s` never reported", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenIsolation double-checks cross-analyzer hygiene: running the
+// full suite over one analyzer's tree must only ever report that
+// analyzer (the trees are crafted to be clean for all the others), so a
+// new analyzer cannot silently start flagging existing golden sources.
+func TestGoldenIsolation(t *testing.T) {
+	for _, a := range All() {
+		root := filepath.Join("testdata", "src", a.Name)
+		for _, f := range runTree(t, root, All()) {
+			if f.Analyzer != a.Name {
+				t.Errorf("tree %s: stray %s finding: %s", a.Name, f.Analyzer, f)
+			}
+		}
+	}
+}
+
+// TestMalformedIgnore checks that broken //dpzlint:ignore directives
+// are themselves findings, so a typo cannot silently disable a check.
+func TestMalformedIgnore(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module dpz\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "p", "p.go"), `package p
+
+func a(x, y float64) bool {
+	//dpzlint:ignore floateq
+	return x == y
+}
+
+func b(x, y float64) bool {
+	//dpzlint:ignore nosuchcheck spelled the analyzer name wrong
+	return x == y
+}
+`)
+	findings := runTree(t, dir, []*Analyzer{FloatEq})
+	var dpzlint, floateq int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "dpzlint":
+			dpzlint++
+		case "floateq":
+			floateq++
+		}
+	}
+	if dpzlint != 2 {
+		t.Errorf("got %d malformed-ignore findings, want 2 (missing reason, unknown analyzer):\n%v", dpzlint, findings)
+	}
+	// Neither malformed directive may suppress: both comparisons still fire.
+	if floateq != 2 {
+		t.Errorf("got %d floateq findings, want 2 (malformed ignores must not suppress):\n%v", floateq, findings)
+	}
+}
+
+// TestDeterminism is the repo-level guarantee the lint CI job relies
+// on: two independent loads of the whole module must serialize to
+// byte-identical JSON.
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module typecheck x2")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [2][]byte
+	for i := range out {
+		loader, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i], err = MarshalJSON(Run(loader.Root, pkgs, All()))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0], out[1]) {
+		t.Errorf("two runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out[0], out[1])
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

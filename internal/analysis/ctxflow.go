@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces cancellation plumbing: a function that accepts a
+// context.Context must not call the non-Ctx variant of a function whose
+// defining package also exports a Ctx/Context-taking sibling (For vs
+// ForCtx, Compress vs CompressContext, ...). Dropping the context at
+// one hop silently detaches everything below it from cancellation, so a
+// timed-out request keeps burning CPU — the exact failure mode the
+// serving layer's bounded scheduler exists to prevent.
+//
+// Closures declared inside a context-taking function are included
+// (they capture the context lexically); closures that declare their own
+// context parameter are analyzed as their own scope.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context-taking function calls a non-Ctx variant although a Ctx/Context sibling exists",
+	Run:  runCtxFlow,
+}
+
+// ctxSuffixes are the sibling-name suffixes that mark a cancellation-
+// aware variant.
+var ctxSuffixes = [...]string{"Ctx", "Context"}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, unit := range funcUnits(f) {
+			if !hasCtxParam(info, unit.typ) || unit.body == nil {
+				continue
+			}
+			checkCtxUnit(pass, unit)
+		}
+	}
+}
+
+func checkCtxUnit(pass *Pass, unit funcUnit) {
+	info := pass.TypesInfo()
+	ast.Inspect(unit.body, func(n ast.Node) bool {
+		// A nested closure with its own ctx parameter is its own scope.
+		if lit, ok := n.(*ast.FuncLit); ok && n != unit.node && hasCtxParam(info, lit.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		// Only package-level functions have lookup-able siblings.
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true
+		}
+		name := fn.Name()
+		for _, suf := range ctxSuffixes {
+			if strings.HasSuffix(name, suf) {
+				return true
+			}
+		}
+		if sibling := ctxSibling(fn); sibling != "" {
+			pass.Reportf(call.Pos(), "%s.%s drops the context this function received; call %s.%s so cancellation propagates", fn.Pkg().Name(), name, fn.Pkg().Name(), sibling)
+		}
+		return true
+	})
+}
+
+// ctxSibling returns the name of a context-aware variant of fn exported
+// by the same package ("" when none exists).
+func ctxSibling(fn *types.Func) string {
+	scope := fn.Pkg().Scope()
+	for _, suf := range ctxSuffixes {
+		obj, ok := scope.Lookup(fn.Name() + suf).(*types.Func)
+		if !ok {
+			continue
+		}
+		if sig, ok := obj.Type().(*types.Signature); ok && firstParamIsCtx(sig) {
+			return obj.Name()
+		}
+	}
+	return ""
+}

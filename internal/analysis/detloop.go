@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetLoop flags map-range loops whose body writes to an output sink
+// (anything implementing io.Writer, or fmt.Fprint*/binary.Write). Go
+// randomizes map iteration order, so bytes emitted inside such a loop
+// differ run to run — breaking the invariant that DPZ streams are
+// byte-identical across runs and worker counts. The fix is the sorted-
+// key pattern: collect keys, sort, then emit while ranging the slice.
+var DetLoop = &Analyzer{
+	Name: "detloop",
+	Doc:  "map-range loop writes to an output stream; iteration order is nondeterministic",
+	Run:  runDetLoop,
+}
+
+// writeishMethods are method names that emit bytes when the receiver
+// is an io.Writer implementation.
+var writeishMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Encode":      true,
+}
+
+func runDetLoop(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rng.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sink := outputSink(info, call); sink != "" {
+					pass.Reportf(call.Pos(), "%s inside a range over a map emits output in nondeterministic iteration order; collect and sort the keys, then emit while ranging the sorted slice", sink)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// outputSink classifies a call as byte-emitting, returning a short
+// description or "".
+func outputSink(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		switch pkgPathOf(fn) {
+		case "fmt":
+			switch fn.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + fn.Name()
+			}
+		case "encoding/binary":
+			if fn.Name() == "Write" {
+				return "binary.Write"
+			}
+		}
+		// Method calls: a write-shaped method on an io.Writer.
+		if recv := receiverType(info, call); recv != nil && writeishMethods[fn.Name()] && isIOWriter(recv) {
+			return "(" + types.TypeString(recv, nil) + ")." + fn.Name()
+		}
+	}
+	return ""
+}

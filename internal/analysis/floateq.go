@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. DPZ's error-
+// bound guarantees (|x−x̂| ≤ P) are tolerance statements, so exact float
+// equality in pipeline code is almost always a latent bug: values that
+// are mathematically equal differ after a transform round-trip, and the
+// comparison silently flips with compiler or architecture changes.
+//
+// Two idioms are exempt by construction: comparison against an exact
+// constant zero (sign tests and "was this field set" checks on exactly
+// representable values) and x != x / x == x (the NaN probe). Deliberate
+// exact-representability comparisons — bin boundaries in quant, payload
+// round-trips in bits — carry //dpzlint:ignore floateq audits instead.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "floating-point ==/!= outside tests; use a tolerance or an audited ignore",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.Types[bin.X], info.Types[bin.Y]
+			if !isFloat(xt.Type) && !isFloat(yt.Type) {
+				return true
+			}
+			// NaN probe: x != x (the only false-free way to spell it
+			// without math.IsNaN).
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true
+			}
+			// Comparison against an exact constant zero.
+			if isConstZero(xt) || isConstZero(yt) {
+				return true
+			}
+			pass.Reportf(bin.Pos(), "floating-point %s comparison; use math.Abs(a-b) <= tol, or add //dpzlint:ignore floateq with the exact-representability argument", bin.Op)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t is a float32/float64 (possibly named).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether a typed-and-valued expression is the
+// numeric constant 0.
+func isConstZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	if k := tv.Value.Kind(); k != constant.Int && k != constant.Float {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

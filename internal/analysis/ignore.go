@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ignorePrefix introduces an audited exemption comment:
+//
+//	//dpzlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The exemption applies to findings of the named analyzers on the
+// comment's own line (end-of-line form) and on the line immediately
+// below it (standalone form). The reason is mandatory: an ignore without
+// one is itself reported, so every exemption carries its justification
+// into review.
+const ignorePrefix = "//dpzlint:ignore"
+
+// ignoreSet indexes active exemptions by (file, line, analyzer).
+type ignoreSet map[ignoreKey]bool
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans a package's comments for ignore directives.
+// Malformed directives (missing analyzer, unknown analyzer, or missing
+// reason) are reported as findings of the pseudo-analyzer "dpzlint" so
+// they cannot silently suppress anything. known maps valid analyzer
+// names.
+func collectIgnores(pkg *Package, known map[string]bool, report func(Finding)) ignoreSet {
+	ignores := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				bad := func(format string, args ...any) {
+					report(Finding{
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: "dpzlint",
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad("ignore directive names no analyzer (want %q)", ignorePrefix+" <analyzer> <reason>")
+					continue
+				}
+				if len(fields) < 2 {
+					bad("ignore directive for %q has no reason; every exemption must say why", fields[0])
+					continue
+				}
+				names := strings.Split(fields[0], ",")
+				valid := true
+				for _, name := range names {
+					if !known[name] {
+						bad("ignore directive names unknown analyzer %q", name)
+						valid = false
+					}
+				}
+				if !valid {
+					continue
+				}
+				for _, name := range names {
+					ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// suppressed reports whether a finding is covered by an exemption.
+func (s ignoreSet) suppressed(f Finding) bool {
+	return s[ignoreKey{f.File, f.Line, f.Analyzer}]
+}

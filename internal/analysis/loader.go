@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, typechecked module package.
+type Package struct {
+	// ImportPath is the full import path ("dpz/internal/core").
+	ImportPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Fset is the loader-wide file set.
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, sorted by file name.
+	Files []*ast.File
+	// Types and Info hold the typechecker's output.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects typechecking problems. Analyzers still run on
+	// a partially typed package, but callers should surface these.
+	TypeErrors []error
+}
+
+// Loader loads and typechecks every package of one module using only
+// the standard library: module-internal imports resolve directly against
+// the module tree, and all other imports (the standard library) go
+// through go/importer's source importer.
+type Loader struct {
+	// Fset is shared by every parsed file, including std sources pulled
+	// in by the source importer, so all positions are coherent.
+	Fset *token.FileSet
+	// ModPath is the module path from go.mod ("dpz").
+	ModPath string
+	// Root is the absolute module root directory.
+	Root string
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at root (the
+// directory containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The source importer typechecks standard-library packages from
+	// $GOROOT/src via go/build's default context. Force cgo off so
+	// packages like net select their pure-Go variants instead of
+	// requiring a C toolchain for type information.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not support ImporterFrom")
+	}
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		Root:    abs,
+		std:     std,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module path in %s", gomod)
+}
+
+// skipDir reports whether a directory subtree is excluded from loading.
+func skipDir(name string) bool {
+	if name == "testdata" || name == "vendor" || name == "artifacts" {
+		return true
+	}
+	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadAll loads every package under the module root, sorted by import
+// path. Directories named testdata, vendor or artifacts (and hidden
+// directories) are skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadDirs([]string{l.Root})
+}
+
+// LoadDirs loads every package found under the given directory trees
+// (each must live inside the module root), sorted by import path.
+func (l *Loader) LoadDirs(roots []string) ([]*Package, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	for _, root := range roots {
+		abs, err := filepath.Abs(root)
+		if err != nil {
+			return nil, err
+		}
+		err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if path != abs && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			ip, err := l.importPathFor(path)
+			if err != nil || seen[ip] {
+				return nil
+			}
+			if hasGoFiles(path) {
+				seen[ip] = true
+				paths = append(paths, ip)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		pkg, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importPathFor maps an absolute directory inside the module to its
+// import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module root %s", dir, l.Root)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && includeFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// includeFile reports whether a file name is a loadable non-test source.
+func includeFile(name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	return !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// dirFor maps an import path inside the module back to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	if importPath == l.ModPath {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(importPath, l.ModPath+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// load parses and typechecks one module package, memoized by import
+// path. Module-internal imports recurse through the same loader.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir := l.dirFor(importPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && includeFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	pkg := &Package{ImportPath: importPath, Dir: dir, Fset: l.Fset}
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns a usable (possibly incomplete) package even when it
+	// also reported errors; those are collected on pkg.TypeErrors.
+	pkg.Types, _ = conf.Check(importPath, l.Fset, pkg.Files, pkg.Info)
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through this loader, everything else through the source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: %s failed to typecheck", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MutexIO flags I/O performed while a sync.Mutex/RWMutex is held, in
+// the serving-path packages (internal/server, internal/archive). A lock
+// held across a Read/Write on a socket, file or pipe couples every
+// other request's latency to one peer's network speed — the slow-client
+// starvation pattern. In-memory sinks (bytes.Buffer, bytes.Reader,
+// strings.Builder, strings.Reader) are exempt: writing to them under a
+// lock is ordinary state mutation.
+//
+// The analysis is lexical within one function scope: the held region
+// runs from X.Lock()/X.RLock() to the first matching non-deferred
+// unlock, or to the end of the function when the unlock is deferred.
+var MutexIO = &Analyzer{
+	Name: "mutexio",
+	Doc:  "I/O call while a mutex is held in internal/server or internal/archive",
+	Run:  runMutexIO,
+}
+
+// mutexIOScopes are the package-path suffixes the analyzer applies to.
+var mutexIOScopes = [...]string{"internal/server", "internal/archive"}
+
+func runMutexIO(pass *Pass) {
+	path := pass.Pkg.ImportPath
+	inScope := false
+	for _, s := range mutexIOScopes {
+		if pathMatches(path, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files() {
+		for _, unit := range funcUnits(f) {
+			checkMutexUnit(pass, unit)
+		}
+	}
+}
+
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // rendered receiver expression, e.g. "s.mu"
+	method   string
+	deferred bool
+}
+
+func checkMutexUnit(pass *Pass, unit funcUnit) {
+	info := pass.TypesInfo()
+	var locks, unlocks []lockEvent
+	type ioCall struct {
+		pos  token.Pos
+		desc string
+	}
+	var ios []ioCall
+	walkUnit(unit.body, func(n ast.Node, deferred bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if ev, isLock, ok := mutexOp(info, call); ok {
+			ev.deferred = deferred
+			if isLock {
+				locks = append(locks, ev)
+			} else {
+				unlocks = append(unlocks, ev)
+			}
+			return
+		}
+		if desc := ioOperation(info, call); desc != "" {
+			ios = append(ios, ioCall{call.Pos(), desc})
+		}
+	})
+	if len(locks) == 0 || len(ios) == 0 {
+		return
+	}
+	for _, lk := range locks {
+		if lk.deferred {
+			continue
+		}
+		end := unit.body.End()
+		for _, ul := range unlocks {
+			if ul.recv == lk.recv && !ul.deferred && ul.pos > lk.pos && ul.pos < end {
+				end = ul.pos
+			}
+		}
+		for _, io := range ios {
+			if io.pos > lk.pos && io.pos < end {
+				pass.Reportf(io.pos, "%s while %s.%s is held; a slow peer now stalls every contender — release the lock around the I/O or snapshot under the lock first", io.desc, lk.recv, lk.method)
+			}
+		}
+	}
+}
+
+// mutexOp classifies Lock/RLock/Unlock/RUnlock calls on sync mutexes.
+func mutexOp(info *types.Info, call *ast.CallExpr) (ev lockEvent, isLock, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return ev, false, false
+	}
+	recv := receiverType(info, call)
+	if recv == nil || (!isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex")) {
+		return ev, false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return lockEvent{call.Pos(), types.ExprString(sel.X), sel.Sel.Name, false}, true, true
+	case "Unlock", "RUnlock":
+		return lockEvent{call.Pos(), types.ExprString(sel.X), sel.Sel.Name, false}, false, true
+	}
+	return ev, false, false
+}
+
+// ioReadMethods/ioWriteMethods are the byte-moving method names that
+// count as I/O when the receiver implements io.Reader/io.Writer.
+var ioReadMethods = map[string]bool{
+	"Read": true, "ReadFrom": true, "ReadByte": true, "ReadFull": true,
+}
+var ioWriteMethods = map[string]bool{
+	"Write": true, "WriteTo": true, "WriteString": true, "WriteByte": true, "Flush": true,
+}
+
+// inMemoryTypes are concrete io implementations that never block on a
+// peer.
+func isInMemory(t types.Type) bool {
+	return isNamed(t, "bytes", "Buffer") || isNamed(t, "bytes", "Reader") ||
+		isNamed(t, "strings", "Builder") || isNamed(t, "strings", "Reader")
+}
+
+// ioOperation classifies a call as potentially blocking I/O, returning
+// a short description or "".
+func ioOperation(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	switch pkgPathOf(fn) {
+	case "io":
+		switch fn.Name() {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "WriteString":
+			return "io." + fn.Name()
+		}
+	case "net":
+		switch fn.Name() {
+		case "Dial", "DialTimeout":
+			return "net." + fn.Name()
+		}
+	}
+	recv := receiverType(info, call)
+	if recv == nil || isInMemory(recv) {
+		return ""
+	}
+	name := fn.Name()
+	if ioReadMethods[name] && isIOReader(recv) {
+		return "(" + types.TypeString(recv, nil) + ")." + name
+	}
+	if ioWriteMethods[name] && isIOWriter(recv) {
+		return "(" + types.TypeString(recv, nil) + ")." + name
+	}
+	return ""
+}

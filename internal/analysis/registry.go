@@ -1,0 +1,25 @@
+package analysis
+
+// All returns every registered analyzer in stable (alphabetical) order.
+// New analyzers are added here and documented in docs/LINT.md.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		DetLoop,
+		FloatEq,
+		MutexIO,
+		ScratchPair,
+		WallTime,
+		WrapCheck,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// Run executes every analyzer over every package and returns the
+// surviving findings in deterministic order: ignore directives are
+// applied, file paths are rewritten relative to root (slash-separated),
+// and the result is sorted by position, analyzer and message. Two runs
+// over the same tree produce identical output.
+func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers)+1)
+	known["dpzlint"] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var all []Finding
+	for _, pkg := range pkgs {
+		var pkgFindings []Finding
+		report := func(f Finding) { pkgFindings = append(pkgFindings, f) }
+		ignores := collectIgnores(pkg, known, report)
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
+		}
+		for _, f := range pkgFindings {
+			if !ignores.suppressed(f) {
+				all = append(all, f)
+			}
+		}
+	}
+
+	for i := range all {
+		if rel, err := filepath.Rel(root, all[i].File); err == nil {
+			all[i].File = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].less(all[j]) })
+	// Drop exact duplicates (an analyzer visiting a node twice must not
+	// double-report).
+	out := all[:0]
+	for i, f := range all {
+		if i == 0 || f != all[i-1] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MarshalJSON renders findings as a deterministic JSON array (one
+// object per finding, sorted as returned by Run, trailing newline).
+func MarshalJSON(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	b, err := json.MarshalIndent(findings, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ScratchPair enforces the pooled-buffer contract of
+// dpz/internal/scratch: every buffer acquired in a function (Floats,
+// ZeroedFloats, Get*) must flow back through PutFloats/Put* in the same
+// function, and a non-deferred release must not be skippable by an
+// early return between acquire and release. A leaked buffer silently
+// degrades the pool until the hot path allocates per call again, which
+// is exactly the regression the pooling PR removed.
+//
+// The check is per function scope: closures are analyzed separately,
+// except `defer func(){...}()` bodies, which run on this scope's exit
+// path and count as deferred releases. Functions that intentionally
+// transfer buffer ownership to a caller must carry a
+// //dpzlint:ignore scratchpair comment explaining the handoff.
+var ScratchPair = &Analyzer{
+	Name: "scratchpair",
+	Doc:  "scratch pool acquire without a release reachable on every exit of the function",
+	Run:  runScratchPair,
+}
+
+const scratchPkg = "internal/scratch"
+
+// scratchCall classifies a call into the scratch package.
+func scratchCall(pass *Pass, call *ast.CallExpr) (name string, acquire, release bool) {
+	fn := calleeFunc(pass.TypesInfo(), call)
+	if fn == nil || !pathMatches(pkgPathOf(fn), scratchPkg) {
+		return "", false, false
+	}
+	name = fn.Name()
+	switch {
+	case name == "Floats" || name == "ZeroedFloats" || strings.HasPrefix(name, "Get"):
+		return name, true, false
+	case strings.HasPrefix(name, "Put"):
+		return name, false, true
+	}
+	return "", false, false
+}
+
+func runScratchPair(pass *Pass) {
+	for _, f := range pass.Files() {
+		for _, unit := range funcUnits(f) {
+			checkScratchUnit(pass, unit)
+		}
+	}
+}
+
+type scratchEvent struct {
+	pos      token.Pos
+	name     string
+	deferred bool
+}
+
+func checkScratchUnit(pass *Pass, unit funcUnit) {
+	var acquires, releases []scratchEvent
+	var returns []token.Pos
+	walkUnit(unit.body, func(n ast.Node, deferred bool) {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			name, acq, rel := scratchCall(pass, node)
+			switch {
+			case acq:
+				acquires = append(acquires, scratchEvent{node.Pos(), name, deferred})
+			case rel:
+				releases = append(releases, scratchEvent{node.Pos(), name, deferred})
+			}
+		case *ast.ReturnStmt:
+			if !deferred {
+				returns = append(returns, node.Pos())
+			}
+		}
+	})
+	if len(acquires) == 0 {
+		return
+	}
+
+	// Pair each acquire with the first unclaimed release: deferred
+	// releases match regardless of position (they run on exit),
+	// in-line releases must follow the acquire.
+	claimed := make([]bool, len(releases))
+	for _, acq := range acquires {
+		matched := -1
+		for i, rel := range releases {
+			if claimed[i] {
+				continue
+			}
+			if rel.deferred || rel.pos > acq.pos {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			pass.Reportf(acq.pos, "scratch.%s has no matching scratch.Put* in this function; the buffer leaks from the pool (defer the Put, or //dpzlint:ignore scratchpair if ownership transfers)", acq.name)
+			continue
+		}
+		rel := releases[matched]
+		claimed[matched] = true
+		if rel.deferred {
+			continue
+		}
+		for _, ret := range returns {
+			if ret > acq.pos && ret < rel.pos {
+				retLine := pass.Fset().Position(ret).Line
+				pass.Reportf(acq.pos, "scratch.%s is not released on the early return at line %d (the scratch.%s afterwards is skipped); defer the Put or release before returning", acq.name, retLine, rel.name)
+				break
+			}
+		}
+	}
+}

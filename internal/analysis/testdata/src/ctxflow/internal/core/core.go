@@ -1,0 +1,13 @@
+// Package core is a golden-test stub: Compress has a Context-suffixed
+// sibling, Inspect does not.
+package core
+
+import "context"
+
+func Compress(data []float64) ([]byte, error) { return nil, nil }
+
+func CompressContext(ctx context.Context, data []float64) ([]byte, error) {
+	return nil, ctx.Err()
+}
+
+func Inspect(buf []byte) error { return nil }

@@ -1,0 +1,27 @@
+// Package parallel is a golden-test stub mirroring the real fan-out
+// API: each helper has a context-aware Ctx sibling.
+package parallel
+
+import "context"
+
+func For(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+	return ctx.Err()
+}
+
+func ForChunks(n, workers int, fn func(lo, hi int)) {
+	fn(0, n)
+}
+
+func ForChunksCtx(ctx context.Context, n, workers int, fn func(lo, hi int)) error {
+	fn(0, n)
+	return ctx.Err()
+}

@@ -1,0 +1,39 @@
+// Package p exercises the ctxflow analyzer: a context-taking function
+// must not call the non-Ctx variant when a Ctx/Context sibling exists.
+package p
+
+import (
+	"context"
+
+	"dpz/internal/core"
+	"dpz/internal/parallel"
+)
+
+func WithCtx(ctx context.Context, data []float64) error {
+	parallel.For(len(data), 4, func(i int) {}) // want `parallel\.For drops the context`
+	if err := parallel.ForCtx(ctx, len(data), 4, func(i int) {}); err != nil {
+		return err // ok: the Ctx variant is used
+	}
+	_, err := core.Compress(data) // want `core\.Compress drops the context`
+	return err
+}
+
+func WithoutCtx(data []float64) {
+	parallel.For(len(data), 4, func(i int) {}) // ok: no context to drop
+}
+
+func NoSibling(ctx context.Context, buf []byte) error {
+	return core.Inspect(buf) // ok: Inspect has no Context sibling
+}
+
+func CapturedCtx(ctx context.Context, data []float64) func() {
+	return func() {
+		parallel.ForChunks(len(data), 2, func(lo, hi int) {}) // want `parallel\.ForChunks drops the context`
+	}
+}
+
+func OwnCtxClosure(parent context.Context, data []float64) func(context.Context) error {
+	return func(ctx context.Context) error {
+		return parallel.ForCtx(ctx, len(data), 2, func(i int) {}) // ok: closure plumbs its own ctx
+	}
+}

@@ -1,0 +1,51 @@
+// Package p exercises the detloop analyzer: emitting output while
+// ranging a map is nondeterministic; emitting from a sorted key slice
+// is the sanctioned pattern.
+package p
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func emitDirect(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `inside a range over a map`
+	}
+}
+
+func emitBuffer(m map[string]int) []byte {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want `inside a range over a map`
+	}
+	return buf.Bytes()
+}
+
+func emitBinary(w io.Writer, m map[uint32]uint32) {
+	for k := range m {
+		binary.Write(w, binary.LittleEndian, k) // want `inside a range over a map`
+	}
+}
+
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: append is not an output sink
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k]) // ok: range over a sorted slice
+	}
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // ok: no output inside the loop
+	}
+	return n
+}

@@ -1,0 +1,38 @@
+// Package p exercises the floateq analyzer: exact float comparisons
+// are flagged, the NaN probe and exact-zero tests are not.
+package p
+
+func equal64(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func notEqual32(a, b float32) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func viaAlias(a, b float64) bool {
+	type sample = float64
+	var x sample = a
+	return x == b // want `floating-point == comparison`
+}
+
+func zeroTest(x float64) bool {
+	return x == 0 // ok: exact constant-zero probe
+}
+
+func nanProbe(x float64) bool {
+	return x != x // ok: the IEEE NaN self-comparison idiom
+}
+
+func ints(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+func ordered(a, b float64) bool {
+	return a < b // ok: ordering comparisons are fine
+}
+
+func audited(a, b float64) bool {
+	//dpzlint:ignore floateq golden test: both operands are exactly representable bin centers
+	return a == b // ok: audited exemption
+}

@@ -1,0 +1,55 @@
+// Package server is a golden-test stand-in for the serving layer: the
+// mutexio analyzer only applies to internal/server and
+// internal/archive package paths.
+package server
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+)
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	log  bytes.Buffer
+}
+
+func (s *S) heldAcrossWrite(p []byte) {
+	s.mu.Lock()
+	s.conn.Write(p) // want `while s\.mu\.Lock is held`
+	s.mu.Unlock()
+}
+
+func (s *S) deferredUnlock(r io.Reader) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	io.Copy(io.Discard, r) // want `io\.Copy while s\.mu\.Lock is held`
+}
+
+func (s *S) readLockHeld(p []byte) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.conn.Read(p) // want `while s\.rw\.RLock is held`
+}
+
+func (s *S) bufferUnderLock(p []byte) {
+	s.mu.Lock()
+	s.log.Write(p) // ok: bytes.Buffer is an in-memory sink
+	s.mu.Unlock()
+}
+
+func (s *S) releasedFirst(p []byte) {
+	s.mu.Lock()
+	n := s.log.Len()
+	s.mu.Unlock()
+	if n < 1024 {
+		s.conn.Write(p) // ok: the lock was released above
+	}
+}
+
+func (s *S) noLock(p []byte) {
+	s.conn.Write(p) // ok: no lock held in this function
+}

@@ -1,0 +1,63 @@
+// Package p exercises the scratchpair analyzer: every pool acquire must
+// have a release reachable on every exit of the function.
+package p
+
+import "dpz/internal/scratch"
+
+func balanced(n int) float64 {
+	buf := scratch.Floats(n) // ok: released in-line with no return in between
+	s := 0.0
+	for _, v := range buf {
+		s += v
+	}
+	scratch.PutFloats(buf)
+	return s
+}
+
+func leaks(n int) float64 {
+	buf := scratch.Floats(n) // want `no matching scratch\.Put`
+	return buf[0]
+}
+
+func earlyReturn(n int) float64 {
+	buf := scratch.Floats(n) // want `not released on the early return`
+	if n > 10 {
+		return 0
+	}
+	v := buf[0]
+	scratch.PutFloats(buf)
+	return v
+}
+
+func deferredRelease(n int) float64 {
+	buf := scratch.Floats(n) // ok: a deferred release covers every return
+	defer scratch.PutFloats(buf)
+	if n > 10 {
+		return 0
+	}
+	return buf[0]
+}
+
+func deferredClosure(n int) float64 {
+	buf := scratch.ZeroedFloats(n) // ok: released by the deferred closure
+	defer func() {
+		scratch.PutFloats(buf)
+	}()
+	if n > 3 {
+		return 1
+	}
+	return buf[0]
+}
+
+func closuresAreSeparateScopes(n int) func() float64 {
+	return func() float64 {
+		buf := scratch.Floats(n) // want `no matching scratch\.Put`
+		return buf[0]
+	}
+}
+
+func auditedHandoff(n int) []float64 {
+	//dpzlint:ignore scratchpair golden test: ownership transfers to the caller
+	buf := scratch.Floats(n) // ok: audited ownership transfer
+	return buf
+}

@@ -1,0 +1,12 @@
+// Command tool shows that non-internal packages are out of walltime's
+// scope: binaries may read the clock freely.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now()) // ok: cmd/ packages are out of scope
+}

@@ -1,0 +1,21 @@
+// Package kernel is a golden-test stand-in for a deterministic
+// pipeline package: raw wall-clock reads are flagged here.
+package kernel
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now in a deterministic kernel package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in a deterministic kernel package`
+}
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a deterministic kernel package`
+}
+
+func budget(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) // ok: pure Duration arithmetic
+}

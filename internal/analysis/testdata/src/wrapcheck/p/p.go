@@ -1,0 +1,41 @@
+// Package p exercises the wrapcheck analyzer: error operands passed to
+// fmt.Errorf must use %w so errors.Is/As can see through the wrap.
+package p
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func flattens(err error) error {
+	return fmt.Errorf("stage failed: %v", err) // want `formatted with %v loses the error chain`
+}
+
+func wraps(err error) error {
+	return fmt.Errorf("stage failed: %w", err) // ok: %w preserves the chain
+}
+
+func stringified(name string, err error) error {
+	return fmt.Errorf("field %q: %s", name, err) // want `formatted with %s loses the error chain`
+}
+
+func secondOperand(err1, err2 error) error {
+	return fmt.Errorf("%w (also: %v)", err1, err2) // want `formatted with %v loses the error chain`
+}
+
+func nonError(n int) error {
+	return fmt.Errorf("bad count %d", n) // ok: no error operand
+}
+
+func sentinel() error {
+	return fmt.Errorf("lookup: %w", errBase) // ok: wrapped sentinel
+}
+
+func percentEscape(err error) error {
+	if err != nil {
+		return fmt.Errorf("ratio 100%%: %w", err) // ok: %% is a literal percent
+	}
+	return nil
+}

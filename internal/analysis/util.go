@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// funcUnit is one analyzed function scope: a FuncDecl body or a FuncLit
+// body. Analyzers that reason about control flow (scratchpair, mutexio)
+// treat each unit independently so a buffer acquired in a closure is
+// matched against releases in that closure, not the enclosing function.
+type funcUnit struct {
+	// node is the *ast.FuncDecl or *ast.FuncLit.
+	node ast.Node
+	// typ is the function's declared type.
+	typ *ast.FuncType
+	// body may be nil (assembly-backed declarations).
+	body *ast.BlockStmt
+}
+
+// funcUnits yields every function scope in a file, outermost first.
+func funcUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			units = append(units, funcUnit{fn, fn.Type, fn.Body})
+		case *ast.FuncLit:
+			units = append(units, funcUnit{fn, fn.Type, fn.Body})
+		}
+		return true
+	})
+	return units
+}
+
+// walkUnit walks a function body without descending into nested
+// function literals (they are their own units). A nested literal that
+// is immediately invoked by a defer statement (`defer func(){...}()`)
+// IS walked, because its body runs within this unit's exit path; visit
+// receives deferred=true for nodes that execute as part of a defer.
+func walkUnit(body *ast.BlockStmt, visit func(n ast.Node, deferred bool)) {
+	if body == nil {
+		return
+	}
+	var walk func(n ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			if m == nil {
+				return true
+			}
+			if m != root {
+				switch node := m.(type) {
+				case *ast.DeferStmt:
+					visit(node, deferred)
+					if lit, ok := node.Call.Fun.(*ast.FuncLit); ok {
+						for _, arg := range node.Call.Args {
+							walk(arg, true)
+						}
+						walk(lit.Body, true)
+					} else {
+						walk(node.Call, true)
+					}
+					return false
+				case *ast.FuncLit:
+					return false
+				}
+			}
+			visit(m, deferred)
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// calleeFunc resolves a call expression to the package-level function
+// or method it invokes, or nil for builtins, conversions, function
+// values and anonymous calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the defining package path of a function, or "".
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// pathMatches reports whether a package path equals suffix or ends with
+// "/"+suffix. Analyzers match module packages by suffix so golden-test
+// trees with their own module roots hit the same rules as the real tree.
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// receiverType returns the type of a method call's receiver expression,
+// or nil when the call is not a selector-based method call.
+func receiverType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil
+	}
+	return selection.Recv()
+}
+
+var (
+	ifaceOnce sync.Once
+	writerIfc *types.Interface
+	readerIfc *types.Interface
+	errorIfc  *types.Interface
+)
+
+// buildIfaces constructs io.Writer / io.Reader shaped interfaces
+// structurally, so implementation checks need no import of the real io
+// package's type object.
+func buildIfaces() {
+	errorIfc = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	mk := func(name string) *types.Interface {
+		sig := types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice)),
+			types.NewTuple(
+				types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+				types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+			), false)
+		ifc := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, name, sig)}, nil)
+		ifc.Complete()
+		return ifc
+	}
+	writerIfc = mk("Write")
+	readerIfc = mk("Read")
+}
+
+// implementsIface reports whether t or *t implements ifc.
+func implementsIface(t types.Type, ifc *types.Interface) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ifc) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ifc)
+	}
+	return false
+}
+
+// isIOWriter reports whether t (or *t) implements io.Writer.
+func isIOWriter(t types.Type) bool {
+	ifaceOnce.Do(buildIfaces)
+	return implementsIface(t, writerIfc)
+}
+
+// isIOReader reports whether t (or *t) implements io.Reader.
+func isIOReader(t types.Type) bool {
+	ifaceOnce.Do(buildIfaces)
+	return implementsIface(t, readerIfc)
+}
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	ifaceOnce.Do(buildIfaces)
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIfc)
+}
+
+// namedType returns the named type behind t, unwrapping one pointer.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamed reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named := namedType(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// hasCtxParam reports whether a function type declares a
+// context.Context parameter and returns its name if so.
+func hasCtxParam(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype == nil || ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isNamed(tv.Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsCtx reports whether a function signature's first
+// parameter is context.Context.
+func firstParamIsCtx(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	return isNamed(sig.Params().At(0).Type(), "context", "Context")
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallTime flags direct wall-clock reads (time.Now/Since/Sleep) inside
+// the deterministic kernel packages — the compression pipeline under
+// internal/ whose outputs must be byte-identical across runs, worker
+// counts and machines. Wall-clock values that leak into stage logic are
+// the classic source of "works locally, diverges in CI" bugs, and every
+// raw call site is one more place a determinism audit has to clear.
+// Timing belongs behind the injectable clock in dpz/internal/metrics
+// (metrics.Now/metrics.Since): one whitelisted site, swappable in
+// tests.
+//
+// Out of scope (free to use time directly): the serving layer
+// (internal/server), the metrics clock itself (internal/metrics), and
+// the measurement harnesses (internal/compare, internal/experiments),
+// plus all cmd/ and example binaries.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "raw wall-clock call in a deterministic kernel package; use the metrics clock",
+	Run:  runWallTime,
+}
+
+// wallTimeExempt are internal packages allowed to read the clock
+// directly.
+var wallTimeExempt = [...]string{
+	"internal/metrics",
+	"internal/server",
+	"internal/compare",
+	"internal/experiments",
+}
+
+// wallTimeFuncs are the time package functions that read or depend on
+// the wall clock.
+var wallTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true, "Sleep": true}
+
+func runWallTime(pass *Pass) {
+	path := pass.Pkg.ImportPath
+	if !pathContainsSegment(path, "internal") {
+		return
+	}
+	for _, exempt := range wallTimeExempt {
+		if pathMatches(path, exempt) {
+			return
+		}
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || pkgPathOf(fn) != "time" || !wallTimeFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.%s in a deterministic kernel package; route timing through dpz/internal/metrics (metrics.Now/metrics.Since) so audits have one clock site", fn.Name())
+			return true
+		})
+	}
+}
+
+// pathContainsSegment reports whether path has seg as a full path
+// segment.
+func pathContainsSegment(path, seg string) bool {
+	for _, head := range strings.Split(path, "/") {
+		if head == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+)
+
+// WrapCheck flags fmt.Errorf calls that format an error operand with a
+// verb other than %w. Formatting with %v/%s flattens the error to text:
+// errors.Is/As stop matching, typed errors like *core.CorruptionError
+// become unreachable, and the best-effort decode paths that switch on
+// them silently take the wrong branch. Every error argument should be
+// wrapped with %w (Go 1.20+ supports several per call).
+var WrapCheck = &Analyzer{
+	Name: "wrapcheck",
+	Doc:  "fmt.Errorf formats an error operand without %w, breaking errors.Is/As",
+	Run:  runWrapCheck,
+}
+
+func runWrapCheck(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "Errorf" || pkgPathOf(fn) != "fmt" {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs := formatVerbs(format)
+			if len(verbs) != len(call.Args)-1 {
+				// Arity mismatch is go vet's finding, not ours.
+				return true
+			}
+			for i, verb := range verbs {
+				arg := call.Args[i+1]
+				tv, ok := info.Types[arg]
+				if !ok || !isErrorType(tv.Type) {
+					continue
+				}
+				if verb != 'w' {
+					pass.Reportf(arg.Pos(), "error operand formatted with %%%c loses the error chain for errors.Is/As; use %%w", verb)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs returns the verb letter for each argument-consuming
+// conversion in a printf format string, in argument order. A '*' width
+// or precision consumes an int argument, recorded as verb '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0':
+				i++
+				continue
+			}
+			break
+		}
+		// width
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					verbs = append(verbs, '*')
+				}
+				i++
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

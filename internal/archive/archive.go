@@ -193,7 +193,7 @@ func Open(r io.ReaderAt, size int64, o Options) (*Reader, error) {
 	}
 	rec, rerr := Recover(r, size)
 	if rerr != nil {
-		return nil, fmt.Errorf("%w (recovery scan also failed: %v)", err, rerr)
+		return nil, fmt.Errorf("%w (recovery scan also failed: %w)", err, rerr)
 	}
 	return rec, nil
 }

@@ -9,6 +9,7 @@ import (
 	"dpz/internal/blockio"
 	"dpz/internal/knee"
 	"dpz/internal/mat"
+	"dpz/internal/metrics"
 	"dpz/internal/parallel"
 	"dpz/internal/pca"
 	"dpz/internal/quant"
@@ -101,13 +102,13 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	}
 	var st Stats
 	st.OrigBytes = elemBytes * len(data)
-	tStart := time.Now()
+	tStart := metrics.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Stage 1a: block decomposition.
-	t0 := time.Now()
+	t0 := metrics.Now()
 	shape, err := blockio.ShapeFor(dims, p.MaxBlocks)
 	if err != nil {
 		return nil, err
@@ -117,14 +118,14 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 		return nil, err
 	}
 	st.M, st.N = shape.M, shape.N
-	st.TimeDecompose = time.Since(t0)
+	st.TimeDecompose = metrics.Since(t0)
 
 	// Stage 1b: per-block DCT (skippable for the single-stage ablation),
 	// with optional trailing-coefficient truncation.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
+	t0 = metrics.Now()
 	if !p.SkipDCT {
 		switch {
 		case p.DCT2D:
@@ -148,14 +149,14 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 			}
 		}
 	}
-	st.TimeDCT = time.Since(t0)
+	st.TimeDCT = metrics.Since(t0)
 
 	// Stage 2: k-PCA in the DCT domain. Samples are coefficient positions
 	// (N rows), features are blocks (M columns).
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
+	t0 = metrics.Now()
 	x := blocks.T()
 
 	var model *pca.Model
@@ -236,7 +237,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	} else {
 		st.TVEAchieved = 1
 	}
-	st.TimePCA = time.Since(t0)
+	st.TimePCA = metrics.Since(t0)
 
 	// Stage 3: symmetric uniform quantization of the score stream. The
 	// configured P is relative to the original data's value range (the SZ
@@ -250,7 +251,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	// damaged tail still decodes best-effort from the leading components.
 	// Quantization is elementwise, so the per-column split reconstructs
 	// identically to the joint stream.
-	t0 = time.Now()
+	t0 = metrics.Now()
 	if 2*k+2 > math.MaxUint16 {
 		return nil, fmt.Errorf("core: %d components exceed the container's section table", k)
 	}
@@ -283,12 +284,12 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	for j := 0; j < k; j++ {
 		st.OutOfRange += encs[j].OutOfRange()
 	}
-	st.TimeQuant = time.Since(t0)
+	st.TimeQuant = metrics.Since(t0)
 
 	// Assemble + zlib. The projection matrix is quantized per column with
 	// an error budget tied to the Stage 3 bound (see projcodec.go); each
 	// column becomes its own section next to its score stream.
-	t0 = time.Now()
+	t0 = metrics.Now()
 	proj := model.ProjectionMatrix(k)
 	colScale := make([]float64, k)
 	for i := 0; i < shape.N; i++ {
@@ -357,7 +358,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	if err != nil {
 		return nil, err
 	}
-	st.TimeZlib = time.Since(t0)
+	st.TimeZlib = metrics.Since(t0)
 
 	// CR accounting on the float32 basis. Stage 1&2 output: N·k scores +
 	// M·k projection + M means (+ M scales), all as float32. Stage 3
@@ -421,7 +422,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 		st.FinalPSNR = stats.PSNR(data, final)
 	}
 
-	st.TimeTotal = time.Since(tStart)
+	st.TimeTotal = metrics.Since(tStart)
 	return &Compressed{Bytes: out, Stats: st}, nil
 }
 

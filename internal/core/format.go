@@ -141,7 +141,7 @@ func v2SectionName(h header, i int) string {
 // encodeContainer assembles the v2 byte stream. scores and proj hold one
 // raw (pre-zlib) section per stored component; scales is nil when the
 // stream is not standardized. Sections deflate in parallel (large ones
-// split further into shards — see deflateSection) but are assembled in
+// split further into shards — see shardSpans) but are assembled in
 // their fixed order, so the stream is byte-identical for every worker
 // count. It returns the stream and the total pre-zlib payload size (for
 // the zlib-stage CR accounting). A cancelled ctx aborts the deflate fan-out
@@ -422,7 +422,7 @@ func decodeContainer(ctx context.Context, buf []byte, workers int) (container, e
 				return
 			}
 		}
-		raw, err := inflateSection(ref.comp, ref.rawLen, inner)
+		raw, err := inflateSection(ctx, ref.comp, ref.rawLen, inner)
 		if err != nil {
 			errs[s] = fmt.Errorf("core: section %d: %w", s, err)
 			return

@@ -94,7 +94,7 @@ func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
 			continue
 		}
 		if doInflate {
-			raw, err := inflateSection(comp, rawLen, 1)
+			raw, err := inflateSection(context.Background(), comp, rawLen, 1)
 			if err != nil {
 				secs[s].err = err
 				continue

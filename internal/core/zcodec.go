@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"compress/zlib"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -166,25 +167,12 @@ func assembleShards(spans []shardSpan, comp [][]byte) []byte {
 	return out
 }
 
-// deflateSection compresses one raw section into its payload form,
-// sharding large sections across workers. The output is identical for
-// every worker count.
-func deflateSection(sec []byte, level, workers int) []byte {
-	spans := shardSpans(len(sec))
-	if spans == nil {
-		return deflate(sec, level)
-	}
-	comp := make([][]byte, len(spans))
-	parallel.For(len(spans), workers, func(i int) {
-		comp[i] = deflate(sec[spans[i].off:spans[i].end], level)
-	})
-	return assembleShards(spans, comp)
-}
-
 // inflateSection decompresses a section payload (plain or sharded),
 // verifying it reconstructs exactly rawLen bytes. Shards inflate in
-// parallel into disjoint slices of the output.
-func inflateSection(payload []byte, rawLen, workers int) ([]byte, error) {
+// parallel into disjoint slices of the output; a cancelled ctx aborts
+// the fan-out so cancellation reaches shard granularity (dpzlint's
+// ctxflow analyzer keeps this path on the Ctx variant).
+func inflateSection(ctx context.Context, payload []byte, rawLen, workers int) ([]byte, error) {
 	if !isSharded(payload) {
 		return inflate(payload, rawLen)
 	}
@@ -224,10 +212,12 @@ func inflateSection(payload []byte, rawLen, workers int) ([]byte, error) {
 	}
 	out := make([]byte, rawLen)
 	errs := make([]error, nshard)
-	parallel.For(nshard, workers, func(i int) {
+	if err := parallel.ForCtx(ctx, nshard, workers, func(i int) {
 		s := shards[i]
 		errs[i] = inflateInto(out[s.dstOff:s.dstOff+s.dstLen], data[s.srcOff:s.srcOff+s.srcLen])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", i, err)

@@ -2,8 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
+
+	"dpz/internal/parallel"
 )
 
 // codecPayload builds a compressible-but-not-trivial byte pattern.
@@ -13,6 +16,21 @@ func codecPayload(n int) []byte {
 		buf[i] = byte(i*7 + i/255)
 	}
 	return buf
+}
+
+// deflateSection is the test-side reference encoder for the section
+// payload framing: one section at a time, sharding large sections
+// exactly as encodeContainer's flattened job list does.
+func deflateSection(sec []byte, level, workers int) []byte {
+	spans := shardSpans(len(sec))
+	if spans == nil {
+		return deflate(sec, level)
+	}
+	comp := make([][]byte, len(spans))
+	parallel.For(len(spans), workers, func(i int) {
+		comp[i] = deflate(sec[spans[i].off:spans[i].end], level)
+	})
+	return assembleShards(spans, comp)
 }
 
 func TestDeflateSectionRoundTrip(t *testing.T) {
@@ -30,7 +48,7 @@ func TestDeflateSectionRoundTrip(t *testing.T) {
 			}
 		}
 		for _, w := range []int{1, 4} {
-			out, err := inflateSection(ref, n, w)
+			out, err := inflateSection(context.Background(), ref, n, w)
 			if err != nil {
 				t.Fatalf("size %d workers %d: %v", n, w, err)
 			}
@@ -46,7 +64,7 @@ func TestDeflateSectionLevels(t *testing.T) {
 	fast := deflateSection(raw, 1, 2)
 	best := deflateSection(raw, 9, 2)
 	for name, payload := range map[string][]byte{"fast": fast, "best": best} {
-		out, err := inflateSection(payload, len(raw), 2)
+		out, err := inflateSection(context.Background(), payload, len(raw), 2)
 		if err != nil || !bytes.Equal(out, raw) {
 			t.Fatalf("%s level roundtrip: %v", name, err)
 		}
@@ -81,7 +99,7 @@ func TestInflateSectionCorrupt(t *testing.T) {
 	}
 	for name, mk := range cases {
 		bad, rawLen := mk()
-		if _, err := inflateSection(bad, rawLen, 2); err == nil {
+		if _, err := inflateSection(context.Background(), bad, rawLen, 2); err == nil {
 			t.Errorf("%s: corrupt payload accepted", name)
 		}
 	}

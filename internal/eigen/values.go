@@ -105,6 +105,7 @@ func tqliValues(d, e []float64) error {
 			var m int
 			for m = l; m < n-1; m++ {
 				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				//dpzlint:ignore floateq QL convergence test: e+dd == dd is exact iff |e| vanished below dd's ulp, the intended machine-epsilon stop
 				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64 || math.Abs(e[m])+dd == dd {
 					break
 				}

@@ -256,7 +256,7 @@ func Decode(buf []byte) ([]uint16, error) {
 		for l = 1; l <= maxCodeLen; l++ {
 			b, err := r.ReadBit()
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+				return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
 			}
 			code = code<<1 | uint32(b)
 			if g, ok := groups[l]; ok {

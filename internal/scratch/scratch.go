@@ -71,6 +71,7 @@ func PutFloats(s []float64) {
 
 // ZeroedFloats returns a pooled slice of n zeros.
 func ZeroedFloats(n int) []float64 {
+	//dpzlint:ignore scratchpair ownership transfers to the caller, who releases via PutFloats
 	s := Floats(n)
 	for i := range s {
 		s[i] = 0
