@@ -1,10 +1,12 @@
 package dpz
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"dpz/internal/archive"
+	"dpz/internal/basiscache"
 	"dpz/internal/parallel"
 	"dpz/internal/stats"
 )
@@ -75,26 +77,69 @@ func (a *ArchiveWriter) CompressBatch(fields []ArchiveField, o Options) ([]Stats
 	inner := o
 	inner.Workers = (wall + wf - 1) / wf
 
+	// Basis reuse mirrors the tiled pipeline: cache slots are acquired in
+	// the sequential source stage (field order), so the bases any field
+	// observes are independent of the worker count. pctx wakes followers
+	// whose leader job was drained by a pipeline failure elsewhere.
+	var cache *basiscache.Cache
+	var optFP uint64
+	if basisEligible(o) {
+		if o.BasisCache != nil {
+			cache = o.BasisCache.c
+		} else {
+			cache = basiscache.New(0)
+		}
+		optFP = basisFingerprint(o)
+	}
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+
+	type fieldJob struct {
+		i int
+		h *basiscache.Handle
+	}
 	statsOut := make([]Stats, 0, len(fields))
 	err := parallel.Pipeline(wf, 0,
-		func(emit func(int) bool) error {
+		func(emit func(fieldJob) bool) error {
 			for i := range fields {
-				if !emit(i) {
+				var h *basiscache.Handle
+				if cache != nil {
+					f := fields[i]
+					h = cache.Acquire(basiscache.KeyFor(dimsKey(f.Dims), optFP, f.Data))
+				}
+				if !emit(fieldJob{i: i, h: h}) {
+					if h != nil {
+						h.Fulfill(nil) // never dispatched: retract so nobody waits on it
+					}
 					return nil
 				}
 			}
 			return nil
 		},
-		func(i int) (*Result, error) {
-			f := fields[i]
-			res, err := CompressFloat64(f.Data, f.Dims, inner)
+		func(j fieldJob) (*Result, error) {
+			done := false
+			defer func() {
+				if !done {
+					pcancel()
+				}
+			}()
+			f := fields[j.i]
+			var res *Result
+			var err error
+			if j.h != nil {
+				res, err = compressWithHandle(pctx, f.Data, f.Dims, inner, j.h)
+			} else {
+				res, err = CompressFloat64(f.Data, f.Dims, inner)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("dpz: archive field %q: %w", f.Name, err)
 			}
+			done = true
 			return res, nil
 		},
 		func(idx int, res *Result) error {
 			if err := a.w.Append(fields[idx].Name, res.Data); err != nil {
+				pcancel()
 				return err
 			}
 			statsOut = append(statsOut, res.Stats)

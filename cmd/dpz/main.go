@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		nines      = fs.Int("tve", 5, "TVE threshold as a count of nines (3..8)")
 		fit        = fs.String("fit", "1d", "knee curve fit: 1d or polyn")
 		sampling   = fs.Bool("sampling", false, "enable the Algorithm 2 sampling strategy")
+		basisReuse = fs.Bool("basis-reuse", false, "reuse PCA bases across similar tiles (quality-guarded; tve/sampling paths)")
 		workers    = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		zlevel     = fs.Int("zlevel", 0, "zlib add-on level 1-9 (0 = zlib default)")
 		verify     = fs.Bool("verify", false, "after -z, decompress and report PSNR/θ")
@@ -52,7 +53,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 
-	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *sampling, *workers, *zlevel)
+	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *sampling, *basisReuse, *workers, *zlevel)
 	if err != nil {
 		return err
 	}
@@ -161,18 +162,19 @@ func run(args []string, out io.Writer) error {
 // byte-identical to a /v1/compress response for the same settings. The
 // explicit nines check preserves the CLI's rejection of -tve 0 (the spec
 // treats 0 as "default").
-func buildOptions(scheme, selection string, nines int, fit string, sampling bool, workers, zlevel int) (dpz.Options, error) {
+func buildOptions(scheme, selection string, nines int, fit string, sampling, basisReuse bool, workers, zlevel int) (dpz.Options, error) {
 	if nines == 0 {
 		return dpz.Options{}, fmt.Errorf("tve nines 0 out of range")
 	}
 	return dpz.OptionSpec{
-		Scheme:   scheme,
-		Select:   selection,
-		TVENines: nines,
-		Fit:      fit,
-		Sampling: sampling,
-		Workers:  workers,
-		ZLevel:   zlevel,
+		Scheme:     scheme,
+		Select:     selection,
+		TVENines:   nines,
+		Fit:        fit,
+		Sampling:   sampling,
+		Workers:    workers,
+		ZLevel:     zlevel,
+		BasisReuse: basisReuse,
 	}.Options()
 }
 

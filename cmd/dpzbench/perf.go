@@ -33,6 +33,37 @@ type perfRecord struct {
 	MBPerSec    float64 `json:"mb_per_s"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// StageNs is the per-stage wall-time breakdown of one representative
+	// (non-benchmark) run, taken from the pipeline's injectable metrics
+	// clock; for batch records it is summed over the batch's tiles.
+	StageNs *stageNs `json:"stage_ns,omitempty"`
+	// BasisDecisions counts the reuse decisions of the representative run
+	// for basis-reuse records.
+	BasisDecisions map[string]int `json:"basis_decisions,omitempty"`
+}
+
+// stageNs is a per-stage nanosecond breakdown (Figure 9's categories).
+type stageNs struct {
+	Decompose int64 `json:"decompose"`
+	DCT       int64 `json:"dct"`
+	PCA       int64 `json:"pca"`
+	Quant     int64 `json:"quant"`
+	Zlib      int64 `json:"zlib"`
+	Total     int64 `json:"total"`
+}
+
+// stagesOf sums the stage timings of sts into a stageNs breakdown.
+func stagesOf(sts ...dpz.Stats) *stageNs {
+	var out stageNs
+	for _, st := range sts {
+		out.Decompose += st.TimeDecompose.Nanoseconds()
+		out.DCT += st.TimeDCT.Nanoseconds()
+		out.PCA += st.TimePCA.Nanoseconds()
+		out.Quant += st.TimeQuant.Nanoseconds()
+		out.Zlib += st.TimeZlib.Nanoseconds()
+		out.Total += st.TimeTotal.Nanoseconds()
+	}
+	return &out
 }
 
 // perfReport is the BENCH_<rev>.json document.
@@ -109,17 +140,18 @@ func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) e
 	fmt.Fprintf(out, "perf suite: %s %v (%d values), workers %v\n", f.Name, f.Dims, f.Len(), workers)
 
 	var records []perfRecord
-	add := func(name string, w int, r testing.BenchmarkResult) {
+	add := func(name string, w int, r testing.BenchmarkResult) *perfRecord {
 		rec := record(name, w, r)
 		records = append(records, rec)
 		fmt.Fprintf(out, "%-12s workers=%d  %12d ns/op  %8.2f MB/s  %8d allocs/op\n",
 			name, w, rec.NsPerOp, rec.MBPerSec, rec.AllocsPerOp)
+		return &records[len(records)-1]
 	}
 
 	for _, w := range workers {
 		o := dpz.LooseOptions()
 		o.Workers = w
-		add("compress", w, testing.Benchmark(func(b *testing.B) {
+		rec := add("compress", w, testing.Benchmark(func(b *testing.B) {
 			b.SetBytes(rawBytes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -128,6 +160,11 @@ func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) e
 				}
 			}
 		}))
+		probe, err := dpz.CompressFloat64(f.Data, f.Dims, o)
+		if err != nil {
+			return err
+		}
+		rec.StageNs = stagesOf(probe.Stats)
 	}
 
 	res, err := dpz.CompressFloat64(f.Data, f.Dims, dpz.LooseOptions())
@@ -164,6 +201,76 @@ func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) e
 				}
 			}
 		}))
+	}
+
+	// Repeated-tile batch workload: the basis-reuse target case. The
+	// batch holds similar smooth tiles (one synthetic slab with a tiny
+	// per-tile drift), compressed with the cross-tile basis cache off and
+	// on at the same options; the speedup comes from accepted/warm-started
+	// fits skipping the per-tile covariance build and eigensolve. PHIS is
+	// the low-rank spec (k ≪ M, PCA-dominated) — the regime DPZ targets
+	// and the one where skipping the eigensolve pays; tall tiles keep the
+	// per-tile block count high enough that the PCA stage dominates.
+	const batchTiles = 16
+	btr := max(8, f.Dims[0]/2)
+	base := dataset.CESM("PHIS", btr, f.Dims[len(f.Dims)-1], 2001)
+	bfields := make([]dpz.ArchiveField, batchTiles)
+	for t := range bfields {
+		data := make([]float64, len(base.Data))
+		drift := 1 + 1e-5*float64(t)
+		for i, v := range base.Data {
+			data[i] = v * drift
+		}
+		bfields[t] = dpz.ArchiveField{Name: fmt.Sprintf("tile-%02d", t), Data: data, Dims: base.Dims}
+	}
+	batchBytes := int64(4 * len(base.Data) * batchTiles)
+	for _, reuse := range []bool{false, true} {
+		name := "batch"
+		if reuse {
+			name = "batch-reuse"
+		}
+		for _, w := range workers {
+			o := dpz.LooseOptions()
+			o.Workers = w
+			o.BasisReuse = reuse
+			rec := add(name, w, testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(batchBytes)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					aw, err := dpz.NewArchiveWriter(io.Discard)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := aw.CompressBatch(bfields, o); err != nil {
+						b.Fatal(err)
+					}
+					if err := aw.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			aw, err := dpz.NewArchiveWriter(io.Discard)
+			if err != nil {
+				return err
+			}
+			bstats, err := aw.CompressBatch(bfields, o)
+			if err != nil {
+				return err
+			}
+			if err := aw.Close(); err != nil {
+				return err
+			}
+			rec.StageNs = stagesOf(bstats...)
+			if reuse {
+				decisions := map[string]int{}
+				for _, st := range bstats {
+					if st.BasisDecision != "" {
+						decisions[st.BasisDecision]++
+					}
+				}
+				rec.BasisDecisions = decisions
+			}
+		}
 	}
 
 	rev, dirty := buildRevision()

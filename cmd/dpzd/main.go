@@ -42,24 +42,26 @@ func main() {
 func run(args []string, log io.Writer) error {
 	fs := flag.NewFlagSet("dpzd", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":8640", "listen address")
-		jobs    = fs.Int("jobs", 0, "concurrently executing requests (0 = GOMAXPROCS)")
-		workers = fs.Int("workers", 0, "total worker-goroutine budget shared by executing jobs (0 = GOMAXPROCS)")
-		queue   = fs.Int("queue", 0, "admitted requests waiting beyond -jobs (0 = default 16, <0 = none)")
-		maxBody = fs.Int64("max-body", 0, "request body cap in bytes (0 = 1 GiB)")
-		timeout = fs.Duration("timeout", 0, "per-request compute deadline (0 = 5m, <0 = none)")
-		grace   = fs.Duration("grace", 30*time.Second, "shutdown drain budget")
+		addr       = fs.String("addr", ":8640", "listen address")
+		jobs       = fs.Int("jobs", 0, "concurrently executing requests (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", 0, "total worker-goroutine budget shared by executing jobs (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "admitted requests waiting beyond -jobs (0 = default 16, <0 = none)")
+		maxBody    = fs.Int64("max-body", 0, "request body cap in bytes (0 = 1 GiB)")
+		timeout    = fs.Duration("timeout", 0, "per-request compute deadline (0 = 5m, <0 = none)")
+		grace      = fs.Duration("grace", 30*time.Second, "shutdown drain budget")
+		basisCache = fs.Int("basis-cache", 0, "shared PCA basis cache entries for basis-reuse requests (0 = default 64, <0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv := server.New(server.Config{
-		Jobs:           *jobs,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxBodyBytes:   *maxBody,
-		RequestTimeout: *timeout,
+		Jobs:              *jobs,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxBodyBytes:      *maxBody,
+		RequestTimeout:    *timeout,
+		BasisCacheEntries: *basisCache,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

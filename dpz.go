@@ -32,9 +32,11 @@ import (
 	"fmt"
 	"time"
 
+	"dpz/internal/basiscache"
 	"dpz/internal/blockio"
 	"dpz/internal/core"
 	"dpz/internal/knee"
+	"dpz/internal/pca"
 	"dpz/internal/quant"
 	"dpz/internal/sampling"
 	"dpz/internal/stats"
@@ -129,6 +131,21 @@ type Options struct {
 	// ZLevel sets the zlib add-on compression level, 1 (fastest) to 9
 	// (best). 0 keeps zlib's default, matching previous releases.
 	ZLevel int
+	// BasisReuse lets compressions of similar tiles reuse (or warm-start
+	// from) an earlier tile's PCA basis instead of refitting from
+	// scratch. A reused basis must first pass a quality guard proving it
+	// still meets the TVE target on the new tile's own data, so the
+	// accuracy contract is unchanged. Tiled and batch compressions get a
+	// per-call cache automatically; single-shot Compress calls
+	// additionally need a BasisCache to draw candidates from. Reuse only
+	// engages for TVE-threshold selection or the sampling strategy.
+	BasisReuse bool
+	// BasisCache, when set together with BasisReuse, is the cache
+	// candidates are drawn from and fitted bases published to. Sharing
+	// one cache across calls (as dpzd does) carries bases across whole
+	// requests; leaving it nil scopes reuse to a single tiled or batch
+	// call.
+	BasisCache *BasisCache
 }
 
 // LooseOptions returns the paper's DPZ-l scheme (P=1e-3, 1-byte indexing).
@@ -240,6 +257,12 @@ type Stats struct {
 	TimeZlib      time.Duration
 	TimeTotal     time.Duration
 
+	// BasisDecision reports which path the basis-reuse layer took:
+	// "cold" (no usable candidate), "accept" (candidate adopted after
+	// the quality guard), or "refine" (candidate warm-started the
+	// eigensolve). Empty when basis reuse was off for this compression.
+	BasisDecision string
+
 	// Sampling holds the Algorithm 2 report when UseSampling was set.
 	Sampling *Estimate
 }
@@ -289,6 +312,9 @@ func fromCoreStats(s core.Stats) Stats {
 		TimeZlib:        s.TimeZlib,
 		TimeTotal:       s.TimeTotal,
 	}
+	if s.BasisDecision != pca.ReuseOff {
+		out.BasisDecision = s.BasisDecision.String()
+	}
 	if s.Sampling != nil {
 		out.Sampling = &Estimate{
 			Ke:           s.Sampling.Ke,
@@ -325,6 +351,10 @@ func CompressFloat64(data []float64, dims []int, o Options) (*Result, error) {
 
 // CompressFloat64Context is CompressFloat64 with cooperative cancellation.
 func CompressFloat64Context(ctx context.Context, data []float64, dims []int, o Options) (*Result, error) {
+	if basisEligible(o) && o.BasisCache != nil {
+		key := basiscache.KeyFor(dimsKey(dims), basisFingerprint(o), data)
+		return compressWithHandle(ctx, data, dims, o, o.BasisCache.c.Acquire(key))
+	}
 	c, err := core.CompressContext(ctx, data, dims, o.toCore())
 	if err != nil {
 		return nil, err

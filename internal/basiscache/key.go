@@ -1,0 +1,101 @@
+package basiscache
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// qNonFinite is the bucket sentinel for statistics that are NaN or ±Inf:
+// such tiles only ever match other non-finite tiles.
+const qNonFinite = int32(math.MaxInt32)
+
+// quantize maps a summary statistic onto a quarter-octave log2 bucket:
+// values whose magnitudes are within ~19% of each other land in the same
+// bucket, which is coarse enough to absorb tile-to-tile noise and fine
+// enough to keep dissimilar tiles apart. Zero and non-finite values get
+// dedicated sentinels, and the sign is carried in the low bit so +x and
+// −x never collide.
+func quantize(v float64) int32 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return qNonFinite
+	}
+	if v == 0 {
+		return 0
+	}
+	b := int32(math.Floor(4 * math.Log2(math.Abs(v))))
+	// Clamp to keep the shifted encoding well inside int32 (float32
+	// magnitudes span roughly 2^±150, i.e. buckets ±600).
+	if b > 1<<20 {
+		b = 1 << 20
+	} else if b < -(1 << 20) {
+		b = -(1 << 20)
+	}
+	code := (b+1<<21)<<1 + 1 // strictly positive, distinct from the sentinels
+	if v < 0 {
+		code++
+	}
+	return code
+}
+
+// summarize computes the mean, (population) standard deviation and
+// half-range of the n-element sequence read through at.
+func summarize(n int, at func(int) float64) (mean, std, halfRange float64) {
+	if n == 0 {
+		return 0, 0, 0
+	}
+	var sum float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		v := at(i)
+		sum += v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for i := 0; i < n; i++ {
+		d := at(i) - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(n))
+	halfRange = (hi - lo) / 2
+	return mean, std, halfRange
+}
+
+// KeyFor builds the cache key for a tile given as float64 samples.
+// dims is the tile's logical shape and opt the option fingerprint; both
+// must already encode everything (other than the data) that influences
+// the fitted basis.
+func KeyFor(dims string, opt uint64, data []float64) Key {
+	mean, std, halfRange := summarize(len(data), func(i int) float64 { return data[i] })
+	return Key{
+		Dims:   dims,
+		Opt:    opt,
+		QMean:  quantize(mean),
+		QStd:   quantize(std),
+		QRange: quantize(halfRange),
+	}
+}
+
+// KeyForRaw builds the cache key for a tile given as little-endian
+// float32 bytes (the tiled-compression wire layout), without
+// materializing a float64 slice. float64(float32(x)) is exact, so this
+// produces the same key KeyFor would for the converted data.
+func KeyForRaw(dims string, opt uint64, raw []byte) Key {
+	n := len(raw) / 4
+	at := func(i int) float64 {
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+	}
+	mean, std, halfRange := summarize(n, at)
+	return Key{
+		Dims:   dims,
+		Opt:    opt,
+		QMean:  quantize(mean),
+		QStd:   quantize(std),
+		QRange: quantize(halfRange),
+	}
+}

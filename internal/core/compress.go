@@ -43,6 +43,10 @@ type Stats struct {
 	Stage12PSNR float64
 	FinalPSNR   float64
 
+	// BasisDecision reports which path the basis-reuse layer took for
+	// Stage 2 (ReuseOff when Params.Basis was nil).
+	BasisDecision pca.ReuseDecision
+
 	TimeDecompose time.Duration
 	TimeDCT       time.Duration
 	TimePCA       time.Duration
@@ -185,7 +189,22 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 		// Fit the truncated basis on the sampled rows only (Algorithm 2's
 		// Stage 2 saving), then project the full data below.
 		sub := sampleRows(x, sp)
-		model, err = pca.FitK(sub, k, pca.Options{Standardize: standardize, Workers: p.Workers}, seed)
+		popts := pca.Options{Standardize: standardize, Workers: p.Workers}
+		if ex := p.Basis; ex != nil {
+			// Reuse-aware path: the guard can only verify a candidate
+			// against an explicit TVE target, so knee-selected k keeps
+			// the warm refine but never accepts outright.
+			target := 0.0
+			if p.Selection == TVEThreshold {
+				target = sp.TVE
+			}
+			var dec pca.ReuseDecision
+			model, dec, err = pca.FitKReuse(sub, k, target, popts, seed, ex.Candidate)
+			ex.Decision = dec
+			st.BasisDecision = dec
+		} else {
+			model, err = pca.FitK(sub, k, popts, seed)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: sampled k-PCA: %w", err)
 		}
@@ -201,9 +220,22 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 			}
 		}
 		st.Standardized = standardize
-		if p.ParallelPCA {
+		switch {
+		case p.ParallelPCA:
 			model, err = pca.FitJacobi(x, pca.Options{Standardize: standardize}, p.Workers)
-		} else {
+		case p.Basis != nil && p.Selection == TVEThreshold:
+			var dec pca.ReuseDecision
+			model, dec, err = pca.FitTVEReuse(x, p.TVE, pca.Options{Standardize: standardize, Workers: p.Workers}, seed, p.Basis.Candidate)
+			p.Basis.Decision = dec
+			st.BasisDecision = dec
+		default:
+			// Knee selection needs the full spectrum, so a truncated
+			// candidate cannot help it; the Jacobi path has its own
+			// solver. Both fit cold even when reuse is active.
+			if p.Basis != nil {
+				p.Basis.Decision = pca.ReuseCold
+				st.BasisDecision = pca.ReuseCold
+			}
 			model, err = pca.Fit(x, pca.Options{Standardize: standardize, Workers: p.Workers})
 		}
 		if err != nil {
@@ -224,6 +256,9 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 		k = shape.M
 	}
 	st.K = k
+	if ex := p.Basis; ex != nil {
+		ex.Fitted = publishBasis(model, k, st.Standardized)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -424,6 +459,40 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 
 	st.TimeTotal = metrics.Since(tStart)
 	return &Compressed{Bytes: out, Stats: st}, nil
+}
+
+// basisMargin is how many components beyond the selected k a published
+// basis keeps. The margin lets a follower tile whose spectrum is slightly
+// flatter still find its target inside the candidate, at a per-entry
+// memory cost of M·8 bytes per extra column.
+const basisMargin = 8
+
+// publishBasis extracts the reusable part of a fitted model: the leading
+// min(k+basisMargin, fitted) components. The columns are shared with the
+// model when the widths already match and copied otherwise; models are
+// never mutated after fitting, so sharing is safe.
+func publishBasis(model *pca.Model, k int, standardized bool) *pca.Basis {
+	if model == nil || model.Components == nil {
+		return nil
+	}
+	rows, cols := model.Components.Dims()
+	kpub := k + basisMargin
+	if kpub > cols {
+		kpub = cols
+	}
+	if kpub < 1 {
+		return nil
+	}
+	q := model.Components
+	if kpub != cols {
+		q = mat.NewDense(rows, kpub)
+		for j := 0; j < kpub; j++ {
+			for i := 0; i < rows; i++ {
+				q.Set(i, j, model.Components.At(i, j))
+			}
+		}
+	}
+	return &pca.Basis{Q: q, Standardized: standardized}
 }
 
 // workersPer divides a worker budget across k concurrent tasks so nested

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"dpz/internal/knee"
+	"dpz/internal/pca"
 	"dpz/internal/quant"
 	"dpz/internal/sampling"
 )
@@ -122,6 +123,28 @@ type Params struct {
 	// ZLevel sets the zlib add-on compression level, 1 (fastest) to 9
 	// (best). 0 keeps zlib's default level, matching previous releases.
 	ZLevel int
+	// Basis, when non-nil, activates basis reuse for Stage 2: Candidate
+	// (if set) is offered to the reuse-aware fits, and the basis this
+	// compression actually used is published back through Fitted for
+	// similar tiles to reuse. Reuse never weakens the selection
+	// guarantee — a candidate is only adopted after the quality guard
+	// verifies it still meets the TVE target on this tile's data.
+	Basis *BasisExchange
+}
+
+// BasisExchange carries a candidate PCA basis into a compression and the
+// fitted basis (plus the reuse decision taken) back out. It is a plain
+// data carrier: the caller owns lifetime and sharing.
+type BasisExchange struct {
+	// Candidate is the warm-start basis offered to Stage 2, or nil.
+	Candidate *pca.Basis
+	// Fitted is set on success to the leading components this
+	// compression used, in a form suitable as a future Candidate. It is
+	// nil when the selected path cannot produce a reusable basis
+	// (e.g. the Jacobi fit).
+	Fitted *pca.Basis
+	// Decision records which reuse path Stage 2 took.
+	Decision pca.ReuseDecision
 }
 
 // DPZL returns the paper's loose scheme: P = 1e-3 with 1-byte indexing.

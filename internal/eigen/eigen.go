@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"dpz/internal/mat"
+	"dpz/internal/scratch"
 )
 
 // ErrNoConvergence is returned when the QL iteration fails to converge
@@ -45,9 +46,16 @@ func SymEig(a *mat.Dense) (*System, error) {
 	n := r
 	// z starts as a copy of a and is overwritten with the accumulated
 	// orthogonal transform; after tqli its columns are the eigenvectors.
-	z := a.Clone()
-	d := make([]float64, n) // diagonal
-	e := make([]float64, n) // off-diagonal
+	// The workspace is pooled: sortDescending copies the eigenpairs into
+	// fresh storage, so nothing pooled escapes to the caller.
+	zbuf := scratch.Floats(n * n)
+	defer scratch.PutFloats(zbuf)
+	copy(zbuf, a.Data())
+	z := mat.NewDenseData(n, n, zbuf)
+	d := scratch.Floats(n) // diagonal
+	defer scratch.PutFloats(d)
+	e := scratch.Floats(n) // off-diagonal
+	defer scratch.PutFloats(e)
 	tred2(z, d, e)
 	if err := tqli(d, e, z); err != nil {
 		return nil, err

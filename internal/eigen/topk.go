@@ -6,7 +6,13 @@ import (
 	"math/rand"
 
 	"dpz/internal/mat"
+	"dpz/internal/scratch"
 )
+
+// maxSubspaceSweeps bounds the double-apply subspace iteration; a
+// well-separated spectrum converges in a handful of sweeps, a warm start
+// in one or two.
+const maxSubspaceSweeps = 40
 
 // TopK computes the k leading eigenpairs of the symmetric PSD matrix a via
 // orthogonal (subspace) iteration. This is the O(M²·k)-per-sweep path DPZ
@@ -32,46 +38,142 @@ func TopK(a *mat.Dense, k int, seed int64) (*System, error) {
 		}
 		return truncate(sys, k), nil
 	}
+	p := subspaceWidth(n, k)
+	qbuf := scratch.Floats(n * p)
+	defer scratch.PutFloats(qbuf)
+	q := mat.NewDenseData(n, p, qbuf)
 	rng := rand.New(rand.NewSource(seed))
-	// Iterate on a slightly larger subspace for faster convergence of the
-	// trailing wanted eigenpair.
-	p := k + 8
-	if p > n {
-		p = n
-	}
-	q := mat.NewDense(n, p)
 	for i := range q.Data() {
 		q.Data()[i] = rng.NormFloat64()
 	}
 	orthonormalize(q)
+	iterate(a, q)
+	sys, err := rayleighRitz(a, q)
+	if err != nil {
+		return nil, err
+	}
+	return truncate(sys, k), nil
+}
 
-	// Each sweep applies A twice (squaring the convergence ratio per
-	// sweep) and stops when the variance captured by the subspace —
-	// trace(QᵀAQ), the only quantity PCA consumes — is stable. Exact
-	// eigenpair separation is then restored by the Rayleigh–Ritz step.
-	prevCaptured := -1.0
-	const maxSweeps = 40
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		z := mat.Mul(a, q)
-		// Captured variance: Σ_j (Qᵀ A Q)_jj = Σ_j Q_j·Z_j.
-		var captured float64
-		for j := 0; j < p; j++ {
-			for i := 0; i < n; i++ {
-				captured += q.At(i, j) * z.At(i, j)
+// TopKWarm is TopK warm-started from the orthonormal basis warm (n × any
+// column count): the iterate begins at warm's columns (padded with seeded
+// random directions up to the working subspace width) instead of a fully
+// random subspace. When warm already spans a subspace close to the true
+// leading eigenspace — neighboring tiles of a smooth field, consecutive
+// timesteps — the iteration converges in one or two sweeps instead of the
+// cold start's many. The returned sweep count is the number of
+// double-apply sweeps performed (0 when the dense solver was used).
+func TopKWarm(a *mat.Dense, k int, warm *mat.Dense, seed int64) (*System, int, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, 0, fmt.Errorf("eigen: non-square input %dx%d", n, c)
+	}
+	if k < 1 || k > n {
+		return nil, 0, fmt.Errorf("eigen: k=%d out of range [1,%d]", k, n)
+	}
+	if warm == nil {
+		sys, err := TopK(a, k, seed)
+		return sys, 0, err
+	}
+	if wr, _ := warm.Dims(); wr != n {
+		return nil, 0, fmt.Errorf("eigen: warm basis has %d rows, matrix is %dx%d", wr, n, n)
+	}
+	// Warm sweeps are cheap, so subspace iteration stays worthwhile down to
+	// much smaller matrices than the cold path; only tiny or nearly-full
+	// problems route to the dense solver.
+	if n <= 64 || k > n/2 {
+		sys, err := SymEig(a)
+		if err != nil {
+			return nil, 0, err
+		}
+		return truncate(sys, k), 0, nil
+	}
+	p := subspaceWidth(n, k)
+	qbuf := scratch.Floats(n * p)
+	defer scratch.PutFloats(qbuf)
+	q := mat.NewDenseData(n, p, qbuf)
+	_, wc := warm.Dims()
+	copyCols := min(wc, p)
+	for i := 0; i < n; i++ {
+		dst := q.Row(i)
+		src := warm.Row(i)
+		copy(dst[:copyCols], src[:copyCols])
+	}
+	if copyCols < p {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			row := q.Row(i)
+			for j := copyCols; j < p; j++ {
+				row[j] = rng.NormFloat64()
 			}
 		}
-		z = mat.Mul(a, z)
-		orthonormalize(z)
-		q = z
+	}
+	orthonormalize(q)
+	sweeps := iterate(a, q)
+	sys, err := rayleighRitz(a, q)
+	if err != nil {
+		return nil, sweeps, err
+	}
+	return truncate(sys, k), sweeps, nil
+}
+
+// subspaceWidth is the working subspace column count: iterate on a
+// slightly larger subspace than k for faster convergence of the trailing
+// wanted eigenpair.
+func subspaceWidth(n, k int) int {
+	p := k + 8
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// iterate runs the double-apply subspace iteration on q in place until the
+// captured variance stabilizes, returning the sweep count. Each sweep
+// applies A twice (squaring the convergence ratio per sweep) and stops
+// when the variance captured by the subspace — trace(QᵀAQ), the only
+// quantity PCA consumes — is stable. Exact eigenpair separation is then
+// restored by the Rayleigh–Ritz step.
+func iterate(a, q *mat.Dense) int {
+	n, p := q.Dims()
+	zbuf := scratch.Floats(n * p)
+	defer scratch.PutFloats(zbuf)
+	z := mat.NewDenseData(n, p, zbuf)
+	prevCaptured := -1.0
+	sweeps := 0
+	for sweep := 0; sweep < maxSubspaceSweeps; sweep++ {
+		sweeps++
+		mat.MulInto(z, a, q)
+		// Captured variance: Σ_j (Qᵀ A Q)_jj = Σ_j Q_j·Z_j.
+		var captured float64
+		qd, zd := q.Data(), z.Data()
+		for i, qv := range qd {
+			captured += qv * zd[i]
+		}
+		mat.MulInto(q, a, z)
+		orthonormalize(q)
 		if prevCaptured >= 0 && math.Abs(captured-prevCaptured) <= 1e-7*(1+math.Abs(captured)) {
 			break
 		}
 		prevCaptured = captured
 	}
-	// Rayleigh–Ritz on the converged subspace: solve the small p×p
-	// projected problem to resolve clustered eigenvalues cleanly.
-	aq := mat.Mul(a, q)
-	small := mat.Mul(q.T(), aq)
+	return sweeps
+}
+
+// rayleighRitz solves the small p×p projected problem on the converged
+// subspace q to resolve clustered eigenvalues cleanly, returning the full
+// p Ritz pairs.
+func rayleighRitz(a, q *mat.Dense) (*System, error) {
+	n, p := q.Dims()
+	aqBuf := scratch.Floats(n * p)
+	defer scratch.PutFloats(aqBuf)
+	aq := mat.NewDenseData(n, p, aqBuf)
+	mat.MulInto(aq, a, q)
+	qtBuf := scratch.Floats(n * p)
+	defer scratch.PutFloats(qtBuf)
+	qt := mat.NewDenseData(p, n, qtBuf)
+	mat.TransposeInto(qt, q)
+	small := mat.Mul(qt, aq)
 	// Symmetrize round-off.
 	for i := 0; i < p; i++ {
 		for j := i + 1; j < p; j++ {
@@ -85,7 +187,7 @@ func TopK(a *mat.Dense, k int, seed int64) (*System, error) {
 		return nil, err
 	}
 	ritz := mat.Mul(q, ssys.Vectors)
-	return truncate(&System{Values: ssys.Values, Vectors: ritz}, k), nil
+	return &System{Values: ssys.Values, Vectors: ritz}, nil
 }
 
 // truncate keeps the first k eigenpairs of sys.
@@ -111,7 +213,8 @@ func truncate(sys *System, k int) *System {
 // their original norm are reseeded with canonical basis vectors.
 func orthonormalize(q *mat.Dense) {
 	n, p := q.Dims()
-	col := make([]float64, n)
+	col := scratch.Floats(n)
+	defer scratch.PutFloats(col)
 	project := func(j int) float64 {
 		for i := 0; i < j; i++ {
 			var dot float64

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dpz/internal/mat"
+	"dpz/internal/scratch"
 )
 
 // SymEigValues computes only the eigenvalues of the symmetric matrix a,
@@ -22,9 +23,15 @@ func SymEigValues(a *mat.Dense) ([]float64, error) {
 		return nil, nil
 	}
 	n := r
-	work := a.Clone()
+	// The tridiagonalization workspace is pooled; only d (the returned
+	// eigenvalues) is freshly allocated.
+	wbuf := scratch.Floats(n * n)
+	defer scratch.PutFloats(wbuf)
+	copy(wbuf, a.Data())
+	work := mat.NewDenseData(n, n, wbuf)
 	d := make([]float64, n)
-	e := make([]float64, n)
+	e := scratch.Floats(n)
+	defer scratch.PutFloats(e)
 	tred2Values(work, d, e)
 	if err := tqliValues(d, e); err != nil {
 		return nil, err

@@ -86,6 +86,17 @@ func (m *Dense) SetCol(j int, src []float64) {
 // T returns a newly allocated transpose of m.
 func (m *Dense) T() *Dense {
 	t := NewDense(m.cols, m.rows)
+	TransposeInto(t, m)
+	return t
+}
+
+// TransposeInto writes mᵀ into t, which must be m.cols × m.rows and must
+// not alias m. Unlike T it allocates nothing, so callers can run the
+// transpose through pooled scratch storage.
+func TransposeInto(t, m *Dense) {
+	if t.rows != m.cols || t.cols != m.rows {
+		panic(fmt.Sprintf("mat: TransposeInto shape mismatch %dx%d vs %dx%d", t.rows, t.cols, m.rows, m.cols))
+	}
 	// Blocked transpose for cache friendliness on large matrices.
 	const bs = 64
 	for i0 := 0; i0 < m.rows; i0 += bs {
@@ -100,7 +111,6 @@ func (m *Dense) T() *Dense {
 			}
 		}
 	}
-	return t
 }
 
 // Mul computes a*b into a new matrix, parallelizing across row stripes.
@@ -234,7 +244,22 @@ func CorrelationW(m *Dense, workers int) *Dense {
 // runs through the blocked SyrK kernel; the worker count does not affect
 // the result bits (see SyrKInto).
 func covarianceCentered(m *Dense, means, stds []float64, workers int) *Dense {
+	cov := NewDense(m.cols, m.cols)
+	CovarianceCenteredInto(cov, m, means, stds, workers)
+	return cov
+}
+
+// CovarianceCenteredInto computes the sample covariance of m's columns
+// into cov (which must be cols × cols and is fully overwritten, so pooled
+// storage with arbitrary prior contents is safe). means are the per-column
+// means to subtract; a non-nil stds additionally scales each centered
+// feature by 1/std, yielding the correlation matrix. The worker count
+// never changes the result bits.
+func CovarianceCenteredInto(cov, m *Dense, means, stds []float64, workers int) {
 	r, c := m.rows, m.cols
+	if cov.rows != c || cov.cols != c {
+		panic(fmt.Sprintf("mat: CovarianceCenteredInto output %dx%d for %d features", cov.rows, cov.cols, c))
+	}
 	den := float64(r - 1)
 	if den <= 0 {
 		den = 1
@@ -253,13 +278,11 @@ func covarianceCentered(m *Dense, means, stds []float64, workers int) *Dense {
 			dst[j] = v
 		}
 	}
-	cov := NewDense(c, c)
 	SyrKInto(cov, NewDenseData(r, c, centered), workers)
 	scratch.PutFloats(centered)
 	for i := range cov.data {
 		cov.data[i] /= den
 	}
-	return cov
 }
 
 // Cholesky factors a symmetric positive-definite matrix a as LLᵀ and

@@ -12,6 +12,7 @@ import (
 
 	"dpz/internal/eigen"
 	"dpz/internal/mat"
+	"dpz/internal/scratch"
 )
 
 // Model is a fitted PCA basis. It stores everything needed to project new
@@ -53,14 +54,8 @@ func Fit(x *mat.Dense, opts Options) (*Model, error) {
 		return nil, errors.New("pca: need at least 1 feature")
 	}
 	m := &Model{}
-	m.Means = mat.ColMeans(x)
-	var cov *mat.Dense
-	if opts.Standardize {
-		m.Scales = mat.ColStds(x, m.Means)
-		cov = mat.CorrelationW(x, opts.Workers)
-	} else {
-		cov, _ = mat.CovarianceW(x, opts.Workers)
-	}
+	cov, release := m.covariance(x, opts)
+	defer release()
 	sys, err := eigen.SymEig(cov)
 	if err != nil {
 		return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
@@ -92,14 +87,8 @@ func FitK(x *mat.Dense, k int, opts Options, seed int64) (*Model, error) {
 		return nil, fmt.Errorf("pca: k=%d out of range [1,%d]", k, c)
 	}
 	m := &Model{}
-	m.Means = mat.ColMeans(x)
-	var cov *mat.Dense
-	if opts.Standardize {
-		m.Scales = mat.ColStds(x, m.Means)
-		cov = mat.CorrelationW(x, opts.Workers)
-	} else {
-		cov, _ = mat.CovarianceW(x, opts.Workers)
-	}
+	cov, release := m.covariance(x, opts)
+	defer release()
 	for i := 0; i < c; i++ {
 		m.TotalVar += cov.At(i, i)
 	}
@@ -132,14 +121,8 @@ func FitTVE(x *mat.Dense, target float64, opts Options, seed int64) (*Model, err
 		return nil, fmt.Errorf("pca: TVE target %v out of (0,1]", target)
 	}
 	m := &Model{}
-	m.Means = mat.ColMeans(x)
-	var cov *mat.Dense
-	if opts.Standardize {
-		m.Scales = mat.ColStds(x, m.Means)
-		cov = mat.CorrelationW(x, opts.Workers)
-	} else {
-		cov, _ = mat.CovarianceW(x, opts.Workers)
-	}
+	cov, release := m.covariance(x, opts)
+	defer release()
 	for i := 0; i < c; i++ {
 		m.TotalVar += cov.At(i, i)
 	}
@@ -215,12 +198,15 @@ func Spectrum(x *mat.Dense, opts Options) (vals []float64, totalVar float64, err
 	if r < 2 || c < 1 {
 		return nil, 0, fmt.Errorf("pca: matrix %dx%d too small for a spectrum", r, c)
 	}
-	var cov *mat.Dense
+	covBuf := scratch.Floats(c * c)
+	defer scratch.PutFloats(covBuf)
+	cov := mat.NewDenseData(c, c, covBuf)
+	means := mat.ColMeans(x)
+	var stds []float64
 	if opts.Standardize {
-		cov = mat.CorrelationW(x, opts.Workers)
-	} else {
-		cov, _ = mat.CovarianceW(x, opts.Workers)
+		stds = mat.ColStds(x, means)
 	}
+	mat.CovarianceCenteredInto(cov, x, means, stds, opts.Workers)
 	for i := 0; i < c; i++ {
 		totalVar += cov.At(i, i)
 	}
@@ -245,6 +231,23 @@ func TVECurveOf(vals []float64, totalVar float64) []float64 {
 		}
 	}
 	return curve
+}
+
+// covariance fills m.Means (and m.Scales when standardizing) and computes
+// the covariance/correlation matrix of x into pooled storage. The caller
+// must invoke release once the matrix is no longer referenced; the
+// eigensolvers copy their input, so releasing after the solve is safe.
+func (m *Model) covariance(x *mat.Dense, opts Options) (cov *mat.Dense, release func()) {
+	_, c := x.Dims()
+	//dpzlint:ignore scratchpair ownership transfers to the returned release closure, which every caller defers
+	buf := scratch.Floats(c * c)
+	cov = mat.NewDenseData(c, c, buf)
+	m.Means = mat.ColMeans(x)
+	if opts.Standardize {
+		m.Scales = mat.ColStds(x, m.Means)
+	}
+	mat.CovarianceCenteredInto(cov, x, m.Means, m.Scales, opts.Workers)
+	return cov, func() { scratch.PutFloats(buf) }
 }
 
 func clampNonNegative(vals []float64) {
@@ -306,13 +309,19 @@ func (m *Model) ProjectionMatrix(k int) *mat.Dense {
 
 // Transform projects x (rows = samples, cols = M features) onto the k
 // leading components, returning the rows × k score matrix Y = (X−μ)·D_k.
+// The centered intermediate runs through pooled scratch storage.
 func (m *Model) Transform(x *mat.Dense, k int) *mat.Dense {
-	_, c := x.Dims()
+	r, c := x.Dims()
 	if c != m.NumFeatures() {
 		panic("pca: Transform feature-count mismatch")
 	}
-	centered := center(x, m.Means, m.Scales)
-	return mat.Mul(centered, m.ProjectionMatrix(k))
+	buf := scratch.Floats(r * c)
+	defer scratch.PutFloats(buf)
+	centered := mat.NewDenseData(r, c, buf)
+	centerInto(centered, x, m.Means, m.Scales)
+	out := mat.NewDense(r, k)
+	mat.MulInto(out, centered, m.ProjectionMatrix(k))
+	return out
 }
 
 // InverseTransform reconstructs X̂ = Y·D_kᵀ·diag(scale) + μ from scores.
@@ -340,8 +349,15 @@ func (m *Model) Reconstruct(x *mat.Dense, k int) *mat.Dense {
 }
 
 func center(x *mat.Dense, means, scales []float64) *mat.Dense {
+	out := mat.NewDense(x.Rows(), x.Cols())
+	centerInto(out, x, means, scales)
+	return out
+}
+
+// centerInto writes the centered (and optionally scaled) copy of x into
+// out, which must share x's shape and is fully overwritten.
+func centerInto(out, x *mat.Dense, means, scales []float64) {
 	r, c := x.Dims()
-	out := mat.NewDense(r, c)
 	for i := 0; i < r; i++ {
 		src := x.Row(i)
 		dst := out.Row(i)
@@ -353,5 +369,4 @@ func center(x *mat.Dense, means, scales []float64) *mat.Dense {
 			dst[j] = v
 		}
 	}
-	return out
 }

@@ -1,0 +1,243 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpz/internal/mat"
+)
+
+// lowRankField synthesizes an r×c matrix dominated by a few smooth
+// component directions plus small noise — the DCT-domain shape the reuse
+// layer targets.
+func lowRankField(r, c, rank int, noise float64, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	basis := mat.NewDense(c, rank)
+	for j := 0; j < rank; j++ {
+		for i := 0; i < c; i++ {
+			basis.Set(i, j, math.Sin(float64(i+1)*float64(j+1)/float64(c)*math.Pi))
+		}
+	}
+	x := mat.NewDense(r, c)
+	for i := 0; i < r; i++ {
+		row := x.Row(i)
+		for j := 0; j < rank; j++ {
+			w := rng.NormFloat64() * math.Pow(2, -float64(j))
+			for k := 0; k < c; k++ {
+				row[k] += w * basis.At(k, j)
+			}
+		}
+		for k := 0; k < c; k++ {
+			row[k] += noise * rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+// achievedTVE measures the exact variance fraction x's projection onto
+// the model's leading k components captures, independently of the
+// model's own bookkeeping.
+func achievedTVE(x *mat.Dense, m *Model, k int) float64 {
+	r, c := x.Dims()
+	centered := mat.NewDense(r, c)
+	centerInto(centered, x, m.Means, m.Scales)
+	var total float64
+	for _, v := range centered.Data() {
+		total += v * v
+	}
+	proj := m.ProjectionMatrix(k)
+	y := mat.Mul(centered, proj)
+	var captured float64
+	for _, v := range y.Data() {
+		captured += v * v
+	}
+	if total == 0 {
+		return 1
+	}
+	return captured / total
+}
+
+func TestFitTVEReuseColdWithoutCandidate(t *testing.T) {
+	x := lowRankField(300, 48, 4, 1e-3, 1)
+	opts := Options{}
+	m, dec, err := FitTVEReuse(x, 0.999, opts, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseCold {
+		t.Fatalf("decision = %v, want cold", dec)
+	}
+	// Cold reuse must be bit-identical to the plain fit.
+	ref, err := Fit(x, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Eigenvalues) != len(ref.Eigenvalues) {
+		t.Fatalf("eigenvalue count %d != %d", len(m.Eigenvalues), len(ref.Eigenvalues))
+	}
+	for i := range ref.Eigenvalues {
+		//dpzlint:ignore floateq bit-identity to the cold fit is the contract under test
+		if m.Eigenvalues[i] != ref.Eigenvalues[i] {
+			t.Fatalf("eigenvalue %d differs from cold fit", i)
+		}
+	}
+}
+
+func TestFitTVEReuseAcceptsOwnBasis(t *testing.T) {
+	const target = 0.999
+	x := lowRankField(300, 48, 4, 1e-3, 2)
+	ref, err := Fit(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ref.KForTVE(target)
+	cand := &Basis{Q: ref.ProjectionMatrix(min(k+4, len(ref.Eigenvalues)))}
+	m, dec, err := FitTVEReuse(x, target, Options{}, 1, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseAccept {
+		t.Fatalf("decision = %v, want accept (the fit's own basis trivially passes the guard)", dec)
+	}
+	ka := m.KForTVE(target)
+	if got := achievedTVE(x, m, ka); got < target {
+		t.Fatalf("accepted basis achieves TVE %v < target %v", got, target)
+	}
+}
+
+func TestFitTVEReuseAcceptOnSimilarTile(t *testing.T) {
+	const target = 0.999
+	a := lowRankField(300, 48, 4, 1e-3, 3)
+	// The "next tile": same component structure, different sample weights.
+	b := lowRankField(300, 48, 4, 1e-3, 4)
+	mA, err := Fit(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA := mA.KForTVE(target)
+	cand := &Basis{Q: mA.ProjectionMatrix(min(kA+8, len(mA.Eigenvalues)))}
+	m, dec, err := FitTVEReuse(b, target, Options{}, 1, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec == ReuseCold {
+		t.Fatalf("similar tile fell back to cold fit")
+	}
+	// Whatever path was taken, the quality contract must hold exactly.
+	k := m.KForTVE(target)
+	if got := achievedTVE(b, m, k); got < target-1e-12 {
+		t.Fatalf("decision %v achieves TVE %v < target %v", dec, got, target)
+	}
+}
+
+func TestFitTVEReuseRefinesUselessCandidate(t *testing.T) {
+	const target = 0.9999
+	x := lowRankField(400, 60, 6, 1e-3, 5)
+	// A candidate spanning none of the structure: canonical directions
+	// orthogonal to smooth sines are a poor but valid orthonormal basis.
+	q := mat.NewDense(60, 2)
+	q.Set(59, 0, 1)
+	q.Set(58, 1, 1)
+	m, dec, err := FitTVEReuse(x, target, Options{}, 1, &Basis{Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseRefine {
+		t.Fatalf("decision = %v, want refine", dec)
+	}
+	k := m.KForTVE(target)
+	if got := achievedTVE(x, m, k); got < target-1e-12 {
+		t.Fatalf("refined basis achieves TVE %v < target %v", got, target)
+	}
+}
+
+func TestFitTVEReuseRejectsMismatchedCandidate(t *testing.T) {
+	x := lowRankField(200, 32, 3, 1e-3, 6)
+	// Wrong feature count → cold.
+	_, dec, err := FitTVEReuse(x, 0.999, Options{}, 1, &Basis{Q: mat.NewDense(31, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseCold {
+		t.Fatalf("shape-mismatched candidate: decision = %v, want cold", dec)
+	}
+	// Standardization mode mismatch → cold.
+	_, dec, err = FitTVEReuse(x, 0.999, Options{}, 1, &Basis{Q: mat.NewDense(32, 3), Standardized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseCold {
+		t.Fatalf("standardize-mismatched candidate: decision = %v, want cold", dec)
+	}
+}
+
+func TestFitKReusePaths(t *testing.T) {
+	const target = 0.99
+	x := lowRankField(300, 48, 4, 1e-3, 7)
+	ref, err := FitK(x, 6, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := &Basis{Q: ref.ProjectionMatrix(6)}
+
+	// Accept: the fit's own top-k basis passes the guard at a reachable
+	// target.
+	m, dec, err := FitKReuse(x, 6, target, Options{}, 1, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseAccept {
+		t.Fatalf("decision = %v, want accept", dec)
+	}
+	if got := achievedTVE(x, m, 6); got < target {
+		t.Fatalf("accepted basis achieves TVE %v < target %v", got, target)
+	}
+
+	// No target (knee-selected k): accept is off, warm refine runs.
+	m, dec, err = FitKReuse(x, 6, 0, Options{}, 1, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseRefine {
+		t.Fatalf("no-target decision = %v, want refine", dec)
+	}
+	if len(m.Eigenvalues) != 6 {
+		t.Fatalf("refined model has %d eigenvalues, want 6", len(m.Eigenvalues))
+	}
+	for i := 0; i+1 < len(m.Eigenvalues); i++ {
+		if m.Eigenvalues[i] < m.Eigenvalues[i+1] {
+			t.Fatalf("refined eigenvalues not descending: %v", m.Eigenvalues)
+		}
+	}
+
+	// Nil candidate → cold, bit-identical to FitK.
+	m, dec, err = FitKReuse(x, 6, target, Options{}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != ReuseCold {
+		t.Fatalf("nil candidate decision = %v, want cold", dec)
+	}
+	for i := range m.Eigenvalues {
+		//dpzlint:ignore floateq bit-identity to the cold fit is the contract under test
+		if m.Eigenvalues[i] != ref.Eigenvalues[i] {
+			t.Fatalf("cold FitKReuse diverged from FitK at eigenvalue %d", i)
+		}
+	}
+}
+
+func TestReuseDecisionString(t *testing.T) {
+	cases := map[ReuseDecision]string{
+		ReuseOff:          "off",
+		ReuseCold:         "cold",
+		ReuseAccept:       "accept",
+		ReuseRefine:       "refine",
+		ReuseDecision(42): "ReuseDecision(42)",
+	}
+	for d, want := range cases {
+		if d.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}

@@ -63,6 +63,11 @@ type Config struct {
 	// RequestTimeout bounds each request's compute time. 0 means 5
 	// minutes; negative means no deadline.
 	RequestTimeout time.Duration
+	// BasisCacheEntries bounds the daemon's shared PCA basis cache, used
+	// by requests that enable the basis-reuse knob. 0 means the library
+	// default of 64 entries; negative disables the shared cache (such
+	// requests then fall back to per-request reuse for tiled bodies).
+	BasisCacheEntries int
 }
 
 func (c Config) jobs() int {
@@ -117,6 +122,19 @@ type Server struct {
 	shed       *metrics.Counter
 	canceled   *metrics.Counter
 
+	// basisCache is the daemon-wide PCA basis cache shared by requests
+	// that enable the basis-reuse knob; nil when disabled by config.
+	// Cross-request reuse makes a response depend on cache history (the
+	// quality guard still enforces the TVE target); within one tiled
+	// request the output stays byte-identical for every worker count.
+	basisCache   *dpz.BasisCache
+	basisAccept  *metrics.Counter
+	basisRefine  *metrics.Counter
+	basisCold    *metrics.Counter
+	basisHits    *metrics.Gauge
+	basisMisses  *metrics.Gauge
+	basisEvicted *metrics.Gauge
+
 	// testJobStart, when set, runs at the start of every scheduled job
 	// (inside the worker, before the compression) with the job's context.
 	// Tests use it to hold workers busy deterministically or to wait for
@@ -142,6 +160,15 @@ func New(cfg Config) *Server {
 		queueDepth:   reg.Gauge("dpzd_admitted", "requests holding admission slots (executing or queued)"),
 		shed:         reg.Counter("dpzd_shed_total", "requests rejected with 429 at admission"),
 		canceled:     reg.Counter("dpzd_canceled_total", "requests cancelled or timed out before completing"),
+		basisAccept:  reg.Counter("dpzd_basis_accept_total", "compressions that adopted a cached PCA basis after the quality guard"),
+		basisRefine:  reg.Counter("dpzd_basis_refine_total", "compressions that warm-started the eigensolve from a cached basis"),
+		basisCold:    reg.Counter("dpzd_basis_cold_total", "basis-reuse compressions that fitted cold (no usable candidate)"),
+		basisHits:    reg.Gauge("dpzd_basis_cache_hits", "basis cache lookups that found an entry"),
+		basisMisses:  reg.Gauge("dpzd_basis_cache_misses", "basis cache lookups that missed"),
+		basisEvicted: reg.Gauge("dpzd_basis_cache_evictions", "basis cache entries dropped by the LRU bound"),
+	}
+	if cfg.BasisCacheEntries >= 0 {
+		s.basisCache = dpz.NewBasisCache(cfg.BasisCacheEntries)
 	}
 	s.routes()
 	return s
@@ -166,6 +193,12 @@ func (s *Server) routes() {
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if s.basisCache != nil {
+			cs := s.basisCache.Stats()
+			s.basisHits.Set(int64(cs.Hits))
+			s.basisMisses.Set(int64(cs.Misses))
+			s.basisEvicted.Set(int64(cs.Evictions))
+		}
 		_ = s.reg.WritePrometheus(w)
 	})
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -292,16 +325,48 @@ func (s *Server) reqOptions(r *http.Request) (dpz.Options, error) {
 			return dpz.Options{}, fmt.Errorf("bad sampling %q", v)
 		}
 	}
-	spec := dpz.OptionSpec{
-		Scheme:   reqParam(r, "scheme"),
-		Select:   reqParam(r, "select"),
-		TVENines: tve,
-		Fit:      reqParam(r, "fit"),
-		Sampling: sampling,
-		Workers:  workers,
-		ZLevel:   zlevel,
+	basisReuse := false
+	if v := reqParam(r, "basis-reuse"); v != "" {
+		basisReuse, err = strconv.ParseBool(v)
+		if err != nil {
+			return dpz.Options{}, fmt.Errorf("bad basis-reuse %q", v)
+		}
 	}
-	return spec.Options()
+	spec := dpz.OptionSpec{
+		Scheme:     reqParam(r, "scheme"),
+		Select:     reqParam(r, "select"),
+		TVENines:   tve,
+		Fit:        reqParam(r, "fit"),
+		Sampling:   sampling,
+		Workers:    workers,
+		ZLevel:     zlevel,
+		BasisReuse: basisReuse,
+	}
+	o, err := spec.Options()
+	if err != nil {
+		return o, err
+	}
+	if o.BasisReuse {
+		// Draw candidates from (and publish into) the daemon-wide cache,
+		// so similar tiles reuse bases across whole requests.
+		o.BasisCache = s.basisCache
+	}
+	return o, nil
+}
+
+// countBasisDecisions feeds the per-compression reuse decisions into the
+// daemon's counters.
+func (s *Server) countBasisDecisions(sts ...dpz.Stats) {
+	for _, st := range sts {
+		switch st.BasisDecision {
+		case "accept":
+			s.basisAccept.Inc()
+		case "refine":
+			s.basisRefine.Inc()
+		case "cold":
+			s.basisCold.Inc()
+		}
+	}
 }
 
 // jobOutput is what a scheduled job hands back to its handler.
@@ -424,6 +489,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return jobOutput{err: err}
 			}
+			s.countBasisDecisions(tstats...)
 			var orig, comp int
 			for _, st := range tstats {
 				orig += st.OrigBytes
@@ -444,13 +510,18 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 			return jobOutput{err: err}
 		}
 		st := res.Stats
-		return jobOutput{body: res.Data, header: map[string]string{
+		s.countBasisDecisions(st)
+		hdr := map[string]string{
 			"X-Dpz-Dims":   dimsStr,
 			"X-Dpz-K":      strconv.Itoa(st.K),
 			"X-Dpz-Blocks": fmt.Sprintf("%dx%d", st.Blocks, st.BlockLen),
 			"X-Dpz-Cr":     fmt.Sprintf("%.4f", st.CRTotal),
 			"X-Dpz-Tve":    fmt.Sprintf("%.8f", st.TVEAchieved),
-		}}
+		}
+		if st.BasisDecision != "" {
+			hdr["X-Dpz-Basis"] = st.BasisDecision
+		}
+		return jobOutput{body: res.Data, header: hdr}
 	})
 }
 

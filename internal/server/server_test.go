@@ -532,3 +532,86 @@ func TestSchedulerDrainTimeout(t *testing.T) {
 		t.Fatalf("second drain: %v", err)
 	}
 }
+
+// TestBasisReuseKnob exercises the server-side basis cache: the
+// basis-reuse query knob must engage the per-daemon cache, surface the
+// per-request decision in X-Dpz-Basis, keep repeated requests
+// byte-identical, and show up in the Prometheus counters.
+func TestBasisReuseKnob(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(48, 64)
+	url := ts.URL + "/v1/compress?dims=48x64&scheme=loose&basis-reuse=1"
+
+	first := post(t, url, raw)
+	if first.code != http.StatusOK {
+		t.Fatalf("compress status %d: %s", first.code, first.body)
+	}
+	if d := first.header.Get("X-Dpz-Basis"); d != "cold" {
+		t.Fatalf("first request X-Dpz-Basis = %q, want cold", d)
+	}
+	// The first cache-on request is an all-miss leader and must be
+	// byte-identical to a reuse-off request.
+	off := post(t, ts.URL+"/v1/compress?dims=48x64&scheme=loose", raw)
+	if off.code != http.StatusOK {
+		t.Fatalf("compress status %d: %s", off.code, off.body)
+	}
+	if !bytes.Equal(first.body, off.body) {
+		t.Fatal("cache-on all-miss stream differs from cache-off stream")
+	}
+	if d := off.header.Get("X-Dpz-Basis"); d != "" {
+		t.Fatalf("reuse-off request has X-Dpz-Basis = %q", d)
+	}
+
+	second := post(t, url, raw)
+	if second.code != http.StatusOK {
+		t.Fatalf("compress status %d: %s", second.code, second.body)
+	}
+	if d := second.header.Get("X-Dpz-Basis"); d != "accept" {
+		t.Fatalf("second request X-Dpz-Basis = %q, want accept", d)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	mb, _ := io.ReadAll(mr.Body)
+	m := string(mb)
+	for _, want := range []string{
+		"dpzd_basis_cold_total 1",
+		"dpzd_basis_accept_total 1",
+		"dpzd_basis_cache_hits 1",
+		"dpzd_basis_cache_misses 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestBasisCacheDisabled pins the opt-out: with a negative entry bound
+// the daemon has no cache, so basis-reuse requests run eligible-but-cold
+// (no cache means no candidate and no decision to report).
+func TestBasisCacheDisabled(t *testing.T) {
+	srv := New(Config{Jobs: 1, Workers: 1, BasisCacheEntries: -1})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(32, 48)
+	r := post(t, ts.URL+"/v1/compress?dims=32x48&scheme=loose&basis-reuse=1", raw)
+	if r.code != http.StatusOK {
+		t.Fatalf("compress status %d: %s", r.code, r.body)
+	}
+	if d := r.header.Get("X-Dpz-Basis"); d != "" {
+		t.Fatalf("cache-disabled request has X-Dpz-Basis = %q", d)
+	}
+	off := post(t, ts.URL+"/v1/compress?dims=32x48&scheme=loose", raw)
+	if !bytes.Equal(r.body, off.body) {
+		t.Fatal("cache-disabled stream differs from reuse-off stream")
+	}
+}

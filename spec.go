@@ -52,6 +52,10 @@ type OptionSpec struct {
 	Workers int
 	// ZLevel sets the zlib add-on level 1-9 (0 = zlib default).
 	ZLevel int
+	// BasisReuse enables the cross-tile PCA basis cache: similar tiles
+	// reuse or warm-start from an earlier tile's basis after a quality
+	// guard verifies the TVE target still holds.
+	BasisReuse bool
 }
 
 // Options resolves the spec into an Options value, or reports the first
@@ -111,5 +115,6 @@ func (s OptionSpec) Options() (Options, error) {
 		return o, fmt.Errorf("zlevel %d out of [0,9]", s.ZLevel)
 	}
 	o.ZLevel = s.ZLevel
+	o.BasisReuse = s.BasisReuse
 	return o, nil
 }

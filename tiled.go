@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"dpz/internal/archive"
+	"dpz/internal/basiscache"
 	"dpz/internal/parallel"
 )
 
@@ -99,10 +100,31 @@ func CompressTiledContext(ctx context.Context, r io.Reader, dims []int, tileRows
 	inner := opts
 	inner.Workers = (wall + wt - 1) / wt
 
+	// Basis reuse: keys are computed and cache slots acquired in the
+	// sequential source stage below, so cache state evolves in tile order
+	// regardless of the worker count — the determinism contract. With no
+	// caller-provided cache the reuse scope is this call.
+	var cache *basiscache.Cache
+	var optFP uint64
+	if basisEligible(opts) {
+		if opts.BasisCache != nil {
+			cache = opts.BasisCache.c
+		} else {
+			cache = basiscache.New(0)
+		}
+		optFP = basisFingerprint(opts)
+	}
+	// A follower tile blocks until its leader publishes; if the pipeline
+	// fails elsewhere, the leader's job can be drained without ever
+	// running, so every failure path must cancel pctx to wake followers.
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+
 	type tileJob struct {
 		t    int
 		rows int
 		raw  []byte
+		h    *basiscache.Handle
 	}
 	type tileRes struct {
 		stream []byte
@@ -119,28 +141,51 @@ func CompressTiledContext(ctx context.Context, r io.Reader, dims []int, tileRows
 				}
 				raw := make([]byte, 4*rows*rowValues)
 				if _, err := io.ReadFull(br, raw); err != nil {
+					pcancel()
 					return fmt.Errorf("dpz: reading tile %d: %w", t, err)
 				}
-				if !emit(tileJob{t: t, rows: rows, raw: raw}) {
+				var h *basiscache.Handle
+				if cache != nil {
+					slabDims := append([]int{rows}, dims[1:]...)
+					h = cache.Acquire(basiscache.KeyForRaw(dimsKey(slabDims), optFP, raw))
+				}
+				if !emit(tileJob{t: t, rows: rows, raw: raw, h: h}) {
+					if h != nil {
+						h.Fulfill(nil) // never dispatched: retract so nobody waits on it
+					}
 					return nil
 				}
 			}
 			return nil
 		},
 		func(j tileJob) (tileRes, error) {
+			done := false
+			defer func() {
+				if !done {
+					pcancel()
+				}
+			}()
 			slab := make([]float64, len(j.raw)/4)
 			for i := range slab {
 				slab[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(j.raw[4*i:])))
 			}
 			slabDims := append([]int{j.rows}, dims[1:]...)
-			res, err := CompressFloat64Context(ctx, slab, slabDims, inner)
+			var res *Result
+			var err error
+			if j.h != nil {
+				res, err = compressWithHandle(pctx, slab, slabDims, inner, j.h)
+			} else {
+				res, err = CompressFloat64Context(ctx, slab, slabDims, inner)
+			}
 			if err != nil {
 				return tileRes{}, fmt.Errorf("dpz: tile %d: %w", j.t, err)
 			}
+			done = true
 			return tileRes{stream: res.Data, stats: res.Stats}, nil
 		},
 		func(idx int, res tileRes) error {
 			if err := aw.Append(tileName(idx), res.stream); err != nil {
+				pcancel()
 				return err
 			}
 			statsOut = append(statsOut, res.stats)
