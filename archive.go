@@ -7,6 +7,7 @@ import (
 
 	"dpz/internal/archive"
 	"dpz/internal/basiscache"
+	"dpz/internal/fault"
 	"dpz/internal/parallel"
 	"dpz/internal/stats"
 )
@@ -159,6 +160,77 @@ func (a *ArchiveWriter) Close() error { return a.w.Close() }
 // ErrArchiveClosed is returned by ArchiveWriter.Append/Compress/Close
 // once the writer has been closed; match it with errors.Is.
 var ErrArchiveClosed = archive.ErrClosed
+
+// ErrArchiveBroken is returned by a DurableArchiveWriter whose rollback
+// failed: the file on disk is still recoverable to its last commit, but
+// this writer cannot continue; match it with errors.Is.
+var ErrArchiveBroken = archive.ErrBroken
+
+// DurableArchiveWriter is ArchiveWriter with journaled crash safety:
+// every appended field is followed by a fsynced commit record, so a
+// crash — power cut, OOM kill, torn write — at any byte leaves an
+// archive from which RecoverArchiveFile restores every committed field
+// byte-identically. A failed Append rolls the file back to the previous
+// commit and may be retried. Not safe for concurrent use.
+type DurableArchiveWriter struct {
+	w *archive.DurableWriter
+}
+
+// CreateDurableArchive starts a crash-safe archive at path, which must
+// not already exist. The file name itself is made durable (directory
+// fsync) before this returns.
+func CreateDurableArchive(path string) (*DurableArchiveWriter, error) {
+	dw, err := archive.NewDurableWriter(fault.OS{}, path)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableArchiveWriter{w: dw}, nil
+}
+
+// Compress compresses data under name and appends it with a commit:
+// when it returns nil, the field is on stable storage.
+func (d *DurableArchiveWriter) Compress(name string, data []float32, dims []int, o Options) (*Stats, error) {
+	return d.CompressFloat64(name, stats.Float32To64(data), dims, o)
+}
+
+// CompressFloat64 is Compress for double-precision input.
+func (d *DurableArchiveWriter) CompressFloat64(name string, data []float64, dims []int, o Options) (*Stats, error) {
+	res, err := CompressFloat64(data, dims, o)
+	if err != nil {
+		return nil, fmt.Errorf("dpz: archive field %q: %w", name, err)
+	}
+	if err := d.w.Append(name, res.Data); err != nil {
+		return nil, err
+	}
+	return &res.Stats, nil
+}
+
+// Append stores an already-compressed DPZ stream under name, committed
+// and fsynced before it returns nil.
+func (d *DurableArchiveWriter) Append(name string, stream []byte) error {
+	return d.w.Append(name, stream)
+}
+
+// Committed returns the durable file length: a crash now loses nothing
+// before it.
+func (d *DurableArchiveWriter) Committed() int64 { return d.w.Committed() }
+
+// Close writes the index and footer and fsyncs; the archive then opens
+// through the fast indexed path.
+func (d *DurableArchiveWriter) Close() error { return d.w.Close() }
+
+// RecoverArchiveFile opens an archive file that may have a torn tail
+// (a durable write that crashed before Close), restoring every
+// committed field. The returned closer releases the underlying file;
+// close it after the reader is no longer used. Plain (non-durable)
+// archives fall back to the whole-file frame scan of RecoverArchive.
+func RecoverArchiveFile(path string) (*ArchiveReader, io.Closer, error) {
+	rd, f, err := archive.RecoverDurableFile(fault.OS{}, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ArchiveReader{r: rd}, f, nil
+}
 
 // ArchiveOptions configures OpenArchiveOptions.
 type ArchiveOptions struct {

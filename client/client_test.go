@@ -1,0 +1,352 @@
+package client
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpz/internal/server"
+)
+
+// fakeClock scripts time for the retry loop: Sleep records requested
+// durations and returns instantly; After fires immediately when armed.
+type fakeClock struct {
+	mu       sync.Mutex
+	now      time.Time
+	sleeps   []time.Duration
+	hedgeNow bool // After fires immediately
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.sleeps = append(f.sleeps, d)
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+func (f *fakeClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	if f.hedgeNow {
+		ch <- f.Now()
+	}
+	return ch
+}
+
+func (f *fakeClock) recorded() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.sleeps...)
+}
+
+// script is a RoundTripper that replays a fixed outcome sequence.
+type script struct {
+	mu    sync.Mutex
+	steps []scriptStep
+	calls int
+}
+
+type scriptStep struct {
+	status     int
+	body       string
+	retryAfter string
+	err        error
+	block      bool // park until the request context dies
+}
+
+func (s *script) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	step := s.steps[min(s.calls, len(s.steps)-1)]
+	s.calls++
+	s.mu.Unlock()
+	if step.block {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	if step.err != nil {
+		return nil, step.err
+	}
+	h := http.Header{}
+	if step.retryAfter != "" {
+		h.Set("Retry-After", step.retryAfter)
+	}
+	return &http.Response{
+		StatusCode: step.status,
+		Header:     h,
+		Body:       io.NopCloser(strings.NewReader(step.body)),
+		Request:    req,
+	}, nil
+}
+
+func (s *script) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func newTestClient(tr http.RoundTripper, clk Clock, seed uint64) *Client {
+	return &Client{
+		BaseURL:    "http://dpzd.test",
+		HTTPClient: &http.Client{Transport: tr},
+		Clock:      clk,
+		Retry:      RetryPolicy{Seed: seed},
+	}
+}
+
+// TestBackoffSchedule: 5xx and transport errors retry with capped
+// exponential equal-jitter backoff, and the schedule is a pure function
+// of the seed.
+func TestBackoffSchedule(t *testing.T) {
+	run := func(seed uint64) ([]time.Duration, error) {
+		tr := &script{steps: []scriptStep{
+			{status: 503, body: "busy"},
+			{err: errors.New("connection reset")},
+			{status: 200, body: "ok"},
+		}}
+		clk := &fakeClock{}
+		c := newTestClient(tr, clk, seed)
+		err := c.Health(context.Background())
+		return clk.recorded(), err
+	}
+	s1, err := run(11)
+	if err != nil {
+		t.Fatalf("call failed despite eventual 200: %v", err)
+	}
+	if len(s1) != 2 {
+		t.Fatalf("expected 2 backoff sleeps, got %v", s1)
+	}
+	// Equal jitter: retry r waits in [d/2, d) for d = 100ms << r.
+	for r, d := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		if s1[r] < d/2 || s1[r] >= d {
+			t.Errorf("retry %d slept %v, want [%v, %v)", r, s1[r], d/2, d)
+		}
+	}
+	s2, _ := run(11)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("same seed, different schedules: %v vs %v", s1, s2)
+	}
+	s3, _ := run(12)
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatalf("different seeds, identical jitter: %v", s1)
+	}
+}
+
+// TestRetryAfterHonored: a 429 with Retry-After overrides the computed
+// backoff, capped by the policy.
+func TestRetryAfterHonored(t *testing.T) {
+	tr := &script{steps: []scriptStep{
+		{status: 429, body: "saturated", retryAfter: "7"},
+		{status: 200, body: "ok"},
+	}}
+	clk := &fakeClock{}
+	c := newTestClient(tr, clk, 1)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.recorded(); len(got) != 1 || got[0] != 7*time.Second {
+		t.Fatalf("slept %v, want exactly [7s] from Retry-After", got)
+	}
+
+	// Cap applies.
+	tr = &script{steps: []scriptStep{
+		{status: 429, retryAfter: "9999"},
+		{status: 200},
+	}}
+	clk = &fakeClock{}
+	c = newTestClient(tr, clk, 1)
+	c.Retry.RetryAfterCap = 3 * time.Second
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.recorded(); len(got) != 1 || got[0] != 3*time.Second {
+		t.Fatalf("slept %v, want capped [3s]", got)
+	}
+}
+
+// TestNoRetryOn4xx: caller errors are returned immediately as APIError.
+func TestNoRetryOn4xx(t *testing.T) {
+	tr := &script{steps: []scriptStep{{status: 400, body: "bad dims"}}}
+	c := newTestClient(tr, &fakeClock{}, 1)
+	err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 400 {
+		t.Fatalf("err %v, want APIError 400", err)
+	}
+	if ae.Temporary() || IsTemporary(err) {
+		t.Error("400 classified as temporary")
+	}
+	if tr.callCount() != 1 {
+		t.Fatalf("4xx retried: %d calls", tr.callCount())
+	}
+}
+
+// TestAttemptBudget: a persistent 503 exhausts MaxAttempts and surfaces
+// as a temporary APIError.
+func TestAttemptBudget(t *testing.T) {
+	tr := &script{steps: []scriptStep{{status: 503, body: "down"}}}
+	c := newTestClient(tr, &fakeClock{}, 1)
+	err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 503 {
+		t.Fatalf("err %v, want APIError 503", err)
+	}
+	if !ae.Temporary() || !IsTemporary(err) {
+		t.Error("503 not classified as temporary")
+	}
+	if tr.callCount() != 4 {
+		t.Fatalf("%d attempts, want the default budget of 4", tr.callCount())
+	}
+}
+
+// TestDeadlinePropagation: a context that dies during backoff aborts the
+// loop with the context error, and no further attempt is sent.
+func TestDeadlinePropagation(t *testing.T) {
+	tr := &script{steps: []scriptStep{{status: 503}}}
+	clk := &fakeClock{}
+	c := newTestClient(tr, clk, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.Health(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if tr.callCount() != 1 {
+		t.Fatalf("dead context still sent %d attempts", tr.callCount())
+	}
+	if IsTemporary(err) {
+		t.Error("context death classified as temporary")
+	}
+}
+
+// TestHedging: when the primary stalls, the hedge fires, wins, and the
+// stalled primary is cancelled. Deterministic: the fake clock's After
+// fires instantly and the script blocks exactly the first request.
+func TestHedging(t *testing.T) {
+	tr := &script{steps: []scriptStep{
+		{block: true},
+		{status: 200, body: "ok"},
+	}}
+	clk := &fakeClock{hedgeNow: true}
+	c := newTestClient(tr, clk, 1)
+	c.HedgeDelay = 50 * time.Millisecond
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("hedged call failed: %v", err)
+	}
+	if got := c.Stats(); got.Hedges != 1 || got.Attempts != 2 || got.Retries != 0 {
+		t.Fatalf("stats %+v, want 1 hedge, 2 attempts, 0 retries", got)
+	}
+}
+
+// TestHedgeFallback: if the hedge answers with a retryable status the
+// loop still waits for the primary's definitive answer.
+func TestHedgeFallback(t *testing.T) {
+	primaryGo := make(chan struct{})
+	tr := &hedgeFallbackTransport{release: primaryGo}
+	clk := &fakeClock{hedgeNow: true}
+	c := newTestClient(tr, clk, 1)
+	c.HedgeDelay = 50 * time.Millisecond
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("call failed: %v", err)
+	}
+	if got := c.Stats(); got.Hedges != 1 || got.Retries != 0 {
+		t.Fatalf("stats %+v, want exactly 1 hedge and 0 retries", got)
+	}
+}
+
+// hedgeFallbackTransport: request 1 (primary) waits until the hedge has
+// answered 503, then answers 200 — the definitive answer the attempt
+// must return.
+type hedgeFallbackTransport struct {
+	mu      sync.Mutex
+	calls   int
+	release chan struct{}
+}
+
+func (h *hedgeFallbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	h.mu.Lock()
+	h.calls++
+	n := h.calls
+	h.mu.Unlock()
+	resp := func(status int) *http.Response {
+		return &http.Response{StatusCode: status, Header: http.Header{},
+			Body: io.NopCloser(strings.NewReader("")), Request: req}
+	}
+	if n == 1 {
+		select {
+		case <-h.release:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return resp(200), nil
+	}
+	close(h.release)
+	return resp(503), nil
+}
+
+// TestEndpointsAgainstServer: the typed methods round-trip through a
+// real dpzd handler — compress, stat, decompress — with headers parsed.
+func TestEndpointsAgainstServer(t *testing.T) {
+	srv := server.New(server.Config{Jobs: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		if err := srv.Drain(context.Background()); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	const rows, cols = 16, 32
+	raw := make([]byte, 4*rows*cols)
+	for i := 0; i < rows*cols; i++ {
+		v := float32(math.Sin(float64(i%cols)/3) + float64(i/cols)*0.01)
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	comp, err := c.Compress(ctx, raw, []int{rows, cols}, CompressOptions{TVENines: 2})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if len(comp.Data) == 0 || comp.CR <= 0 || comp.K <= 0 {
+		t.Fatalf("compress result not populated: %+v", comp)
+	}
+	if !reflect.DeepEqual(comp.Dims, []int{rows, cols}) {
+		t.Fatalf("dims %v, want [%d %d]", comp.Dims, rows, cols)
+	}
+	info, err := c.Stat(ctx, comp.Data)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if !reflect.DeepEqual(info.Dims, []int{rows, cols}) {
+		t.Fatalf("stat dims %v", info.Dims)
+	}
+	back, dims, err := c.Decompress(ctx, comp.Data, 2)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !reflect.DeepEqual(dims, []int{rows, cols}) || len(back) != len(raw) {
+		t.Fatalf("decompress shape: dims %v, %d bytes", dims, len(back))
+	}
+	if got := c.Stats(); got.Attempts != 4 || got.Retries != 0 || got.Hedges != 0 {
+		t.Fatalf("clean run stats %+v, want 4 plain attempts", got)
+	}
+}

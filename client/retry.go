@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the wall clock so retry backoff and hedging are
+// deterministic under test: a fake clock makes every delay decision a
+// pure function of the schedule the test scripts.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+	// After fires once d has elapsed (the hedging trigger).
+	After(d time.Duration) <-chan time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RetryPolicy shapes the client's backoff between attempts. The zero
+// value means the defaults documented on each field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// 0 means 4; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it. 0 means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. 0 means 5s.
+	MaxDelay time.Duration
+	// RetryAfterCap bounds how long a server-sent Retry-After header is
+	// honored. 0 means 60s.
+	RetryAfterCap time.Duration
+	// Seed seeds the jitter PRNG. Two clients with the same seed and the
+	// same outcome sequence sleep for identical durations.
+	Seed uint64
+}
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 4
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 100 * time.Millisecond
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 5 * time.Second
+}
+
+func (p RetryPolicy) retryAfterCap() time.Duration {
+	if p.RetryAfterCap > 0 {
+		return p.RetryAfterCap
+	}
+	return 60 * time.Second
+}
+
+// jitter is a tiny splitmix64 PRNG guarded by a mutex: cheap, seedable,
+// and free of the global rand source so schedules replay exactly.
+type jitter struct {
+	mu     sync.Mutex
+	seeded bool
+	state  uint64
+}
+
+// next draws one value, lazily seeding the stream on first use.
+func (j *jitter) next(seed uint64) uint64 {
+	j.mu.Lock()
+	if !j.seeded {
+		j.state = seed
+		j.seeded = true
+	}
+	j.state += 0x9E3779B97F4A7C15
+	z := j.state
+	j.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// backoff returns the wait before retry number retry (0-based): capped
+// exponential with equal jitter, so the wait lands in [d/2, d) where
+// d = min(MaxDelay, BaseDelay<<retry).
+func (c *Client) backoff(retry int) time.Duration {
+	p := c.Retry
+	d := p.baseDelay()
+	for i := 0; i < retry && d < p.maxDelay(); i++ {
+		d *= 2
+	}
+	d = min(d, p.maxDelay())
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(c.rng.next(c.Retry.Seed)%uint64(half))
+}
+
+// retryAfter parses a Retry-After header (delta-seconds or HTTP-date)
+// into a wait bounded by the policy's cap. ok is false when the header
+// is absent or unparseable.
+func (c *Client) retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return min(time.Duration(secs)*time.Second, c.Retry.retryAfterCap()), true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(c.clock().Now())
+		if d < 0 {
+			d = 0
+		}
+		return min(d, c.Retry.retryAfterCap()), true
+	}
+	return 0, false
+}
+
+// retryableStatus reports whether a response status is worth retrying:
+// the server shed load (429) or failed transiently (any 5xx). 4xx other
+// than 429 is a caller error and is returned immediately.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}

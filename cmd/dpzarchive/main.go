@@ -5,10 +5,19 @@
 // Usage:
 //
 //	dpzarchive pack -scheme strict -tve 5 out.dpza fldsc:180x360:fldsc.f32 phis:180x360:phis.f32
+//	dpzarchive pack -durable out.dpza fldsc:180x360:fldsc.f32
 //	dpzarchive list campaign.dpza
 //	dpzarchive extract campaign.dpza fldsc recon.f32
 //	dpzarchive verify campaign.dpza
 //	dpzarchive repair damaged.dpza repaired.dpza
+//	dpzarchive recover torn.dpza [repacked.dpza]
+//
+// pack -durable journals every field with a fsynced commit record, so a
+// crash mid-pack loses at most the field being written; recover restores
+// the committed fields from such a torn archive (and, given an output
+// path, repacks them into a clean indexed archive). repair differs from
+// recover: it scavenges whatever frames survive in ANY damaged archive,
+// while recover bounds the scan to the durable journal's last commit.
 package main
 
 import (
@@ -44,8 +53,10 @@ func run(args []string) error {
 		return runVerify(args[1:])
 	case "repair":
 		return runRepair(args[1:])
+	case "recover":
+		return runRecover(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (pack|list|extract|verify|repair)", args[0])
+		return fmt.Errorf("unknown subcommand %q (pack|list|extract|verify|repair|recover)", args[0])
 	}
 }
 
@@ -85,11 +96,19 @@ func parseDims(s string) ([]int, error) {
 	return dims, nil
 }
 
+// packSink abstracts the two archive writers pack can target: the plain
+// streaming writer and the crash-safe journaled one.
+type packSink interface {
+	CompressFloat64(name string, data []float64, dims []int, o dpz.Options) (*dpz.Stats, error)
+	Close() error
+}
+
 func runPack(args []string) error {
 	fs := flag.NewFlagSet("pack", flag.ContinueOnError)
 	scheme := fs.String("scheme", "strict", "quantization scheme: loose or strict")
 	nines := fs.Int("tve", 5, "TVE threshold as a count of nines (3..8)")
 	sampling := fs.Bool("sampling", false, "enable the sampling strategy")
+	durable := fs.Bool("durable", false, "journal each field with a fsynced commit record (crash-safe; see `dpzarchive recover`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,14 +131,23 @@ func runPack(args []string) error {
 	opts.TVE = dpz.Nines(*nines)
 	opts.UseSampling = *sampling
 
-	out, err := os.Create(rest[0])
-	if err != nil {
-		return err
-	}
-	defer out.Close()
-	aw, err := dpz.NewArchiveWriter(out)
-	if err != nil {
-		return err
+	var aw packSink
+	var out *os.File
+	if *durable {
+		dw, err := dpz.CreateDurableArchive(rest[0])
+		if err != nil {
+			return err
+		}
+		aw = dw
+	} else {
+		var err error
+		if out, err = os.Create(rest[0]); err != nil {
+			return err
+		}
+		defer out.Close()
+		if aw, err = dpz.NewArchiveWriter(out); err != nil {
+			return err
+		}
 	}
 	for _, arg := range rest[1:] {
 		spec, err := parseFieldSpec(arg)
@@ -140,7 +168,10 @@ func runPack(args []string) error {
 	if err := aw.Close(); err != nil {
 		return err
 	}
-	return out.Close()
+	if out != nil {
+		return out.Close()
+	}
+	return nil
 }
 
 func openArchive(path string) (*dpz.ArchiveReader, *os.File, error) {
@@ -271,6 +302,57 @@ func runRepair(args []string) error {
 	if salvaged == 0 {
 		return fmt.Errorf("no fields salvaged from %s", args[0])
 	}
+	return nil
+}
+
+func runRecover(args []string) error {
+	if len(args) != 1 && len(args) != 2 {
+		return fmt.Errorf("usage: dpzarchive recover torn.dpza [repacked.dpza]")
+	}
+	ar, f, err := dpz.RecoverArchiveFile(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, name := range ar.Fields() {
+		raw, err := ar.Stream(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %10d bytes  committed\n", name, len(raw))
+	}
+	fmt.Printf("%d fields recovered\n", ar.Len())
+	if ar.Len() == 0 {
+		return fmt.Errorf("no committed fields in %s", args[0])
+	}
+	if len(args) == 1 {
+		return nil
+	}
+	out, err := os.Create(args[1])
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	aw, err := dpz.NewArchiveWriter(out)
+	if err != nil {
+		return err
+	}
+	for _, name := range ar.Fields() {
+		raw, err := ar.Stream(name)
+		if err != nil {
+			return err
+		}
+		if err := aw.Append(name, raw); err != nil {
+			return err
+		}
+	}
+	if err := aw.Close(); err != nil {
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("repacked %d fields -> %s\n", ar.Len(), args[1])
 	return nil
 }
 

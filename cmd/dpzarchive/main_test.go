@@ -162,3 +162,50 @@ func TestVerifyAndRepairEndToEnd(t *testing.T) {
 		t.Fatal("expected repair usage error")
 	}
 }
+
+func TestDurablePackAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	f1 := dataset.CESM("FLDSC", 32, 64, 7)
+	p1 := filepath.Join(dir, "fldsc.f32")
+	if err := dataset.WriteRawFloat32(f1, p1); err != nil {
+		t.Fatal(err)
+	}
+	arc := filepath.Join(dir, "d.dpza")
+	if err := run([]string{"pack", "-durable", "-tve", "4", arc, "fldsc:32x64:" + p1}); err != nil {
+		t.Fatalf("pack -durable: %v", err)
+	}
+	// A durably packed archive is a normal archive: list, verify, extract
+	// all work through the indexed path.
+	if err := run([]string{"verify", arc}); err != nil {
+		t.Fatalf("verify durable archive: %v", err)
+	}
+	out := filepath.Join(dir, "recon.f32")
+	if err := run([]string{"extract", arc, "fldsc", out}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	// pack -durable refuses to overwrite (CreateExcl semantics).
+	if err := run([]string{"pack", "-durable", arc, "fldsc:32x64:" + p1}); err == nil {
+		t.Fatal("expected error packing over an existing durable archive")
+	}
+
+	// Tear the archive mid-tail (simulating a crash before Close): recover
+	// restores the committed field and can repack it.
+	raw, err := os.ReadFile(arc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.dpza")
+	if err := os.WriteFile(torn, raw[:len(raw)-25], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repacked := filepath.Join(dir, "repacked.dpza")
+	if err := run([]string{"recover", torn, repacked}); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := run([]string{"verify", repacked}); err != nil {
+		t.Fatalf("verify repacked: %v", err)
+	}
+	if err := run([]string{"recover"}); err == nil {
+		t.Fatal("expected recover usage error")
+	}
+}

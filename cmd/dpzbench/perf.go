@@ -2,19 +2,25 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"runtime/debug"
 	"testing"
+	"time"
 
 	"dpz"
+	"dpz/client"
 	"dpz/internal/core"
 	"dpz/internal/dataset"
+	"dpz/internal/server"
 )
 
 // The -json mode: machine-readable throughput records for the pipelined
@@ -271,6 +277,59 @@ func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) e
 				rec.BasisDecisions = decisions
 			}
 		}
+	}
+
+	// Client-overhead probe: the same small compress request driven
+	// through a raw net/http POST and through dpz/client with its full
+	// resilience stack armed (retry budget + hedging), against an
+	// in-process daemon at zero fault rate. The delta between the two
+	// records is the happy-path price of the retry/hedge machinery —
+	// what the chaos suite pays back under faults. The field is small so
+	// the HTTP + client path, not compression, dominates the cost.
+	clf := dataset.CESM("CLDHGH", 64, 128, 2001)
+	clRaw := make([]byte, 4*clf.Len())
+	for i, v := range clf.Data {
+		binary.LittleEndian.PutUint32(clRaw[4*i:], math.Float32bits(float32(v)))
+	}
+	srv := server.New(server.Config{Jobs: 2, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	clURL := ts.URL + "/v1/compress?dims=64x128&scheme=loose&tve=4"
+	add("server-raw", 1, testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(clRaw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(clURL, "application/octet-stream", bytes.NewReader(clRaw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, cerr := io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if cerr != nil || resp.StatusCode != http.StatusOK {
+				b.Fatalf("read body: %v, code %d", cerr, resp.StatusCode)
+			}
+		}
+	}))
+	cl := &client.Client{BaseURL: ts.URL, HedgeDelay: 250 * time.Millisecond}
+	clOpts := client.CompressOptions{Scheme: "loose", TVENines: 4}
+	add("server-client", 1, testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(clRaw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Compress(context.Background(), clRaw, clf.Dims, clOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	ts.Close()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	drainErr := srv.Drain(drainCtx)
+	cancel()
+	if drainErr != nil {
+		return drainErr
+	}
+	if st := cl.Stats(); st.Retries > 0 || st.Hedges > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"client overhead probe saw %d retries / %d hedges at zero fault rate", st.Retries, st.Hedges))
 	}
 
 	rev, dirty := buildRevision()

@@ -12,6 +12,13 @@
 // On SIGTERM or SIGINT the daemon stops accepting connections, drains
 // in-flight and queued requests (shedding new ones with 429), and exits
 // once the drain completes or the grace period runs out.
+//
+// Resilience: 429 responses carry a load-proportional Retry-After
+// computed from the observed per-job service time and current queue
+// depth; request panics are recovered per-request (500 +
+// dpzd_panics_total) so one poisoned input never takes the daemon down.
+// The dpz/client package speaks this protocol — retries with jittered
+// backoff honoring Retry-After, optional hedging; see docs/SERVER.md.
 package main
 
 import (

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CloseCheck flags Close and Flush calls whose error result is silently
+// dropped — as a bare statement or behind a plain defer — on buffered
+// writer types. For those types the final flush happens inside Close:
+// a torn tail write, a full disk or an injected fault surfaces THERE,
+// after every earlier Write returned nil. Dropping that error is how an
+// archive ends up truncated with an exit status of 0.
+//
+// In scope: writer types defined in this module whose name ends in
+// "Writer" (archive.Writer, archive.DurableWriter, ...), plus the
+// stdlib buffered writers bufio.Writer and compress/{zlib,flate,gzip}
+// Writer.
+//
+// An explicit blank assignment (`_ = w.Close()`) is NOT flagged: it is
+// the audited way to say "this close is best-effort" on error paths.
+// Read-side closes (os.File opened for reading, response bodies) are
+// out of scope — their Close errors carry no data-loss signal.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "Close/Flush error dropped on a buffered writer; the final flush fails there",
+	Run:  runCloseCheck,
+}
+
+// closeCheckStdlib are stdlib packages whose Writer buffers data that
+// only hits the sink at Close/Flush.
+var closeCheckStdlib = map[string]bool{
+	"bufio":          true,
+	"compress/zlib":  true,
+	"compress/flate": true,
+	"compress/gzip":  true,
+}
+
+func runCloseCheck(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			how := "dropped"
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+				how = "dropped by defer"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || (fn.Name() != "Close" && fn.Name() != "Flush") {
+				return true
+			}
+			if !returnsOnlyError(fn) {
+				return true
+			}
+			label, ok := bufferedWriterType(receiverType(info, call))
+			if !ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s() error %s; the final flush fails here, not in Write — check it or discard explicitly with _ =", label, fn.Name(), how)
+			return true
+		})
+	}
+}
+
+// returnsOnlyError reports whether fn's signature is func(...) error.
+func returnsOnlyError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	return isErrorType(sig.Results().At(0).Type())
+}
+
+// bufferedWriterType reports whether t is (a pointer to) an in-scope
+// buffered writer and returns its display name.
+func bufferedWriterType(t types.Type) (string, bool) {
+	named := namedType(t)
+	if named == nil {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	if closeCheckStdlib[path] && name == "Writer" {
+		return path + ".Writer", true
+	}
+	// Module-local writers, matched by suffix so golden trees with their
+	// own "dpz" module root hit the same rule.
+	if (path == "dpz" || strings.HasPrefix(path, "dpz/")) && strings.HasSuffix(name, "Writer") {
+		return name, true
+	}
+	return "", false
+}

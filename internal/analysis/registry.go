@@ -4,6 +4,7 @@ package analysis
 // New analyzers are added here and documented in docs/LINT.md.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CloseCheck,
 		CtxFlow,
 		DetLoop,
 		FloatEq,

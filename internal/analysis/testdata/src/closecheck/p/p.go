@@ -1,0 +1,79 @@
+// Package p exercises the closecheck analyzer: buffered writers report
+// their final flush's failure from Close/Flush, so dropping that error
+// — bare statement or plain defer — silently loses a torn tail.
+package p
+
+import (
+	"bufio"
+	"compress/gzip"
+	"compress/zlib"
+	"io"
+)
+
+// ChunkWriter is a module-local buffered writer: name ends in "Writer",
+// Close returns error. In scope.
+type ChunkWriter struct{ sink io.Writer }
+
+func (w *ChunkWriter) Write(p []byte) (int, error) { return w.sink.Write(p) }
+func (w *ChunkWriter) Close() error                { return nil }
+func (w *ChunkWriter) Flush() error                { return nil }
+
+// Gauge is not a writer type: Close error may be dropped freely.
+type Gauge struct{}
+
+func (Gauge) Close() error { return nil }
+
+// NoisyWriter's Close returns no error; nothing to drop.
+type NoisyWriter struct{}
+
+func (NoisyWriter) Close() {}
+
+func bareClose(w *ChunkWriter) {
+	w.Close() // want `ChunkWriter.Close\(\) error dropped`
+}
+
+func bareFlush(w *ChunkWriter) {
+	w.Flush() // want `ChunkWriter.Flush\(\) error dropped`
+}
+
+func deferredClose(w *ChunkWriter) {
+	defer w.Close() // want `ChunkWriter.Close\(\) error dropped by defer`
+	_, _ = w.Write([]byte("x"))
+}
+
+func checkedClose(w *ChunkWriter) error {
+	if err := w.Close(); err != nil { // ok: error checked
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard(w *ChunkWriter) {
+	_ = w.Close() // ok: audited best-effort close
+}
+
+func deferredCheck(w *ChunkWriter) (err error) {
+	defer func() {
+		if cerr := w.Close(); cerr != nil && err == nil { // ok: checked inside the defer
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+func stdlibBuffered(sink io.Writer) {
+	bw := bufio.NewWriter(sink)
+	bw.Flush() // want `bufio\.Writer\.Flush\(\) error dropped`
+
+	zw := zlib.NewWriter(sink)
+	defer zw.Close() // want `compress/zlib\.Writer\.Close\(\) error dropped by defer`
+
+	gw := gzip.NewWriter(sink)
+	gw.Close() // want `compress/gzip\.Writer\.Close\(\) error dropped`
+}
+
+func outOfScope(g Gauge, n NoisyWriter, body io.ReadCloser) {
+	g.Close()          // ok: not a writer type
+	n.Close()          // ok: Close returns nothing
+	defer body.Close() // ok: io.ReadCloser is not in scope (read side)
+}

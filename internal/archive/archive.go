@@ -191,7 +191,10 @@ func Open(r io.ReaderAt, size int64, o Options) (*Reader, error) {
 	if _, herr := r.ReadAt(head, 0); herr != nil || !bytes.Equal(head[:4], magic) || head[4] != version2 {
 		return nil, err // not a v2 archive; nothing to scan for
 	}
-	rec, rerr := Recover(r, size)
+	// RecoverDurable bounds the scan to the last commit record when the
+	// file came from a DurableWriter, and degrades to a plain frame scan
+	// otherwise.
+	rec, rerr := RecoverDurable(r, size)
 	if rerr != nil {
 		return nil, fmt.Errorf("%w (recovery scan also failed: %w)", err, rerr)
 	}

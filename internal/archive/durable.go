@@ -1,0 +1,342 @@
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dpz/internal/fault"
+	"dpz/internal/integrity"
+)
+
+// Durable writes. Two crash-safety modes, both built on the fault.FS
+// abstraction so the torn-write tests can drive them through an
+// injected filesystem:
+//
+//   - WriteFileAtomic: whole-file atomicity via temp file + fsync +
+//     rename + directory fsync. A crash at any point leaves either the
+//     old file (or no file) or the complete new file — never a torn one.
+//     This is the right mode for single-stream outputs.
+//
+//   - DurableWriter: journaled append for long-running batch archive
+//     writes where partial progress must survive. The v2 entry frames
+//     are the journal records; DurableWriter adds the commit discipline:
+//     after every appended entry it writes a 16-byte commit record
+//     ("DPZC" | u64 file length | CRC-32C) and fsyncs. A kill at any
+//     byte leaves a committed prefix plus possibly a torn tail; Recover
+//     (or RecoverDurable, which truncates to the last commit record
+//     first) restores every committed entry byte-identically. A failed
+//     Append rolls the file back to the last commit point, so the append
+//     can be retried without leaving a duplicate frame behind.
+//
+// Readers need no changes: the indexed open ignores the commit records
+// (entries are located by index offsets) and the frame-scan recovery
+// resyncs past them (they carry no entry magic).
+
+// commitMagic tags a durable-write commit record.
+var commitMagic = []byte("DPZC")
+
+// commitRecordLen is the on-disk size of one commit record: magic, u64
+// committed length, CRC-32C of the first 12 bytes.
+const commitRecordLen = 4 + 8 + 4
+
+// appendCommitRecord appends a commit record declaring that the file is
+// valid up to length bytes (the length INCLUDES this record).
+func appendCommitRecord(dst []byte, length int64) []byte {
+	start := len(dst)
+	dst = append(dst, commitMagic...)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], uint64(length))
+	dst = append(dst, b8[:]...)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], integrity.Checksum(dst[start:start+12]))
+	return append(dst, b4[:]...)
+}
+
+// parseCommitRecord validates a commit record at buf and returns the
+// committed length.
+func parseCommitRecord(buf []byte) (int64, bool) {
+	if len(buf) < commitRecordLen || string(buf[:4]) != string(commitMagic) {
+		return 0, false
+	}
+	if integrity.Checksum(buf[:12]) != binary.LittleEndian.Uint32(buf[12:16]) {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(buf[4:12])), true
+}
+
+// WriteFileAtomic writes a file via build with full crash atomicity:
+// the content lands in path+".tmp", is fsynced, atomically renamed onto
+// path, and the directory is fsynced. A crash anywhere leaves either the
+// previous state of path or the complete new file (a leftover .tmp is
+// ignored by readers and overwritten by the next attempt). On error the
+// temp file is removed best-effort.
+func WriteFileAtomic(fsys fault.FS, path string, build func(w io.Writer) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("archive: atomic write: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			_ = fsys.Remove(tmp) // best-effort cleanup; the write already failed
+		}
+	}()
+	if err = build(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("archive: atomic write sync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("archive: atomic write close: %w", err)
+	}
+	if err = fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("archive: atomic rename: %w", err)
+	}
+	if err = fsys.SyncDir(path); err != nil {
+		return fmt.Errorf("archive: atomic dir sync: %w", err)
+	}
+	return nil
+}
+
+// ErrBroken is returned by DurableWriter.Append and Close after a
+// failure that could not be rolled back: the on-disk state is still
+// recoverable up to the last commit, but this writer cannot continue.
+var ErrBroken = errors.New("archive: durable writer broken (rollback failed)")
+
+// DurableWriter appends entries to an archive file with per-entry
+// commit-and-fsync durability. See the package comment block above for
+// the crash model. Not safe for concurrent use.
+type DurableWriter struct {
+	fsys      fault.FS
+	f         fault.File
+	path      string
+	w         *Writer
+	committed int64 // durable, committed file length
+	broken    bool
+	closed    bool
+}
+
+// countingWriter tracks how many bytes reached the file, including any
+// prefix of a torn write, so rollback knows what to truncate.
+type countingWriter struct {
+	f fault.File
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// NewDurableWriter creates the archive file at path (which must not
+// exist), writes and commits the header, and fsyncs the directory so the
+// file name itself survives a crash.
+func NewDurableWriter(fsys fault.FS, path string) (*DurableWriter, error) {
+	f, err := fsys.CreateExcl(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: durable create: %w", err)
+	}
+	cw := &countingWriter{f: f}
+	w, err := NewWriter(cw)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	d := &DurableWriter{fsys: fsys, f: f, path: path, w: w}
+	if err := d.commit(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := fsys.SyncDir(path); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("archive: durable dir sync: %w", err)
+	}
+	return d, nil
+}
+
+// commit writes a commit record for the current file length and fsyncs.
+// On success the writer's committed watermark advances.
+func (d *DurableWriter) commit() error {
+	cw := d.w.w.(*countingWriter)
+	rec := appendCommitRecord(nil, cw.n+commitRecordLen)
+	if _, err := d.w.w.Write(rec); err != nil {
+		return fmt.Errorf("archive: commit record: %w", err)
+	}
+	d.w.off = cw.n // keep entry offsets in sync with the real file length
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("archive: commit sync: %w", err)
+	}
+	d.committed = cw.n
+	return nil
+}
+
+// rollback truncates the file to the last commit point after a failed
+// append, dropping the torn frame so the append can be retried. If the
+// truncate itself fails the writer is broken (the file stays recoverable
+// to the last commit either way).
+func (d *DurableWriter) rollback(name string) error {
+	if err := d.f.Truncate(d.committed); err != nil {
+		d.broken = true
+		return fmt.Errorf("%w: truncate to %d: %w", ErrBroken, d.committed, err)
+	}
+	cw := d.w.w.(*countingWriter)
+	cw.n = d.committed
+	d.w.off = d.committed
+	// Drop the failed entry's bookkeeping so a retry is not a duplicate.
+	if n := len(d.w.entries); n > 0 && d.w.entries[n-1].name == name {
+		d.w.entries = d.w.entries[:n-1]
+		delete(d.w.names, name)
+	}
+	return nil
+}
+
+// Committed returns the durable file length: everything up to it is
+// fsynced and ends at a commit record.
+func (d *DurableWriter) Committed() int64 { return d.committed }
+
+// Append stores payload under name, then commits: the entry frame and a
+// commit record are on stable storage before Append returns nil. On a
+// write or sync failure the file is rolled back to the previous commit
+// point and the same Append may be retried.
+func (d *DurableWriter) Append(name string, payload []byte) error {
+	if d.broken {
+		return ErrBroken
+	}
+	if d.closed {
+		return fmt.Errorf("archive: durable append after close: %w", ErrClosed)
+	}
+	if err := d.w.Append(name, payload); err != nil {
+		if rbErr := d.rollback(name); rbErr != nil {
+			return fmt.Errorf("%w (after append error: %w)", rbErr, err)
+		}
+		return err
+	}
+	if err := d.commit(); err != nil {
+		if rbErr := d.rollback(name); rbErr != nil {
+			return fmt.Errorf("%w (after commit error: %w)", rbErr, err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Close writes the index and footer, commits them, and closes the file.
+// After a successful Close the archive opens through the fast indexed
+// path; after a crash before it, RecoverDurable restores every committed
+// entry.
+func (d *DurableWriter) Close() error {
+	if d.broken {
+		return ErrBroken
+	}
+	if d.closed {
+		return ErrClosed
+	}
+	d.closed = true
+	if err := d.w.Close(); err != nil {
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("archive: close sync: %w", err)
+	}
+	if err := d.f.Close(); err != nil {
+		return fmt.Errorf("archive: close: %w", err)
+	}
+	return nil
+}
+
+// lastCommit walks a durable archive's commit chain and returns the
+// length covered by the last intact commit record, or 0 when none is
+// intact. Each record declares the file length it covers (its own end
+// offset) and exactly one entry frame sits between consecutive records,
+// so the chain is walked forward from the header: record, frame, record,
+// frame, ... until a torn tail or the (post-Close) index breaks it.
+func lastCommit(r io.ReaderAt, size int64) int64 {
+	var committed int64
+	pos := int64(len(magic) + 1) // first commit record follows the header
+	buf := make([]byte, commitRecordLen)
+	for pos+commitRecordLen <= size {
+		if _, err := r.ReadAt(buf, pos); err != nil {
+			break
+		}
+		length, ok := parseCommitRecord(buf)
+		if !ok || length != pos+commitRecordLen {
+			break // torn tail, or the index of a cleanly closed file
+		}
+		committed = length
+		next, ok := nextCommitPos(r, size, length)
+		if !ok {
+			break
+		}
+		pos = next
+	}
+	return committed
+}
+
+// nextCommitPos parses the entry frame starting at pos and returns the
+// offset of the commit record that should follow it.
+func nextCommitPos(r io.ReaderAt, size, pos int64) (int64, bool) {
+	hdr := make([]byte, 6)
+	if pos+int64(entryFixed) > size {
+		return 0, false
+	}
+	if _, err := r.ReadAt(hdr, pos); err != nil {
+		return 0, false
+	}
+	if string(hdr[:4]) != string(entryMagic) {
+		return 0, false
+	}
+	nameLen := int64(binary.LittleEndian.Uint16(hdr[4:]))
+	lenBuf := make([]byte, 8)
+	if _, err := r.ReadAt(lenBuf, pos+6+nameLen); err != nil {
+		return 0, false
+	}
+	payloadLen := int64(binary.LittleEndian.Uint64(lenBuf))
+	if payloadLen < 0 || payloadLen > size {
+		return 0, false
+	}
+	next := pos + int64(entryFixed) + nameLen + payloadLen
+	if next > size {
+		return 0, false
+	}
+	return next, true
+}
+
+// RecoverDurable opens a durable archive that may have a torn tail: it
+// finds the last intact commit record, restricts the view to that
+// committed prefix, and frame-scans it. Every entry whose append
+// committed is restored byte-identically; torn or uncommitted tail bytes
+// are ignored. Recovery is idempotent: recovering an already-recovered
+// (or clean) image yields the same entries. Falls back to a full-size
+// Recover when no commit record is found (a plain v2 archive).
+func RecoverDurable(r io.ReaderAt, size int64) (*Reader, error) {
+	committed := lastCommit(r, size)
+	if committed <= 0 {
+		return Recover(r, size)
+	}
+	return Recover(r, committed)
+}
+
+// RecoverDurableFile is RecoverDurable over a file in fsys.
+func RecoverDurableFile(fsys fault.FS, path string) (*Reader, fault.File, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("archive: recover open: %w", err)
+	}
+	size, err := fsys.Size(path)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("archive: recover stat: %w", err)
+	}
+	rd, err := RecoverDurable(f, size)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	return rd, f, nil
+}

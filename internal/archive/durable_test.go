@@ -1,0 +1,466 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"dpz/internal/fault"
+	"dpz/internal/integrity"
+)
+
+// durableFields is the deterministic write sequence every durability
+// test drives: varied sizes, an empty payload, binary data.
+func durableFields() ([]string, map[string][]byte) {
+	names := []string{"fldsc", "empty", "phis", "t850"}
+	fields := map[string][]byte{
+		"fldsc": bytes.Repeat([]byte("abcdefg"), 40),
+		"empty": {},
+		"phis":  bytes.Repeat([]byte{0x00, 0xFF, 0x7C}, 150),
+		"t850":  []byte("short payload"),
+	}
+	return names, fields
+}
+
+// writeDurable runs the full append sequence on a DurableWriter over
+// fsys, stopping at the first error. It returns the names whose Append
+// committed (returned nil) and whether Close succeeded.
+func writeDurable(fsys fault.FS, path string) (committed []string, closed bool, err error) {
+	names, fields := durableFields()
+	dw, err := NewDurableWriter(fsys, path)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, name := range names {
+		if err := dw.Append(name, fields[name]); err != nil {
+			return committed, false, err
+		}
+		committed = append(committed, name)
+	}
+	if err := dw.Close(); err != nil {
+		return committed, false, err
+	}
+	return committed, true, nil
+}
+
+// TestDurableCleanClose: with no faults, the durable writer produces an
+// archive that opens through the fast indexed path, recovers to the same
+// contents, and verifies clean.
+func TestDurableCleanClose(t *testing.T) {
+	fsys := fault.NewMemFS()
+	committed, closed, err := writeDurable(fsys, "a.dpza")
+	if err != nil || !closed {
+		t.Fatalf("clean write failed: %v", err)
+	}
+	names, fields := durableFields()
+	if !reflect.DeepEqual(committed, names) {
+		t.Fatalf("committed %v, want %v", committed, names)
+	}
+	raw, err := fsys.ReadFile("a.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast path: the tail index is intact despite the interleaved commit
+	// records.
+	r, err := OpenReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("indexed open of a durable archive: %v", err)
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, names) {
+		t.Fatalf("indexed names %v, want %v", got, names)
+	}
+	for _, name := range names {
+		p, err := r.Payload(name)
+		if err != nil || !bytes.Equal(p, fields[name]) {
+			t.Fatalf("indexed payload %q: %v", name, err)
+		}
+	}
+	// Recovery path agrees byte-for-byte.
+	rec, err := RecoverDurable(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Names(); !reflect.DeepEqual(got, names) {
+		t.Fatalf("recovered names %v, want %v", got, names)
+	}
+	for _, name := range names {
+		p, err := rec.Payload(name)
+		if err != nil || !bytes.Equal(p, fields[name]) {
+			t.Fatalf("recovered payload %q: %v", name, err)
+		}
+	}
+}
+
+// TestKillAtEveryOffset is the torn-write acceptance test: for EVERY
+// byte offset of the durable write sequence, kill the filesystem at that
+// byte, crash (in both page-cache modes: unsynced data lost, unsynced
+// data kept), and require the survivor state to be either the pre-write
+// state (no file) or fully recoverable: every recovered payload
+// byte-identical to what was appended, and every append that reported
+// commit actually recovered.
+func TestKillAtEveryOffset(t *testing.T) {
+	// Dry run to learn the total number of bytes the sequence writes.
+	dry := fault.NewMemFS()
+	if _, closed, err := writeDurable(dry, "a.dpza"); err != nil || !closed {
+		t.Fatalf("dry run failed: %v", err)
+	}
+	total, err := dry.Size("a.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fields := durableFields()
+
+	for _, keepUnsynced := range []bool{false, true} {
+		for killAt := int64(0); killAt <= total; killAt++ {
+			fsys := fault.NewMemFS()
+			fsys.SetWriteLimit(killAt)
+			committed, closed, werr := writeDurable(fsys, "a.dpza")
+			if killAt < total && werr == nil && closed {
+				t.Fatalf("killAt=%d: write sequence claims success before all %d bytes", killAt, total)
+			}
+			fsys.Crash(keepUnsynced)
+
+			label := fmt.Sprintf("killAt=%d keepUnsynced=%v", killAt, keepUnsynced)
+			names := fsys.Names()
+			if len(names) == 0 {
+				// Pre-write state: the kill landed before the file's name was
+				// durable. Nothing to recover — but then no append can have
+				// reported a commit.
+				if len(committed) > 0 {
+					t.Fatalf("%s: %v committed but file lost entirely", label, committed)
+				}
+				continue
+			}
+			rec, f, err := RecoverDurableFile(fsys, "a.dpza")
+			if err != nil {
+				t.Fatalf("%s: recovery failed: %v", label, err)
+			}
+			got := map[string]bool{}
+			for _, name := range rec.Names() {
+				want, known := fields[name]
+				if !known {
+					t.Fatalf("%s: recovered unknown field %q", label, name)
+				}
+				p, err := rec.Payload(name)
+				if err != nil {
+					t.Fatalf("%s: recovered field %q unreadable: %v", label, name, err)
+				}
+				if !bytes.Equal(p, want) {
+					t.Fatalf("%s: recovered field %q not byte-identical", label, name)
+				}
+				got[name] = true
+			}
+			for _, name := range committed {
+				if !got[name] {
+					t.Fatalf("%s: append of %q reported commit but recovery lost it (recovered %v)", label, name, rec.Names())
+				}
+			}
+			if closed && werr == nil {
+				// A completed Close must leave the fast indexed path working.
+				raw, err := fsys.ReadFile("a.dpza")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := OpenReader(bytes.NewReader(raw), int64(len(raw))); err != nil {
+					t.Fatalf("%s: closed archive does not open indexed: %v", label, err)
+				}
+			}
+			_ = f.Close()
+		}
+	}
+}
+
+// flakyFS tears exactly one scripted write, deterministically: write
+// number failOn persists only prefixLen bytes and fails. Everything else
+// passes through to the MemFS.
+type flakyFS struct {
+	fault.FS
+	writes    int
+	failOn    int
+	prefixLen int
+}
+
+type flakyFile struct {
+	fault.File
+	fs *flakyFS
+}
+
+func (f *flakyFS) CreateExcl(path string) (fault.File, error) {
+	file, err := f.FS.CreateExcl(path)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: file, fs: f}, nil
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	f.fs.writes++
+	if f.fs.writes == f.fs.failOn {
+		n := min(f.fs.prefixLen, len(p))
+		if _, err := f.File.Write(p[:n]); err != nil {
+			return 0, err
+		}
+		return n, errors.New("flaky: torn write")
+	}
+	return f.File.Write(p)
+}
+
+// TestDurableAppendRetry: a torn append rolls back to the last commit
+// point and the SAME append retried succeeds — without leaving a
+// duplicate frame for recovery to trip over.
+func TestDurableAppendRetry(t *testing.T) {
+	names, fields := durableFields()
+	mem := fault.NewMemFS()
+	// Writes: header(1), commit(2), then per append frame+commit. Fail the
+	// frame write of the second append, keeping a 7-byte prefix.
+	fsys := &flakyFS{FS: mem, failOn: 5, prefixLen: 7}
+	dw, err := NewDurableWriter(fsys, "a.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dw.Append(names[0], fields[names[0]]); err != nil {
+		t.Fatal(err)
+	}
+	before := dw.Committed()
+	if err := dw.Append(names[1], fields[names[1]]); err == nil {
+		t.Fatal("scripted torn append did not fail")
+	}
+	if dw.Committed() != before {
+		t.Fatalf("failed append moved the commit point %d -> %d", before, dw.Committed())
+	}
+	// Retry the same append, then finish the sequence.
+	for _, name := range names[1:] {
+		if err := dw.Append(name, fields[name]); err != nil {
+			t.Fatalf("retry/append %q: %v", name, err)
+		}
+	}
+	if err := dw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := mem.ReadFile("a.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, open := range []func() (*Reader, error){
+		func() (*Reader, error) { return OpenReader(bytes.NewReader(raw), int64(len(raw))) },
+		func() (*Reader, error) { return RecoverDurable(bytes.NewReader(raw), int64(len(raw))) },
+	} {
+		r, err := open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.Names(); !reflect.DeepEqual(got, names) {
+			t.Fatalf("names after retry %v, want %v", got, names)
+		}
+		for _, name := range names {
+			p, err := r.Payload(name)
+			if err != nil || !bytes.Equal(p, fields[name]) {
+				t.Fatalf("field %q after retry: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestWriteFileAtomicKillSweep: atomic whole-file replacement under the
+// same kill-at-every-offset regime. The visible file must always read as
+// exactly the old content or exactly the new content.
+func TestWriteFileAtomicKillSweep(t *testing.T) {
+	oldContent := []byte("the old archive bytes")
+	newContent := bytes.Repeat([]byte("NEW"), 200)
+
+	// Learn the write sequence length (create temp + content).
+	dry := fault.NewMemFS()
+	if err := WriteFileAtomic(dry, "f", func(w io.Writer) error {
+		_, err := w.Write(newContent)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, keepUnsynced := range []bool{false, true} {
+		for killAt := int64(0); killAt <= int64(len(newContent)); killAt++ {
+			fsys := fault.NewMemFS()
+			// Seed the old state durably.
+			f, err := fsys.Create("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(oldContent); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsys.SyncDir("f"); err != nil {
+				t.Fatal(err)
+			}
+			_ = f.Close()
+
+			fsys.SetWriteLimit(killAt)
+			werr := WriteFileAtomic(fsys, "f", func(w io.Writer) error {
+				_, err := w.Write(newContent)
+				return err
+			})
+			fsys.Crash(keepUnsynced)
+
+			got, err := fsys.ReadFile("f")
+			if err != nil {
+				t.Fatalf("killAt=%d keepUnsynced=%v: file vanished: %v", killAt, keepUnsynced, err)
+			}
+			switch {
+			case bytes.Equal(got, oldContent), bytes.Equal(got, newContent):
+			default:
+				t.Fatalf("killAt=%d keepUnsynced=%v (werr=%v): torn visible state (%d bytes)",
+					killAt, keepUnsynced, werr, len(got))
+			}
+			if werr == nil && !fsys.Killed() && !bytes.Equal(got, newContent) && killAt > int64(len(newContent)) {
+				t.Fatalf("killAt=%d: successful atomic write lost", killAt)
+			}
+		}
+	}
+}
+
+// repack rewrites a reader's recovered contents through a plain Writer —
+// the canonical form used to compare recovery results.
+func repack(t *testing.T, r *Reader) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range r.Names() {
+		p, err := r.Payload(name)
+		if err != nil {
+			t.Fatalf("repack %q: %v", name, err)
+		}
+		if err := w.Append(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRecoverIdempotent: Recover(Recover(x)) == Recover(x) — salvaging a
+// damaged archive, rewriting it, and salvaging again changes nothing,
+// for several damage shapes.
+func TestRecoverIdempotent(t *testing.T) {
+	names, fields := testFields()
+	raw := buildV2(t, names, fields)
+
+	damage := map[string]func([]byte) []byte{
+		"zero-length tail": func(b []byte) []byte {
+			// Cut exactly at the end of the last entry frame: the index is
+			// gone entirely, no partial frame bytes remain.
+			r, err := OpenReader(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := r.entries[len(r.entries)-1]
+			return b[:last.payloadOff+last.length]
+		},
+		"torn final frame mid-crc": func(b []byte) []byte {
+			// Cut inside the CRC field of the final frame's header: the
+			// frame has its magic, name and length, but the checksum (and
+			// payload) are torn off.
+			r, err := OpenReader(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := r.entries[len(r.entries)-1]
+			return b[:last.payloadOff-2]
+		},
+		"duplicate frame after retried append": func(b []byte) []byte {
+			// Simulate a retried append that never rolled back: the same
+			// frame appears twice back to back. First intact copy must win
+			// and the result must still be stable under re-recovery.
+			r, err := OpenReader(bytes.NewReader(b), int64(len(b)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := r.entries[r.byName["phis"]]
+			frame := b[e.offset : e.payloadOff+e.length]
+			cut := b[:len(b)-40] // also tear the index so recovery engages
+			return append(append([]byte(nil), cut...), frame...)
+		},
+	}
+
+	for label, damageFn := range damage {
+		t.Run(label, func(t *testing.T) {
+			x := damageFn(append([]byte(nil), raw...))
+			r1, err := Recover(bytes.NewReader(x), int64(len(x)))
+			if err != nil {
+				t.Fatalf("first recovery: %v", err)
+			}
+			if r1.Len() == 0 {
+				t.Fatal("first recovery salvaged nothing")
+			}
+			for _, name := range r1.Names() {
+				p, err := r1.Payload(name)
+				if err != nil || !bytes.Equal(p, fields[name]) {
+					t.Fatalf("first recovery field %q wrong: %v", name, err)
+				}
+			}
+			once := repack(t, r1)
+			r2, err := Recover(bytes.NewReader(once), int64(len(once)))
+			if err != nil {
+				t.Fatalf("second recovery: %v", err)
+			}
+			twice := repack(t, r2)
+			if !bytes.Equal(once, twice) {
+				t.Fatalf("recovery not idempotent: repacked forms differ (%d vs %d bytes)", len(once), len(twice))
+			}
+		})
+	}
+}
+
+// TestRecoverDurableExcludesUncommitted: a fully written entry frame
+// whose commit record is torn must NOT be restored by RecoverDurable
+// (it never committed), while plain Recover may still salvage it — the
+// two recovery strictness levels documented in FORMAT.md.
+func TestRecoverDurableExcludesUncommitted(t *testing.T) {
+	fsys := fault.NewMemFS()
+	names, fields := durableFields()
+	dw, err := NewDurableWriter(fsys, "a.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names[:2] {
+		if err := dw.Append(name, fields[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := fsys.ReadFile("a.dpza")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-append a complete, CRC-valid frame with no commit record — a
+	// crash between the frame write and the commit sync.
+	payload := fields[names[2]]
+	frame := append([]byte(nil), entryMagic...)
+	frame = append(frame, byte(len(names[2])), 0)
+	frame = append(frame, names[2]...)
+	frame = integrity.AppendFrame(frame, payload)
+	raw = append(raw, frame...)
+
+	rd, err := RecoverDurable(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rd.Names(); !reflect.DeepEqual(got, names[:2]) {
+		t.Fatalf("RecoverDurable names %v, want committed prefix %v", got, names[:2])
+	}
+	rec, err := Recover(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Names(); !reflect.DeepEqual(got, names[:3]) {
+		t.Fatalf("plain Recover names %v, want %v (salvages the uncommitted frame)", got, names[:3])
+	}
+}

@@ -1,0 +1,228 @@
+// Package fault is dpz's deterministic, seed-driven fault-injection
+// framework: the machinery the resilience tests (torn-write recovery,
+// client retry/hedging, the chaos soak) stand on. It generalizes the
+// bit-flip harness in dpz/internal/integrity from "corrupt a finished
+// buffer" to "corrupt a live I/O path on a reproducible schedule":
+//
+//   - Stream wraps a seeded splitmix64 PRNG; every injection decision is
+//     one sequential draw, so the same (seed, label, op-index) always
+//     yields the same fault. Concurrency cannot perturb a stream's
+//     schedule because each wrapped reader/writer/file/request gets its
+//     own stream forked from a stable label.
+//   - Reader / Writer wrap io.Reader / io.Writer with short reads, read
+//     errors, torn writes (a prefix lands, then an error), outright
+//     write errors, silent single-byte corruption (integrity.Fault bit
+//     flips) and latency stalls.
+//   - FS / File abstract the handful of filesystem calls durable archive
+//     writes need (create, write, sync, rename, truncate, directory
+//     sync). OS is the real implementation, MemFS an in-memory one with
+//     crash semantics (unsynced data is lost), and WrapFS injects faults
+//     into any implementation.
+//   - Transport wraps an http.RoundTripper with connection errors,
+//     mid-body resets and latency stalls.
+//
+// Injected failures all wrap Err, so tests and retry loops can
+// errors.Is-classify "this was the harness" against real bugs.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Err is the sentinel all injected failures wrap.
+var Err = errors.New("fault: injected")
+
+// Error is one injected failure, labeled with the stream and operation
+// index that produced it so a test failure names its exact cause.
+type Error struct {
+	Stream string // stream label
+	Op     int    // 0-based operation index within the stream
+	What   string // human description, e.g. "torn write (3 of 17 bytes)"
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s (stream %q op %d)", e.What, e.Stream, e.Op)
+}
+
+// Unwrap ties every injected failure to the Err sentinel.
+func (e *Error) Unwrap() error { return Err }
+
+// Plan configures what an Injector may do and how often. Probabilities
+// are in [0,1] per operation; zero (the zero value) injects nothing, so
+// a zero Plan is a transparent pass-through. The same Plan and Seed
+// always produce the same schedule.
+type Plan struct {
+	// Seed selects the schedule. Streams forked under different labels
+	// draw from independent PRNGs derived from Seed and the label.
+	Seed uint64
+
+	// ShortRead truncates a Read's buffer to a deterministic shorter
+	// length (legal io.Reader behaviour callers must tolerate).
+	ShortRead float64
+	// ReadErr fails a Read outright.
+	ReadErr float64
+
+	// TornWrite writes only a deterministic prefix of the buffer, then
+	// fails — the torn-write crash model for durability tests.
+	TornWrite float64
+	// WriteErr fails a Write before any byte lands.
+	WriteErr float64
+	// CorruptWrite flips one bit of one written byte without reporting
+	// an error — silent corruption that only checksums can catch.
+	CorruptWrite float64
+
+	// SyncErr fails a File.Sync.
+	SyncErr float64
+	// RenameErr fails an FS.Rename.
+	RenameErr float64
+
+	// Stall sleeps StallDur before an operation proceeds (latency
+	// injection). The sleep itself uses SleepFn.
+	Stall    float64
+	StallDur time.Duration
+
+	// ConnErr fails an HTTP round trip with a transport error.
+	ConnErr float64
+	// TruncBody cuts an HTTP response body short: a deterministic prefix
+	// is readable, then io.ErrUnexpectedEOF (a dropped connection).
+	TruncBody float64
+
+	// SleepFn replaces time.Sleep for stall injection; nil means
+	// time.Sleep. Tests inject a recorder to keep soaks fast.
+	SleepFn func(time.Duration)
+}
+
+// Injector derives independent fault streams from one Plan. It is
+// immutable and safe for concurrent use.
+type Injector struct {
+	plan Plan
+}
+
+// New returns an Injector for plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Plan returns the injector's configuration.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stream forks an independent deterministic fault stream. The stream's
+// schedule depends only on (Plan.Seed, label) and the order of its own
+// operations — never on other streams or goroutine interleaving.
+func (in *Injector) Stream(label string) *Stream {
+	return &Stream{
+		plan:  in.plan,
+		label: label,
+		state: splitmix64Seed(in.plan.Seed ^ fnv64(label)),
+	}
+}
+
+// Stream is one deterministic sequence of injection decisions. Methods
+// are safe for concurrent use, though decisions are handed out in call
+// order (wrap one stream per goroutine for full determinism).
+type Stream struct {
+	plan  Plan
+	label string
+
+	mu     sync.Mutex
+	state  uint64
+	ops    int
+	events []string // bounded trace of injected faults
+}
+
+// maxEvents bounds the per-stream trace.
+const maxEvents = 256
+
+// Label returns the stream's fork label.
+func (s *Stream) Label() string { return s.label }
+
+// Ops returns how many injection decisions the stream has made.
+func (s *Stream) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
+}
+
+// Events returns the injected-fault trace (most recent maxEvents).
+func (s *Stream) Events() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.events...)
+}
+
+// next draws the next PRNG value. Callers hold s.mu.
+func (s *Stream) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// roll consumes one draw and reports whether an event with probability p
+// fires. A disabled fault kind (p <= 0) still consumes its draw, so the
+// schedule of the remaining kinds is stable when one kind is switched
+// off — a failing seed can be re-run with a single fault class isolated.
+func (s *Stream) roll(p float64) bool {
+	v := s.next()
+	if p <= 0 {
+		return false
+	}
+	return float64(v>>11)/(1<<53) < p
+}
+
+// intn returns a deterministic value in [0, n). n must be > 0.
+func (s *Stream) intn(n int) int {
+	return int(s.next() % uint64(n))
+}
+
+// begin opens one operation: bumps the op counter and returns its index.
+func (s *Stream) begin() int {
+	s.ops++
+	return s.ops - 1
+}
+
+// inject records and builds the injected error for op.
+func (s *Stream) inject(op int, what string) *Error {
+	if len(s.events) < maxEvents {
+		s.events = append(s.events, fmt.Sprintf("op %d: %s", op, what))
+	}
+	return &Error{Stream: s.label, Op: op, What: what}
+}
+
+// maybeStall sleeps StallDur with probability Stall. Callers hold s.mu;
+// the sleep itself runs unlocked.
+func (s *Stream) maybeStall(op int) {
+	if !s.roll(s.plan.Stall) || s.plan.StallDur <= 0 {
+		return
+	}
+	s.inject(op, fmt.Sprintf("stall %v", s.plan.StallDur))
+	sleep := s.plan.SleepFn
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	d := s.plan.StallDur
+	s.mu.Unlock()
+	sleep(d)
+	s.mu.Lock()
+}
+
+// splitmix64Seed whitens a raw seed so adjacent seeds (1, 2, 3...) give
+// uncorrelated streams.
+func splitmix64Seed(seed uint64) uint64 {
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// fnv64 hashes a label (FNV-1a) for stream derivation.
+func fnv64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chunkedCopy pushes src through w in fixed-size chunks, collecting the
+// error sequence — the replay fingerprint of a write schedule.
+func chunkedCopy(w io.Writer, src []byte, chunk int) []string {
+	var errs []string
+	for off := 0; off < len(src); off += chunk {
+		end := min(off+chunk, len(src))
+		if _, err := w.Write(src[off:end]); err != nil {
+			errs = append(errs, err.Error())
+		}
+	}
+	return errs
+}
+
+// TestWriterReplay is the determinism contract: the same seed and call
+// sequence produce byte-identical downstream bytes and identical error
+// sequences, and a different seed produces a different schedule.
+func TestWriterReplay(t *testing.T) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	plan := Plan{Seed: 42, TornWrite: 0.2, WriteErr: 0.1, CorruptWrite: 0.2}
+	run := func(seed uint64) ([]byte, []string) {
+		p := plan
+		p.Seed = seed
+		var buf bytes.Buffer
+		s := New(p).Stream("file-a")
+		errs := chunkedCopy(s.Writer(&buf), src, 97)
+		return buf.Bytes(), errs
+	}
+	b1, e1 := run(42)
+	b2, e2 := run(42)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different downstream bytes: %d vs %d", len(b1), len(b2))
+	}
+	if !reflect.DeepEqual(e1, e2) {
+		t.Fatalf("same seed produced different error sequences:\n%v\n%v", e1, e2)
+	}
+	if len(e1) == 0 {
+		t.Fatalf("plan injected no faults over %d writes", (len(src)+96)/97)
+	}
+	b3, _ := run(43)
+	if bytes.Equal(b1, b3) {
+		t.Errorf("different seeds produced identical corruption")
+	}
+}
+
+// TestStreamIndependence: streams forked under different labels have
+// independent schedules; the same label replays identically.
+func TestStreamIndependence(t *testing.T) {
+	in := New(Plan{Seed: 7, WriteErr: 0.5})
+	draw := func(label string) []bool {
+		s := in.Stream(label)
+		out := make([]bool, 64)
+		s.mu.Lock()
+		for i := range out {
+			s.begin()
+			out[i] = s.roll(s.plan.WriteErr)
+		}
+		s.mu.Unlock()
+		return out
+	}
+	if !reflect.DeepEqual(draw("a"), draw("a")) {
+		t.Errorf("same label replayed differently")
+	}
+	if reflect.DeepEqual(draw("a"), draw("b")) {
+		t.Errorf("labels a and b drew identical schedules")
+	}
+}
+
+// TestReaderFaults: short reads stay legal (n <= len(p), no error) and
+// injected read errors wrap the sentinel.
+func TestReaderFaults(t *testing.T) {
+	src := bytes.Repeat([]byte("x"), 1<<14)
+	r := New(Plan{Seed: 3, ShortRead: 0.5, ReadErr: 0.1}).Stream("r").Reader(bytes.NewReader(src))
+	var got []byte
+	buf := make([]byte, 113)
+	var injected int
+	for {
+		n, err := r.Read(buf)
+		if n > len(buf) {
+			t.Fatalf("read returned %d > len %d", n, len(buf))
+		}
+		got = append(got, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !errors.Is(err, Err) {
+				t.Fatalf("unexpected real error: %v", err)
+			}
+			injected++
+			if injected > 10000 {
+				t.Fatal("reader never makes progress")
+			}
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Errorf("short reads corrupted data: got %d bytes, want %d", len(got), len(src))
+	}
+}
+
+// TestZeroPlanTransparent: the zero plan passes everything through.
+func TestZeroPlanTransparent(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(Plan{}).Stream("z")
+	if errs := chunkedCopy(s.Writer(&buf), []byte("hello world"), 3); errs != nil {
+		t.Fatalf("zero plan injected: %v", errs)
+	}
+	if buf.String() != "hello world" {
+		t.Fatalf("zero plan corrupted: %q", buf.String())
+	}
+	r := s.Reader(strings.NewReader("abc"))
+	out, err := io.ReadAll(r)
+	if err != nil || string(out) != "abc" {
+		t.Fatalf("zero plan read: %q, %v", out, err)
+	}
+}
+
+// TestMemFSCrash: unsynced bytes are lost, synced bytes survive, and the
+// namespace reverts to the last SyncDir.
+func TestMemFSCrash(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("b"); err != nil { // never dir-synced
+		t.Fatal(err)
+	}
+
+	fs.Crash(false)
+	if got := fs.Names(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("post-crash namespace %v, want [a]", got)
+	}
+	data, err := fs.ReadFile("a")
+	if err != nil || string(data) != "durable" {
+		t.Fatalf("post-crash content %q (%v), want %q", data, err, "durable")
+	}
+}
+
+// TestMemFSWriteLimit: the kill switch fires mid-write, keeps the exact
+// prefix, and poisons all later operations.
+func TestMemFSWriteLimit(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("a"); err != nil { // make the name itself durable
+		t.Fatal(err)
+	}
+	fs.SetWriteLimit(5)
+	n, err := f.Write([]byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrKilled) {
+		t.Fatalf("write past limit: n=%d err=%v, want 5, ErrKilled", n, err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill write err %v, want ErrKilled", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill sync err %v, want ErrKilled", err)
+	}
+	fs.Crash(true) // keep unsynced: the 5-byte prefix
+	data, err := fs.ReadFile("a")
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("post-crash content %q (%v), want %q", data, err, "01234")
+	}
+}
+
+// TestTransportSchedule: the fault transport injects deterministically
+// by request index and truncated bodies surface io.ErrUnexpectedEOF.
+func TestTransportSchedule(t *testing.T) {
+	payload := bytes.Repeat([]byte("p"), 512)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(payload)
+	}))
+	defer ts.Close()
+
+	run := func(seed uint64) []string {
+		tr := New(Plan{Seed: seed, ConnErr: 0.3, TruncBody: 0.4}).Transport(nil)
+		cl := &http.Client{Transport: tr}
+		var outcomes []string
+		for i := 0; i < 32; i++ {
+			resp, err := cl.Get(ts.URL)
+			if err != nil {
+				outcomes = append(outcomes, "conn")
+				continue
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			switch {
+			case rerr != nil:
+				outcomes = append(outcomes, "trunc")
+			case bytes.Equal(body, payload):
+				outcomes = append(outcomes, "ok")
+			default:
+				outcomes = append(outcomes, "SILENT-CORRUPTION")
+			}
+		}
+		return outcomes
+	}
+	o1, o2 := run(9), run(9)
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatalf("same seed, different outcomes:\n%v\n%v", o1, o2)
+	}
+	counts := map[string]int{}
+	for _, o := range o1 {
+		counts[o]++
+	}
+	if counts["SILENT-CORRUPTION"] > 0 {
+		t.Fatalf("truncated body was silently accepted: %v", counts)
+	}
+	if counts["conn"] == 0 || counts["trunc"] == 0 || counts["ok"] == 0 {
+		t.Errorf("schedule not exercising all outcomes: %v", counts)
+	}
+}
+
+// TestInjectedErrorShape: injected errors identify stream and op and
+// unwrap to the sentinel.
+func TestInjectedErrorShape(t *testing.T) {
+	e := &Error{Stream: "file-a", Op: 17, What: "torn write (3 of 10 bytes)"}
+	if !errors.Is(e, Err) {
+		t.Error("Error does not unwrap to Err")
+	}
+	msg := e.Error()
+	for _, want := range []string{"file-a", "17", "torn write"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the slice of *os.File that durable writes need. ReadAt serves
+// recovery scans over the same handle abstraction.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Sync flushes written data to stable storage: the durability point.
+	Sync() error
+	// Truncate cuts the file to size bytes (rollback of a torn append).
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the filesystem surface of crash-safe writes: enough to create,
+// append, fsync, atomically rename and remove files, and to fsync the
+// containing directory so renames and creates survive a crash.
+type FS interface {
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// CreateExcl opens path for writing, failing if it already exists.
+	CreateExcl(path string) (File, error)
+	// Open opens path read-only.
+	Open(path string) (File, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// SyncDir fsyncs the directory containing path, making preceding
+	// creates/renames/removes in it durable.
+	SyncDir(path string) error
+	// Size returns the current length of path in bytes.
+	Size(path string) (int64, error)
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Write(p []byte) (int, error)             { return o.f.Write(p) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error) { return o.f.ReadAt(p, off) }
+func (o osFile) Sync() error                             { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error               { return o.f.Truncate(size) }
+func (o osFile) Close() error                            { return o.f.Close() }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// CreateExcl implements FS.
+func (OS) CreateExcl(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (OS) Open(path string) (File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// SyncDir implements FS: fsync on the parent directory of path.
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	if closeErr := d.Close(); syncErr == nil {
+		syncErr = closeErr
+	}
+	return syncErr
+}
+
+// Size implements FS.
+func (OS) Size(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// ErrKilled is returned by a MemFS whose write budget ran out: the
+// simulated process was killed at that byte. All subsequent operations
+// fail with it too.
+var ErrKilled = errors.New("fault: killed at write limit")
+
+// MemFS is an in-memory FS with crash semantics for durability tests:
+//
+//   - Written bytes are volatile until File.Sync; a crash discards
+//     unsynced content (or, in keep-unsynced mode, keeps it — the two
+//     bracket what a real page cache may do).
+//   - Namespace changes (create, rename, remove) are volatile until
+//     SyncDir; a crash reverts the namespace to its last synced state,
+//     like a directory whose entries never hit the journal.
+//   - An optional write budget kills the filesystem after exactly N
+//     payload bytes have been written, mid-call, leaving the prefix —
+//     the kill-at-every-offset harness iterates N over a whole write
+//     sequence.
+//
+// The zero value is not usable; call NewMemFS.
+type MemFS struct {
+	mu     sync.Mutex
+	files  map[string]*memFile
+	synced map[string]*memFile // namespace as of the last SyncDir
+	limit  int64               // remaining write budget; <0 = unlimited
+	killed bool
+}
+
+type memFile struct {
+	data    []byte // volatile content
+	durable []byte // content as of the last Sync
+}
+
+// NewMemFS returns an empty in-memory filesystem with no write limit.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:  make(map[string]*memFile),
+		synced: make(map[string]*memFile),
+		limit:  -1,
+	}
+}
+
+// SetWriteLimit arms the kill switch: after n more payload bytes are
+// written (across all files), the write in progress keeps its prefix and
+// every operation from then on fails with ErrKilled. n < 0 disarms.
+func (m *MemFS) SetWriteLimit(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.limit = n
+	m.killed = false
+}
+
+// Killed reports whether the write budget ran out.
+func (m *MemFS) Killed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.killed
+}
+
+// Crash simulates a power cut: every file's content reverts to its last
+// synced bytes (keepUnsynced keeps volatile bytes instead — the lucky
+// page cache), the namespace reverts to the last SyncDir, and the kill
+// switch resets so recovery code can run against the survivor state.
+func (m *MemFS) Crash(keepUnsynced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := make(map[string]*memFile, len(m.synced))
+	for name, f := range m.synced {
+		if keepUnsynced {
+			next[name] = &memFile{data: append([]byte(nil), f.data...), durable: append([]byte(nil), f.data...)}
+		} else {
+			next[name] = &memFile{data: append([]byte(nil), f.durable...), durable: append([]byte(nil), f.durable...)}
+		}
+	}
+	m.files = next
+	m.synced = make(map[string]*memFile, len(next))
+	for name, f := range next {
+		m.synced[name] = f
+	}
+	m.killed = false
+	m.limit = -1
+}
+
+// Names lists the current (volatile) namespace, sorted.
+func (m *MemFS) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReadFile returns a copy of path's current content.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) checkKilled() error {
+	if m.killed {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkKilled(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.files[path] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// CreateExcl implements FS.
+func (m *MemFS) CreateExcl(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkKilled(); err != nil {
+		return nil, err
+	}
+	if _, ok := m.files[path]; ok {
+		return nil, fmt.Errorf("memfs: %s: %w", path, os.ErrExist)
+	}
+	f := &memFile{}
+	m.files[path] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkKilled(); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	return &memHandle{fs: m, f: f, readonly: true}, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkKilled(); err != nil {
+		return err
+	}
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Rename implements FS: atomic in the volatile namespace, durable only
+// after SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkKilled(); err != nil {
+		return err
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return fmt.Errorf("memfs: %s: %w", oldpath, os.ErrNotExist)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	return nil
+}
+
+// SyncDir implements FS: checkpoints the whole namespace (MemFS models a
+// single directory).
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkKilled(); err != nil {
+		return err
+	}
+	m.synced = make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		m.synced[name] = f
+	}
+	return nil
+}
+
+// Size implements FS.
+func (m *MemFS) Size(path string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return 0, fmt.Errorf("memfs: %s: %w", path, os.ErrNotExist)
+	}
+	return int64(len(f.data)), nil
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	readonly bool
+	closed   bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkKilled(); err != nil {
+		return 0, err
+	}
+	if h.closed || h.readonly {
+		return 0, errors.New("memfs: write to closed or read-only file")
+	}
+	n := len(p)
+	if h.fs.limit >= 0 && int64(n) > h.fs.limit {
+		// The kill point lands inside this write: the prefix sticks, the
+		// process is gone.
+		n = int(h.fs.limit)
+		h.f.data = append(h.f.data, p[:n]...)
+		h.fs.limit = 0
+		h.fs.killed = true
+		return n, ErrKilled
+	}
+	if h.fs.limit >= 0 {
+		h.fs.limit -= int64(n)
+	}
+	h.f.data = append(h.f.data, p...)
+	return n, nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkKilled(); err != nil {
+		return 0, err
+	}
+	if off < 0 || off > int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkKilled(); err != nil {
+		return err
+	}
+	h.f.durable = append(h.f.durable[:0], h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.fs.checkKilled(); err != nil {
+		return err
+	}
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("memfs: truncate to %d outside [0,%d]", size, len(h.f.data))
+	}
+	h.f.data = h.f.data[:size]
+	if int64(len(h.f.durable)) > size {
+		h.f.durable = h.f.durable[:size]
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.closed = true
+	return nil
+}
+
+// WrapFS injects this stream's write/sync/rename faults into any FS.
+// Each file opened through the wrapper shares the stream, so one
+// schedule covers the whole write sequence in operation order.
+func (s *Stream) WrapFS(inner FS) FS { return &faultFS{inner: inner, s: s} }
+
+type faultFS struct {
+	inner FS
+	s     *Stream
+}
+
+func (f *faultFS) wrapFile(file File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, s: f.s}, nil
+}
+
+func (f *faultFS) Create(path string) (File, error) { return f.wrapFile(f.inner.Create(path)) }
+func (f *faultFS) CreateExcl(path string) (File, error) {
+	return f.wrapFile(f.inner.CreateExcl(path))
+}
+func (f *faultFS) Open(path string) (File, error) { return f.wrapFile(f.inner.Open(path)) }
+func (f *faultFS) Remove(path string) error       { return f.inner.Remove(path) }
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	f.s.mu.Lock()
+	op := f.s.begin()
+	if f.s.roll(f.s.plan.RenameErr) {
+		err := f.s.inject(op, "rename error")
+		f.s.mu.Unlock()
+		return err
+	}
+	f.s.mu.Unlock()
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *faultFS) SyncDir(path string) error {
+	f.s.mu.Lock()
+	op := f.s.begin()
+	if f.s.roll(f.s.plan.SyncErr) {
+		err := f.s.inject(op, "dir sync error")
+		f.s.mu.Unlock()
+		return err
+	}
+	f.s.mu.Unlock()
+	return f.inner.SyncDir(path)
+}
+
+func (f *faultFS) Size(path string) (int64, error) { return f.inner.Size(path) }
+
+// faultFile injects write-path faults; reads pass through untouched so
+// recovery scans observe exactly what "survived".
+type faultFile struct {
+	inner File
+	s     *Stream
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	w := f.s.Writer(f.inner)
+	return w.Write(p)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) { return f.inner.ReadAt(p, off) }
+
+func (f *faultFile) Sync() error {
+	f.s.mu.Lock()
+	op := f.s.begin()
+	f.s.maybeStall(op)
+	if f.s.roll(f.s.plan.SyncErr) {
+		err := f.s.inject(op, "sync error")
+		f.s.mu.Unlock()
+		return err
+	}
+	f.s.mu.Unlock()
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *faultFile) Close() error              { return f.inner.Close() }

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Transport wraps an http.RoundTripper with scheduled connection errors,
+// truncated response bodies and latency stalls. Each request forks its
+// own stream ("rt-<n>" by arrival order), so the n-th request always
+// suffers the same fate for a given seed — the schedule is a function of
+// the seed even when requests race.
+type Transport struct {
+	base http.RoundTripper
+	inj  *Injector
+	seq  atomic.Uint64
+}
+
+// Transport wraps base (nil means http.DefaultTransport) with this
+// injector's plan.
+func (in *Injector) Transport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, inj: in}
+}
+
+// RoundTrip applies the schedule: a stall, then possibly a transport
+// error (the request may or may not have reached the server — exactly
+// the ambiguity retrying clients must handle), then possibly a response
+// body that dies mid-stream with io.ErrUnexpectedEOF.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	s := t.inj.Stream(fmt.Sprintf("rt-%d", t.seq.Add(1)))
+	s.mu.Lock()
+	op := s.begin()
+	s.maybeStall(op)
+	if s.roll(s.plan.ConnErr) {
+		// Half the drops happen before the request is sent, half after the
+		// server processed it but before the response arrived — exactly the
+		// ambiguity ("did it go through?") retrying clients must handle.
+		afterSend := s.intn(2) == 1
+		var err error
+		if afterSend {
+			err = s.inject(op, "connection dropped after send")
+		} else {
+			err = s.inject(op, "connection error before send")
+		}
+		s.mu.Unlock()
+		if afterSend {
+			if resp, rerr := t.base.RoundTrip(req); rerr == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}
+		return nil, err
+	}
+	trunc := s.roll(s.plan.TruncBody)
+	s.mu.Unlock()
+
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !trunc {
+		return resp, err
+	}
+	s.mu.Lock()
+	n := s.intn(64)
+	s.inject(op, fmt.Sprintf("response body truncated after %d bytes", n))
+	s.mu.Unlock()
+	resp.Body = &truncBody{inner: resp.Body, remaining: n}
+	return resp, nil
+}
+
+// truncBody yields remaining bytes of the real body, then fails with
+// io.ErrUnexpectedEOF — a connection reset mid-download.
+type truncBody struct {
+	inner     io.ReadCloser
+	remaining int
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncBody) Close() error { return b.inner.Close() }

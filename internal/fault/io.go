@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+
+	"dpz/internal/integrity"
+)
+
+// Reader wraps an io.Reader with scheduled short reads, read errors and
+// stalls. Every Read consumes a fixed number of draws, so the schedule
+// replays byte-identically for a fixed call sequence.
+type Reader struct {
+	r io.Reader
+	s *Stream
+}
+
+// Reader wraps r with this stream's schedule.
+func (s *Stream) Reader(r io.Reader) *Reader { return &Reader{r: r, s: s} }
+
+// Read applies the schedule: a stall, then possibly an injected error,
+// then possibly a shortened buffer handed to the underlying reader.
+func (f *Reader) Read(p []byte) (int, error) {
+	f.s.mu.Lock()
+	op := f.s.begin()
+	f.s.maybeStall(op)
+	if f.s.roll(f.s.plan.ReadErr) {
+		err := f.s.inject(op, "read error")
+		f.s.mu.Unlock()
+		return 0, err
+	}
+	if f.s.roll(f.s.plan.ShortRead) && len(p) > 1 {
+		n := 1 + f.s.intn(len(p)-1)
+		f.s.inject(op, fmt.Sprintf("short read (%d of %d bytes)", n, len(p)))
+		p = p[:n]
+	}
+	f.s.mu.Unlock()
+	return f.r.Read(p)
+}
+
+// Writer wraps an io.Writer with scheduled torn writes, write errors,
+// silent single-bit corruption and stalls.
+type Writer struct {
+	w io.Writer
+	s *Stream
+}
+
+// Writer wraps w with this stream's schedule.
+func (s *Stream) Writer(w io.Writer) *Writer { return &Writer{w: w, s: s} }
+
+// Write applies the schedule. A torn write pushes a deterministic prefix
+// into the underlying writer and then fails — the bytes that landed are
+// really there, as after a crash mid-write. Silent corruption reuses the
+// integrity.Fault bit-flip primitive on a copy of the buffer.
+func (f *Writer) Write(p []byte) (int, error) {
+	f.s.mu.Lock()
+	op := f.s.begin()
+	f.s.maybeStall(op)
+	if f.s.roll(f.s.plan.WriteErr) {
+		err := f.s.inject(op, "write error")
+		f.s.mu.Unlock()
+		return 0, err
+	}
+	if f.s.roll(f.s.plan.TornWrite) && len(p) > 0 {
+		n := f.s.intn(len(p))
+		err := f.s.inject(op, fmt.Sprintf("torn write (%d of %d bytes)", n, len(p)))
+		f.s.mu.Unlock()
+		m, werr := f.w.Write(p[:n])
+		if werr != nil {
+			return m, werr
+		}
+		return m, err
+	}
+	if f.s.roll(f.s.plan.CorruptWrite) && len(p) > 0 {
+		bit := integrity.Fault{Kind: integrity.FaultBitFlip, Offset: f.s.intn(len(p)), Mask: 1 << f.s.intn(8)}
+		f.s.inject(op, fmt.Sprintf("silent corruption: %s", bit))
+		f.s.mu.Unlock()
+		return f.w.Write(bit.Apply(p))
+	}
+	f.s.mu.Unlock()
+	return f.w.Write(p)
+}

@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"dpz"
+	"dpz/client"
+	"dpz/internal/archive"
+	"dpz/internal/fault"
+)
+
+// TestChaosSoak is the end-to-end resilience soak: dpzd behind a
+// fault-injecting transport serving a resilient client, while durable
+// archive writes run against a fault-injecting filesystem — all under
+// seeded, reproducible schedules. The invariants:
+//
+//   - no silent corruption: every compress response the client accepts
+//     is byte-identical to the library's output for the same knobs, and
+//     every accepted decompress matches the library's samples;
+//   - zero corrupt archives: recovery never returns a payload that
+//     differs from what was appended, and (absent bit corruption) every
+//     committed append survives;
+//   - the daemon drains cleanly after the storm and no goroutines leak.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+
+	// Library reference: with pinned knobs the server's response must be
+	// byte-identical to this stream, and its decompress to these samples.
+	const n0, n1 = 16, 32
+	raw, vals := testField(n0, n1)
+	dims := []int{n0, n1}
+	spec := dpz.OptionSpec{TVENines: 2, Workers: 2}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dpz.CompressContext(context.Background(), vals, dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStream := res.Data
+	refVals, _, err := dpz.DecompressContext(context.Background(), refStream, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRaw := make([]byte, 4*len(refVals))
+	for i, v := range refVals {
+		float32ToBytes(refRaw[4*i:], float32(v))
+	}
+
+	baseline := runtime.NumGoroutine()
+	for _, seed := range []uint64{101, 202, 303} {
+		t.Run("", func(t *testing.T) {
+			runChaosSeed(t, seed, raw, dims, refStream, refRaw)
+		})
+	}
+	waitForGoroutines(t, baseline)
+}
+
+func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, refRaw []byte) {
+	srv := New(Config{Jobs: 4, QueueDepth: 16})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	inj := fault.New(fault.Plan{
+		Seed:      seed,
+		ConnErr:   0.15,
+		TruncBody: 0.15,
+		Stall:     0.1,
+		StallDur:  25 * time.Millisecond, // long enough that the hedge fires
+	})
+	base := &http.Transport{}
+	defer base.CloseIdleConnections()
+	cl := &client.Client{
+		BaseURL:    ts.URL,
+		HTTPClient: &http.Client{Transport: inj.Transport(base)},
+		Retry: client.RetryPolicy{
+			MaxAttempts:   6,
+			BaseDelay:     time.Millisecond,
+			MaxDelay:      10 * time.Millisecond,
+			RetryAfterCap: 50 * time.Millisecond,
+			Seed:          seed,
+		},
+		HedgeDelay: 5 * time.Millisecond,
+	}
+
+	// Mixed client traffic: concurrent compress and decompress calls,
+	// every accepted answer checked against the library reference.
+	const workersN, perWorker = 4, 8
+	type tally struct{ ok, exhausted int }
+	results := make(chan tally, workersN)
+	errs := make(chan error, workersN*perWorker)
+	for w := 0; w < workersN; w++ {
+		go func(w int) {
+			var tl tally
+			ctx := context.Background()
+			for i := 0; i < perWorker; i++ {
+				if (w+i)%2 == 0 {
+					comp, err := cl.Compress(ctx, raw, dims,
+						client.CompressOptions{TVENines: 2, Workers: 2})
+					if err != nil {
+						if client.IsTemporary(err) {
+							tl.exhausted++ // retry budget ran out under the storm
+							continue
+						}
+						errs <- err
+						continue
+					}
+					if !bytes.Equal(comp.Data, refStream) {
+						errs <- errors.New("SILENT CORRUPTION: accepted compress differs from reference")
+						continue
+					}
+					tl.ok++
+				} else {
+					back, gotDims, err := cl.Decompress(ctx, refStream, 2)
+					if err != nil {
+						if client.IsTemporary(err) {
+							tl.exhausted++
+							continue
+						}
+						errs <- err
+						continue
+					}
+					if len(gotDims) != len(dims) || !bytes.Equal(back, refRaw) {
+						errs <- errors.New("SILENT CORRUPTION: accepted decompress differs from reference")
+						continue
+					}
+					tl.ok++
+				}
+			}
+			results <- tl
+		}(w)
+	}
+
+	// Concurrent durable archive writes against a faulty filesystem.
+	archDone := make(chan error, 1)
+	go func() { archDone <- chaosArchive(seed) }()
+
+	var total tally
+	for w := 0; w < workersN; w++ {
+		tl := <-results
+		total.ok += tl.ok
+		total.exhausted += tl.exhausted
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if total.ok == 0 {
+		t.Fatalf("seed %d: no request survived the storm (%d exhausted) — fault rates too hot to test anything", seed, total.exhausted)
+	}
+	if err := <-archDone; err != nil {
+		t.Errorf("seed %d: archive chaos: %v", seed, err)
+	}
+
+	st := cl.Stats()
+	t.Logf("seed %d: %d ok, %d retry-budget exhausted; client stats %+v",
+		seed, total.ok, total.exhausted, st)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("seed %d: drain under chaos: %v", seed, err)
+	}
+}
+
+// chaosArchive drives a DurableWriter through a fault-injecting
+// filesystem, retrying failed operations, then proves recovery: every
+// committed append must come back byte-identical. A second pass adds bit
+// corruption and only demands that recovery never serves wrong bytes.
+func chaosArchive(seed uint64) error {
+	entries := map[string][]byte{
+		"fldsc": bytes.Repeat([]byte{0xAB, 0x00, 0x31}, 120),
+		"phis":  bytes.Repeat([]byte("climate"), 33),
+		"t850":  {},
+		"u500":  bytes.Repeat([]byte{0x7F}, 257),
+	}
+	order := []string{"fldsc", "phis", "t850", "u500"}
+
+	run := func(plan fault.Plan, wantComplete bool) error {
+		mem := fault.NewMemFS()
+		fsys := fault.New(plan).Stream("archive-fs").WrapFS(mem)
+
+		var dw *archive.DurableWriter
+		var err error
+		for try := 0; try < 50; try++ {
+			if dw, err = archive.NewDurableWriter(fsys, "chaos.dpza"); err == nil {
+				break
+			}
+			_ = fsys.Remove("chaos.dpza") // half-created file blocks CreateExcl
+		}
+		if err != nil {
+			return errors.New("could not create durable writer in 50 tries")
+		}
+		committed := map[string]bool{}
+		for _, name := range order {
+			var aerr error
+			for try := 0; try < 50; try++ {
+				if aerr = dw.Append(name, entries[name]); aerr == nil {
+					break
+				}
+				if errors.Is(aerr, archive.ErrBroken) {
+					return aerr // MemFS truncate never faults; this must not happen
+				}
+			}
+			if aerr == nil {
+				committed[name] = true
+			}
+		}
+		_ = dw.Close() // a failed Close still leaves every commit recoverable
+
+		rd, f, err := archive.RecoverDurableFile(mem, "chaos.dpza")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		got := map[string]bool{}
+		for _, name := range rd.Names() {
+			want, known := entries[name]
+			if !known {
+				return errors.New("recovered unknown entry " + name)
+			}
+			p, err := rd.Payload(name)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(p, want) {
+				return errors.New("CORRUPT ARCHIVE: recovered payload differs for " + name)
+			}
+			got[name] = true
+		}
+		if wantComplete {
+			for name := range committed {
+				if !got[name] {
+					return errors.New("committed append lost: " + name)
+				}
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: torn writes, write/sync errors — committed appends must all
+	// survive, byte-identical.
+	if err := run(fault.Plan{
+		Seed: seed, TornWrite: 0.1, WriteErr: 0.1, SyncErr: 0.1,
+	}, true); err != nil {
+		return err
+	}
+	// Pass 2: add silent bit corruption — completeness is impossible to
+	// promise, serving wrong bytes is still forbidden (CRC must catch it).
+	return run(fault.Plan{
+		Seed: seed + 1, TornWrite: 0.05, WriteErr: 0.05, CorruptWrite: 0.15,
+	}, false)
+}
+
+// waitForGoroutines polls until the goroutine count returns to the
+// pre-soak baseline (plus scheduling slack) or a generous deadline
+// passes — the leak detector for the whole soak.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
+
+	"dpz/internal/metrics"
 )
 
 // ErrSaturated is returned by admit when the server is at capacity: every
@@ -35,6 +38,7 @@ type job struct {
 //   - release frees the admission slot after the handler is done with the
 //     result.
 type scheduler struct {
+	pool   int
 	tokens chan struct{} // admission capacity: pool + queue depth
 	queue  chan *job
 	wg     sync.WaitGroup // pool workers
@@ -43,6 +47,11 @@ type scheduler struct {
 	closed    bool
 	queueStop sync.Once      // closes queue exactly once across drains
 	pending   sync.WaitGroup // admitted-but-not-released requests
+
+	// svcEWMA tracks the exponentially weighted per-job service time
+	// (α = 1/4), feeding the load-proportional Retry-After hint.
+	svcMu   sync.Mutex
+	svcEWMA time.Duration
 }
 
 // newScheduler starts a pool of `pool` workers with `depth` queue slots
@@ -55,6 +64,7 @@ func newScheduler(pool, depth int) *scheduler {
 		depth = 0
 	}
 	s := &scheduler{
+		pool:   pool,
 		tokens: make(chan struct{}, pool+depth),
 		queue:  make(chan *job, pool+depth),
 	}
@@ -69,10 +79,34 @@ func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		if j.ctx.Err() == nil {
+			start := metrics.Now()
 			j.run(j.ctx)
+			s.observe(metrics.Since(start))
 		}
 		close(j.done)
 	}
+}
+
+// observe folds one job's service time into the EWMA.
+func (s *scheduler) observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.svcMu.Lock()
+	if s.svcEWMA == 0 {
+		s.svcEWMA = d
+	} else {
+		s.svcEWMA += (d - s.svcEWMA) / 4
+	}
+	s.svcMu.Unlock()
+}
+
+// serviceTime returns the current per-job service-time estimate (0 until
+// the first job completes).
+func (s *scheduler) serviceTime() time.Duration {
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	return s.svcEWMA
 }
 
 // admit reserves one capacity slot. It fails immediately — never blocks —

@@ -21,8 +21,15 @@
 // Load shedding: each request must win an admission slot before its body
 // is read. Capacity is Jobs (concurrently executing) + QueueDepth
 // (admitted and waiting); beyond that the server answers 429 with a
-// Retry-After hint instead of buffering without bound. Cancelled or
-// timed-out requests stop compressing at the next pipeline checkpoint.
+// Retry-After hint instead of buffering without bound. The hint is
+// load-proportional — observed per-job service time times the queue
+// ahead, divided across the pool, clamped to [1s, 60s] — so clients back
+// off in step with actual congestion. Cancelled or timed-out requests
+// stop compressing at the next pipeline checkpoint.
+//
+// Fault isolation: a panic anywhere in a request — handler or worker
+// pool — is recovered, answered with a 500, and counted in
+// dpzd_panics_total; one poisoned request never takes down the daemon.
 package server
 
 import (
@@ -121,6 +128,7 @@ type Server struct {
 	queueDepth *metrics.Gauge
 	shed       *metrics.Counter
 	canceled   *metrics.Counter
+	panics     *metrics.Counter
 
 	// basisCache is the daemon-wide PCA basis cache shared by requests
 	// that enable the basis-reuse knob; nil when disabled by config.
@@ -160,6 +168,7 @@ func New(cfg Config) *Server {
 		queueDepth:   reg.Gauge("dpzd_admitted", "requests holding admission slots (executing or queued)"),
 		shed:         reg.Counter("dpzd_shed_total", "requests rejected with 429 at admission"),
 		canceled:     reg.Counter("dpzd_canceled_total", "requests cancelled or timed out before completing"),
+		panics:       reg.Counter("dpzd_panics_total", "request handlers recovered from a panic"),
 		basisAccept:  reg.Counter("dpzd_basis_accept_total", "compressions that adopted a cached PCA basis after the quality guard"),
 		basisRefine:  reg.Counter("dpzd_basis_refine_total", "compressions that warm-started the eigensolve from a cached basis"),
 		basisCold:    reg.Counter("dpzd_basis_cold_total", "basis-reuse compressions that fitted cold (no usable candidate)"),
@@ -262,7 +271,20 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		start := time.Now()
 		s.inFlight.Inc()
 		rec := &statusRecorder{ResponseWriter: w}
-		next.ServeHTTP(rec, r)
+		func() {
+			// Per-request panic isolation: a handler panic becomes a 500 for
+			// this request instead of killing the daemon. Panics on worker
+			// goroutines are caught separately inside runJob.
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Inc()
+					if rec.code == 0 {
+						http.Error(rec, "internal error", http.StatusInternalServerError)
+					}
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		}()
 		s.inFlight.Dec()
 		if rec.code == 0 {
 			rec.code = http.StatusOK
@@ -371,9 +393,25 @@ func (s *Server) countBasisDecisions(sts ...dpz.Stats) {
 
 // jobOutput is what a scheduled job hands back to its handler.
 type jobOutput struct {
-	body   []byte
-	header map[string]string
-	err    error
+	body     []byte
+	header   map[string]string
+	err      error
+	panicked bool // the job died in a recovered panic; answer 500, not 400
+}
+
+// retryAfterSeconds estimates how long a shed client should wait before
+// retrying: the observed per-job service time times the number of
+// admitted requests ahead of it, divided across the worker pool, clamped
+// to [1s, 60s]. Before the first job completes (no estimate yet) it
+// falls back to 1s.
+func (s *Server) retryAfterSeconds() int {
+	svc := s.sched.serviceTime()
+	if svc <= 0 {
+		return 1
+	}
+	wait := float64(svc) * float64(s.sched.queued()+1) / float64(s.sched.pool)
+	secs := int(math.Ceil(time.Duration(wait).Seconds()))
+	return min(max(secs, 1), 60)
 }
 
 // runJob admits the request, reads its body, executes fn on the worker
@@ -384,7 +422,7 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
 	fn func(ctx context.Context, body []byte) jobOutput) {
 	if err := s.sched.admit(); err != nil {
 		s.shed.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
 		return
 	}
@@ -421,6 +459,16 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
 		ctx:  ctx,
 		done: make(chan struct{}),
 		run: func(ctx context.Context) {
+			// A panic in the compression pipeline must cost one request, not
+			// the worker goroutine (an unrecovered panic there would kill the
+			// whole daemon).
+			defer func() {
+				if p := recover(); p != nil {
+					s.panics.Inc()
+					out = jobOutput{panicked: true,
+						err: fmt.Errorf("internal error: %v", p)}
+				}
+			}()
 			if s.testJobStart != nil {
 				s.testJobStart(route, ctx)
 			}
@@ -437,6 +485,10 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
 		s.canceled.Inc()
 		http.Error(w, "request cancelled or timed out: "+ctx.Err().Error(),
 			http.StatusServiceUnavailable)
+		return
+	}
+	if out.panicked {
+		http.Error(w, out.err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if out.err != nil {

@@ -615,3 +615,114 @@ func TestBasisCacheDisabled(t *testing.T) {
 		t.Fatal("cache-disabled stream differs from reuse-off stream")
 	}
 }
+
+// TestPanicIsolation: a panic inside a scheduled job costs that request
+// a 500, ticks dpzd_panics_total, and leaves the worker alive to serve
+// the next request.
+func TestPanicIsolation(t *testing.T) {
+	srv := New(Config{Jobs: 1})
+	boom := true
+	srv.testJobStart = func(string, context.Context) {
+		if boom {
+			boom = false
+			panic("synthetic job panic")
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(16, 16)
+	r := post(t, ts.URL+"/v1/compress?dims=16x16", raw)
+	if r.code != http.StatusInternalServerError {
+		t.Fatalf("panicked request status %d, want 500 (body: %s)", r.code, r.body)
+	}
+	if got := srv.Metrics().Counter("dpzd_panics_total", "").Value(); got != 1 {
+		t.Fatalf("dpzd_panics_total = %d, want 1", got)
+	}
+	// The single worker survived the panic: the next request succeeds.
+	if r := post(t, ts.URL+"/v1/compress?dims=16x16", raw); r.code != http.StatusOK {
+		t.Fatalf("post-panic request status %d: %s", r.code, r.body)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestHandlerPanicIsolation: a panic on the handler goroutine itself
+// (outside the worker pool) is recovered by the instrument middleware.
+func TestHandlerPanicIsolation(t *testing.T) {
+	srv := New(Config{Jobs: 1})
+	srv.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("synthetic handler panic")
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	r, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Body.Close()
+	if r.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", r.StatusCode)
+	}
+	if got := srv.Metrics().Counter("dpzd_panics_total", "").Value(); got != 1 {
+		t.Fatalf("dpzd_panics_total = %d, want 1", got)
+	}
+	// The daemon still serves.
+	if r := post(t, ts.URL+"/v1/stat", nil); r.code != http.StatusBadRequest {
+		t.Fatalf("post-panic stat status %d, want plain 400", r.code)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestRetryAfterLoadProportional: the 429 hint scales with observed
+// service time and queue depth, clamped to [1, 60] seconds.
+func TestRetryAfterLoadProportional(t *testing.T) {
+	srv := New(Config{Jobs: 1, QueueDepth: -1})
+	// No completed jobs yet: conservative 1s fallback.
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold retryAfterSeconds = %d, want 1", got)
+	}
+	// Pool of 1, ~2s per job, no queue: one admitted request ahead means
+	// a ~4s wait for the (queued+1)=2 jobs at 2s each.
+	srv.sched.observe(2 * time.Second)
+	if err := srv.sched.admit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.retryAfterSeconds(); got != 4 {
+		t.Fatalf("retryAfterSeconds = %d, want 4 (2s EWMA x 2 jobs / pool 1)", got)
+	}
+	srv.sched.release()
+	// Clamp: pathological service times never hint more than 60s.
+	srv.sched.observe(time.Hour)
+	if got := srv.retryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped retryAfterSeconds = %d, want 60", got)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestServiceTimeEWMA: the estimate follows observations with alpha=1/4.
+func TestServiceTimeEWMA(t *testing.T) {
+	s := newScheduler(1, 0)
+	defer func() {
+		if err := s.drain(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if got := s.serviceTime(); got != 0 {
+		t.Fatalf("initial estimate %v, want 0", got)
+	}
+	s.observe(4 * time.Second)
+	if got := s.serviceTime(); got != 4*time.Second {
+		t.Fatalf("first observation %v, want 4s (seeds the EWMA)", got)
+	}
+	s.observe(8 * time.Second)
+	if got := s.serviceTime(); got != 5*time.Second {
+		t.Fatalf("EWMA %v, want 5s (4 + (8-4)/4)", got)
+	}
+}
