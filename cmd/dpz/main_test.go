@@ -34,7 +34,7 @@ func TestParseDims(t *testing.T) {
 }
 
 func TestBuildOptions(t *testing.T) {
-	o, err := buildOptions("loose", "knee", 4, "polyn", true, false, 3, 6)
+	o, err := buildOptions("loose", "knee", 4, "polyn", "sketch", true, false, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,21 +53,27 @@ func TestBuildOptions(t *testing.T) {
 	if o.TVE != dpz.Nines(4) {
 		t.Fatalf("TVE = %v", o.TVE)
 	}
+	if !o.SketchPCA {
+		t.Fatalf("pca engine sketch not threaded: %+v", o)
+	}
 
-	if _, err := buildOptions("medium", "tve", 5, "1d", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("medium", "tve", 5, "1d", "exact", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown scheme")
 	}
-	if _, err := buildOptions("strict", "best", 5, "1d", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "best", 5, "1d", "exact", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown selection")
 	}
-	if _, err := buildOptions("strict", "tve", 0, "1d", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "tve", 0, "1d", "exact", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for zero nines")
 	}
-	if _, err := buildOptions("strict", "tve", 5, "cubic", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "tve", 5, "cubic", "exact", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown fit")
 	}
-	if _, err := buildOptions("strict", "tve", 5, "1d", false, false, 0, 10); err == nil {
+	if _, err := buildOptions("strict", "tve", 5, "1d", "exact", false, false, 0, 10); err == nil {
 		t.Fatal("expected error for out-of-range zlevel")
+	}
+	if _, err := buildOptions("strict", "tve", 5, "1d", "magic", false, false, 0, 0); err == nil {
+		t.Fatal("expected error for unknown pca engine")
 	}
 }
 

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The -baseline regression gate: compare a fresh perf report against a
+// recorded BENCH_<rev>.json and fail (non-zero exit) when any matching
+// record slowed down by more than -max-regress percent. The gate compares
+// the benchmark's ns/op and, when both reports carry a stage breakdown,
+// each per-stage wall time — so a regression hiding inside one stage
+// (the PCA wall this suite exists to watch) trips the gate even when the
+// other stages mask it in the total.
+
+// gateStageFloorNs is the baseline stage time below which a stage is not
+// gated: percentage deltas of sub-50ms stages are clock noise, not
+// regressions.
+const gateStageFloorNs = 50_000_000
+
+// gateDelta is one gated comparison's outcome.
+type gateDelta struct {
+	Name    string  // "<record> w<workers> <metric>"
+	Old     int64   // baseline nanoseconds
+	New     int64   // current nanoseconds
+	Percent float64 // (new-old)/old * 100
+}
+
+// loadBaseline reads a previously written BENCH_<rev>.json.
+func loadBaseline(path string) (*perfReport, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep perfReport
+	if err := json.Unmarshal(doc, &rep); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareBaseline gates report against the baseline at path: every
+// record present in both (matched by name + workers) must not have
+// slowed by more than maxRegress percent, on ns/op or on any sufficiently
+// large stage. Faster-or-equal records pass silently; missing records on
+// either side are ignored (suites grow across revisions). The returned
+// error lists every offender.
+func compareBaseline(path string, report perfReport, maxRegress float64, out io.Writer) error {
+	base, err := loadBaseline(path)
+	if err != nil {
+		return err
+	}
+	deltas := gateDeltas(base, &report)
+	var offenders []gateDelta
+	for _, d := range deltas {
+		status := "ok"
+		if d.Percent > maxRegress {
+			status = "REGRESSION"
+			offenders = append(offenders, d)
+		}
+		fmt.Fprintf(out, "gate %-40s %12d -> %12d ns  %+7.1f%%  %s\n",
+			d.Name, d.Old, d.New, d.Percent, status)
+	}
+	if len(offenders) > 0 {
+		return fmt.Errorf("%d record(s) regressed beyond %.1f%% vs %s (worst: %s %+.1f%%)",
+			len(offenders), maxRegress, path, offenders[0].Name, offenders[0].Percent)
+	}
+	fmt.Fprintf(out, "gate: %d comparison(s) within %.1f%% of %s\n", len(deltas), maxRegress, path)
+	return nil
+}
+
+// gateDeltas pairs up records by (name, workers) and emits one delta per
+// comparable metric, sorted by descending regression so the worst
+// offender leads error messages.
+func gateDeltas(base, cur *perfReport) []gateDelta {
+	type key struct {
+		name    string
+		workers int
+	}
+	old := make(map[key]perfRecord, len(base.Records))
+	for _, r := range base.Records {
+		old[key{r.Name, r.Workers}] = r
+	}
+	var deltas []gateDelta
+	push := func(name string, o, n int64) {
+		if o <= 0 || n < 0 {
+			return
+		}
+		deltas = append(deltas, gateDelta{
+			Name:    name,
+			Old:     o,
+			New:     n,
+			Percent: 100 * float64(n-o) / float64(o),
+		})
+	}
+	for _, r := range cur.Records {
+		b, ok := old[key{r.Name, r.Workers}]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("%s w%d", r.Name, r.Workers)
+		push(id+" ns/op", b.NsPerOp, r.NsPerOp)
+		if b.StageNs == nil || r.StageNs == nil {
+			continue
+		}
+		stages := []struct {
+			label    string
+			old, new int64
+		}{
+			{"decompose", b.StageNs.Decompose, r.StageNs.Decompose},
+			{"dct", b.StageNs.DCT, r.StageNs.DCT},
+			{"pca", b.StageNs.PCA, r.StageNs.PCA},
+			{"quant", b.StageNs.Quant, r.StageNs.Quant},
+			{"zlib", b.StageNs.Zlib, r.StageNs.Zlib},
+			{"total", b.StageNs.Total, r.StageNs.Total},
+		}
+		for _, st := range stages {
+			if st.old < gateStageFloorNs {
+				continue
+			}
+			push(id+" stage "+st.label, st.old, st.new)
+		}
+	}
+	sort.SliceStable(deltas, func(i, j int) bool { return deltas[i].Percent > deltas[j].Percent })
+	return deltas
+}

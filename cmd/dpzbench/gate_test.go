@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir string, rep perfReport) string {
+	t.Helper()
+	doc, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_base.json")
+	if err := os.WriteFile(path, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchRecord(name string, workers int, ns int64, stages *stageNs) perfRecord {
+	return perfRecord{Name: name, Workers: workers, NsPerOp: ns, StageNs: stages}
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	base := perfReport{Records: []perfRecord{
+		benchRecord("compress", 1, 1_000_000_000, &stageNs{PCA: 700_000_000, Total: 1_000_000_000}),
+	}}
+	cur := perfReport{Records: []perfRecord{
+		benchRecord("compress", 1, 1_050_000_000, &stageNs{PCA: 730_000_000, Total: 1_050_000_000}),
+	}}
+	path := writeReport(t, t.TempDir(), base)
+	if err := compareBaseline(path, cur, 10, io.Discard); err != nil {
+		t.Fatalf("5%% slowdown under a 10%% budget must pass: %v", err)
+	}
+}
+
+func TestGateFailsOnNsPerOpRegression(t *testing.T) {
+	base := perfReport{Records: []perfRecord{benchRecord("compress", 1, 1_000_000_000, nil)}}
+	cur := perfReport{Records: []perfRecord{benchRecord("compress", 1, 1_300_000_000, nil)}}
+	path := writeReport(t, t.TempDir(), base)
+	err := compareBaseline(path, cur, 10, io.Discard)
+	if err == nil {
+		t.Fatal("30% ns/op regression must fail a 10% gate")
+	}
+	if !strings.Contains(err.Error(), "compress w1 ns/op") {
+		t.Fatalf("error should name the offender, got: %v", err)
+	}
+}
+
+func TestGateFailsOnStageRegression(t *testing.T) {
+	// ns/op flat, but the pca stage blew up — the exact regression shape
+	// the gate exists for.
+	base := perfReport{Records: []perfRecord{
+		benchRecord("compress", 1, 1_000_000_000, &stageNs{PCA: 500_000_000, Total: 1_000_000_000}),
+	}}
+	cur := perfReport{Records: []perfRecord{
+		benchRecord("compress", 1, 1_000_000_000, &stageNs{PCA: 900_000_000, Total: 1_000_000_000}),
+	}}
+	path := writeReport(t, t.TempDir(), base)
+	err := compareBaseline(path, cur, 10, io.Discard)
+	if err == nil {
+		t.Fatal("80% pca-stage regression must fail a 10% gate")
+	}
+	if !strings.Contains(err.Error(), "stage pca") {
+		t.Fatalf("error should name the pca stage, got: %v", err)
+	}
+}
+
+func TestGateIgnoresNoiseStagesAndNewRecords(t *testing.T) {
+	base := perfReport{Records: []perfRecord{
+		// decompose is below the 50ms floor: tripling it is clock noise.
+		benchRecord("compress", 1, 1_000_000_000, &stageNs{Decompose: 1_000_000, Total: 1_000_000_000}),
+	}}
+	cur := perfReport{Records: []perfRecord{
+		benchRecord("compress", 1, 1_000_000_000, &stageNs{Decompose: 3_000_000, Total: 1_000_000_000}),
+		benchRecord("compress-lowrank-sketch", 1, 900_000_000, nil), // new in this revision
+	}}
+	path := writeReport(t, t.TempDir(), base)
+	if err := compareBaseline(path, cur, 10, io.Discard); err != nil {
+		t.Fatalf("sub-floor stages and unmatched records must not gate: %v", err)
+	}
+}
+
+func TestGateWorstOffenderSortsFirst(t *testing.T) {
+	base := &perfReport{Records: []perfRecord{
+		benchRecord("a", 1, 1_000, nil),
+		benchRecord("b", 1, 1_000, nil),
+	}}
+	cur := &perfReport{Records: []perfRecord{
+		benchRecord("a", 1, 1_100, nil),
+		benchRecord("b", 1, 2_000, nil),
+	}}
+	deltas := gateDeltas(base, cur)
+	if len(deltas) != 2 || deltas[0].Name != "b w1 ns/op" {
+		t.Fatalf("worst offender must sort first, got %+v", deltas)
+	}
+}
+
+func TestGateMissingBaselineFile(t *testing.T) {
+	err := compareBaseline(filepath.Join(t.TempDir(), "nope.json"), perfReport{}, 10, io.Discard)
+	if err == nil {
+		t.Fatal("missing baseline file must error")
+	}
+}

@@ -8,6 +8,7 @@
 //	dpzbench -exp fig6 -scale 0.1
 //	dpzbench -exp all -scale 0.08 -artifacts out/
 //	dpzbench -json -scale 1 -cpuprofile cpu.pprof
+//	dpzbench -json -scale 1 -baseline BENCH_<rev>.json -max-regress 10
 //	dpzbench -server http://localhost:8640 -requests 32 -conc 4
 package main
 
@@ -31,6 +32,9 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		jsonOut    = flag.Bool("json", false, "run the perf suite instead of experiments; write BENCH_<rev>.json")
 		note       = flag.String("note", "", "free-form note recorded in the -json report")
+		baseline   = flag.String("baseline", "", "with -json: gate the run against this BENCH_<rev>.json; exit non-zero on regression")
+		maxRegress = flag.Float64("max-regress", 10, "with -baseline: allowed slowdown percent per record/stage")
+		forceWork  = flag.Bool("force-workers", false, "with -json: keep worker counts above NumCPU in the sweep (skipped by default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		server     = flag.String("server", "", "smoke-benchmark a running dpzd at this base URL instead of running experiments")
@@ -90,7 +94,7 @@ func main() {
 		if *note != "" {
 			notes = append(notes, *note)
 		}
-		if err := runPerfSuite(*scale, ws, notes, os.Stdout); err != nil {
+		if err := runPerfSuite(*scale, ws, notes, *baseline, *maxRegress, *forceWork, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
 			os.Exit(1)
 		}

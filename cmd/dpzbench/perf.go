@@ -46,6 +46,9 @@ type perfRecord struct {
 	// BasisDecisions counts the reuse decisions of the representative run
 	// for basis-reuse records.
 	BasisDecisions map[string]int `json:"basis_decisions,omitempty"`
+	// SketchDecision reports the sketch engine's path on the representative
+	// run for -pca=sketch records (accept/refine/fallback).
+	SketchDecision string `json:"sketch_decision,omitempty"`
 }
 
 // stageNs is a per-stage nanosecond breakdown (Figure 9's categories).
@@ -136,10 +139,34 @@ func record(name string, workers int, r testing.BenchmarkResult) perfRecord {
 }
 
 // runPerfSuite measures the three pipeline entry points at each worker
-// count and writes BENCH_<rev>.json in the current directory.
-func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) error {
+// count and writes BENCH_<rev>.json in the current directory. When
+// baseline names a previous report, the new numbers are gated against it
+// (see compareBaseline) and a regression beyond maxRegress percent is an
+// error. forceWorkers keeps worker counts above NumCPU in the sweep; by
+// default they are skipped (on a small host they only measure scheduler
+// overhead, and their records then pollute cross-revision comparisons).
+func runPerfSuite(scale float64, workers []int, notes []string, baseline string, maxRegress float64, forceWorkers bool, out io.Writer) error {
 	if len(workers) == 0 {
 		workers = perfWorkers
+	}
+	if !forceWorkers {
+		kept := workers[:0]
+		var skipped []int
+		for _, w := range workers {
+			if w > runtime.NumCPU() {
+				skipped = append(skipped, w)
+				continue
+			}
+			kept = append(kept, w)
+		}
+		if len(kept) == 0 {
+			kept = append(kept, runtime.NumCPU())
+		}
+		if len(skipped) > 0 {
+			notes = append(notes, fmt.Sprintf(
+				"skipped worker counts %v above NumCPU=%d (-force-workers includes them)", skipped, runtime.NumCPU()))
+		}
+		workers = kept
 	}
 	f := perfField(scale)
 	rawBytes := int64(4 * f.Len())
@@ -171,6 +198,45 @@ func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) e
 			return err
 		}
 		rec.StageNs = stagesOf(probe.Stats)
+	}
+
+	// Sketch-engine records. compress-sketch is the same flat-spectrum
+	// CLDHGH field (the sketch pilot must detect flatness and fall back at
+	// small cost); compress-lowrank/compress-lowrank-sketch measure the
+	// k ≪ M regime the sketch targets on a PHIS field of the same size,
+	// where the guarded accept skips both the covariance build and the
+	// dense eigensolve.
+	lf := dataset.CESM("PHIS", f.Dims[0], f.Dims[1], 2001)
+	for _, cfg := range []struct {
+		name   string
+		field  *dataset.Field
+		sketch bool
+	}{
+		{"compress-sketch", f, true},
+		{"compress-lowrank", lf, false},
+		{"compress-lowrank-sketch", lf, true},
+	} {
+		for _, w := range workers {
+			o := dpz.LooseOptions()
+			o.Workers = w
+			o.SketchPCA = cfg.sketch
+			data, dims := cfg.field.Data, cfg.field.Dims
+			rec := add(cfg.name, w, testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(rawBytes)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := dpz.CompressFloat64(data, dims, o); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			probe, err := dpz.CompressFloat64(data, dims, o)
+			if err != nil {
+				return err
+			}
+			rec.StageNs = stagesOf(probe.Stats)
+			rec.SketchDecision = probe.Stats.SketchDecision
+		}
 	}
 
 	res, err := dpz.CompressFloat64(f.Data, f.Dims, dpz.LooseOptions())
@@ -357,5 +423,8 @@ func runPerfSuite(scale float64, workers []int, notes []string, out io.Writer) e
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", name)
+	if baseline != "" {
+		return compareBaseline(baseline, report, maxRegress, out)
+	}
 	return nil
 }

@@ -131,6 +131,14 @@ type Options struct {
 	// ZLevel sets the zlib add-on compression level, 1 (fastest) to 9
 	// (best). 0 keeps zlib's default, matching previous releases.
 	ZLevel int
+	// SketchPCA replaces Stage 2's cold covariance-eigensolve with a
+	// seeded randomized-sketch fast path when the fit targets a TVE
+	// threshold or a sampled k. The sketched basis is only adopted after
+	// an exact full-data variance measurement proves it meets the target,
+	// so the accuracy contract is identical to the exact path; fits the
+	// sketch cannot serve (knee-point selection needs the full spectrum)
+	// fall back to the exact solver automatically.
+	SketchPCA bool
 	// BasisReuse lets compressions of similar tiles reuse (or warm-start
 	// from) an earlier tile's PCA basis instead of refitting from
 	// scratch. A reused basis must first pass a quality guard proving it
@@ -194,6 +202,7 @@ func (o Options) toCore() core.Params {
 		DCT2D:              o.Use2DDCT,
 		CoeffTruncate:      o.CoeffTruncate,
 		ZLevel:             o.ZLevel,
+		SketchPCA:          o.SketchPCA,
 		Sampling: sampling.Params{
 			S:  o.SamplingSubsets,
 			T:  o.SamplingPick,
@@ -263,6 +272,13 @@ type Stats struct {
 	// eigensolve). Empty when basis reuse was off for this compression.
 	BasisDecision string
 
+	// SketchDecision reports which path the sketch fast path took:
+	// "accept" (sketched basis passed the exact guard), "refine" (sketch
+	// warm-started the exact eigensolve), or "fallback" (the selected fit
+	// could not use a sketch and ran exactly). Empty when SketchPCA was
+	// off for this compression.
+	SketchDecision string
+
 	// Sampling holds the Algorithm 2 report when UseSampling was set.
 	Sampling *Estimate
 }
@@ -314,6 +330,9 @@ func fromCoreStats(s core.Stats) Stats {
 	}
 	if s.BasisDecision != pca.ReuseOff {
 		out.BasisDecision = s.BasisDecision.String()
+	}
+	if s.SketchDecision != pca.SketchOff {
+		out.SketchDecision = s.SketchDecision.String()
 	}
 	if s.Sampling != nil {
 		out.Sampling = &Estimate{

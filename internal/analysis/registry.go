@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		FloatEq,
 		MutexIO,
 		ScratchPair,
+		SeedRand,
 		WallTime,
 		WrapCheck,
 	}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedRand flags draws from math/rand's package-level (global) source
+// inside the deterministic kernel packages — internal/eigen,
+// internal/mat, internal/pca and the rest of the pipeline under
+// internal/. Since Go 1.20 the global source is seeded randomly at
+// program start, so rand.Float64()/rand.Intn(...) and friends produce
+// different sequences on every run: a sketch, test-vector draw or
+// subsample built on them silently breaks the repo's byte-identical
+// reproducibility contract. Randomness in kernel code must flow through
+// an explicitly seeded generator (rand.New(rand.NewSource(seed))), where
+// the seed is threaded from the caller and recorded in the stream.
+//
+// Methods on a *rand.Rand are fine — constructing one forces the seed
+// decision to a visible call site. Constructors (rand.New,
+// rand.NewSource, rand.NewZipf) are likewise fine. The global-source
+// rand.Seed is flagged too: it mutates shared state and has been
+// deprecated since Go 1.20.
+var SeedRand = &Analyzer{
+	Name: "seedrand",
+	Doc:  "global math/rand draw in a deterministic kernel package; use rand.New(rand.NewSource(seed))",
+	Run:  runSeedRand,
+}
+
+// seedRandExempt are internal packages allowed to use the global source
+// (none of the pipeline is; the serving and harness layers keep the same
+// exemptions as walltime for symmetry, though none currently draw).
+var seedRandExempt = [...]string{
+	"internal/metrics",
+	"internal/server",
+	"internal/compare",
+	"internal/experiments",
+}
+
+// seedRandPkgs are the math/rand package paths whose global-source
+// functions are flagged.
+var seedRandPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// seedRandAllowed are package-level functions that do not draw from the
+// global source: explicit-source constructors.
+var seedRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runSeedRand(pass *Pass) {
+	path := pass.Pkg.ImportPath
+	if !pathContainsSegment(path, "internal") {
+		return
+	}
+	for _, exempt := range seedRandExempt {
+		if pathMatches(path, exempt) {
+			return
+		}
+	}
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || !seedRandPkgs[pkgPathOf(fn)] || seedRandAllowed[fn.Name()] {
+				return true
+			}
+			// Methods (e.g. (*rand.Rand).Float64) hang off an explicitly
+			// constructed source; only package-level functions hit the
+			// global one.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(), "rand.%s draws from math/rand's global source in a deterministic kernel package; thread a seed and use rand.New(rand.NewSource(seed))", fn.Name())
+			return true
+		})
+	}
+}

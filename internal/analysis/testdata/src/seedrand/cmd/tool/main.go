@@ -1,0 +1,12 @@
+// Command tool shows the analyzer's scope: binaries outside internal/
+// may use the global source (interactive jitter, load generation).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Intn(10)) // ok: not a kernel package
+}

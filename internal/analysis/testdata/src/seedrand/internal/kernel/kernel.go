@@ -1,0 +1,36 @@
+// Package kernel is a golden-test stand-in for a deterministic pipeline
+// package: draws from math/rand's global source are flagged here.
+package kernel
+
+import "math/rand"
+
+func gaussian() float64 {
+	return rand.NormFloat64() // want `rand\.NormFloat64 draws from math/rand's global source`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from math/rand's global source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from math/rand's global source`
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want `rand\.Seed draws from math/rand's global source`
+}
+
+func seeded(seed int64, n int) []float64 {
+	// ok: explicit source, seed decided at a visible call site.
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func sampled(rng *rand.Rand, n int) []int {
+	// ok: method draws on a caller-constructed generator.
+	return rng.Perm(n)
+}

@@ -47,6 +47,11 @@ type Stats struct {
 	// Stage 2 (ReuseOff when Params.Basis was nil).
 	BasisDecision pca.ReuseDecision
 
+	// SketchDecision reports which path the sketch fast path took for
+	// Stage 2 (SketchOff when Params.SketchPCA was false, SketchFallback
+	// when it was requested but the selected fit cannot use it).
+	SketchDecision pca.SketchDecision
+
 	TimeDecompose time.Duration
 	TimeDCT       time.Duration
 	TimePCA       time.Duration
@@ -189,20 +194,23 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 		// Fit the truncated basis on the sampled rows only (Algorithm 2's
 		// Stage 2 saving), then project the full data below.
 		sub := sampleRows(x, sp)
-		popts := pca.Options{Standardize: standardize, Workers: p.Workers}
-		if ex := p.Basis; ex != nil {
-			// Reuse-aware path: the guard can only verify a candidate
-			// against an explicit TVE target, so knee-selected k keeps
-			// the warm refine but never accepts outright.
-			target := 0.0
-			if p.Selection == TVEThreshold {
-				target = sp.TVE
-			}
+		popts := pca.Options{Standardize: standardize, Workers: p.Workers, Sketch: p.SketchPCA}
+		// The guard can only verify a candidate against an explicit TVE
+		// target, so knee-selected k keeps the warm refine but never
+		// accepts outright (for basis reuse and sketch alike).
+		target := 0.0
+		if p.Selection == TVEThreshold {
+			target = sp.TVE
+		}
+		switch {
+		case p.Basis != nil:
 			var dec pca.ReuseDecision
-			model, dec, err = pca.FitKReuse(sub, k, target, popts, seed, ex.Candidate)
-			ex.Decision = dec
+			model, dec, err = pca.FitKReuse(sub, k, target, popts, seed, p.Basis.Candidate)
+			p.Basis.Decision = dec
 			st.BasisDecision = dec
-		} else {
+		case p.SketchPCA:
+			model, st.SketchDecision, err = pca.FitKSketch(sub, k, target, popts, seed)
+		default:
 			model, err = pca.FitK(sub, k, popts, seed)
 		}
 		if err != nil {
@@ -211,7 +219,17 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	default:
 		standardize := p.Standardize == StandardizeOn
 		if p.Standardize == StandardizeAuto {
-			if vif, err := sampling.VIF(x, 0.01, 0, seed); err == nil {
+			// The full-feature VIF probe inverts an M×M correlation matrix —
+			// the same O(M³) wall the sketch engine exists to avoid — so
+			// sketch mode routes the auto-standardize decision through the
+			// sampled estimate (the cap Algorithm 2's sampling path already
+			// uses). The exact engine keeps the full probe: its output must
+			// stay byte-identical across kernel revisions.
+			vifFeatures := 0
+			if p.SketchPCA {
+				vifFeatures = sketchVIFFeatures
+			}
+			if vif, err := sampling.VIF(x, 0.01, vifFeatures, seed); err == nil {
 				var mean float64
 				for _, v := range vif {
 					mean += v
@@ -220,21 +238,33 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 			}
 		}
 		st.Standardized = standardize
+		popts := pca.Options{Standardize: standardize, Workers: p.Workers, Sketch: p.SketchPCA}
 		switch {
 		case p.ParallelPCA:
 			model, err = pca.FitJacobi(x, pca.Options{Standardize: standardize}, p.Workers)
+			if p.SketchPCA {
+				st.SketchDecision = pca.SketchFallback
+			}
 		case p.Basis != nil && p.Selection == TVEThreshold:
 			var dec pca.ReuseDecision
-			model, dec, err = pca.FitTVEReuse(x, p.TVE, pca.Options{Standardize: standardize, Workers: p.Workers}, seed, p.Basis.Candidate)
+			model, dec, err = pca.FitTVEReuse(x, p.TVE, popts, seed, p.Basis.Candidate)
 			p.Basis.Decision = dec
 			st.BasisDecision = dec
+		case p.SketchPCA && p.Selection == TVEThreshold:
+			// The sketch wall-killer: never forms the M×M covariance unless
+			// the exact guard rejects every ladder rung. This is the path
+			// that replaces the cold Fit's O(M³) eigensolve at scale.
+			model, st.SketchDecision, err = pca.FitTVESketch(x, p.TVE, popts, seed)
 		default:
-			// Knee selection needs the full spectrum, so a truncated
-			// candidate cannot help it; the Jacobi path has its own
-			// solver. Both fit cold even when reuse is active.
+			// Knee selection needs the full spectrum, so neither a truncated
+			// candidate nor a sketch can help it; the Jacobi path has its
+			// own solver. All fit cold even when reuse/sketch is active.
 			if p.Basis != nil {
 				p.Basis.Decision = pca.ReuseCold
 				st.BasisDecision = pca.ReuseCold
+			}
+			if p.SketchPCA {
+				st.SketchDecision = pca.SketchFallback
 			}
 			model, err = pca.Fit(x, pca.Options{Standardize: standardize, Workers: p.Workers})
 		}
@@ -262,7 +292,12 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	scores := model.Transform(x, k)
+	var scores *mat.Dense
+	if p.SketchPCA {
+		scores = model.TransformFast(x, k, p.Workers)
+	} else {
+		scores = model.Transform(x, k)
+	}
 	var kept float64
 	for i := 0; i < k && i < len(model.Eigenvalues); i++ {
 		kept += model.Eigenvalues[i]
@@ -466,6 +501,11 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 // flatter still find its target inside the candidate, at a per-entry
 // memory cost of M·8 bytes per extra column.
 const basisMargin = 8
+
+// sketchVIFFeatures caps the auto-standardize VIF probe's feature sample
+// when the sketch engine is active (matches the Algorithm 2 sampling
+// default), keeping the probe O(cap³) instead of O(M³).
+const sketchVIFFeatures = 192
 
 // publishBasis extracts the reusable part of a fitted model: the leading
 // min(k+basisMargin, fitted) components. The columns are shared with the

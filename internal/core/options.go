@@ -123,6 +123,13 @@ type Params struct {
 	// ZLevel sets the zlib add-on compression level, 1 (fastest) to 9
 	// (best). 0 keeps zlib's default level, matching previous releases.
 	ZLevel int
+	// SketchPCA enables the randomized-sketch fast path for Stage 2: a
+	// seeded range-finder sketch proposes the basis and the exact
+	// Rayleigh-quotient guard verifies it against the TVE target before
+	// adoption, so the selection guarantee is unchanged. Fits that need
+	// the full spectrum (knee-point selection) or their own solver
+	// (ParallelPCA) fall back to their usual path.
+	SketchPCA bool
 	// Basis, when non-nil, activates basis reuse for Stage 2: Candidate
 	// (if set) is offered to the reuse-aware fits, and the basis this
 	// compression actually used is published back through Fitted for

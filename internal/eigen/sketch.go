@@ -1,0 +1,115 @@
+// Sketch-based truncated eigensolving: a randomized range finder in the
+// spirit of Halko/Martinsson/Tropp, specialized to the Gram matrices DPZ's
+// PCA stage consumes. The key structural saving over TopK is that the
+// M×M covariance is never formed: every multiply applies the n×m data
+// matrix A (or its transpose) directly, so the cost is O(n·m·s) for an
+// s-column sketch instead of the O(n·m²) covariance build plus O(m²·s)
+// per iteration sweep the cold path pays. When s ≪ m — the high-linearity
+// regime DPZ targets — the whole fit collapses to a handful of tall-skinny
+// multiplies.
+package eigen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dpz/internal/mat"
+	"dpz/internal/scratch"
+)
+
+// DefaultOversample is the extra sketch width p beyond the requested k:
+// oversampling keeps the trailing wanted directions well-captured even
+// when the spectrum decays slowly around the cut.
+const DefaultOversample = 8
+
+// DefaultPower is the default number of power (subspace) iterations the
+// sketch applies after the initial range pass. Each iteration multiplies
+// the spectral separation, sharpening the basis toward the true leading
+// eigenspace at the cost of two more passes over the data.
+const DefaultPower = 2
+
+// SketchGram computes approximate leading eigenpairs of the Gram matrix
+// G = AᵀA for the n×m data matrix a, without ever forming G. The sketch
+// draws k+oversample seeded Gaussian test vectors, runs `power` power
+// iterations with re-orthonormalization, and solves the small projected
+// eigenproblem exactly; the returned System holds all k+oversample Ritz
+// pairs sorted by descending Ritz value (the caller truncates). Every
+// Ritz value is the exact Rayleigh quotient of its Ritz vector under G
+// (up to round-off), which is what lets the PCA layer verify a sketch
+// basis against a TVE target without trusting the sketch itself.
+//
+// seed makes the Gaussian test matrix reproducible; workers bounds the
+// multiply parallelism (0 = GOMAXPROCS) and never changes the result
+// bits.
+func SketchGram(a *mat.Dense, k, oversample, power int, seed int64, workers int) (*System, error) {
+	n, m := a.Dims()
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("eigen: empty input %dx%d", n, m)
+	}
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("eigen: sketch k=%d out of range [1,%d]", k, m)
+	}
+	if oversample < 0 {
+		oversample = DefaultOversample
+	}
+	if power < 0 {
+		power = DefaultPower
+	}
+	s := k + oversample
+	if s > m {
+		s = m
+	}
+
+	// Ω: m×s seeded Gaussian test matrix, filled in a fixed single-thread
+	// order so the sketch is reproducible across runs and worker counts.
+	obuf := scratch.Floats(m * s)
+	defer scratch.PutFloats(obuf)
+	omega := mat.NewDenseData(m, s, obuf)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range obuf {
+		obuf[i] = rng.NormFloat64()
+	}
+
+	ybuf := scratch.Floats(n * s)
+	defer scratch.PutFloats(ybuf)
+	y := mat.NewDenseData(n, s, ybuf)
+	zbuf := scratch.Floats(m * s)
+	defer scratch.PutFloats(zbuf)
+	z := mat.NewDenseData(m, s, zbuf)
+
+	// Range pass: Z = Aᵀ(A·Ω), orthonormalized. Each subsequent power
+	// iteration applies G once more (two data passes), re-orthonormalizing
+	// to stop the columns collapsing onto the dominant eigenvector.
+	mat.GemmInto(y, a, omega, workers)
+	mat.GemmTInto(z, a, y, workers)
+	orthonormalize(z)
+	for t := 0; t < power; t++ {
+		mat.GemmInto(y, a, z, workers)
+		mat.GemmTInto(z, a, y, workers)
+		orthonormalize(z)
+	}
+
+	// Projected problem: B = ZᵀGZ = (AZ)ᵀ(AZ), built with the blocked
+	// symmetric kernel on W = AZ and solved densely at s×s cost.
+	mat.GemmInto(y, a, z, workers) // reuse y as W = A·Z
+	bbuf := scratch.Floats(s * s)
+	defer scratch.PutFloats(bbuf)
+	b := mat.NewDenseData(s, s, bbuf)
+	mat.SyrKInto(b, y, workers)
+	small, err := SymEig(b)
+	if err != nil {
+		return nil, fmt.Errorf("eigen: sketch projected eigenproblem: %w", err)
+	}
+
+	// Ritz vectors: V = Z·U, columns orthonormal because Z and U are.
+	vecs := mat.NewDense(m, s)
+	mat.GemmInto(vecs, z, small.Vectors, workers)
+	vals := make([]float64, s)
+	copy(vals, small.Values)
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0
+		}
+	}
+	return &System{Values: vals, Vectors: vecs}, nil
+}

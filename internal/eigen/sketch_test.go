@@ -1,0 +1,188 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dpz/internal/mat"
+)
+
+// lowRankData builds an n×m data matrix whose Gram matrix has the given
+// leading eigenvalue decay: A = U·diag(√vals)·Vᵀ with random orthonormal
+// factors, plus tiny noise so the tail is not exactly zero.
+func lowRankData(n, m int, vals []float64, noise float64, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	r := len(vals)
+	u := mat.NewDense(n, r)
+	for i := range u.Data() {
+		u.Data()[i] = rng.NormFloat64()
+	}
+	orthonormalize(u)
+	v := mat.NewDense(m, r)
+	for i := range v.Data() {
+		v.Data()[i] = rng.NormFloat64()
+	}
+	orthonormalize(v)
+	a := mat.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		for j := 0; j < m; j++ {
+			var s float64
+			for t := 0; t < r; t++ {
+				s += u.At(i, t) * math.Sqrt(vals[t]) * v.At(j, t)
+			}
+			row[j] = s + noise*rng.NormFloat64()
+		}
+	}
+	return a
+}
+
+func TestSketchGramMatchesDenseOnLowRank(t *testing.T) {
+	vals := []float64{4000, 1500, 500, 120, 40, 9, 2}
+	a := lowRankData(160, 90, vals, 1e-7, 11)
+	sys, err := SketchGram(a, len(vals), DefaultOversample, DefaultPower, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gram := mat.SyrK(a, 1)
+	dense, err := SymEig(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range vals {
+		rel := math.Abs(sys.Values[j]-dense.Values[j]) / dense.Values[j]
+		if rel > 1e-6 {
+			t.Fatalf("Ritz value %d off by %.3g (sketch %v dense %v)", j, rel, sys.Values[j], dense.Values[j])
+		}
+	}
+}
+
+// The contract the PCA acceptance guard builds on: each returned Ritz
+// value equals the exact Rayleigh quotient of its Ritz vector under
+// G = AᵀA, regardless of how good the sketch basis is.
+func TestSketchGramValuesAreExactRayleighQuotients(t *testing.T) {
+	a := lowRankData(120, 70, []float64{900, 250, 60, 12}, 1e-4, 3)
+	sys, err := SketchGram(a, 4, 4, 0, 21, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := a.Dims()
+	for j := 0; j < len(sys.Values); j++ {
+		// ‖A v_j‖² for unit v_j is the Rayleigh quotient vᵀGv.
+		var q float64
+		for i := 0; i < n; i++ {
+			var dot float64
+			row := a.Row(i)
+			for x := 0; x < a.Cols(); x++ {
+				dot += row[x] * sys.Vectors.At(x, j)
+			}
+			q += dot * dot
+		}
+		// Round-off scales with the dominant eigenvalue, so tiny tail
+		// quotients are compared relative to the spectrum's head.
+		denom := math.Max(sys.Values[0], 1e-12)
+		if math.Abs(q-sys.Values[j])/denom > 1e-10 {
+			t.Fatalf("Ritz value %d is not the exact Rayleigh quotient: %v vs %v", j, sys.Values[j], q)
+		}
+	}
+}
+
+func TestSketchGramOrthonormalVectors(t *testing.T) {
+	a := lowRankData(100, 60, []float64{100, 40, 10}, 1e-3, 5)
+	sys, err := SketchGram(a, 3, 5, 1, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Cols()
+	cols := sys.Vectors.Cols()
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			var dot float64
+			for x := 0; x < m; x++ {
+				dot += sys.Vectors.At(x, i) * sys.Vectors.At(x, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("vectors %d,%d not orthonormal: dot %v", i, j, dot)
+			}
+		}
+	}
+}
+
+// Seeded sketches must be byte-identical across worker counts and
+// repeated runs — the whole pipeline's reproducibility contract.
+func TestSketchGramByteIdenticalAcrossWorkersAndRuns(t *testing.T) {
+	a := lowRankData(140, 80, []float64{700, 300, 80, 20, 5}, 1e-5, 17)
+	base, err := SketchGram(a, 5, DefaultOversample, DefaultPower, 123, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		for rep := 0; rep < 2; rep++ {
+			got, err := SketchGram(a, 5, DefaultOversample, DefaultPower, 123, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range got.Values {
+				if v != base.Values[i] {
+					t.Fatalf("workers=%d rep=%d: value %d differs: %v vs %v", w, rep, i, v, base.Values[i])
+				}
+			}
+			for i, v := range got.Vectors.Data() {
+				if v != base.Vectors.Data()[i] {
+					t.Fatalf("workers=%d rep=%d: vector entry %d differs", w, rep, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSketchGramSeedChangesSketchNotContract(t *testing.T) {
+	a := lowRankData(120, 70, []float64{500, 200, 50}, 1e-4, 29)
+	s1, err := SketchGram(a, 3, 4, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SketchGram(a, 3, 4, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds give different sketches, but the leading Ritz values
+	// must agree to sketch accuracy on a well-separated spectrum.
+	for j := 0; j < 3; j++ {
+		rel := math.Abs(s1.Values[j]-s2.Values[j]) / s1.Values[j]
+		if rel > 1e-4 {
+			t.Fatalf("leading Ritz value %d unstable across seeds: %v vs %v", j, s1.Values[j], s2.Values[j])
+		}
+	}
+}
+
+func TestSketchGramValidation(t *testing.T) {
+	a := mat.NewDense(10, 6)
+	if _, err := SketchGram(a, 0, 2, 1, 1, 1); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := SketchGram(a, 7, 2, 1, 1, 1); err == nil {
+		t.Fatal("k>m must error")
+	}
+	if _, err := SketchGram(mat.NewDense(0, 0), 1, 2, 1, 1, 1); err == nil {
+		t.Fatal("empty input must error")
+	}
+}
+
+func TestSketchGramClampsWidthToM(t *testing.T) {
+	// k+oversample beyond m must clamp, not error: the sketch degrades to
+	// a full-width (still useful) projected eigensolve.
+	a := lowRankData(50, 12, []float64{40, 10, 3}, 1e-3, 31)
+	sys, err := SketchGram(a, 10, 8, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Vectors.Cols() != 12 {
+		t.Fatalf("width should clamp to m=12, got %d", sys.Vectors.Cols())
+	}
+}

@@ -211,33 +211,44 @@ func truncate(sys *System, k int) *System {
 // single MGS pass then loses orthogonality entirely; the second pass
 // restores it to machine precision. Columns that collapse relative to
 // their original norm are reseeded with canonical basis vectors.
+//
+// The work runs on a transposed scratch copy so every projection touches
+// contiguous memory: q is row-major, and the straightforward column walk
+// strides by p on each element, which turns the O(n·p²) MGS into a cache
+// miss per access once n outgrows L1. Transposing in and out costs O(n·p)
+// and changes no values; the dot/axpy sequences inside visit the same
+// indices in the same order as the column walk, so the result is
+// bit-identical to the untransposed form.
 func orthonormalize(q *mat.Dense) {
 	n, p := q.Dims()
-	col := scratch.Floats(n)
-	defer scratch.PutFloats(col)
+	qtBuf := scratch.Floats(p * n)
+	defer scratch.PutFloats(qtBuf)
+	qt := mat.NewDenseData(p, n, qtBuf)
+	mat.TransposeInto(qt, q)
+	orthonormalizeRows(qt)
+	mat.TransposeInto(q, qt)
+}
+
+// orthonormalizeRows runs the MGS sweep on qt's rows (the transposed
+// columns of the caller's basis), each a contiguous n-element slice.
+func orthonormalizeRows(qt *mat.Dense) {
+	p, n := qt.Dims()
+	// project orthogonalizes row j against rows 0..j-1 in place and
+	// returns the remaining norm. Dot accumulates ascending with a single
+	// accumulator and Axpy computes row[r] += (-d)·prev[r], which IEEE 754
+	// guarantees equals row[r] - d·prev[r] bit-for-bit.
 	project := func(j int) float64 {
+		row := qt.Row(j)
 		for i := 0; i < j; i++ {
-			var dot float64
-			for r := 0; r < n; r++ {
-				dot += q.At(r, i) * col[r]
-			}
-			for r := 0; r < n; r++ {
-				col[r] -= dot * q.At(r, i)
-			}
+			prev := qt.Row(i)
+			d := mat.Dot(prev, row)
+			mat.Axpy(row, prev, -d)
 		}
-		var norm float64
-		for _, v := range col {
-			norm += v * v
-		}
-		return math.Sqrt(norm)
+		return math.Sqrt(mat.Dot(row, row))
 	}
 	for j := 0; j < p; j++ {
-		q.Col(j, col)
-		var norm0 float64
-		for _, v := range col {
-			norm0 += v * v
-		}
-		norm0 = math.Sqrt(norm0)
+		row := qt.Row(j)
+		norm0 := math.Sqrt(mat.Dot(row, row))
 		project(j)
 		norm := project(j) // second pass restores orthogonality
 		if norm <= 1e-10*norm0 || norm == 0 {
@@ -245,10 +256,10 @@ func orthonormalize(q *mat.Dense) {
 			// predecessors: reseed with canonical basis vectors until one
 			// survives the projection.
 			for attempt := 0; ; attempt++ {
-				for r := range col {
-					col[r] = 0
+				for r := range row {
+					row[r] = 0
 				}
-				col[(j+attempt*31)%n] = 1
+				row[(j+attempt*31)%n] = 1
 				project(j)
 				norm = project(j)
 				if norm > 1e-8 || attempt > n {
@@ -260,9 +271,8 @@ func orthonormalize(q *mat.Dense) {
 			}
 		}
 		inv := 1 / norm
-		for r := range col {
-			col[r] *= inv
+		for r := range row {
+			row[r] *= inv
 		}
-		q.SetCol(j, col)
 	}
 }

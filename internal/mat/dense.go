@@ -136,7 +136,10 @@ func MulInto(out, a, b *Dense) {
 		workers = 1
 	}
 	parallel.ForChunks(n, workers, func(lo, hi int) {
-		// i-k-j loop order: stream through b rows, accumulate into out row.
+		// i-k-j loop order: stream through b rows, accumulate into out row
+		// through the 4-wide unrolled axpy. Each output element still
+		// receives its updates in ascending k order, so the unroll does not
+		// change the result bits.
 		for i := lo; i < hi; i++ {
 			orow := out.data[i*out.cols : (i+1)*out.cols]
 			for x := range orow {
@@ -147,10 +150,7 @@ func MulInto(out, a, b *Dense) {
 				if av == 0 {
 					continue
 				}
-				brow := b.data[k*b.cols : (k+1)*b.cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
+				Axpy(orow, b.data[k*b.cols:(k+1)*b.cols], av)
 			}
 		}
 	})

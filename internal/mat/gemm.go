@@ -1,0 +1,164 @@
+package mat
+
+import (
+	"fmt"
+
+	"dpz/internal/parallel"
+)
+
+// This file holds the unrolled level-2/level-3 kernels behind the sketch
+// eigensolver: a general multiply and a transpose multiply with explicit
+// worker bounds, plus the shared unrolled axpy/dot primitives. Go has no
+// SIMD intrinsics, so the kernels follow the scalar half of the SIMD
+// playbook instead: 4-wide manual unrolling on the innermost loop with the
+// slice re-slice hint that lets the compiler hoist the bounds check out of
+// the loop body. Every kernel accumulates each output element over the
+// same index sequence regardless of the worker count, so results are
+// bit-identical for workers 1..n.
+
+// Axpy computes dst[i] += a*x[i] over len(x) elements, 4-wide unrolled.
+// Each dst element receives exactly one update, so the result is bitwise
+// identical to the naive loop. dst must be at least as long as x.
+func Axpy(dst, x []float64, a float64) {
+	dst = dst[:len(x)]
+	n := len(dst) &^ 3
+	for i := 0; i < n; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		dst[i] += a * x0
+		dst[i+1] += a * x1
+		dst[i+2] += a * x2
+		dst[i+3] += a * x3
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of x and y, accumulated in ascending index
+// order with a single accumulator — the same floating-point sequence as
+// the naive loop, so callers that need bit-stable results across kernel
+// revisions can rely on it. The slice hint removes the per-element bounds
+// check; the multiply sequence itself is kept serial on purpose (a 4-way
+// accumulator split would change the rounding).
+func Dot(x, y []float64) float64 {
+	y = y[:len(x)]
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// axpy4 computes dst[i] += a0·x0[i] + a1·x1[i] + a2·x2[i] + a3·x3[i] — a
+// 4-way jammed axpy that quarters the dst read-modify-write traffic of
+// four sequential Axpy sweeps and exposes four independent multiply
+// chains to the scheduler. The jam changes the per-element summation
+// ORDER versus sequential axpys, so it must only back kernels whose
+// rounding is not pinned to the naive loop (the sketch kernels below; the
+// exact-path MulInto/SyrKInto keep the order-preserving Axpy).
+func axpy4(dst, x0, x1, x2, x3 []float64, a0, a1, a2, a3 float64) {
+	n := len(dst)
+	x0 = x0[:n]
+	x1 = x1[:n]
+	x2 = x2[:n]
+	x3 = x3[:n]
+	for i := 0; i < n; i++ {
+		dst[i] += a0*x0[i] + a1*x1[i] + a2*x2[i] + a3*x3[i]
+	}
+}
+
+// GemmInto computes out = a·b with an explicit worker bound (0 =
+// GOMAXPROCS), row-parallel with the reduction dimension jammed four wide
+// (axpy4) and an order-preserving Axpy tail. The worker count never
+// changes the result bits: each output row is owned by exactly one worker
+// and accumulates over k in the same jammed ascending order. out must be
+// a.rows × b.cols and must not alias a or b.
+//
+// This is the sketch multiply: Y = A·Ω with tall-skinny Ω streams b's few
+// columns through cache while walking a once. Its summation order is fixed
+// but intentionally NOT the naive loop's — only sketch-path code may use
+// it (see axpy4).
+func GemmInto(out, a, b *Dense, workers int) {
+	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
+		panic(fmt.Sprintf("mat: GemmInto shape mismatch %dx%d · %dx%d -> %dx%d",
+			a.rows, a.cols, b.rows, b.cols, out.rows, out.cols))
+	}
+	if a.rows*a.cols*b.cols < 1<<16 {
+		workers = 1
+	}
+	kj := a.cols &^ 3
+	bc := b.cols
+	parallel.ForChunks(a.rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for x := range orow {
+				orow[x] = 0
+			}
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			for k := 0; k < kj; k += 4 {
+				axpy4(orow,
+					b.data[k*bc:(k+1)*bc],
+					b.data[(k+1)*bc:(k+2)*bc],
+					b.data[(k+2)*bc:(k+3)*bc],
+					b.data[(k+3)*bc:(k+4)*bc],
+					arow[k], arow[k+1], arow[k+2], arow[k+3])
+			}
+			for k := kj; k < a.cols; k++ {
+				Axpy(orow, b.data[k*bc:(k+1)*bc], arow[k])
+			}
+		}
+	})
+}
+
+// GemmTInto computes out = aᵀ·b without materializing aᵀ, with an explicit
+// worker bound (0 = GOMAXPROCS). out must be a.cols × b.cols and must not
+// alias a or b. Workers partition out's rows; each output row accumulates
+// over a's rows in the same jammed ascending order regardless of the
+// worker count, so the result bits are worker-independent.
+//
+// The kernel is the second half of the sketch pipeline (Z = AᵀY): both a
+// and b stream row-contiguously, four input rows jammed per sweep (axpy4)
+// with an order-preserving Axpy tail. Like GemmInto, its summation order
+// is fixed but not the naive loop's.
+func GemmTInto(out, a, b *Dense, workers int) {
+	if a.rows != b.rows || out.rows != a.cols || out.cols != b.cols {
+		panic(fmt.Sprintf("mat: GemmTInto shape mismatch %dx%dᵀ · %dx%d -> %dx%d",
+			a.rows, a.cols, b.rows, b.cols, out.rows, out.cols))
+	}
+	if a.rows*a.cols*b.cols < 1<<16 {
+		workers = 1
+	}
+	ij := a.rows &^ 3
+	ac, bc := a.cols, b.cols
+	parallel.ForChunks(a.cols, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			orow := out.data[j*out.cols : (j+1)*out.cols]
+			for x := range orow {
+				orow[x] = 0
+			}
+		}
+		for i := 0; i < ij; i += 4 {
+			a0 := a.data[i*ac : (i+1)*ac]
+			a1 := a.data[(i+1)*ac : (i+2)*ac]
+			a2 := a.data[(i+2)*ac : (i+3)*ac]
+			a3 := a.data[(i+3)*ac : (i+4)*ac]
+			b0 := b.data[i*bc : (i+1)*bc]
+			b1 := b.data[(i+1)*bc : (i+2)*bc]
+			b2 := b.data[(i+2)*bc : (i+3)*bc]
+			b3 := b.data[(i+3)*bc : (i+4)*bc]
+			for j := lo; j < hi; j++ {
+				axpy4(out.data[j*out.cols:(j+1)*out.cols],
+					b0, b1, b2, b3, a0[j], a1[j], a2[j], a3[j])
+			}
+		}
+		for i := ij; i < a.rows; i++ {
+			arow := a.data[i*ac : (i+1)*ac]
+			brow := b.data[i*bc : (i+1)*bc]
+			for j := lo; j < hi; j++ {
+				if v := arow[j]; v != 0 {
+					Axpy(out.data[j*out.cols:(j+1)*out.cols], brow, v)
+				}
+			}
+		}
+	})
+}

@@ -67,15 +67,13 @@ func SyrKInto(out, a *Dense, workers int) {
 				dst := acc[jj*kw:]
 				if diag {
 					// Diagonal tile: only k >= j contributes to the
-					// upper triangle.
-					for kk := jj; kk < kw; kk++ {
-						dst[kk] += v * ak[kk]
-					}
+					// upper triangle. The shifted subslices keep the
+					// per-element accumulation order of the naive loop,
+					// so the unrolled axpy changes no bits.
+					Axpy(dst[jj:], ak[jj:kw], v)
 					continue
 				}
-				for kk, w := range ak {
-					dst[kk] += v * w
-				}
+				Axpy(dst, ak, v)
 			}
 		}
 		for jj := 0; jj < jw; jj++ {

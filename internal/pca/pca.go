@@ -42,6 +42,13 @@ type Options struct {
 	// Workers bounds the parallelism of the covariance Gram kernel
 	// (0 = GOMAXPROCS). It never changes the result bits.
 	Workers int
+	// Sketch enables the randomized-range-finder fast path for the
+	// TVE/k-targeted fits (FitTVE, FitK and their reuse variants): a seeded
+	// sketch proposes the basis and the exact Rayleigh-quotient guard
+	// verifies it, so results always carry the cold path's TVE guarantee.
+	// Fit, FitJacobi and Spectrum ignore the flag — they exist to produce
+	// the full spectrum, which a sketch cannot.
+	Sketch bool
 }
 
 // Fit computes the PCA basis of x (rows = samples, cols = features).
@@ -79,6 +86,10 @@ func Fit(x *mat.Dense, opts Options) (*Model, error) {
 // iteration — the reduced-cost path DPZ's sampling strategy enables once
 // k_e is known (O(M²k) instead of the full O(M³) eigendecomposition).
 func FitK(x *mat.Dense, k int, opts Options, seed int64) (*Model, error) {
+	if opts.Sketch {
+		m, _, err := FitKSketch(x, k, 0, opts, seed)
+		return m, err
+	}
 	r, c := x.Dims()
 	if r < 2 {
 		return nil, fmt.Errorf("pca: need at least 2 samples, got %d", r)
@@ -113,6 +124,10 @@ func FitK(x *mat.Dense, k int, opts Options, seed int64) (*Model, error) {
 // sampling strategy banks on. Small feature counts fall through to the
 // dense path, which is faster there.
 func FitTVE(x *mat.Dense, target float64, opts Options, seed int64) (*Model, error) {
+	if opts.Sketch {
+		m, _, err := FitTVESketch(x, target, opts, seed)
+		return m, err
+	}
 	_, c := x.Dims()
 	if c <= 256 {
 		return Fit(x, opts)
@@ -321,6 +336,25 @@ func (m *Model) Transform(x *mat.Dense, k int) *mat.Dense {
 	centerInto(centered, x, m.Means, m.Scales)
 	out := mat.NewDense(r, k)
 	mat.MulInto(out, centered, m.ProjectionMatrix(k))
+	return out
+}
+
+// TransformFast is Transform on the jammed sketch multiply (GemmInto)
+// with an explicit worker bound. Its rounding differs from Transform's
+// order-preserving MulInto, so the exact engine must not use it; the
+// sketch engine does, where the projection would otherwise be the last
+// unjammed full-data pass. Deterministic for every worker count.
+func (m *Model) TransformFast(x *mat.Dense, k, workers int) *mat.Dense {
+	r, c := x.Dims()
+	if c != m.NumFeatures() {
+		panic("pca: Transform feature-count mismatch")
+	}
+	buf := scratch.Floats(r * c)
+	defer scratch.PutFloats(buf)
+	centered := mat.NewDenseData(r, c, buf)
+	centerInto(centered, x, m.Means, m.Scales)
+	out := mat.NewDense(r, k)
+	mat.GemmInto(out, centered, m.ProjectionMatrix(k), workers)
 	return out
 }
 

@@ -108,6 +108,10 @@ func FitTVEReuse(x *mat.Dense, target float64, opts Options, seed int64, cand *B
 		return nil, ReuseCold, fmt.Errorf("pca: TVE target %v out of (0,1]", target)
 	}
 	if !cand.usable(x, opts) {
+		if opts.Sketch {
+			m, _, err := FitTVESketch(x, target, opts, seed)
+			return m, ReuseCold, err
+		}
 		m, err := Fit(x, opts)
 		return m, ReuseCold, err
 	}
@@ -144,6 +148,10 @@ func FitKReuse(x *mat.Dense, k int, target float64, opts Options, seed int64, ca
 		return nil, ReuseCold, fmt.Errorf("pca: k=%d out of range [1,%d]", k, c)
 	}
 	if !cand.usable(x, opts) {
+		if opts.Sketch {
+			m, _, err := FitKSketch(x, k, target, opts, seed)
+			return m, ReuseCold, err
+		}
 		m, err := FitK(x, k, opts, seed)
 		return m, ReuseCold, err
 	}
@@ -227,16 +235,13 @@ func guardSample(x *mat.Dense, means, scales []float64, q *mat.Dense, target flo
 	return captured/total >= target
 }
 
-// acceptExact runs the exact acceptance check: project the full centered
-// data onto q, measure each column's captured variance (the Rayleigh
-// quotient λ̂_j = ‖X_c q_j‖²/(r−1); q orthonormal makes Σλ̂ exactly the
-// variance the projection preserves), and adopt the basis iff the keep
-// columns with the largest measured variance still reach the target
-// fraction of the total. On success the model's components are q's
-// columns re-ranked by measured variance (truncated to keep), its
-// eigenvalues are the measurements, and true is returned; on failure the
-// model's Eigenvalues/Components/TotalVar are left unset.
-func acceptExact(m *Model, x *mat.Dense, q *mat.Dense, keep int, target float64) bool {
+// measureRayleigh is the measurement core of the exact acceptance guard:
+// it projects the full centered data onto q and returns each column's
+// captured variance (the Rayleigh quotient λ̂_j = ‖X_c q_j‖²/(r−1); q
+// orthonormal makes Σλ̂ exactly the variance the projection preserves)
+// together with the exact total variance of x. m supplies the means and
+// scales; nothing else on m is read or written.
+func measureRayleigh(m *Model, x *mat.Dense, q *mat.Dense) (lam []float64, totalVar float64) {
 	r, c := x.Dims()
 	kc := q.Cols()
 	cbuf := scratch.Floats(r * c)
@@ -247,7 +252,6 @@ func acceptExact(m *Model, x *mat.Dense, q *mat.Dense, keep int, target float64)
 	if den <= 0 {
 		den = 1
 	}
-	var totalVar float64
 	for _, v := range cbuf {
 		totalVar += v * v
 	}
@@ -257,7 +261,7 @@ func acceptExact(m *Model, x *mat.Dense, q *mat.Dense, keep int, target float64)
 	defer scratch.PutFloats(ybuf)
 	y := mat.NewDenseData(r, kc, ybuf)
 	mat.MulInto(y, centered, q)
-	lam := make([]float64, kc)
+	lam = make([]float64, kc)
 	for i := 0; i < r; i++ {
 		row := y.Row(i)
 		for j, v := range row {
@@ -267,14 +271,48 @@ func acceptExact(m *Model, x *mat.Dense, q *mat.Dense, keep int, target float64)
 	for j := range lam {
 		lam[j] /= den
 	}
-	// Re-rank columns by measured variance so the leading components stay
-	// the most informative ones (stable: ties keep candidate order).
-	order := make([]int, kc)
+	return lam, totalVar
+}
+
+// rankByVariance returns the column order sorted by descending measured
+// variance (stable: ties keep candidate order).
+func rankByVariance(lam []float64) []int {
+	order := make([]int, len(lam))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool { return lam[order[a]] > lam[order[b]] })
+	return order
+}
 
+// adoptColumns installs the keep best-measured columns of q into m as its
+// components, re-ranked by measured variance, with the measurements as
+// eigenvalues and the exact total variance.
+func adoptColumns(m *Model, q *mat.Dense, lam []float64, order []int, keep int, totalVar float64) {
+	vals := make([]float64, keep)
+	comp := mat.NewDense(q.Rows(), keep)
+	for newJ := 0; newJ < keep; newJ++ {
+		oldJ := order[newJ]
+		vals[newJ] = lam[oldJ]
+		for i := 0; i < q.Rows(); i++ {
+			comp.Set(i, newJ, q.At(i, oldJ))
+		}
+	}
+	m.Eigenvalues = vals
+	m.Components = comp
+	m.TotalVar = totalVar
+}
+
+// acceptExact runs the exact acceptance check: measure every candidate
+// column's Rayleigh quotient on the full data and adopt the basis iff the
+// keep columns with the largest measured variance still reach the target
+// fraction of the total. On success the model's components are q's
+// columns re-ranked by measured variance (truncated to keep), its
+// eigenvalues are the measurements, and true is returned; on failure the
+// model's Eigenvalues/Components/TotalVar are left unset.
+func acceptExact(m *Model, x *mat.Dense, q *mat.Dense, keep int, target float64) bool {
+	lam, totalVar := measureRayleigh(m, x, q)
+	order := rankByVariance(lam)
 	var captured float64
 	for j := 0; j < keep; j++ {
 		captured += lam[order[j]]
@@ -282,19 +320,7 @@ func acceptExact(m *Model, x *mat.Dense, q *mat.Dense, keep int, target float64)
 	if totalVar > 0 && captured/totalVar < target {
 		return false
 	}
-
-	vals := make([]float64, keep)
-	comp := mat.NewDense(c, keep)
-	for newJ := 0; newJ < keep; newJ++ {
-		oldJ := order[newJ]
-		vals[newJ] = lam[oldJ]
-		for i := 0; i < c; i++ {
-			comp.Set(i, newJ, q.At(i, oldJ))
-		}
-	}
-	m.Eigenvalues = vals
-	m.Components = comp
-	m.TotalVar = totalVar
+	adoptColumns(m, q, lam, order, keep, totalVar)
 	return true
 }
 
