@@ -1,6 +1,6 @@
 // Package client is the typed Go client for the dpzd daemon. It wraps
-// the /v1/compress, /v1/decompress and /v1/stat endpoints with the
-// resilience a flaky network demands:
+// the /v1/compress, /v1/decompress, /v1/preview, /v1/query and /v1/stat
+// endpoints with the resilience a flaky network demands:
 //
 //   - capped exponential backoff with seeded jitter on 429, 5xx and
 //     transport errors, honoring the server's Retry-After hint (dpzd
@@ -217,6 +217,100 @@ func (c *Client) Decompress(ctx context.Context, stream []byte, workers int) ([]
 		return nil, nil, fmt.Errorf("client: bad X-Dpz-Dims: %w", err)
 	}
 	return r.body, dims, nil
+}
+
+// PreviewResult is a progressive preview plus the decode depth and
+// quality dpzd reported in its response headers.
+type PreviewResult struct {
+	// Data is raw little-endian float32 samples reconstructed from the
+	// leading RanksUsed components.
+	Data []byte
+	// Dims is the field's dimensions.
+	Dims []int
+	// RanksUsed is the component count actually decoded (the requested
+	// ranks clamped to the stream's stored k).
+	RanksUsed int
+	// K is the stream's stored component count.
+	K int
+	// TVE is the variance fraction the preview captured, from the
+	// stream's retrieval index; 0 when the stream carries no index.
+	TVE float64
+}
+
+// Preview fetches a reconstruction from only the leading `ranks`
+// principal components — a cheap low-fidelity view of a large stream.
+// ranks <= 0 decodes everything; workers <= 0 takes the server default.
+// Previews are pure functions of the stream, so retries and hedging are
+// safe exactly as for Decompress.
+func (c *Client) Preview(ctx context.Context, stream []byte, ranks, workers int) (*PreviewResult, error) {
+	q := url.Values{}
+	if ranks > 0 {
+		q.Set("ranks", strconv.Itoa(ranks))
+	}
+	if workers > 0 {
+		q.Set("workers", strconv.Itoa(workers))
+	}
+	r, err := c.call(ctx, http.MethodPost, "/v1/preview", q, stream)
+	if err != nil {
+		return nil, err
+	}
+	res := &PreviewResult{Data: r.body}
+	if res.Dims, err = dpz.ParseDims(r.header.Get("X-Dpz-Dims")); err != nil {
+		return nil, fmt.Errorf("client: bad X-Dpz-Dims: %w", err)
+	}
+	res.RanksUsed, _ = strconv.Atoi(r.header.Get("X-Dpz-Ranks-Used"))
+	res.K, _ = strconv.Atoi(r.header.Get("X-Dpz-K"))
+	res.TVE, _ = strconv.ParseFloat(r.header.Get("X-Dpz-Tve"), 64)
+	return res, nil
+}
+
+// QueryOptions selects what /v1/query should answer. The zero value asks
+// for the aggregate statistics only.
+type QueryOptions struct {
+	// Predicates are range conditions over the tile summaries, ANDed
+	// together, e.g. {"max>273.15", "rms<=10"}.
+	Predicates []string
+	// TopK, when positive, requests the TopK tiles most similar to tile
+	// SimilarTo (coefficient-space cosine similarity).
+	TopK int
+	// SimilarTo is the seed tile for the similarity query.
+	SimilarTo int
+}
+
+// QueryResult is the /v1/query JSON response.
+type QueryResult struct {
+	// Tiles is the number of tiles the index describes.
+	Tiles int `json:"tiles"`
+	// Aggregate is the whole-field statistics rollup.
+	Aggregate dpz.IndexAggregate `json:"aggregate"`
+	// Query echoes the question the matches answer.
+	Query string `json:"query,omitempty"`
+	// Matches are the selected tiles, with scores.
+	Matches []dpz.Match `json:"matches,omitempty"`
+}
+
+// Query answers range/similarity/aggregate questions from a stream's (or
+// tiled archive's) retrieval index without any decompression server-side.
+// A stream without an index gets a 422 *APIError — permanent, not
+// retried; callers fall back to Decompress and computing locally.
+func (c *Client) Query(ctx context.Context, stream []byte, opts QueryOptions) (*QueryResult, error) {
+	q := url.Values{}
+	for _, p := range opts.Predicates {
+		q.Add("pred", p)
+	}
+	if opts.TopK > 0 {
+		q.Set("similar-to", strconv.Itoa(opts.SimilarTo))
+		q.Set("k", strconv.Itoa(opts.TopK))
+	}
+	r, err := c.call(ctx, http.MethodPost, "/v1/query", q, stream)
+	if err != nil {
+		return nil, err
+	}
+	var res QueryResult
+	if err := json.Unmarshal(r.body, &res); err != nil {
+		return nil, fmt.Errorf("client: decoding query response: %w", err)
+	}
+	return &res, nil
 }
 
 // Stat returns a stream's metadata without decompressing it.

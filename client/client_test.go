@@ -346,7 +346,45 @@ func TestEndpointsAgainstServer(t *testing.T) {
 	if !reflect.DeepEqual(dims, []int{rows, cols}) || len(back) != len(raw) {
 		t.Fatalf("decompress shape: dims %v, %d bytes", dims, len(back))
 	}
-	if got := c.Stats(); got.Attempts != 4 || got.Retries != 0 || got.Hedges != 0 {
-		t.Fatalf("clean run stats %+v, want 4 plain attempts", got)
+	prev, err := c.Preview(ctx, comp.Data, 1, 2)
+	if err != nil {
+		t.Fatalf("preview: %v", err)
+	}
+	if prev.RanksUsed != 1 || prev.K != comp.K || len(prev.Data) != len(raw) {
+		t.Fatalf("preview result not populated: used %d, K %d, %d bytes",
+			prev.RanksUsed, prev.K, len(prev.Data))
+	}
+	if prev.TVE <= 0 || prev.TVE > 1 {
+		t.Fatalf("preview TVE %v, want a variance fraction in (0,1]", prev.TVE)
+	}
+	qr, err := c.Query(ctx, comp.Data, QueryOptions{Predicates: []string{"min<1e300"}})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if qr.Tiles != 1 || qr.Aggregate.Count != rows*cols || len(qr.Matches) != 1 {
+		t.Fatalf("query result not populated: %+v", qr)
+	}
+	if got := c.Stats(); got.Attempts != 6 || got.Retries != 0 || got.Hedges != 0 {
+		t.Fatalf("clean run stats %+v, want 6 plain attempts", got)
+	}
+}
+
+// TestQueryNoIndexPermanent: a 422 (stream has no retrieval index) is a
+// permanent answer — returned on the first attempt, never retried, and
+// not classified as temporary, so higher-level loops fall back to a full
+// decompress instead of hammering the daemon.
+func TestQueryNoIndexPermanent(t *testing.T) {
+	tr := &script{steps: []scriptStep{{status: 422, body: "no retrieval index"}}}
+	c := newTestClient(tr, &fakeClock{}, 1)
+	_, err := c.Query(context.Background(), []byte("stream"), QueryOptions{})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != 422 {
+		t.Fatalf("err %v, want APIError 422", err)
+	}
+	if ae.Temporary() || IsTemporary(err) {
+		t.Error("422 classified as temporary")
+	}
+	if tr.callCount() != 1 {
+		t.Fatalf("422 retried: %d calls", tr.callCount())
 	}
 }

@@ -48,13 +48,15 @@ func run(args []string, out io.Writer) error {
 		zlevel     = fs.Int("zlevel", 0, "zlib add-on level 1-9 (0 = zlib default)")
 		verify     = fs.Bool("verify", false, "after -z, decompress and report PSNR/θ")
 		bestEffort = fs.Bool("best-effort", false, "with -d, salvage a partial reconstruction from a corrupt stream")
+		index      = fs.String("index", "on", "with -z, write the retrieval index section: on or off (off = v2 stream, byte-identical to older releases)")
+		ranks      = fs.Int("ranks", 0, "with -d, decode only the leading N components (progressive preview; 0 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rest := fs.Args()
 
-	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *pcaEngine, *sampling, *basisReuse, *workers, *zlevel)
+	opts, err := buildOptions(*scheme, *selection, *nines, *fit, *pcaEngine, *index, *sampling, *basisReuse, *workers, *zlevel)
 	if err != nil {
 		return err
 	}
@@ -132,7 +134,13 @@ func run(args []string, out io.Writer) error {
 			data []float64
 			dims []int
 		)
-		if *bestEffort {
+		if *ranks > 0 {
+			var used int
+			data, dims, used, err = dpz.DecompressRanksFloat64(buf, *ranks)
+			if err == nil {
+				fmt.Fprintf(out, "preview: decoded the leading %d components\n", used)
+			}
+		} else if *bestEffort {
 			data, dims, err = dpz.DecompressBestEffortFloat64(buf)
 			var ce *dpz.CorruptionError
 			if errors.As(err, &ce) && data != nil {
@@ -163,7 +171,7 @@ func run(args []string, out io.Writer) error {
 // byte-identical to a /v1/compress response for the same settings. The
 // explicit nines check preserves the CLI's rejection of -tve 0 (the spec
 // treats 0 as "default").
-func buildOptions(scheme, selection string, nines int, fit, pcaEngine string, sampling, basisReuse bool, workers, zlevel int) (dpz.Options, error) {
+func buildOptions(scheme, selection string, nines int, fit, pcaEngine, index string, sampling, basisReuse bool, workers, zlevel int) (dpz.Options, error) {
 	if nines == 0 {
 		return dpz.Options{}, fmt.Errorf("tve nines 0 out of range")
 	}
@@ -177,6 +185,7 @@ func buildOptions(scheme, selection string, nines int, fit, pcaEngine string, sa
 		ZLevel:     zlevel,
 		BasisReuse: basisReuse,
 		PCA:        pcaEngine,
+		Index:      index,
 	}.Options()
 }
 

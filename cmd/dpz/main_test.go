@@ -34,7 +34,7 @@ func TestParseDims(t *testing.T) {
 }
 
 func TestBuildOptions(t *testing.T) {
-	o, err := buildOptions("loose", "knee", 4, "polyn", "sketch", true, false, 3, 6)
+	o, err := buildOptions("loose", "knee", 4, "polyn", "sketch", "on", true, false, 3, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,24 +56,37 @@ func TestBuildOptions(t *testing.T) {
 	if !o.SketchPCA {
 		t.Fatalf("pca engine sketch not threaded: %+v", o)
 	}
+	if o.NoIndex {
+		t.Fatalf("index on produced NoIndex: %+v", o)
+	}
+	o, err = buildOptions("loose", "tve", 4, "1d", "exact", "off", false, false, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.NoIndex {
+		t.Fatalf("index off not threaded: %+v", o)
+	}
 
-	if _, err := buildOptions("medium", "tve", 5, "1d", "exact", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("medium", "tve", 5, "1d", "exact", "on", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown scheme")
 	}
-	if _, err := buildOptions("strict", "best", 5, "1d", "exact", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "best", 5, "1d", "exact", "on", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown selection")
 	}
-	if _, err := buildOptions("strict", "tve", 0, "1d", "exact", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "tve", 0, "1d", "exact", "on", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for zero nines")
 	}
-	if _, err := buildOptions("strict", "tve", 5, "cubic", "exact", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "tve", 5, "cubic", "exact", "on", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown fit")
 	}
-	if _, err := buildOptions("strict", "tve", 5, "1d", "exact", false, false, 0, 10); err == nil {
+	if _, err := buildOptions("strict", "tve", 5, "1d", "exact", "on", false, false, 0, 10); err == nil {
 		t.Fatal("expected error for out-of-range zlevel")
 	}
-	if _, err := buildOptions("strict", "tve", 5, "1d", "magic", false, false, 0, 0); err == nil {
+	if _, err := buildOptions("strict", "tve", 5, "1d", "magic", "on", false, false, 0, 0); err == nil {
 		t.Fatal("expected error for unknown pca engine")
+	}
+	if _, err := buildOptions("strict", "tve", 5, "1d", "exact", "maybe", false, false, 0, 0); err == nil {
+		t.Fatal("expected error for unknown index mode")
 	}
 }
 
@@ -103,6 +116,29 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := run([]string{"-estimate", "-dims", "48x96", orig}, io.Discard); err != nil {
 		t.Fatalf("estimate: %v", err)
 	}
+	// Progressive preview: -ranks decodes only the leading components.
+	if err := run([]string{"-d", "-ranks", "1", comp, recon}, io.Discard); err != nil {
+		t.Fatalf("rank-1 preview: %v", err)
+	}
+	preview, err := dataset.ReadRawFloat32(recon, f.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preview.Data) != f.Len() {
+		t.Fatalf("preview has %d values", len(preview.Data))
+	}
+	// Index opt-out: -index off emits a v2 stream with no index section.
+	compV2 := filepath.Join(dir, "v2.dpz")
+	if err := run([]string{"-z", "-index", "off", "-dims", "48x96", "-tve", "4", orig, compV2}, io.Discard); err != nil {
+		t.Fatalf("compress -index off: %v", err)
+	}
+	v2buf, err := os.ReadFile(compV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := dpz.Stat(v2buf); err != nil || info.Version != 2 || info.HasIndex {
+		t.Fatalf("-index off stream: info %+v, err %v", info, err)
+	}
 	// Error paths.
 	if err := run([]string{orig}, io.Discard); err == nil {
 		t.Fatal("expected mode error")
@@ -131,10 +167,17 @@ func TestRunBestEffortDecode(t *testing.T) {
 	if res.Stats.K < 2 {
 		t.Fatalf("need K >= 2, got %d", res.Stats.K)
 	}
-	// Damage the final section's payload: strict decode must fail, the
-	// best-effort path must still write a reduced-rank reconstruction.
+	// Damage the final data section's payload (the trailing retrieval
+	// index is damage-tolerant by design, so aim just before it): strict
+	// decode must fail, the best-effort path must still write a
+	// reduced-rank reconstruction.
+	info, err := dpz.Stat(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxBytes := info.Sections[len(info.Sections)-1].CompressedBytes + 20
 	bad := append([]byte(nil), res.Data...)
-	bad[len(bad)-8] ^= 0x20
+	bad[len(bad)-idxBytes-8] ^= 0x20
 	badPath := filepath.Join(dir, "bad.dpz")
 	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
 		t.Fatal(err)

@@ -8,9 +8,16 @@
 //	dpzarchive pack -durable out.dpza fldsc:180x360:fldsc.f32
 //	dpzarchive list campaign.dpza
 //	dpzarchive extract campaign.dpza fldsc recon.f32
+//	dpzarchive query -pred "max>273.15" tiled.dpza
+//	dpzarchive query -similar-to 2 -k 3 tiled.dpza
 //	dpzarchive verify campaign.dpza
 //	dpzarchive repair damaged.dpza repaired.dpza
 //	dpzarchive recover torn.dpza [repacked.dpza]
+//
+// query answers range, similarity and aggregate questions from the
+// retrieval index (tile summaries embedded at compression time) without
+// decompressing any payload — on tiled archives and on plain archives
+// whose streams carry index sections.
 //
 // pack -durable journals every field with a fsynced commit record, so a
 // crash mid-pack loses at most the field being written; recover restores
@@ -21,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +57,8 @@ func run(args []string) error {
 		return runList(args[1:])
 	case "extract":
 		return runExtract(args[1:])
+	case "query":
+		return runQuery(args[1:])
 	case "verify":
 		return runVerify(args[1:])
 	case "repair":
@@ -56,7 +66,7 @@ func run(args []string) error {
 	case "recover":
 		return runRecover(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (pack|list|extract|verify|repair|recover)", args[0])
+		return fmt.Errorf("unknown subcommand %q (pack|list|extract|query|verify|repair|recover)", args[0])
 	}
 }
 
@@ -190,6 +200,132 @@ func openArchive(path string) (*dpz.ArchiveReader, *os.File, error) {
 		return nil, nil, err
 	}
 	return ar, in, nil
+}
+
+// stringList is a repeatable string flag (-pred may appear many times).
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// archiveIndex loads the retrieval index of a tiled archive (the
+// consolidated entry, or per-tile assembly) or of a plain archive (one
+// summary per field stream, in listing order). The returned names label
+// each tile for output; they are entry names for plain archives and
+// tile-NNNNNN for tiled ones.
+func archiveIndex(path string) (*dpz.Index, []string, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer in.Close()
+	info, err := in.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if tr, err := dpz.OpenTiled(in, info.Size()); err == nil {
+		ix, err := tr.Index()
+		if err != nil {
+			return nil, nil, err
+		}
+		names := make([]string, len(ix.Tiles))
+		for i := range names {
+			names[i] = fmt.Sprintf("tile-%06d", i)
+		}
+		return ix, names, nil
+	}
+	ar, err := dpz.OpenArchive(in, info.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	var ix dpz.Index
+	var names []string
+	for _, name := range ar.Fields() {
+		raw, err := ar.Stream(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		six, err := dpz.ReadIndex(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("field %q: %w", name, err)
+		}
+		for range six.Tiles {
+			names = append(names, name)
+		}
+		ix.Tiles = append(ix.Tiles, six.Tiles...)
+	}
+	return &ix, names, nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	var predStrs stringList
+	fs.Var(&predStrs, "pred", "range predicate over tile summaries, e.g. 'max>273.15' (repeatable, ANDed)")
+	similarTo := fs.Int("similar-to", -1, "rank tiles by similarity to this tile number")
+	k := fs.Int("k", 5, "how many similar tiles to return with -similar-to")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dpzarchive query [-pred EXPR]... [-similar-to N -k K] [-json] archive.dpza")
+	}
+	if len(predStrs) > 0 && *similarTo >= 0 {
+		return fmt.Errorf("-pred and -similar-to are mutually exclusive")
+	}
+	ix, names, err := archiveIndex(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	report := struct {
+		Tiles     int                `json:"tiles"`
+		Aggregate dpz.IndexAggregate `json:"aggregate"`
+		Query     string             `json:"query,omitempty"`
+		Matches   []dpz.Match        `json:"matches,omitempty"`
+	}{Tiles: len(ix.Tiles), Aggregate: ix.Aggregate()}
+
+	switch {
+	case len(predStrs) > 0:
+		preds := make([]dpz.Predicate, len(predStrs))
+		for i, ps := range predStrs {
+			if preds[i], err = dpz.ParsePredicate(ps); err != nil {
+				return err
+			}
+		}
+		if report.Matches, err = ix.Range(preds...); err != nil {
+			return err
+		}
+		report.Query = strings.Join(predStrs, " && ")
+	case *similarTo >= 0:
+		if report.Matches, err = ix.SimilarTo(*similarTo, *k); err != nil {
+			return err
+		}
+		report.Query = fmt.Sprintf("similar-to=%d k=%d", *similarTo, *k)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	agg := report.Aggregate
+	fmt.Printf("tiles: %d, values: %d\n", report.Tiles, agg.Count)
+	fmt.Printf("min %g  max %g  mean %g  rms %g\n", agg.Min, agg.Max, agg.Mean, agg.RMS)
+	if report.Query != "" {
+		fmt.Printf("query: %s (%d matches)\n", report.Query, len(report.Matches))
+		for _, m := range report.Matches {
+			label := strconv.Itoa(m.Tile)
+			if m.Tile < len(names) {
+				label = names[m.Tile]
+			}
+			fmt.Printf("  tile %-4d %-20s score %g\n", m.Tile, label, m.Score)
+		}
+	}
+	return nil
 }
 
 func runList(args []string) error {

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -161,6 +165,168 @@ func TestVerifyAndRepairEndToEnd(t *testing.T) {
 	if err := run([]string{"repair", bad}); err == nil {
 		t.Fatal("expected repair usage error")
 	}
+}
+
+func TestQuerySubcommand(t *testing.T) {
+	dir := t.TempDir()
+
+	// Tiled archive: four 16-row tiles of a 64x32 field.
+	f := dataset.CESM("FLDSC", 64, 32, 42)
+	raw := make([]byte, 4*f.Len())
+	for i, v := range f.Data {
+		float32ToBytes(raw[4*i:], float32(v))
+	}
+	opts := dpz.StrictOptions()
+	opts.TVE = dpz.Nines(4)
+	var buf bytes.Buffer
+	if _, err := dpz.CompressTiled(bytes.NewReader(raw), f.Dims, 16, opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tiled := filepath.Join(dir, "tiled.dpza")
+	if err := os.WriteFile(tiled, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregate-only, predicate, similarity, and JSON paths on the tiled
+	// archive. stdout content is covered by the JSON capture below; here
+	// the commands just have to succeed against the embedded index.
+	if err := run([]string{"query", tiled}); err != nil {
+		t.Fatalf("query aggregate: %v", err)
+	}
+	if err := run([]string{"query", "-pred", "min<1e300", tiled}); err != nil {
+		t.Fatalf("query -pred: %v", err)
+	}
+	if err := run([]string{"query", "-similar-to", "0", "-k", "2", tiled}); err != nil {
+		t.Fatalf("query -similar-to: %v", err)
+	}
+
+	// Capture -json output and check it against the library's own answer.
+	jsonOut := captureStdout(t, func() {
+		if err := run([]string{"query", "-json", "-pred", "min<1e300", tiled}); err != nil {
+			t.Errorf("query -json: %v", err)
+		}
+	})
+	var report struct {
+		Tiles     int                `json:"tiles"`
+		Aggregate dpz.IndexAggregate `json:"aggregate"`
+		Query     string             `json:"query"`
+		Matches   []dpz.Match        `json:"matches"`
+	}
+	if err := json.Unmarshal(jsonOut, &report); err != nil {
+		t.Fatalf("query -json output not JSON: %v\n%s", err, jsonOut)
+	}
+	tr, tf, err := func() (*dpz.TiledReader, *os.File, error) {
+		in, err := os.Open(tiled)
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := in.Stat()
+		if err != nil {
+			in.Close()
+			return nil, nil, err
+		}
+		r, err := dpz.OpenTiled(in, st.Size())
+		return r, in, err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	ix, err := tr.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Tiles != len(ix.Tiles) || report.Tiles != 4 {
+		t.Fatalf("report tiles = %d, index tiles = %d, want 4", report.Tiles, len(ix.Tiles))
+	}
+	if report.Aggregate != ix.Aggregate() {
+		t.Fatalf("report aggregate %+v != index aggregate %+v", report.Aggregate, ix.Aggregate())
+	}
+	if len(report.Matches) != 4 {
+		t.Fatalf("min<1e300 matched %d of 4 tiles", len(report.Matches))
+	}
+
+	// Plain (non-tiled) archives answer from per-field stream indexes.
+	g := dataset.CESM("PHIS", 48, 96, 7)
+	gp := filepath.Join(dir, "phis.f32")
+	if err := dataset.WriteRawFloat32(g, gp); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.dpza")
+	if err := run([]string{"pack", "-tve", "4", plain, "phis:48x96:" + gp}); err != nil {
+		t.Fatalf("pack: %v", err)
+	}
+	if err := run([]string{"query", plain}); err != nil {
+		t.Fatalf("query plain archive: %v", err)
+	}
+
+	// Error paths: no archive arg, pred+similar-to exclusion, bad
+	// predicate, and an archive whose streams carry no index.
+	if err := run([]string{"query"}); err == nil {
+		t.Fatal("expected query usage error")
+	}
+	if err := run([]string{"query", "-pred", "max>1", "-similar-to", "0", tiled}); err == nil {
+		t.Fatal("expected pred/similar-to exclusion error")
+	}
+	if err := run([]string{"query", "-pred", "max!!1", tiled}); err == nil {
+		t.Fatal("expected bad predicate error")
+	}
+	noIx := filepath.Join(dir, "noindex.dpza")
+	out, err := os.Create(noIx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := dpz.NewArchiveWriter(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2opts := opts
+	v2opts.NoIndex = true
+	res, err := dpz.CompressFloat64(g.Data, g.Dims, v2opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Append("phis", res.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"query", noIx}); !errors.Is(err, dpz.ErrNoIndex) {
+		t.Fatalf("query on index-less archive = %v, want ErrNoIndex", err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it wrote (runQuery prints to stdout directly, like runList).
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	fn()
+	os.Stdout = old
+	_ = w.Close()
+	out := <-done
+	_ = r.Close()
+	return out
+}
+
+// float32ToBytes writes v little-endian into b.
+func float32ToBytes(b []byte, v float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v))
 }
 
 func TestDurablePackAndRecover(t *testing.T) {

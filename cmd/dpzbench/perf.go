@@ -256,6 +256,62 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 		}))
 	}
 
+	// Progressive-preview records: decode only the leading 1/4/16/all
+	// components of one stream, against the same stream's full decode
+	// (preview-fulldecode, the oracle the ladder converges to). PHIS keeps
+	// k high at bench scale, so the rank split is meaningful; the preview
+	// win is skipping the dequantize + rank-recompose work for every
+	// component above the cut.
+	pw := workers[len(workers)-1]
+	po := dpz.LooseOptions()
+	po.Workers = pw
+	pres, err := dpz.CompressFloat64(lf.Data, lf.Dims, po)
+	if err != nil {
+		return err
+	}
+	prevNs := map[string]int64{}
+	prevRanks := []int{1, 4, 16}
+	for _, rk := range prevRanks {
+		if rk >= pres.Stats.K {
+			continue // the full record below covers it
+		}
+		rk := rk
+		name := fmt.Sprintf("preview-r%d", rk)
+		rec := add(name, pw, testing.Benchmark(func(b *testing.B) {
+			b.SetBytes(rawBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := core.DecompressRanks(pres.Data, rk, pw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		prevNs[name] = rec.NsPerOp
+	}
+	rec := add("preview-full", pw, testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(rawBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := core.DecompressRanks(pres.Data, pres.Stats.K, pw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	prevNs["preview-full"] = rec.NsPerOp
+	rec = add("preview-fulldecode", pw, testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(rawBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Decompress(pres.Data, pw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if full, r1 := rec.NsPerOp, prevNs["preview-r1"]; full > 0 && r1 > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"rank-1 preview is %.1fx faster than the full decode (k=%d)", float64(full)/float64(r1), pres.Stats.K))
+	}
+
 	raw := make([]byte, rawBytes)
 	for i, v := range f.Data {
 		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(float32(v)))

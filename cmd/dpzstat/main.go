@@ -98,6 +98,18 @@ func statOnly(path string, jsonOut bool, out io.Writer) error {
 	fmt.Fprintf(out, "compressed:   %d bytes (CR %.2fx, %.3f bits/value)\n",
 		info.StreamBytes, info.CompressionRatio, info.BitRate)
 	fmt.Fprintf(out, "standardized: %v\n", info.Standardized)
+	if info.HasIndex {
+		fmt.Fprintf(out, "index:        %d tile summaries\n", info.IndexTiles)
+		if len(info.RankCumulativeEnergy) > 0 {
+			fmt.Fprintf(out, "energy:      ")
+			for r, e := range info.RankCumulativeEnergy {
+				fmt.Fprintf(out, " r%d=%.4f", r+1, e)
+			}
+			fmt.Fprintf(out, "\n")
+		}
+	} else {
+		fmt.Fprintf(out, "index:        none\n")
+	}
 	fmt.Fprintf(out, "sections:\n")
 	for _, s := range info.Sections {
 		sh := ""

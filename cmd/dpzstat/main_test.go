@@ -86,10 +86,16 @@ func TestRunVerifyFlag(t *testing.T) {
 		t.Fatalf("verify on intact stream: %v", err)
 	}
 
-	// Damage the tail of the stream (the last rank's section payload):
-	// -verify must flag it, then succeed via the best-effort decode.
+	// Damage the last rank's section payload (skipping past the trailing
+	// retrieval index, which decoding tolerates by design): -verify must
+	// flag it, then succeed via the best-effort decode.
+	info, err := dpz.Stat(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxBytes := info.Sections[len(info.Sections)-1].CompressedBytes + 20
 	bad := append([]byte(nil), res.Data...)
-	bad[len(bad)-8] ^= 0x20
+	bad[len(bad)-idxBytes-8] ^= 0x20
 	badPath := filepath.Join(dir, "bad.dpz")
 	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
 		t.Fatal(err)
@@ -126,6 +132,31 @@ func TestStatOnlyAndJSON(t *testing.T) {
 	}
 	if !strings.Contains(text.String(), "sections:") {
 		t.Fatalf("stat-only output missing sections:\n%s", text.String())
+	}
+	// The retrieval index block: tile count and cumulative energy per rank.
+	if !strings.Contains(text.String(), "index:        1 tile summaries") {
+		t.Fatalf("stat-only output missing index line:\n%s", text.String())
+	}
+	if !strings.Contains(text.String(), "r1=") {
+		t.Fatalf("stat-only output missing rank energy line:\n%s", text.String())
+	}
+	// An index-less (v2) stream reports "none".
+	v2opts := dpz.StrictOptions()
+	v2opts.NoIndex = true
+	v2res, err := dpz.CompressFloat64(f.Data, f.Dims, v2opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2comp := filepath.Join(dir, "v2.dpz")
+	if err := os.WriteFile(v2comp, v2res.Data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v2text bytes.Buffer
+	if err := run([]string{v2comp}, &v2text); err != nil {
+		t.Fatalf("stat-only v2: %v", err)
+	}
+	if !strings.Contains(v2text.String(), "index:        none") {
+		t.Fatalf("v2 stat-only output missing index-none line:\n%s", v2text.String())
 	}
 	var js bytes.Buffer
 	if err := run([]string{"-json", comp}, &js); err != nil {

@@ -154,6 +154,12 @@ type Options struct {
 	// requests; leaving it nil scopes reuse to a single tiled or batch
 	// call.
 	BasisCache *BasisCache
+	// NoIndex disables the trailing retrieval-index section, producing a
+	// format-v2 stream byte-identical to earlier releases. The default
+	// (false) emits format v3 with per-tile summaries that power
+	// compressed-domain range/similarity queries and `dpzstat` index
+	// reporting; the index is a raw trailing section v2 readers skip.
+	NoIndex bool
 }
 
 // LooseOptions returns the paper's DPZ-l scheme (P=1e-3, 1-byte indexing).
@@ -203,6 +209,7 @@ func (o Options) toCore() core.Params {
 		CoeffTruncate:      o.CoeffTruncate,
 		ZLevel:             o.ZLevel,
 		SketchPCA:          o.SketchPCA,
+		NoIndex:            o.NoIndex,
 		Sampling: sampling.Params{
 			S:  o.SamplingSubsets,
 			T:  o.SamplingPick,

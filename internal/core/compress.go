@@ -13,6 +13,7 @@ import (
 	"dpz/internal/parallel"
 	"dpz/internal/pca"
 	"dpz/internal/quant"
+	"dpz/internal/retrieval"
 	"dpz/internal/sampling"
 	"dpz/internal/scratch"
 	"dpz/internal/stats"
@@ -96,10 +97,22 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	if total != len(data) {
 		return nil, fmt.Errorf("core: dims %v describe %d values, data has %d", dims, total, len(data))
 	}
+	// The retrieval-index value statistics ride along with the mandatory
+	// NaN scan — no extra pass over the data.
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	var sumV, sumSq float64
 	for i, v := range data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("core: non-finite value at index %d (NaN/Inf input unsupported)", i)
 		}
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sumV += v
+		sumSq += v * v
 	}
 	seed := p.Seed
 	if seed == 0 {
@@ -322,7 +335,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	// Quantization is elementwise, so the per-column split reconstructs
 	// identically to the joint stream.
 	t0 = metrics.Now()
-	if 2*k+2 > math.MaxUint16 {
+	if 2*k+3 > math.MaxUint16 { // means + scales + rank pairs + index section
 		return nil, fmt.Errorf("core: %d components exceed the container's section table", k)
 	}
 	r := stats.Range(data)
@@ -361,11 +374,17 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	// column becomes its own section next to its score stream.
 	t0 = metrics.Now()
 	proj := model.ProjectionMatrix(k)
+	// Per-rank coefficient energy for the retrieval index shares the
+	// existing scan over the score matrix; the serial row-major order keeps
+	// the sums byte-identical for every worker count.
 	colScale := make([]float64, k)
+	colEnergy := make([]float64, k)
 	for i := 0; i < shape.N; i++ {
 		row := scores.Row(i)
 		for j := 0; j < k; j++ {
-			if a := math.Abs(row[j]); a > colScale[j] {
+			v := row[j]
+			colEnergy[j] += v * v
+			if a := math.Abs(v); a > colScale[j] {
 				colScale[j] = a
 			}
 		}
@@ -424,7 +443,19 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 	if p.UseWavelet {
 		h.flags |= flagWavelet
 	}
-	out, rawTotal, err := encodeContainer(ctx, h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec, p.zlibLevel(), p.Workers)
+	var indexSec []byte
+	if !p.NoIndex {
+		nv := float64(len(data))
+		indexSec = retrieval.EncodePayload([]retrieval.Summary{{
+			Count:      len(data),
+			Min:        minV,
+			Max:        maxV,
+			Mean:       sumV / nv,
+			RMS:        math.Sqrt(sumSq / nv),
+			RankEnergy: colEnergy,
+		}})
+	}
+	out, rawTotal, err := encodeContainer(ctx, h, scoreSecs, projSecs, float32Bytes(model.Means), scalesSec, indexSec, p.zlibLevel(), p.Workers)
 	if err != nil {
 		return nil, err
 	}

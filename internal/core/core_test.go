@@ -249,10 +249,27 @@ func TestDecompressRejectsCorrupt(t *testing.T) {
 	if _, _, err := Decompress(c.Bytes[:len(c.Bytes)/2], 0); err == nil {
 		t.Fatal("expected error for truncated stream")
 	}
+	// v3 streams treat any trailing-region anomaly as a damaged index:
+	// the data decode survives (the index degrades to absent) and Verify
+	// reports the framing problem instead.
 	tail := make([]byte, len(c.Bytes)+4)
 	copy(tail, c.Bytes)
-	if _, _, err := Decompress(tail, 0); err == nil {
-		t.Fatal("expected error for trailing bytes")
+	if _, _, err := Decompress(tail, 0); err != nil {
+		t.Fatalf("v3 trailing bytes should degrade to no-index, got %v", err)
+	}
+	if err := Verify(tail); err == nil {
+		t.Fatal("Verify accepted trailing bytes on a v3 stream")
+	}
+	pv2 := DPZL()
+	pv2.NoIndex = true
+	c2, err := Compress(f.Data, f.Dims, pv2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail2 := make([]byte, len(c2.Bytes)+4)
+	copy(tail2, c2.Bytes)
+	if _, _, err := Decompress(tail2, 0); err == nil {
+		t.Fatal("expected error for trailing bytes on a v2 stream")
 	}
 	ver := make([]byte, len(c.Bytes))
 	copy(ver, c.Bytes)

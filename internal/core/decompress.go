@@ -31,8 +31,9 @@ func DecompressContext(ctx context.Context, buf []byte, workers int) ([]float64,
 // components of the stored k (0 means all). An information-oriented stream
 // is consistent at any reconstruction level (the paper's Section IV-C
 // note), so this acts as progressive decompression: a cheap preview from a
-// few components, full fidelity from all of them. For v2 streams the
-// trailing rank sections are not even inflated.
+// few components, full fidelity from all of them. For v2/v3 streams the
+// trailing rank sections are neither checksummed nor inflated, so the cost
+// scales with the requested rank, not the stored one.
 func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
 	return DecompressRankContext(context.Background(), buf, workers, rank)
 }
@@ -42,11 +43,40 @@ func DecompressRankContext(ctx context.Context, buf []byte, workers, rank int) (
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c, err := decodeContainer(ctx, buf, workers)
+	c, err := decodeContainerLimit(ctx, buf, workers, rank)
 	if err != nil {
 		return nil, nil, err
 	}
 	return decompressParsed(ctx, c, workers, rank)
+}
+
+// DecompressRanks is the preview entry point: it reconstructs from the
+// `ranks` leading components, clamping a request beyond the stored k
+// instead of failing, and reports the rank actually used. ranks <= 0
+// means a full decode. It is DecompressRank plus the clamp — previews ask
+// for "about this much fidelity" and should not have to know k first.
+func DecompressRanks(buf []byte, ranks, workers int) ([]float64, []int, int, error) {
+	return DecompressRanksContext(context.Background(), buf, ranks, workers)
+}
+
+// DecompressRanksContext is DecompressRanks with cooperative cancellation.
+func DecompressRanksContext(ctx context.Context, buf []byte, ranks, workers int) ([]float64, []int, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h, _, _, err := parseFixedHeader(buf)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	used := h.k
+	if ranks > 0 && ranks < h.k {
+		used = ranks
+	}
+	data, dims, err := DecompressRankContext(ctx, buf, workers, used)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return data, dims, used, nil
 }
 
 // decompressParsed reconstructs from an already-parsed container. It is

@@ -34,6 +34,16 @@ import (
 // damaged still yields a best-effort reconstruction from the leading
 // intact components (see DecompressBestEffort).
 //
+// Version 3 is v2 plus exactly one trailing retrieval-index section (the
+// "DPZI" payload of internal/retrieval) holding per-tile summaries for
+// compressed-domain queries. The index is stored raw — compLen equals
+// rawLen, no zlib — so index-only queries never inflate anything. Its
+// section header carries the usual CRC (checked by Verify), but the data
+// decode path ignores index damage entirely: a v3 stream with a ruined
+// index decodes exactly like the equivalent v2 stream, and the payload's
+// own inner CRC protects queries. v2 streams remain byte-identically
+// readable.
+//
 // Version 1 (the seed format) remains readable: one quant stream over
 // all N·K scores, the whole packed M×K projection, means, and optional
 // scales — no checksums, nsec as u8. decodeContainer dispatches on the
@@ -44,7 +54,8 @@ var magic = [4]byte{'D', 'P', 'Z', '1'}
 const (
 	formatV1      = 1
 	formatV2      = 2
-	formatVersion = formatV2
+	formatV3      = 3
+	formatVersion = formatV3
 )
 
 const (
@@ -78,6 +89,7 @@ type container struct {
 	proj    [][]byte
 	means   []byte
 	scales  []byte // nil unless standardized
+	index   []byte // raw retrieval-index payload (v3 only, nil when absent)
 }
 
 // float32Bytes encodes a float64 slice as little-endian float32.
@@ -107,11 +119,22 @@ func float32FromBytes(buf []byte) ([]float64, error) {
 // 32-bit platforms.
 const maxHeaderValue = uint64(math.MaxInt32) * 64
 
-// sectionLayout returns the v2 section count for a header: means,
-// optional scales, then (scores, projection) per component.
+// sectionLayout returns the v2 data-section count for a header: means,
+// optional scales, then (scores, projection) per component. v3 streams
+// hold the same data sections plus one trailing index section.
 func sectionLayout(h header) int {
 	n := 1 + 2*h.k
 	if h.flags&flagStandardized != 0 {
+		n++
+	}
+	return n
+}
+
+// sectionCount returns the total section count for a header at a given
+// format version.
+func sectionCount(h header, version int) int {
+	n := sectionLayout(h)
+	if version >= formatV3 {
 		n++
 	}
 	return n
@@ -122,6 +145,8 @@ func sectionLayout(h header) int {
 func v2SectionName(h header, i int) string {
 	std := h.flags&flagStandardized != 0
 	switch {
+	case i == sectionLayout(h): // the trailing v3 index section
+		return "index"
 	case i == 0:
 		return "means"
 	case std && i == 1:
@@ -138,15 +163,18 @@ func v2SectionName(h header, i int) string {
 	return fmt.Sprintf("rank %d projection", j/2)
 }
 
-// encodeContainer assembles the v2 byte stream. scores and proj hold one
-// raw (pre-zlib) section per stored component; scales is nil when the
-// stream is not standardized. Sections deflate in parallel (large ones
-// split further into shards — see shardSpans) but are assembled in
+// encodeContainer assembles the container byte stream. scores and proj
+// hold one raw (pre-zlib) section per stored component; scales is nil
+// when the stream is not standardized. A non-nil index payload makes the
+// stream format v3 with the index appended as one raw (uncompressed)
+// trailing section; a nil index yields a v2 stream byte-identical to
+// what earlier writers produced. Sections deflate in parallel (large
+// ones split further into shards — see shardSpans) but are assembled in
 // their fixed order, so the stream is byte-identical for every worker
 // count. It returns the stream and the total pre-zlib payload size (for
 // the zlib-stage CR accounting). A cancelled ctx aborts the deflate fan-out
 // and returns ctx.Err().
-func encodeContainer(ctx context.Context, h header, scores, proj [][]byte, means, scales []byte, level, workers int) ([]byte, int, error) {
+func encodeContainer(ctx context.Context, h header, scores, proj [][]byte, means, scales, index []byte, level, workers int) ([]byte, int, error) {
 	if len(scores) != h.k || len(proj) != h.k {
 		panic(fmt.Sprintf("core: %d score / %d projection sections for K=%d", len(scores), len(proj), h.k))
 	}
@@ -195,9 +223,13 @@ func encodeContainer(ctx context.Context, h header, scores, proj [][]byte, means
 		return nil, 0, err
 	}
 
+	version := formatV2
+	if index != nil {
+		version = formatV3
+	}
 	var out bytes.Buffer
 	out.Write(magic[:])
-	out.WriteByte(formatVersion)
+	out.WriteByte(uint8(version))
 	out.WriteByte(h.flags)
 	out.WriteByte(uint8(len(h.dims)))
 	out.WriteByte(h.width)
@@ -213,7 +245,7 @@ func encodeContainer(ctx context.Context, h header, scores, proj [][]byte, means
 	put(h.m)
 	put(h.n)
 	put(h.k)
-	binary.LittleEndian.PutUint16(b8[:2], uint16(sectionLayout(h)))
+	binary.LittleEndian.PutUint16(b8[:2], uint16(sectionCount(h, version)))
 	out.Write(b8[:2])
 	binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(out.Bytes()))
 	out.Write(b8[:4])
@@ -233,6 +265,16 @@ func encodeContainer(ctx context.Context, h header, scores, proj [][]byte, means
 		out.Write(b8[:4])
 		out.Write(payload)
 	}
+	if index != nil {
+		// The index travels raw (compLen == rawLen): compressed-domain
+		// queries read it without inflating anything.
+		rawTotal += len(index)
+		put(len(index))
+		put(len(index))
+		binary.LittleEndian.PutUint32(b8[:4], integrity.Checksum(index))
+		out.Write(b8[:4])
+		out.Write(index)
+	}
 	return out.Bytes(), rawTotal, nil
 }
 
@@ -247,7 +289,7 @@ func parseFixedHeader(buf []byte) (header, int, int, error) {
 		return h, 0, 0, fmt.Errorf("core: bad magic %q", buf[:4])
 	}
 	version := int(buf[4])
-	if version != formatV1 && version != formatV2 {
+	if version != formatV1 && version != formatV2 && version != formatV3 {
 		return h, 0, 0, fmt.Errorf("core: unsupported version %d", version)
 	}
 	h.flags = buf[5]
@@ -340,69 +382,110 @@ func readSectionHeader(buf []byte, pos, version int) (rawLen, compLen int, crc u
 	return rawLen, compLen, crc, pos, nil
 }
 
-// decodeContainer parses a stream of either version, returning the
-// header and inflated sections in the version-independent layout.
-// Section checksums and inflation run in parallel across sections (and
-// across shards within a sharded section). Every structural or checksum
-// problem is an error; see parseLenient for the damage-tolerant walk
-// used by Verify and DecompressBestEffort.
-// A cancelled ctx aborts the checksum/inflate fan-out with ctx.Err().
-func decodeContainer(ctx context.Context, buf []byte, workers int) (container, error) {
-	var c container
+// secRef locates one section's compressed payload inside a stream.
+type secRef struct {
+	rawLen int
+	crc    uint32
+	comp   []byte
+}
+
+// parsedStream is the outcome of a strict header walk: the data-section
+// references (in layout order, not yet checksummed or inflated) and, for
+// v3 streams, the raw retrieval-index payload.
+type parsedStream struct {
+	version int
+	h       header
+	refs    []secRef // data sections only, layout order
+	index   []byte   // raw index payload (v3, nil when absent or damaged)
+}
+
+// parseSections walks a stream's header and section table without
+// checksumming or inflating any payload. Structural damage to the fixed
+// header or a data section is an error; the v3 index section is
+// tolerated in every way — a damaged index header (or trailing garbage
+// around it) simply yields a nil index, so data decoding never fails
+// because of index damage. Verify is the strict integrity scan.
+func parseSections(buf []byte) (parsedStream, error) {
+	var ps parsedStream
 	h, version, pos, err := parseFixedHeader(buf)
 	if err != nil {
-		return c, err
+		return ps, err
 	}
-	c.h, c.version = h, version
+	ps.h, ps.version = h, version
 
-	var nsec int
+	var ndata int
 	switch version {
 	case formatV1:
 		if pos >= len(buf) {
-			return c, fmt.Errorf("core: missing section table")
+			return ps, fmt.Errorf("core: missing section table")
 		}
-		nsec = int(buf[pos])
+		nsec := int(buf[pos])
 		pos++
-		want := 3
+		ndata = 3
 		if h.flags&flagStandardized != 0 {
-			want = 4
+			ndata = 4
 		}
-		if nsec != want {
-			return c, fmt.Errorf("core: %d sections, want %d", nsec, want)
+		if nsec != ndata {
+			return ps, fmt.Errorf("core: %d sections, want %d", nsec, ndata)
 		}
 	default:
 		if pos+6 > len(buf) {
-			return c, fmt.Errorf("core: missing section table")
+			return ps, fmt.Errorf("core: missing section table")
 		}
-		nsec = int(binary.LittleEndian.Uint16(buf[pos:]))
+		nsec := int(binary.LittleEndian.Uint16(buf[pos:]))
 		want := binary.LittleEndian.Uint32(buf[pos+2:])
 		if got := integrity.Checksum(buf[:pos+2]); got != want {
-			return c, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
+			return ps, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
 		}
 		pos += 6
-		if nsec != sectionLayout(h) {
-			return c, fmt.Errorf("core: %d sections, want %d", nsec, sectionLayout(h))
+		if nsec != sectionCount(h, version) {
+			return ps, fmt.Errorf("core: %d sections, want %d", nsec, sectionCount(h, version))
 		}
+		ndata = sectionLayout(h)
 	}
 
-	// Walk the section headers serially (each offset depends on the
-	// previous compLen), then checksum and inflate in parallel.
-	type secRef struct {
-		rawLen int
-		crc    uint32
-		comp   []byte
-	}
-	refs := make([]secRef, 0, nsec)
-	for s := 0; s < nsec; s++ {
+	// Walk the data-section headers serially (each offset depends on the
+	// previous compLen).
+	ps.refs = make([]secRef, 0, ndata)
+	for s := 0; s < ndata; s++ {
 		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, version)
 		if err != nil {
-			return c, err
+			return ps, err
 		}
-		refs = append(refs, secRef{rawLen, crc, buf[at : at+compLen]})
+		ps.refs = append(ps.refs, secRef{rawLen, crc, buf[at : at+compLen]})
 		pos = at + compLen
 	}
+	if version >= formatV3 {
+		// The trailing index section is best-effort: any anomaly (bad
+		// header, raw/comp length mismatch, trailing bytes) degrades to
+		// "no index" rather than failing the stream.
+		rawLen, compLen, _, at, err := readSectionHeader(buf, pos, version)
+		if err == nil && rawLen == compLen && at+compLen == len(buf) {
+			ps.index = buf[at : at+compLen]
+		}
+		return ps, nil
+	}
 	if pos != len(buf) {
-		return c, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
+		return ps, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
+	}
+	return ps, nil
+}
+
+// inflateParsed checksums and inflates a parsed stream's data sections in
+// parallel (and across shards within a sharded section), returning the
+// version-independent container. For v2/v3 streams a non-zero limit
+// restricts the work to the leading `limit` rank regions (plus the side
+// data): trailing sections are neither checksummed nor inflated, which is
+// what makes rank-r preview decoding cheap. The raw index payload, when
+// present, is attached without any processing here — its integrity is the
+// retrieval codec's concern. A cancelled ctx aborts with ctx.Err().
+func inflateParsed(ctx context.Context, ps parsedStream, workers, limit int) (container, error) {
+	c := container{version: ps.version, h: ps.h, index: ps.index}
+	h := ps.h
+	nsec := len(ps.refs)
+	need := nsec
+	if ps.version >= formatV2 && limit > 0 && limit < h.k {
+		need = nsec - 2*(h.k-limit)
 	}
 	sections := make([][]byte, nsec)
 	errs := make([]error, nsec)
@@ -412,10 +495,10 @@ func decodeContainer(ctx context.Context, buf []byte, workers int) (container, e
 	}
 	// Split the worker budget between sections and the shards inside a
 	// large section, so a stream dominated by one big section still scales.
-	inner := (w + nsec - 1) / nsec
-	if err := parallel.ForCtx(ctx, nsec, workers, func(s int) {
-		ref := refs[s]
-		if version >= formatV2 {
+	inner := (w + need - 1) / need
+	if err := parallel.ForCtx(ctx, need, workers, func(s int) {
+		ref := ps.refs[s]
+		if ps.version >= formatV2 {
 			if got := integrity.Checksum(ref.comp); got != ref.crc {
 				errs[s] = fmt.Errorf("core: section %d (%s) %w (stored %08x, computed %08x)",
 					s, v2SectionName(h, s), integrity.ErrCRC, ref.crc, got)
@@ -438,7 +521,7 @@ func decodeContainer(ctx context.Context, buf []byte, workers int) (container, e
 		}
 	}
 
-	switch version {
+	switch ps.version {
 	case formatV1:
 		c.scores = sections[0:1]
 		c.proj = sections[1:2]
@@ -461,4 +544,26 @@ func decodeContainer(ctx context.Context, buf []byte, workers int) (container, e
 		}
 	}
 	return c, nil
+}
+
+// decodeContainer parses a stream of any supported version, returning
+// the header and inflated sections in the version-independent layout.
+// Every structural or checksum problem in the data sections is an error;
+// see walkV2 for the damage-tolerant walk used by Verify and
+// DecompressBestEffort. A cancelled ctx aborts with ctx.Err().
+func decodeContainer(ctx context.Context, buf []byte, workers int) (container, error) {
+	return decodeContainerLimit(ctx, buf, workers, 0)
+}
+
+// decodeContainerLimit is decodeContainer restricted to the leading
+// `limit` rank regions (0 = all): for v2/v3 streams the trailing rank
+// sections are neither checksummed nor inflated, and their entries in
+// the returned container stay nil. v1 streams are monolithic, so the
+// limit is ignored and the caller truncates after decoding.
+func decodeContainerLimit(ctx context.Context, buf []byte, workers, limit int) (container, error) {
+	ps, err := parseSections(buf)
+	if err != nil {
+		return container{}, err
+	}
+	return inflateParsed(ctx, ps, workers, limit)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dpz/internal/integrity"
+	"dpz/internal/retrieval"
 	"dpz/internal/stats"
 )
 
@@ -28,7 +29,7 @@ type SectionInfo struct {
 // one metadata-rendering path shared by `dpzstat -json` and the dpzd
 // `/v1/stat` endpoint.
 type StreamInfo struct {
-	// Version is the container format version (1 or 2).
+	// Version is the container format version (1, 2 or 3).
 	Version int `json:"version"`
 	// Dims are the logical dimensions recorded at compression time.
 	Dims []int `json:"dims"`
@@ -55,6 +56,16 @@ type StreamInfo struct {
 	// throughout the evaluation) and BitRate its bits-per-value form.
 	CompressionRatio float64 `json:"compression_ratio"`
 	BitRate          float64 `json:"bit_rate"`
+	// HasIndex reports a decodable v3 retrieval-index section. A v3
+	// stream whose index payload is damaged inspects as HasIndex=false —
+	// the same "no index" degradation the decode path applies.
+	HasIndex bool `json:"has_index,omitempty"`
+	// IndexTiles is the number of per-tile summaries the index holds.
+	IndexTiles int `json:"index_tiles,omitempty"`
+	// RankCumulativeEnergy[r] is the fraction of total coefficient energy
+	// the leading r+1 ranks carry (summed across tiles), so users can pick
+	// a preview rank without decoding anything.
+	RankCumulativeEnergy []float64 `json:"rank_cumulative_energy,omitempty"`
 	// Sections lists every container section in stream order.
 	Sections []SectionInfo `json:"sections"`
 }
@@ -119,8 +130,8 @@ func Inspect(buf []byte) (*StreamInfo, error) {
 			return nil, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
 		}
 		pos += 6
-		if nsec != sectionLayout(h) {
-			return nil, fmt.Errorf("core: %d sections, want %d", nsec, sectionLayout(h))
+		if nsec != sectionCount(h, version) {
+			return nil, fmt.Errorf("core: %d sections, want %d", nsec, sectionCount(h, version))
 		}
 		names = func(i int) string { return v2SectionName(h, i) }
 	}
@@ -141,6 +152,15 @@ func Inspect(buf []byte) (*StreamInfo, error) {
 		})
 		info.PayloadRawBytes += rawLen
 		pos = at + compLen
+		if version >= formatV3 && s == sectionLayout(h) && rawLen == compLen {
+			// Decode the raw index payload for the summary fields; damage
+			// degrades to "no index" rather than failing inspection.
+			if ix, err := retrieval.DecodePayload(payload); err == nil {
+				info.HasIndex = true
+				info.IndexTiles = len(ix.Tiles)
+				info.RankCumulativeEnergy = cumulativeEnergy(ix)
+			}
+		}
 	}
 	if pos != len(buf) {
 		return nil, fmt.Errorf("core: %d trailing bytes", len(buf)-pos)
@@ -148,4 +168,36 @@ func Inspect(buf []byte) (*StreamInfo, error) {
 	info.CompressionRatio = stats.CompressionRatio(4*info.Values, len(buf))
 	info.BitRate = stats.BitRate(info.CompressionRatio, 32)
 	return info, nil
+}
+
+// cumulativeEnergy sums the per-rank energies across every tile of an
+// index and returns the cumulative fraction carried by each rank prefix.
+func cumulativeEnergy(ix *retrieval.Index) []float64 {
+	var ranks int
+	for i := range ix.Tiles {
+		if n := len(ix.Tiles[i].RankEnergy); n > ranks {
+			ranks = n
+		}
+	}
+	if ranks == 0 {
+		return nil
+	}
+	sum := make([]float64, ranks)
+	var total float64
+	for i := range ix.Tiles {
+		for j, e := range ix.Tiles[i].RankEnergy {
+			sum[j] += e
+			total += e
+		}
+	}
+	if total <= 0 {
+		return nil
+	}
+	cum := make([]float64, ranks)
+	run := 0.0
+	for j, e := range sum {
+		run += e
+		cum[j] = run / total
+	}
+	return cum
 }

@@ -50,12 +50,23 @@ func TestInspectMatchesCompression(t *testing.T) {
 	if got, want := info.CompressionRatio, c.Stats.CRTotal; math.Abs(got-want) > 1e-9 {
 		t.Errorf("CompressionRatio = %v, want %v", got, want)
 	}
-	wantSecs := sectionLayout(header{flags: boolFlag(info.Standardized), k: info.Components})
+	wantSecs := sectionCount(header{flags: boolFlag(info.Standardized), k: info.Components}, info.Version)
 	if len(info.Sections) != wantSecs {
 		t.Errorf("%d sections, want %d", len(info.Sections), wantSecs)
 	}
 	if info.Sections[0].Name != "means" {
 		t.Errorf("section 0 = %q, want means", info.Sections[0].Name)
+	}
+	if last := info.Sections[len(info.Sections)-1]; last.Name != "index" {
+		t.Errorf("last section = %q, want index", last.Name)
+	}
+	if !info.HasIndex || info.IndexTiles != 1 {
+		t.Errorf("HasIndex/IndexTiles = %v/%d, want true/1", info.HasIndex, info.IndexTiles)
+	}
+	if n := len(info.RankCumulativeEnergy); n != info.Components {
+		t.Errorf("RankCumulativeEnergy has %d entries, want %d", n, info.Components)
+	} else if math.Abs(info.RankCumulativeEnergy[n-1]-1) > 1e-9 {
+		t.Errorf("cumulative energy tops out at %v, want 1", info.RankCumulativeEnergy[n-1])
 	}
 	var raw int
 	for _, s := range info.Sections {

@@ -130,6 +130,11 @@ type Params struct {
 	// the full spectrum (knee-point selection) or their own solver
 	// (ParallelPCA) fall back to their usual path.
 	SketchPCA bool
+	// NoIndex disables the format-v3 retrieval-index section, producing a
+	// v2 stream byte-identical to what earlier releases wrote. Use it for
+	// exact-format reproduction (golden files) or when the few dozen bytes
+	// per stream matter more than compressed-domain queries.
+	NoIndex bool
 	// Basis, when non-nil, activates basis reuse for Stage 2: Candidate
 	// (if set) is offered to the reuse-aware fits, and the basis this
 	// compression actually used is published back through Fitted for

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"dpz/internal/blockio"
+	"dpz/internal/integrity"
+	"dpz/internal/mat"
+	"dpz/internal/parallel"
+	"dpz/internal/quant"
+)
+
+// Progressive decodes one stream at increasing fidelity, caching work
+// across refinements: each Decode(r) inflates and dequantizes only the
+// rank columns not already decoded, then reruns the reconstruction from
+// the cached columns. Every Decode(r) is byte-identical to
+// DecompressRank(buf, workers, r) — the reconstruction GEMM always runs
+// over the full requested rank, so no incremental-accumulation rounding
+// can creep in; what refinement saves is the parse, inflate and
+// dequantize work for ranks already seen.
+//
+// A Progressive is not safe for concurrent use; each Decode call may use
+// `workers` goroutines internally.
+type Progressive struct {
+	buf     []byte
+	ps      parsedStream
+	workers int
+
+	v1 *container // v1 fallback: monolithic sections, decoded once
+
+	means, scales []float64
+	ycols         [][]float64 // dequantized score columns, filled to done
+	pcols         [][]float64 // projection columns, filled to done
+	done          int
+}
+
+// NewProgressive parses the stream headers (no section is inflated yet)
+// and returns a resumable decoder.
+func NewProgressive(buf []byte, workers int) (*Progressive, error) {
+	ps, err := parseSections(buf)
+	if err != nil {
+		return nil, err
+	}
+	p := &Progressive{buf: buf, ps: ps, workers: workers}
+	k := ps.h.k
+	p.ycols = make([][]float64, k)
+	p.pcols = make([][]float64, k)
+	return p, nil
+}
+
+// StoredRank returns k, the number of components the stream holds.
+func (p *Progressive) StoredRank() int { return p.ps.h.k }
+
+// Dims returns the logical dimensions recorded at compression time.
+func (p *Progressive) Dims() []int { return append([]int(nil), p.ps.h.dims...) }
+
+// Decode reconstructs from the leading `ranks` components (clamped to
+// [1, k]; ranks <= 0 means all), reusing every column decoded by earlier
+// calls. It returns the data, dims and the rank actually used.
+func (p *Progressive) Decode(ranks int) ([]float64, []int, int, error) {
+	return p.DecodeContext(context.Background(), ranks)
+}
+
+// DecodeContext is Decode with cooperative cancellation.
+func (p *Progressive) DecodeContext(ctx context.Context, ranks int) ([]float64, []int, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	h := p.ps.h
+	used := h.k
+	if ranks > 0 && ranks < h.k {
+		used = ranks
+	}
+	if p.ps.version == formatV1 {
+		// v1 sections are monolithic; decode the container once and
+		// truncate per call.
+		if p.v1 == nil {
+			c, err := decodeContainer(ctx, p.buf, p.workers)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			p.v1 = &c
+		}
+		data, dims, err := decompressParsed(ctx, *p.v1, p.workers, used)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return data, dims, used, nil
+	}
+	if err := p.extend(ctx, used); err != nil {
+		return nil, nil, 0, err
+	}
+
+	y := mat.NewDense(h.n, used)
+	proj := mat.NewDense(h.m, used)
+	for j := 0; j < used; j++ {
+		y.SetCol(j, p.ycols[j])
+		proj.SetCol(j, p.pcols[j])
+	}
+	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
+	data, err := reconstruct(y, proj, p.means, p.scales, shape, h.origLen, p.workers,
+		transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return data, append([]int(nil), h.dims...), used, nil
+}
+
+// extend decodes the side data (first call) and the rank columns in
+// [done, used), checksumming and inflating only those sections.
+func (p *Progressive) extend(ctx context.Context, used int) error {
+	h := p.ps.h
+	if p.means == nil {
+		sec, err := p.section(ctx, 0)
+		if err != nil {
+			return err
+		}
+		if p.means, err = float32FromBytes(sec); err != nil {
+			return err
+		}
+		if len(p.means) != h.m {
+			return fmt.Errorf("core: means size %d != M = %d", len(p.means), h.m)
+		}
+		if h.flags&flagStandardized != 0 {
+			sec, err := p.section(ctx, 1)
+			if err != nil {
+				return err
+			}
+			if p.scales, err = float32FromBytes(sec); err != nil {
+				return err
+			}
+			if len(p.scales) != h.m {
+				return fmt.Errorf("core: scales size %d != M = %d", len(p.scales), h.m)
+			}
+		}
+	}
+	if used <= p.done {
+		return nil
+	}
+	base := 1
+	if h.flags&flagStandardized != 0 {
+		base = 2
+	}
+	lo := p.done
+	errs := make([]error, used-lo)
+	if err := parallel.ForCtx(ctx, used-lo, p.workers, func(i int) {
+		j := lo + i
+		scoreSec, err := p.section(ctx, base+2*j)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		enc, err := quant.Unmarshal(scoreSec)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: rank %d scores: %w", j, err)
+			return
+		}
+		if enc.Count != h.n {
+			errs[i] = fmt.Errorf("core: rank %d score count %d != N = %d", j, enc.Count, h.n)
+			return
+		}
+		col, err := enc.Decode()
+		if err != nil {
+			errs[i] = fmt.Errorf("core: rank %d scores: %w", j, err)
+			return
+		}
+		p.ycols[j] = col
+
+		projSec, err := p.section(ctx, base+2*j+1)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if h.flags&flagRawProj != 0 {
+			pcol, err := float32FromBytes(projSec)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: rank %d projection: %w", j, err)
+				return
+			}
+			if len(pcol) != h.m {
+				errs[i] = fmt.Errorf("core: rank %d projection size %d != M = %d", j, len(pcol), h.m)
+				return
+			}
+			p.pcols[j] = pcol
+		} else {
+			pm, err := decodeProjection(projSec, h.m, 1)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: rank %d projection: %w", j, err)
+				return
+			}
+			pcol := make([]float64, h.m)
+			pm.Col(0, pcol)
+			p.pcols[j] = pcol
+		}
+	}); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	p.done = used
+	return nil
+}
+
+// section checksums and inflates data section s.
+func (p *Progressive) section(ctx context.Context, s int) ([]byte, error) {
+	ref := p.ps.refs[s]
+	if got := integrity.Checksum(ref.comp); got != ref.crc {
+		return nil, fmt.Errorf("core: section %d (%s) %w (stored %08x, computed %08x)",
+			s, v2SectionName(p.ps.h, s), integrity.ErrCRC, ref.crc, got)
+	}
+	return inflateSection(ctx, ref.comp, ref.rawLen, 1)
+}

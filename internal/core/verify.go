@@ -41,18 +41,20 @@ type sectionState struct {
 	err  error  // nil when intact
 }
 
-// walkV2 walks a v2 stream's section table tolerantly: a section whose
-// checksum fails, whose declared sizes derail the walk, or (when
+// walkV2 walks a v2/v3 stream's section table tolerantly: a section
+// whose checksum fails, whose declared sizes derail the walk, or (when
 // doInflate is set) whose zlib payload fails to decode is marked damaged
 // instead of aborting. The fixed header and its checksum must be intact
 // — without a trusted shape nothing downstream is decodable. A final
-// pseudo-section flags trailing garbage after the section table.
+// pseudo-section flags trailing garbage after the section table. The v3
+// index section is checksummed like any other but — being stored raw —
+// never inflated; its raw field is the payload itself.
 func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
 	h, version, pos, err := parseFixedHeader(buf)
 	if err != nil {
 		return h, nil, err
 	}
-	if version != formatV2 {
+	if version == formatV1 {
 		return h, nil, fmt.Errorf("core: version %d stream has no section checksums", version)
 	}
 	if pos+6 > len(buf) {
@@ -64,8 +66,8 @@ func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
 		return h, nil, fmt.Errorf("core: header %w (stored %08x, computed %08x)", integrity.ErrCRC, want, got)
 	}
 	pos += 6
-	if nsec != sectionLayout(h) {
-		return h, nil, fmt.Errorf("core: %d sections, want %d", nsec, sectionLayout(h))
+	if nsec != sectionCount(h, version) {
+		return h, nil, fmt.Errorf("core: %d sections, want %d", nsec, sectionCount(h, version))
 	}
 
 	secs := make([]sectionState, nsec)
@@ -73,11 +75,12 @@ func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
 	var derailErr error
 	for s := 0; s < nsec; s++ {
 		secs[s].name = v2SectionName(h, s)
+		isIndex := version >= formatV3 && s == sectionLayout(h)
 		if derailed {
 			secs[s].err = fmt.Errorf("unreachable: %w", derailErr)
 			continue
 		}
-		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, formatV2)
+		rawLen, compLen, crc, at, err := readSectionHeader(buf, pos, version)
 		if err != nil {
 			// The walk cannot resync past a corrupted size field; this and
 			// every later section are lost.
@@ -91,6 +94,15 @@ func walkV2(buf []byte, doInflate bool) (header, []sectionState, error) {
 		secs[s].off = at
 		if got := integrity.Checksum(comp); got != crc {
 			secs[s].err = fmt.Errorf("%w (stored %08x, computed %08x)", integrity.ErrCRC, crc, got)
+			continue
+		}
+		if isIndex {
+			// Stored raw; the length fields must agree.
+			if rawLen != compLen {
+				secs[s].err = fmt.Errorf("raw index section declares %d raw vs %d stored bytes", rawLen, compLen)
+				continue
+			}
+			secs[s].raw = comp
 			continue
 		}
 		if doInflate {

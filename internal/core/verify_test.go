@@ -88,8 +88,8 @@ func TestGoldenV1StreamDecodesByteIdentically(t *testing.T) {
 
 func TestVerifyCleanStream(t *testing.T) {
 	c, _ := compressedV2(t, 1)
-	if c.Bytes[4] != formatV2 {
-		t.Fatalf("writer emits version %d, want 2", c.Bytes[4])
+	if c.Bytes[4] != formatV3 {
+		t.Fatalf("writer emits version %d, want 3", c.Bytes[4])
 	}
 	if err := Verify(c.Bytes); err != nil {
 		t.Fatalf("Verify(clean) = %v", err)

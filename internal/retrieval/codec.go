@@ -1,0 +1,133 @@
+package retrieval
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dpz/internal/integrity"
+)
+
+// Index payload layout (little-endian, self-describing so the same bytes
+// serve as a v3 stream section and as an archive index entry):
+//
+//	magic   [4]byte  "DPZI"
+//	version u8       = 1
+//	count   u32      number of tile summaries
+//	per summary:
+//	  count u64, min f64, max f64, mean f64, rms f64,
+//	  nrank u16, energy [nrank]f64
+//	crc     u32      CRC-32C of every byte above
+//
+// Floats are stored as raw IEEE-754 bits, so encode(decode(b)) == b for
+// every payload decode accepts — the fuzz round-trip invariant.
+
+var indexMagic = [4]byte{'D', 'P', 'Z', 'I'}
+
+const indexVersion = 1
+
+// maxIndexRanks bounds the per-tile rank count a decoder will accept; far
+// above any real stream (k <= M <= a few thousand blocks), low enough
+// that a corrupt length field cannot demand a huge allocation.
+const maxIndexRanks = 1 << 16
+
+// EncodePayload serializes tile summaries into the self-describing index
+// payload. The encoding is deterministic: identical summaries yield
+// identical bytes.
+func EncodePayload(tiles []Summary) []byte {
+	size := 4 + 1 + 4 + 4
+	for i := range tiles {
+		size += 8 + 4*8 + 2 + 8*len(tiles[i].RankEnergy)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, indexMagic[:]...)
+	out = append(out, indexVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(tiles)))
+	for i := range tiles {
+		s := &tiles[i]
+		out = binary.LittleEndian.AppendUint64(out, uint64(s.Count))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Min))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Max))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.Mean))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.RMS))
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(s.RankEnergy)))
+		for _, e := range s.RankEnergy {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e))
+		}
+	}
+	out = binary.LittleEndian.AppendUint32(out, integrity.Checksum(out))
+	return out
+}
+
+// DecodePayload parses an index payload, validating the magic, version,
+// structure and trailing CRC-32C. Damage of any kind yields a
+// *CorruptError (which wraps ErrNoIndex) — never a partial or wrong
+// index, and never a panic, whatever the input bytes.
+func DecodePayload(buf []byte) (*Index, error) {
+	const fixed = 4 + 1 + 4
+	if len(buf) < fixed+4 {
+		return nil, &CorruptError{Reason: fmt.Sprintf("payload too short (%d bytes)", len(buf))}
+	}
+	if string(buf[:4]) != string(indexMagic[:]) {
+		return nil, &CorruptError{Reason: fmt.Sprintf("bad magic %q", buf[:4])}
+	}
+	if buf[4] != indexVersion {
+		return nil, &CorruptError{Reason: fmt.Sprintf("unsupported index version %d", buf[4])}
+	}
+	stored := binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	body := buf[:len(buf)-4]
+	if got := integrity.Checksum(body); got != stored {
+		return nil, &CorruptError{Reason: fmt.Sprintf("%v (stored %08x, computed %08x)", integrity.ErrCRC, stored, got)}
+	}
+	count := int(binary.LittleEndian.Uint32(buf[5:]))
+	// Each summary needs at least 42 bytes; reject counts the payload
+	// cannot possibly hold before allocating anything.
+	const minSummary = 8 + 4*8 + 2
+	if count < 0 || count > (len(body)-fixed)/minSummary {
+		return nil, &CorruptError{Reason: fmt.Sprintf("implausible tile count %d for %d bytes", count, len(buf))}
+	}
+	ix := &Index{Tiles: make([]Summary, count)}
+	pos := fixed
+	rd64 := func() (uint64, bool) {
+		if pos+8 > len(body) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(body[pos:])
+		pos += 8
+		return v, true
+	}
+	for i := 0; i < count; i++ {
+		s := &ix.Tiles[i]
+		cnt, ok := rd64()
+		if !ok || cnt > uint64(math.MaxInt) {
+			return nil, &CorruptError{Reason: fmt.Sprintf("tile %d truncated or implausible", i)}
+		}
+		s.Count = int(cnt)
+		for _, dst := range []*float64{&s.Min, &s.Max, &s.Mean, &s.RMS} {
+			bits, ok := rd64()
+			if !ok {
+				return nil, &CorruptError{Reason: fmt.Sprintf("tile %d truncated", i)}
+			}
+			*dst = math.Float64frombits(bits)
+		}
+		if pos+2 > len(body) {
+			return nil, &CorruptError{Reason: fmt.Sprintf("tile %d truncated", i)}
+		}
+		nrank := int(binary.LittleEndian.Uint16(body[pos:]))
+		pos += 2
+		if nrank > maxIndexRanks || pos+8*nrank > len(body) {
+			return nil, &CorruptError{Reason: fmt.Sprintf("tile %d declares %d ranks beyond payload", i, nrank)}
+		}
+		if nrank > 0 {
+			s.RankEnergy = make([]float64, nrank)
+			for j := range s.RankEnergy {
+				bits, _ := rd64()
+				s.RankEnergy[j] = math.Float64frombits(bits)
+			}
+		}
+	}
+	if pos != len(body) {
+		return nil, &CorruptError{Reason: fmt.Sprintf("%d trailing bytes", len(body)-pos)}
+	}
+	return ix, nil
+}

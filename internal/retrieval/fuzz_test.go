@@ -1,0 +1,39 @@
+package retrieval
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzIndexRoundTrip checks the two codec invariants: (1) decoding
+// arbitrary bytes never panics and fails only with the typed
+// ErrNoIndex family, and (2) any payload decode accepts re-encodes
+// byte-identically (floats travel as raw bits, so even NaN payloads
+// survive).
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add(EncodePayload(nil))
+	f.Add(EncodePayload([]Summary{{Count: 4, Min: -1, Max: 1, Mean: 0, RMS: 0.5}}))
+	f.Add(EncodePayload([]Summary{
+		{Count: 64, Min: 0, Max: 9, Mean: 3, RMS: 4, RankEnergy: []float64{5, 3, 1}},
+		{Count: 64, Min: -2, Max: 2, Mean: 0, RMS: 1, RankEnergy: []float64{math.Inf(1), math.NaN()}},
+	}))
+	f.Add([]byte("DPZI"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := DecodePayload(data)
+		if err != nil {
+			if ix != nil {
+				t.Fatal("non-nil index returned with error")
+			}
+			if !errors.Is(err, ErrNoIndex) {
+				t.Fatalf("decode error %v does not wrap ErrNoIndex", err)
+			}
+			return
+		}
+		re := EncodePayload(ix.Tiles)
+		if string(re) != string(data) {
+			t.Fatalf("re-encode differs: %d bytes in, %d bytes out", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package retrieval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Field names a summary statistic a range predicate can test.
+type Field string
+
+const (
+	FieldMin  Field = "min"
+	FieldMax  Field = "max"
+	FieldMean Field = "mean"
+	FieldRMS  Field = "rms"
+)
+
+// Op is a range-predicate comparison operator.
+type Op string
+
+const (
+	OpGT Op = ">"
+	OpGE Op = ">="
+	OpLT Op = "<"
+	OpLE Op = "<="
+)
+
+// Predicate is one range condition over a summary field, e.g.
+// "tiles where max > 1.5".
+type Predicate struct {
+	Field Field   `json:"field"`
+	Op    Op      `json:"op"`
+	Value float64 `json:"value"`
+}
+
+// ParsePredicate parses the compact "field>value" form used by the CLI
+// and the /v1/query endpoint (operators >, >=, <, <=).
+func ParsePredicate(s string) (Predicate, error) {
+	for _, op := range []Op{OpGE, OpLE, OpGT, OpLT} { // two-char ops first
+		if i := strings.Index(s, string(op)); i > 0 {
+			f := Field(strings.TrimSpace(s[:i]))
+			v, err := strconv.ParseFloat(strings.TrimSpace(s[i+len(op):]), 64)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("retrieval: bad predicate value in %q", s)
+			}
+			p := Predicate{Field: f, Op: op, Value: v}
+			if err := p.validate(); err != nil {
+				return Predicate{}, err
+			}
+			return p, nil
+		}
+	}
+	return Predicate{}, fmt.Errorf("retrieval: predicate %q must be field<op>value with op one of > >= < <=", s)
+}
+
+func (p Predicate) validate() error {
+	switch p.Field {
+	case FieldMin, FieldMax, FieldMean, FieldRMS:
+	default:
+		return fmt.Errorf("retrieval: unknown field %q (min|max|mean|rms)", p.Field)
+	}
+	switch p.Op {
+	case OpGT, OpGE, OpLT, OpLE:
+	default:
+		return fmt.Errorf("retrieval: unknown operator %q (>|>=|<|<=)", p.Op)
+	}
+	if math.IsNaN(p.Value) {
+		return fmt.Errorf("retrieval: predicate value is NaN")
+	}
+	return nil
+}
+
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s%s%g", p.Field, p.Op, p.Value)
+}
+
+// matches reports whether summary s satisfies the predicate.
+func (p Predicate) matches(s *Summary) bool {
+	var v float64
+	switch p.Field {
+	case FieldMin:
+		v = s.Min
+	case FieldMax:
+		v = s.Max
+	case FieldMean:
+		v = s.Mean
+	case FieldRMS:
+		v = s.RMS
+	default:
+		return false
+	}
+	switch p.Op {
+	case OpGT:
+		return v > p.Value
+	case OpGE:
+		return v >= p.Value
+	case OpLT:
+		return v < p.Value
+	case OpLE:
+		return v <= p.Value
+	}
+	return false
+}
+
+// Match is one tile returned by a query, with the score that ranked it
+// (similarity queries) or the tested field's value (range queries).
+type Match struct {
+	Tile  int     `json:"tile"`
+	Score float64 `json:"score"`
+}
+
+// Range returns the tiles whose summaries satisfy every predicate, in
+// tile order, with Score holding the first predicate's field value. An
+// invalid predicate is an error; no predicates matches every tile.
+func (ix *Index) Range(preds ...Predicate) ([]Match, error) {
+	for _, p := range preds {
+		if err := p.validate(); err != nil {
+			return nil, err
+		}
+	}
+	var out []Match
+	for i := range ix.Tiles {
+		s := &ix.Tiles[i]
+		ok := true
+		for _, p := range preds {
+			if !p.matches(s) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		m := Match{Tile: i}
+		if len(preds) > 0 {
+			probe := Predicate{Field: preds[0].Field, Op: OpGE, Value: math.Inf(-1)}
+			switch probe.Field {
+			case FieldMin:
+				m.Score = s.Min
+			case FieldMax:
+				m.Score = s.Max
+			case FieldMean:
+				m.Score = s.Mean
+			case FieldRMS:
+				m.Score = s.RMS
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// TopK returns the k tiles whose rank-energy signatures are most similar
+// to the query signature, best first. The query is a per-rank energy
+// vector (e.g. another tile's RankEnergy, or |Qᵀx|² of a query vector
+// projected onto the stored basis); scoring is cosine similarity between
+// unit sqrt-energy signatures, so only the index is read — no section is
+// inflated. Tiles without energy records are skipped. Ties break toward
+// the lower tile id, keeping results deterministic.
+func (ix *Index) TopK(queryEnergy []float64, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("retrieval: top-k needs k >= 1, got %d", k)
+	}
+	q := NormalizeSignature(queryEnergy)
+	if q == nil {
+		return nil, fmt.Errorf("retrieval: query signature is empty or has no energy")
+	}
+	var out []Match
+	for i := range ix.Tiles {
+		sig := ix.signature(i)
+		if sig == nil {
+			continue
+		}
+		n := min(len(sig), len(q))
+		var dot float64
+		for j := 0; j < n; j++ {
+			dot += sig[j] * q[j]
+		}
+		out = append(out, Match{Tile: i, Score: dot})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// SimilarTo is TopK seeded with tile i's own signature; tile i itself is
+// excluded from the results.
+func (ix *Index) SimilarTo(i, k int) ([]Match, error) {
+	if i < 0 || i >= len(ix.Tiles) {
+		return nil, fmt.Errorf("retrieval: tile %d out of [0,%d)", i, len(ix.Tiles))
+	}
+	if len(ix.Tiles[i].RankEnergy) == 0 {
+		return nil, fmt.Errorf("retrieval: tile %d records no rank energy", i)
+	}
+	got, err := ix.TopK(ix.Tiles[i].RankEnergy, k+1)
+	if err != nil {
+		return nil, err
+	}
+	out := got[:0:len(got)]
+	for _, m := range got {
+		if m.Tile != i {
+			out = append(out, m)
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Aggregate is the index-only rollup of every tile summary.
+type Aggregate struct {
+	Tiles int     `json:"tiles"`
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	RMS   float64 `json:"rms"`
+}
+
+// Aggregate combines all tile summaries into global statistics: exact
+// min/max, count-weighted mean, and the count-weighted RMS.
+func (ix *Index) Aggregate() Aggregate {
+	agg := Aggregate{Tiles: len(ix.Tiles), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for i := range ix.Tiles {
+		s := &ix.Tiles[i]
+		if s.Count <= 0 {
+			continue
+		}
+		agg.Count += s.Count
+		if s.Min < agg.Min {
+			agg.Min = s.Min
+		}
+		if s.Max > agg.Max {
+			agg.Max = s.Max
+		}
+		sum += s.Mean * float64(s.Count)
+		sumSq += s.RMS * s.RMS * float64(s.Count)
+	}
+	if agg.Count > 0 {
+		agg.Mean = sum / float64(agg.Count)
+		agg.RMS = math.Sqrt(sumSq / float64(agg.Count))
+	} else {
+		agg.Min, agg.Max = 0, 0
+	}
+	return agg
+}

@@ -1,0 +1,125 @@
+// Package retrieval implements compressed-domain retrieval over DPZ
+// streams and archives: per-tile summaries computed at compression time
+// (value statistics plus per-rank coefficient energy from the PCA
+// projection), a compact CRC-32C'd payload codec for embedding them in
+// format-v3 streams and archive index entries, and a query engine that
+// answers range, similarity and aggregate queries from the index alone —
+// no data section is ever inflated.
+//
+// The package is self-contained (no dependency on the core pipeline), so
+// the same codec serves the stream index section, the consolidated
+// archive index entry, and standalone tooling.
+package retrieval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoIndex reports that a stream or archive carries no usable retrieval
+// index. Corrupt-index errors wrap it, so callers can match the whole
+// "fall back to a full decode" family with errors.Is(err, ErrNoIndex).
+var ErrNoIndex = errors.New("retrieval: no index")
+
+// CorruptError reports a damaged (truncated, bit-flipped or malformed)
+// index payload. It wraps ErrNoIndex: a damaged index degrades to "no
+// index" — queries fail typed rather than answer from bad data.
+type CorruptError struct {
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("retrieval: corrupt index (%s)", e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrNoIndex) true for corrupt indexes.
+func (e *CorruptError) Unwrap() error { return ErrNoIndex }
+
+// Summary is the compressed-domain description of one tile: statistics of
+// the original values (computed before any lossy stage, so they are exact
+// for the source data) plus the energy each stored PCA rank carries
+// (the squared score mass per component, pre-quantization).
+type Summary struct {
+	// Count is the number of values the tile holds.
+	Count int `json:"count"`
+	// Min, Max, Mean and RMS describe the original values.
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	RMS  float64 `json:"rms"`
+	// RankEnergy[j] is the sum of squared scores of component j — the
+	// variance mass the j-th stored rank explains. Energies are recorded
+	// before quantization, so they describe the exact projection.
+	RankEnergy []float64 `json:"rank_energy,omitempty"`
+}
+
+// Energy returns the total coefficient energy across all ranks.
+func (s *Summary) Energy() float64 {
+	var e float64
+	for _, v := range s.RankEnergy {
+		e += v
+	}
+	return e
+}
+
+// CumulativeEnergy returns the fraction of total coefficient energy the
+// leading r ranks carry, in [0,1]. r <= 0 returns 0; r beyond the stored
+// rank count returns 1 (when any energy is recorded).
+func (s *Summary) CumulativeEnergy(r int) float64 {
+	total := s.Energy()
+	if total <= 0 || r <= 0 {
+		return 0
+	}
+	if r > len(s.RankEnergy) {
+		r = len(s.RankEnergy)
+	}
+	var lead float64
+	for _, v := range s.RankEnergy[:r] {
+		lead += v
+	}
+	return lead / total
+}
+
+// Index is a queryable set of tile summaries. For a single stream it
+// holds one entry; for a tiled archive, one entry per tile in tile order.
+type Index struct {
+	Tiles []Summary
+}
+
+// signature returns tile i's rank-energy signature as a unit vector
+// (sqrt-energy per rank, L2-normalized), or nil when the tile records no
+// energy. Square roots put the signature in score units, so distances
+// behave like distances between coefficient vectors.
+func (ix *Index) signature(i int) []float64 {
+	if i < 0 || i >= len(ix.Tiles) {
+		return nil
+	}
+	return NormalizeSignature(ix.Tiles[i].RankEnergy)
+}
+
+// NormalizeSignature converts a per-rank energy vector into the unit
+// sqrt-energy signature TopK scores against. Returns nil for empty or
+// zero-energy input.
+func NormalizeSignature(energy []float64) []float64 {
+	if len(energy) == 0 {
+		return nil
+	}
+	sig := make([]float64, len(energy))
+	var norm float64
+	for j, e := range energy {
+		if e < 0 || math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil
+		}
+		sig[j] = math.Sqrt(e)
+		norm += e
+	}
+	if norm <= 0 {
+		return nil
+	}
+	n := math.Sqrt(norm)
+	for j := range sig {
+		sig[j] /= n
+	}
+	return sig
+}

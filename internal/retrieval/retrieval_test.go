@@ -1,0 +1,305 @@
+package retrieval
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func sampleTiles() []Summary {
+	return []Summary{
+		{Count: 100, Min: -1, Max: 2, Mean: 0.5, RMS: 0.9, RankEnergy: []float64{9, 1, 0.5}},
+		{Count: 100, Min: 0, Max: 5, Mean: 2.5, RMS: 3.0, RankEnergy: []float64{1, 9, 0.5}},
+		{Count: 50, Min: -3, Max: 0, Mean: -1.5, RMS: 1.8, RankEnergy: []float64{8.5, 1.2, 0.4}},
+		{Count: 25, Min: 0, Max: 0, Mean: 0, RMS: 0},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tiles := sampleTiles()
+	buf := EncodePayload(tiles)
+	ix, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(ix.Tiles) != len(tiles) {
+		t.Fatalf("got %d tiles, want %d", len(ix.Tiles), len(tiles))
+	}
+	for i := range tiles {
+		got, want := ix.Tiles[i], tiles[i]
+		if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max ||
+			got.Mean != want.Mean || got.RMS != want.RMS {
+			t.Fatalf("tile %d stats mismatch: got %+v want %+v", i, got, want)
+		}
+		if len(got.RankEnergy) != len(want.RankEnergy) {
+			t.Fatalf("tile %d rank count mismatch", i)
+		}
+		for j := range want.RankEnergy {
+			if got.RankEnergy[j] != want.RankEnergy[j] {
+				t.Fatalf("tile %d rank %d energy mismatch", i, j)
+			}
+		}
+	}
+	// Re-encode must be byte-identical.
+	re := EncodePayload(ix.Tiles)
+	if string(re) != string(buf) {
+		t.Fatal("re-encode not byte-identical")
+	}
+}
+
+func TestCodecEmpty(t *testing.T) {
+	buf := EncodePayload(nil)
+	ix, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(ix.Tiles) != 0 {
+		t.Fatalf("want 0 tiles, got %d", len(ix.Tiles))
+	}
+}
+
+func TestCodecSpecialFloats(t *testing.T) {
+	tiles := []Summary{{
+		Count: 1,
+		Min:   math.Inf(-1), Max: math.Inf(1),
+		Mean: math.NaN(), RMS: math.Copysign(0, -1),
+		RankEnergy: []float64{math.NaN(), math.Inf(1)},
+	}}
+	buf := EncodePayload(tiles)
+	ix, err := DecodePayload(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if string(EncodePayload(ix.Tiles)) != string(buf) {
+		t.Fatal("special-float payload not byte-stable through round trip")
+	}
+}
+
+func TestCodecDamage(t *testing.T) {
+	buf := EncodePayload(sampleTiles())
+	// Every single-bit flip must yield a *CorruptError wrapping ErrNoIndex.
+	for off := 0; off < len(buf); off++ {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), buf...)
+			bad[off] ^= 1 << bit
+			ix, err := DecodePayload(bad)
+			if err == nil {
+				t.Fatalf("flip at byte %d bit %d: decode accepted damaged payload", off, bit)
+			}
+			if ix != nil {
+				t.Fatalf("flip at byte %d bit %d: non-nil index with error", off, bit)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) || !errors.Is(err, ErrNoIndex) {
+				t.Fatalf("flip at byte %d bit %d: error %v is not a CorruptError/ErrNoIndex", off, bit, err)
+			}
+		}
+	}
+	// Every truncation must fail typed too.
+	for n := 0; n < len(buf); n++ {
+		if _, err := DecodePayload(buf[:n]); !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrNoIndex family", n, err)
+		}
+	}
+	// Trailing garbage after a valid payload must be rejected.
+	if _, err := DecodePayload(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+}
+
+func TestSummaryEnergy(t *testing.T) {
+	s := Summary{RankEnergy: []float64{6, 3, 1}}
+	if got := s.Energy(); got != 10 {
+		t.Fatalf("Energy = %v, want 10", got)
+	}
+	for _, tc := range []struct {
+		r    int
+		want float64
+	}{{0, 0}, {-1, 0}, {1, 0.6}, {2, 0.9}, {3, 1}, {99, 1}} {
+		if got := s.CumulativeEnergy(tc.r); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("CumulativeEnergy(%d) = %v, want %v", tc.r, got, tc.want)
+		}
+	}
+	var empty Summary
+	if got := empty.CumulativeEnergy(3); got != 0 {
+		t.Fatalf("empty CumulativeEnergy = %v, want 0", got)
+	}
+}
+
+func TestParsePredicate(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Predicate
+	}{
+		{"max>1.5", Predicate{FieldMax, OpGT, 1.5}},
+		{"min >= -2", Predicate{FieldMin, OpGE, -2}},
+		{"mean<0", Predicate{FieldMean, OpLT, 0}},
+		{"rms <= 3e2", Predicate{FieldRMS, OpLE, 300}},
+	} {
+		got, err := ParsePredicate(tc.in)
+		if err != nil {
+			t.Fatalf("ParsePredicate(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParsePredicate(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "max", "max>", ">1", "max=1", "median>1", "max>NaN", "max>nan"} {
+		if _, err := ParsePredicate(bad); err == nil {
+			t.Fatalf("ParsePredicate(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	ix := &Index{Tiles: sampleTiles()}
+	got, err := ix.Range(Predicate{FieldMax, OpGT, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Tile != 0 || got[1].Tile != 1 {
+		t.Fatalf("max>1: got %+v, want tiles 0,1", got)
+	}
+	if got[0].Score != 2 || got[1].Score != 5 {
+		t.Fatalf("range scores = %v,%v want field values 2,5", got[0].Score, got[1].Score)
+	}
+	// Conjunction of predicates.
+	got, err = ix.Range(Predicate{FieldMax, OpGT, 1}, Predicate{FieldMean, OpLT, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Tile != 0 {
+		t.Fatalf("conjunction: got %+v, want tile 0 only", got)
+	}
+	// No predicates matches everything.
+	got, err = ix.Range()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ix.Tiles) {
+		t.Fatalf("empty predicate list matched %d tiles, want %d", len(got), len(ix.Tiles))
+	}
+	// Invalid predicate errors.
+	if _, err := ix.Range(Predicate{Field: "median", Op: OpGT, Value: 1}); err == nil {
+		t.Fatal("invalid field accepted")
+	}
+	if _, err := ix.Range(Predicate{Field: FieldMax, Op: "=", Value: 1}); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ix := &Index{Tiles: sampleTiles()}
+	// Tile 2's energy profile matches tile 0's far better than tile 1's.
+	got, err := ix.TopK([]float64{9, 1, 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d matches, want 3 (tile 3 has no energies)", len(got))
+	}
+	if got[0].Tile != 0 || got[1].Tile != 2 || got[2].Tile != 1 {
+		t.Fatalf("order = %d,%d,%d want 0,2,1", got[0].Tile, got[1].Tile, got[2].Tile)
+	}
+	if got[0].Score < got[1].Score || got[1].Score < got[2].Score {
+		t.Fatal("scores not descending")
+	}
+	if math.Abs(got[0].Score-1) > 1e-12 {
+		t.Fatalf("self-similarity score = %v, want 1", got[0].Score)
+	}
+	// k truncates.
+	got, err = ix.TopK([]float64{9, 1, 0.5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Tile != 0 {
+		t.Fatalf("k=1: got %+v", got)
+	}
+	// Bad queries.
+	if _, err := ix.TopK(nil, 3); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	if _, err := ix.TopK([]float64{0, 0}, 3); err == nil {
+		t.Fatal("zero-energy query accepted")
+	}
+	if _, err := ix.TopK([]float64{1}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	ix := &Index{Tiles: []Summary{
+		{RankEnergy: []float64{1, 1}},
+		{RankEnergy: []float64{1, 1}}, // identical signature → exact tie
+		{RankEnergy: []float64{1, 0}},
+	}}
+	got, err := ix.TopK([]float64{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Tile != 0 || got[1].Tile != 1 {
+		t.Fatalf("tie order = %d,%d want 0,1 (stable by tile id)", got[0].Tile, got[1].Tile)
+	}
+}
+
+func TestSimilarTo(t *testing.T) {
+	ix := &Index{Tiles: sampleTiles()}
+	got, err := ix.SimilarTo(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Tile == 0 || got[1].Tile == 0 {
+		t.Fatalf("SimilarTo(0) returned the seed tile: %+v", got)
+	}
+	if got[0].Tile != 2 {
+		t.Fatalf("nearest to tile 0 = %d, want 2", got[0].Tile)
+	}
+	if _, err := ix.SimilarTo(99, 2); err == nil {
+		t.Fatal("out-of-range tile accepted")
+	}
+	if _, err := ix.SimilarTo(3, 2); err == nil {
+		t.Fatal("tile with no energies accepted as seed")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	ix := &Index{Tiles: sampleTiles()}
+	agg := ix.Aggregate()
+	if agg.Tiles != 4 || agg.Count != 275 {
+		t.Fatalf("tiles/count = %d/%d, want 4/275", agg.Tiles, agg.Count)
+	}
+	if agg.Min != -3 || agg.Max != 5 {
+		t.Fatalf("min/max = %v/%v, want -3/5", agg.Min, agg.Max)
+	}
+	wantMean := (100*0.5 + 100*2.5 + 50*-1.5 + 0) / 275.0
+	if math.Abs(agg.Mean-wantMean) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", agg.Mean, wantMean)
+	}
+	wantRMS := math.Sqrt((100*0.9*0.9 + 100*3*3 + 50*1.8*1.8 + 0) / 275.0)
+	if math.Abs(agg.RMS-wantRMS) > 1e-12 {
+		t.Fatalf("rms = %v, want %v", agg.RMS, wantRMS)
+	}
+	empty := (&Index{}).Aggregate()
+	if empty.Tiles != 0 || empty.Count != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty aggregate = %+v", empty)
+	}
+}
+
+func TestNormalizeSignature(t *testing.T) {
+	sig := NormalizeSignature([]float64{4, 0, 0})
+	if sig == nil || sig[0] != 1 || sig[1] != 0 {
+		t.Fatalf("NormalizeSignature = %v", sig)
+	}
+	var norm float64
+	for _, v := range NormalizeSignature([]float64{3, 2, 1, 0.5}) {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("norm² = %v, want 1", norm)
+	}
+	for _, bad := range [][]float64{nil, {}, {0, 0}, {-1, 2}, {math.NaN()}, {math.Inf(1)}} {
+		if NormalizeSignature(bad) != nil {
+			t.Fatalf("NormalizeSignature(%v) accepted", bad)
+		}
+	}
+}

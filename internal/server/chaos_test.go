@@ -56,17 +56,34 @@ func TestChaosSoak(t *testing.T) {
 	for i, v := range refVals {
 		float32ToBytes(refRaw[4*i:], float32(v))
 	}
+	// Retrieval references: the rank-1 preview bytes and the index
+	// aggregate. Accepted preview/query answers under the storm must
+	// match these exactly — the index section rides in every stream, so
+	// this also soaks its wire path end to end.
+	prevVals, _, _, err := dpz.DecompressRanksFloat64(refStream, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPrev := make([]byte, 4*len(prevVals))
+	for i, v := range prevVals {
+		float32ToBytes(refPrev[4*i:], float32(v))
+	}
+	refIx, err := dpz.ReadIndex(refStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAgg := refIx.Aggregate()
 
 	baseline := runtime.NumGoroutine()
 	for _, seed := range []uint64{101, 202, 303} {
 		t.Run("", func(t *testing.T) {
-			runChaosSeed(t, seed, raw, dims, refStream, refRaw)
+			runChaosSeed(t, seed, raw, dims, refStream, refRaw, refPrev, refAgg)
 		})
 	}
 	waitForGoroutines(t, baseline)
 }
 
-func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, refRaw []byte) {
+func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, refRaw, refPrev []byte, refAgg dpz.IndexAggregate) {
 	srv := New(Config{Jobs: 4, QueueDepth: 16})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -104,7 +121,8 @@ func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, 
 			var tl tally
 			ctx := context.Background()
 			for i := 0; i < perWorker; i++ {
-				if (w+i)%2 == 0 {
+				switch (w + i) % 4 {
+				case 0:
 					comp, err := cl.Compress(ctx, raw, dims,
 						client.CompressOptions{TVENines: 2, Workers: 2})
 					if err != nil {
@@ -120,7 +138,7 @@ func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, 
 						continue
 					}
 					tl.ok++
-				} else {
+				case 1, 3:
 					back, gotDims, err := cl.Decompress(ctx, refStream, 2)
 					if err != nil {
 						if client.IsTemporary(err) {
@@ -132,6 +150,37 @@ func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, 
 					}
 					if len(gotDims) != len(dims) || !bytes.Equal(back, refRaw) {
 						errs <- errors.New("SILENT CORRUPTION: accepted decompress differs from reference")
+						continue
+					}
+					tl.ok++
+				case 2:
+					// Retrieval traffic: a rank-1 preview and an index query,
+					// both answered from the same stream the other workers
+					// round-trip.
+					prev, err := cl.Preview(ctx, refStream, 1, 2)
+					if err != nil {
+						if client.IsTemporary(err) {
+							tl.exhausted++
+							continue
+						}
+						errs <- err
+						continue
+					}
+					if prev.RanksUsed != 1 || !bytes.Equal(prev.Data, refPrev) {
+						errs <- errors.New("SILENT CORRUPTION: accepted preview differs from reference")
+						continue
+					}
+					qr, err := cl.Query(ctx, refStream, client.QueryOptions{})
+					if err != nil {
+						if client.IsTemporary(err) {
+							tl.exhausted++
+							continue
+						}
+						errs <- err
+						continue
+					}
+					if qr.Tiles != 1 || qr.Aggregate != refAgg {
+						errs <- errors.New("SILENT CORRUPTION: accepted query differs from reference")
 						continue
 					}
 					tl.ok++

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+// previewFixture compresses a field deep enough (K >= 4) that partial
+// previews are meaningful, returning the stream and its stored k.
+func previewFixture(t *testing.T) ([]byte, int) {
+	t.Helper()
+	f := dataset.CESM("FLDSC", 96, 128, 77)
+	opts, err := dpz.OptionSpec{TVENines: 7, Workers: 2}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dpz.CompressFloat64(f.Data, f.Dims, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.K < 4 {
+		t.Fatalf("fixture has K=%d, need >= 4", res.Stats.K)
+	}
+	return res.Data, res.Stats.K
+}
+
+func TestPreviewEndpoint(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stream, k := previewFixture(t)
+
+	got := post(t, ts.URL+"/v1/preview?ranks=2", stream)
+	if got.code != http.StatusOK {
+		t.Fatalf("preview status %d: %s", got.code, got.body)
+	}
+	if used := got.header.Get("X-Dpz-Ranks-Used"); used != "2" {
+		t.Fatalf("X-Dpz-Ranks-Used = %q, want 2", used)
+	}
+	if hk := got.header.Get("X-Dpz-K"); hk != strconv.Itoa(k) {
+		t.Fatalf("X-Dpz-K = %q, want %d", hk, k)
+	}
+	tve, err := strconv.ParseFloat(got.header.Get("X-Dpz-Tve"), 64)
+	if err != nil || tve <= 0 || tve > 1 {
+		t.Fatalf("X-Dpz-Tve = %q, want a variance fraction in (0,1]", got.header.Get("X-Dpz-Tve"))
+	}
+
+	// The preview body must be byte-identical to the library's rank-2
+	// reconstruction.
+	want, dims, err := dpz.DecompressRank(stream, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw := make([]byte, 4*len(want))
+	for i, v := range want {
+		binary.LittleEndian.PutUint32(wantRaw[4*i:], math.Float32bits(v))
+	}
+	if !bytes.Equal(got.body, wantRaw) {
+		t.Fatal("preview body differs from library DecompressRank(2)")
+	}
+	if d := got.header.Get("X-Dpz-Dims"); d != dimsString(dims) {
+		t.Fatalf("X-Dpz-Dims = %q, want %q", d, dimsString(dims))
+	}
+
+	// Over-asking clamps to the stored k and reports full variance.
+	deep := post(t, ts.URL+"/v1/preview?ranks=99999", stream)
+	if deep.code != http.StatusOK {
+		t.Fatalf("deep preview status %d: %s", deep.code, deep.body)
+	}
+	if used := deep.header.Get("X-Dpz-Ranks-Used"); used != strconv.Itoa(k) {
+		t.Fatalf("deep X-Dpz-Ranks-Used = %q, want %d", used, k)
+	}
+
+	// Garbage is a client error, not a 500.
+	bad := post(t, ts.URL+"/v1/preview?ranks=2", []byte("not a stream"))
+	if bad.code != http.StatusBadRequest {
+		t.Fatalf("garbage preview status %d, want 400", bad.code)
+	}
+	if r := post(t, ts.URL+"/v1/preview?ranks=zep", stream); r.code != http.StatusBadRequest {
+		t.Fatalf("bad ranks param status %d, want 400", r.code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	stream, _ := previewFixture(t)
+	ix, err := dpz.ReadIndex(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg := ix.Aggregate()
+
+	var qr struct {
+		Tiles     int                `json:"tiles"`
+		Aggregate dpz.IndexAggregate `json:"aggregate"`
+		Query     string             `json:"query"`
+		Matches   []dpz.Match        `json:"matches"`
+	}
+	ask := func(t *testing.T, url string, body []byte) resp {
+		t.Helper()
+		r := post(t, url, body)
+		if r.code == http.StatusOK {
+			qr.Matches, qr.Query = nil, ""
+			if err := json.Unmarshal(r.body, &qr); err != nil {
+				t.Fatalf("query response is not JSON: %v\n%s", err, r.body)
+			}
+		}
+		return r
+	}
+
+	// Aggregate-only query.
+	if r := ask(t, ts.URL+"/v1/query", stream); r.code != http.StatusOK {
+		t.Fatalf("query status %d: %s", r.code, r.body)
+	}
+	if qr.Tiles != 1 || qr.Aggregate != wantAgg {
+		t.Fatalf("aggregate response %+v, want tiles=1 agg=%+v", qr, wantAgg)
+	}
+
+	// Range predicate that everything satisfies, and one nothing does.
+	if r := ask(t, ts.URL+"/v1/query?pred=max%3E-1e300", stream); r.code != http.StatusOK {
+		t.Fatalf("pred query status %d: %s", r.code, r.body)
+	}
+	if len(qr.Matches) != 1 || qr.Matches[0].Tile != 0 {
+		t.Fatalf("pred matches %+v, want tile 0", qr.Matches)
+	}
+	if r := ask(t, ts.URL+"/v1/query?pred=max%3C-1e300", stream); r.code != http.StatusOK {
+		t.Fatalf("empty pred query status %d: %s", r.code, r.body)
+	}
+	if len(qr.Matches) != 0 {
+		t.Fatalf("impossible predicate matched %+v", qr.Matches)
+	}
+
+	// Malformed predicate and mutually exclusive modes are 400s.
+	if r := post(t, ts.URL+"/v1/query?pred=max%21%3D0", stream); r.code != http.StatusBadRequest {
+		t.Fatalf("bad pred status %d, want 400", r.code)
+	}
+	if r := post(t, ts.URL+"/v1/query?pred=max%3E0&similar-to=0", stream); r.code != http.StatusBadRequest {
+		t.Fatalf("pred+similar-to status %d, want 400", r.code)
+	}
+	// similar-to on a single-tile stream: no other tiles to rank — empty
+	// matches, still a 200.
+	if r := ask(t, ts.URL+"/v1/query?similar-to=0&k=3", stream); r.code != http.StatusOK {
+		t.Fatalf("similar-to status %d: %s", r.code, r.body)
+	}
+	if len(qr.Matches) != 0 {
+		t.Fatalf("single-tile similarity matched %+v", qr.Matches)
+	}
+	// Out-of-range seed tile is a 400.
+	if r := post(t, ts.URL+"/v1/query?similar-to=7&k=3", stream); r.code != http.StatusBadRequest {
+		t.Fatalf("out-of-range similar-to status %d, want 400", r.code)
+	}
+
+	// A NoIndex stream is well-formed but cannot answer: 422, counted.
+	_, vals := testField(48, 64)
+	opts, err := dpz.OptionSpec{Index: "off", Workers: 2}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := dpz.Compress(vals, []int{48, 64}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.queryNoIndex.Value()
+	if r := post(t, ts.URL+"/v1/query", v2.Data); r.code != http.StatusUnprocessableEntity {
+		t.Fatalf("NoIndex query status %d, want 422", r.code)
+	}
+	if srv.queryNoIndex.Value() != before+1 {
+		t.Fatal("dpzd_query_noindex_total did not count the 422")
+	}
+
+	// Garbage body is a 400, not a 422 (it is not a valid stream at all).
+	if r := post(t, ts.URL+"/v1/query", []byte("junk")); r.code != http.StatusBadRequest {
+		t.Fatalf("garbage query status %d, want 400", r.code)
+	}
+}
+
+// TestQueryTiledArchive exercises the archive path end to end through the
+// daemon: compress tiled via /v1/compress, query the archive body.
+func TestQueryTiledArchive(t *testing.T) {
+	srv := New(Config{Jobs: 2, Workers: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	raw, _ := testField(64, 48)
+	comp := post(t, ts.URL+"/v1/compress?dims=64x48&tile=16&tve=3", raw)
+	if comp.code != http.StatusOK {
+		t.Fatalf("tiled compress status %d: %s", comp.code, comp.body)
+	}
+	r := post(t, ts.URL+"/v1/query?pred=min%3C1e300", comp.body)
+	if r.code != http.StatusOK {
+		t.Fatalf("tiled query status %d: %s", r.code, r.body)
+	}
+	var qr struct {
+		Tiles   int         `json:"tiles"`
+		Matches []dpz.Match `json:"matches"`
+	}
+	if err := json.Unmarshal(r.body, &qr); err != nil {
+		t.Fatalf("tiled query response: %v", err)
+	}
+	if qr.Tiles != 4 || len(qr.Matches) != 4 {
+		t.Fatalf("tiled query saw %d tiles, %d matches, want 4/4", qr.Tiles, len(qr.Matches))
+	}
+}

@@ -7,6 +7,11 @@
 //
 //	POST /v1/compress    raw little-endian float32 body → .dpz stream
 //	POST /v1/decompress  .dpz stream or tiled archive body → raw float32
+//	GET  /v1/preview     .dpz stream body + ?ranks=r → raw float32 from the
+//	                     leading r components only (progressive preview)
+//	GET  /v1/query       .dpz stream or tiled archive body → JSON answers
+//	                     from the retrieval index (range predicates, top-k
+//	                     similarity, aggregate stats); 422 without an index
 //	GET  /v1/stat        .dpz stream body → stream metadata as JSON
 //	GET  /healthz        liveness
 //	GET  /metrics        Prometheus text exposition
@@ -130,6 +135,13 @@ type Server struct {
 	canceled   *metrics.Counter
 	panics     *metrics.Counter
 
+	// Preview instrumentation: the rank depth previews actually decode,
+	// and how many requests ended up decoding every stored component
+	// (no saving over a full decompress).
+	previewRanks *metrics.Histogram
+	previewFull  *metrics.Counter
+	queryNoIndex *metrics.Counter
+
 	// basisCache is the daemon-wide PCA basis cache shared by requests
 	// that enable the basis-reuse knob; nil when disabled by config.
 	// Cross-request reuse makes a response depend on cache history (the
@@ -169,6 +181,9 @@ func New(cfg Config) *Server {
 		shed:         reg.Counter("dpzd_shed_total", "requests rejected with 429 at admission"),
 		canceled:     reg.Counter("dpzd_canceled_total", "requests cancelled or timed out before completing"),
 		panics:       reg.Counter("dpzd_panics_total", "request handlers recovered from a panic"),
+		previewRanks: reg.Histogram("dpzd_preview_ranks", "components decoded per preview request", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}),
+		previewFull:  reg.Counter("dpzd_preview_full_total", "preview requests that decoded every stored component"),
+		queryNoIndex: reg.Counter("dpzd_query_noindex_total", "query requests refused because the stream carries no retrieval index"),
 		basisAccept:  reg.Counter("dpzd_basis_accept_total", "compressions that adopted a cached PCA basis after the quality guard"),
 		basisRefine:  reg.Counter("dpzd_basis_refine_total", "compressions that warm-started the eigensolve from a cached basis"),
 		basisCold:    reg.Counter("dpzd_basis_cold_total", "basis-reuse compressions that fitted cold (no usable candidate)"),
@@ -194,6 +209,10 @@ func (s *Server) Drain(ctx context.Context) error { return s.sched.drain(ctx) }
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/compress", s.handleCompress)
 	s.mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
+	s.mux.HandleFunc("GET /v1/preview", s.handlePreview)
+	s.mux.HandleFunc("POST /v1/preview", s.handlePreview)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stat", s.handleStat)
 	s.mux.HandleFunc("POST /v1/stat", s.handleStat)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -227,6 +246,10 @@ func routeLabel(path string) string {
 		return "compress"
 	case path == "/v1/decompress":
 		return "decompress"
+	case path == "/v1/preview":
+		return "preview"
+	case path == "/v1/query":
+		return "query"
 	case path == "/v1/stat":
 		return "stat"
 	case path == "/healthz":
@@ -295,7 +318,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		s.reg.Histogram(fmt.Sprintf(`dpzd_request_seconds{route=%q}`, route),
 			"request latency in seconds", metrics.LatencyBuckets).
 			Observe(time.Since(start).Seconds())
-		if route == "compress" || route == "decompress" {
+		if route == "compress" || route == "decompress" || route == "preview" {
 			s.reg.Histogram(fmt.Sprintf(`dpzd_response_bytes{route=%q}`, route),
 				"response body size in bytes", metrics.SizeBuckets).
 				Observe(float64(rec.bytes))
@@ -614,6 +637,147 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			"X-Dpz-Dims": dimsString(dims),
 		}}
 	})
+}
+
+// handlePreview serves a progressive decode: only the leading ?ranks=r
+// component sections are inflated and reconstructed, so a shallow preview
+// of a deep stream costs a fraction of a full decompress. The X-Dpz-Tve
+// header reports the variance fraction the preview actually captured,
+// read from the stream's retrieval index — no extra decode work.
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	ranks, err := reqInt(r, "ranks", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	workers, err := reqInt(r, "workers", s.innerWorkers)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.runJob(w, r, "preview", func(ctx context.Context, body []byte) jobOutput {
+		data, dims, used, err := dpz.DecompressRanksContext(ctx, body, ranks, workers)
+		if err != nil {
+			return jobOutput{err: err}
+		}
+		s.previewRanks.Observe(float64(used))
+		hdr := map[string]string{
+			"X-Dpz-Dims":       dimsString(dims),
+			"X-Dpz-Ranks-Used": strconv.Itoa(used),
+		}
+		if info, err := dpz.Stat(body); err == nil {
+			hdr["X-Dpz-K"] = strconv.Itoa(info.Components)
+			if used >= info.Components {
+				s.previewFull.Inc()
+			}
+			if used >= 1 && len(info.RankCumulativeEnergy) >= used {
+				hdr["X-Dpz-Tve"] = fmt.Sprintf("%.8f", info.RankCumulativeEnergy[used-1])
+			}
+		}
+		out := make([]byte, 4*len(data))
+		for i, v := range data {
+			float32ToBytes(out[4*i:], float32(v))
+		}
+		return jobOutput{body: out, header: hdr}
+	})
+}
+
+// queryResponse is the /v1/query JSON shape.
+type queryResponse struct {
+	Tiles     int                `json:"tiles"`
+	Aggregate dpz.IndexAggregate `json:"aggregate"`
+	Query     string             `json:"query,omitempty"`
+	Matches   []dpz.Match        `json:"matches,omitempty"`
+}
+
+// handleQuery answers range, similarity and aggregate queries from the
+// retrieval index of a stream or tiled archive. Like stat it inflates no
+// data section, so it bypasses the job scheduler. Streams without a
+// usable index get a 422: the query is well-formed but this stream cannot
+// answer it — clients fall back to a full decompress.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var ix *dpz.Index
+	if bytes.HasPrefix(body, []byte("DPZA")) {
+		tr, err := dpz.OpenTiled(bytes.NewReader(body), int64(len(body)))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ix, err = tr.Index()
+		if err != nil {
+			s.queryIndexError(w, err)
+			return
+		}
+	} else {
+		ix, err = dpz.ReadIndex(body)
+		if err != nil {
+			s.queryIndexError(w, err)
+			return
+		}
+	}
+
+	resp := queryResponse{Tiles: len(ix.Tiles), Aggregate: ix.Aggregate()}
+	predStrs := r.URL.Query()["pred"]
+	if v := r.Header.Get("X-Dpz-Pred"); v != "" && len(predStrs) == 0 {
+		predStrs = []string{v}
+	}
+	similarTo, err := reqInt(r, "similar-to", -1)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	k, err := reqInt(r, "k", 5)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch {
+	case len(predStrs) > 0 && similarTo >= 0:
+		http.Error(w, "pred and similar-to are mutually exclusive", http.StatusBadRequest)
+		return
+	case len(predStrs) > 0:
+		preds := make([]dpz.Predicate, len(predStrs))
+		for i, ps := range predStrs {
+			if preds[i], err = dpz.ParsePredicate(ps); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		matches, err := ix.Range(preds...)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp.Matches, resp.Query = matches, strings.Join(predStrs, " && ")
+	case similarTo >= 0:
+		matches, err := ix.SimilarTo(similarTo, k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp.Matches, resp.Query = matches, fmt.Sprintf("similar-to=%d k=%d", similarTo, k)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// queryIndexError maps an index-extraction failure to a status: a missing
+// or damaged index is 422 (the stream is valid, it just cannot answer
+// compressed-domain queries), anything else is a 400.
+func (s *Server) queryIndexError(w http.ResponseWriter, err error) {
+	if errors.Is(err, dpz.ErrNoIndex) {
+		s.queryNoIndex.Inc()
+		http.Error(w, "no retrieval index: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
 }
 
 // handleStat inspects a stream's metadata. It is cheap (header and section

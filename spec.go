@@ -61,6 +61,10 @@ type OptionSpec struct {
 	// "sketch" (the randomized range-finder fast path, verified by the
 	// exact variance guard before adoption). Empty means exact.
 	PCA string
+	// Index controls the trailing retrieval-index section: "on" (format
+	// v3 with per-tile summaries, the default) or "off" (format v2,
+	// byte-identical to earlier releases). Empty means on.
+	Index string
 }
 
 // Options resolves the spec into an Options value, or reports the first
@@ -132,6 +136,18 @@ func (s OptionSpec) Options() (Options, error) {
 		o.SketchPCA = true
 	default:
 		return o, fmt.Errorf("unknown pca engine %q (exact|sketch)", s.PCA)
+	}
+	index := s.Index
+	if index == "" {
+		index = "on"
+	}
+	switch strings.ToLower(index) {
+	case "on":
+		o.NoIndex = false
+	case "off":
+		o.NoIndex = true
+	default:
+		return o, fmt.Errorf("unknown index mode %q (on|off)", s.Index)
 	}
 	return o, nil
 }

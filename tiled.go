@@ -11,7 +11,9 @@ import (
 
 	"dpz/internal/archive"
 	"dpz/internal/basiscache"
+	"dpz/internal/core"
 	"dpz/internal/parallel"
+	"dpz/internal/retrieval"
 )
 
 // Tiled compression: fields too large to hold in memory are compressed in
@@ -22,6 +24,13 @@ import (
 
 // tiledMetaName is the archive entry holding the tiling description.
 const tiledMetaName = "_dpz_tiled_meta"
+
+// tiledIndexName is the archive entry holding the consolidated retrieval
+// index: one Summary per tile, in tile order, in the same DPZI payload
+// encoding each tile's own stream carries. Readers fall back to
+// assembling the index from the per-tile streams when this entry is
+// missing or damaged.
+const tiledIndexName = "_dpz_index"
 
 // tiledMeta describes how a field was split.
 type tiledMeta struct {
@@ -132,6 +141,7 @@ func CompressTiledContext(ctx context.Context, r io.Reader, dims []int, tileRows
 	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	statsOut := make([]Stats, 0, tiles)
+	tileSums := make([]retrieval.Summary, 0, tiles)
 	err = parallel.PipelineCtx(ctx, wt, tilePrefetch,
 		func(emit func(tileJob) bool) error {
 			for t := 0; t < tiles; t++ {
@@ -189,11 +199,27 @@ func CompressTiledContext(ctx context.Context, r io.Reader, dims []int, tileRows
 				return err
 			}
 			statsOut = append(statsOut, res.stats)
+			// Collect the tile's summary for the consolidated archive
+			// index. The sink runs in tile order, so tileSums ends up in
+			// tile order for every worker count.
+			if !opts.NoIndex {
+				if ix, err := core.ReadIndex(res.stream); err == nil && len(ix.Tiles) == 1 {
+					tileSums = append(tileSums, ix.Tiles[0])
+				}
+			}
 			return nil
 		},
 	)
 	if err != nil {
 		return nil, err
+	}
+	// One consolidated index entry lets queries touch a single archive
+	// entry instead of every tile stream. Written only when every tile
+	// contributed a summary, so its tile numbering always matches.
+	if !opts.NoIndex && len(tileSums) == tiles {
+		if err := aw.Append(tiledIndexName, retrieval.EncodePayload(tileSums)); err != nil {
+			return nil, err
+		}
 	}
 	if err := aw.Close(); err != nil {
 		return nil, err
@@ -211,7 +237,16 @@ type TiledReader struct {
 
 // OpenTiled parses a tiled archive of the given total size.
 func OpenTiled(r io.ReaderAt, size int64) (*TiledReader, error) {
-	ar, err := OpenArchive(r, size)
+	return OpenTiledOptions(r, size, ArchiveOptions{})
+}
+
+// OpenTiledOptions is OpenTiled with archive options — pass AllowRecovery
+// to read a tiled archive with a torn tail. The consolidated index entry
+// is written last, so it is typically the first casualty of a torn write;
+// TiledReader.Index then reassembles the index from the recovered tile
+// streams.
+func OpenTiledOptions(r io.ReaderAt, size int64, o ArchiveOptions) (*TiledReader, error) {
+	ar, err := OpenArchiveOptions(r, size, o)
 	if err != nil {
 		return nil, err
 	}
@@ -247,6 +282,39 @@ func (t *TiledReader) Tiles() int { return t.tiles }
 // TileRows returns the leading-dimension rows per slab (the last slab may
 // hold fewer).
 func (t *TiledReader) TileRows() int { return t.tileRows }
+
+// Index returns the archive's retrieval index: one TileSummary per slab,
+// in tile order. It reads the consolidated _dpz_index entry when present
+// and intact; otherwise it assembles the index from each tile stream's
+// own trailing index section — so an archive that lost only the
+// consolidated entry (e.g. after Recover) still answers queries. Archives
+// written with NoIndex (or by pre-index releases) return an error
+// wrapping ErrNoIndex. No data section is inflated either way.
+func (t *TiledReader) Index() (*Index, error) {
+	if raw, err := t.ar.Stream(tiledIndexName); err == nil {
+		if ix, err := retrieval.DecodePayload(raw); err == nil && len(ix.Tiles) == t.tiles {
+			return ix, nil
+		}
+		// Damaged or inconsistent consolidated entry: fall through to the
+		// per-tile assembly rather than answering from bad metadata.
+	}
+	tilesum := make([]retrieval.Summary, t.tiles)
+	for i := 0; i < t.tiles; i++ {
+		payload, err := t.ar.Stream(tileName(i))
+		if err != nil {
+			return nil, &retrieval.CorruptError{Reason: fmt.Sprintf("tile %d unreadable: %v", i, err)}
+		}
+		ix, err := core.ReadIndex(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(ix.Tiles) != 1 {
+			return nil, &retrieval.CorruptError{Reason: fmt.Sprintf("tile %d carries %d summaries", i, len(ix.Tiles))}
+		}
+		tilesum[i] = ix.Tiles[0]
+	}
+	return &retrieval.Index{Tiles: tilesum}, nil
+}
 
 // Tile decompresses slab i, returning its values and slab dims.
 func (t *TiledReader) Tile(i int) ([]float64, []int, error) {

@@ -1,0 +1,387 @@
+package dpz_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"dpz"
+	"dpz/internal/dataset"
+)
+
+// indexField builds a field whose four equal slabs are engineered for
+// retrieval tests: slabs 0 and 2 carry the same pattern (nearest
+// neighbours in any sensible similarity), slab 1 a different frequency,
+// and slab 3 the slab-0 pattern shifted up by a large constant — so value
+// ranges separate the slabs cleanly for range-query oracles.
+func indexField(rows, cols int) ([]float64, []int) {
+	if rows%4 != 0 {
+		panic("rows must split into 4 slabs")
+	}
+	data := make([]float64, rows*cols)
+	slab := rows / 4
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x, y := float64(r%slab), float64(c)
+			var v float64
+			switch r / slab {
+			case 0, 2:
+				v = math.Sin(x/3) + math.Cos(y/5)
+			case 1:
+				v = math.Sin(x/11) * math.Cos(y/2)
+			case 3:
+				v = math.Sin(x/3) + math.Cos(y/5) + 50
+			}
+			data[r*cols+c] = v
+		}
+	}
+	return data, []int{rows, cols}
+}
+
+// rawF32FromF64 lays out float64 values as little-endian float32, the
+// tiled-compression input format.
+func rawF32FromF64(data []float64) []byte {
+	f := &dataset.Field{Data: data}
+	return rawF32(f)
+}
+
+func compressIndexArchive(t *testing.T, data []float64, dims []int, tileRows int, opts dpz.Options) []byte {
+	t.Helper()
+	var arc bytes.Buffer
+	if _, err := dpz.CompressTiled(bytes.NewReader(rawF32FromF64(data)), dims, tileRows, opts, &arc); err != nil {
+		t.Fatal(err)
+	}
+	return arc.Bytes()
+}
+
+// TestTiledIndexOracle validates range and similarity queries against
+// brute-force oracles computed from full tile decodes — the index must
+// give the same answers without inflating any data section.
+func TestTiledIndexOracle(t *testing.T) {
+	data, dims := indexField(96, 128)
+	opts := dpz.StrictOptions()
+	opts.TVE = dpz.Nines(6)
+	arc := compressIndexArchive(t, data, dims, 24, opts)
+
+	tr, err := dpz.OpenTiled(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := tr.Index()
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	if len(ix.Tiles) != tr.Tiles() {
+		t.Fatalf("index has %d tiles, archive %d", len(ix.Tiles), tr.Tiles())
+	}
+
+	// Per-tile summary oracle: statistics computed brute-force from the
+	// original slab values. Min/max must match exactly (the compressor
+	// records them from the same float32-widened inputs); mean/RMS are
+	// accumulated in one pass, allow rounding slack.
+	slabVals := 24 * 128
+	for i, s := range ix.Tiles {
+		slab := data[i*slabVals : (i+1)*slabVals]
+		minV, maxV, sum, sumsq := math.Inf(1), math.Inf(-1), 0.0, 0.0
+		for _, v := range slab {
+			w := float64(float32(v)) // tiled input is float32
+			minV, maxV = math.Min(minV, w), math.Max(maxV, w)
+			sum += w
+			sumsq += w * w
+		}
+		if s.Count != slabVals {
+			t.Fatalf("tile %d count %d, want %d", i, s.Count, slabVals)
+		}
+		if s.Min != minV || s.Max != maxV {
+			t.Fatalf("tile %d min/max %v/%v, oracle %v/%v", i, s.Min, s.Max, minV, maxV)
+		}
+		if mean := sum / float64(slabVals); math.Abs(s.Mean-mean) > 1e-9*(1+math.Abs(mean)) {
+			t.Fatalf("tile %d mean %v, oracle %v", i, s.Mean, mean)
+		}
+		if rms := math.Sqrt(sumsq / float64(slabVals)); math.Abs(s.RMS-rms) > 1e-9*(1+rms) {
+			t.Fatalf("tile %d rms %v, oracle %v", i, s.RMS, rms)
+		}
+	}
+
+	// Range-query oracle: slab 3 sits 50 above the rest, so max > 25
+	// selects exactly the tiles whose decoded values exceed it.
+	pred, err := dpz.ParsePredicate("max>25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := ix.Range(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle []int
+	for i := 0; i < tr.Tiles(); i++ {
+		vals, _, err := tr.Tile(i) // brute force: full decode
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi := math.Inf(-1)
+		for _, v := range vals {
+			hi = math.Max(hi, v)
+		}
+		if hi > 25 {
+			oracle = append(oracle, i)
+		}
+	}
+	if len(oracle) != 1 || oracle[0] != 3 {
+		t.Fatalf("oracle selected %v, field construction broken", oracle)
+	}
+	if len(matches) != 1 || matches[0].Tile != 3 {
+		t.Fatalf("Range(max>25) = %+v, oracle %v", matches, oracle)
+	}
+
+	// Similarity oracle: nearest neighbour by L2 distance over the full
+	// decodes. Slabs 0 and 2 are the same pattern, so each must pick the
+	// other; the index's coefficient-space TopK must agree.
+	decoded := make([][]float64, tr.Tiles())
+	for i := range decoded {
+		decoded[i], _, err = tr.Tile(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	nearest := func(i int) int {
+		best, bestD := -1, math.Inf(1)
+		for j := range decoded {
+			if j == i {
+				continue
+			}
+			var d float64
+			for v := range decoded[i] {
+				diff := decoded[i][v] - decoded[j][v]
+				d += diff * diff
+			}
+			if d < bestD {
+				best, bestD = j, d
+			}
+		}
+		return best
+	}
+	for _, seed := range []int{0, 2} {
+		want := nearest(seed)
+		if want != 2-seed {
+			t.Fatalf("value-space oracle: nearest(%d) = %d, field construction broken", seed, want)
+		}
+		got, err := ix.SimilarTo(seed, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0].Tile != want {
+			t.Fatalf("SimilarTo(%d,1) = %+v, oracle %d", seed, got, want)
+		}
+	}
+
+	// Aggregate oracle over the whole field.
+	agg := ix.Aggregate()
+	if agg.Count != len(data) {
+		t.Fatalf("aggregate count %d, want %d", agg.Count, len(data))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		w := float64(float32(v))
+		lo, hi = math.Min(lo, w), math.Max(hi, w)
+	}
+	if agg.Min != lo || agg.Max != hi {
+		t.Fatalf("aggregate min/max %v/%v, oracle %v/%v", agg.Min, agg.Max, lo, hi)
+	}
+}
+
+// TestTiledNoIndex checks the opt-out: NoIndex archives carry no
+// consolidated entry, their tile streams are format v2, and Index()
+// reports the typed sentinel.
+func TestTiledNoIndex(t *testing.T) {
+	data, dims := indexField(48, 64)
+	opts := dpz.LooseOptions()
+	opts.NoIndex = true
+	arc := compressIndexArchive(t, data, dims, 12, opts)
+
+	ar, err := dpz.OpenArchive(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ar.Fields() {
+		if name == "_dpz_index" {
+			t.Fatal("NoIndex archive still has a consolidated index entry")
+		}
+	}
+	stream, err := ar.Stream("tile-000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := dpz.Stat(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.HasIndex {
+		t.Fatalf("NoIndex tile stream: version %d, HasIndex %v", info.Version, info.HasIndex)
+	}
+
+	tr, err := dpz.OpenTiled(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Index(); !errors.Is(err, dpz.ErrNoIndex) {
+		t.Fatalf("Index on NoIndex archive = %v, want ErrNoIndex", err)
+	}
+	// Data access is unaffected.
+	if _, _, err := tr.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTiledIndexFallbackOnDamage corrupts the consolidated index entry:
+// queries must still be answered — identically — from the per-tile
+// stream indexes, never wrongly from damaged metadata.
+func TestTiledIndexFallbackOnDamage(t *testing.T) {
+	data, dims := indexField(64, 96)
+	arc := compressIndexArchive(t, data, dims, 16, dpz.LooseOptions())
+
+	tr, err := dpz.OpenTiled(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact, err := tr.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locate the consolidated payload inside the archive bytes and flip
+	// one byte; the entry CRC rejects it and Index() must fall back.
+	ar, err := dpz.OpenArchive(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ar.Stream("_dpz_index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := bytes.Index(arc, payload)
+	if off < 0 {
+		t.Fatal("consolidated index payload not found in archive bytes")
+	}
+	bad := append([]byte(nil), arc...)
+	bad[off+len(payload)/2] ^= 0x10
+
+	trBad, err := dpz.OpenTiled(bytes.NewReader(bad), int64(len(bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := trBad.Index()
+	if err != nil {
+		t.Fatalf("Index with damaged consolidated entry: %v", err)
+	}
+	if len(fallback.Tiles) != len(intact.Tiles) {
+		t.Fatalf("fallback has %d tiles, intact %d", len(fallback.Tiles), len(intact.Tiles))
+	}
+	for i := range intact.Tiles {
+		a, b := intact.Tiles[i], fallback.Tiles[i]
+		if a.Count != b.Count || a.Min != b.Min || a.Max != b.Max || a.Mean != b.Mean || a.RMS != b.RMS {
+			t.Fatalf("tile %d summary diverged after fallback:\nintact   %+v\nfallback %+v", i, a, b)
+		}
+		if len(a.RankEnergy) != len(b.RankEnergy) {
+			t.Fatalf("tile %d rank energies diverged", i)
+		}
+		for r := range a.RankEnergy {
+			if a.RankEnergy[r] != b.RankEnergy[r] {
+				t.Fatalf("tile %d rank %d energy diverged", i, r)
+			}
+		}
+	}
+
+	// Damage a tile stream's own trailing index too: with both copies
+	// gone the error must be the typed sentinel, and the data itself
+	// must stay fully decodable.
+	tileStream, err := ar.Stream("tile-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toff := bytes.Index(arc, tileStream)
+	if toff < 0 {
+		t.Fatal("tile stream not found in archive bytes")
+	}
+	// Archive entries are CRC-checked on read, so flipping any stream
+	// byte makes the whole entry unreadable — exactly the "tile
+	// unreadable" fallback failure. Flip the stream's final byte (inside
+	// its retrieval index).
+	worse := append([]byte(nil), bad...)
+	worse[toff+len(tileStream)-1] ^= 0x01
+	trWorse, err := dpz.OpenTiled(bytes.NewReader(worse), int64(len(worse)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trWorse.Index(); !errors.Is(err, dpz.ErrNoIndex) {
+		t.Fatalf("Index with both copies damaged = %v, want ErrNoIndex", err)
+	}
+}
+
+// TestTiledIndexAfterRecovery tears the archive tail off mid-way through
+// the consolidated index entry (it is written last, so it is the natural
+// casualty of a torn write) and recovers: every tile must survive and
+// Index() must reassemble from the tile streams.
+func TestTiledIndexAfterRecovery(t *testing.T) {
+	data, dims := indexField(64, 96)
+	arc := compressIndexArchive(t, data, dims, 16, dpz.LooseOptions())
+
+	tr, err := dpz.OpenTiled(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact, err := tr.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := tr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := dpz.OpenArchive(bytes.NewReader(arc), int64(len(arc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ar.Stream("_dpz_index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := bytes.Index(arc, payload)
+	if off < 0 {
+		t.Fatal("consolidated index payload not found")
+	}
+	torn := arc[:off+len(payload)/2]
+
+	// Strict open must reject the torn archive; recovery must salvage
+	// all tiles and the metadata entry.
+	if _, err := dpz.OpenTiled(bytes.NewReader(torn), int64(len(torn))); err == nil {
+		t.Fatal("strict OpenTiled accepted a torn archive")
+	}
+	trRec, err := dpz.OpenTiledOptions(bytes.NewReader(torn), int64(len(torn)), dpz.ArchiveOptions{AllowRecovery: true})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	got, _, err := trRec.ReadAll()
+	if err != nil {
+		t.Fatalf("ReadAll after recovery: %v", err)
+	}
+	for i := range full {
+		if got[i] != full[i] {
+			t.Fatalf("recovered data differs at %d", i)
+		}
+	}
+	rec, err := trRec.Index()
+	if err != nil {
+		t.Fatalf("Index after recovery: %v", err)
+	}
+	if len(rec.Tiles) != len(intact.Tiles) {
+		t.Fatalf("recovered index has %d tiles, want %d", len(rec.Tiles), len(intact.Tiles))
+	}
+	for i := range intact.Tiles {
+		if rec.Tiles[i].Min != intact.Tiles[i].Min || rec.Tiles[i].Max != intact.Tiles[i].Max {
+			t.Fatalf("recovered summary %d diverged", i)
+		}
+	}
+}
