@@ -124,8 +124,13 @@ func decompressParsed(ctx context.Context, c container, workers, rank int) ([]fl
 	}
 
 	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
-	data, err := reconstruct(y, proj, means, scales, shape, h.origLen, workers,
-		transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0))
+	mode := transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0)
+	var data []float64
+	if mode == xform1D && useK < h.k {
+		data, err = reconstructRankSpace(y, proj, means, scales, shape, h.origLen, workers)
+	} else {
+		data, err = reconstruct(y, proj, means, scales, shape, h.origLen, workers, mode)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -294,5 +299,60 @@ func reconstruct(y, proj *mat.Dense, means, scales []float64, shape blockio.Shap
 	case xformHaar:
 		transform.HaarInverseRows(blocks.Data(), shape.M, shape.N, workers)
 	}
+	return blockio.Recompose(blocks, origLen)
+}
+
+// reconstructRankSpace is reconstruct for a partial (rank-limited) decode
+// of a 1-D DCT stream. reconstruct composes all M block rows in the DCT
+// domain and inverse-transforms each of them — a cost independent of the
+// decoded rank, which puts a floor under preview latency. The inverse DCT
+// is linear, so the same result follows from transforming the r score
+// columns and one constant row (which carries the feature means), then
+// recomposing in value space:
+//
+//	block_i = scale_i · Σ_j proj[i,j]·IDCT(y_j)  +  mean_i·IDCT(1_N)
+//
+// r+1 transforms instead of M, so a rank-1 preview pays for one component,
+// not the whole block count. The value-space recomposition uses the
+// worker-deterministic jammed GEMM, keeping decode bits independent of the
+// worker count. Summation order differs from reconstruct's, so outputs are
+// equal only to rounding; the full decode therefore keeps the historical
+// path (its bits are pinned by the v1 golden test), while every
+// partial-decode entry point — DecompressRank, DecompressRanks,
+// DecompressBestEffort, Progressive — routes through this one, so preview
+// bytes stay identical across all of them at equal rank.
+func reconstructRankSpace(y, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int) ([]float64, error) {
+	n, k := y.Dims()
+	pm, pk := proj.Dims()
+	if n != shape.N || pm != shape.M || k != pk {
+		return nil, fmt.Errorf("core: reconstruct shape mismatch (%dx%d scores, %dx%d proj, %dx%d blocks)",
+			n, k, pm, pk, shape.M, shape.N)
+	}
+	// Rows 0..k-1: the score columns; row k: all ones, the means carrier.
+	zt := mat.NewDense(k+1, shape.N)
+	for j := 0; j < k; j++ {
+		y.Col(j, zt.Row(j))
+	}
+	ones := zt.Row(k)
+	for i := range ones {
+		ones[i] = 1
+	}
+	transform.InverseRows(zt.Data(), k+1, shape.N, workers)
+	// blocks = C·zt with C[i] = [scale_i·proj_i | mean_i].
+	coef := mat.NewDense(shape.M, k+1)
+	for i := 0; i < shape.M; i++ {
+		crow := coef.Row(i)
+		prow := proj.Row(i)
+		s := 1.0
+		if scales != nil {
+			s = scales[i]
+		}
+		for j := 0; j < k; j++ {
+			crow[j] = s * prow[j]
+		}
+		crow[k] = means[i]
+	}
+	blocks := mat.NewDense(shape.M, shape.N)
+	mat.GemmInto(blocks, coef, zt, workers)
 	return blockio.Recompose(blocks, origLen)
 }

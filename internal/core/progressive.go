@@ -99,8 +99,14 @@ func (p *Progressive) DecodeContext(ctx context.Context, ranks int) ([]float64, 
 		proj.SetCol(j, p.pcols[j])
 	}
 	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
-	data, err := reconstruct(y, proj, p.means, p.scales, shape, h.origLen, p.workers,
-		transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0))
+	mode := transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0)
+	var data []float64
+	var err error
+	if mode == xform1D && used < h.k {
+		data, err = reconstructRankSpace(y, proj, p.means, p.scales, shape, h.origLen, p.workers)
+	} else {
+		data, err = reconstruct(y, proj, p.means, p.scales, shape, h.origLen, p.workers, mode)
+	}
 	if err != nil {
 		return nil, nil, 0, err
 	}

@@ -7,8 +7,10 @@ import (
 	"testing"
 	"time"
 
+	"dpz/internal/blockio"
 	"dpz/internal/dataset"
 	"dpz/internal/integrity"
+	"dpz/internal/mat"
 	"dpz/internal/retrieval"
 )
 
@@ -411,5 +413,50 @@ func TestPreviewSpeedup(t *testing.T) {
 	// timing noise cannot flake the suite.
 	if prevT*3 > fullT*2 {
 		t.Fatalf("rank-1 preview %v not at least 1.5x faster than full decode %v (K=%d)", prevT, fullT, c.Stats.K)
+	}
+}
+
+// TestReconstructRankSpaceMatchesDCTDomain proves the rank-space partial
+// reconstruction computes the same linear map as the historical DCT-domain
+// path: the two differ only in floating-point summation order, so their
+// outputs must agree to rounding on both the standardized and plain paths.
+func TestReconstructRankSpaceMatchesDCTDomain(t *testing.T) {
+	const m, n, k = 17, 96, 5
+	y := mat.NewDense(n, k)
+	proj := mat.NewDense(m, k)
+	means := make([]float64, m)
+	scales := make([]float64, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			y.Set(i, j, 10*math.Sin(float64(3+i*k+j)))
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			proj.Set(i, j, math.Cos(float64(7+i*k+j)))
+		}
+		means[i] = 4 * math.Sin(float64(i))
+		scales[i] = 1 + 0.5*math.Cos(float64(i))
+	}
+	shape := blockio.Shape{M: m, N: n, Padded: m * n}
+	origLen := m*n - 3
+	for name, sc := range map[string][]float64{"plain": nil, "standardized": scales} {
+		want, err := reconstruct(y, proj, means, sc, shape, origLen, 2, xform1D)
+		if err != nil {
+			t.Fatalf("%s: reconstruct: %v", name, err)
+		}
+		got, err := reconstructRankSpace(y, proj, means, sc, shape, origLen, 2)
+		if err != nil {
+			t.Fatalf("%s: reconstructRankSpace: %v", name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if d := math.Abs(got[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: value %d: rank-space %v vs DCT-domain %v (diff %g)",
+					name, i, got[i], want[i], d)
+			}
+		}
 	}
 }
