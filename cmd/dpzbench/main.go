@@ -35,6 +35,7 @@ func main() {
 		baseline   = flag.String("baseline", "", "with -json: gate the run against this BENCH_<rev>.json; exit non-zero on regression")
 		maxRegress = flag.Float64("max-regress", 10, "with -baseline: allowed slowdown percent per record/stage")
 		forceWork  = flag.Bool("force-workers", false, "with -json: keep worker counts above NumCPU in the sweep (skipped by default)")
+		repeat     = flag.Int("repeat", 1, "with -json: run each benchmark N times and record the median by ns/op (damps run-to-run drift on small hosts)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 		server     = flag.String("server", "", "smoke-benchmark a running dpzd at this base URL instead of running experiments")
@@ -94,7 +95,7 @@ func main() {
 		if *note != "" {
 			notes = append(notes, *note)
 		}
-		if err := runPerfSuite(*scale, ws, notes, *baseline, *maxRegress, *forceWork, os.Stdout); err != nil {
+		if err := runPerfSuite(*scale, ws, notes, *baseline, *maxRegress, *forceWork, *repeat, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "dpzbench: %v\n", err)
 			os.Exit(1)
 		}

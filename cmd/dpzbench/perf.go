@@ -13,6 +13,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"testing"
 	"time"
 
@@ -77,16 +78,19 @@ func stagesOf(sts ...dpz.Stats) *stageNs {
 
 // perfReport is the BENCH_<rev>.json document.
 type perfReport struct {
-	Revision   string       `json:"revision"`
-	Dirty      bool         `json:"dirty"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	NumCPU     int          `json:"num_cpu"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Scale      float64      `json:"scale"`
-	Dims       []int        `json:"dims"`
-	Records    []perfRecord `json:"records"`
-	Notes      []string     `json:"notes,omitempty"`
+	Revision   string  `json:"revision"`
+	Dirty      bool    `json:"dirty"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+	// Repeat is how many times each benchmark configuration ran; every
+	// record is the median (by ns/op) of that many runs. 1 = single run.
+	Repeat  int          `json:"repeat"`
+	Dims    []int        `json:"dims"`
+	Records []perfRecord `json:"records"`
+	Notes   []string     `json:"notes,omitempty"`
 }
 
 // buildRevision returns the VCS revision baked into the binary (12 hex
@@ -145,9 +149,24 @@ func record(name string, workers int, r testing.BenchmarkResult) perfRecord {
 // error. forceWorkers keeps worker counts above NumCPU in the sweep; by
 // default they are skipped (on a small host they only measure scheduler
 // overhead, and their records then pollute cross-revision comparisons).
-func runPerfSuite(scale float64, workers []int, notes []string, baseline string, maxRegress float64, forceWorkers bool, out io.Writer) error {
+func runPerfSuite(scale float64, workers []int, notes []string, baseline string, maxRegress float64, forceWorkers bool, repeat int, out io.Writer) error {
 	if len(workers) == 0 {
 		workers = perfWorkers
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	// bench runs one benchmark configuration repeat times and keeps the
+	// median run (sorted by ns/op, element N/2). A single run on a
+	// small/shared host is at the mercy of scheduler noise; the median
+	// absorbs one-off stalls without averaging them into the record.
+	bench := func(fn func(b *testing.B)) testing.BenchmarkResult {
+		results := make([]testing.BenchmarkResult, 0, repeat)
+		for i := 0; i < repeat; i++ {
+			results = append(results, testing.Benchmark(fn))
+		}
+		sort.Slice(results, func(i, j int) bool { return results[i].NsPerOp() < results[j].NsPerOp() })
+		return results[len(results)/2]
 	}
 	if !forceWorkers {
 		kept := workers[:0]
@@ -184,7 +203,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 	for _, w := range workers {
 		o := dpz.LooseOptions()
 		o.Workers = w
-		rec := add("compress", w, testing.Benchmark(func(b *testing.B) {
+		rec := add("compress", w, bench(func(b *testing.B) {
 			b.SetBytes(rawBytes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -221,7 +240,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 			o.Workers = w
 			o.SketchPCA = cfg.sketch
 			data, dims := cfg.field.Data, cfg.field.Dims
-			rec := add(cfg.name, w, testing.Benchmark(func(b *testing.B) {
+			rec := add(cfg.name, w, bench(func(b *testing.B) {
 				b.SetBytes(rawBytes)
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -245,7 +264,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 	}
 	for _, w := range workers {
 		w := w
-		add("decompress", w, testing.Benchmark(func(b *testing.B) {
+		add("decompress", w, bench(func(b *testing.B) {
 			b.SetBytes(rawBytes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -277,7 +296,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 		}
 		rk := rk
 		name := fmt.Sprintf("preview-r%d", rk)
-		rec := add(name, pw, testing.Benchmark(func(b *testing.B) {
+		rec := add(name, pw, bench(func(b *testing.B) {
 			b.SetBytes(rawBytes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -288,7 +307,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 		}))
 		prevNs[name] = rec.NsPerOp
 	}
-	rec := add("preview-full", pw, testing.Benchmark(func(b *testing.B) {
+	rec := add("preview-full", pw, bench(func(b *testing.B) {
 		b.SetBytes(rawBytes)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -298,7 +317,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 		}
 	}))
 	prevNs["preview-full"] = rec.NsPerOp
-	rec = add("preview-fulldecode", pw, testing.Benchmark(func(b *testing.B) {
+	rec = add("preview-fulldecode", pw, bench(func(b *testing.B) {
 		b.SetBytes(rawBytes)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -320,7 +339,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 	for _, w := range workers {
 		o := dpz.LooseOptions()
 		o.Workers = w
-		add("tiled", w, testing.Benchmark(func(b *testing.B) {
+		add("tiled", w, bench(func(b *testing.B) {
 			b.SetBytes(rawBytes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -361,7 +380,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 			o := dpz.LooseOptions()
 			o.Workers = w
 			o.BasisReuse = reuse
-			rec := add(name, w, testing.Benchmark(func(b *testing.B) {
+			rec := add(name, w, bench(func(b *testing.B) {
 				b.SetBytes(batchBytes)
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -416,7 +435,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 	srv := server.New(server.Config{Jobs: 2, QueueDepth: 8})
 	ts := httptest.NewServer(srv.Handler())
 	clURL := ts.URL + "/v1/compress?dims=64x128&scheme=loose&tve=4"
-	add("server-raw", 1, testing.Benchmark(func(b *testing.B) {
+	add("server-raw", 1, bench(func(b *testing.B) {
 		b.SetBytes(int64(len(clRaw)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -433,7 +452,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 	}))
 	cl := &client.Client{BaseURL: ts.URL, HedgeDelay: 250 * time.Millisecond}
 	clOpts := client.CompressOptions{Scheme: "loose", TVENines: 4}
-	add("server-client", 1, testing.Benchmark(func(b *testing.B) {
+	add("server-client", 1, bench(func(b *testing.B) {
 		b.SetBytes(int64(len(clRaw)))
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -466,6 +485,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Scale:      scale,
+		Repeat:     repeat,
 		Dims:       f.Dims,
 		Records:    records,
 		Notes:      notes,

@@ -1,28 +1,44 @@
 // Command dpzlint runs dpz's project-specific static analyzers over the
-// module: determinism (detloop, walltime), pooling (scratchpair),
-// cancellation (ctxflow), float-equality (floateq), lock-across-I/O
-// (mutexio) and error-wrapping (wrapcheck) invariants that go vet
-// cannot know about. See docs/LINT.md.
+// module: determinism (detloop, walltime, dettaint), pooling
+// (scratchpair, scratchflow), concurrency (ctxflow, goleak, lockorder,
+// mutexio), float-equality (floateq) and error-wrapping (wrapcheck)
+// invariants that go vet cannot know about. See docs/LINT.md.
 //
 // Usage:
 //
-//	go run ./cmd/dpzlint [-json] [-werror] [-list] [patterns...]
+//	go run ./cmd/dpzlint [-json] [-werror] [-list] [-phase fast|deep|all]
+//	                     [-baseline file.json] [-timing] [patterns...]
 //
 // Patterns are package directories relative to the working directory;
 // a trailing /... loads the whole subtree. The default is ./... (the
 // entire module). Non-test files only.
 //
-// Exit status: 0 when clean (or findings exist but -werror is not set),
-// 1 when -werror is set and findings exist, 2 on load/type errors.
+// -phase selects the analyzer tier: "fast" runs the per-package
+// intra-function analyzers, "deep" runs the interprocedural ones (call
+// graph + fixpoint summaries over the whole load), "all" (default) runs
+// both.
+//
+// -baseline reads a JSON findings file (the output of a previous -json
+// run) and turns -werror into a ratchet: known findings still print,
+// but only findings absent from the baseline fail the run. Baseline
+// entries are matched by (file, analyzer, message) — line drift alone
+// does not un-baseline a finding — and each entry excuses at most as
+// many findings as it occurs in the file.
+//
+// Exit status: 0 when clean (or findings exist but -werror is not set,
+// or all findings are baselined), 1 when -werror is set and new
+// findings exist, 2 on load/type/usage errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dpz/internal/analysis"
 )
@@ -35,16 +51,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dpzlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (machine-readable, deterministic)")
-	werror := fs.Bool("werror", false, "exit non-zero when any finding survives (CI mode)")
+	werror := fs.Bool("werror", false, "exit non-zero when any non-baselined finding survives (CI mode)")
 	list := fs.Bool("list", false, "list registered analyzers and exit")
+	phase := fs.String("phase", "all", "analyzer tier to run: fast (intra-function), deep (interprocedural), or all")
+	baselinePath := fs.String("baseline", "", "JSON findings file; with -werror, only findings absent from it fail")
+	timing := fs.Bool("timing", false, "print load/analysis wall time to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			tier := "fast"
+			if a.RunProgram != nil {
+				tier = "deep"
+			}
+			fmt.Fprintf(stdout, "%-12s %-5s %s\n", a.Name, tier, a.Doc)
 		}
 		return 0
+	}
+
+	var analyzers []*analysis.Analyzer
+	switch *phase {
+	case "all":
+		analyzers = analysis.All()
+	case "fast":
+		analyzers = analysis.Intra()
+	case "deep":
+		analyzers = analysis.Deep()
+	default:
+		fmt.Fprintf(stderr, "dpzlint: unknown -phase %q (want fast, deep or all)\n", *phase)
+		return 2
+	}
+
+	var baseline map[baselineKey]int
+	if *baselinePath != "" {
+		var err error
+		baseline, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "dpzlint:", err)
+			return 2
+		}
 	}
 
 	cwd, err := os.Getwd()
@@ -80,10 +126,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dirs = append(dirs, dir)
 	}
 
+	loadStart := time.Now()
 	pkgs, err := loader.LoadDirs(dirs)
 	if err != nil {
 		fmt.Fprintln(stderr, "dpzlint:", err)
 		return 2
+	}
+	if *timing {
+		fmt.Fprintf(stderr, "dpzlint: loaded %d package(s) in %v\n", len(pkgs), time.Since(loadStart).Round(time.Millisecond))
 	}
 	status := 0
 	for _, pkg := range pkgs {
@@ -96,7 +146,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return status
 	}
 
-	findings := analysis.Run(root, pkgs, analysis.All())
+	runStart := time.Now()
+	findings := analysis.Run(root, pkgs, analyzers)
+	if *timing {
+		fmt.Fprintf(stderr, "dpzlint: phase %s ran %d analyzer(s) in %v\n", *phase, len(analyzers), time.Since(runStart).Round(time.Millisecond))
+	}
 	if *jsonOut {
 		b, err := analysis.MarshalJSON(findings)
 		if err != nil {
@@ -109,11 +163,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f.String())
 		}
 	}
-	if len(findings) > 0 && *werror {
-		fmt.Fprintf(stderr, "dpzlint: %d finding(s)\n", len(findings))
+
+	fresh := newFindings(findings, baseline)
+	if len(fresh) > 0 && *werror {
+		if baseline != nil {
+			fmt.Fprintf(stderr, "dpzlint: %d finding(s), %d not in baseline %s\n", len(findings), len(fresh), *baselinePath)
+		} else {
+			fmt.Fprintf(stderr, "dpzlint: %d finding(s)\n", len(findings))
+		}
 		return 1
 	}
+	if baseline != nil && len(findings) > 0 && len(fresh) == 0 && !*jsonOut {
+		fmt.Fprintf(stderr, "dpzlint: %d finding(s), all baselined\n", len(findings))
+	}
 	return 0
+}
+
+// baselineKey identifies a finding independent of its line and column,
+// so pure position drift does not un-baseline it.
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+// loadBaseline reads a -json findings file into a multiset.
+func loadBaseline(path string) (map[baselineKey]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []analysis.Finding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	counts := make(map[baselineKey]int, len(entries))
+	for _, e := range entries {
+		counts[baselineKey{e.File, e.Analyzer, e.Message}]++
+	}
+	return counts, nil
+}
+
+// newFindings returns the findings not excused by the baseline. Each
+// baseline entry excuses at most as many findings as its multiplicity:
+// a duplicated violation is new even when one copy is baselined.
+func newFindings(findings []analysis.Finding, baseline map[baselineKey]int) []analysis.Finding {
+	if baseline == nil {
+		return findings
+	}
+	remaining := make(map[baselineKey]int, len(baseline))
+	for k, v := range baseline {
+		remaining[k] = v
+	}
+	var fresh []analysis.Finding
+	for _, f := range findings {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
 }
 
 // findModuleRoot walks up from dir to the directory containing go.mod.

@@ -105,3 +105,99 @@ func TestRunList(t *testing.T) {
 		}
 	}
 }
+
+func TestRunNonexistentPattern(t *testing.T) {
+	tempModule(t, map[string]string{"p/p.go": "package p\n"})
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./nope/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("nonexistent pattern: exit %d, want 2 (stderr %q)", code, errOut.String())
+	}
+	if errOut.Len() == 0 {
+		t.Fatal("nonexistent pattern produced no error message")
+	}
+}
+
+func TestRunPhase(t *testing.T) {
+	// The file trips floateq (intra) only; fast must find it, deep must
+	// not, and an unknown phase is a usage error.
+	tempModule(t, map[string]string{"p/p.go": dirtyFile})
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-phase", "fast"}, &out, &errOut); code != 0 {
+		t.Fatalf("-phase fast: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "floateq") {
+		t.Fatalf("-phase fast missed the floateq finding:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-phase", "deep", "-werror"}, &out, &errOut); code != 0 {
+		t.Fatalf("-phase deep: exit %d, stderr %q", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "" {
+		t.Fatalf("-phase deep reported intra findings:\n%s", got)
+	}
+
+	if code := run([]string{"-phase", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("-phase bogus: exit %d, want 2", code)
+	}
+}
+
+func TestRunBaselineRatchet(t *testing.T) {
+	tempModule(t, map[string]string{"p/p.go": dirtyFile})
+
+	// Capture the current findings as the baseline.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("baseline capture: exit %d", code)
+	}
+	if err := os.WriteFile("lint-baseline.json", out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The known finding is excused: -werror passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-werror", "-baseline", "lint-baseline.json"}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined finding still fails: exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "floateq") {
+		t.Fatal("baselined finding no longer printed; the baseline must not hide output")
+	}
+	if !strings.Contains(errOut.String(), "all baselined") {
+		t.Fatalf("missing baseline summary on stderr: %q", errOut.String())
+	}
+
+	// A new violation in another file is not excused.
+	if err := os.WriteFile(filepath.Join("p", "q.go"), []byte("package p\n\nfunc far(a, b float64) bool {\n\treturn a == b\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-werror", "-baseline", "lint-baseline.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("new finding vs baseline: exit %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "1 not in baseline") {
+		t.Fatalf("missing new-vs-baseline count: %q", errOut.String())
+	}
+
+	// A missing baseline file is a usage error, not an empty ratchet.
+	if code := run([]string{"-werror", "-baseline", "no-such.json"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing baseline file: exit %d, want 2", code)
+	}
+}
+
+func TestRunTiming(t *testing.T) {
+	tempModule(t, map[string]string{"p/p.go": "package p\n\nfunc ID(x int) int { return x }\n"})
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-timing"}, &out, &errOut); code != 0 {
+		t.Fatalf("-timing: exit %d", code)
+	}
+	for _, want := range []string{"loaded", "phase all"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("-timing stderr missing %q:\n%s", want, errOut.String())
+		}
+	}
+}

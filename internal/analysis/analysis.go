@@ -27,15 +27,20 @@ import (
 	"go/types"
 )
 
-// Analyzer is one named check. Run is invoked once per loaded package
-// with a fully typed Pass and reports findings through pass.Reportf.
+// Analyzer is one named check. Intra-function analyzers set Run, which
+// is invoked once per loaded package with a fully typed Pass.
+// Interprocedural analyzers set RunProgram instead, which is invoked
+// once per Run() invocation with the whole-module Program (call graph +
+// converged summaries). Exactly one of the two is set.
 type Analyzer struct {
 	// Name is the identifier used in reports and ignore comments.
 	Name string
 	// Doc is a one-line description of the invariant the analyzer guards.
 	Doc string
-	// Run executes the check over one package.
+	// Run executes an intra-function check over one package.
 	Run func(pass *Pass)
+	// RunProgram executes an interprocedural check over the module.
+	RunProgram func(pass *ProgramPass)
 }
 
 // Pass carries one package's parsed and typechecked state into an
@@ -62,6 +67,31 @@ func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
+	p.report(Finding{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ProgramPass carries the whole-module view into an interprocedural
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	report func(Finding)
+}
+
+// Fset returns the file set positions resolve against (shared by every
+// loaded package).
+func (p *ProgramPass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
 	p.report(Finding{
 		File:     position.Filename,
 		Line:     position.Line,

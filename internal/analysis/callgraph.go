@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-wide call graph the interprocedural
+// analyzers (scratchflow, goleak, lockorder, dettaint) reason over. The
+// graph is deliberately simple — nodes are function bodies, edges are
+// possible transfers of control — but it is built with the type
+// checker's help: method calls devirtualize to the concrete method when
+// the receiver's static type is concrete, interface calls fan out to
+// every module type implementing the interface, and closures and method
+// values get nodes and edges of their own. Construction order is
+// deterministic (packages sorted by import path, files by name, nodes
+// and edges in source position order) so every downstream analysis is
+// byte-identical across runs.
+
+// EdgeKind classifies how a caller reaches a callee.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is a plain (possibly devirtualized) call.
+	EdgeCall EdgeKind = iota
+	// EdgeGo is a call spawned on a new goroutine (`go f(...)`).
+	EdgeGo
+	// EdgeDefer is a deferred call (`defer f(...)`), which runs on the
+	// caller's exit path.
+	EdgeDefer
+	// EdgeRef is a function or method value taken without being called
+	// at this site (assigned, passed, returned). The callee may run
+	// later from a context the graph cannot see.
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeGo:
+		return "go"
+	case EdgeDefer:
+		return "defer"
+	case EdgeRef:
+		return "ref"
+	}
+	return "call"
+}
+
+// Edge is one outgoing call-graph edge.
+type Edge struct {
+	// Callee is the target node (always a module function).
+	Callee *Node
+	// Kind tags how control reaches the callee.
+	Kind EdgeKind
+	// Pos is the call or reference site.
+	Pos token.Pos
+	// Call is the call expression for call-like edges; nil for EdgeRef.
+	Call *ast.CallExpr
+	// Iface, when non-nil, is the interface method the call site names;
+	// the edge targets one concrete implementation of it.
+	Iface *types.Func
+}
+
+// Node is one function body in the graph: a declared function or
+// method (Fn != nil) or a function literal (Lit != nil).
+type Node struct {
+	// Fn is the declared function or method, nil for literals.
+	Fn *types.Func
+	// Decl is the declaration, nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal, nil for declared functions.
+	Lit *ast.FuncLit
+	// Pkg is the package the body lives in.
+	Pkg *Package
+	// Parent is the enclosing function for literals, nil otherwise.
+	Parent *Node
+	// Edges are the outgoing edges in source position order.
+	Edges []Edge
+
+	// bindings resolves local function-typed variables (`f := helper`,
+	// `g := func() {...}`) to their nodes, for calls through the
+	// variable later in the same (or a nested) unit.
+	bindings map[types.Object]*Node
+}
+
+// Body returns the node's function body (nil for bodyless
+// declarations).
+func (n *Node) Body() *ast.BlockStmt {
+	if n.Lit != nil {
+		return n.Lit.Body
+	}
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return nil
+}
+
+// FuncType returns the node's function type expression.
+func (n *Node) FuncType() *ast.FuncType {
+	if n.Lit != nil {
+		return n.Lit.Type
+	}
+	if n.Decl != nil {
+		return n.Decl.Type
+	}
+	return nil
+}
+
+// Pos returns the node's declaration position.
+func (n *Node) Pos() token.Pos {
+	if n.Lit != nil {
+		return n.Lit.Pos()
+	}
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return token.NoPos
+}
+
+// Name renders a short name for messages: "pkg.Fn", "Type.Method", or
+// "function literal".
+func (n *Node) Name() string {
+	if n.Fn == nil {
+		return "function literal"
+	}
+	if recv := n.Fn.Type().(*types.Signature).Recv(); recv != nil {
+		return typeShortName(recv.Type()) + "." + n.Fn.Name()
+	}
+	if n.Fn.Pkg() != nil {
+		return n.Fn.Pkg().Name() + "." + n.Fn.Name()
+	}
+	return n.Fn.Name()
+}
+
+// typeShortName renders the bare name of a (possibly pointered) named
+// type.
+func typeShortName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return types.TypeString(t, func(*types.Package) string { return "" })
+}
+
+// CallGraph is the module-wide graph.
+type CallGraph struct {
+	// List holds every node in deterministic order: declared functions
+	// first (package, file, position order), then literals in the order
+	// the edge walk reached them.
+	List []*Node
+	// ByObj maps a declared function's type object to its node.
+	ByObj map[types.Object]*Node
+	// ByLit maps a function literal to its node.
+	ByLit map[*ast.FuncLit]*Node
+
+	// methods indexes declared methods for interface devirtualization.
+	methods []*Node
+}
+
+// NodeOf returns the node for a declared function object, or nil.
+func (g *CallGraph) NodeOf(obj types.Object) *Node { return g.ByObj[obj] }
+
+// cgBuilder carries per-declaration context while edges are added.
+type cgBuilder struct {
+	g    *CallGraph
+	pkg  *Package
+	info *types.Info
+	// callKind tags call expressions spawned by go/defer statements.
+	callKind map[*ast.CallExpr]EdgeKind
+	// funOf marks the (unparenthesized) Fun expression of every call, so
+	// a function-valued ident or selector that is a call target is not
+	// also recorded as an EdgeRef.
+	funOf map[ast.Expr]bool
+	// litCall maps an immediately-invoked literal (`func(){}()`,
+	// possibly under go/defer) to its call expression.
+	litCall map[*ast.FuncLit]*ast.CallExpr
+	// lateBinds holds `v := func(){}` bindings whose literal node does
+	// not exist yet when the assignment is scanned; resolved through
+	// ByLit at lookup time.
+	lateBinds map[types.Object]*ast.FuncLit
+}
+
+// BuildCallGraph constructs the graph over the given packages (assumed
+// sorted by import path, as the loader returns them).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		ByObj: make(map[types.Object]*Node),
+		ByLit: make(map[*ast.FuncLit]*Node),
+	}
+	// Phase 1: a node per declared function, so forward and
+	// cross-package references resolve during edge construction.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg, bindings: make(map[types.Object]*Node)}
+				g.ByObj[fn] = n
+				g.List = append(g.List, n)
+				if fd.Recv != nil {
+					g.methods = append(g.methods, n)
+				}
+			}
+		}
+	}
+	// Phase 2: edges, creating literal nodes as they are reached.
+	declared := len(g.List)
+	for i := 0; i < declared; i++ {
+		n := g.List[i]
+		if n.Decl.Body == nil {
+			continue
+		}
+		b := &cgBuilder{
+			g:         g,
+			pkg:       n.Pkg,
+			info:      n.Pkg.Info,
+			callKind:  make(map[*ast.CallExpr]EdgeKind),
+			funOf:     make(map[ast.Expr]bool),
+			litCall:   make(map[*ast.FuncLit]*ast.CallExpr),
+			lateBinds: make(map[types.Object]*ast.FuncLit),
+		}
+		b.classify(n.Decl.Body)
+		b.walk(n, n.Decl.Body)
+	}
+	return g
+}
+
+// classify pre-computes go/defer tags and call-target expressions over
+// one declaration's whole subtree (nested literals included — the tags
+// are per call site, and the unit walk attributes each site to its
+// owner).
+func (b *cgBuilder) classify(body *ast.BlockStmt) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch t := m.(type) {
+		case *ast.GoStmt:
+			b.callKind[t.Call] = EdgeGo
+		case *ast.DeferStmt:
+			b.callKind[t.Call] = EdgeDefer
+		case *ast.CallExpr:
+			fun := ast.Unparen(t.Fun)
+			b.funOf[fun] = true
+			if lit, ok := fun.(*ast.FuncLit); ok {
+				b.litCall[lit] = t
+			}
+		}
+		return true
+	})
+}
+
+// kindOf returns the edge kind of a call expression.
+func (b *cgBuilder) kindOf(call *ast.CallExpr) EdgeKind {
+	if k, ok := b.callKind[call]; ok {
+		return k
+	}
+	return EdgeCall
+}
+
+// walk adds edges for one function unit, recursing into nested literals
+// as child units.
+func (b *cgBuilder) walk(u *Node, root ast.Node) {
+	ast.Inspect(root, func(m ast.Node) bool {
+		switch t := m.(type) {
+		case *ast.FuncLit:
+			child := &Node{Lit: t, Pkg: b.pkg, Parent: u, bindings: make(map[types.Object]*Node)}
+			b.g.ByLit[t] = child
+			b.g.List = append(b.g.List, child)
+			kind, call := EdgeRef, (*ast.CallExpr)(nil)
+			if c, ok := b.litCall[t]; ok {
+				kind, call = b.kindOf(c), c
+			}
+			u.Edges = append(u.Edges, Edge{Callee: child, Kind: kind, Pos: t.Pos(), Call: call})
+			b.walk(child, t.Body)
+			return false
+		case *ast.AssignStmt:
+			b.recordBindings(u, t.Lhs, t.Rhs)
+			return true
+		case *ast.ValueSpec:
+			if len(t.Names) == len(t.Values) {
+				lhs := make([]ast.Expr, len(t.Names))
+				for i, id := range t.Names {
+					lhs[i] = id
+				}
+				b.recordBindings(u, lhs, t.Values)
+			}
+			return true
+		case *ast.CallExpr:
+			b.resolveCall(u, t)
+			return true
+		case *ast.SelectorExpr:
+			if !b.funOf[t] {
+				if fn, ok := b.info.Uses[t.Sel].(*types.Func); ok {
+					if target := b.g.ByObj[fn]; target != nil {
+						// Method value or qualified function value taken.
+						u.Edges = append(u.Edges, Edge{Callee: target, Kind: EdgeRef, Pos: t.Pos()})
+					}
+				}
+			}
+			// Descend into the base only: visiting t.Sel as a bare ident
+			// would duplicate the edge (or invent a Ref for a plain call).
+			b.walk(u, t.X)
+			return false
+		case *ast.Ident:
+			if !b.funOf[t] {
+				if fn, ok := b.info.Uses[t].(*types.Func); ok {
+					if target := b.g.ByObj[fn]; target != nil {
+						u.Edges = append(u.Edges, Edge{Callee: target, Kind: EdgeRef, Pos: t.Pos()})
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// recordBindings resolves simple `v := f` / `v := func(){}` assignments
+// so later calls through v get edges.
+func (b *cgBuilder) recordBindings(u *Node, lhs, rhs []ast.Expr) {
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := b.info.Defs[id]
+		if obj == nil {
+			obj = b.info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		switch r := ast.Unparen(rhs[i]).(type) {
+		case *ast.FuncLit:
+			// The literal's node is created when the walk descends into
+			// it, just after this assignment is scanned.
+			b.lateBinds[obj] = r
+		case *ast.Ident:
+			if fn, ok := b.info.Uses[r].(*types.Func); ok {
+				if target := b.g.ByObj[fn]; target != nil {
+					u.bindings[obj] = target
+				}
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := b.info.Uses[r.Sel].(*types.Func); ok {
+				if target := b.g.ByObj[fn]; target != nil {
+					u.bindings[obj] = target
+				}
+			}
+		}
+	}
+}
+
+// lookupBinding resolves a function-typed variable through the unit's
+// scope chain.
+func (b *cgBuilder) lookupBinding(u *Node, obj types.Object) *Node {
+	for n := u; n != nil; n = n.Parent {
+		if t, ok := n.bindings[obj]; ok {
+			return t
+		}
+	}
+	if lit, ok := b.lateBinds[obj]; ok {
+		return b.g.ByLit[lit]
+	}
+	return nil
+}
+
+// resolveCall adds the edge(s) for one call expression.
+func (b *cgBuilder) resolveCall(u *Node, call *ast.CallExpr) {
+	kind := b.kindOf(call)
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := b.info.Uses[fun].(type) {
+		case *types.Func:
+			if target := b.g.ByObj[obj]; target != nil {
+				u.Edges = append(u.Edges, Edge{Callee: target, Kind: kind, Pos: call.Pos(), Call: call})
+			}
+		case *types.Var:
+			if target := b.lookupBinding(u, obj); target != nil {
+				u.Edges = append(u.Edges, Edge{Callee: target, Kind: kind, Pos: call.Pos(), Call: call})
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := b.info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		if sel, ok := b.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				// Interface dispatch: fan out to every module method
+				// implementing the interface under the called name.
+				for _, m := range b.g.methods {
+					if m.Fn.Name() != fn.Name() {
+						continue
+					}
+					recv := m.Fn.Type().(*types.Signature).Recv().Type()
+					if types.Implements(recv, iface) {
+						u.Edges = append(u.Edges, Edge{Callee: m, Kind: kind, Pos: call.Pos(), Call: call, Iface: fn})
+					}
+				}
+				return
+			}
+		}
+		if target := b.g.ByObj[fn]; target != nil {
+			u.Edges = append(u.Edges, Edge{Callee: target, Kind: kind, Pos: call.Pos(), Call: call})
+		}
+	}
+}

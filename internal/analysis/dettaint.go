@@ -1,0 +1,532 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetTaint tracks nondeterministic values — map iteration order, global
+// math/rand draws, wall-clock reads, CPU-count queries — through
+// assignments and across call boundaries to output-writing sinks in the
+// deterministic kernel packages. It subsumes the per-function views of
+// detloop/seedrand/walltime: those flag the source or the sink in
+// isolation, this one flags the *flow*, so a map-order-dependent value
+// laundered through a local, a helper call or a return value still
+// surfaces where it finally hits the stream.
+//
+// Two interprocedural propagations run over the call-graph summaries:
+// a function whose result derives from a source marks its callers'
+// variables tainted (TaintResults), and a function that writes a
+// parameter to a sink marks call sites passing tainted arguments
+// (ParamFlow.SinkTaint). Sinks lexically inside a map-range body are
+// detloop's domain and skipped here; sorting a value
+// (sort.*/slices.Sort*) launders its taint, and integer accumulation
+// under map-order taint is exempt (commutative — the sum is
+// order-independent; float accumulation is not and stays tainted).
+var DetTaint = &Analyzer{
+	Name:       "dettaint",
+	Doc:        "nondeterministic value (map order, global rand, wall clock, CPU count) flows into an output sink",
+	RunProgram: runDetTaint,
+}
+
+// detTaintExempt mirrors walltime's exemptions: the serving and
+// measurement layers are allowed to be nondeterministic.
+var detTaintExempt = [...]string{
+	"internal/metrics",
+	"internal/server",
+	"internal/compare",
+	"internal/experiments",
+}
+
+// detTaintScoped reports whether findings apply to a package.
+func detTaintScoped(path string) bool {
+	if !pathContainsSegment(path, "internal") {
+		return false
+	}
+	for _, exempt := range detTaintExempt {
+		if pathMatches(path, exempt) {
+			return false
+		}
+	}
+	return true
+}
+
+func runDetTaint(pass *ProgramPass) {
+	for _, n := range pass.Prog.Graph.List {
+		if !detTaintScoped(n.Pkg.ImportPath) {
+			continue
+		}
+		ts := newTaintState(pass.Prog, n, false)
+		ts.scan()
+		for _, f := range ts.findings {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// taintSummaryScan computes the taint components of a node's summary:
+// per-result source descriptions and which parameters reach a sink.
+// Called from the fixpoint in summary.go.
+func taintSummaryScan(p *Program, n *Node) (retTaint []string, sinkParams []bool) {
+	real := newTaintState(p, n, false)
+	real.scan()
+	seeded := newTaintState(p, n, true)
+	seeded.scan()
+	return real.retTaint, seeded.sinkParams
+}
+
+// taintSource classifies a call as a nondeterminism source, returning a
+// short description or "".
+func taintSource(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch path := pkgPathOf(fn); {
+	case path == "time":
+		if wallTimeFuncs[name] && name != "Sleep" {
+			return "a time." + name + " wall-clock read"
+		}
+	case path == "runtime":
+		if name == "NumCPU" || name == "GOMAXPROCS" {
+			return "a runtime." + name + " value"
+		}
+	case seedRandPkgs[path]:
+		if !seedRandAllowed[name] {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				return "a global math/rand draw (rand." + name + ")"
+			}
+		}
+	case pathMatches(path, "internal/metrics"):
+		if name == "Now" || name == "Since" {
+			return "a metrics." + name + " wall-clock read"
+		}
+	}
+	return ""
+}
+
+// sortNeutralizes returns the argument whose ordering taint a call
+// removes: sort.X(arg) and slices.Sort*(arg) make the element order
+// deterministic again.
+func sortNeutralizes(info *types.Info, call *ast.CallExpr) *ast.Ident {
+	fn := calleeFunc(info, call)
+	if fn == nil || len(call.Args) == 0 {
+		return nil
+	}
+	path := pkgPathOf(fn)
+	sorting := (path == "sort" && (strings.HasPrefix(fn.Name(), "Sort") || fn.Name() == "Strings" ||
+		fn.Name() == "Ints" || fn.Name() == "Float64s" || fn.Name() == "Slice" || fn.Name() == "SliceStable" || fn.Name() == "Stable")) ||
+		(path == "slices" && strings.HasPrefix(fn.Name(), "Sort"))
+	if !sorting {
+		return nil
+	}
+	id, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return id
+}
+
+// mapOrderTaint is the canonical source description for map iteration.
+const mapOrderTaint = "map iteration order"
+
+// commutativeOps are compound-assignment operators whose repeated
+// application is order-independent on integers.
+var commutativeOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.AND_ASSIGN: true,
+	token.OR_ASSIGN:  true,
+	token.XOR_ASSIGN: true,
+}
+
+// taintFinding is one candidate report.
+type taintFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// taintState is the per-function taint engine. With paramSeeds it
+// tracks synthetic parameter taints instead of real sources, answering
+// "does parameter i reach a sink?" for the summary.
+type taintState struct {
+	p          *Program
+	n          *Node
+	info       *types.Info
+	taint      map[types.Object]string
+	paramSeeds bool
+	paramIdx   map[types.Object]int
+	resultObjs []types.Object
+	mapBodies  []span
+	findings   []taintFinding
+	retTaint   []string
+	sinkParams []bool
+	collecting bool
+}
+
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(pos token.Pos) bool { return pos >= s.lo && pos < s.hi }
+
+// paramSeedPrefix marks synthetic taint descriptions in the seeded run.
+const paramSeedPrefix = "\x00param#"
+
+func newTaintState(p *Program, n *Node, paramSeeds bool) *taintState {
+	ts := &taintState{
+		p:          p,
+		n:          n,
+		info:       n.Pkg.Info,
+		taint:      make(map[types.Object]string),
+		paramSeeds: paramSeeds,
+		paramIdx:   make(map[types.Object]int),
+	}
+	params := paramObjects(n)
+	ts.sinkParams = make([]bool, len(params))
+	for i, obj := range params {
+		if obj == nil {
+			continue
+		}
+		ts.paramIdx[obj] = i
+		if paramSeeds {
+			ts.taint[obj] = fmt.Sprintf("%s%d", paramSeedPrefix, i)
+		}
+	}
+	if ft := n.FuncType(); ft != nil && ft.Results != nil {
+		for _, field := range ft.Results.List {
+			if len(field.Names) == 0 {
+				ts.resultObjs = append(ts.resultObjs, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				ts.resultObjs = append(ts.resultObjs, ts.info.Defs[name])
+			}
+		}
+	}
+	ts.retTaint = make([]string, len(ts.resultObjs))
+	return ts
+}
+
+// scan runs the engine to a local fixpoint: two source-order passes so
+// loop-carried taint reaches uses that precede the tainting assignment,
+// collecting findings only on the final pass.
+func (ts *taintState) scan() {
+	body := ts.n.Body()
+	if body == nil {
+		return
+	}
+	// Pre-pass: spans of map-range bodies (sinks inside them belong to
+	// detloop, and key/value variables get the ordering taint).
+	walkUnit(body, func(m ast.Node, _ bool) {
+		if rng, ok := m.(*ast.RangeStmt); ok && ts.isMapRange(rng) {
+			ts.mapBodies = append(ts.mapBodies, span{rng.Body.Pos(), rng.Body.End()})
+		}
+	})
+	for pass := 0; pass < 2; pass++ {
+		ts.collecting = pass == 1
+		walkUnit(body, func(m ast.Node, _ bool) { ts.visit(m) })
+	}
+}
+
+func (ts *taintState) isMapRange(rng *ast.RangeStmt) bool {
+	tv, ok := ts.info.Types[rng.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func (ts *taintState) inMapBody(pos token.Pos) bool {
+	for _, s := range ts.mapBodies {
+		if s.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ts *taintState) visit(m ast.Node) {
+	switch t := m.(type) {
+	case *ast.RangeStmt:
+		ts.visitRange(t)
+	case *ast.AssignStmt:
+		ts.visitAssign(t)
+	case *ast.CallExpr:
+		ts.visitCall(t)
+	case *ast.ReturnStmt:
+		ts.visitReturn(t)
+	}
+}
+
+func (ts *taintState) visitRange(rng *ast.RangeStmt) {
+	var desc string
+	if ts.isMapRange(rng) {
+		if ts.paramSeeds {
+			return // ordering taint is not parameter-derived
+		}
+		desc = mapOrderTaint
+	} else {
+		// Ranging a tainted collection taints the drawn elements.
+		desc = ts.exprTaint(rng.X)
+		if desc == "" {
+			return
+		}
+	}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(ts.info, id); obj != nil {
+				ts.taint[obj] = desc
+			}
+		}
+	}
+}
+
+func (ts *taintState) visitAssign(as *ast.AssignStmt) {
+	// Compound assignment: x op= rhs.
+	if len(as.Lhs) == 1 && as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := identObj(ts.info, id)
+		if obj == nil {
+			return
+		}
+		desc := ts.exprTaint(as.Rhs[0])
+		if desc == "" {
+			return
+		}
+		// Integer accumulation over a map is order-independent;
+		// float accumulation is not (addition doesn't associate).
+		if desc == mapOrderTaint && commutativeOps[as.Tok] && isIntegerObj(obj) {
+			return
+		}
+		if _, already := ts.taint[obj]; !already {
+			ts.taint[obj] = desc
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			ts.assignOne(lhs, ts.exprTaint(as.Rhs[i]))
+		}
+		return
+	}
+	// Multi-value: `a, b := f()` — per-result callee taint.
+	if len(as.Rhs) == 1 {
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if src := ts.callTaint(call); src != "" {
+			for _, lhs := range as.Lhs {
+				ts.assignOne(lhs, src)
+			}
+			return
+		}
+		for _, c := range ts.p.targets[call] {
+			cf := ts.p.Flows[c]
+			if cf == nil {
+				continue
+			}
+			for i, lhs := range as.Lhs {
+				if i < len(cf.TaintResults) && cf.TaintResults[i] != "" {
+					ts.assignOne(lhs, cf.TaintResults[i])
+				}
+			}
+		}
+	}
+}
+
+// assignOne taints (or leaves alone) one assignment target. Field and
+// index stores do not taint the base object: a timing field written
+// into a stats struct must not condemn the whole struct.
+func (ts *taintState) assignOne(lhs ast.Expr, desc string) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := identObj(ts.info, id)
+	if obj == nil {
+		return
+	}
+	if desc == "" {
+		// A clean re-assignment launders a plain variable (and, in the
+		// seeded run, a reassigned parameter).
+		delete(ts.taint, obj)
+		return
+	}
+	ts.taint[obj] = desc
+}
+
+func (ts *taintState) visitCall(call *ast.CallExpr) {
+	if id := sortNeutralizes(ts.info, call); id != nil {
+		if obj := identObj(ts.info, id); obj != nil {
+			delete(ts.taint, obj)
+		}
+		return
+	}
+	// Direct sink: a tainted argument written to an output stream. Every
+	// seeded (parameter) taint must flip its bit, while the real run
+	// reports one finding per call.
+	if sink := outputSink(ts.info, call); sink != "" && !ts.inMapBody(call.Pos()) {
+		reported := false
+		for _, arg := range call.Args {
+			desc := ts.exprTaint(arg)
+			if desc == "" {
+				continue
+			}
+			if strings.HasPrefix(desc, paramSeedPrefix) {
+				ts.recordSink(call.Pos(), desc, sink)
+			} else if !reported {
+				ts.recordSink(call.Pos(), desc, sink)
+				reported = true
+			}
+		}
+		return
+	}
+	// Indirect sink: a tainted argument passed to a callee that writes
+	// the parameter to a stream somewhere below.
+	for ai, arg := range call.Args {
+		desc := ts.exprTaint(arg)
+		if desc == "" {
+			continue
+		}
+		for _, c := range ts.p.targets[call] {
+			cf := ts.p.Flows[c]
+			if cf == nil || len(cf.Params) == 0 {
+				continue
+			}
+			pi := ai
+			if pi >= len(cf.Params) {
+				pi = len(cf.Params) - 1
+			}
+			if cf.Params[pi].SinkTaint && !ts.inMapBody(call.Pos()) {
+				ts.recordSink(call.Pos(), desc, c.Name()+" (which writes it to an output stream)")
+			}
+		}
+	}
+}
+
+// recordSink files a finding (real run) or flips the parameter bit
+// (seeded run).
+func (ts *taintState) recordSink(pos token.Pos, desc, sink string) {
+	if seed, ok := strings.CutPrefix(desc, paramSeedPrefix); ok {
+		var i int
+		fmt.Sscanf(seed, "%d", &i)
+		if i >= 0 && i < len(ts.sinkParams) {
+			ts.sinkParams[i] = true
+		}
+		return
+	}
+	if ts.paramSeeds || !ts.collecting {
+		return
+	}
+	ts.findings = append(ts.findings, taintFinding{
+		pos: pos,
+		msg: fmt.Sprintf("value derived from %s reaches %s; output bytes become run-dependent — derive it deterministically or sort/seed first", desc, sink),
+	})
+}
+
+func (ts *taintState) visitReturn(ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		// Naked return: named results carry their current taint.
+		for i, obj := range ts.resultObjs {
+			if obj == nil {
+				continue
+			}
+			if desc, ok := ts.taint[obj]; ok && ts.retTaint[i] == "" && !strings.HasPrefix(desc, paramSeedPrefix) {
+				ts.retTaint[i] = desc
+			}
+		}
+		return
+	}
+	for i, res := range ret.Results {
+		if i >= len(ts.retTaint) {
+			break
+		}
+		if desc := ts.exprTaint(res); desc != "" && ts.retTaint[i] == "" && !strings.HasPrefix(desc, paramSeedPrefix) {
+			ts.retTaint[i] = desc
+		}
+	}
+}
+
+// callTaint classifies the taint of a call expression's (first) result:
+// a source call, or a callee whose first result is tainted, or a pure
+// function applied to tainted data.
+func (ts *taintState) callTaint(call *ast.CallExpr) string {
+	if !ts.paramSeeds {
+		if src := taintSource(ts.info, call); src != "" {
+			return src
+		}
+	}
+	if sortNeutralizes(ts.info, call) != nil {
+		return ""
+	}
+	for _, c := range ts.p.targets[call] {
+		cf := ts.p.Flows[c]
+		if cf != nil && len(cf.TaintResults) > 0 && cf.TaintResults[0] != "" {
+			return cf.TaintResults[0]
+		}
+	}
+	// Data flows through: f(tainted) is tainted for conversions,
+	// builtins (append, copy targets aside) and pure helpers alike.
+	for _, arg := range call.Args {
+		if desc := ts.exprTaint(arg); desc != "" {
+			return desc
+		}
+	}
+	return ""
+}
+
+// exprTaint returns the taint description of an expression, or "".
+func (ts *taintState) exprTaint(e ast.Expr) string {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := identObj(ts.info, t); obj != nil {
+			return ts.taint[obj]
+		}
+	case *ast.CallExpr:
+		return ts.callTaint(t)
+	case *ast.BinaryExpr:
+		if desc := ts.exprTaint(t.X); desc != "" {
+			return desc
+		}
+		return ts.exprTaint(t.Y)
+	case *ast.UnaryExpr:
+		if t.Op == token.ARROW {
+			return "" // channel receives are synchronization, not data order
+		}
+		return ts.exprTaint(t.X)
+	case *ast.StarExpr:
+		return ts.exprTaint(t.X)
+	case *ast.SelectorExpr:
+		return ts.exprTaint(t.X)
+	case *ast.IndexExpr:
+		if desc := ts.exprTaint(t.X); desc != "" {
+			return desc
+		}
+		return ts.exprTaint(t.Index)
+	case *ast.SliceExpr:
+		return ts.exprTaint(t.X)
+	case *ast.TypeAssertExpr:
+		return ts.exprTaint(t.X)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if desc := ts.exprTaint(el); desc != "" {
+				return desc
+			}
+		}
+	}
+	return ""
+}
+
+// isIntegerObj reports whether an object's type is an integer kind.
+func isIntegerObj(obj types.Object) bool {
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

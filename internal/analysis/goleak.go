@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak requires every goroutine spawned in the concurrency-bearing
+// packages (internal/server, internal/parallel, internal/basiscache) to
+// carry provable lifetime evidence: the spawned body — or a function it
+// calls, found through the call graph — must signal a WaitGroup
+// (Done/Wait), close a channel, receive from one (a done-channel,
+// ctx.Done() or a pipeline channel), or range over a channel. A body
+// with none of those has no join and no cancellation bound: under load
+// it accumulates forever, and on drain it outlives the server. This is
+// inherently cross-function — `go s.worker()` is only provably bounded
+// because worker's *body* ranges over the job channel, which no
+// single-function analyzer can see from the spawn site.
+var GoLeak = &Analyzer{
+	Name:       "goleak",
+	Doc:        "goroutine spawned without provable join or cancellation bound in a concurrency package",
+	RunProgram: runGoLeak,
+}
+
+// goLeakScopes are the package-path suffixes the analyzer applies to.
+var goLeakScopes = [...]string{"internal/server", "internal/parallel", "internal/basiscache"}
+
+func goLeakScoped(path string) bool {
+	for _, s := range goLeakScopes {
+		if pathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoLeak(pass *ProgramPass) {
+	prog := pass.Prog
+	for _, n := range prog.Graph.List {
+		if !goLeakScoped(n.Pkg.ImportPath) {
+			continue
+		}
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		// Group resolved go edges by spawn site; any target with join
+		// evidence clears the site.
+		type spawn struct {
+			ok   bool
+			name string
+		}
+		resolved := make(map[*ast.CallExpr]*spawn)
+		for _, e := range n.Edges {
+			if e.Kind != EdgeGo || e.Call == nil {
+				continue
+			}
+			s := resolved[e.Call]
+			if s == nil {
+				s = &spawn{name: e.Callee.Name()}
+				resolved[e.Call] = s
+			}
+			if cf := prog.FlowOf(e.Callee); cf != nil && cf.JoinEvidence {
+				s.ok = true
+			}
+		}
+		// Walk the unit's go statements in source order so reports are
+		// deterministic; nested literals are separate nodes and report
+		// their own spawns.
+		walkUnit(body, func(m ast.Node, _ bool) {
+			g, ok := m.(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			if s, ok := resolved[g.Call]; ok {
+				if !s.ok {
+					pass.Reportf(g.Pos(), "goroutine spawned here runs %s, which has no provable join or cancellation bound (no WaitGroup Done/Wait, channel close, channel receive or channel range in its body or callees); bound its lifetime or //dpzlint:ignore goleak with the audit", s.name)
+				}
+				return
+			}
+			// Unresolved spawn: a builtin or a direct stdlib call
+			// terminates on its own; an opaque function value is
+			// unverifiable and therefore a finding.
+			fun := ast.Unparen(g.Call.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if _, isBuiltin := n.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return
+				}
+			}
+			if fn := calleeFunc(n.Pkg.Info, g.Call); fn != nil {
+				// Named function outside the module (stdlib): assume it
+				// terminates; module functions always have a node, so an
+				// unresolved named call cannot be module code.
+				return
+			}
+			pass.Reportf(g.Pos(), "goroutine spawned here runs an opaque function value the call graph cannot resolve; its lifetime is unverifiable — spawn a named function or literal, or //dpzlint:ignore goleak with the audit")
+		})
+	}
+}

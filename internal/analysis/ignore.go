@@ -13,11 +13,27 @@ import (
 // comment's own line (end-of-line form) and on the line immediately
 // below it (standalone form). The reason is mandatory: an ignore without
 // one is itself reported, so every exemption carries its justification
-// into review.
+// into review. A well-formed directive that suppresses nothing is also
+// reported (the stale audit in run.go): as analyzers get smarter, dead
+// exemptions must not linger in the ledger.
 const ignorePrefix = "//dpzlint:ignore"
 
-// ignoreSet indexes active exemptions by (file, line, analyzer).
-type ignoreSet map[ignoreKey]bool
+// ignoreDirective is one well-formed exemption comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	col       int
+	analyzers []string
+	// hits counts findings suppressed per named analyzer (indexed in
+	// step with analyzers); the stale audit reports zero-hit entries.
+	hits []int
+}
+
+// ignoreIndex maps (file, line, analyzer) to the directive covering it.
+type ignoreIndex struct {
+	byKey      map[ignoreKey]*ignoreDirective
+	directives []*ignoreDirective
+}
 
 type ignoreKey struct {
 	file     string
@@ -25,13 +41,16 @@ type ignoreKey struct {
 	analyzer string
 }
 
-// collectIgnores scans a package's comments for ignore directives.
-// Malformed directives (missing analyzer, unknown analyzer, or missing
-// reason) are reported as findings of the pseudo-analyzer "dpzlint" so
-// they cannot silently suppress anything. known maps valid analyzer
-// names.
-func collectIgnores(pkg *Package, known map[string]bool, report func(Finding)) ignoreSet {
-	ignores := make(ignoreSet)
+func newIgnoreIndex() *ignoreIndex {
+	return &ignoreIndex{byKey: make(map[ignoreKey]*ignoreDirective)}
+}
+
+// collectIgnores scans a package's comments for ignore directives and
+// adds them to the index. Malformed directives (missing analyzer,
+// unknown analyzer, or missing reason) are reported as findings of the
+// pseudo-analyzer "dpzlint" so they cannot silently suppress anything.
+// known maps valid analyzer names.
+func (idx *ignoreIndex) collectIgnores(pkg *Package, known map[string]bool, report func(Finding)) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -69,17 +88,57 @@ func collectIgnores(pkg *Package, known map[string]bool, report func(Finding)) i
 				if !valid {
 					continue
 				}
+				d := &ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					col:       pos.Column,
+					analyzers: names,
+					hits:      make([]int, len(names)),
+				}
+				idx.directives = append(idx.directives, d)
 				for _, name := range names {
-					ignores[ignoreKey{pos.Filename, pos.Line, name}] = true
-					ignores[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+					idx.byKey[ignoreKey{pos.Filename, pos.Line, name}] = d
+					idx.byKey[ignoreKey{pos.Filename, pos.Line + 1, name}] = d
 				}
 			}
 		}
 	}
-	return ignores
 }
 
-// suppressed reports whether a finding is covered by an exemption.
-func (s ignoreSet) suppressed(f Finding) bool {
-	return s[ignoreKey{f.File, f.Line, f.Analyzer}]
+// suppressed reports whether a finding is covered by an exemption, and
+// records the hit for the stale audit.
+func (idx *ignoreIndex) suppressed(f Finding) bool {
+	d, ok := idx.byKey[ignoreKey{f.File, f.Line, f.Analyzer}]
+	if !ok {
+		return false
+	}
+	for i, name := range d.analyzers {
+		if name == f.Analyzer {
+			d.hits[i]++
+		}
+	}
+	return true
+}
+
+// staleFindings reports well-formed directives whose named analyzer ran
+// in this invocation but suppressed nothing. Analyzers outside the run
+// set are skipped — a partial run (one analyzer, the fast phase) must
+// not condemn exemptions it never exercised.
+func (idx *ignoreIndex) staleFindings(ran map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range idx.directives {
+		for i, name := range d.analyzers {
+			if !ran[name] || d.hits[i] > 0 {
+				continue
+			}
+			out = append(out, Finding{
+				File:     d.file,
+				Line:     d.line,
+				Col:      d.col,
+				Analyzer: "dpzlint",
+				Message:  fmt.Sprintf("ignore directive for %q suppresses no finding; the exemption is stale — delete it (or fix the reason if the violation moved)", name),
+			})
+		}
+	}
+	return out
 }

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInterproceduralBeyondIntra is the reason the deep analyzers
+// exist: each of their golden trees carries findings no intra-function
+// analyzer can see. Running the entire intra suite over those trees
+// must produce nothing, while the deep analyzer reports every want
+// comment (already checked by TestGolden). On the scratchflow tree the
+// intra scratchpair analyzer *misfires* rather than detects — it cannot
+// distinguish a callee-release from a leak — and those misfires are
+// suppressed by ignore directives in the tree itself; the other three
+// trees carry no directives at all.
+func TestInterproceduralBeyondIntra(t *testing.T) {
+	for _, a := range Deep() {
+		t.Run(a.Name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", a.Name)
+			findings := runTree(t, root, Intra())
+			for _, f := range findings {
+				t.Errorf("intra analyzer %s sees the interprocedural case: %s", f.Analyzer, f)
+			}
+		})
+	}
+}
+
+// loadModule writes a throwaway module and loads it, returning the
+// packages (errors are fatal).
+func loadModule(t *testing.T, files map[string]string) []*Package {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module dpz\n\ngo 1.22\n")
+	for name, content := range files {
+		writeFile(t, filepath.Join(dir, name), content)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// nodeNamed finds the unique graph node with the given display name.
+func nodeNamed(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	var found *Node
+	for _, n := range g.List {
+		if n.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %s", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %s", name)
+	}
+	return found
+}
+
+// edgesTo collects the callee names of a node's edges of one kind.
+func edgesTo(n *Node, kind EdgeKind) []string {
+	var out []string
+	for _, e := range n.Edges {
+		if e.Kind == kind {
+			out = append(out, e.Callee.Name())
+		}
+	}
+	return out
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	pkgs := loadModule(t, map[string]string{"p/p.go": `package p
+
+type Codec interface {
+	Encode(v int) int
+}
+
+type fast struct{}
+
+func (fast) Encode(v int) int { return v }
+
+type slow struct{}
+
+func (slow) Encode(v int) int { return v + v }
+
+func Use(c Codec) int {
+	return c.Encode(1)
+}
+`})
+	g := BuildCallGraph(pkgs)
+	use := nodeNamed(t, g, "p.Use")
+	callees := edgesTo(use, EdgeCall)
+	want := map[string]bool{"fast.Encode": true, "slow.Encode": true}
+	if len(callees) != 2 || !want[callees[0]] || !want[callees[1]] || callees[0] == callees[1] {
+		t.Fatalf("interface call fans out to %v, want both fast.Encode and slow.Encode", callees)
+	}
+	for _, e := range use.Edges {
+		if e.Kind == EdgeCall && e.Iface == nil {
+			t.Errorf("devirtualized edge to %s lost its interface method", e.Callee.Name())
+		}
+	}
+}
+
+func TestCallGraphMethodValuesAndBindings(t *testing.T) {
+	pkgs := loadModule(t, map[string]string{"p/p.go": `package p
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func helper() {}
+
+func Use(c *counter) {
+	f := c.bump // method value: referenced, not called here
+	f()
+	g := helper // local binding to a declared function
+	g()
+	h := func() { helper() }
+	h()
+}
+`})
+	g := BuildCallGraph(pkgs)
+	use := nodeNamed(t, g, "p.Use")
+	refs := edgesTo(use, EdgeRef)
+	var bumpRefs int
+	for _, name := range refs {
+		if name == "counter.bump" {
+			bumpRefs++
+		}
+	}
+	if bumpRefs != 1 {
+		t.Errorf("method value produced %d ref edges to counter.bump, want exactly 1 (refs: %v)", bumpRefs, refs)
+	}
+	calls := edgesTo(use, EdgeCall)
+	var toHelper, toLit int
+	for _, name := range calls {
+		switch name {
+		case "p.helper":
+			toHelper++
+		case "function literal":
+			toLit++
+		}
+	}
+	if toHelper != 1 {
+		t.Errorf("binding g := helper; g() resolved %d times, want 1 (calls: %v)", toHelper, calls)
+	}
+	if toLit != 1 {
+		t.Errorf("binding h := func(){}; h() resolved %d times, want 1 (calls: %v)", toLit, calls)
+	}
+	lit := nodeNamed(t, g, "function literal")
+	if lit.Parent != use {
+		t.Errorf("literal's parent = %v, want p.Use", lit.Parent)
+	}
+	if inner := edgesTo(lit, EdgeCall); len(inner) != 1 || inner[0] != "p.helper" {
+		t.Errorf("literal's calls = %v, want [p.helper]", inner)
+	}
+}
+
+func TestCallGraphRecursionConverges(t *testing.T) {
+	pkgs := loadModule(t, map[string]string{"p/p.go": `package p
+
+func Self(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Self(n - 1)
+}
+
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+`})
+	// BuildProgram must reach a fixpoint despite the cycles.
+	prog := BuildProgram(pkgs)
+	self := nodeNamed(t, prog.Graph, "p.Self")
+	if calls := edgesTo(self, EdgeCall); len(calls) != 1 || calls[0] != "p.Self" {
+		t.Errorf("self-recursive edges = %v, want [p.Self]", calls)
+	}
+	even := nodeNamed(t, prog.Graph, "p.Even")
+	odd := nodeNamed(t, prog.Graph, "p.Odd")
+	if calls := edgesTo(even, EdgeCall); len(calls) != 1 || calls[0] != "p.Odd" {
+		t.Errorf("Even's edges = %v, want [p.Odd]", calls)
+	}
+	if calls := edgesTo(odd, EdgeCall); len(calls) != 1 || calls[0] != "p.Even" {
+		t.Errorf("Odd's edges = %v, want [p.Even]", calls)
+	}
+	for _, n := range []*Node{self, even, odd} {
+		if prog.FlowOf(n) == nil {
+			t.Errorf("no flow summary for %s", n.Name())
+		}
+	}
+}
+
+func TestLoaderParseError(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module dpz\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "p", "p.go"), "package p\n\nfunc broken( {\n")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadAll(); err == nil {
+		t.Fatal("LoadAll succeeded on a tree with a syntax error")
+	}
+}
+
+func TestLoaderTypeErrorStillLoads(t *testing.T) {
+	pkgs := loadModule(t, map[string]string{"p/p.go": "package p\n\nfunc f() int { return undefined }\n"})
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) == 0 {
+		t.Fatal("type error not collected on Package.TypeErrors")
+	}
+	if pkgs[0].Types == nil {
+		t.Fatal("partially typed package discarded")
+	}
+}
+
+func TestLoaderMissingModule(t *testing.T) {
+	if _, err := NewLoader(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("NewLoader succeeded without a go.mod")
+	}
+}
+
+func TestLoaderBadModulePath(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "// no module line\n")
+	if _, err := NewLoader(dir); err == nil || !strings.Contains(err.Error(), "no module path") {
+		t.Fatalf("NewLoader error = %v, want no-module-path", err)
+	}
+}
+
+func TestLoaderDirOutsideModule(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "mod", "go.mod"), "module dpz\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "mod", "p", "p.go"), "package p\n")
+	writeFile(t, filepath.Join(dir, "elsewhere", "q.go"), "package q\n")
+	loader, err := NewLoader(filepath.Join(dir, "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDirs([]string{filepath.Join(dir, "elsewhere")}); err == nil {
+		t.Fatal("LoadDirs accepted a directory outside the module root")
+	}
+	_ = os.RemoveAll(filepath.Join(dir, "elsewhere"))
+}

@@ -136,7 +136,12 @@ func (l *Loader) LoadDirs(roots []string) ([]*Package, error) {
 				return filepath.SkipDir
 			}
 			ip, err := l.importPathFor(path)
-			if err != nil || seen[ip] {
+			if err != nil {
+				// The caller pointed at a tree outside the module: that is
+				// a usage error, not an empty result.
+				return err
+			}
+			if seen[ip] {
 				return nil
 			}
 			if hasGoFiles(path) {

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+)
+
+// LockOrder derives the lock-acquisition partial order over the whole
+// call graph and reports any pair of lock classes acquired in both
+// orders — the classic deadlock precondition. A lock class is a mutex
+// field keyed by its owning type ("Scheduler.mu") or a package-level
+// mutex variable ("basiscache.initMu"): every instance of the type
+// shares the class, because two goroutines holding two *instances* in
+// opposite orders deadlock all the same.
+//
+// The held region of a lock is lexical within one function body
+// (Lock/RLock to the first matching non-deferred unlock, else to the
+// end, matching mutexio's model). While a class is held, a second class
+// acquired *directly or anywhere below a call* — through the converged
+// Locks summary, so the acquisition may be several calls deep — adds an
+// order edge. A pair with edges in both directions is reported at the
+// first witness of each direction. Goroutine spawns do not extend the
+// held region: a `go` body acquires on its own stack.
+//
+// Findings are reported in internal/server, internal/basiscache and
+// internal/archive; the order itself is computed module-wide so a
+// cross-package inversion still surfaces at the in-scope witness.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "two locks acquired in opposite orders somewhere in the call graph (potential deadlock)",
+	RunProgram: runLockOrder,
+}
+
+// lockOrderScopes are the package-path suffixes findings apply to.
+var lockOrderScopes = [...]string{"internal/server", "internal/basiscache", "internal/archive"}
+
+func lockOrderScoped(path string) bool {
+	for _, s := range lockOrderScopes {
+		if pathMatches(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderEdge records "while `held` was held, `then` was acquired".
+type orderEdge struct {
+	held, then string
+	pos        token.Pos
+	via        string // callee name for summary-propagated acquisitions
+	inScope    bool
+}
+
+type orderKey struct{ held, then string }
+
+func runLockOrder(pass *ProgramPass) {
+	prog := pass.Prog
+	var edges []orderEdge
+	first := make(map[orderKey]int) // index of first witness per ordered pair
+
+	for _, n := range prog.Graph.List {
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		info := n.Pkg.Info
+		inScope := lockOrderScoped(n.Pkg.ImportPath)
+
+		// Lexical lock events in this unit.
+		type lockEv struct {
+			class    string
+			pos      token.Pos
+			deferred bool
+		}
+		var acquires, releases []lockEv
+		walkUnit(body, func(m ast.Node, deferred bool) {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if class, pos, ok := lockAcquire(info, call); ok {
+				acquires = append(acquires, lockEv{class, pos, deferred})
+				return
+			}
+			if class, ok := lockRelease(info, call); ok {
+				releases = append(releases, lockEv{class, call.Pos(), deferred})
+			}
+		})
+		if len(acquires) == 0 {
+			continue
+		}
+
+		add := func(held, then string, pos token.Pos, via string) {
+			if held == then {
+				return
+			}
+			k := orderKey{held, then}
+			if _, ok := first[k]; !ok {
+				first[k] = len(edges)
+			}
+			edges = append(edges, orderEdge{held, then, pos, via, inScope})
+		}
+
+		for _, lk := range acquires {
+			if lk.deferred {
+				continue // a deferred Lock is pathological; skip rather than guess its region
+			}
+			end := body.End()
+			for _, ul := range releases {
+				if ul.class == lk.class && !ul.deferred && ul.pos > lk.pos && ul.pos < end {
+					end = ul.pos
+				}
+			}
+			// Direct nested acquisitions inside the held region.
+			for _, other := range acquires {
+				if other.pos > lk.pos && other.pos < end {
+					add(lk.class, other.class, other.pos, "")
+				}
+			}
+			// Acquisitions below calls made inside the held region.
+			for _, e := range n.Edges {
+				if e.Kind == EdgeGo || e.Kind == EdgeRef {
+					continue
+				}
+				if e.Pos <= lk.pos || e.Pos >= end {
+					continue
+				}
+				cf := prog.FlowOf(e.Callee)
+				if cf == nil {
+					continue
+				}
+				for _, class := range cf.LockClasses() {
+					add(lk.class, class, e.Pos, e.Callee.Name())
+				}
+			}
+		}
+	}
+
+	// Report each ordered pair's first witness when the opposite order
+	// also occurs somewhere in the module.
+	for i, e := range edges {
+		if first[orderKey{e.held, e.then}] != i || !e.inScope {
+			continue // only the first witness of each direction reports
+		}
+		invIdx, inverted := first[orderKey{e.then, e.held}]
+		if !inverted {
+			continue
+		}
+		inv := edges[invIdx]
+		invPos := pass.Fset().Position(inv.pos)
+		via := ""
+		if e.via != "" {
+			via = " (via call to " + e.via + ")"
+		}
+		pass.Reportf(e.pos, "lock %s is acquired%s while %s is held, but %s:%d acquires them in the opposite order; pick one order and use it everywhere to avoid deadlock", e.then, via, e.held, filepath.Base(invPos.Filename), invPos.Line)
+	}
+}

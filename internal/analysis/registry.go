@@ -7,13 +7,41 @@ func All() []*Analyzer {
 		CloseCheck,
 		CtxFlow,
 		DetLoop,
+		DetTaint,
 		FloatEq,
+		GoLeak,
+		LockOrder,
 		MutexIO,
+		ScratchFlow,
 		ScratchPair,
 		SeedRand,
 		WallTime,
 		WrapCheck,
 	}
+}
+
+// Intra returns the per-package (intra-function) analyzers: the fast
+// set that needs no call graph.
+func Intra() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		if a.Run != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Deep returns the interprocedural analyzers, which run over the
+// whole-module Program (call graph + fixpoint summaries).
+func Deep() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range All() {
+		if a.RunProgram != nil {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // ByName returns the analyzer with the given name, or nil.

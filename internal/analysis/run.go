@@ -8,30 +8,70 @@ import (
 
 // Run executes every analyzer over every package and returns the
 // surviving findings in deterministic order: ignore directives are
-// applied, file paths are rewritten relative to root (slash-separated),
-// and the result is sorted by position, analyzer and message. Two runs
-// over the same tree produce identical output.
+// applied, stale directives are audited, file paths are rewritten
+// relative to root (slash-separated), and the result is sorted by
+// position, analyzer and message. Two runs over the same tree produce
+// identical output.
+//
+// Intra-function analyzers (Run) execute once per package.
+// Interprocedural analyzers (RunProgram) execute once over the
+// whole-module Program, which is built only when at least one of them
+// is present.
 func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	// Ignore directives may name any registered analyzer, not just the
+	// ones running now (a tree exercised by a single-analyzer test still
+	// carries exemptions for its neighbors), so the known set is the
+	// registry plus whatever was passed explicitly.
 	known := make(map[string]bool, len(analyzers)+1)
+	ran := make(map[string]bool, len(analyzers))
 	known["dpzlint"] = true
+	for _, a := range All() {
+		known[a.Name] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
 
 	var all []Finding
+	report := func(f Finding) { all = append(all, f) }
+
+	ignores := newIgnoreIndex()
 	for _, pkg := range pkgs {
-		var pkgFindings []Finding
-		report := func(f Finding) { pkgFindings = append(pkgFindings, f) }
-		ignores := collectIgnores(pkg, known, report)
+		ignores.collectIgnores(pkg, known, report)
+	}
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
-		}
-		for _, f := range pkgFindings {
-			if !ignores.suppressed(f) {
-				all = append(all, f)
+			if a.Run != nil {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, report: report})
 			}
 		}
 	}
+
+	var deep []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			deep = append(deep, a)
+		}
+	}
+	if len(deep) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, a := range deep {
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, report: report})
+		}
+	}
+
+	kept := all[:0]
+	for _, f := range all {
+		if !ignores.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	// The stale audit runs after filtering so every suppression has been
+	// counted; its findings are not themselves suppressible.
+	kept = append(kept, ignores.staleFindings(ran)...)
+	all = kept
 
 	for i := range all {
 		if rel, err := filepath.Rel(root, all[i].File); err == nil {

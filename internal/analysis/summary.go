@@ -1,0 +1,724 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file computes the per-function summary IR the interprocedural
+// analyzers consume and propagates it to a fixpoint over the call
+// graph. Every fact is a "may" fact and every set only grows, so the
+// iteration is monotone and terminates; a generous round cap is kept as
+// a backstop. All iteration is over position-ordered slices, never map
+// order, so two runs produce identical summaries and therefore
+// identical findings.
+
+// Program is the whole-module view handed to interprocedural analyzers.
+type Program struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	Graph *CallGraph
+	// Flows maps every call-graph node to its converged summary.
+	Flows map[*Node]*FuncFlow
+
+	// targets maps each call expression to its resolved callees (one,
+	// or several for a devirtualized interface call).
+	targets map[*ast.CallExpr][]*Node
+	// goSpawned marks nodes reached by at least one `go` edge; a value
+	// captured by such a body escapes to another goroutine.
+	goSpawned map[*Node]bool
+}
+
+// TargetsOf returns the module functions a call may invoke (empty for
+// stdlib calls, builtins and unresolvable function values).
+func (p *Program) TargetsOf(call *ast.CallExpr) []*Node { return p.targets[call] }
+
+// FlowOf returns the converged summary for a node (nil for unknown).
+func (p *Program) FlowOf(n *Node) *FuncFlow { return p.Flows[n] }
+
+// GoSpawned reports whether any `go` edge targets the node.
+func (p *Program) GoSpawned(n *Node) bool { return p.goSpawned[n] }
+
+// ParamFlow summarizes what a function may do with one parameter (or
+// its receiver).
+type ParamFlow struct {
+	// Released: the value may reach a scratch.Put* release, directly or
+	// through a callee.
+	Released bool
+	// Retained: the value may outlive the call — stored into memory
+	// reachable after return (a field of the receiver, a parameter or a
+	// global) or captured by a goroutine the function spawns.
+	Retained bool
+	// Returned: the value may be returned to the caller.
+	Returned bool
+	// SinkTaint: the value may be written to an output sink, so a
+	// caller passing a nondeterministically-tainted value here emits
+	// nondeterministic bytes.
+	SinkTaint bool
+}
+
+// FuncFlow is the interprocedural summary of one function body.
+type FuncFlow struct {
+	// Recv is the receiver's flow, for methods.
+	Recv ParamFlow
+	// Params has one entry per declared parameter (variadic last).
+	Params []ParamFlow
+	// FreshResults marks results that may be scratch-pool buffers the
+	// caller becomes responsible for releasing.
+	FreshResults []bool
+	// TaintResults marks results that may derive from a nondeterministic
+	// source; the value is a short source description ("" = clean).
+	TaintResults []string
+	// JoinEvidence: the body (or a callee on a non-go edge) contains
+	// goroutine-lifetime evidence — a WaitGroup Done/Wait, a channel
+	// close, a channel receive (done-channel or otherwise), or a range
+	// over a channel.
+	JoinEvidence bool
+	// Locks maps each lock class the function may acquire (transitively,
+	// through callees on call/defer edges) to one witness position in
+	// this function's body.
+	Locks map[string]token.Pos
+	// lockOrder is the deterministic iteration order for Locks.
+	lockOrder []string
+}
+
+// addLock records a lock class with its first witness position.
+func (f *FuncFlow) addLock(class string, pos token.Pos) bool {
+	if _, ok := f.Locks[class]; ok {
+		return false
+	}
+	f.Locks[class] = pos
+	f.lockOrder = append(f.lockOrder, class)
+	return true
+}
+
+// LockClasses returns the acquired classes in first-witness order.
+func (f *FuncFlow) LockClasses() []string { return f.lockOrder }
+
+// maxFixpointRounds bounds summary propagation; facts only grow, so the
+// loop exits as soon as a round changes nothing.
+const maxFixpointRounds = 64
+
+// BuildProgram constructs the call graph, computes per-function
+// summaries and propagates them to a fixpoint.
+func BuildProgram(pkgs []*Package) *Program {
+	p := &Program{
+		Pkgs:      pkgs,
+		Graph:     BuildCallGraph(pkgs),
+		Flows:     make(map[*Node]*FuncFlow),
+		targets:   make(map[*ast.CallExpr][]*Node),
+		goSpawned: make(map[*Node]bool),
+	}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	for _, n := range p.Graph.List {
+		for _, e := range n.Edges {
+			if e.Call != nil {
+				p.targets[e.Call] = append(p.targets[e.Call], e.Callee)
+			}
+			if e.Kind == EdgeGo {
+				p.goSpawned[e.Callee] = true
+			}
+		}
+	}
+	for _, n := range p.Graph.List {
+		p.Flows[n] = newFuncFlow(n)
+	}
+	for round := 0; round < maxFixpointRounds; round++ {
+		changed := false
+		for _, n := range p.Graph.List {
+			if p.updateFlow(n) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return p
+}
+
+// newFuncFlow allocates an empty summary sized to the node's signature.
+func newFuncFlow(n *Node) *FuncFlow {
+	f := &FuncFlow{Locks: make(map[string]token.Pos)}
+	ft := n.FuncType()
+	if ft == nil {
+		return f
+	}
+	f.Params = make([]ParamFlow, len(paramObjects(n)))
+	if ft.Results != nil {
+		nres := 0
+		for _, field := range ft.Results.List {
+			if len(field.Names) == 0 {
+				nres++
+			} else {
+				nres += len(field.Names)
+			}
+		}
+		f.FreshResults = make([]bool, nres)
+		f.TaintResults = make([]string, nres)
+	}
+	return f
+}
+
+// paramObjects lists a node's parameter objects in declaration order
+// (nil slots for unnamed parameters).
+func paramObjects(n *Node) []types.Object {
+	ft := n.FuncType()
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			objs = append(objs, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			objs = append(objs, n.Pkg.Info.Defs[name])
+		}
+	}
+	return objs
+}
+
+// recvObject returns a method's receiver object, or nil.
+func recvObject(n *Node) types.Object {
+	if n.Decl == nil || n.Decl.Recv == nil || len(n.Decl.Recv.List) == 0 {
+		return nil
+	}
+	names := n.Decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	return n.Pkg.Info.Defs[names[0]]
+}
+
+// updateFlow recomputes one node's summary from its body and its
+// callees' current summaries, reporting whether anything changed.
+func (p *Program) updateFlow(n *Node) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	flow := p.Flows[n]
+	changed := false
+	set := func(dst *bool) {
+		if !*dst {
+			*dst = true
+			changed = true
+		}
+	}
+
+	params := paramObjects(n)
+	paramIdx := make(map[types.Object]int, len(params))
+	for i, obj := range params {
+		if obj != nil {
+			paramIdx[obj] = i
+		}
+	}
+	recv := recvObject(n)
+	// flowFor returns the ParamFlow slot an object maps to, or nil for
+	// anything that is not this node's parameter or receiver.
+	flowFor := func(obj types.Object) *ParamFlow {
+		if obj == nil {
+			return nil
+		}
+		if obj == recv {
+			return &flow.Recv
+		}
+		if i, ok := paramIdx[obj]; ok {
+			return &flow.Params[i]
+		}
+		return nil
+	}
+
+	info := n.Pkg.Info
+	// walk visits the node's own unit (ownUnit=true) and, with
+	// ownUnit=false, nested literal bodies — effects on captured
+	// parameters (a deferred closure releasing them, a spawned closure
+	// retaining them) belong to this node's summary even though the
+	// literal is its own graph node. inGo is set inside literals the
+	// graph saw a `go` edge to.
+	var walk func(root ast.Node, inGo, ownUnit bool)
+	walk = func(root ast.Node, inGo, ownUnit bool) {
+		ast.Inspect(root, func(m ast.Node) bool {
+			if m == nil || m == root {
+				return true
+			}
+			switch t := m.(type) {
+			case *ast.FuncLit:
+				child := p.Graph.ByLit[t]
+				if child == nil {
+					return false
+				}
+				walk(t.Body, inGo || p.goSpawned[child], false)
+				return false
+			case *ast.Ident:
+				if inGo {
+					if pf := flowFor(identObj(info, t)); pf != nil {
+						set(&pf.Retained)
+					}
+				}
+				return true
+			case *ast.GoStmt:
+				// Everything reachable from the spawn expression may be
+				// used on another goroutine.
+				ast.Inspect(t.Call, func(q ast.Node) bool {
+					if id, ok := q.(*ast.Ident); ok {
+						if pf := flowFor(identObj(info, id)); pf != nil {
+							set(&pf.Retained)
+						}
+					}
+					return true
+				})
+				return true
+			case *ast.RangeStmt:
+				if ownUnit {
+					if tv, ok := info.Types[t.X]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							set(&flow.JoinEvidence)
+						}
+					}
+				}
+				return true
+			case *ast.UnaryExpr:
+				if t.Op == token.ARROW && ownUnit {
+					set(&flow.JoinEvidence)
+				}
+				return true
+			case *ast.CallExpr:
+				p.flowCall(n, t, flowFor, set)
+				if ownUnit {
+					if isWaitGroupJoin(info, t) || isCloseCall(info, t) {
+						set(&flow.JoinEvidence)
+					}
+					if class, pos, ok := lockAcquire(info, t); ok {
+						if flow.addLock(class, pos) {
+							changed = true
+						}
+					}
+				}
+				return true
+			case *ast.AssignStmt:
+				p.flowAssign(info, t, flowFor, set)
+				return true
+			case *ast.ReturnStmt:
+				if ownUnit {
+					if p.flowReturn(n, flow, t, flowFor, set) {
+						changed = true
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, p.goSpawned[n], true)
+
+	// Propagate join evidence and lock sets from callees. Join evidence
+	// flows over every non-go edge (a helper that does the Done, a
+	// deferred closure that closes the channel, a handler referenced and
+	// invoked elsewhere); lock sets flow only over call/defer edges — a
+	// referenced-but-not-called function's locks are not taken here, and
+	// a spawned goroutine's locks are taken on its own stack, not under
+	// the spawner's held set.
+	for _, e := range n.Edges {
+		if e.Kind == EdgeGo {
+			continue
+		}
+		cf := p.Flows[e.Callee]
+		if cf == nil {
+			continue
+		}
+		if cf.JoinEvidence {
+			set(&flow.JoinEvidence)
+		}
+		if e.Kind == EdgeRef {
+			continue
+		}
+		for _, class := range cf.LockClasses() {
+			if flow.addLock(class, e.Pos) {
+				changed = true
+			}
+		}
+	}
+
+	// Taint summaries: which results may carry a nondeterministic value,
+	// and which parameters flow into an output sink. Facts are sticky
+	// once set, keeping the fixpoint monotone.
+	retTaint, sinkParams := taintSummaryScan(p, n)
+	for i, desc := range retTaint {
+		if i < len(flow.TaintResults) && flow.TaintResults[i] == "" && desc != "" {
+			flow.TaintResults[i] = desc
+			changed = true
+		}
+	}
+	for i, hit := range sinkParams {
+		if hit && i < len(flow.Params) && !flow.Params[i].SinkTaint {
+			flow.Params[i].SinkTaint = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// identObj resolves an identifier to its object (use or def).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isWaitGroupJoin reports Done/Wait calls on a sync.WaitGroup.
+func isWaitGroupJoin(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Done" && sel.Sel.Name != "Wait" {
+		return false
+	}
+	recv := receiverType(info, call)
+	return recv != nil && isNamed(recv, "sync", "WaitGroup")
+}
+
+// isCloseCall reports calls to the builtin close.
+func isCloseCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// lockAcquire classifies X.Lock()/X.RLock() calls on sync mutexes and
+// derives a stable lock class: "Type.field" for a struct-field mutex,
+// "pkg.var" for a package-level one. Locals return ok=false — a mutex
+// that never escapes one activation cannot participate in a
+// cross-function ordering cycle.
+func lockAcquire(info *types.Info, call *ast.CallExpr) (class string, pos token.Pos, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return "", token.NoPos, false
+	}
+	recv := receiverType(info, call)
+	if recv == nil || (!isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex")) {
+		return "", token.NoPos, false
+	}
+	class = lockClassOf(info, sel.X)
+	if class == "" {
+		return "", token.NoPos, false
+	}
+	return class, call.Pos(), true
+}
+
+// lockRelease classifies X.Unlock()/X.RUnlock() calls, same classes.
+func lockRelease(info *types.Info, call *ast.CallExpr) (class string, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return "", false
+	}
+	recv := receiverType(info, call)
+	if recv == nil || (!isNamed(recv, "sync", "Mutex") && !isNamed(recv, "sync", "RWMutex")) {
+		return "", false
+	}
+	class = lockClassOf(info, sel.X)
+	return class, class != ""
+}
+
+// lockClassOf names the lock behind a receiver expression, or "".
+func lockClassOf(info *types.Info, x ast.Expr) string {
+	switch t := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// base.field: class by the base's named type, so every instance
+		// of the type shares one class.
+		if base, ok := info.Types[t.X]; ok {
+			if short := typeShortName(base.Type); short != "" {
+				return short + "." + t.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := identObj(info, t); obj != nil && obj.Pkg() != nil {
+			if _, isVar := obj.(*types.Var); isVar && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// flowCall records parameter effects visible at one call site: an
+// argument (or receiver) handed to a callee inherits the callee's
+// summary for that slot, and a direct scratch.Put* releases its
+// arguments.
+func (p *Program) flowCall(n *Node, call *ast.CallExpr, flowFor func(types.Object) *ParamFlow, set func(*bool)) {
+	info := n.Pkg.Info
+	if isScratchRelease(info, call) {
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if pf := flowFor(identObj(info, id)); pf != nil {
+					set(&pf.Released)
+				}
+			}
+		}
+	}
+	callees := p.targets[call]
+	if len(callees) == 0 {
+		return
+	}
+	// Receiver effects.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if pf := flowFor(identObj(info, id)); pf != nil {
+				for _, c := range callees {
+					cf := p.Flows[c]
+					if cf == nil {
+						continue
+					}
+					if cf.Recv.Released {
+						set(&pf.Released)
+					}
+					if cf.Recv.Retained {
+						set(&pf.Retained)
+					}
+				}
+			}
+		}
+	}
+	// Argument effects, position-mapped onto callee parameters (clamped
+	// to the last parameter for variadic tails).
+	for ai, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		pf := flowFor(identObj(info, id))
+		if pf == nil {
+			continue
+		}
+		for _, c := range callees {
+			cf := p.Flows[c]
+			if cf == nil || len(cf.Params) == 0 {
+				continue
+			}
+			pi := ai
+			if pi >= len(cf.Params) {
+				pi = len(cf.Params) - 1
+			}
+			if cf.Params[pi].Released {
+				set(&pf.Released)
+			}
+			if cf.Params[pi].Retained {
+				set(&pf.Retained)
+			}
+		}
+	}
+}
+
+// isScratchRelease reports a direct scratch.Put* call.
+func isScratchRelease(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || !pathMatches(pkgPathOf(fn), scratchPkg) {
+		return false
+	}
+	name := fn.Name()
+	return len(name) >= 3 && name[:3] == "Put"
+}
+
+// isScratchAcquire reports a direct scratch.Floats/ZeroedFloats/Get*
+// call.
+func isScratchAcquire(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || !pathMatches(pkgPathOf(fn), scratchPkg) {
+		return false
+	}
+	name := fn.Name()
+	return name == "Floats" || name == "ZeroedFloats" || (len(name) >= 3 && name[:3] == "Get")
+}
+
+// flowAssign records escaping stores: a parameter (or receiver) written
+// through a selector/index whose base is itself a parameter, receiver
+// or package-level variable outlives the activation. A store into a
+// local (including a freshly-built composite) stays local — wrapping a
+// buffer in a just-allocated struct is ownership transfer, not
+// retention, and scratchflow depends on that distinction.
+func (p *Program) flowAssign(info *types.Info, as *ast.AssignStmt, flowFor func(types.Object) *ParamFlow, set func(*bool)) {
+	for i, lhs := range as.Lhs {
+		base := storeBase(lhs)
+		if base == nil {
+			continue
+		}
+		obj := identObj(info, base)
+		if obj == nil {
+			continue
+		}
+		escaping := flowFor(obj) != nil
+		if !escaping {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				escaping = true // package-level variable
+			}
+		}
+		if !escaping {
+			continue
+		}
+		// RHS values stored through an escaping base are retained — but
+		// only reference-carrying values. A scalar subexpression (src[i],
+		// len(buf), buf[j]*2) copies a value out of the buffer and holds
+		// no reference to it, so its subtree is pruned before idents are
+		// collected.
+		rhs := as.Rhs
+		if len(as.Lhs) == len(as.Rhs) {
+			rhs = as.Rhs[i : i+1]
+		}
+		for _, r := range rhs {
+			ast.Inspect(r, func(q ast.Node) bool {
+				if e, ok := q.(ast.Expr); ok {
+					if tv, ok := info.Types[e]; ok && tv.Value == nil {
+						if _, basic := tv.Type.Underlying().(*types.Basic); basic {
+							return false
+						}
+					}
+				}
+				if id, ok := q.(*ast.Ident); ok {
+					if pf := flowFor(identObj(info, id)); pf != nil {
+						set(&pf.Retained)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// storeBase returns the root identifier of a selector/index/star store
+// target (`s.f`, `m[k]`, `*p`), or nil for a plain identifier or
+// anything else — a plain `x = v` rebinds a local, it stores nothing
+// into shared memory.
+func storeBase(lhs ast.Expr) *ast.Ident {
+	seenAccess := false
+	for {
+		switch t := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			seenAccess = true
+			lhs = t.X
+		case *ast.IndexExpr:
+			seenAccess = true
+			lhs = t.X
+		case *ast.StarExpr:
+			seenAccess = true
+			lhs = t.X
+		case *ast.Ident:
+			if !seenAccess {
+				return nil
+			}
+			return t
+		default:
+			return nil
+		}
+	}
+}
+
+// flowReturn records which parameters and which fresh buffers reach the
+// return values. Returns true when a FreshResults slot newly flipped.
+func (p *Program) flowReturn(n *Node, flow *FuncFlow, ret *ast.ReturnStmt, flowFor func(types.Object) *ParamFlow, set func(*bool)) bool {
+	info := n.Pkg.Info
+	changed := false
+	if len(ret.Results) == 1 && len(flow.FreshResults) > 1 {
+		// `return f()` forwarding a multi-result callee.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for _, c := range p.targets[call] {
+				cf := p.Flows[c]
+				if cf == nil {
+					continue
+				}
+				for i, fresh := range cf.FreshResults {
+					if fresh && i < len(flow.FreshResults) && !flow.FreshResults[i] {
+						flow.FreshResults[i] = true
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	}
+	for i, res := range ret.Results {
+		if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+			if pf := flowFor(identObj(info, id)); pf != nil {
+				set(&pf.Returned)
+			}
+		}
+		if i < len(flow.FreshResults) && !flow.FreshResults[i] && p.exprIsFresh(n, res) {
+			flow.FreshResults[i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// exprIsFresh reports whether an expression evaluates to a scratch-pool
+// buffer this function acquired: a direct acquire call, a call whose
+// callee's first result is fresh, or a local variable assigned from one.
+func (p *Program) exprIsFresh(n *Node, expr ast.Expr) bool {
+	info := n.Pkg.Info
+	switch t := ast.Unparen(expr).(type) {
+	case *ast.CallExpr:
+		if isScratchAcquire(info, t) {
+			return true
+		}
+		for _, c := range p.targets[t] {
+			cf := p.Flows[c]
+			if cf != nil && len(cf.FreshResults) > 0 && cf.FreshResults[0] {
+				return true
+			}
+		}
+	case *ast.Ident:
+		if obj := identObj(info, t); obj != nil {
+			return p.freshLocal(n, obj)
+		}
+	}
+	return false
+}
+
+// freshLocal reports whether a variable is assigned a fresh scratch
+// buffer anywhere in the node's own unit.
+func (p *Program) freshLocal(n *Node, obj types.Object) bool {
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	info := n.Pkg.Info
+	fresh := false
+	walkUnit(body, func(m ast.Node, _ bool) {
+		if fresh {
+			return
+		}
+		as, ok := m.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || identObj(info, id) != obj {
+				continue
+			}
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok {
+				if isScratchAcquire(info, call) {
+					fresh = true
+					return
+				}
+				for _, c := range p.targets[call] {
+					cf := p.Flows[c]
+					if cf != nil && len(cf.FreshResults) > 0 && cf.FreshResults[0] {
+						fresh = true
+						return
+					}
+				}
+			}
+		}
+	})
+	return fresh
+}

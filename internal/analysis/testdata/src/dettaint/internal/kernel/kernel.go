@@ -1,0 +1,61 @@
+// Package kernel exercises the dettaint analyzer: values derived from
+// nondeterminism sources (map iteration order, CPU counts) must not
+// reach output sinks. The indirect case — a tainted value handed to a
+// helper whose *parameter* reaches a sink in its own body — needs the
+// interprocedural SinkTaint summary; the sink is in a different
+// function from both the source and the call site.
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+)
+
+// emit writes its argument to the stream: parameter v is a sink.
+func emit(w io.Writer, v int) {
+	fmt.Fprintf(w, "%d\n", v)
+}
+
+// WriteWidths derives a block width from the CPU count and writes it.
+func WriteWidths(w io.Writer) {
+	width := runtime.NumCPU()
+	fmt.Fprintf(w, "width=%d\n", width) // want `value derived from a runtime\.NumCPU value reaches fmt\.Fprintf`
+}
+
+// WriteCPUVia reaches the sink one call deep, through emit's summary.
+func WriteCPUVia(w io.Writer) {
+	n := runtime.NumCPU()
+	emit(w, n) // want `value derived from a runtime\.NumCPU value reaches kernel\.emit \(which writes it to an output stream\)`
+}
+
+// WriteKeys collects map keys and emits them unsorted: the slice
+// carries the iteration-order taint out of the range body.
+func WriteKeys(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	fmt.Fprintln(w, keys) // want `value derived from map iteration order reaches fmt\.Fprintln`
+}
+
+// WriteSorted launders the same slice with a sort: clean.
+func WriteSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, keys) // ok: sorted before emission
+}
+
+// CountKeys accumulates an integer commutatively over the map: order
+// cannot affect the result, so emitting it is clean.
+func CountKeys(w io.Writer, m map[string]int) {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	fmt.Fprintln(w, total) // ok: integer accumulation is order-independent
+}

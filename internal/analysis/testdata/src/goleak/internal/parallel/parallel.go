@@ -1,0 +1,57 @@
+// Package parallel exercises the goleak analyzer: every spawned
+// goroutine must carry provable join or cancellation evidence — in its
+// own body or, through the call graph, in a callee's. The clean cases
+// here are clean only because the *callee's* body ranges a channel or
+// signals a WaitGroup, which no single-function analyzer can see from
+// the spawn site.
+package parallel
+
+import "sync"
+
+// worker drains the job channel and signals the WaitGroup: its body is
+// the join evidence for every `go worker(...)` spawn.
+func worker(jobs chan int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for range jobs {
+	}
+}
+
+// spin does bounded arithmetic but has no join or cancellation signal.
+func spin(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+func Run(n int) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(jobs, &wg) // ok: worker's own body joins (cross-function)
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+func Leak(n int) {
+	go spin(n) // want `runs parallel\.spin, which has no provable join`
+}
+
+func BoundedLit(done chan struct{}) {
+	go func() { // ok: the receive is a cancellation bound
+		<-done
+	}()
+}
+
+func LeakLit(n int) {
+	go func() { // want `runs function literal, which has no provable join`
+		spin(n)
+	}()
+}
+
+func LeakOpaque(f func()) {
+	go f() // want `opaque function value`
+}

@@ -1,0 +1,3 @@
+module dpz
+
+go 1.22

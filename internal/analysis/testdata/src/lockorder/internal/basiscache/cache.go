@@ -1,0 +1,57 @@
+// Package basiscache exercises the lockorder analyzer: two lock
+// classes acquired in opposite orders anywhere in the call graph are a
+// deadlock precondition. The inversion below is split across a call —
+// Report holds stats and calls refresh, which takes mu — so neither
+// function is wrong on its own; only the interprocedural order graph
+// exposes the cycle.
+package basiscache
+
+import "sync"
+
+type Cache struct {
+	mu    sync.Mutex
+	stats sync.Mutex
+	hits  int
+	size  int
+}
+
+// Update takes mu, then stats: the mu -> stats direction.
+func (c *Cache) Update(n int) {
+	c.mu.Lock()
+	c.size = n
+	c.stats.Lock() // want `lock Cache\.stats is acquired while Cache\.mu is held`
+	c.hits++
+	c.stats.Unlock()
+	c.mu.Unlock()
+}
+
+// Report takes stats, then calls refresh, which takes mu below the
+// call: the stats -> mu direction, one call deep.
+func (c *Cache) Report() int {
+	c.stats.Lock()
+	c.refresh() // want `lock Cache\.mu is acquired \(via call to Cache\.refresh\) while Cache\.stats is held`
+	n := c.hits
+	c.stats.Unlock()
+	return n
+}
+
+func (c *Cache) refresh() {
+	c.mu.Lock()
+	c.size++
+	c.mu.Unlock()
+}
+
+type Registry struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// Both always acquires a before b: one consistent order, no finding.
+func (r *Registry) Both() {
+	r.a.Lock()
+	r.b.Lock()
+	r.n++
+	r.b.Unlock()
+	r.a.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package scratch is a golden-test stub of the real pooled-buffer API;
+// only the signatures matter to the scratchpair analyzer.
+package scratch
+
+func Floats(n int) []float64 { return make([]float64, n) }
+
+func ZeroedFloats(n int) []float64 { return make([]float64, n) }
+
+func PutFloats(s []float64) {}

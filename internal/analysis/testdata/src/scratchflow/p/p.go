@@ -1,0 +1,86 @@
+// Package p exercises the scratchflow analyzer: pool obligations are
+// tracked across call boundaries, so a release inside a callee balances
+// the caller's acquire — and an early return that skips the releasing
+// call is still a leak. Every cross-function case here is invisible to
+// the intra-function scratchpair analyzer (see the ignore directives).
+package p
+
+import "dpz/internal/scratch"
+
+// releaseAll releases the buffer passed to it; callers that hand their
+// buffer here are balanced without a visible Put.
+func releaseAll(buf []float64) {
+	scratch.PutFloats(buf)
+}
+
+// consume reads the buffer but neither releases nor retains it.
+func consume(buf []float64) float64 {
+	return buf[0]
+}
+
+// newBuf returns a pooled buffer; the caller inherits the obligation.
+func newBuf(n int) []float64 {
+	//dpzlint:ignore scratchpair ownership transfers to the caller, who must release
+	return scratch.Floats(n)
+}
+
+type holder struct {
+	data []float64
+}
+
+// keep retains the buffer in a field that outlives the call.
+func (h *holder) keep(buf []float64) {
+	h.data = buf
+}
+
+func calleeReleases(n int) float64 {
+	//dpzlint:ignore scratchpair released inside releaseAll; scratchflow proves it across the call
+	buf := scratch.Floats(n) // ok: releaseAll's summary shows the release
+	s := buf[0]
+	releaseAll(buf)
+	return s
+}
+
+func earlyReturnSkipsCallee(n int) float64 {
+	//dpzlint:ignore scratchpair released inside releaseAll; scratchflow sees the skipped path
+	buf := scratch.Floats(n) // want `not released on the early return`
+	if n > 10 {
+		return 0
+	}
+	v := buf[0]
+	releaseAll(buf)
+	return v
+}
+
+func leaksAcrossCall(n int) float64 {
+	//dpzlint:ignore scratchpair scratchflow reports the interprocedural leak
+	buf := scratch.Floats(n) // want `no release reachable from this function`
+	return consume(buf)
+}
+
+func freshLeak(n int) float64 {
+	buf := newBuf(n) // want `scratch buffer obtained via p\.newBuf has no release`
+	return buf[0]
+}
+
+func freshBalanced(n int) float64 {
+	buf := newBuf(n) // ok: the inherited obligation is met below
+	v := buf[0]
+	scratch.PutFloats(buf)
+	return v
+}
+
+func retainPastRelease(n int, h *holder) {
+	buf := scratch.Floats(n)
+	h.keep(buf) // want `passed to holder\.keep, which retains it`
+	scratch.PutFloats(buf)
+}
+
+func asyncHandoff(n int) {
+	//dpzlint:ignore scratchpair the spawned goroutine owns and releases the buffer
+	buf := scratch.Floats(n) // ok: handed off to the goroutine that releases it
+	go func() {
+		consume(buf)
+		scratch.PutFloats(buf)
+	}()
+}

@@ -15,11 +15,13 @@ func balanced(n int) float64 {
 }
 
 func leaks(n int) float64 {
+	//dpzlint:ignore scratchflow golden leak for scratchpair; scratchflow's copy lives in its own tree
 	buf := scratch.Floats(n) // want `no matching scratch\.Put`
 	return buf[0]
 }
 
 func earlyReturn(n int) float64 {
+	//dpzlint:ignore scratchflow golden early return for scratchpair; scratchflow's copy lives in its own tree
 	buf := scratch.Floats(n) // want `not released on the early return`
 	if n > 10 {
 		return 0
@@ -51,6 +53,7 @@ func deferredClosure(n int) float64 {
 
 func closuresAreSeparateScopes(n int) func() float64 {
 	return func() float64 {
+		//dpzlint:ignore scratchflow golden closure leak for scratchpair; scratchflow's copy lives in its own tree
 		buf := scratch.Floats(n) // want `no matching scratch\.Put`
 		return buf[0]
 	}
