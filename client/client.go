@@ -33,6 +33,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,11 +60,21 @@ type Client struct {
 	HedgeDelay time.Duration
 	// Clock supplies time for backoff and hedging. nil means wall time.
 	Clock Clock
+	// Validators, when positive, arms the client-side validator cache: the
+	// last Validators responses that carried an ETag are remembered per
+	// exact request, identical calls send If-None-Match, and a 304 answer
+	// replays the remembered body — the server validates without decoding
+	// anything. 0 disables conditional requests (no behavior change).
+	Validators int
 
-	rng      jitter
-	attempts atomic.Int64
-	retries  atomic.Int64
-	hedges   atomic.Int64
+	rng         jitter
+	attempts    atomic.Int64
+	retries     atomic.Int64
+	hedges      atomic.Int64
+	notModified atomic.Int64
+
+	vcOnce sync.Once
+	vc     *vcache
 }
 
 // Stats are the client's lifetime resilience counters.
@@ -74,15 +85,28 @@ type Stats struct {
 	Retries int64
 	// Hedges counts hedge requests launched.
 	Hedges int64
+	// NotModified counts calls answered by a 304 and served from the
+	// client's validator cache.
+	NotModified int64
 }
 
 // Stats returns a snapshot of the resilience counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Attempts: c.attempts.Load(),
-		Retries:  c.retries.Load(),
-		Hedges:   c.hedges.Load(),
+		Attempts:    c.attempts.Load(),
+		Retries:     c.retries.Load(),
+		Hedges:      c.hedges.Load(),
+		NotModified: c.notModified.Load(),
 	}
+}
+
+// validators returns the lazily built validator cache, nil when disabled.
+func (c *Client) validators() *vcache {
+	if c.Validators <= 0 {
+		return nil
+	}
+	c.vcOnce.Do(func() { c.vc = newVcache(c.Validators) })
+	return c.vc
 }
 
 func (c *Client) clock() Clock {
@@ -235,6 +259,13 @@ type PreviewResult struct {
 	// TVE is the variance fraction the preview captured, from the
 	// stream's retrieval index; 0 when the stream carries no index.
 	TVE float64
+	// ETag is the server's strong validator for this exact preview; with
+	// Validators armed it drives If-None-Match revalidation automatically.
+	ETag string
+	// Cache reports how dpzd answered: "hit" (served from its response
+	// cache or a 304 validator match), "miss" (computed, now cached) or
+	// "bypass" (caching disabled). Empty when talking to an older daemon.
+	Cache string
 }
 
 // Preview fetches a reconstruction from only the leading `ranks`
@@ -261,6 +292,8 @@ func (c *Client) Preview(ctx context.Context, stream []byte, ranks, workers int)
 	res.RanksUsed, _ = strconv.Atoi(r.header.Get("X-Dpz-Ranks-Used"))
 	res.K, _ = strconv.Atoi(r.header.Get("X-Dpz-K"))
 	res.TVE, _ = strconv.ParseFloat(r.header.Get("X-Dpz-Tve"), 64)
+	res.ETag = r.header.Get("ETag")
+	res.Cache = r.header.Get("X-Dpz-Cache")
 	return res, nil
 }
 
@@ -343,8 +376,23 @@ type result struct {
 
 // call runs the retry loop around attempt: transport errors, 429 and 5xx
 // are retried with backoff (honoring Retry-After) until the policy's
-// attempt budget or the caller's context runs out.
+// attempt budget or the caller's context runs out. When the validator
+// cache holds an entry for this exact request, every attempt carries
+// If-None-Match and a 304 answer replays the cached body.
 func (c *Client) call(ctx context.Context, method, path string, q url.Values, body []byte) (*result, error) {
+	var (
+		vkey   vcacheKey
+		ventry *vcacheEntry
+		inm    string
+	)
+	vc := c.validators()
+	if vc != nil {
+		vkey = vc.keyFor(method, path, q.Encode(), body)
+		if ventry = vc.get(vkey); ventry != nil {
+			inm = ventry.etag
+		}
+	}
+
 	var last result
 	attempts := c.Retry.maxAttempts()
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -360,7 +408,7 @@ func (c *Client) call(ctx context.Context, method, path string, q url.Values, bo
 				return nil, c.giveUp(last, err)
 			}
 		}
-		last = c.attempt(ctx, method, path, q, body)
+		last = c.attempt(ctx, method, path, q, body, inm)
 		if last.err != nil {
 			if ctx.Err() != nil {
 				return nil, c.giveUp(last, ctx.Err())
@@ -374,9 +422,26 @@ func (c *Client) call(ctx context.Context, method, path string, q url.Values, bo
 	if last.err != nil {
 		return nil, fmt.Errorf("client: %s %s: %w", method, path, last.err)
 	}
+	if last.status == http.StatusNotModified && ventry != nil {
+		// The server vouched the cached response is still exact; replay it.
+		// The replayed headers keep the 304's cache/ETag markers so callers
+		// observe the validator hit.
+		c.notModified.Add(1)
+		hdr := ventry.header.Clone()
+		if v := last.header.Get("X-Dpz-Cache"); v != "" {
+			hdr.Set("X-Dpz-Cache", v)
+		}
+		return &result{status: http.StatusOK, header: hdr,
+			body: append([]byte(nil), ventry.body...)}, nil
+	}
 	if last.status < 200 || last.status > 299 {
 		return nil, &APIError{StatusCode: last.status,
 			Message: strings.TrimSpace(string(last.body))}
+	}
+	if vc != nil {
+		if et := last.header.Get("ETag"); et != "" {
+			vc.put(vkey, et, last.header, last.body)
+		}
 	}
 	return &last, nil
 }
@@ -396,14 +461,14 @@ func (c *Client) giveUp(last result, ctxErr error) error {
 // attempt performs one logical try: the request itself, plus — when
 // hedging is armed and the primary is slow — a racing duplicate. The
 // first definitive answer wins and the loser's context is cancelled.
-func (c *Client) attempt(ctx context.Context, method, path string, q url.Values, body []byte) result {
+func (c *Client) attempt(ctx context.Context, method, path string, q url.Values, body []byte, inm string) result {
 	if c.HedgeDelay <= 0 {
-		return c.once(ctx, method, path, q, body)
+		return c.once(ctx, method, path, q, body, inm)
 	}
 	pctx, pcancel := context.WithCancel(ctx)
 	defer pcancel()
 	primary := make(chan result, 1)
-	go func() { primary <- c.once(pctx, method, path, q, body) }()
+	go func() { primary <- c.once(pctx, method, path, q, body, inm) }()
 
 	select {
 	case r := <-primary:
@@ -417,7 +482,7 @@ func (c *Client) attempt(ctx context.Context, method, path string, q url.Values,
 	sctx, scancel := context.WithCancel(ctx)
 	defer scancel()
 	secondary := make(chan result, 1)
-	go func() { secondary <- c.once(sctx, method, path, q, body) }()
+	go func() { secondary <- c.once(sctx, method, path, q, body, inm) }()
 
 	// First definitive answer (a response that is not retryable) wins; a
 	// retryable failure waits for its sibling as a fallback.
@@ -445,8 +510,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, q url.Values,
 	return fallback
 }
 
-// once sends a single HTTP request and reads the full response body.
-func (c *Client) once(ctx context.Context, method, path string, q url.Values, body []byte) result {
+// once sends a single HTTP request and reads the full response body. inm,
+// when non-empty, is sent as If-None-Match.
+func (c *Client) once(ctx context.Context, method, path string, q url.Values, body []byte, inm string) result {
 	c.attempts.Add(1)
 	u := strings.TrimSuffix(c.BaseURL, "/") + path
 	if len(q) > 0 {
@@ -463,6 +529,9 @@ func (c *Client) once(ctx context.Context, method, path string, q url.Values, bo
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 		req.ContentLength = int64(len(body))
+	}
+	if inm != "" {
+		req.Header.Set("If-None-Match", inm)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

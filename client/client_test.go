@@ -388,3 +388,78 @@ func TestQueryNoIndexPermanent(t *testing.T) {
 		t.Fatalf("422 retried: %d calls", tr.callCount())
 	}
 }
+
+// TestValidatorCacheRevalidates: with Validators armed, a repeated
+// preview sends If-None-Match, the daemon answers 304 without decoding,
+// and the client replays its cached bytes — observable as a NotModified
+// count and an unchanged payload.
+func TestValidatorCacheRevalidates(t *testing.T) {
+	srv := server.New(server.Config{Jobs: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		if err := srv.Drain(context.Background()); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	const rows, cols = 16, 32
+	raw := make([]byte, 4*rows*cols)
+	for i := 0; i < rows*cols; i++ {
+		v := float32(math.Sin(float64(i%cols)/3) + float64(i/cols)*0.01)
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	c := &Client{BaseURL: ts.URL, Validators: 4}
+	ctx := context.Background()
+	comp, err := c.Compress(ctx, raw, []int{rows, cols}, CompressOptions{TVENines: 2})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+
+	first, err := c.Preview(ctx, comp.Data, 1, 2)
+	if err != nil {
+		t.Fatalf("first preview: %v", err)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first preview Cache = %q, want miss", first.Cache)
+	}
+	if first.ETag == "" {
+		t.Fatal("first preview has no ETag")
+	}
+	if got := c.Stats().NotModified; got != 0 {
+		t.Fatalf("NotModified = %d before any revalidation", got)
+	}
+
+	second, err := c.Preview(ctx, comp.Data, 1, 2)
+	if err != nil {
+		t.Fatalf("second preview: %v", err)
+	}
+	if got := c.Stats().NotModified; got != 1 {
+		t.Fatalf("NotModified = %d, want 1 (304 replay)", got)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second preview Cache = %q, want hit", second.Cache)
+	}
+	if second.ETag != first.ETag {
+		t.Fatalf("revalidated ETag %q != original %q", second.ETag, first.ETag)
+	}
+	if !reflect.DeepEqual(second.Data, first.Data) {
+		t.Fatal("replayed preview bytes differ from the original response")
+	}
+	if second.RanksUsed != first.RanksUsed || !reflect.DeepEqual(second.Dims, first.Dims) {
+		t.Fatal("replayed preview metadata differs")
+	}
+
+	// A different rank is a different request identity: full fetch, no
+	// extra 304.
+	third, err := c.Preview(ctx, comp.Data, 2, 2)
+	if err != nil {
+		t.Fatalf("third preview: %v", err)
+	}
+	if third.Cache != "miss" {
+		t.Fatalf("third preview Cache = %q, want miss", third.Cache)
+	}
+	if got := c.Stats().NotModified; got != 1 {
+		t.Fatalf("NotModified = %d after unrelated preview, want 1", got)
+	}
+}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"container/list"
+	"hash/maphash"
+	"net/http"
+	"sync"
+)
+
+// vcache is the client-side validator cache backing conditional requests.
+// It remembers, per exact request (method, path, query, body bytes), the
+// last response and its ETag; the next identical call carries
+// If-None-Match, and a 304 answer replays the remembered body without the
+// server decoding anything. Bounded LRU, safe for concurrent use.
+type vcache struct {
+	mu   sync.Mutex
+	max  int
+	seed maphash.Seed
+	lru  *list.List // front = most recently used; values are *vcacheEntry
+	m    map[vcacheKey]*list.Element
+}
+
+// vcacheKey hashes the full request identity; the length disambiguates
+// the (absurdly unlikely) hash collision.
+type vcacheKey struct {
+	sum uint64
+	n   int
+}
+
+type vcacheEntry struct {
+	key    vcacheKey
+	etag   string
+	header http.Header
+	body   []byte
+}
+
+func newVcache(max int) *vcache {
+	return &vcache{
+		max:  max,
+		seed: maphash.MakeSeed(),
+		lru:  list.New(),
+		m:    make(map[vcacheKey]*list.Element),
+	}
+}
+
+func (v *vcache) keyFor(method, path, rawQuery string, body []byte) vcacheKey {
+	var h maphash.Hash
+	h.SetSeed(v.seed)
+	_, _ = h.WriteString(method)
+	_ = h.WriteByte(0)
+	_, _ = h.WriteString(path)
+	_ = h.WriteByte(0)
+	_, _ = h.WriteString(rawQuery)
+	_ = h.WriteByte(0)
+	_, _ = h.Write(body)
+	return vcacheKey{sum: h.Sum64(), n: len(method) + len(path) + len(rawQuery) + len(body)}
+}
+
+func (v *vcache) get(key vcacheKey) *vcacheEntry {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	el, ok := v.m[key]
+	if !ok {
+		return nil
+	}
+	v.lru.MoveToFront(el)
+	return el.Value.(*vcacheEntry)
+}
+
+func (v *vcache) put(key vcacheKey, etag string, header http.Header, body []byte) {
+	// Clone both: the caller owns (and may mutate) the originals.
+	ent := &vcacheEntry{key: key, etag: etag, header: header.Clone(),
+		body: append([]byte(nil), body...)}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if el, ok := v.m[key]; ok {
+		el.Value = ent
+		v.lru.MoveToFront(el)
+		return
+	}
+	v.m[key] = v.lru.PushFront(ent)
+	for v.lru.Len() > v.max {
+		back := v.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*vcacheEntry)
+		v.lru.Remove(back)
+		delete(v.m, victim.key)
+	}
+}

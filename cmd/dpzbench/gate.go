@@ -13,8 +13,9 @@ import (
 // record slowed down by more than -max-regress percent. The gate compares
 // the benchmark's ns/op and, when both reports carry a stage breakdown,
 // each per-stage wall time — so a regression hiding inside one stage
-// (the PCA wall this suite exists to watch) trips the gate even when the
-// other stages mask it in the total.
+// (the PCA wall this suite exists to watch, or the recompose GEMM on the
+// decode side) trips the gate even when the other stages mask it in the
+// total.
 
 // gateStageFloorNs is the baseline stage time below which a stage is not
 // gated: percentage deltas of sub-50ms stages are clock noise, not
@@ -115,6 +116,10 @@ func gateDeltas(base, cur *perfReport) []gateDelta {
 			{"pca", b.StageNs.PCA, r.StageNs.PCA},
 			{"quant", b.StageNs.Quant, r.StageNs.Quant},
 			{"zlib", b.StageNs.Zlib, r.StageNs.Zlib},
+			{"inflate", b.StageNs.Inflate, r.StageNs.Inflate},
+			{"dequant", b.StageNs.Dequant, r.StageNs.Dequant},
+			{"transform", b.StageNs.Transform, r.StageNs.Transform},
+			{"recompose", b.StageNs.Recompose, r.StageNs.Recompose},
 			{"total", b.StageNs.Total, r.StageNs.Total},
 		}
 		for _, st := range stages {

@@ -52,14 +52,31 @@ type perfRecord struct {
 	SketchDecision string `json:"sketch_decision,omitempty"`
 }
 
-// stageNs is a per-stage nanosecond breakdown (Figure 9's categories).
+// stageNs is a per-stage nanosecond breakdown. Compress records fill the
+// Figure 9 categories (decompose..zlib); decompress records fill the
+// decode stages (inflate..recompose). Total covers whichever pipeline ran.
 type stageNs struct {
-	Decompose int64 `json:"decompose"`
-	DCT       int64 `json:"dct"`
-	PCA       int64 `json:"pca"`
-	Quant     int64 `json:"quant"`
-	Zlib      int64 `json:"zlib"`
+	Decompose int64 `json:"decompose,omitempty"`
+	DCT       int64 `json:"dct,omitempty"`
+	PCA       int64 `json:"pca,omitempty"`
+	Quant     int64 `json:"quant,omitempty"`
+	Zlib      int64 `json:"zlib,omitempty"`
+	Inflate   int64 `json:"inflate,omitempty"`
+	Dequant   int64 `json:"dequant,omitempty"`
+	Transform int64 `json:"transform,omitempty"`
+	Recompose int64 `json:"recompose,omitempty"`
 	Total     int64 `json:"total"`
+}
+
+// decodeStagesOf converts a decode-side stats breakdown to stageNs.
+func decodeStagesOf(st core.DecodeStats) *stageNs {
+	return &stageNs{
+		Inflate:   st.TimeInflate.Nanoseconds(),
+		Dequant:   st.TimeDequant.Nanoseconds(),
+		Transform: st.TimeTransform.Nanoseconds(),
+		Recompose: st.TimeRecompose.Nanoseconds(),
+		Total:     st.TimeTotal.Nanoseconds(),
+	}
 }
 
 // stagesOf sums the stage timings of sts into a stageNs breakdown.
@@ -264,7 +281,7 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 	}
 	for _, w := range workers {
 		w := w
-		add("decompress", w, bench(func(b *testing.B) {
+		rec := add("decompress", w, bench(func(b *testing.B) {
 			b.SetBytes(rawBytes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -273,6 +290,11 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 				}
 			}
 		}))
+		_, _, dst, err := core.DecompressStats(res.Data, w, 0)
+		if err != nil {
+			return err
+		}
+		rec.StageNs = decodeStagesOf(dst)
 	}
 
 	// Progressive-preview records: decode only the leading 1/4/16/all
@@ -306,6 +328,11 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 			}
 		}))
 		prevNs[name] = rec.NsPerOp
+		_, _, dst, err := core.DecompressStats(pres.Data, pw, rk)
+		if err != nil {
+			return err
+		}
+		rec.StageNs = decodeStagesOf(dst)
 	}
 	rec := add("preview-full", pw, bench(func(b *testing.B) {
 		b.SetBytes(rawBytes)
@@ -461,6 +488,82 @@ func runPerfSuite(scale float64, workers []int, notes []string, baseline string,
 			}
 		}
 	}))
+	// Read-path cache probe: the identical preview request served cold
+	// (response cache disabled, every request decodes) and from the warmed
+	// cache (key lookup + body copy, no scheduler admission, no decode).
+	// The ratio between the two records is the steady-state win for
+	// repeated identical previews. Unlike the client-overhead probe this
+	// field and rank count are big enough that the decode, not the HTTP
+	// round trip, dominates the cold path.
+	cpf := dataset.CESM("CLDHGH", 256, 512, 2001)
+	cpRes, err := dpz.CompressFloat64(cpf.Data, cpf.Dims, dpz.LooseOptions())
+	if err != nil {
+		return err
+	}
+	clStream := cpRes.Data
+	cpBytes := int64(4 * cpf.Len())
+	cpInfo, err := dpz.Stat(clStream)
+	if err != nil {
+		return err
+	}
+	cpRanks := min(cpInfo.Components, 32)
+	cpURL := fmt.Sprintf("/v1/preview?ranks=%d", cpRanks)
+	postPreview := func(b *testing.B, base, wantCache string) {
+		resp, err := http.Post(base+cpURL, "application/octet-stream", bytes.NewReader(clStream))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil || resp.StatusCode != http.StatusOK {
+			b.Fatalf("preview: read body: %v, code %d", cerr, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Dpz-Cache"); got != wantCache {
+			b.Fatalf("preview: X-Dpz-Cache = %q, want %q", got, wantCache)
+		}
+	}
+	coldSrv := server.New(server.Config{Jobs: 2, QueueDepth: 8, CacheEntries: -1})
+	coldTS := httptest.NewServer(coldSrv.Handler())
+	coldRec := add("server-preview-cold", 1, bench(func(b *testing.B) {
+		b.SetBytes(cpBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			postPreview(b, coldTS.URL, "bypass")
+		}
+	}))
+	coldTS.Close()
+	coldDrainCtx, coldCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	coldDrainErr := coldSrv.Drain(coldDrainCtx)
+	coldCancel()
+	if coldDrainErr != nil {
+		return coldDrainErr
+	}
+	// Warm the caching server (the first request is the one real decode),
+	// then bench pure hits against it.
+	warmResp, err := http.Post(ts.URL+cpURL, "application/octet-stream", bytes.NewReader(clStream))
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(io.Discard, warmResp.Body); err != nil {
+		return err
+	}
+	warmResp.Body.Close()
+	if warmResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cache warm preview: code %d", warmResp.StatusCode)
+	}
+	cachedRec := add("server-preview-cached", 1, bench(func(b *testing.B) {
+		b.SetBytes(cpBytes)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			postPreview(b, ts.URL, "hit")
+		}
+	}))
+	if coldRec.NsPerOp > 0 && cachedRec.NsPerOp > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"preview cache: cold %d ns/op vs cached %d ns/op (%.1fx)",
+			coldRec.NsPerOp, cachedRec.NsPerOp,
+			float64(coldRec.NsPerOp)/float64(cachedRec.NsPerOp)))
+	}
 	ts.Close()
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	drainErr := srv.Drain(drainCtx)

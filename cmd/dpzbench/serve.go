@@ -19,7 +19,8 @@ import (
 // requests and reports request throughput and latency quantiles — the
 // client side of the CI benchmark-smoke job and a quick way to size a
 // deployment. It finishes with one decompress round-trip to check the
-// daemon's output is a valid stream.
+// daemon's output is a valid stream, plus a repeated rank-1 preview that
+// must come back byte-identical from the daemon's response cache.
 //
 // Shed requests (429) are retried after the server's Retry-After hint, so
 // the reported throughput is the end-to-end rate a well-behaved client
@@ -116,6 +117,42 @@ func runServerSmoke(baseURL string, requests, conc int, dimsStr string, out io.W
 		return fmt.Errorf("round-trip returned %d bytes, want %d", len(recon), len(raw))
 	}
 
+	// Preview cache probe: the identical rank-1 preview request twice in a
+	// row. The first answer decodes (X-Dpz-Cache: miss); the repeat must be
+	// served from the daemon's response cache (hit) with byte-identical
+	// bytes — unless the daemon runs with -cache-entries=-1, which reports
+	// bypass on both and is only required to stay byte-identical.
+	doPreview := func() ([]byte, string, time.Duration, error) {
+		t0 := time.Now()
+		resp, err := http.Post(baseURL+"/v1/preview?ranks=1", "application/octet-stream", bytes.NewReader(stream))
+		if err != nil {
+			return nil, "", 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, "", 0, fmt.Errorf("preview: code %d: %s", resp.StatusCode, body)
+		}
+		return body, resp.Header.Get("X-Dpz-Cache"), time.Since(t0), nil
+	}
+	coldBody, coldState, coldDur, err := doPreview()
+	if err != nil {
+		return err
+	}
+	warmBody, warmState, warmDur, err := doPreview()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		return fmt.Errorf("preview cache: repeated request returned different bytes (%d vs %d)", len(coldBody), len(warmBody))
+	}
+	if coldState != "bypass" && warmState != "hit" {
+		return fmt.Errorf("preview cache: repeat request not served from cache (X-Dpz-Cache %q then %q)", coldState, warmState)
+	}
+
 	inMB := float64(requests) * float64(len(raw)) / (1 << 20)
 	fmt.Fprintf(out, "dpzd smoke: %d requests x %d values (%s), conc %d\n",
 		requests, values, dimsStr, conc)
@@ -127,6 +164,8 @@ func runServerSmoke(baseURL string, requests, conc int, dimsStr string, out io.W
 	fmt.Fprintf(out, "  mean compressed size: %.0f bytes (CR %.2fx)\n",
 		float64(outBytes.Load())/float64(max(ok.Load(), 1)),
 		float64(len(raw))*float64(ok.Load())/float64(max(outBytes.Load(), 1)))
+	fmt.Fprintf(out, "  preview cache: %s %s -> %s %s\n",
+		coldState, coldDur.Round(100*time.Microsecond), warmState, warmDur.Round(100*time.Microsecond))
 	fmt.Fprintln(out, "dpzd smoke: OK")
 	return nil
 }

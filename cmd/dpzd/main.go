@@ -13,6 +13,11 @@
 // in-flight and queued requests (shedding new ones with 429), and exits
 // once the drain completes or the grace period runs out.
 //
+// The read-only decode endpoints (/v1/preview, /v1/query, /v1/stat) are
+// answered from a bounded LRU response cache with strong ETags and
+// If-None-Match 304s; size it with -cache-entries / -cache-bytes, or
+// disable it with -cache-entries=-1.
+//
 // Resilience: 429 responses carry a load-proportional Retry-After
 // computed from the observed per-job service time and current queue
 // depth; request panics are recovered per-request (500 +
@@ -49,14 +54,16 @@ func main() {
 func run(args []string, log io.Writer) error {
 	fs := flag.NewFlagSet("dpzd", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8640", "listen address")
-		jobs       = fs.Int("jobs", 0, "concurrently executing requests (0 = GOMAXPROCS)")
-		workers    = fs.Int("workers", 0, "total worker-goroutine budget shared by executing jobs (0 = GOMAXPROCS)")
-		queue      = fs.Int("queue", 0, "admitted requests waiting beyond -jobs (0 = default 16, <0 = none)")
-		maxBody    = fs.Int64("max-body", 0, "request body cap in bytes (0 = 1 GiB)")
-		timeout    = fs.Duration("timeout", 0, "per-request compute deadline (0 = 5m, <0 = none)")
-		grace      = fs.Duration("grace", 30*time.Second, "shutdown drain budget")
-		basisCache = fs.Int("basis-cache", 0, "shared PCA basis cache entries for basis-reuse requests (0 = default 64, <0 = off)")
+		addr         = fs.String("addr", ":8640", "listen address")
+		jobs         = fs.Int("jobs", 0, "concurrently executing requests (0 = GOMAXPROCS)")
+		workers      = fs.Int("workers", 0, "total worker-goroutine budget shared by executing jobs (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", 0, "admitted requests waiting beyond -jobs (0 = default 16, <0 = none)")
+		maxBody      = fs.Int64("max-body", 0, "request body cap in bytes (0 = 1 GiB)")
+		timeout      = fs.Duration("timeout", 0, "per-request compute deadline (0 = 5m, <0 = none)")
+		grace        = fs.Duration("grace", 30*time.Second, "shutdown drain budget")
+		basisCache   = fs.Int("basis-cache", 0, "shared PCA basis cache entries for basis-reuse requests (0 = default 64, <0 = off)")
+		cacheEntries = fs.Int("cache-entries", 0, "preview/query/stat response cache entries (0 = default 256, <0 = off)")
+		cacheBytes   = fs.Int64("cache-bytes", 0, "response cache body-byte bound (0 = default 256 MiB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +76,8 @@ func run(args []string, log io.Writer) error {
 		MaxBodyBytes:      *maxBody,
 		RequestTimeout:    *timeout,
 		BasisCacheEntries: *basisCache,
+		CacheEntries:      *cacheEntries,
+		CacheBytes:        *cacheBytes,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

@@ -502,7 +502,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 			}
 		}
 
-		stage12, err := reconstruct(scores, projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet))
+		stage12, err := reconstruct(scores, projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -516,7 +516,7 @@ func CompressContext(ctx context.Context, data []float64, dims []int, p Params) 
 			}
 			deqMat.SetCol(j, deq)
 		}
-		final, err := reconstruct(deqMat, projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet))
+		final, err := reconstruct(deqMat, projR, meansF32, scalesF32, shape, len(data), p.Workers, transformMode(p.SkipDCT, p.DCT2D, p.UseWavelet), nil)
 		if err != nil {
 			return nil, err
 		}

@@ -3,14 +3,38 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"dpz/internal/blockio"
 	"dpz/internal/mat"
+	"dpz/internal/metrics"
 	"dpz/internal/parallel"
 	"dpz/internal/quant"
 	"dpz/internal/scratch"
 	"dpz/internal/transform"
 )
+
+// DecodeStats reports per-stage wall time for one decompression — the
+// decode-side mirror of Stats' compress timings, consumed by dpzbench's
+// stage_ns records and the regression gate.
+type DecodeStats struct {
+	// TimeInflate covers parsing the container, checksumming the needed
+	// sections and inflating them (including shard fan-out).
+	TimeInflate time.Duration
+	// TimeDequant covers score and projection decode. On the fused
+	// rank-space path the per-rank inverse DCT runs inside the same pass,
+	// so its cost lands here and TimeTransform stays ~0.
+	TimeDequant time.Duration
+	// TimeTransform covers the inverse block transform over the composed
+	// plane (full decodes) or the rank-space rows (v1 partial decodes).
+	TimeTransform time.Duration
+	// TimeRecompose covers the recompose GEMM, de-standardization and the
+	// block-to-signal reassembly.
+	TimeRecompose time.Duration
+	TimeTotal     time.Duration
+	// RanksUsed is the component count actually reconstructed.
+	RanksUsed int
+}
 
 // Decompress reverses Compress: it parses the container, dequantizes the
 // scores, inverts the PCA projection, applies the inverse DCT per block
@@ -40,14 +64,48 @@ func DecompressRank(buf []byte, workers, rank int) ([]float64, []int, error) {
 
 // DecompressRankContext is DecompressRank with cooperative cancellation.
 func DecompressRankContext(ctx context.Context, buf []byte, workers, rank int) ([]float64, []int, error) {
+	return decompressRankStats(ctx, buf, workers, rank, nil)
+}
+
+// DecompressStats is Decompress plus the per-stage timing breakdown.
+// rank follows DecompressRank semantics (0 means all components).
+func DecompressStats(buf []byte, workers, rank int) ([]float64, []int, DecodeStats, error) {
+	return DecompressStatsContext(context.Background(), buf, workers, rank)
+}
+
+// DecompressStatsContext is DecompressStats with cooperative cancellation.
+func DecompressStatsContext(ctx context.Context, buf []byte, workers, rank int) ([]float64, []int, DecodeStats, error) {
+	var st DecodeStats
+	data, dims, err := decompressRankStats(ctx, buf, workers, rank, &st)
+	return data, dims, st, err
+}
+
+// decompressRankStats is the shared rank-decode driver. st may be nil;
+// when set, stage boundaries are timed into it.
+func decompressRankStats(ctx context.Context, buf []byte, workers, rank int, st *DecodeStats) ([]float64, []int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tStart := metrics.Now()
 	c, err := decodeContainerLimit(ctx, buf, workers, rank)
 	if err != nil {
 		return nil, nil, err
 	}
-	return decompressParsed(ctx, c, workers, rank)
+	if st != nil {
+		st.TimeInflate = metrics.Since(tStart)
+	}
+	data, dims, err := decompressParsed(ctx, c, workers, rank, st)
+	// The inflated sections are pooled and fully copied out of by the
+	// decode above, so they go back to the scratch pool here. The caller's
+	// stream (c.index aliases it) is never pooled.
+	c.release()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st != nil {
+		st.TimeTotal = metrics.Since(tStart)
+	}
+	return data, dims, nil
 }
 
 // DecompressRanks is the preview entry point: it reconstructs from the
@@ -81,8 +139,9 @@ func DecompressRanksContext(ctx context.Context, buf []byte, ranks, workers int)
 
 // decompressParsed reconstructs from an already-parsed container. It is
 // shared by DecompressRank and DecompressBestEffort (which hands in a
-// container whose damaged trailing rank sections were dropped).
-func decompressParsed(ctx context.Context, c container, workers, rank int) ([]float64, []int, error) {
+// container whose damaged trailing rank sections were dropped). st may be
+// nil; when set, the dequant/transform/recompose stages are timed into it.
+func decompressParsed(ctx context.Context, c container, workers, rank int, st *DecodeStats) ([]float64, []int, error) {
 	h := c.h
 	if rank < 0 || rank > h.k {
 		return nil, nil, fmt.Errorf("core: rank %d out of [0,%d]", rank, h.k)
@@ -91,7 +150,11 @@ func decompressParsed(ctx context.Context, c container, workers, rank int) ([]fl
 	if rank != 0 {
 		useK = rank
 	}
+	if st != nil {
+		st.RanksUsed = useK
+	}
 
+	t0 := metrics.Now()
 	means, err := float32FromBytes(c.means)
 	if err != nil {
 		return nil, nil, err
@@ -110,6 +173,30 @@ func decompressParsed(ctx context.Context, c container, workers, rank int) ([]fl
 		}
 	}
 
+	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
+	mode := transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0)
+
+	if c.version != formatV1 && mode == xform1D && useK < h.k {
+		// Fused partial-decode fast path: dequantize each rank straight
+		// into its rank-space row and inverse-transform it in the same
+		// pass — the N×r score matrix never materializes.
+		zt, proj, err := assembleRankSpaceV2(ctx, c, useK, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if st != nil {
+			st.TimeDequant = metrics.Since(t0)
+		}
+		data, err := recomposeRankSpace(zt, proj, means, scales, shape, h.origLen, workers, st)
+		if err != nil {
+			return nil, nil, err
+		}
+		return data, h.dims, nil
+	}
+
 	var y, proj *mat.Dense
 	if c.version == formatV1 {
 		y, proj, err = assembleV1(c, useK)
@@ -122,14 +209,15 @@ func decompressParsed(ctx context.Context, c container, workers, rank int) ([]fl
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if st != nil {
+		st.TimeDequant = metrics.Since(t0)
+	}
 
-	shape := blockio.Shape{M: h.m, N: h.n, Padded: h.m * h.n}
-	mode := transformMode(h.flags&flagNoDCT != 0, h.flags&flag2DDCT != 0, h.flags&flagWavelet != 0)
 	var data []float64
 	if mode == xform1D && useK < h.k {
-		data, err = reconstructRankSpace(y, proj, means, scales, shape, h.origLen, workers)
+		data, err = reconstructRankSpace(y, proj, means, scales, shape, h.origLen, workers, st)
 	} else {
-		data, err = reconstruct(y, proj, means, scales, shape, h.origLen, workers, mode)
+		data, err = reconstruct(y, proj, means, scales, shape, h.origLen, workers, mode, st)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -185,13 +273,48 @@ func assembleV1(c container, useK int) (*mat.Dense, *mat.Dense, error) {
 	return y, proj, nil
 }
 
+// decodeProjRow decodes component j's projection column of a v2 container
+// into dst, a contiguous slice of length M.
+func decodeProjRow(c container, j int, dst []float64) error {
+	h := c.h
+	if h.flags&flagRawProj != 0 {
+		if err := float32IntoFloats(dst, c.proj[j]); err != nil {
+			return fmt.Errorf("core: rank %d projection: %w", j, err)
+		}
+		return nil
+	}
+	pm, err := decodeProjection(c.proj[j], h.m, 1)
+	if err != nil {
+		return fmt.Errorf("core: rank %d projection: %w", j, err)
+	}
+	pm.Col(0, dst)
+	return nil
+}
+
+// decodeProjCol decodes component j's projection column into column j of
+// proj (used by the fused rank-space assembly, where the decoded rank
+// count is small and the column scatter is cheap).
+func decodeProjCol(c container, j int, proj *mat.Dense) error {
+	pcol := scratch.Floats(c.h.m)
+	defer scratch.PutFloats(pcol)
+	if err := decodeProjRow(c, j, pcol); err != nil {
+		return err
+	}
+	proj.SetCol(j, pcol)
+	return nil
+}
+
 // assembleV2 decodes the leading useK per-component score streams and
-// projection columns of a v2 container, in parallel across components
-// (each writes a disjoint column of the score and projection matrices).
+// projection columns of a v2 container, in parallel across components.
+// Each component decodes into a contiguous row of the transposed score
+// and projection matrices — no per-rank column scatter (a SetCol touches
+// one cache line per element at these strides) — and the layout flip
+// collapses into two blocked transposes at the end. The produced values
+// are element-for-element the ones the historical SetCol assembly wrote.
 func assembleV2(ctx context.Context, c container, useK, workers int) (*mat.Dense, *mat.Dense, error) {
 	h := c.h
-	y := mat.NewDense(h.n, useK)
-	proj := mat.NewDense(h.m, useK)
+	yt := mat.NewDense(useK, h.n)
+	projT := mat.NewDense(useK, h.m)
 	errs := make([]error, useK)
 	err := parallel.ForCtx(ctx, useK, workers, func(j int) {
 		enc, err := quant.Unmarshal(c.scores[j])
@@ -203,35 +326,11 @@ func assembleV2(ctx context.Context, c container, useK, workers int) (*mat.Dense
 			errs[j] = fmt.Errorf("core: rank %d score count %d != N = %d", j, enc.Count, h.n)
 			return
 		}
-		col, err := enc.Decode()
-		if err != nil {
+		if err := enc.DecodeInto(yt.Row(j)); err != nil {
 			errs[j] = fmt.Errorf("core: rank %d scores: %w", j, err)
 			return
 		}
-		y.SetCol(j, col)
-
-		if h.flags&flagRawProj != 0 {
-			pcol, err := float32FromBytes(c.proj[j])
-			if err != nil {
-				errs[j] = fmt.Errorf("core: rank %d projection: %w", j, err)
-				return
-			}
-			if len(pcol) != h.m {
-				errs[j] = fmt.Errorf("core: rank %d projection size %d != M = %d", j, len(pcol), h.m)
-				return
-			}
-			proj.SetCol(j, pcol)
-		} else {
-			pm, err := decodeProjection(c.proj[j], h.m, 1)
-			if err != nil {
-				errs[j] = fmt.Errorf("core: rank %d projection: %w", j, err)
-				return
-			}
-			pcol := scratch.Floats(h.m)
-			pm.Col(0, pcol)
-			proj.SetCol(j, pcol)
-			scratch.PutFloats(pcol)
-		}
+		errs[j] = decodeProjRow(c, j, projT.Row(j))
 	})
 	if err != nil {
 		return nil, nil, err
@@ -241,7 +340,65 @@ func assembleV2(ctx context.Context, c container, useK, workers int) (*mat.Dense
 			return nil, nil, err
 		}
 	}
+	y := mat.NewDense(h.n, useK)
+	mat.TransposeInto(y, yt)
+	proj := mat.NewDense(h.m, useK)
+	mat.TransposeInto(proj, projT)
 	return y, proj, nil
+}
+
+// assembleRankSpaceV2 is the fused dequant+inverse-DCT assembly for a
+// rank-limited decode of a v2/v3 stream. Each component's quantized
+// scores decode straight into row j of the returned (useK+1)×N rank-space
+// matrix and are inverse-transformed by the same worker while the row is
+// cache-hot; row useK is IDCT(1_N), the means carrier. The intermediate
+// N×useK score matrix of assembleV2 — and the column-to-row shuffle
+// reconstructRankSpace would then undo — never materializes. The result
+// bits match the unfused assembleV2 + column copy + InverseRows sequence
+// exactly: DecodeInto reproduces Decode's element order, and per-row
+// Plan.Inverse is the very kernel InverseRows applies to each row.
+func assembleRankSpaceV2(ctx context.Context, c container, useK, workers int) (*mat.Dense, *mat.Dense, error) {
+	h := c.h
+	zt := mat.NewDense(useK+1, h.n)
+	proj := mat.NewDense(h.m, useK)
+	errs := make([]error, useK+1)
+	err := parallel.ForCtx(ctx, useK+1, workers, func(j int) {
+		row := zt.Row(j)
+		if j < useK {
+			enc, err := quant.Unmarshal(c.scores[j])
+			if err != nil {
+				errs[j] = fmt.Errorf("core: rank %d scores: %w", j, err)
+				return
+			}
+			if enc.Count != h.n {
+				errs[j] = fmt.Errorf("core: rank %d score count %d != N = %d", j, enc.Count, h.n)
+				return
+			}
+			if err := enc.DecodeInto(row); err != nil {
+				errs[j] = fmt.Errorf("core: rank %d scores: %w", j, err)
+				return
+			}
+			if errs[j] = decodeProjCol(c, j, proj); errs[j] != nil {
+				return
+			}
+		} else {
+			for i := range row {
+				row[i] = 1
+			}
+		}
+		p := transform.GetPlan(h.n)
+		p.Inverse(row)
+		transform.PutPlan(p)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return zt, proj, nil
 }
 
 // xformMode names the Stage 1 transform applied at compression time.
@@ -270,27 +427,44 @@ func transformMode(skip, twoD, wavelet bool) xformMode {
 // reconstruct inverts Stages 2 and 1 given scores (N×k), the projection
 // matrix (M×k), feature means/scales, the block shape and the original
 // length. mode selects the inverse Stage 1 transform. It is shared by
-// Decompress and the in-compression diagnostics.
-func reconstruct(y, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int, mode xformMode) ([]float64, error) {
+// Decompress and the in-compression diagnostics. st may be nil.
+//
+// The recompose X̂ᵀ = D·Yᵀ runs through the tiled GemmNTInto directly into
+// feature-major block rows — no N×M value-major intermediate, no
+// transpose copy. Output bits are pinned: GemmNTInto's per-element dot
+// product reproduces the historical Mul(y, proj.T()) summation exactly
+// (see its contract), and the de-standardization applies the same
+// multiply-then-add per element the transpose-copy loop did.
+func reconstruct(y, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int, mode xformMode, st *DecodeStats) ([]float64, error) {
 	n, k := y.Dims()
 	pm, pk := proj.Dims()
 	if n != shape.N || pm != shape.M || k != pk {
 		return nil, fmt.Errorf("core: reconstruct shape mismatch (%dx%d scores, %dx%d proj, %dx%d blocks)",
 			n, k, pm, pk, shape.M, shape.N)
 	}
-	// X̂ = Y·Dᵀ (·scale) + μ, feature-major back into block rows.
-	xhat := mat.Mul(y, proj.T()) // N×M
+	t0 := metrics.Now()
+	// blocks[j][i] = Σ_k proj[j][k]·y[i][k] (·scale_j) + μ_j.
 	blocks := mat.NewDense(shape.M, shape.N)
-	for i := 0; i < shape.N; i++ {
-		row := xhat.Row(i)
-		for j := 0; j < shape.M; j++ {
-			v := row[j]
+	mat.GemmNTInto(blocks, proj, y, workers)
+	parallel.ForChunks(shape.M, workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := blocks.Row(j)
+			mj := means[j]
 			if scales != nil {
-				v *= scales[j]
+				sj := scales[j]
+				for i := range row {
+					v := row[i] * sj
+					row[i] = v + mj
+				}
+			} else {
+				for i := range row {
+					row[i] += mj
+				}
 			}
-			blocks.Set(j, i, v+means[j])
 		}
-	}
+	})
+	gemm := metrics.Since(t0)
+	t0 = metrics.Now()
 	switch mode {
 	case xform1D:
 		transform.InverseRows(blocks.Data(), shape.M, shape.N, workers)
@@ -299,7 +473,15 @@ func reconstruct(y, proj *mat.Dense, means, scales []float64, shape blockio.Shap
 	case xformHaar:
 		transform.HaarInverseRows(blocks.Data(), shape.M, shape.N, workers)
 	}
-	return blockio.Recompose(blocks, origLen)
+	if st != nil {
+		st.TimeTransform = metrics.Since(t0)
+	}
+	t0 = metrics.Now()
+	out, err := blockio.Recompose(blocks, origLen)
+	if st != nil {
+		st.TimeRecompose = gemm + metrics.Since(t0)
+	}
+	return out, err
 }
 
 // reconstructRankSpace is reconstruct for a partial (rank-limited) decode
@@ -319,15 +501,18 @@ func reconstruct(y, proj *mat.Dense, means, scales []float64, shape blockio.Shap
 // equal only to rounding; the full decode therefore keeps the historical
 // path (its bits are pinned by the v1 golden test), while every
 // partial-decode entry point — DecompressRank, DecompressRanks,
-// DecompressBestEffort, Progressive — routes through this one, so preview
-// bytes stay identical across all of them at equal rank.
-func reconstructRankSpace(y, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int) ([]float64, error) {
+// DecompressBestEffort, Progressive — routes through this one (v2 streams
+// via the fused assembleRankSpaceV2, v1 and Progressive via the column
+// copy below — bit-identical by construction), so preview bytes stay
+// identical across all of them at equal rank.
+func reconstructRankSpace(y, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int, st *DecodeStats) ([]float64, error) {
 	n, k := y.Dims()
 	pm, pk := proj.Dims()
 	if n != shape.N || pm != shape.M || k != pk {
 		return nil, fmt.Errorf("core: reconstruct shape mismatch (%dx%d scores, %dx%d proj, %dx%d blocks)",
 			n, k, pm, pk, shape.M, shape.N)
 	}
+	t0 := metrics.Now()
 	// Rows 0..k-1: the score columns; row k: all ones, the means carrier.
 	zt := mat.NewDense(k+1, shape.N)
 	for j := 0; j < k; j++ {
@@ -338,7 +523,18 @@ func reconstructRankSpace(y, proj *mat.Dense, means, scales []float64, shape blo
 		ones[i] = 1
 	}
 	transform.InverseRows(zt.Data(), k+1, shape.N, workers)
-	// blocks = C·zt with C[i] = [scale_i·proj_i | mean_i].
+	if st != nil {
+		st.TimeTransform = metrics.Since(t0)
+	}
+	return recomposeRankSpace(zt, proj, means, scales, shape, origLen, workers, st)
+}
+
+// recomposeRankSpace finishes a rank-space decode: blocks = C·zt with
+// C[i] = [scale_i·proj_i | mean_i], then block reassembly. zt holds the
+// already-inverse-transformed rank rows plus the means-carrier row.
+func recomposeRankSpace(zt, proj *mat.Dense, means, scales []float64, shape blockio.Shape, origLen, workers int, st *DecodeStats) ([]float64, error) {
+	k := zt.Rows() - 1
+	t0 := metrics.Now()
 	coef := mat.NewDense(shape.M, k+1)
 	for i := 0; i < shape.M; i++ {
 		crow := coef.Row(i)
@@ -354,5 +550,9 @@ func reconstructRankSpace(y, proj *mat.Dense, means, scales []float64, shape blo
 	}
 	blocks := mat.NewDense(shape.M, shape.N)
 	mat.GemmInto(blocks, coef, zt, workers)
-	return blockio.Recompose(blocks, origLen)
+	out, err := blockio.Recompose(blocks, origLen)
+	if st != nil {
+		st.TimeRecompose = metrics.Since(t0)
+	}
+	return out, err
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// decodeWorkerCounts are the worker fan-outs the fast-path identity tests
+// sweep; decode bits must not depend on any of them.
+var decodeWorkerCounts = []int{1, 2, 8}
+
+// TestPartialDecodeByteIdentityAcrossEntryPoints pins the fused
+// dequant+IDCT rank-space path: every partial-decode entry point —
+// DecompressRank, DecompressRanks, DecompressBestEffort and Progressive —
+// must produce bit-identical output at equal rank, for every worker count.
+// Run under -race this also exercises the pooled-scratch handoff between
+// decode workers.
+func TestPartialDecodeByteIdentityAcrossEntryPoints(t *testing.T) {
+	c, _ := compressedV2(t, 3)
+	k := c.Stats.K
+
+	for _, rank := range []int{1, 2, k - 1} {
+		ref, refDims, err := DecompressRank(c.Bytes, 1, rank)
+		if err != nil {
+			t.Fatalf("rank %d reference decode: %v", rank, err)
+		}
+		check := func(label string, data []float64, dims []int) {
+			t.Helper()
+			if len(dims) != len(refDims) {
+				t.Fatalf("rank %d %s: dims %v, want %v", rank, label, dims, refDims)
+			}
+			for i := range dims {
+				if dims[i] != refDims[i] {
+					t.Fatalf("rank %d %s: dims %v, want %v", rank, label, dims, refDims)
+				}
+			}
+			if len(data) != len(ref) {
+				t.Fatalf("rank %d %s: %d values, want %d", rank, label, len(data), len(ref))
+			}
+			for i := range data {
+				if data[i] != ref[i] {
+					t.Fatalf("rank %d %s: value %d = %v, want %v — partial decode is not byte-identical",
+						rank, label, i, data[i], ref[i])
+				}
+			}
+		}
+
+		// Best-effort needs a stream whose trailing ranks are unreadable;
+		// damaging rank `rank`'s scores recovers exactly `rank` components.
+		damaged := damage(t, c.Bytes, fmt.Sprintf("rank %d scores", rank))
+
+		for _, w := range decodeWorkerCounts {
+			data, dims, err := DecompressRank(c.Bytes, w, rank)
+			if err != nil {
+				t.Fatalf("DecompressRank workers=%d rank=%d: %v", w, rank, err)
+			}
+			check(fmt.Sprintf("DecompressRank/w=%d", w), data, dims)
+
+			data, dims, used, err := DecompressRanks(c.Bytes, rank, w)
+			if err != nil {
+				t.Fatalf("DecompressRanks workers=%d rank=%d: %v", w, rank, err)
+			}
+			if used != rank {
+				t.Fatalf("DecompressRanks workers=%d rank=%d used %d", w, rank, used)
+			}
+			check(fmt.Sprintf("DecompressRanks/w=%d", w), data, dims)
+
+			data, dims, err = DecompressBestEffort(damaged, w)
+			if err == nil {
+				t.Fatalf("DecompressBestEffort workers=%d rank=%d: expected corruption report", w, rank)
+			}
+			if data == nil {
+				t.Fatalf("DecompressBestEffort workers=%d rank=%d returned no data: %v", w, rank, err)
+			}
+			check(fmt.Sprintf("DecompressBestEffort/w=%d", w), data, dims)
+
+			p, err := NewProgressive(c.Bytes, w)
+			if err != nil {
+				t.Fatalf("NewProgressive workers=%d: %v", w, err)
+			}
+			data, dims, used, err = p.Decode(rank)
+			if err != nil {
+				t.Fatalf("Progressive workers=%d rank=%d: %v", w, rank, err)
+			}
+			if used != rank {
+				t.Fatalf("Progressive workers=%d rank=%d used %d", w, rank, used)
+			}
+			check(fmt.Sprintf("Progressive/w=%d", w), data, dims)
+		}
+	}
+}
+
+// TestFullDecodeWorkerIndependence pins the full-decode path (the tiled
+// GemmNTInto recompose) across worker counts: Decompress bits must be
+// identical no matter how the rows are partitioned.
+func TestFullDecodeWorkerIndependence(t *testing.T) {
+	c, _ := compressedV2(t, 1)
+	ref, _, err := Decompress(c.Bytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range decodeWorkerCounts[1:] {
+		data, _, err := Decompress(c.Bytes, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range data {
+			if data[i] != ref[i] {
+				t.Fatalf("workers=%d: value %d = %v, want %v — full decode depends on worker count",
+					w, i, data[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDecompressStatsBreakdown checks the staged decode instrumentation:
+// the output matches Decompress bit for bit, RanksUsed reflects the
+// request, and the stage times are sane (non-negative, bounded by the
+// total).
+func TestDecompressStatsBreakdown(t *testing.T) {
+	c, _ := compressedV2(t, 2)
+	k := c.Stats.K
+
+	for _, rank := range []int{0, 1} {
+		want, _, err := DecompressRank(c.Bytes, 0, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, dims, st, err := DecompressStats(c.Bytes, 0, rank)
+		if err != nil {
+			t.Fatalf("DecompressStats rank=%d: %v", rank, err)
+		}
+		if len(dims) != 2 {
+			t.Fatalf("rank %d: dims %v", rank, dims)
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				t.Fatalf("rank %d: DecompressStats value %d differs from Decompress", rank, i)
+			}
+		}
+		wantUsed := k
+		if rank != 0 {
+			wantUsed = rank
+		}
+		if st.RanksUsed != wantUsed {
+			t.Fatalf("rank %d: RanksUsed = %d, want %d", rank, st.RanksUsed, wantUsed)
+		}
+		if st.TimeTotal <= 0 {
+			t.Fatalf("rank %d: TimeTotal = %v", rank, st.TimeTotal)
+		}
+		stages := st.TimeInflate + st.TimeDequant + st.TimeTransform + st.TimeRecompose
+		if stages <= 0 || stages > st.TimeTotal {
+			t.Fatalf("rank %d: stage sum %v outside (0, total=%v]", rank, stages, st.TimeTotal)
+		}
+		if st.TimeInflate < 0 || st.TimeDequant < 0 || st.TimeTransform < 0 || st.TimeRecompose < 0 {
+			t.Fatalf("rank %d: negative stage time in %+v", rank, st)
+		}
+	}
+}

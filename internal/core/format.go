@@ -9,6 +9,7 @@ import (
 
 	"dpz/internal/integrity"
 	"dpz/internal/parallel"
+	"dpz/internal/scratch"
 )
 
 // Container format ("DPZ1" magic, version byte 2):
@@ -92,6 +93,25 @@ type container struct {
 	index   []byte // raw retrieval-index payload (v3 only, nil when absent)
 }
 
+// release returns the container's inflated section buffers to the scratch
+// byte pool. Only safe once nothing derived from the container aliases
+// them: every decode path copies out of the sections (quant.Unmarshal,
+// decodeProjection and float32FromBytes all allocate fresh storage), so
+// decompressRankStats releases after reconstruction. Holders that cache a
+// container across calls (Progressive) simply never release. c.index is a
+// subslice of the caller's stream and is never pooled.
+func (c *container) release() {
+	for _, s := range c.scores {
+		scratch.PutBytes(s)
+	}
+	for _, s := range c.proj {
+		scratch.PutBytes(s)
+	}
+	scratch.PutBytes(c.means)
+	scratch.PutBytes(c.scales)
+	c.scores, c.proj, c.means, c.scales = nil, nil, nil, nil
+}
+
 // float32Bytes encodes a float64 slice as little-endian float32.
 func float32Bytes(x []float64) []byte {
 	out := make([]byte, 4*len(x))
@@ -111,6 +131,18 @@ func float32FromBytes(buf []byte) ([]float64, error) {
 		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
 	}
 	return out, nil
+}
+
+// float32IntoFloats decodes little-endian float32 into dst, requiring the
+// payload to hold exactly len(dst) values.
+func float32IntoFloats(dst []float64, buf []byte) error {
+	if len(buf) != 4*len(dst) {
+		return fmt.Errorf("core: float32 payload %d bytes, want %d values", len(buf), len(dst))
+	}
+	for i := range dst {
+		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+	}
+	return nil
 }
 
 // maxHeaderValue bounds any u64 header field (dims, lengths, shape): far

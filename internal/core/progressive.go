@@ -82,7 +82,7 @@ func (p *Progressive) DecodeContext(ctx context.Context, ranks int) ([]float64, 
 			}
 			p.v1 = &c
 		}
-		data, dims, err := decompressParsed(ctx, *p.v1, p.workers, used)
+		data, dims, err := decompressParsed(ctx, *p.v1, p.workers, used, nil)
 		if err != nil {
 			return nil, nil, 0, err
 		}
@@ -103,9 +103,9 @@ func (p *Progressive) DecodeContext(ctx context.Context, ranks int) ([]float64, 
 	var data []float64
 	var err error
 	if mode == xform1D && used < h.k {
-		data, err = reconstructRankSpace(y, proj, p.means, p.scales, shape, h.origLen, p.workers)
+		data, err = reconstructRankSpace(y, proj, p.means, p.scales, shape, h.origLen, p.workers, nil)
 	} else {
-		data, err = reconstruct(y, proj, p.means, p.scales, shape, h.origLen, p.workers, mode)
+		data, err = reconstruct(y, proj, p.means, p.scales, shape, h.origLen, p.workers, mode, nil)
 	}
 	if err != nil {
 		return nil, nil, 0, err

@@ -441,11 +441,11 @@ func TestReconstructRankSpaceMatchesDCTDomain(t *testing.T) {
 	shape := blockio.Shape{M: m, N: n, Padded: m * n}
 	origLen := m*n - 3
 	for name, sc := range map[string][]float64{"plain": nil, "standardized": scales} {
-		want, err := reconstruct(y, proj, means, sc, shape, origLen, 2, xform1D)
+		want, err := reconstruct(y, proj, means, sc, shape, origLen, 2, xform1D, nil)
 		if err != nil {
 			t.Fatalf("%s: reconstruct: %v", name, err)
 		}
-		got, err := reconstructRankSpace(y, proj, means, sc, shape, origLen, 2)
+		got, err := reconstructRankSpace(y, proj, means, sc, shape, origLen, 2, nil)
 		if err != nil {
 			t.Fatalf("%s: reconstructRankSpace: %v", name, err)
 		}

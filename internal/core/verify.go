@@ -197,7 +197,7 @@ func DecompressBestEffort(buf []byte, workers int) ([]float64, []int, error) {
 			c.scores[j] = secs[base+2*j].raw
 			c.proj[j] = secs[base+2*j+1].raw
 		}
-		return decompressParsed(context.Background(), c, workers, 0)
+		return decompressParsed(context.Background(), c, workers, 0, nil)
 	}
 	// The side-data sections are required for any reconstruction.
 	if secs[0].err != nil || (std && secs[1].err != nil) {
@@ -220,7 +220,7 @@ func DecompressBestEffort(buf []byte, workers int) ([]float64, []int, error) {
 		c.scores[j] = secs[base+2*j].raw
 		c.proj[j] = secs[base+2*j+1].raw
 	}
-	data, dims, derr := decompressParsed(context.Background(), c, workers, rank)
+	data, dims, derr := decompressParsed(context.Background(), c, workers, rank, nil)
 	if derr != nil {
 		// A section that passed its checksum but fails to decode points at
 		// a malformed stream, not recoverable storage damage.

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"dpz/internal/parallel"
+	"dpz/internal/scratch"
 )
 
 // This file is the zlib add-on stage's codec: pooled writers/readers so
@@ -91,8 +92,11 @@ func inflateInto(dst, buf []byte) error {
 }
 
 // inflate decompresses a zlib stream, verifying the expected raw length.
+// The output comes from the scratch byte pool: ownership transfers to the
+// caller, who may hand it back via scratch.PutBytes (container.release)
+// once nothing aliases it — or simply let it be collected.
 func inflate(buf []byte, rawLen int) ([]byte, error) {
-	out := make([]byte, rawLen)
+	out := scratch.Bytes(rawLen)
 	if err := inflateInto(out, buf); err != nil {
 		return nil, err
 	}
@@ -210,7 +214,7 @@ func inflateSection(ctx context.Context, payload []byte, rawLen, workers int) ([
 	if compOff != len(data) {
 		return nil, fmt.Errorf("core: %d trailing bytes after shards", len(data)-compOff)
 	}
-	out := make([]byte, rawLen)
+	out := scratch.Bytes(rawLen)
 	errs := make([]error, nshard)
 	if err := parallel.ForCtx(ctx, nshard, workers, func(i int) {
 		s := shards[i]

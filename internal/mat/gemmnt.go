@@ -1,0 +1,86 @@
+package mat
+
+import (
+	"fmt"
+
+	"dpz/internal/parallel"
+)
+
+// GemmNTInto computes out = a·bᵀ without materializing bᵀ, with an
+// explicit worker bound (0 = GOMAXPROCS). a is M×K, b is N×K, out must be
+// M×N and must not alias a or b. Workers partition out's rows; every
+// output element is one dot product accumulated in ascending k order with
+// a single accumulator, so the result bits are worker-independent.
+//
+// This is the decode recompose kernel. Both operands stream
+// row-contiguously (no strided column walks), a 2×2 register tile reuses
+// each loaded value across two dot products, and the j loop is blocked so
+// a 2-row a-tile sweeps a cache-resident band of b instead of streaming
+// all of b per tile — together cutting the memory traffic of the
+// historical Mul(y, proj.T()) path (which re-streamed bᵀ per output row)
+// by two orders of magnitude. The tile is deliberately small: each output
+// element is a strictly sequential add chain, so wider tiles only help
+// while every accumulator stays in a register, and measured on the
+// decode shapes 2×2 beats 2×4/3×3/4×4 (those spill).
+//
+// Bit-exactness contract: out[i][j] is the plain ascending-k dot product
+// of a's row i and b's row j — the exact summation sequence of the naive
+// loop and of MulInto(out, a, b.T()). MulInto additionally skips exact-zero
+// coefficients; the skip cannot change result bits: adding a ±0 product to
+// an accumulator that is non-zero leaves it untouched, and an accumulator
+// seeded with +0 can never become -0 under round-to-nearest (x + (-x)
+// rounds to +0, and +0 + ±0 = +0), so skipped and unskipped sums agree
+// bit for bit. TestGemmNTIntoMatchesMulBits pins this equivalence.
+func GemmNTInto(out, a, b *Dense, workers int) {
+	if a.cols != b.cols || out.rows != a.rows || out.cols != b.rows {
+		panic(fmt.Sprintf("mat: GemmNTInto shape mismatch %dx%d · %dx%dᵀ -> %dx%d",
+			a.rows, a.cols, b.rows, b.cols, out.rows, out.cols))
+	}
+	if a.rows*a.cols*b.rows < 1<<16 {
+		workers = 1
+	}
+	// jblk bounds the band of b rows a 2-row a-tile sweeps before moving
+	// on, keeping the band cache-resident across tiles.
+	const jblk = 256
+	kc := a.cols
+	parallel.ForChunks(a.rows, workers, func(lo, hi int) {
+		for j0 := 0; j0 < b.rows; j0 += jblk {
+			j1 := min(j0+jblk, b.rows)
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				a0 := a.data[i*kc : (i+1)*kc]
+				a1 := a.data[(i+1)*kc : (i+2)*kc]
+				o0 := out.data[i*out.cols : (i+1)*out.cols]
+				o1 := out.data[(i+1)*out.cols : (i+2)*out.cols]
+				j := j0
+				for ; j+2 <= j1; j += 2 {
+					b0 := b.data[j*kc : (j+1)*kc]
+					b1 := b.data[(j+1)*kc : (j+2)*kc]
+					var s00, s01, s10, s11 float64
+					for kk := 0; kk < kc; kk++ {
+						av0, av1 := a0[kk], a1[kk]
+						bv0, bv1 := b0[kk], b1[kk]
+						s00 += av0 * bv0
+						s01 += av0 * bv1
+						s10 += av1 * bv0
+						s11 += av1 * bv1
+					}
+					o0[j], o0[j+1] = s00, s01
+					o1[j], o1[j+1] = s10, s11
+				}
+				for ; j < j1; j++ {
+					brow := b.data[j*kc : (j+1)*kc]
+					o0[j] = Dot(a0, brow)
+					o1[j] = Dot(a1, brow)
+				}
+			}
+			for ; i < hi; i++ {
+				arow := a.data[i*kc : (i+1)*kc]
+				orow := out.data[i*out.cols : (i+1)*out.cols]
+				for j := j0; j < j1; j++ {
+					orow[j] = Dot(arow, b.data[j*kc:(j+1)*kc])
+				}
+			}
+		}
+	})
+}

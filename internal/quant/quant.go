@@ -120,9 +120,22 @@ func (q *Quantizer) Encode(x []float64, workers int) *Encoded {
 // center (error <= P), escapes pull the next literal.
 func (e *Encoded) Decode() ([]float64, error) {
 	out := make([]float64, e.Count)
+	if err := e.DecodeInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto decodes the value stream into out, which must have length
+// e.Count. It lets the decode fast path dequantize straight into a row of
+// the rank-space matrix instead of materializing a per-column slice.
+func (e *Encoded) DecodeInto(out []float64) error {
+	if len(out) != e.Count {
+		return fmt.Errorf("quant: DecodeInto buffer length %d != count %d", len(out), e.Count)
+	}
 	esc := e.Width.escape()
 	if len(e.Codes) != e.Count {
-		return nil, fmt.Errorf("quant: code stream length %d != count %d", len(e.Codes), e.Count)
+		return fmt.Errorf("quant: code stream length %d != count %d", len(e.Codes), e.Count)
 	}
 	half := e.P * float64(e.Width.Bins())
 	twoP := 2 * e.P
@@ -130,7 +143,7 @@ func (e *Encoded) Decode() ([]float64, error) {
 	for i, c := range e.Codes {
 		if c == esc {
 			if li >= len(e.Literals) {
-				return nil, fmt.Errorf("quant: literal stream exhausted at value %d", i)
+				return fmt.Errorf("quant: literal stream exhausted at value %d", i)
 			}
 			out[i] = e.Literals[li]
 			li++
@@ -139,9 +152,9 @@ func (e *Encoded) Decode() ([]float64, error) {
 		out[i] = -half + (float64(c)+0.5)*twoP
 	}
 	if li != len(e.Literals) {
-		return nil, fmt.Errorf("quant: %d unused literals", len(e.Literals)-li)
+		return fmt.Errorf("quant: %d unused literals", len(e.Literals)-li)
 	}
-	return out, nil
+	return nil
 }
 
 // OutOfRange returns the number of escaped (literal) values.

@@ -69,6 +69,43 @@ func PutFloats(s []float64) {
 	floatPools[cl].Put(s[:0:c])
 }
 
+var bytePools [maxClass + 1]sync.Pool
+
+// Bytes returns a []byte of length n from the pool, mirroring Floats for
+// the inflate scratch on the decode path. Contents are arbitrary; the
+// caller must overwrite before reading. Return it with PutBytes when done.
+func Bytes(n int) []byte {
+	if n < 0 {
+		panic("scratch: negative length")
+	}
+	c := class(n)
+	if c > maxClass {
+		return make([]byte, n)
+	}
+	if v := bytePools[c].Get(); v != nil {
+		return v.([]byte)[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// PutBytes returns a slice obtained from Bytes to the pool. Like
+// PutFloats, any slice whose capacity fully serves a size class is
+// accepted. Callers must guarantee nothing else aliases the slice.
+func PutBytes(s []byte) {
+	c := cap(s)
+	if c < 1<<minClass || c > 1<<maxClass {
+		return
+	}
+	cl := bits.Len(uint(c)) - 1
+	if cl < minClass {
+		return
+	}
+	if cl > maxClass {
+		cl = maxClass
+	}
+	bytePools[cl].Put(s[:0:c])
+}
+
 // ZeroedFloats returns a pooled slice of n zeros.
 func ZeroedFloats(n int) []float64 {
 	//dpzlint:ignore scratchpair ownership transfers to the caller, who releases via PutFloats

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/maphash"
+	"strings"
+
+	"sync"
+
+	"dpz/internal/metrics"
+)
+
+// respCache is the daemon's bounded response cache for the read-only
+// decode endpoints (/v1/preview, /v1/query, /v1/stat). Entries are keyed
+// by a content hash of the request stream plus the canonical request
+// parameters, so two uploads of the same bytes share one cached decode.
+//
+// Properties:
+//
+//   - Deterministic LRU: a fixed request sequence produces a fixed
+//     hit/miss/eviction sequence regardless of timing — eviction order
+//     depends only on access order, never on clocks or goroutine
+//     scheduling.
+//   - Bounded: at most maxEntries responses and maxBytes of body bytes;
+//     a single response larger than maxBytes/4 is never admitted (one
+//     giant preview must not wipe the whole cache).
+//   - Singleflight: concurrent identical misses collapse onto one
+//     compute; followers wait for the leader and are served its bytes.
+//     A leader failure is never shared — followers retry on their own,
+//     so a transient error poisons nobody else's request.
+//
+// The ETag for a response derives from its cache key under a per-process
+// maphash seed: strong within one daemon lifetime (identical key ⇔
+// identical deterministic response), but not comparable across restarts —
+// a restarted daemon simply recomputes instead of answering 304.
+type respCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	lru        *list.List // front = most recently used; values are *cacheEntry
+	entries    map[cacheKey]*list.Element
+	inflight   map[cacheKey]*flight
+	seed       maphash.Seed
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	evictions *metrics.Counter
+}
+
+// cacheKey identifies one cacheable response: which endpoint, which
+// canonical parameter variant, and the request body's content hash plus
+// length (the length guards against the astronomically unlikely hash
+// collision changing a response size class).
+type cacheKey struct {
+	endpoint string
+	variant  string
+	sum      uint64
+	n        int
+}
+
+// cacheEntry is one cached response. body and header are immutable after
+// insertion; hits serve them without copying.
+type cacheEntry struct {
+	key    cacheKey
+	body   []byte
+	header map[string]string
+	size   int64
+}
+
+// flight tracks one in-progress compute for singleflight collapsing. ent
+// is written exactly once, before done is closed; followers read it only
+// after <-done.
+type flight struct {
+	done chan struct{}
+	ent  *cacheEntry // nil when the leader failed; followers retry
+}
+
+const (
+	defaultCacheEntries = 256
+	defaultCacheBytes   = 256 << 20
+)
+
+func newRespCache(maxEntries int, maxBytes int64, reg *metrics.Registry) *respCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheEntries
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultCacheBytes
+	}
+	return &respCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		lru:        list.New(),
+		entries:    make(map[cacheKey]*list.Element),
+		inflight:   make(map[cacheKey]*flight),
+		seed:       maphash.MakeSeed(),
+		hits:       reg.Counter("dpzd_cache_hits_total", "responses served from the preview/query/stat cache"),
+		misses:     reg.Counter("dpzd_cache_misses_total", "cacheable requests that had to compute"),
+		evictions:  reg.Counter("dpzd_cache_evictions_total", "cached responses dropped by the LRU bound"),
+	}
+}
+
+// keyFor builds the cache key for a request: endpoint, canonical variant
+// string, and the body's content hash.
+func (c *respCache) keyFor(endpoint, variant string, body []byte) cacheKey {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	_, _ = h.Write(body)
+	return cacheKey{endpoint: endpoint, variant: variant, sum: h.Sum64(), n: len(body)}
+}
+
+// etagFor derives the strong entity tag for a key. Identical keys map to
+// identical deterministic responses, so the key itself is a valid
+// validator — no decode needed to answer If-None-Match.
+func (c *respCache) etagFor(key cacheKey) string {
+	var h maphash.Hash
+	h.SetSeed(c.seed)
+	_, _ = h.WriteString(key.endpoint)
+	_ = h.WriteByte(0)
+	_, _ = h.WriteString(key.variant)
+	_ = h.WriteByte(0)
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(key.sum >> (8 * i))
+		buf[8+i] = byte(uint64(key.n) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return fmt.Sprintf("%q", fmt.Sprintf("dpz-%016x%016x", key.sum, h.Sum64()))
+}
+
+// etagMatches reports whether an If-None-Match header value matches etag.
+// Strong comparison only; "*" matches anything per RFC 9110.
+func etagMatches(ifNoneMatch, etag string) bool {
+	for _, cand := range strings.Split(ifNoneMatch, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire resolves a key to one of three outcomes:
+//
+//	ent != nil            — cache hit; serve ent.
+//	leader == true        — caller must compute, then call finish exactly once.
+//	ent == nil, !leader   — another request is computing; wait on fl.done,
+//	                        then read fl.ent (retry acquire when it is nil).
+func (c *respCache) acquire(key cacheKey) (ent *cacheEntry, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry), nil, false
+	}
+	if fl, ok := c.inflight[key]; ok {
+		return nil, fl, false
+	}
+	c.misses.Add(1)
+	fl = &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	return nil, fl, true
+}
+
+// finish resolves a leader's flight: a non-nil entry is published to the
+// LRU and handed to every waiting follower; nil wakes the followers to
+// retry on their own (errors are never shared).
+func (c *respCache) finish(key cacheKey, fl *flight, ent *cacheEntry) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if ent != nil {
+		c.insertLocked(ent)
+	}
+	c.mu.Unlock()
+	fl.ent = ent // write precedes close; followers read only after <-done
+	close(fl.done)
+}
+
+// recordHit counts a request served from cached bytes outside acquire
+// (singleflight followers, 304 validator answers).
+func (c *respCache) recordHit() { c.hits.Add(1) }
+
+func (c *respCache) insertLocked(ent *cacheEntry) {
+	if ent.size > c.maxBytes/4 {
+		return // never let one response displace most of the cache
+	}
+	if el, ok := c.entries[ent.key]; ok {
+		// A concurrent leader for the same key can only have produced the
+		// same deterministic response; keep the resident copy.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[ent.key] = c.lru.PushFront(ent)
+	c.bytes += ent.size
+	for c.lru.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.size
+		c.evictions.Add(1)
+	}
+}
+
+// entryFor wraps a successful jobOutput as a cache entry. The header map
+// is copied: the entry must stay immutable even if the caller mutates the
+// original while writing its own response.
+func entryFor(key cacheKey, out jobOutput) *cacheEntry {
+	hdr := make(map[string]string, len(out.header))
+	size := int64(len(out.body))
+	for k, v := range out.header {
+		hdr[k] = v
+		size += int64(len(k) + len(v))
+	}
+	return &cacheEntry{key: key, body: out.body, header: hdr, size: size}
+}
+
+// stats reports the current entry count and byte total (tests, /metrics).
+func (c *respCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.bytes
+}

@@ -1,0 +1,507 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dpz"
+	"dpz/internal/metrics"
+)
+
+// cacheTestStream compresses a small field and returns the stream plus
+// the library-side preview reference bytes for each rank in ranks.
+func cacheTestStream(t *testing.T, ranks ...int) ([]byte, map[int][]byte) {
+	t.Helper()
+	raw, _ := testField(24, 40)
+	vals := make([]float32, len(raw)/4)
+	for i := range vals {
+		vals[i] = bytesToFloat32(raw[4*i:])
+	}
+	opts, err := dpz.OptionSpec{TVENines: 3, Workers: 2}.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dpz.CompressContext(context.Background(), vals, []int{24, 40}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make(map[int][]byte, len(ranks))
+	for _, r := range ranks {
+		prev, _, _, err := dpz.DecompressRanksFloat64(res.Data, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := make([]byte, 4*len(prev))
+		for i, v := range prev {
+			float32ToBytes(b[4*i:], float32(v))
+		}
+		refs[r] = b
+	}
+	return res.Data, refs
+}
+
+func counterValue(t *testing.T, reg *metrics.Registry, name string) uint64 {
+	t.Helper()
+	return reg.Counter(name, "").Value()
+}
+
+// TestPreviewCacheHitMissBypass covers the X-Dpz-Cache contract: the
+// first request computes ("miss"), an identical repeat is served from the
+// cache ("hit") with byte-identical payload and headers, and a daemon
+// with caching disabled labels everything "bypass".
+func TestPreviewCacheHitMissBypass(t *testing.T) {
+	stream, refs := cacheTestStream(t, 1)
+	srv := New(Config{Jobs: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := post(t, ts.URL+"/v1/preview?ranks=1", stream)
+	if first.code != http.StatusOK {
+		t.Fatalf("first preview: %d %s", first.code, first.body)
+	}
+	if got := first.header.Get("X-Dpz-Cache"); got != "miss" {
+		t.Fatalf("first preview X-Dpz-Cache = %q, want miss", got)
+	}
+	if first.header.Get("ETag") == "" {
+		t.Fatal("first preview carries no ETag")
+	}
+	if !bytes.Equal(first.body, refs[1]) {
+		t.Fatal("first preview differs from library reference")
+	}
+
+	second := post(t, ts.URL+"/v1/preview?ranks=1", stream)
+	if got := second.header.Get("X-Dpz-Cache"); got != "hit" {
+		t.Fatalf("second preview X-Dpz-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(second.body, first.body) {
+		t.Fatal("cached preview differs from computed preview")
+	}
+	if second.header.Get("ETag") != first.header.Get("ETag") {
+		t.Fatal("cached preview changed the ETag")
+	}
+	for _, h := range []string{"X-Dpz-Dims", "X-Dpz-Ranks-Used", "X-Dpz-K"} {
+		if second.header.Get(h) != first.header.Get(h) {
+			t.Fatalf("cached preview changed header %s: %q vs %q",
+				h, second.header.Get(h), first.header.Get(h))
+		}
+	}
+	reg := srv.Metrics()
+	if hits := counterValue(t, reg, "dpzd_cache_hits_total"); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if misses := counterValue(t, reg, "dpzd_cache_misses_total"); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+
+	// A different rank is a different key: miss, different ETag.
+	third := post(t, ts.URL+"/v1/preview?ranks=2", stream)
+	if got := third.header.Get("X-Dpz-Cache"); got != "miss" {
+		t.Fatalf("ranks=2 X-Dpz-Cache = %q, want miss", got)
+	}
+	if third.header.Get("ETag") == first.header.Get("ETag") {
+		t.Fatal("distinct ranks share an ETag")
+	}
+
+	// Caching disabled: every response is a bypass, no ETag.
+	off := New(Config{Jobs: 2, CacheEntries: -1})
+	defer off.Drain(context.Background())
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	for i := 0; i < 2; i++ {
+		r := post(t, tsOff.URL+"/v1/preview?ranks=1", stream)
+		if got := r.header.Get("X-Dpz-Cache"); got != "bypass" {
+			t.Fatalf("disabled-cache X-Dpz-Cache = %q, want bypass", got)
+		}
+		if r.header.Get("ETag") != "" {
+			t.Fatal("disabled cache still issues ETags")
+		}
+		if !bytes.Equal(r.body, refs[1]) {
+			t.Fatal("bypass preview differs from library reference")
+		}
+	}
+}
+
+// TestQueryAndStatCached pins caching on the JSON endpoints: identical
+// repeats hit, the JSON payload is byte-identical, and a failing query
+// (stream without an index is 422) is never cached.
+func TestQueryAndStatCached(t *testing.T) {
+	stream, _ := cacheTestStream(t)
+	srv := New(Config{Jobs: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, url := range []string{ts.URL + "/v1/stat", ts.URL + "/v1/query?pred=max%3E-1e30"} {
+		first := post(t, url, stream)
+		if first.code != http.StatusOK {
+			t.Fatalf("%s: %d %s", url, first.code, first.body)
+		}
+		if got := first.header.Get("X-Dpz-Cache"); got != "miss" {
+			t.Fatalf("%s first X-Dpz-Cache = %q, want miss", url, got)
+		}
+		if ct := first.header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s Content-Type = %q", url, ct)
+		}
+		second := post(t, url, stream)
+		if got := second.header.Get("X-Dpz-Cache"); got != "hit" {
+			t.Fatalf("%s second X-Dpz-Cache = %q, want hit", url, got)
+		}
+		if !bytes.Equal(second.body, first.body) {
+			t.Fatalf("%s cached body differs", url)
+		}
+	}
+
+	// Errors are not cached: a bogus stream 400s every time and the miss
+	// counter advances on each attempt.
+	reg := srv.Metrics()
+	missesBefore := counterValue(t, reg, "dpzd_cache_misses_total")
+	for i := 0; i < 2; i++ {
+		r := post(t, ts.URL+"/v1/stat", []byte("not a dpz stream"))
+		if r.code != http.StatusBadRequest {
+			t.Fatalf("bogus stat: %d", r.code)
+		}
+		if r.header.Get("X-Dpz-Cache") != "" {
+			t.Fatal("error response carries X-Dpz-Cache")
+		}
+	}
+	if got := counterValue(t, reg, "dpzd_cache_misses_total"); got != missesBefore+2 {
+		t.Fatalf("failed computes cached: misses %d → %d", missesBefore, got)
+	}
+}
+
+// TestCacheHitBypassesScheduler proves a cache hit never touches the job
+// scheduler: after the first preview computes, repeats run zero jobs even
+// when the worker pool is wedged solid.
+func TestCacheHitBypassesScheduler(t *testing.T) {
+	stream, _ := cacheTestStream(t)
+	srv := New(Config{Jobs: 1, QueueDepth: -1})
+	var jobs int32
+	var mu sync.Mutex
+	block := make(chan struct{})
+	srv.testJobStart = func(route string, _ context.Context) {
+		mu.Lock()
+		jobs++
+		mu.Unlock()
+		if route == "compress" {
+			<-block
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	warm := post(t, ts.URL+"/v1/preview?ranks=1", stream)
+	if warm.code != http.StatusOK {
+		t.Fatalf("warming preview: %d %s", warm.code, warm.body)
+	}
+
+	// Wedge the only worker with a compress job.
+	raw, _ := testField(8, 8)
+	wedged := make(chan resp, 1)
+	go func() {
+		r, _ := postE(ts.URL+"/v1/compress?dims=8x8", raw)
+		wedged <- r
+	}()
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return jobs == 2 })
+
+	// The scheduler is saturated; a fresh preview of a new key would shed
+	// with 429, but the cached one must answer 200 from the handler.
+	hit := post(t, ts.URL+"/v1/preview?ranks=1", stream)
+	if hit.code != http.StatusOK || hit.header.Get("X-Dpz-Cache") != "hit" {
+		t.Fatalf("cached preview under saturation: %d, X-Dpz-Cache=%q",
+			hit.code, hit.header.Get("X-Dpz-Cache"))
+	}
+	if !bytes.Equal(hit.body, warm.body) {
+		t.Fatal("cached preview differs under saturation")
+	}
+	mu.Lock()
+	if jobs != 2 {
+		mu.Unlock()
+		t.Fatalf("cache hit dispatched a job: %d jobs", jobs)
+	}
+	mu.Unlock()
+
+	close(block)
+	<-wedged
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheSingleflightCollapse floods one cold key with concurrent
+// identical requests: exactly one compute runs, every response is
+// byte-identical, and the followers count as hits.
+func TestCacheSingleflightCollapse(t *testing.T) {
+	stream, refs := cacheTestStream(t, 1)
+	const clients = 8
+	srv := New(Config{Jobs: 4})
+	var jobs int32
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	srv.testJobStart = func(string, context.Context) {
+		mu.Lock()
+		jobs++
+		mu.Unlock()
+		<-gate // hold the leader until every follower is waiting on it
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	results := make(chan resp, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			r, err := postE(ts.URL+"/v1/preview?ranks=1", stream)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- r
+		}()
+	}
+	// All clients in flight (leader in the pool, followers parked on the
+	// flight channel), then release the one compute.
+	waitFor(t, func() bool { return srv.inFlight.Value() == clients })
+	close(gate)
+
+	var hits, misses int
+	for i := 0; i < clients; i++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case r := <-results:
+			if r.code != http.StatusOK {
+				t.Fatalf("collapsed request: %d %s", r.code, r.body)
+			}
+			if !bytes.Equal(r.body, refs[1]) {
+				t.Fatal("collapsed response differs from reference")
+			}
+			switch r.header.Get("X-Dpz-Cache") {
+			case "hit":
+				hits++
+			case "miss":
+				misses++
+			default:
+				t.Fatalf("X-Dpz-Cache = %q", r.header.Get("X-Dpz-Cache"))
+			}
+		}
+	}
+	mu.Lock()
+	ran := jobs
+	mu.Unlock()
+	if ran != 1 {
+		t.Fatalf("singleflight ran %d computes, want 1", ran)
+	}
+	if misses != 1 || hits != clients-1 {
+		t.Fatalf("collapse: %d misses, %d hits; want 1 and %d", misses, hits, clients-1)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheConcurrentMixedRanks hammers one stream at several ranks from
+// many goroutines and checks every response against the library's
+// DecompressRanks bytes for that rank — no cross-key bleed, cached or
+// not. Run under -race this is the cache's data-race soak.
+func TestCacheConcurrentMixedRanks(t *testing.T) {
+	ranks := []int{1, 2, 3}
+	stream, refs := cacheTestStream(t, ranks...)
+	srv := New(Config{Jobs: 4})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const workers, perWorker = 8, 12
+	errs := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rank := ranks[(w+i)%len(ranks)]
+				r, err := postE(fmt.Sprintf("%s/v1/preview?ranks=%d", ts.URL, rank), stream)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if r.code != http.StatusOK {
+					errs <- fmt.Errorf("rank %d: status %d", rank, r.code)
+					continue
+				}
+				if !bytes.Equal(r.body, refs[rank]) {
+					errs <- fmt.Errorf("rank %d: response bytes differ from library reference (cache=%s)",
+						rank, r.header.Get("X-Dpz-Cache"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	reg := srv.Metrics()
+	hits := counterValue(t, reg, "dpzd_cache_hits_total")
+	misses := counterValue(t, reg, "dpzd_cache_misses_total")
+	if hits+misses != workers*perWorker {
+		t.Fatalf("hits %d + misses %d != %d requests", hits, misses, workers*perWorker)
+	}
+	if misses < uint64(len(ranks)) {
+		t.Fatalf("misses = %d, want at least one per rank (%d)", misses, len(ranks))
+	}
+}
+
+// TestCacheETagRevalidation covers the conditional-request path: a
+// repeat carrying If-None-Match answers 304 with no body and no job, and
+// a stale validator gets a full 200.
+func TestCacheETagRevalidation(t *testing.T) {
+	stream, _ := cacheTestStream(t)
+	srv := New(Config{Jobs: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	first := post(t, ts.URL+"/v1/preview?ranks=1", stream)
+	etag := first.header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on preview")
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/preview?ranks=1", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp304, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp304.Body)
+	resp304.Body.Close()
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: %d, want 304", resp304.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	if got := resp304.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+	if got := resp304.Header.Get("X-Dpz-Cache"); got != "hit" {
+		t.Fatalf("304 X-Dpz-Cache = %q, want hit", got)
+	}
+
+	// A stale validator (different rank's ETag) must get the full body.
+	other := post(t, ts.URL+"/v1/preview?ranks=2", stream)
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/preview?ranks=1", bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", other.header.Get("ETag"))
+	respFull, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBody, _ := io.ReadAll(respFull.Body)
+	respFull.Body.Close()
+	if respFull.StatusCode != http.StatusOK {
+		t.Fatalf("stale validator: %d, want 200", respFull.StatusCode)
+	}
+	if !bytes.Equal(fullBody, first.body) {
+		t.Fatal("stale-validator response differs from original")
+	}
+}
+
+// TestCacheEvictionDeterminism drives a 2-entry cache through a fixed
+// access sequence and checks the exact LRU hit/miss/eviction trace — no
+// timing, no randomness.
+func TestCacheEvictionDeterminism(t *testing.T) {
+	stream, _ := cacheTestStream(t)
+	srv := New(Config{Jobs: 2, CacheEntries: 2})
+	defer srv.Drain(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(rank int) string {
+		r := post(t, fmt.Sprintf("%s/v1/preview?ranks=%d", ts.URL, rank), stream)
+		if r.code != http.StatusOK {
+			t.Fatalf("ranks=%d: %d %s", rank, r.code, r.body)
+		}
+		return r.header.Get("X-Dpz-Cache")
+	}
+
+	// Access trace with capacity 2. LRU state shown front-first.
+	steps := []struct {
+		rank int
+		want string
+	}{
+		{1, "miss"}, // [1]
+		{2, "miss"}, // [2 1]
+		{1, "hit"},  // [1 2]
+		{3, "miss"}, // [3 1], evicts 2
+		{2, "miss"}, // [2 3], evicts 1
+		{3, "hit"},  // [3 2]
+		{1, "miss"}, // [1 3], evicts 2
+	}
+	for i, s := range steps {
+		if got := get(s.rank); got != s.want {
+			t.Fatalf("step %d (ranks=%d): X-Dpz-Cache = %q, want %q", i, s.rank, got, s.want)
+		}
+	}
+	if ev := counterValue(t, srv.Metrics(), "dpzd_cache_evictions_total"); ev != 3 {
+		t.Fatalf("evictions = %d, want 3", ev)
+	}
+	if entries, _ := srv.respCache.stats(); entries != 2 {
+		t.Fatalf("resident entries = %d, want 2", entries)
+	}
+}
+
+// TestCacheRejectsOversizedEntry checks the admission guard directly: a
+// response bigger than a quarter of the byte bound never displaces the
+// cache.
+func TestCacheRejectsOversizedEntry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := newRespCache(8, 100, reg)
+	small := c.keyFor("preview", "ranks=1", []byte("small"))
+	_, fl, leader := c.acquire(small)
+	if !leader {
+		t.Fatal("expected leadership on a cold key")
+	}
+	c.finish(small, fl, entryFor(small, jobOutput{body: make([]byte, 10)}))
+
+	big := c.keyFor("preview", "ranks=2", []byte("big"))
+	_, fl, leader = c.acquire(big)
+	if !leader {
+		t.Fatal("expected leadership on the big key")
+	}
+	c.finish(big, fl, entryFor(big, jobOutput{body: make([]byte, 26)})) // > 100/4
+
+	entries, bytesHeld := c.stats()
+	if entries != 1 || bytesHeld != 10 {
+		t.Fatalf("cache holds %d entries / %d bytes, want the small entry only", entries, bytesHeld)
+	}
+	if ent, _, _ := c.acquire(small); ent == nil {
+		t.Fatal("small entry was displaced by the rejected oversized one")
+	}
+}
+
+// waitFor polls cond until it holds or a deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -108,6 +108,13 @@ func runChaosSeed(t *testing.T, seed uint64, raw []byte, dims []int, refStream, 
 			Seed:          seed,
 		},
 		HedgeDelay: 5 * time.Millisecond,
+		// Conditional requests under the storm: repeated previews/queries
+		// revalidate with If-None-Match and replay 304 answers; the
+		// byte-identity assertions below then cover the server's response
+		// cache AND the client's validator replay (the daemon caches by
+		// default, so hit, miss and 304 paths all serve the same bytes the
+		// library computes uncached).
+		Validators: 32,
 	}
 
 	// Mixed client traffic: concurrent compress and decompress calls,

@@ -32,6 +32,15 @@
 // off in step with actual congestion. Cancelled or timed-out requests
 // stop compressing at the next pipeline checkpoint.
 //
+// Response caching: /v1/preview, /v1/query and /v1/stat are read-only and
+// deterministic, so their responses are cached in a bounded LRU keyed by
+// the stream's content hash plus the canonical request parameters. Hits
+// are served from the handler goroutine without touching the job
+// scheduler, concurrent identical misses collapse onto one compute
+// (singleflight), every response carries a strong ETag (If-None-Match
+// answers 304 with no decode at all), and the X-Dpz-Cache header reports
+// hit, miss or bypass. See SERVER.md for keying and bound details.
+//
 // Fault isolation: a panic anywhere in a request — handler or worker
 // pool — is recovered, answered with a 500, and counted in
 // dpzd_panics_total; one poisoned request never takes down the daemon.
@@ -80,6 +89,13 @@ type Config struct {
 	// default of 64 entries; negative disables the shared cache (such
 	// requests then fall back to per-request reuse for tiled bodies).
 	BasisCacheEntries int
+	// CacheEntries bounds the response cache shared by /v1/preview,
+	// /v1/query and /v1/stat. 0 means the default of 256 entries;
+	// negative disables response caching (every request computes).
+	CacheEntries int
+	// CacheBytes bounds the response cache's total body bytes. 0 means
+	// the default of 256 MiB.
+	CacheBytes int64
 }
 
 func (c Config) jobs() int {
@@ -147,7 +163,11 @@ type Server struct {
 	// Cross-request reuse makes a response depend on cache history (the
 	// quality guard still enforces the TVE target); within one tiled
 	// request the output stays byte-identical for every worker count.
-	basisCache   *dpz.BasisCache
+	basisCache *dpz.BasisCache
+	// respCache is the bounded LRU response cache for the read-only decode
+	// endpoints; nil when disabled by config. Hits are served straight from
+	// the handler goroutine and never touch the job scheduler.
+	respCache    *respCache
 	basisAccept  *metrics.Counter
 	basisRefine  *metrics.Counter
 	basisCold    *metrics.Counter
@@ -193,6 +213,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.BasisCacheEntries >= 0 {
 		s.basisCache = dpz.NewBasisCache(cfg.BasisCacheEntries)
+	}
+	if cfg.CacheEntries >= 0 {
+		s.respCache = newRespCache(cfg.CacheEntries, cfg.CacheBytes, reg)
 	}
 	s.routes()
 	return s
@@ -438,39 +461,48 @@ func (s *Server) retryAfterSeconds() int {
 	return min(max(secs, 1), 60)
 }
 
-// runJob admits the request, reads its body, executes fn on the worker
-// pool under the request deadline, and writes the result. It is the
-// single request-lifecycle path shared by the compress and decompress
-// handlers.
-func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
-	fn func(ctx context.Context, body []byte) jobOutput) {
+// admitJob acquires an admission slot, answering 429 with a Retry-After
+// hint when the server is saturated. On success the caller must invoke the
+// returned release exactly once.
+func (s *Server) admitJob(w http.ResponseWriter) (release func(), ok bool) {
 	if err := s.sched.admit(); err != nil {
 		s.shed.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
-		return
+		return nil, false
 	}
 	s.queueDepth.Set(int64(s.sched.queued()))
-	defer func() {
+	return func() {
 		s.sched.release()
 		s.queueDepth.Set(int64(s.sched.queued()))
-	}()
+	}, true
+}
 
+// readBody drains the request body under the configured cap, mapping
+// failures to HTTP errors and recording the per-route body-size histogram.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, route string) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit),
 				http.StatusRequestEntityTooLarge)
-			return
+			return nil, false
 		}
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil, false
 	}
 	s.reg.Histogram(fmt.Sprintf(`dpzd_request_bytes{route=%q}`, route),
 		"request body size in bytes", metrics.SizeBuckets).
 		Observe(float64(len(body)))
+	return body, true
+}
 
+// execJob runs fn on the worker pool under the request deadline and maps
+// cancellation, panics and job errors to HTTP errors. The caller must
+// already hold an admission slot.
+func (s *Server) execJob(w http.ResponseWriter, r *http.Request, route string,
+	body []byte, fn func(ctx context.Context, body []byte) jobOutput) (jobOutput, bool) {
 	ctx := r.Context()
 	if d := s.cfg.timeout(); d > 0 {
 		var cancel context.CancelFunc
@@ -509,22 +541,138 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
 		s.canceled.Inc()
 		http.Error(w, "request cancelled or timed out: "+ctx.Err().Error(),
 			http.StatusServiceUnavailable)
-		return
+		return jobOutput{}, false
 	}
 	if out.panicked {
 		http.Error(w, out.err.Error(), http.StatusInternalServerError)
-		return
+		return jobOutput{}, false
 	}
 	if out.err != nil {
 		http.Error(w, out.err.Error(), http.StatusBadRequest)
+		return jobOutput{}, false
+	}
+	return out, true
+}
+
+// writeResponse emits a successful jobOutput. cacheState, when non-empty,
+// becomes the X-Dpz-Cache header; etag, when non-empty, the ETag. A
+// Content-Type in out.header overrides the octet-stream default.
+func writeResponse(w http.ResponseWriter, out jobOutput, cacheState, etag string) {
+	hdr := w.Header()
+	ct := "application/octet-stream"
+	for k, v := range out.header {
+		if k == "Content-Type" {
+			ct = v
+			continue
+		}
+		hdr.Set(k, v)
+	}
+	hdr.Set("Content-Type", ct)
+	if etag != "" {
+		hdr.Set("ETag", etag)
+	}
+	if cacheState != "" {
+		hdr.Set("X-Dpz-Cache", cacheState)
+	}
+	hdr.Set("Content-Length", strconv.Itoa(len(out.body)))
+	_, _ = w.Write(out.body)
+}
+
+// runJob admits the request, reads its body, executes fn on the worker
+// pool under the request deadline, and writes the result. It is the
+// request-lifecycle path of the compress and decompress handlers, which
+// admit before reading the body so a saturated server sheds load without
+// buffering uploads.
+func (s *Server) runJob(w http.ResponseWriter, r *http.Request, route string,
+	fn func(ctx context.Context, body []byte) jobOutput) {
+	release, ok := s.admitJob(w)
+	if !ok {
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	for k, v := range out.header {
-		w.Header().Set(k, v)
+	defer release()
+	body, ok := s.readBody(w, r, route)
+	if !ok {
+		return
 	}
-	w.Header().Set("Content-Length", strconv.Itoa(len(out.body)))
-	_, _ = w.Write(out.body)
+	out, ok := s.execJob(w, r, route, body, fn)
+	if !ok {
+		return
+	}
+	writeResponse(w, out, "", "")
+}
+
+// serveCached is the request path of the read-only decode endpoints. It
+// consults the response cache (hits bypass the job scheduler entirely and
+// answer matching If-None-Match validators with an empty 304), collapses
+// concurrent identical misses onto one compute, and labels every response
+// with X-Dpz-Cache: hit, miss or bypass.
+//
+// compute runs only on a miss; on failure it must have written its own
+// HTTP error and returned ok=false — failed computes are never cached and
+// never shared with collapsed followers.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request,
+	endpoint, variant string, body []byte, compute func() (jobOutput, bool)) {
+	c := s.respCache
+	if c == nil {
+		if out, ok := compute(); ok {
+			writeResponse(w, out, "bypass", "")
+		}
+		return
+	}
+	key := c.keyFor(endpoint, variant, body)
+	etag := c.etagFor(key)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		// The validator is the cache key: an identical key reproduces the
+		// response the client already holds, byte for byte, so the 304
+		// needs no decode — and not even a resident cache entry.
+		c.recordHit()
+		w.Header().Set("ETag", etag)
+		w.Header().Set("X-Dpz-Cache", "hit")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	for {
+		ent, fl, leader := c.acquire(key)
+		switch {
+		case ent != nil:
+			writeResponse(w, jobOutput{body: ent.body, header: ent.header}, "hit", etag)
+			return
+		case !leader:
+			select {
+			case <-fl.done:
+			case <-r.Context().Done():
+				s.canceled.Inc()
+				http.Error(w, "request cancelled or timed out: "+r.Context().Err().Error(),
+					http.StatusServiceUnavailable)
+				return
+			}
+			if fl.ent != nil {
+				c.recordHit()
+				writeResponse(w, jobOutput{body: fl.ent.body, header: fl.ent.header}, "hit", etag)
+				return
+			}
+			// The leader failed; its error is its own. Retry — this request
+			// likely becomes the next leader.
+		default:
+			var (
+				out jobOutput
+				ok  bool
+			)
+			func() {
+				// finish must run even if compute panics, or every follower
+				// of this key would block forever.
+				var ent *cacheEntry
+				defer func() { c.finish(key, fl, ent) }()
+				if out, ok = compute(); ok {
+					ent = entryFor(key, out)
+				}
+			}()
+			if ok {
+				writeResponse(w, out, "miss", etag)
+			}
+			return
+		}
+	}
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
@@ -644,6 +792,11 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 // of a deep stream costs a fraction of a full decompress. The X-Dpz-Tve
 // header reports the variance fraction the preview actually captured,
 // read from the stream's retrieval index — no extra decode work.
+//
+// Responses are cached by (stream content hash, ranks): decode bits are
+// worker-independent, so the workers knob does not key the cache. Unlike
+// compress/decompress the body is read before admission — the cache key
+// needs the bytes, and a hit must not consume a scheduler slot.
 func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 	ranks, err := reqInt(r, "ranks", 0)
 	if err != nil {
@@ -655,30 +808,41 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.runJob(w, r, "preview", func(ctx context.Context, body []byte) jobOutput {
-		data, dims, used, err := dpz.DecompressRanksContext(ctx, body, ranks, workers)
-		if err != nil {
-			return jobOutput{err: err}
+	body, ok := s.readBody(w, r, "preview")
+	if !ok {
+		return
+	}
+	s.serveCached(w, r, "preview", fmt.Sprintf("ranks=%d", ranks), body, func() (jobOutput, bool) {
+		release, ok := s.admitJob(w)
+		if !ok {
+			return jobOutput{}, false
 		}
-		s.previewRanks.Observe(float64(used))
-		hdr := map[string]string{
-			"X-Dpz-Dims":       dimsString(dims),
-			"X-Dpz-Ranks-Used": strconv.Itoa(used),
-		}
-		if info, err := dpz.Stat(body); err == nil {
-			hdr["X-Dpz-K"] = strconv.Itoa(info.Components)
-			if used >= info.Components {
-				s.previewFull.Inc()
+		defer release()
+		return s.execJob(w, r, "preview", body, func(ctx context.Context, body []byte) jobOutput {
+			data, dims, used, err := dpz.DecompressRanksContext(ctx, body, ranks, workers)
+			if err != nil {
+				return jobOutput{err: err}
 			}
-			if used >= 1 && len(info.RankCumulativeEnergy) >= used {
-				hdr["X-Dpz-Tve"] = fmt.Sprintf("%.8f", info.RankCumulativeEnergy[used-1])
+			s.previewRanks.Observe(float64(used))
+			hdr := map[string]string{
+				"X-Dpz-Dims":       dimsString(dims),
+				"X-Dpz-Ranks-Used": strconv.Itoa(used),
 			}
-		}
-		out := make([]byte, 4*len(data))
-		for i, v := range data {
-			float32ToBytes(out[4*i:], float32(v))
-		}
-		return jobOutput{body: out, header: hdr}
+			if info, err := dpz.Stat(body); err == nil {
+				hdr["X-Dpz-K"] = strconv.Itoa(info.Components)
+				if used >= info.Components {
+					s.previewFull.Inc()
+				}
+				if used >= 1 && len(info.RankCumulativeEnergy) >= used {
+					hdr["X-Dpz-Tve"] = fmt.Sprintf("%.8f", info.RankCumulativeEnergy[used-1])
+				}
+			}
+			out := make([]byte, 4*len(data))
+			for i, v := range data {
+				float32ToBytes(out[4*i:], float32(v))
+			}
+			return jobOutput{body: out, header: hdr}
+		})
 	})
 }
 
@@ -696,32 +860,8 @@ type queryResponse struct {
 // usable index get a 422: the query is well-formed but this stream cannot
 // answer it — clients fall back to a full decompress.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
-	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	var ix *dpz.Index
-	if bytes.HasPrefix(body, []byte("DPZA")) {
-		tr, err := dpz.OpenTiled(bytes.NewReader(body), int64(len(body)))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		ix, err = tr.Index()
-		if err != nil {
-			s.queryIndexError(w, err)
-			return
-		}
-	} else {
-		ix, err = dpz.ReadIndex(body)
-		if err != nil {
-			s.queryIndexError(w, err)
-			return
-		}
-	}
-
-	resp := queryResponse{Tiles: len(ix.Tiles), Aggregate: ix.Aggregate()}
+	// Parameters parse (and fail) before the cache is consulted, so a
+	// malformed query never occupies a key.
 	predStrs := r.URL.Query()["pred"]
 	if v := r.Header.Get("X-Dpz-Pred"); v != "" && len(predStrs) == 0 {
 		predStrs = []string{v}
@@ -736,36 +876,75 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	switch {
-	case len(predStrs) > 0 && similarTo >= 0:
+	if len(predStrs) > 0 && similarTo >= 0 {
 		http.Error(w, "pred and similar-to are mutually exclusive", http.StatusBadRequest)
 		return
-	case len(predStrs) > 0:
-		preds := make([]dpz.Predicate, len(predStrs))
-		for i, ps := range predStrs {
-			if preds[i], err = dpz.ParsePredicate(ps); err != nil {
+	}
+	preds := make([]dpz.Predicate, len(predStrs))
+	for i, ps := range predStrs {
+		if preds[i], err = dpz.ParsePredicate(ps); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	body, ok := s.readBody(w, r, "query")
+	if !ok {
+		return
+	}
+	// The textual predicates key the cache: textually distinct but
+	// equivalent predicates compute twice, which costs duplication, never
+	// correctness.
+	variant := fmt.Sprintf("pred=%s|similar-to=%d|k=%d", strings.Join(predStrs, "&&"), similarTo, k)
+	s.serveCached(w, r, "query", variant, body, func() (jobOutput, bool) {
+		var ix *dpz.Index
+		if bytes.HasPrefix(body, []byte("DPZA")) {
+			tr, err := dpz.OpenTiled(bytes.NewReader(body), int64(len(body)))
+			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
+				return jobOutput{}, false
+			}
+			ix, err = tr.Index()
+			if err != nil {
+				s.queryIndexError(w, err)
+				return jobOutput{}, false
+			}
+		} else {
+			var err error
+			ix, err = dpz.ReadIndex(body)
+			if err != nil {
+				s.queryIndexError(w, err)
+				return jobOutput{}, false
 			}
 		}
-		matches, err := ix.Range(preds...)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+
+		resp := queryResponse{Tiles: len(ix.Tiles), Aggregate: ix.Aggregate()}
+		switch {
+		case len(preds) > 0:
+			matches, err := ix.Range(preds...)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return jobOutput{}, false
+			}
+			resp.Matches, resp.Query = matches, strings.Join(predStrs, " && ")
+		case similarTo >= 0:
+			matches, err := ix.SimilarTo(similarTo, k)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return jobOutput{}, false
+			}
+			resp.Matches, resp.Query = matches, fmt.Sprintf("similar-to=%d k=%d", similarTo, k)
 		}
-		resp.Matches, resp.Query = matches, strings.Join(predStrs, " && ")
-	case similarTo >= 0:
-		matches, err := ix.SimilarTo(similarTo, k)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return jobOutput{}, false
 		}
-		resp.Matches, resp.Query = matches, fmt.Sprintf("similar-to=%d k=%d", similarTo, k)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(resp)
+		return jobOutput{body: buf.Bytes(), header: map[string]string{
+			"Content-Type": "application/json",
+		}}, true
+	})
 }
 
 // queryIndexError maps an index-extraction failure to a status: a missing
@@ -783,20 +962,27 @@ func (s *Server) queryIndexError(w http.ResponseWriter, err error) {
 // handleStat inspects a stream's metadata. It is cheap (header and section
 // table only, nothing is inflated) so it bypasses the job scheduler.
 func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBody()))
-	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+	body, ok := s.readBody(w, r, "stat")
+	if !ok {
 		return
 	}
-	info, err := dpz.Stat(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(info)
+	s.serveCached(w, r, "stat", "", body, func() (jobOutput, bool) {
+		info, err := dpz.Stat(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return jobOutput{}, false
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(info); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return jobOutput{}, false
+		}
+		return jobOutput{body: buf.Bytes(), header: map[string]string{
+			"Content-Type": "application/json",
+		}}, true
+	})
 }
 
 func dimsString(dims []int) string {

@@ -47,6 +47,28 @@ func bluesteinFor(n int) *bluestein {
 	return actual.(*bluestein)
 }
 
+// dftInto computes the length-n Bluestein DFT of x into out using the
+// m-point convolution scratch a (fully overwritten). out may alias x; a
+// must not alias either. The operation sequence is exactly DFT's — the
+// only difference is that no buffer is allocated.
+func (bs *bluestein) dftInto(out, x, a []complex128) {
+	n := bs.n
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * bs.chirp[k]
+	}
+	for k := n; k < bs.m; k++ {
+		a[k] = 0
+	}
+	FFT(a)
+	for i := range a {
+		a[i] *= bs.bfft[i]
+	}
+	IFFT(a)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * bs.chirp[k]
+	}
+}
+
 // DFT computes the forward DFT of x (any length) into a new slice. Lengths
 // that are powers of two use the radix-2 path; others use Bluestein's
 // algorithm, which runs in O(n log n).
@@ -62,18 +84,7 @@ func DFT(x []complex128) []complex128 {
 		return out
 	}
 	bs := bluesteinFor(n)
-	a := make([]complex128, bs.m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * bs.chirp[k]
-	}
-	FFT(a)
-	for i := range a {
-		a[i] *= bs.bfft[i]
-	}
-	IFFT(a)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * bs.chirp[k]
-	}
+	bs.dftInto(out, x, make([]complex128, bs.m))
 	return out
 }
 

@@ -26,6 +26,15 @@ type Plan struct {
 	exp   []complex128 // e^{-iπk/(2n)}
 	buf   []complex128 // n-point scratch for the Makhoul recombination
 	tmp   []float64    // n-point real scratch
+	// Non-power-of-two lengths go through Bluestein's algorithm; the plan
+	// owns the m-point convolution scratch and an n-point staging buffer
+	// so the per-row DFT allocates nothing (the one-shot DFT/IDFT helpers
+	// used to allocate ~120 KiB per call, which dominated the decode
+	// transform stage's profile). Arithmetic is unchanged — identical ops
+	// on identical values — so transform bits are unaffected.
+	bs   *bluestein
+	conv []complex128 // m-point scratch, nil for power-of-two lengths
+	stg  []complex128 // n-point staging buffer, nil for power-of-two lengths
 }
 
 // NewPlan creates a transform plan for length n (n >= 1).
@@ -46,6 +55,11 @@ func NewPlan(n int) *Plan {
 	}
 	p.buf = make([]complex128, n)
 	p.tmp = make([]float64, n)
+	if n > 1 && !IsPow2(n) {
+		p.bs = bluesteinFor(n)
+		p.conv = make([]complex128, p.bs.m)
+		p.stg = make([]complex128, n)
+	}
 	return p
 }
 
@@ -71,15 +85,13 @@ func (p *Plan) Forward(x []float64) {
 	for i := 0; i < n/2; i++ {
 		v[n-1-i] = complex(x[2*i+1], 0)
 	}
-	var V []complex128
 	if IsPow2(n) {
 		FFT(v)
-		V = v
 	} else {
-		V = DFT(v)
+		p.bs.dftInto(v, v, p.conv)
 	}
 	for k := 0; k < n; k++ {
-		x[k] = p.scale[k] * real(p.exp[k]*V[k])
+		x[k] = p.scale[k] * real(p.exp[k]*v[k])
 	}
 }
 
@@ -106,19 +118,27 @@ func (p *Plan) Inverse(x []float64) {
 		// conj(exp[k]) = e^{+iπk/(2n)}
 		v[k] = cmplx.Conj(p.exp[k]) * complex(t[k], -t[n-k])
 	}
-	var out []complex128
 	if IsPow2(n) {
 		IFFT(v)
-		out = v
 	} else {
-		out = IDFT(v)
+		// IDFT(v) = conj(DFT(conj(v)))/n, staged through the plan's
+		// scratch — the same arithmetic IDFT performs, without its
+		// per-call allocations.
+		for i, w := range v {
+			p.stg[i] = cmplx.Conj(w)
+		}
+		p.bs.dftInto(v, p.stg, p.conv)
+		scale := 1 / float64(n)
+		for i, w := range v {
+			v[i] = complex(real(w)*scale, -imag(w)*scale)
+		}
 	}
 	half := (n + 1) / 2
 	for i := 0; i < half; i++ {
-		x[2*i] = real(out[i])
+		x[2*i] = real(v[i])
 	}
 	for i := 0; i < n/2; i++ {
-		x[2*i+1] = real(out[n-1-i])
+		x[2*i+1] = real(v[n-1-i])
 	}
 }
 
